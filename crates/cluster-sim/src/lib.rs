@@ -1,0 +1,51 @@
+//! # cluster-sim
+//!
+//! The datacenter-scale substrate of the Pond reproduction (ASPLOS '23,
+//! §3.1, §6.1 "Simulations", §6.5). The paper's end-to-end results come from
+//! replaying 75 days of VM arrivals from 100 production clusters; we cannot
+//! access those traces, so this crate provides:
+//!
+//! * [`trace`] / [`tracegen`] — a statistical VM-trace generator calibrated
+//!   to the distributions the paper reports (VM shapes, lifetimes, per-cluster
+//!   utilization, customer-correlated untouched memory with a ~50% median).
+//! * [`server`] — dual-socket servers with per-NUMA-node core/memory
+//!   accounting.
+//! * [`scheduler`] — a NUMA-aware best-fit bin-packing VM scheduler with a
+//!   pluggable [`scheduler::MemoryPolicy`] that decides each VM's local/pool
+//!   split (the hook `pond-core` uses to plug in the full Pond policy).
+//! * [`simulation`] — the event-driven cluster simulator: arrivals,
+//!   departures, placement, per-server and per-pool peak tracking, QoS
+//!   outcomes.
+//! * [`stranding`] — stranded-memory measurement (Figure 2).
+//! * [`pooling`] — DRAM-requirement analysis across pool sizes (Figures 3
+//!   and 21).
+//!
+//! # Example
+//!
+//! ```
+//! use cluster_sim::tracegen::{TraceGenerator, ClusterConfig};
+//! use cluster_sim::simulation::{Simulation, SimulationConfig};
+//! use cluster_sim::scheduler::FixedPoolFraction;
+//!
+//! let trace = TraceGenerator::new(ClusterConfig::small(), 1).generate(0);
+//! let mut sim = Simulation::new(SimulationConfig::default(), FixedPoolFraction::new(0.3));
+//! let outcome = sim.run(&trace);
+//! assert!(outcome.scheduled_vms > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod pooling;
+pub mod scheduler;
+pub mod server;
+pub mod simulation;
+pub mod stranding;
+pub mod trace;
+pub mod tracegen;
+
+pub use scheduler::{AllLocal, FixedPoolFraction, MemoryPolicy};
+pub use simulation::{Simulation, SimulationConfig, SimulationOutcome};
+pub use trace::{ClusterTrace, VmRequest};
+pub use tracegen::{ClusterConfig, TraceGenerator};

@@ -1,0 +1,196 @@
+//! DRAM-requirement analysis across pool sizes (Figures 3 and 21).
+//!
+//! Pooling saves DRAM through statistical multiplexing: a server's local DRAM
+//! only needs to cover its *local* peak, and the shared pool only needs to
+//! cover the *group's* combined pool peak, which is smaller than the sum of
+//! the individual peaks. This module sweeps pool sizes and policies and
+//! reports the relative DRAM requirement the paper plots.
+
+use crate::scheduler::MemoryPolicy;
+use crate::simulation::{Simulation, SimulationConfig, SimulationOutcome};
+use crate::trace::ClusterTrace;
+use serde::{Deserialize, Serialize};
+
+/// The result of one (pool size, policy) evaluation point.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PoolSizePoint {
+    /// Pool size in CPU sockets.
+    pub pool_sockets: u16,
+    /// Required DRAM relative to the pool-less baseline (1.0 = 100%).
+    pub required_dram_fraction: f64,
+    /// Fraction of VM memory GB-hours served from the pool.
+    pub pool_dram_fraction: f64,
+    /// Fraction of VMs whose slowdown exceeded the PDM.
+    pub violation_fraction: f64,
+}
+
+/// Sweeps pool sizes for a fixed policy factory, averaging the relative DRAM
+/// requirement across the provided traces.
+///
+/// `make_policy` is called once per (trace, pool size) pair so stateful
+/// policies start fresh for every simulation.
+pub fn pool_size_sweep<P, F>(
+    traces: &[ClusterTrace],
+    pool_sizes: &[u16],
+    base_config: &SimulationConfig,
+    mut make_policy: F,
+) -> Vec<PoolSizePoint>
+where
+    P: MemoryPolicy,
+    F: FnMut() -> P,
+{
+    pool_sizes
+        .iter()
+        .map(|&pool_sockets| {
+            let mut required = 0.0;
+            let mut pool_fraction = 0.0;
+            let mut violations = 0.0;
+            for trace in traces {
+                let config = SimulationConfig { pool_size_sockets: pool_sockets, ..base_config.clone() };
+                let outcome = Simulation::new(config, make_policy()).run(trace);
+                required += outcome.required_dram_fraction();
+                pool_fraction += outcome.pool_dram_fraction();
+                violations += outcome.violation_fraction();
+            }
+            let n = traces.len().max(1) as f64;
+            PoolSizePoint {
+                pool_sockets,
+                required_dram_fraction: required / n,
+                pool_dram_fraction: pool_fraction / n,
+                violation_fraction: violations / n,
+            }
+        })
+        .collect()
+}
+
+/// Averages outcomes of a policy over several traces at a fixed pool size.
+pub fn average_outcome<P, F>(
+    traces: &[ClusterTrace],
+    config: &SimulationConfig,
+    mut make_policy: F,
+) -> AveragedOutcome
+where
+    P: MemoryPolicy,
+    F: FnMut() -> P,
+{
+    let mut acc = AveragedOutcome::default();
+    for trace in traces {
+        let outcome = Simulation::new(config.clone(), make_policy()).run(trace);
+        acc.add(&outcome);
+    }
+    acc.finalize(traces.len());
+    acc
+}
+
+/// Averages of the headline metrics across clusters.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct AveragedOutcome {
+    /// Mean relative DRAM requirement.
+    pub required_dram_fraction: f64,
+    /// Mean fraction of memory GB-hours on the pool.
+    pub pool_dram_fraction: f64,
+    /// Mean fraction of VMs violating the PDM.
+    pub violation_fraction: f64,
+    /// Mean fraction of violating VMs that were mitigated.
+    pub mitigation_fraction: f64,
+}
+
+impl AveragedOutcome {
+    fn add(&mut self, outcome: &SimulationOutcome) {
+        self.required_dram_fraction += outcome.required_dram_fraction();
+        self.pool_dram_fraction += outcome.pool_dram_fraction();
+        self.violation_fraction += outcome.violation_fraction();
+        self.mitigation_fraction += if outcome.violations == 0 {
+            0.0
+        } else {
+            outcome.mitigations as f64 / outcome.violations as f64
+        };
+    }
+
+    fn finalize(&mut self, n: usize) {
+        let n = n.max(1) as f64;
+        self.required_dram_fraction /= n;
+        self.pool_dram_fraction /= n;
+        self.violation_fraction /= n;
+        self.mitigation_fraction /= n;
+    }
+
+    /// DRAM savings relative to the pool-less baseline.
+    pub fn dram_savings_fraction(&self) -> f64 {
+        1.0 - self.required_dram_fraction
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheduler::FixedPoolFraction;
+    use crate::tracegen::{ClusterConfig, TraceGenerator};
+    use cxl_hw::latency::LatencyScenario;
+
+    fn traces(n: u32) -> Vec<ClusterTrace> {
+        TraceGenerator::new(ClusterConfig::small(), n).generate_all()
+    }
+
+    fn config() -> SimulationConfig {
+        SimulationConfig {
+            scenario: LatencyScenario::Increase182,
+            qos_mitigation: false,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn savings_grow_with_pool_size_and_saturate() {
+        // Figure 3's qualitative shape: bigger pools help, with diminishing
+        // returns.
+        let traces = traces(2);
+        let points = pool_size_sweep(&traces, &[2, 8, 16, 32, 64], &config(), || {
+            FixedPoolFraction::new(0.5)
+        });
+        assert_eq!(points.len(), 5);
+        for pair in points.windows(2) {
+            assert!(
+                pair[1].required_dram_fraction <= pair[0].required_dram_fraction + 1e-9,
+                "requirement must not grow with pool size: {points:?}"
+            );
+        }
+        // Savings at 64 sockets should be visible but below the 50% pool share.
+        let savings_64 = 1.0 - points.last().unwrap().required_dram_fraction;
+        assert!(savings_64 > 0.02, "savings at 64 sockets: {savings_64}");
+        assert!(savings_64 < 0.5);
+        // Diminishing returns: the step from 32 to 64 is smaller than from 2 to 8.
+        let step_small = points[0].required_dram_fraction - points[1].required_dram_fraction;
+        let step_large = points[3].required_dram_fraction - points[4].required_dram_fraction;
+        assert!(step_large <= step_small + 1e-9);
+    }
+
+    #[test]
+    fn higher_pool_fractions_save_more_dram() {
+        // Figure 3 compares 10%/30%/50% pool percentages.
+        let traces = traces(1);
+        let mut previous = 1.0;
+        for fraction in [0.1, 0.3, 0.5] {
+            let points = pool_size_sweep(&traces, &[16], &config(), || {
+                FixedPoolFraction::new(fraction)
+            });
+            let required = points[0].required_dram_fraction;
+            assert!(
+                required <= previous + 1e-9,
+                "{fraction} pool should need no more DRAM than smaller fractions"
+            );
+            previous = required;
+        }
+    }
+
+    #[test]
+    fn averaged_outcome_accumulates() {
+        let traces = traces(2);
+        let avg = average_outcome(&traces, &config(), || FixedPoolFraction::new(0.5));
+        assert!(avg.required_dram_fraction > 0.5 && avg.required_dram_fraction <= 1.0);
+        assert!(avg.pool_dram_fraction > 0.1);
+        assert!(avg.violation_fraction > 0.0);
+        assert_eq!(avg.mitigation_fraction, 0.0, "mitigation disabled in this config");
+        assert!((avg.dram_savings_fraction() - (1.0 - avg.required_dram_fraction)).abs() < 1e-12);
+    }
+}

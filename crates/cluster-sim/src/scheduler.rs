@@ -1,0 +1,253 @@
+//! VM scheduling: the memory-allocation policy hook and the bin-packing
+//! placement logic.
+//!
+//! The scheduler mirrors Azure's Protean-style best-fit packing at the level
+//! of detail the paper's simulator needs: a VM goes to the server (and NUMA
+//! node) that leaves the least slack, memory is preallocated at start, and
+//! the split between local and pool memory is decided by a
+//! [`MemoryPolicy`] — the strawman policies live here, Pond's ML-driven
+//! policy is implemented in `pond-core` on top of the same trait.
+
+use crate::server::{Placement, Server};
+use crate::trace::VmRequest;
+use cxl_hw::units::Bytes;
+use serde::{Deserialize, Serialize};
+
+/// Decides how much of a VM's memory is allocated from the CXL pool.
+///
+/// Implementations may keep state (e.g. per-customer history); the simulator
+/// calls [`MemoryPolicy::pool_memory`] once per VM arrival, in arrival order,
+/// and reports the eventual QoS outcome through
+/// [`MemoryPolicy::observe_outcome`].
+pub trait MemoryPolicy {
+    /// Pool memory to allocate for this VM. The simulator clamps the value to
+    /// the VM's memory size and rounds it down to whole GiB (Pond allocates
+    /// pool memory in 1 GB-aligned increments, §4.2).
+    fn pool_memory(&mut self, request: &VmRequest) -> Bytes;
+
+    /// Callback after the VM's QoS outcome is known: `slowdown` is the
+    /// fractional slowdown the VM experienced and `exceeded_pdm` whether it
+    /// violated the performance degradation margin. Policies that learn
+    /// online (Pond's sensitivity history) use this; the default ignores it.
+    fn observe_outcome(&mut self, request: &VmRequest, slowdown: f64, exceeded_pdm: bool) {
+        let _ = (request, slowdown, exceeded_pdm);
+    }
+
+    /// Human-readable policy name for reports.
+    fn name(&self) -> &str {
+        "unnamed-policy"
+    }
+}
+
+/// The no-pooling baseline: every byte is NUMA-local.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AllLocal;
+
+impl MemoryPolicy for AllLocal {
+    fn pool_memory(&mut self, _request: &VmRequest) -> Bytes {
+        Bytes::ZERO
+    }
+
+    fn name(&self) -> &str {
+        "all-local"
+    }
+}
+
+/// The static strawman: a fixed percentage of every VM's memory comes from
+/// the pool (the policy Figures 3 and 21 compare Pond against).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FixedPoolFraction {
+    fraction: f64,
+}
+
+impl FixedPoolFraction {
+    /// Creates the policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `fraction` is within `[0, 1]`.
+    pub fn new(fraction: f64) -> Self {
+        assert!((0.0..=1.0).contains(&fraction), "pool fraction must be in [0, 1]");
+        FixedPoolFraction { fraction }
+    }
+
+    /// The configured fraction.
+    pub fn fraction(&self) -> f64 {
+        self.fraction
+    }
+}
+
+impl MemoryPolicy for FixedPoolFraction {
+    fn pool_memory(&mut self, request: &VmRequest) -> Bytes {
+        request.memory.scaled(self.fraction)
+    }
+
+    fn name(&self) -> &str {
+        "fixed-pool-fraction"
+    }
+}
+
+/// Clamps and GB-aligns a policy's pool-memory decision for a request.
+pub fn align_pool_memory(request: &VmRequest, raw: Bytes) -> Bytes {
+    let clamped = Bytes::new(raw.as_u64().min(request.memory.as_u64()));
+    Bytes::from_gib(clamped.slices_floor())
+}
+
+/// The cluster-wide placement engine: a vector of servers plus best-fit
+/// placement across them.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlacementEngine {
+    servers: Vec<Server>,
+}
+
+impl PlacementEngine {
+    /// Creates `count` servers of the given shape. `enforce_memory` controls
+    /// whether server DRAM is a hard capacity (stranding analysis) or
+    /// unbounded (DRAM-requirement analysis).
+    pub fn new(count: u32, cores_per_server: u32, dram_per_server: Bytes, enforce_memory: bool) -> Self {
+        PlacementEngine {
+            servers: (0..count)
+                .map(|i| Server::new(i, cores_per_server, dram_per_server, enforce_memory))
+                .collect(),
+        }
+    }
+
+    /// The servers (read-only).
+    pub fn servers(&self) -> &[Server] {
+        &self.servers
+    }
+
+    /// Mutable access to one server.
+    pub fn server_mut(&mut self, index: usize) -> Option<&mut Server> {
+        self.servers.get_mut(index)
+    }
+
+    /// Places a VM using best fit on free cores: among servers that can hold
+    /// the VM, pick the one with the fewest free cores (tightest fit). This
+    /// keeps some servers empty for large VMs and concentrates utilization,
+    /// which is what produces stranding on the packed servers.
+    ///
+    /// Returns the chosen server index and placement, or `None` if no server
+    /// can host the VM.
+    pub fn place(&mut self, request: &VmRequest, local_memory: Bytes) -> Option<(usize, Placement)> {
+        let mut candidates: Vec<usize> = (0..self.servers.len()).collect();
+        // Tightest fit first.
+        candidates.sort_by_key(|&i| self.servers[i].free_cores());
+        for i in candidates {
+            if self.servers[i].free_cores() < request.cores {
+                continue;
+            }
+            if let Some(placement) = self.servers[i].try_place(request, local_memory) {
+                return Some((i, placement));
+            }
+        }
+        None
+    }
+
+    /// Removes a VM from a server.
+    pub fn remove(&mut self, server: usize, vm: u64, cores: u32) -> Option<Placement> {
+        self.servers.get_mut(server)?.remove(vm, cores)
+    }
+
+    /// Total and used cores across the cluster.
+    pub fn core_usage(&self) -> (u64, u64) {
+        let total = self.servers.iter().map(|s| s.total_cores() as u64).sum();
+        let used = self.servers.iter().map(|s| s.used_cores() as u64).sum();
+        (used, total)
+    }
+
+    /// Sum of stranded memory across all servers.
+    pub fn stranded_memory(&self, min_cores: u32) -> Bytes {
+        self.servers.iter().map(|s| s.stranded_memory(min_cores)).sum()
+    }
+
+    /// Sum of used (pinned local) memory across all servers.
+    pub fn used_memory(&self) -> Bytes {
+        self.servers.iter().map(|s| s.used_memory()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{CustomerId, GuestOs, VmType};
+
+    fn request(id: u64, cores: u32, gib: u64) -> VmRequest {
+        VmRequest {
+            id,
+            arrival: 0,
+            lifetime: 100,
+            cores,
+            memory: Bytes::from_gib(gib),
+            customer: CustomerId(0),
+            vm_type: VmType::GeneralPurpose,
+            guest_os: GuestOs::Linux,
+            region: 0,
+            workload_index: 0,
+            untouched_fraction: 0.5,
+        }
+    }
+
+    #[test]
+    fn all_local_assigns_no_pool_memory() {
+        let mut policy = AllLocal;
+        assert_eq!(policy.pool_memory(&request(1, 4, 32)), Bytes::ZERO);
+        assert_eq!(policy.name(), "all-local");
+    }
+
+    #[test]
+    fn fixed_fraction_scales_with_vm_memory() {
+        let mut policy = FixedPoolFraction::new(0.5);
+        assert_eq!(policy.pool_memory(&request(1, 4, 32)), Bytes::from_gib(16));
+        assert_eq!(policy.fraction(), 0.5);
+        // Default observe_outcome is a no-op and must not panic.
+        policy.observe_outcome(&request(1, 4, 32), 0.3, true);
+    }
+
+    #[test]
+    #[should_panic(expected = "pool fraction")]
+    fn fixed_fraction_rejects_out_of_range() {
+        let _ = FixedPoolFraction::new(1.5);
+    }
+
+    #[test]
+    fn align_pool_memory_rounds_down_and_clamps() {
+        let r = request(1, 4, 8);
+        assert_eq!(align_pool_memory(&r, Bytes::from_mib(3500)), Bytes::from_gib(3));
+        assert_eq!(align_pool_memory(&r, Bytes::from_gib(100)), Bytes::from_gib(8));
+        assert_eq!(align_pool_memory(&r, Bytes::ZERO), Bytes::ZERO);
+    }
+
+    #[test]
+    fn engine_places_with_best_fit() {
+        let mut engine = PlacementEngine::new(3, 48, Bytes::from_gib(384), true);
+        // Pre-load server 0 so it becomes the tightest fit.
+        let (s0, _) = engine.place(&request(1, 20, 10), Bytes::from_gib(10)).unwrap();
+        let (s1, _) = engine.place(&request(2, 4, 10), Bytes::from_gib(10)).unwrap();
+        assert_eq!(s0, s1, "small VM should pack onto the already-loaded server");
+        let (used, total) = engine.core_usage();
+        assert_eq!(used, 24);
+        assert_eq!(total, 3 * 48);
+    }
+
+    #[test]
+    fn engine_rejects_when_full() {
+        let mut engine = PlacementEngine::new(1, 8, Bytes::from_gib(32), true);
+        assert!(engine.place(&request(1, 4, 8), Bytes::from_gib(8)).is_some());
+        assert!(engine.place(&request(2, 4, 8), Bytes::from_gib(8)).is_some());
+        assert!(engine.place(&request(3, 1, 1), Bytes::from_gib(1)).is_none());
+        // Removal opens capacity again.
+        engine.remove(0, 1, 4).unwrap();
+        assert!(engine.place(&request(4, 4, 8), Bytes::from_gib(8)).is_some());
+    }
+
+    #[test]
+    fn stranded_memory_aggregates_across_servers() {
+        let mut engine = PlacementEngine::new(2, 8, Bytes::from_gib(64), true);
+        // Fill one server's cores (4 per NUMA node) with memory-light VMs.
+        engine.place(&request(1, 4, 4), Bytes::from_gib(4)).unwrap();
+        engine.place(&request(2, 4, 4), Bytes::from_gib(4)).unwrap();
+        assert_eq!(engine.stranded_memory(2), Bytes::from_gib(56));
+        assert_eq!(engine.used_memory(), Bytes::from_gib(8));
+    }
+}

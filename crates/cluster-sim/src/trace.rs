@@ -1,0 +1,291 @@
+//! VM request traces: the events the cluster simulator replays.
+
+use cxl_hw::units::Bytes;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a customer (tenant). Customers exhibit correlated behaviour
+/// across their VMs, which is what makes Pond's metadata-based predictions
+/// work (§4.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct CustomerId(pub u32);
+
+impl fmt::Display for CustomerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "customer{}", self.0)
+    }
+}
+
+/// Guest operating system, one of the metadata features of the
+/// untouched-memory model (Figure 14).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum GuestOs {
+    /// A Linux distribution.
+    Linux,
+    /// Windows Server.
+    Windows,
+}
+
+/// VM series/type, loosely mirroring cloud VM families.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum VmType {
+    /// General-purpose (balanced DRAM:core ratio).
+    GeneralPurpose,
+    /// Memory-optimized (high DRAM:core ratio).
+    MemoryOptimized,
+    /// Compute-optimized (low DRAM:core ratio).
+    ComputeOptimized,
+    /// Burstable / small VMs.
+    Burstable,
+}
+
+impl VmType {
+    /// All VM types.
+    pub const ALL: [VmType; 4] = [
+        VmType::GeneralPurpose,
+        VmType::MemoryOptimized,
+        VmType::ComputeOptimized,
+        VmType::Burstable,
+    ];
+
+    /// Nominal GiB of memory per core for the type.
+    pub fn gib_per_core(self) -> u64 {
+        match self {
+            VmType::GeneralPurpose => 4,
+            VmType::MemoryOptimized => 8,
+            VmType::ComputeOptimized => 2,
+            VmType::Burstable => 2,
+        }
+    }
+
+    /// Encodes the type as a small integer feature for the ML models.
+    pub fn as_feature(self) -> f64 {
+        match self {
+            VmType::GeneralPurpose => 0.0,
+            VmType::MemoryOptimized => 1.0,
+            VmType::ComputeOptimized => 2.0,
+            VmType::Burstable => 3.0,
+        }
+    }
+}
+
+/// One VM request in a trace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VmRequest {
+    /// Unique id within the trace.
+    pub id: u64,
+    /// Arrival time in seconds from the start of the trace.
+    pub arrival: u64,
+    /// Lifetime in seconds.
+    pub lifetime: u64,
+    /// Number of cores requested.
+    pub cores: u32,
+    /// Memory requested.
+    pub memory: Bytes,
+    /// The requesting customer.
+    pub customer: CustomerId,
+    /// The VM type/series.
+    pub vm_type: VmType,
+    /// Guest operating system.
+    pub guest_os: GuestOs,
+    /// Region index (coarse location feature).
+    pub region: u8,
+    /// Index into the 158-workload suite describing what runs inside.
+    pub workload_index: usize,
+    /// Ground truth: fraction of the rented memory the VM never touches.
+    pub untouched_fraction: f64,
+}
+
+impl VmRequest {
+    /// Departure time in seconds.
+    pub fn departure(&self) -> u64 {
+        self.arrival + self.lifetime
+    }
+
+    /// Memory the VM actually touches.
+    pub fn touched_memory(&self) -> Bytes {
+        self.memory.scaled(1.0 - self.untouched_fraction)
+    }
+
+    /// Memory the VM never touches.
+    pub fn untouched_memory(&self) -> Bytes {
+        self.memory.saturating_sub(self.touched_memory())
+    }
+
+    /// Validates internal consistency.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.cores == 0 {
+            return Err(format!("vm {} has zero cores", self.id));
+        }
+        if self.memory.is_zero() {
+            return Err(format!("vm {} has zero memory", self.id));
+        }
+        if self.lifetime == 0 {
+            return Err(format!("vm {} has zero lifetime", self.id));
+        }
+        if !(0.0..=1.0).contains(&self.untouched_fraction) {
+            return Err(format!(
+                "vm {} has untouched fraction {}",
+                self.id, self.untouched_fraction
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// A whole cluster's trace: the server shape plus every VM request, sorted by
+/// arrival time.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterTrace {
+    /// Cluster identifier.
+    pub cluster_id: u32,
+    /// Number of servers in the cluster.
+    pub servers: u32,
+    /// Cores per server (across both sockets).
+    pub cores_per_server: u32,
+    /// DRAM per server (across both sockets).
+    pub dram_per_server: Bytes,
+    /// Trace duration in seconds.
+    pub duration: u64,
+    /// VM requests sorted by arrival time.
+    pub requests: Vec<VmRequest>,
+}
+
+impl ClusterTrace {
+    /// Total cores in the cluster.
+    pub fn total_cores(&self) -> u64 {
+        self.servers as u64 * self.cores_per_server as u64
+    }
+
+    /// Total DRAM in the cluster.
+    pub fn total_dram(&self) -> Bytes {
+        Bytes::new(self.dram_per_server.as_u64() * self.servers as u64)
+    }
+
+    /// Number of requests in the trace.
+    pub fn len(&self) -> usize {
+        self.requests.len()
+    }
+
+    /// True when the trace has no requests.
+    pub fn is_empty(&self) -> bool {
+        self.requests.is_empty()
+    }
+
+    /// The average number of concurrently allocated cores over the trace
+    /// duration, as a fraction of the cluster's cores.
+    pub fn mean_core_utilization(&self) -> f64 {
+        if self.duration == 0 {
+            return 0.0;
+        }
+        let core_seconds: u64 = self
+            .requests
+            .iter()
+            .map(|r| r.cores as u64 * r.lifetime.min(self.duration.saturating_sub(r.arrival)))
+            .sum();
+        core_seconds as f64 / (self.total_cores() * self.duration) as f64
+    }
+
+    /// Validates the trace: request ordering and per-request consistency.
+    pub fn validate(&self) -> Result<(), String> {
+        for pair in self.requests.windows(2) {
+            if pair[1].arrival < pair[0].arrival {
+                return Err(format!(
+                    "requests out of order: {} before {}",
+                    pair[1].id, pair[0].id
+                ));
+            }
+        }
+        for request in &self.requests {
+            request.validate()?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn request(id: u64, arrival: u64) -> VmRequest {
+        VmRequest {
+            id,
+            arrival,
+            lifetime: 3600,
+            cores: 4,
+            memory: Bytes::from_gib(16),
+            customer: CustomerId(1),
+            vm_type: VmType::GeneralPurpose,
+            guest_os: GuestOs::Linux,
+            region: 0,
+            workload_index: 0,
+            untouched_fraction: 0.5,
+        }
+    }
+
+    #[test]
+    fn request_memory_accounting() {
+        let r = request(1, 0);
+        assert_eq!(r.departure(), 3600);
+        assert_eq!(r.touched_memory(), Bytes::from_gib(8));
+        assert_eq!(r.untouched_memory(), Bytes::from_gib(8));
+        assert_eq!(r.validate(), Ok(()));
+    }
+
+    #[test]
+    fn request_validation_catches_errors() {
+        let mut r = request(1, 0);
+        r.cores = 0;
+        assert!(r.validate().is_err());
+        let mut r = request(1, 0);
+        r.untouched_fraction = 1.5;
+        assert!(r.validate().is_err());
+        let mut r = request(1, 0);
+        r.lifetime = 0;
+        assert!(r.validate().is_err());
+        let mut r = request(1, 0);
+        r.memory = Bytes::ZERO;
+        assert!(r.validate().is_err());
+    }
+
+    #[test]
+    fn vm_type_features_are_distinct() {
+        let features: std::collections::BTreeSet<u64> =
+            VmType::ALL.iter().map(|t| t.as_feature() as u64).collect();
+        assert_eq!(features.len(), VmType::ALL.len());
+        assert!(VmType::MemoryOptimized.gib_per_core() > VmType::ComputeOptimized.gib_per_core());
+    }
+
+    #[test]
+    fn trace_utilization_and_validation() {
+        let trace = ClusterTrace {
+            cluster_id: 0,
+            servers: 2,
+            cores_per_server: 8,
+            dram_per_server: Bytes::from_gib(64),
+            duration: 7200,
+            requests: vec![request(1, 0), request(2, 100)],
+        };
+        assert_eq!(trace.total_cores(), 16);
+        assert_eq!(trace.total_dram(), Bytes::from_gib(128));
+        assert_eq!(trace.len(), 2);
+        assert!(!trace.is_empty());
+        // 2 VMs × 4 cores × 3600 s over 16 cores × 7200 s = 0.25.
+        let util = trace.mean_core_utilization();
+        assert!((util - 0.25).abs() < 0.01, "{util}");
+        assert_eq!(trace.validate(), Ok(()));
+    }
+
+    #[test]
+    fn out_of_order_traces_are_rejected() {
+        let trace = ClusterTrace {
+            cluster_id: 0,
+            servers: 1,
+            cores_per_server: 8,
+            dram_per_server: Bytes::from_gib(64),
+            duration: 7200,
+            requests: vec![request(1, 500), request(2, 100)],
+        };
+        assert!(trace.validate().is_err());
+    }
+}

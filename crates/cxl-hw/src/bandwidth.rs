@@ -1,0 +1,222 @@
+//! Link and memory-channel bandwidth model (§2).
+//!
+//! The paper observes that with PCIe 5.0, a bidirectional ×8 CXL port at a
+//! typical 2:1 read:write ratio matches a DDR5-4800 channel. This module
+//! encodes that arithmetic so topologies can be checked for bandwidth
+//! balance (CXL ports vs. DDR5 channels behind the EMC).
+
+use crate::topology::PoolTopology;
+use serde::{Deserialize, Serialize};
+
+/// PCIe 5.0 raw bandwidth per lane per direction, in GB/s (32 GT/s with
+/// 128b/130b encoding ≈ 3.938 GB/s usable).
+pub const PCIE5_GBPS_PER_LANE_PER_DIR: f64 = 3.938;
+
+/// DDR5-4800 channel bandwidth in GB/s (64-bit channel × 4800 MT/s).
+pub const DDR5_4800_GBPS_PER_CHANNEL: f64 = 38.4;
+
+/// A bandwidth value in GB/s.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+pub struct Bandwidth(f64);
+
+impl Bandwidth {
+    /// Creates a bandwidth from GB/s.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gbps` is negative or not finite.
+    pub fn from_gbps(gbps: f64) -> Self {
+        assert!(gbps.is_finite() && gbps >= 0.0, "bandwidth must be finite and non-negative");
+        Bandwidth(gbps)
+    }
+
+    /// The value in GB/s.
+    pub fn as_gbps(self) -> f64 {
+        self.0
+    }
+}
+
+impl std::ops::Add for Bandwidth {
+    type Output = Bandwidth;
+    fn add(self, rhs: Bandwidth) -> Bandwidth {
+        Bandwidth(self.0 + rhs.0)
+    }
+}
+
+impl std::iter::Sum for Bandwidth {
+    fn sum<I: Iterator<Item = Bandwidth>>(iter: I) -> Bandwidth {
+        iter.fold(Bandwidth::from_gbps(0.0), |a, b| a + b)
+    }
+}
+
+/// Read/write mix of a traffic stream, expressed as the fraction of reads.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ReadWriteMix {
+    read_fraction: f64,
+}
+
+impl ReadWriteMix {
+    /// The paper's "typical" 2:1 read:write ratio.
+    pub const TYPICAL_2_TO_1: ReadWriteMix = ReadWriteMix { read_fraction: 2.0 / 3.0 };
+
+    /// Creates a mix from the fraction of requests that are reads.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `read_fraction` is within `[0, 1]`.
+    pub fn new(read_fraction: f64) -> Self {
+        assert!((0.0..=1.0).contains(&read_fraction), "read fraction must be in [0, 1]");
+        ReadWriteMix { read_fraction }
+    }
+
+    /// Fraction of requests that are reads.
+    pub fn read_fraction(self) -> f64 {
+        self.read_fraction
+    }
+
+    /// Fraction of requests that are writes.
+    pub fn write_fraction(self) -> f64 {
+        1.0 - self.read_fraction
+    }
+}
+
+/// Bandwidth model for CXL links and DDR5 channels.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BandwidthModel {
+    /// Usable PCIe 5.0 bandwidth per lane per direction in GB/s.
+    pub pcie5_per_lane_per_dir: f64,
+    /// DDR5 channel bandwidth in GB/s.
+    pub ddr5_per_channel: f64,
+}
+
+impl Default for BandwidthModel {
+    fn default() -> Self {
+        BandwidthModel {
+            pcie5_per_lane_per_dir: PCIE5_GBPS_PER_LANE_PER_DIR,
+            ddr5_per_channel: DDR5_4800_GBPS_PER_CHANNEL,
+        }
+    }
+}
+
+impl BandwidthModel {
+    /// Effective bandwidth a ×`lanes` CXL link delivers under a read/write mix.
+    ///
+    /// A bidirectional link carries reads on the receive direction and writes
+    /// on the transmit direction; the deliverable application bandwidth is
+    /// limited by whichever direction saturates first.
+    pub fn cxl_link_bandwidth(&self, lanes: u32, mix: ReadWriteMix) -> Bandwidth {
+        let per_dir = self.pcie5_per_lane_per_dir * lanes as f64;
+        if mix.read_fraction() == 0.0 {
+            return Bandwidth::from_gbps(per_dir);
+        }
+        if mix.write_fraction() == 0.0 {
+            return Bandwidth::from_gbps(per_dir);
+        }
+        // Total traffic T with read share r uses T*r of the read direction
+        // and T*(1-r) of the write direction; the max T keeps both <= per_dir.
+        let t_read_limited = per_dir / mix.read_fraction();
+        let t_write_limited = per_dir / mix.write_fraction();
+        Bandwidth::from_gbps(t_read_limited.min(t_write_limited))
+    }
+
+    /// Bandwidth of a single DDR5 channel.
+    pub fn ddr5_channel_bandwidth(&self) -> Bandwidth {
+        Bandwidth::from_gbps(self.ddr5_per_channel)
+    }
+
+    /// Aggregate front-side (CXL) bandwidth of a pool topology under a mix.
+    pub fn pool_cxl_bandwidth(&self, topology: &PoolTopology, mix: ReadWriteMix) -> Bandwidth {
+        topology
+            .emc_configs()
+            .iter()
+            .map(|c| self.cxl_link_bandwidth(8, mix).as_gbps() * c.ports as f64)
+            .map(Bandwidth::from_gbps)
+            .sum()
+    }
+
+    /// Aggregate back-side (DDR5) bandwidth of a pool topology.
+    pub fn pool_dram_bandwidth(&self, topology: &PoolTopology) -> Bandwidth {
+        Bandwidth::from_gbps(topology.total_ddr5_channels() as f64 * self.ddr5_per_channel)
+    }
+
+    /// Ratio of front-side to back-side bandwidth. Values near (or above) the
+    /// number of ports per channel indicate the DDR5 channels are the
+    /// bottleneck, which is the intended design point: hosts time-share the
+    /// pool rather than all bursting at once.
+    pub fn front_to_back_ratio(&self, topology: &PoolTopology, mix: ReadWriteMix) -> f64 {
+        let front = self.pool_cxl_bandwidth(topology, mix).as_gbps();
+        let back = self.pool_dram_bandwidth(topology).as_gbps();
+        front / back
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::PoolTopology;
+
+    #[test]
+    fn x8_link_at_2_to_1_matches_a_ddr5_channel() {
+        // §2: a ×8 CXL port at a 2:1 read:write ratio matches DDR5-4800.
+        let m = BandwidthModel::default();
+        let link = m.cxl_link_bandwidth(8, ReadWriteMix::TYPICAL_2_TO_1);
+        let channel = m.ddr5_channel_bandwidth();
+        let ratio = link.as_gbps() / channel.as_gbps();
+        assert!(
+            (0.85..=1.4).contains(&ratio),
+            "×8 CXL ({link:?}) should be comparable to one DDR5 channel ({channel:?})"
+        );
+    }
+
+    #[test]
+    fn pure_read_stream_is_limited_by_one_direction() {
+        let m = BandwidthModel::default();
+        let pure = m.cxl_link_bandwidth(8, ReadWriteMix::new(1.0));
+        let mixed = m.cxl_link_bandwidth(8, ReadWriteMix::TYPICAL_2_TO_1);
+        assert!(pure.as_gbps() <= mixed.as_gbps());
+        let pure_writes = m.cxl_link_bandwidth(8, ReadWriteMix::new(0.0));
+        assert_eq!(pure.as_gbps(), pure_writes.as_gbps());
+    }
+
+    #[test]
+    fn bandwidth_scales_with_lanes() {
+        let m = BandwidthModel::default();
+        let x8 = m.cxl_link_bandwidth(8, ReadWriteMix::TYPICAL_2_TO_1).as_gbps();
+        let x16 = m.cxl_link_bandwidth(16, ReadWriteMix::TYPICAL_2_TO_1).as_gbps();
+        assert!((x16 / x8 - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pool_level_aggregates_are_consistent() {
+        let m = BandwidthModel::default();
+        let topo = PoolTopology::pond(16).unwrap();
+        let front = m.pool_cxl_bandwidth(&topo, ReadWriteMix::TYPICAL_2_TO_1);
+        let back = m.pool_dram_bandwidth(&topo);
+        assert!(front.as_gbps() > 0.0);
+        assert!(back.as_gbps() > 0.0);
+        let ratio = m.front_to_back_ratio(&topo, ReadWriteMix::TYPICAL_2_TO_1);
+        // 16 ports share 12 channels: front side exceeds back side.
+        assert!(ratio > 1.0, "ratio {ratio}");
+    }
+
+    #[test]
+    fn read_write_mix_fractions() {
+        let mix = ReadWriteMix::new(0.75);
+        assert_eq!(mix.read_fraction(), 0.75);
+        assert_eq!(mix.write_fraction(), 0.25);
+        let typical = ReadWriteMix::TYPICAL_2_TO_1;
+        assert!((typical.read_fraction() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "read fraction")]
+    fn invalid_mix_rejected() {
+        let _ = ReadWriteMix::new(1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth must be finite")]
+    fn negative_bandwidth_rejected() {
+        let _ = Bandwidth::from_gbps(-3.0);
+    }
+}

@@ -1,0 +1,156 @@
+//! Error type for the hardware layer.
+
+use crate::units::{Bytes, EmcId, HostId, SocketId};
+use std::error::Error;
+use std::fmt;
+
+use crate::slice::SliceId;
+
+/// Errors raised by the CXL hardware model.
+///
+/// Every fallible public function in this crate returns `Result<_, CxlError>`.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CxlError {
+    /// A pool was requested with a socket count the EMC design does not support.
+    UnsupportedPoolSize {
+        /// The socket count that was requested.
+        sockets: u16,
+    },
+    /// A slice index was outside the EMC's capacity.
+    SliceOutOfRange {
+        /// The offending slice.
+        slice: SliceId,
+        /// Number of slices the EMC actually has.
+        slices: u64,
+    },
+    /// A slice was assigned while already owned by another host.
+    SliceAlreadyAssigned {
+        /// The slice in question.
+        slice: SliceId,
+        /// Its current owner.
+        owner: HostId,
+    },
+    /// A slice release or access referenced a slice the host does not own.
+    SliceNotOwned {
+        /// The slice in question.
+        slice: SliceId,
+        /// The host that attempted the operation.
+        host: HostId,
+    },
+    /// A memory access hit a slice owned by a different host.
+    ///
+    /// The paper specifies that such accesses surface as fatal memory errors
+    /// on the requesting host (§4.1).
+    AccessDenied {
+        /// The slice that was accessed.
+        slice: SliceId,
+        /// The host that issued the access.
+        requester: HostId,
+        /// The owner recorded in the permission table, if any.
+        owner: Option<HostId>,
+    },
+    /// The pool has no free capacity to satisfy an assignment request.
+    InsufficientPoolCapacity {
+        /// Bytes requested.
+        requested: Bytes,
+        /// Bytes currently unassigned across the pool.
+        available: Bytes,
+    },
+    /// A host id is not attached to this pool/EMC.
+    UnknownHost {
+        /// The host in question.
+        host: HostId,
+    },
+    /// An EMC id does not exist in this pool.
+    UnknownEmc {
+        /// The EMC in question.
+        emc: EmcId,
+    },
+    /// A socket id does not exist in this pool topology.
+    UnknownSocket {
+        /// The socket in question.
+        socket: SocketId,
+    },
+    /// The component has failed and cannot serve requests.
+    ComponentFailed {
+        /// Human-readable description of the failed component.
+        component: String,
+    },
+}
+
+impl fmt::Display for CxlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CxlError::UnsupportedPoolSize { sockets } => {
+                write!(f, "unsupported pool size of {sockets} sockets")
+            }
+            CxlError::SliceOutOfRange { slice, slices } => {
+                write!(f, "slice {slice} out of range for EMC with {slices} slices")
+            }
+            CxlError::SliceAlreadyAssigned { slice, owner } => {
+                write!(f, "slice {slice} already assigned to {owner}")
+            }
+            CxlError::SliceNotOwned { slice, host } => {
+                write!(f, "slice {slice} not owned by {host}")
+            }
+            CxlError::AccessDenied { slice, requester, owner } => match owner {
+                Some(owner) => write!(
+                    f,
+                    "access to slice {slice} by {requester} denied, owned by {owner}"
+                ),
+                None => write!(
+                    f,
+                    "access to slice {slice} by {requester} denied, slice is unassigned"
+                ),
+            },
+            CxlError::InsufficientPoolCapacity { requested, available } => {
+                write!(
+                    f,
+                    "insufficient pool capacity: requested {requested}, available {available}"
+                )
+            }
+            CxlError::UnknownHost { host } => write!(f, "unknown host {host}"),
+            CxlError::UnknownEmc { emc } => write!(f, "unknown EMC {emc}"),
+            CxlError::UnknownSocket { socket } => write!(f, "unknown socket {socket}"),
+            CxlError::ComponentFailed { component } => {
+                write!(f, "component has failed: {component}")
+            }
+        }
+    }
+}
+
+impl Error for CxlError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let err = CxlError::UnsupportedPoolSize { sockets: 7 };
+        assert_eq!(err.to_string(), "unsupported pool size of 7 sockets");
+
+        let err = CxlError::AccessDenied {
+            slice: SliceId(4),
+            requester: HostId(1),
+            owner: Some(HostId(2)),
+        };
+        assert!(err.to_string().contains("slice 4"));
+        assert!(err.to_string().contains("host1"));
+        assert!(err.to_string().contains("host2"));
+
+        let err = CxlError::AccessDenied {
+            slice: SliceId(4),
+            requester: HostId(1),
+            owner: None,
+        };
+        assert!(err.to_string().contains("unassigned"));
+    }
+
+    #[test]
+    fn error_is_send_sync_static() {
+        fn assert_bounds<T: Error + Send + Sync + 'static>() {}
+        assert_bounds::<CxlError>();
+    }
+}

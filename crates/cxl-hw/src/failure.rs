@@ -1,0 +1,233 @@
+//! Failure / blast-radius model (§4.2, "Failure management").
+//!
+//! The paper bounds failure impact as follows: an EMC failure affects only
+//! the VMs with memory on that EMC; a host failure is isolated and its pool
+//! memory is reclaimed; a Pool Manager failure prevents reassignment but does
+//! not affect the datapath. This module computes the blast radius of each
+//! failure kind given a mapping from VMs to the slices they use.
+
+use crate::pool::{PoolSlice, PoolState};
+use crate::units::{EmcId, HostId};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Identifier of a VM as seen by the hardware layer (opaque).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct VmHandle(pub u64);
+
+/// The kind of component that failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FailureKind {
+    /// An External Memory Controller failed.
+    Emc(EmcId),
+    /// A host (CPU socket / hypervisor) failed.
+    Host(HostId),
+    /// The Pool Manager failed.
+    PoolManager,
+}
+
+/// Result of a blast-radius analysis for one failure.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BlastRadius {
+    /// The failure analysed.
+    pub failure: FailureKind,
+    /// VMs whose memory is directly affected (they see fatal memory errors
+    /// or lose their host).
+    pub affected_vms: Vec<VmHandle>,
+    /// VMs that keep running unaffected.
+    pub unaffected_vms: Vec<VmHandle>,
+    /// Whether new pool assignments are possible while the failure persists.
+    pub pool_assignment_available: bool,
+}
+
+impl BlastRadius {
+    /// Fraction of VMs affected by the failure.
+    pub fn affected_fraction(&self) -> f64 {
+        let total = self.affected_vms.len() + self.unaffected_vms.len();
+        if total == 0 {
+            0.0
+        } else {
+            self.affected_vms.len() as f64 / total as f64
+        }
+    }
+}
+
+/// Tracks which VM runs on which host and which pool slices it uses, so
+/// failures can be mapped to affected VMs.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct VmPlacementMap {
+    host_of: BTreeMap<VmHandle, HostId>,
+    slices_of: BTreeMap<VmHandle, Vec<PoolSlice>>,
+}
+
+impl VmPlacementMap {
+    /// Creates an empty map.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a VM placement.
+    pub fn place(&mut self, vm: VmHandle, host: HostId, slices: Vec<PoolSlice>) {
+        self.host_of.insert(vm, host);
+        self.slices_of.insert(vm, slices);
+    }
+
+    /// Removes a VM (departure).
+    pub fn remove(&mut self, vm: VmHandle) {
+        self.host_of.remove(&vm);
+        self.slices_of.remove(&vm);
+    }
+
+    /// Number of VMs tracked.
+    pub fn len(&self) -> usize {
+        self.host_of.len()
+    }
+
+    /// True when no VMs are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.host_of.is_empty()
+    }
+
+    /// The host a VM runs on.
+    pub fn host_of(&self, vm: VmHandle) -> Option<HostId> {
+        self.host_of.get(&vm).copied()
+    }
+
+    /// The pool slices used by a VM.
+    pub fn slices_of(&self, vm: VmHandle) -> &[PoolSlice] {
+        self.slices_of.get(&vm).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// All tracked VMs.
+    pub fn vms(&self) -> impl Iterator<Item = VmHandle> + '_ {
+        self.host_of.keys().copied()
+    }
+
+    /// Computes the blast radius of a failure.
+    ///
+    /// * EMC failure: VMs with at least one slice on that EMC are affected.
+    /// * Host failure: VMs on that host are affected.
+    /// * Pool Manager failure: no VM is affected, but new assignments stop.
+    pub fn blast_radius(&self, failure: FailureKind) -> BlastRadius {
+        let mut affected = Vec::new();
+        let mut unaffected = Vec::new();
+        for vm in self.vms() {
+            let hit = match failure {
+                FailureKind::Emc(emc) => self.slices_of(vm).iter().any(|s| s.emc == emc),
+                FailureKind::Host(host) => self.host_of(vm) == Some(host),
+                FailureKind::PoolManager => false,
+            };
+            if hit {
+                affected.push(vm);
+            } else {
+                unaffected.push(vm);
+            }
+        }
+        BlastRadius {
+            failure,
+            affected_vms: affected,
+            unaffected_vms: unaffected,
+            pool_assignment_available: !matches!(failure, FailureKind::PoolManager),
+        }
+    }
+
+    /// Applies a host failure to the pool: reclaims the dead host's slices
+    /// and removes its VMs from the map. Returns the removed VMs.
+    pub fn fail_host(&mut self, pool: &mut PoolState, host: HostId) -> Vec<VmHandle> {
+        pool.release_host(host);
+        let dead: Vec<VmHandle> = self
+            .host_of
+            .iter()
+            .filter(|(_, h)| **h == host)
+            .map(|(vm, _)| *vm)
+            .collect();
+        for vm in &dead {
+            self.remove(*vm);
+        }
+        dead
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::slice::SliceId;
+    use crate::topology::PoolTopology;
+    use crate::units::Bytes;
+
+    fn slice(emc: u16, idx: u64) -> PoolSlice {
+        PoolSlice { emc: EmcId(emc), slice: SliceId(idx) }
+    }
+
+    fn sample_map() -> VmPlacementMap {
+        let mut map = VmPlacementMap::new();
+        // VM 0: host 0, memory on EMC 0.
+        map.place(VmHandle(0), HostId(0), vec![slice(0, 0), slice(0, 1)]);
+        // VM 1: host 0, no pool memory.
+        map.place(VmHandle(1), HostId(0), vec![]);
+        // VM 2: host 1, memory on EMC 1.
+        map.place(VmHandle(2), HostId(1), vec![slice(1, 0)]);
+        map
+    }
+
+    #[test]
+    fn emc_failure_hits_only_vms_on_that_emc() {
+        let map = sample_map();
+        let radius = map.blast_radius(FailureKind::Emc(EmcId(0)));
+        assert_eq!(radius.affected_vms, vec![VmHandle(0)]);
+        assert_eq!(radius.unaffected_vms.len(), 2);
+        assert!(radius.pool_assignment_available);
+        assert!((radius.affected_fraction() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn host_failure_hits_all_vms_on_that_host() {
+        let map = sample_map();
+        let radius = map.blast_radius(FailureKind::Host(HostId(0)));
+        assert_eq!(radius.affected_vms, vec![VmHandle(0), VmHandle(1)]);
+        assert_eq!(radius.unaffected_vms, vec![VmHandle(2)]);
+    }
+
+    #[test]
+    fn pool_manager_failure_affects_no_vm_but_blocks_assignment() {
+        let map = sample_map();
+        let radius = map.blast_radius(FailureKind::PoolManager);
+        assert!(radius.affected_vms.is_empty());
+        assert_eq!(radius.unaffected_vms.len(), 3);
+        assert!(!radius.pool_assignment_available);
+        assert_eq!(radius.affected_fraction(), 0.0);
+    }
+
+    #[test]
+    fn fail_host_reclaims_pool_capacity_and_removes_vms() {
+        let topo = PoolTopology::pond_with_capacity(8, Bytes::from_gib(8)).unwrap();
+        let mut pool = PoolState::from_topology(&topo);
+        let slices = pool.add_capacity(HostId(0), Bytes::from_gib(2)).unwrap();
+        let mut map = VmPlacementMap::new();
+        map.place(VmHandle(0), HostId(0), slices);
+        map.place(VmHandle(1), HostId(1), vec![]);
+
+        let dead = map.fail_host(&mut pool, HostId(0));
+        assert_eq!(dead, vec![VmHandle(0)]);
+        assert_eq!(map.len(), 1);
+        assert_eq!(pool.capacity_of(HostId(0)), Bytes::ZERO);
+        assert_eq!(pool.free_capacity(), pool.total_capacity());
+    }
+
+    #[test]
+    fn empty_map_has_zero_blast_radius() {
+        let map = VmPlacementMap::new();
+        assert!(map.is_empty());
+        let radius = map.blast_radius(FailureKind::Emc(EmcId(0)));
+        assert_eq!(radius.affected_fraction(), 0.0);
+    }
+
+    #[test]
+    fn remove_forgets_a_vm() {
+        let mut map = sample_map();
+        map.remove(VmHandle(0));
+        assert_eq!(map.len(), 2);
+        assert!(map.host_of(VmHandle(0)).is_none());
+        assert!(map.slices_of(VmHandle(0)).is_empty());
+    }
+}

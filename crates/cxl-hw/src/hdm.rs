@@ -1,0 +1,201 @@
+//! Host-managed Device Memory (HDM) decoder model.
+//!
+//! Each host programs an HDM decoder with the address range of every EMC it
+//! can reach. Cache misses to addresses inside those ranges are routed onto
+//! the CXL port instead of the local memory controller (Figure 1). The pool
+//! range is initially mapped but "not enabled"; slices are onlined as the
+//! Pool Manager assigns them (§4.2).
+
+use crate::slice::SliceId;
+use crate::units::{Bytes, EmcId};
+use serde::{Deserialize, Serialize};
+
+/// A single HDM decoder entry mapping an EMC's capacity into a host's
+/// physical address space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HdmRange {
+    /// The EMC backing this range.
+    pub emc: EmcId,
+    /// Base host physical address of the range.
+    pub base: u64,
+    /// Size of the range.
+    pub size: Bytes,
+}
+
+impl HdmRange {
+    /// End address (exclusive).
+    pub fn end(&self) -> u64 {
+        self.base + self.size.as_u64()
+    }
+
+    /// Whether a host physical address falls inside this range.
+    pub fn contains(&self, addr: u64) -> bool {
+        addr >= self.base && addr < self.end()
+    }
+
+    /// Translates a host physical address to `(EMC, slice, offset-in-slice)`.
+    ///
+    /// Returns `None` if the address is outside the range.
+    pub fn translate(&self, addr: u64) -> Option<(EmcId, SliceId, u64)> {
+        if !self.contains(addr) {
+            return None;
+        }
+        let offset = addr - self.base;
+        let slice = SliceId(offset >> 30);
+        Some((self.emc, slice, offset & ((1 << 30) - 1)))
+    }
+}
+
+/// The full HDM decoder of one host: local DRAM below, pool ranges above.
+///
+/// # Example
+///
+/// ```
+/// use cxl_hw::hdm::HdmDecoder;
+/// use cxl_hw::units::{Bytes, EmcId};
+///
+/// let mut decoder = HdmDecoder::new(Bytes::from_gib(4));
+/// decoder.map_emc(EmcId(0), Bytes::from_gib(8));
+/// // Addresses below 4 GiB are local, above are pool.
+/// assert!(decoder.is_local(1 << 30));
+/// assert!(!decoder.is_local(5 << 30));
+/// let (emc, slice, _) = decoder.translate(5 << 30).unwrap();
+/// assert_eq!(emc, EmcId(0));
+/// assert_eq!(slice.0, 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HdmDecoder {
+    local_dram: Bytes,
+    ranges: Vec<HdmRange>,
+    next_base: u64,
+}
+
+impl HdmDecoder {
+    /// Creates a decoder for a host with the given amount of local DRAM.
+    /// Local DRAM occupies `[0, local_dram)` in the host address space.
+    pub fn new(local_dram: Bytes) -> Self {
+        HdmDecoder {
+            local_dram,
+            ranges: Vec::new(),
+            next_base: local_dram.as_u64(),
+        }
+    }
+
+    /// Amount of local (NUMA-local) DRAM.
+    pub fn local_dram(&self) -> Bytes {
+        self.local_dram
+    }
+
+    /// Maps an EMC's full capacity after the ranges already present and
+    /// returns the new range. The range starts offline; onlining individual
+    /// slices is the Pool Manager's job.
+    pub fn map_emc(&mut self, emc: EmcId, capacity: Bytes) -> HdmRange {
+        let range = HdmRange { emc, base: self.next_base, size: capacity };
+        self.next_base += capacity.as_u64();
+        self.ranges.push(range);
+        range
+    }
+
+    /// All mapped pool ranges.
+    pub fn ranges(&self) -> &[HdmRange] {
+        &self.ranges
+    }
+
+    /// Total pool capacity visible to the host (mapped, whether online or not).
+    pub fn pool_capacity(&self) -> Bytes {
+        self.ranges.iter().map(|r| r.size).sum()
+    }
+
+    /// Whether an address is served by local DRAM.
+    pub fn is_local(&self, addr: u64) -> bool {
+        addr < self.local_dram.as_u64()
+    }
+
+    /// Translates a pool address to `(EMC, slice, offset)`.
+    ///
+    /// Returns `None` for local addresses and addresses outside every range.
+    pub fn translate(&self, addr: u64) -> Option<(EmcId, SliceId, u64)> {
+        if self.is_local(addr) {
+            return None;
+        }
+        self.ranges.iter().find_map(|r| r.translate(addr))
+    }
+
+    /// Host physical address of the first byte of a slice on a given EMC.
+    pub fn slice_base(&self, emc: EmcId, slice: SliceId) -> Option<u64> {
+        self.ranges
+            .iter()
+            .find(|r| r.emc == emc)
+            .filter(|r| slice.byte_offset().as_u64() < r.size.as_u64())
+            .map(|r| r.base + slice.byte_offset().as_u64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn local_and_pool_addresses_split_cleanly() {
+        let mut d = HdmDecoder::new(Bytes::from_gib(2));
+        d.map_emc(EmcId(0), Bytes::from_gib(4));
+        assert!(d.is_local(0));
+        assert!(d.is_local((2 << 30) - 1));
+        assert!(!d.is_local(2 << 30));
+        assert_eq!(d.pool_capacity(), Bytes::from_gib(4));
+        assert_eq!(d.local_dram(), Bytes::from_gib(2));
+    }
+
+    #[test]
+    fn translate_maps_to_correct_slice() {
+        let mut d = HdmDecoder::new(Bytes::from_gib(2));
+        d.map_emc(EmcId(0), Bytes::from_gib(4));
+        // First pool byte -> slice 0 offset 0.
+        assert_eq!(d.translate(2 << 30), Some((EmcId(0), SliceId(0), 0)));
+        // 1 GiB + 5 bytes into the pool -> slice 1 offset 5.
+        assert_eq!(d.translate((3 << 30) + 5), Some((EmcId(0), SliceId(1), 5)));
+        // Local address translates to None.
+        assert_eq!(d.translate(0), None);
+        // Past the end of every range.
+        assert_eq!(d.translate(100 << 30), None);
+    }
+
+    #[test]
+    fn multiple_emcs_stack_contiguously() {
+        let mut d = HdmDecoder::new(Bytes::from_gib(1));
+        let r0 = d.map_emc(EmcId(0), Bytes::from_gib(2));
+        let r1 = d.map_emc(EmcId(1), Bytes::from_gib(2));
+        assert_eq!(r0.end(), r1.base);
+        assert_eq!(d.translate(r1.base), Some((EmcId(1), SliceId(0), 0)));
+        assert_eq!(d.ranges().len(), 2);
+    }
+
+    #[test]
+    fn slice_base_round_trips_translate() {
+        let mut d = HdmDecoder::new(Bytes::from_gib(1));
+        d.map_emc(EmcId(0), Bytes::from_gib(4));
+        d.map_emc(EmcId(1), Bytes::from_gib(4));
+        let base = d.slice_base(EmcId(1), SliceId(2)).unwrap();
+        assert_eq!(d.translate(base), Some((EmcId(1), SliceId(2), 0)));
+        // Slice outside the EMC's capacity.
+        assert_eq!(d.slice_base(EmcId(1), SliceId(10)), None);
+        // Unknown EMC.
+        assert_eq!(d.slice_base(EmcId(9), SliceId(0)), None);
+    }
+
+    proptest! {
+        /// Invariant: every address inside a mapped range translates to a
+        /// slice whose base address round-trips back to a containing range.
+        #[test]
+        fn translate_is_consistent(local in 1u64..8, cap in 1u64..8, offset in 0u64..(8u64 << 30)) {
+            let mut d = HdmDecoder::new(Bytes::from_gib(local));
+            d.map_emc(EmcId(0), Bytes::from_gib(cap));
+            let addr = (local << 30) + (offset % (cap << 30));
+            let (emc, slice, off) = d.translate(addr).expect("in-range address");
+            prop_assert_eq!(emc, EmcId(0));
+            let base = d.slice_base(emc, slice).unwrap();
+            prop_assert_eq!(base + off, addr);
+        }
+    }
+}

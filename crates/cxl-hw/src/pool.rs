@@ -1,0 +1,493 @@
+//! Pool-level slice ownership: the state the Pool Manager drives (§4.2, Figure 9).
+//!
+//! [`PoolState`] aggregates the EMCs of one pool and exposes the two control
+//! operations the paper defines: `add_capacity(host, slice)` and
+//! `release_capacity(host, slice)`, plus the timing model for onlining
+//! (microseconds per GB) and offlining (tens of milliseconds per GB) that
+//! motivates Pond's asynchronous release strategy.
+
+use crate::emc::{Emc, EmcConfig};
+use crate::error::CxlError;
+use crate::slice::SliceId;
+use crate::topology::PoolTopology;
+use crate::units::{Bytes, EmcId, HostId};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+/// A (EMC, slice) pair — the global identity of a slice within a pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct PoolSlice {
+    /// The EMC that owns the DRAM.
+    pub emc: EmcId,
+    /// The slice within that EMC.
+    pub slice: SliceId,
+}
+
+/// Control-plane events emitted by the pool, mirroring the interrupt flows in
+/// §4.2 ("Add_capacity(host, slice)" / "Release_capacity(host, slice)").
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum PoolEvent {
+    /// A slice was assigned to a host; the host driver should online it.
+    AddCapacity {
+        /// The receiving host.
+        host: HostId,
+        /// The slice that was assigned.
+        slice: PoolSlice,
+    },
+    /// A slice release was requested; the host driver should offline it.
+    ReleaseCapacity {
+        /// The releasing host.
+        host: HostId,
+        /// The slice being released.
+        slice: PoolSlice,
+    },
+    /// A release completed and the slice returned to the free pool.
+    ReleaseCompleted {
+        /// The host that released the slice.
+        host: HostId,
+        /// The slice that was freed.
+        slice: PoolSlice,
+    },
+}
+
+/// Timing parameters for memory online/offline transitions (§4.2).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TransitionTiming {
+    /// Time to online one GB on the host (near instantaneous — microseconds).
+    pub online_per_gib: Duration,
+    /// Lower bound on offlining one GB (10 ms/GB).
+    pub offline_per_gib_min: Duration,
+    /// Upper bound on offlining one GB (100 ms/GB).
+    pub offline_per_gib_max: Duration,
+}
+
+impl Default for TransitionTiming {
+    fn default() -> Self {
+        TransitionTiming {
+            online_per_gib: Duration::from_micros(10),
+            offline_per_gib_min: Duration::from_millis(10),
+            offline_per_gib_max: Duration::from_millis(100),
+        }
+    }
+}
+
+impl TransitionTiming {
+    /// Time to online `capacity` on a host.
+    pub fn online_time(&self, capacity: Bytes) -> Duration {
+        self.online_per_gib * capacity.slices_ceil() as u32
+    }
+
+    /// Worst-case time to offline `capacity` from a host.
+    pub fn offline_time_max(&self, capacity: Bytes) -> Duration {
+        self.offline_per_gib_max * capacity.slices_ceil() as u32
+    }
+
+    /// Best-case time to offline `capacity` from a host.
+    pub fn offline_time_min(&self, capacity: Bytes) -> Duration {
+        self.offline_per_gib_min * capacity.slices_ceil() as u32
+    }
+}
+
+/// The aggregated slice-ownership state of one Pond pool.
+///
+/// # Example
+///
+/// ```
+/// use cxl_hw::pool::PoolState;
+/// use cxl_hw::topology::PoolTopology;
+/// use cxl_hw::units::{Bytes, HostId};
+///
+/// let topo = PoolTopology::pond_with_capacity(8, Bytes::from_gib(16))?;
+/// let mut pool = PoolState::from_topology(&topo);
+/// let slices = pool.add_capacity(HostId(0), Bytes::from_gib(2))?;
+/// assert_eq!(slices.len(), 2);
+/// assert_eq!(pool.capacity_of(HostId(0)), Bytes::from_gib(2));
+/// # Ok::<(), cxl_hw::CxlError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PoolState {
+    emcs: BTreeMap<EmcId, Emc>,
+    timing: TransitionTiming,
+    events: Vec<PoolEvent>,
+}
+
+impl PoolState {
+    /// Builds pool state from explicit EMC configurations.
+    pub fn new<I>(configs: I) -> Self
+    where
+        I: IntoIterator<Item = EmcConfig>,
+    {
+        let emcs = configs
+            .into_iter()
+            .enumerate()
+            .map(|(i, cfg)| (EmcId(i as u16), Emc::new(EmcId(i as u16), cfg)))
+            .collect();
+        PoolState { emcs, timing: TransitionTiming::default(), events: Vec::new() }
+    }
+
+    /// Builds pool state matching a [`PoolTopology`].
+    pub fn from_topology(topology: &PoolTopology) -> Self {
+        Self::new(topology.emc_configs().iter().cloned())
+    }
+
+    /// Overrides the online/offline timing parameters.
+    pub fn with_timing(mut self, timing: TransitionTiming) -> Self {
+        self.timing = timing;
+        self
+    }
+
+    /// The timing parameters in use.
+    pub fn timing(&self) -> &TransitionTiming {
+        &self.timing
+    }
+
+    /// Number of EMCs in the pool.
+    pub fn emc_count(&self) -> usize {
+        self.emcs.len()
+    }
+
+    /// Access to a specific EMC.
+    pub fn emc(&self, id: EmcId) -> Option<&Emc> {
+        self.emcs.get(&id)
+    }
+
+    /// Mutable access to a specific EMC (used by the failure model).
+    pub fn emc_mut(&mut self, id: EmcId) -> Option<&mut Emc> {
+        self.emcs.get_mut(&id)
+    }
+
+    /// Iterates over all EMCs.
+    pub fn emcs(&self) -> impl Iterator<Item = &Emc> {
+        self.emcs.values()
+    }
+
+    /// Total pool capacity.
+    pub fn total_capacity(&self) -> Bytes {
+        self.emcs.values().map(|e| e.capacity()).sum()
+    }
+
+    /// Capacity currently assigned to hosts (includes slices mid-release).
+    pub fn assigned_capacity(&self) -> Bytes {
+        self.emcs.values().map(|e| e.assigned_capacity()).sum()
+    }
+
+    /// Capacity free for assignment across all live EMCs.
+    pub fn free_capacity(&self) -> Bytes {
+        self.emcs
+            .values()
+            .filter(|e| !e.is_failed())
+            .map(|e| e.free_capacity())
+            .sum()
+    }
+
+    /// Capacity assigned to one host across all EMCs.
+    pub fn capacity_of(&self, host: HostId) -> Bytes {
+        self.emcs.values().map(|e| e.capacity_of(host)).sum()
+    }
+
+    /// Drains the event log accumulated since the last call.
+    pub fn drain_events(&mut self) -> Vec<PoolEvent> {
+        std::mem::take(&mut self.events)
+    }
+
+    /// Assigns `amount` (rounded up to whole slices) to `host`.
+    ///
+    /// To minimize the blast radius of an EMC failure, the allocation is
+    /// served from as few EMCs as possible: the EMC with the most free
+    /// capacity is tried first.
+    ///
+    /// Returns the assigned slices and records one
+    /// [`PoolEvent::AddCapacity`] per slice.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CxlError::InsufficientPoolCapacity`] when the pool cannot
+    /// satisfy the full request; in that case no slice is assigned.
+    pub fn add_capacity(&mut self, host: HostId, amount: Bytes) -> Result<Vec<PoolSlice>, CxlError> {
+        let needed = amount.slices_ceil();
+        if needed == 0 {
+            return Ok(Vec::new());
+        }
+        if self.free_capacity() < Bytes::from_gib(needed) {
+            return Err(CxlError::InsufficientPoolCapacity {
+                requested: Bytes::from_gib(needed),
+                available: self.free_capacity(),
+            });
+        }
+
+        // Sort live EMCs by free capacity, descending, so a single EMC serves
+        // the request whenever possible.
+        let mut order: Vec<EmcId> = self
+            .emcs
+            .values()
+            .filter(|e| !e.is_failed())
+            .map(|e| e.id())
+            .collect();
+        order.sort_by_key(|id| std::cmp::Reverse(self.emcs[id].free_capacity().as_gib()));
+
+        let mut remaining = needed;
+        let mut assigned = Vec::with_capacity(needed as usize);
+        for emc_id in order {
+            if remaining == 0 {
+                break;
+            }
+            let emc = self.emcs.get_mut(&emc_id).expect("id from iteration");
+            let take = remaining.min(emc.free_capacity().as_gib());
+            if take == 0 {
+                continue;
+            }
+            let slices = emc.assign_slices(host, take)?;
+            for slice in slices {
+                let ps = PoolSlice { emc: emc_id, slice };
+                self.events.push(PoolEvent::AddCapacity { host, slice: ps });
+                assigned.push(ps);
+            }
+            remaining -= take;
+        }
+        debug_assert_eq!(remaining, 0, "free capacity was checked up front");
+        Ok(assigned)
+    }
+
+    /// Starts releasing specific slices from a host (the asynchronous path
+    /// taken when a VM departs). The slices stay attributed to the host until
+    /// [`PoolState::complete_release`] is called for them.
+    ///
+    /// Returns the worst-case offlining duration for the released amount.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first ownership error encountered; slices processed before
+    /// the error remain in the releasing state.
+    pub fn begin_release(
+        &mut self,
+        host: HostId,
+        slices: &[PoolSlice],
+    ) -> Result<Duration, CxlError> {
+        for ps in slices {
+            let emc = self
+                .emcs
+                .get_mut(&ps.emc)
+                .ok_or(CxlError::UnknownEmc { emc: ps.emc })?;
+            emc.begin_release(host, ps.slice)?;
+            self.events.push(PoolEvent::ReleaseCapacity { host, slice: *ps });
+        }
+        Ok(self.timing.offline_time_max(Bytes::from_gib(slices.len() as u64)))
+    }
+
+    /// Completes the release of slices, returning them to the free pool.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first ownership error encountered.
+    pub fn complete_release(&mut self, host: HostId, slices: &[PoolSlice]) -> Result<(), CxlError> {
+        for ps in slices {
+            let emc = self
+                .emcs
+                .get_mut(&ps.emc)
+                .ok_or(CxlError::UnknownEmc { emc: ps.emc })?;
+            emc.complete_release(host, ps.slice)?;
+            self.events.push(PoolEvent::ReleaseCompleted { host, slice: *ps });
+        }
+        Ok(())
+    }
+
+    /// Releases every slice a host owns in one step (host failure handling).
+    /// Returns the number of slices reclaimed.
+    pub fn release_host(&mut self, host: HostId) -> u64 {
+        let mut reclaimed = 0;
+        let emc_ids: Vec<EmcId> = self.emcs.keys().copied().collect();
+        for emc_id in emc_ids {
+            let slices = self.emcs.get_mut(&emc_id).expect("known id").release_all(host);
+            reclaimed += slices.len() as u64;
+            for slice in slices {
+                self.events.push(PoolEvent::ReleaseCompleted {
+                    host,
+                    slice: PoolSlice { emc: emc_id, slice },
+                });
+            }
+        }
+        reclaimed
+    }
+
+    /// Slices currently owned by a host.
+    pub fn slices_of(&self, host: HostId) -> Vec<PoolSlice> {
+        self.emcs
+            .values()
+            .flat_map(|e| {
+                e.permission_table()
+                    .owned_by(host)
+                    .into_iter()
+                    .map(move |slice| PoolSlice { emc: e.id(), slice })
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn pool_8x16() -> PoolState {
+        // 8-socket pool with 16 GiB total capacity.
+        let topo = PoolTopology::pond_with_capacity(8, Bytes::from_gib(16)).unwrap();
+        PoolState::from_topology(&topo)
+    }
+
+    #[test]
+    fn add_capacity_rounds_up_to_slices() {
+        let mut pool = pool_8x16();
+        let slices = pool.add_capacity(HostId(0), Bytes::from_mib(1500)).unwrap();
+        assert_eq!(slices.len(), 2);
+        assert_eq!(pool.capacity_of(HostId(0)), Bytes::from_gib(2));
+    }
+
+    #[test]
+    fn add_capacity_zero_is_a_noop() {
+        let mut pool = pool_8x16();
+        assert!(pool.add_capacity(HostId(0), Bytes::ZERO).unwrap().is_empty());
+        assert!(pool.drain_events().is_empty());
+    }
+
+    #[test]
+    fn add_capacity_fails_atomically_when_pool_is_short() {
+        let mut pool = pool_8x16();
+        pool.add_capacity(HostId(0), Bytes::from_gib(15)).unwrap();
+        let before = pool.assigned_capacity();
+        let err = pool.add_capacity(HostId(1), Bytes::from_gib(2)).unwrap_err();
+        assert!(matches!(err, CxlError::InsufficientPoolCapacity { .. }));
+        assert_eq!(pool.assigned_capacity(), before, "failed request must not assign anything");
+    }
+
+    #[test]
+    fn release_cycle_returns_capacity() {
+        let mut pool = pool_8x16();
+        let slices = pool.add_capacity(HostId(3), Bytes::from_gib(4)).unwrap();
+        let offline = pool.begin_release(HostId(3), &slices).unwrap();
+        assert!(offline >= Duration::from_millis(40), "4 GB at >=10ms/GB");
+        // Capacity still attributed while offlining.
+        assert_eq!(pool.capacity_of(HostId(3)), Bytes::from_gib(4));
+        pool.complete_release(HostId(3), &slices).unwrap();
+        assert_eq!(pool.capacity_of(HostId(3)), Bytes::ZERO);
+        assert_eq!(pool.free_capacity(), pool.total_capacity());
+    }
+
+    #[test]
+    fn events_record_the_figure9_flow() {
+        let mut pool = pool_8x16();
+        let slices = pool.add_capacity(HostId(1), Bytes::from_gib(1)).unwrap();
+        pool.begin_release(HostId(1), &slices).unwrap();
+        pool.complete_release(HostId(1), &slices).unwrap();
+        let events = pool.drain_events();
+        assert_eq!(events.len(), 3);
+        assert!(matches!(events[0], PoolEvent::AddCapacity { host: HostId(1), .. }));
+        assert!(matches!(events[1], PoolEvent::ReleaseCapacity { host: HostId(1), .. }));
+        assert!(matches!(events[2], PoolEvent::ReleaseCompleted { host: HostId(1), .. }));
+        assert!(pool.drain_events().is_empty(), "drain consumes the log");
+    }
+
+    #[test]
+    fn release_requires_ownership() {
+        let mut pool = pool_8x16();
+        let slices = pool.add_capacity(HostId(0), Bytes::from_gib(1)).unwrap();
+        assert!(pool.begin_release(HostId(1), &slices).is_err());
+    }
+
+    #[test]
+    fn release_host_reclaims_everything() {
+        let mut pool = pool_8x16();
+        pool.add_capacity(HostId(0), Bytes::from_gib(3)).unwrap();
+        pool.add_capacity(HostId(1), Bytes::from_gib(2)).unwrap();
+        assert_eq!(pool.release_host(HostId(0)), 3);
+        assert_eq!(pool.capacity_of(HostId(0)), Bytes::ZERO);
+        assert_eq!(pool.capacity_of(HostId(1)), Bytes::from_gib(2));
+    }
+
+    #[test]
+    fn multi_emc_allocation_prefers_single_emc() {
+        // 32-socket topology has 4 EMCs; a small allocation should land on one.
+        let topo = PoolTopology::pond_with_capacity(32, Bytes::from_gib(32)).unwrap();
+        let mut pool = PoolState::from_topology(&topo);
+        assert_eq!(pool.emc_count(), 4);
+        let slices = pool.add_capacity(HostId(0), Bytes::from_gib(4)).unwrap();
+        let emcs: std::collections::BTreeSet<EmcId> = slices.iter().map(|s| s.emc).collect();
+        assert_eq!(emcs.len(), 1, "small allocation should stay on one EMC");
+    }
+
+    #[test]
+    fn multi_emc_allocation_spills_when_needed() {
+        let topo = PoolTopology::pond_with_capacity(32, Bytes::from_gib(8)).unwrap();
+        let mut pool = PoolState::from_topology(&topo);
+        // Each EMC holds 2 GiB; a 5 GiB request must span at least 3 EMCs.
+        let slices = pool.add_capacity(HostId(0), Bytes::from_gib(5)).unwrap();
+        let emcs: std::collections::BTreeSet<EmcId> = slices.iter().map(|s| s.emc).collect();
+        assert!(emcs.len() >= 3);
+        assert_eq!(pool.capacity_of(HostId(0)), Bytes::from_gib(5));
+    }
+
+    #[test]
+    fn failed_emc_capacity_is_not_allocatable() {
+        let topo = PoolTopology::pond_with_capacity(32, Bytes::from_gib(8)).unwrap();
+        let mut pool = PoolState::from_topology(&topo);
+        let total_free = pool.free_capacity();
+        pool.emc_mut(EmcId(0)).unwrap().mark_failed();
+        assert!(pool.free_capacity() < total_free);
+        // Requests larger than the remaining live capacity fail.
+        assert!(pool.add_capacity(HostId(0), Bytes::from_gib(7)).is_err());
+        // Requests that fit on live EMCs still succeed.
+        assert!(pool.add_capacity(HostId(0), Bytes::from_gib(6)).is_ok());
+    }
+
+    #[test]
+    fn timing_model_scales_with_capacity() {
+        let t = TransitionTiming::default();
+        assert!(t.online_time(Bytes::from_gib(64)) < Duration::from_millis(10));
+        assert_eq!(t.offline_time_max(Bytes::from_gib(10)), Duration::from_secs(1));
+        assert_eq!(t.offline_time_min(Bytes::from_gib(10)), Duration::from_millis(100));
+    }
+
+    proptest! {
+        /// Invariant: total = assigned + free, regardless of the operation mix.
+        #[test]
+        fn capacity_conservation(ops in proptest::collection::vec((0u16..4, 1u64..5, proptest::bool::ANY), 0..40)) {
+            let topo = PoolTopology::pond_with_capacity(16, Bytes::from_gib(32)).unwrap();
+            let mut pool = PoolState::from_topology(&topo);
+            for (host, gib, release) in ops {
+                let host = HostId(host);
+                if release {
+                    let owned = pool.slices_of(host);
+                    if !owned.is_empty() {
+                        let n = (gib as usize).min(owned.len());
+                        let to_release: Vec<_> = owned[..n].to_vec();
+                        pool.begin_release(host, &to_release).unwrap();
+                        pool.complete_release(host, &to_release).unwrap();
+                    }
+                } else {
+                    let _ = pool.add_capacity(host, Bytes::from_gib(gib));
+                }
+                prop_assert_eq!(
+                    pool.assigned_capacity() + pool.free_capacity(),
+                    pool.total_capacity()
+                );
+            }
+        }
+
+        /// Invariant: per-host capacity equals the number of slices listed for the host.
+        #[test]
+        fn slices_of_matches_capacity(allocs in proptest::collection::vec((0u16..4, 1u64..4), 0..16)) {
+            let topo = PoolTopology::pond_with_capacity(16, Bytes::from_gib(64)).unwrap();
+            let mut pool = PoolState::from_topology(&topo);
+            for (host, gib) in allocs {
+                let _ = pool.add_capacity(HostId(host), Bytes::from_gib(gib));
+            }
+            for h in 0..4u16 {
+                let host = HostId(h);
+                prop_assert_eq!(
+                    Bytes::from_gib(pool.slices_of(host).len() as u64),
+                    pool.capacity_of(host)
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,282 @@
+//! Memory slices: the 1 GB granularity at which pool capacity moves.
+//!
+//! The Pond EMC assigns memory to hosts in 1 GB-aligned slices. Each slice is
+//! owned by at most one host at a time; the EMC records the owner in a
+//! permission table and rejects accesses from any other host (§4.1).
+
+use crate::units::{Bytes, HostId};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Index of a 1 GB slice within a single EMC.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct SliceId(pub u64);
+
+impl SliceId {
+    /// Returns the raw slice index.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The byte offset of this slice within the EMC's address range.
+    pub const fn byte_offset(self) -> Bytes {
+        Bytes::new(self.0 * (1 << 30))
+    }
+}
+
+impl fmt::Display for SliceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Ownership state of a single slice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum SliceState {
+    /// The slice is not assigned to any host (offline from every host's view).
+    #[default]
+    Unassigned,
+    /// The slice is assigned to (and online at) the given host.
+    Assigned(HostId),
+    /// The slice is being released: the owning host is offlining it but the
+    /// EMC has not yet cleared the permission entry. Offlining takes
+    /// 10–100 ms/GB (§4.2), so this transient state is visible to the pool
+    /// manager.
+    Releasing(HostId),
+}
+
+impl SliceState {
+    /// The host that currently holds the slice, if any.
+    ///
+    /// A slice in the [`SliceState::Releasing`] state still belongs to the
+    /// releasing host until the EMC clears the entry.
+    pub fn owner(self) -> Option<HostId> {
+        match self {
+            SliceState::Unassigned => None,
+            SliceState::Assigned(h) | SliceState::Releasing(h) => Some(h),
+        }
+    }
+
+    /// True when the slice can be handed to a new host right now.
+    pub fn is_free(self) -> bool {
+        matches!(self, SliceState::Unassigned)
+    }
+}
+
+/// The EMC permission table: one ownership entry per 1 GB slice.
+///
+/// The paper notes that tracking 1024 slices (1 TB) and 64 hosts requires
+/// 768 B of EMC state (6 bits per slice plus a valid bit, rounded to bytes);
+/// [`PermissionTable::state_bytes`] reproduces that arithmetic.
+///
+/// ```
+/// use cxl_hw::slice::PermissionTable;
+/// let table = PermissionTable::new(1024, 64);
+/// assert_eq!(table.state_bytes(), 768);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PermissionTable {
+    entries: Vec<SliceState>,
+    max_hosts: u16,
+}
+
+impl PermissionTable {
+    /// Creates a table for `slices` slices shared by up to `max_hosts` hosts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_hosts` is zero.
+    pub fn new(slices: u64, max_hosts: u16) -> Self {
+        assert!(max_hosts > 0, "a pool must allow at least one host");
+        PermissionTable {
+            entries: vec![SliceState::Unassigned; slices as usize],
+            max_hosts,
+        }
+    }
+
+    /// Number of slices tracked by the table.
+    pub fn len(&self) -> u64 {
+        self.entries.len() as u64
+    }
+
+    /// True when the table tracks no slices.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Maximum number of hosts the table can encode.
+    pub fn max_hosts(&self) -> u16 {
+        self.max_hosts
+    }
+
+    /// Returns the state of a slice, or `None` if the index is out of range.
+    pub fn get(&self, slice: SliceId) -> Option<SliceState> {
+        self.entries.get(slice.index()).copied()
+    }
+
+    /// Sets the state of a slice. Returns the previous state.
+    ///
+    /// Callers are expected to have validated the transition; the table
+    /// itself only stores state. Returns `None` if the index is out of range.
+    pub(crate) fn set(&mut self, slice: SliceId, state: SliceState) -> Option<SliceState> {
+        let entry = self.entries.get_mut(slice.index())?;
+        Some(std::mem::replace(entry, state))
+    }
+
+    /// Iterates over `(slice, state)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (SliceId, SliceState)> + '_ {
+        self.entries
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (SliceId(i as u64), *s))
+    }
+
+    /// Number of slices currently assigned (including ones mid-release).
+    pub fn assigned_count(&self) -> u64 {
+        self.entries.iter().filter(|s| !s.is_free()).count() as u64
+    }
+
+    /// Number of slices free for assignment.
+    pub fn free_count(&self) -> u64 {
+        self.len() - self.assigned_count()
+    }
+
+    /// Slices owned by a given host (assigned or releasing).
+    pub fn owned_by(&self, host: HostId) -> Vec<SliceId> {
+        self.iter()
+            .filter(|(_, s)| s.owner() == Some(host))
+            .map(|(id, _)| id)
+            .collect()
+    }
+
+    /// First free slice, if any. The EMC hands out the lowest-index free
+    /// slice which keeps assignments compact and offlining ranges contiguous.
+    pub fn first_free(&self) -> Option<SliceId> {
+        self.iter().find(|(_, s)| s.is_free()).map(|(id, _)| id)
+    }
+
+    /// Checks whether `requester` is allowed to access `slice`.
+    ///
+    /// Mirrors the EMC's per-access ownership check: the request succeeds only
+    /// when the requester matches the slice owner.
+    pub fn access_allowed(&self, slice: SliceId, requester: HostId) -> bool {
+        matches!(self.get(slice), Some(state) if state.owner() == Some(requester))
+    }
+
+    /// The amount of SRAM state the EMC needs to hold this table, in bytes.
+    ///
+    /// Each slice needs `ceil(log2(max_hosts))` bits for the owner id; the
+    /// total is rounded up to whole bytes. This reproduces the paper's
+    /// "768 B for 1024 slices and 64 hosts" sizing.
+    pub fn state_bytes(&self) -> u64 {
+        let bits_per_slice = (self.max_hosts as f64).log2().ceil() as u64;
+        (self.len() * bits_per_slice).div_ceil(8)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn paper_state_size_example() {
+        // 1024 slices (1TB) and 64 hosts (6 bits) require 768B of EMC state.
+        let table = PermissionTable::new(1024, 64);
+        assert_eq!(table.state_bytes(), 768);
+    }
+
+    #[test]
+    fn state_size_scales_with_host_bits() {
+        assert_eq!(PermissionTable::new(1024, 16).state_bytes(), 512); // 4 bits
+        assert_eq!(PermissionTable::new(1024, 2).state_bytes(), 128); // 1 bit
+    }
+
+    #[test]
+    fn new_table_is_fully_free() {
+        let table = PermissionTable::new(16, 8);
+        assert_eq!(table.len(), 16);
+        assert_eq!(table.free_count(), 16);
+        assert_eq!(table.assigned_count(), 0);
+        assert_eq!(table.first_free(), Some(SliceId(0)));
+        assert!(!table.is_empty());
+    }
+
+    #[test]
+    fn set_and_get_round_trip() {
+        let mut table = PermissionTable::new(4, 8);
+        let prev = table.set(SliceId(2), SliceState::Assigned(HostId(3)));
+        assert_eq!(prev, Some(SliceState::Unassigned));
+        assert_eq!(table.get(SliceId(2)), Some(SliceState::Assigned(HostId(3))));
+        assert_eq!(table.assigned_count(), 1);
+        assert_eq!(table.owned_by(HostId(3)), vec![SliceId(2)]);
+    }
+
+    #[test]
+    fn out_of_range_returns_none() {
+        let mut table = PermissionTable::new(4, 8);
+        assert_eq!(table.get(SliceId(4)), None);
+        assert_eq!(table.set(SliceId(9), SliceState::Unassigned), None);
+    }
+
+    #[test]
+    fn access_check_matches_ownership() {
+        let mut table = PermissionTable::new(4, 8);
+        table.set(SliceId(1), SliceState::Assigned(HostId(0)));
+        assert!(table.access_allowed(SliceId(1), HostId(0)));
+        assert!(!table.access_allowed(SliceId(1), HostId(1)));
+        assert!(!table.access_allowed(SliceId(0), HostId(0)));
+        assert!(!table.access_allowed(SliceId(99), HostId(0)));
+    }
+
+    #[test]
+    fn releasing_slice_still_owned() {
+        let mut table = PermissionTable::new(4, 8);
+        table.set(SliceId(0), SliceState::Releasing(HostId(5)));
+        assert_eq!(table.get(SliceId(0)).unwrap().owner(), Some(HostId(5)));
+        assert!(!table.get(SliceId(0)).unwrap().is_free());
+        assert_eq!(table.first_free(), Some(SliceId(1)));
+    }
+
+    #[test]
+    fn slice_byte_offset() {
+        assert_eq!(SliceId(0).byte_offset(), Bytes::ZERO);
+        assert_eq!(SliceId(3).byte_offset(), Bytes::from_gib(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one host")]
+    fn zero_hosts_rejected() {
+        let _ = PermissionTable::new(4, 0);
+    }
+
+    proptest! {
+        /// Invariant: assigned + free always equals the table size, whatever
+        /// sequence of state updates is applied.
+        #[test]
+        fn counts_partition_table(ops in proptest::collection::vec((0u64..32, 0u16..8, 0u8..3), 0..64)) {
+            let mut table = PermissionTable::new(32, 8);
+            for (slice, host, kind) in ops {
+                let state = match kind {
+                    0 => SliceState::Unassigned,
+                    1 => SliceState::Assigned(HostId(host)),
+                    _ => SliceState::Releasing(HostId(host)),
+                };
+                table.set(SliceId(slice), state);
+                prop_assert_eq!(table.assigned_count() + table.free_count(), 32);
+            }
+        }
+
+        /// Invariant: a slice is owned by at most one host, so summing
+        /// per-host ownership never exceeds the assigned count.
+        #[test]
+        fn ownership_is_exclusive(assignments in proptest::collection::vec((0u64..16, 0u16..4), 0..40)) {
+            let mut table = PermissionTable::new(16, 4);
+            for (slice, host) in assignments {
+                table.set(SliceId(slice), SliceState::Assigned(HostId(host)));
+            }
+            let per_host: u64 = (0..4u16).map(|h| table.owned_by(HostId(h)).len() as u64).sum();
+            prop_assert_eq!(per_host, table.assigned_count());
+        }
+    }
+}

@@ -1,0 +1,302 @@
+//! Pool topology construction (Figures 6 and 7).
+//!
+//! A Pond pool is defined by the number of CPU sockets that can reach the
+//! same memory, the EMCs that provide the capacity, and the interconnect
+//! path between a socket and an EMC (direct CXL link, link with retimers, or
+//! one or more switch hops). The paper's key design choice is the
+//! multi-headed EMC, which keeps 8- and 16-socket pools switch-free.
+
+use crate::emc::EmcConfig;
+use crate::error::CxlError;
+use crate::units::Bytes;
+use serde::{Deserialize, Serialize};
+
+/// The interconnect path between a CPU socket and the EMC that owns a line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Interconnect {
+    /// Direct CXL attach. `retimers` is the number of retimers on the path
+    /// (each adds latency in both directions); paths longer than ~500 mm
+    /// need one (§4.1).
+    Direct {
+        /// Retimers on the path.
+        retimers: u8,
+    },
+    /// The path crosses one or more CXL switches. Each switch hop adds port,
+    /// arbitration, and NoC latency; `retimers_per_hop` retimers sit on each
+    /// electrical segment.
+    Switched {
+        /// Number of switch hops.
+        switches: u8,
+        /// Retimers per electrical segment (there are `switches + 1` segments).
+        retimers_per_hop: u8,
+    },
+}
+
+impl Interconnect {
+    /// Total number of retimers traversed one way.
+    pub fn retimer_count(&self) -> u8 {
+        match *self {
+            Interconnect::Direct { retimers } => retimers,
+            Interconnect::Switched { switches, retimers_per_hop } => {
+                (switches + 1) * retimers_per_hop
+            }
+        }
+    }
+
+    /// Number of switch hops traversed.
+    pub fn switch_count(&self) -> u8 {
+        match *self {
+            Interconnect::Direct { .. } => 0,
+            Interconnect::Switched { switches, .. } => switches,
+        }
+    }
+}
+
+/// Design style of the pool: Pond's multi-headed EMC vs. the switch-only
+/// strawman compared against in Figure 8.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PoolDesign {
+    /// Pond: multi-headed EMCs, switches only for 32+ sockets.
+    MultiHeadedEmc,
+    /// Strawman: every pooled access goes through at least one switch
+    /// (single-headed memory devices behind a switch fabric).
+    SwitchOnly,
+}
+
+/// A complete pool topology.
+///
+/// # Example
+///
+/// ```
+/// use cxl_hw::topology::{PoolTopology, PoolDesign};
+///
+/// let pond16 = PoolTopology::pond(16)?;
+/// assert_eq!(pond16.sockets(), 16);
+/// assert_eq!(pond16.interconnect().switch_count(), 0);
+///
+/// let switch64 = PoolTopology::switch_only(64)?;
+/// assert!(switch64.interconnect().switch_count() >= 2);
+/// # Ok::<(), cxl_hw::CxlError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PoolTopology {
+    sockets: u16,
+    design: PoolDesign,
+    interconnect: Interconnect,
+    emc_configs: Vec<EmcConfig>,
+}
+
+impl PoolTopology {
+    /// Pool sizes the Pond EMC design supports (§4.1).
+    pub const SUPPORTED_SOCKETS: [u16; 6] = [2, 4, 8, 16, 32, 64];
+
+    /// Builds a Pond pool (multi-headed EMC design) for the given socket count.
+    ///
+    /// * ≤ 8 sockets: one half-size EMC, direct attach, no retimers.
+    /// * ≤ 16 sockets: one full-size EMC, direct attach, one retimer
+    ///   (datacenter distances above ~500 mm).
+    /// * 32/64 sockets: switched design combining CXL switches with
+    ///   multi-headed EMCs; retimers on both segments.
+    ///
+    /// The default capacity provisions 1 TB per EMC, the sizing used in the
+    /// paper's state-table example; use [`PoolTopology::with_emc_capacity`]
+    /// to change it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CxlError::UnsupportedPoolSize`] for socket counts outside
+    /// [`PoolTopology::SUPPORTED_SOCKETS`].
+    pub fn pond(sockets: u16) -> Result<Self, CxlError> {
+        Self::pond_with_capacity(sockets, Bytes::from_gib(1024))
+    }
+
+    /// Builds a Pond pool with a specific total pool capacity.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CxlError::UnsupportedPoolSize`] for unsupported socket counts.
+    pub fn pond_with_capacity(sockets: u16, total_capacity: Bytes) -> Result<Self, CxlError> {
+        if !Self::SUPPORTED_SOCKETS.contains(&sockets) {
+            return Err(CxlError::UnsupportedPoolSize { sockets });
+        }
+        let (interconnect, emc_configs) = match sockets {
+            2..=8 => (
+                Interconnect::Direct { retimers: 0 },
+                vec![EmcConfig::pond_8_socket(total_capacity)],
+            ),
+            16 => (
+                Interconnect::Direct { retimers: 1 },
+                vec![EmcConfig::pond_16_socket(total_capacity)],
+            ),
+            _ => {
+                // 32/64 sockets: 8 switches, 4 multi-headed EMCs behind them
+                // (Figure 6, right). Capacity is spread across the EMCs.
+                let emcs = 4;
+                let per_emc = Bytes::from_gib((total_capacity.as_gib() / emcs).max(1));
+                (
+                    Interconnect::Switched { switches: 1, retimers_per_hop: 1 },
+                    (0..emcs).map(|_| EmcConfig::pond_switched(per_emc)).collect(),
+                )
+            }
+        };
+        Ok(PoolTopology { sockets, design: PoolDesign::MultiHeadedEmc, interconnect, emc_configs })
+    }
+
+    /// Builds the switch-only strawman for the given socket count (Figure 8).
+    ///
+    /// Every pooled access traverses at least one switch; pools above 16
+    /// sockets need a second switch level.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CxlError::UnsupportedPoolSize`] for socket counts of zero.
+    pub fn switch_only(sockets: u16) -> Result<Self, CxlError> {
+        if sockets == 0 {
+            return Err(CxlError::UnsupportedPoolSize { sockets });
+        }
+        let interconnect = if sockets <= 1 {
+            // A "pool" of one socket is just a directly attached device.
+            Interconnect::Direct { retimers: 0 }
+        } else if sockets <= 16 {
+            Interconnect::Switched { switches: 1, retimers_per_hop: 1 }
+        } else {
+            Interconnect::Switched { switches: 2, retimers_per_hop: 1 }
+        };
+        let per_emc = Bytes::from_gib(256);
+        let emc_count = (sockets as u64).div_ceil(8).max(1);
+        Ok(PoolTopology {
+            sockets,
+            design: PoolDesign::SwitchOnly,
+            interconnect,
+            emc_configs: (0..emc_count).map(|_| EmcConfig::pond_switched(per_emc)).collect(),
+        })
+    }
+
+    /// Replaces the per-EMC capacity, keeping the topology shape.
+    pub fn with_emc_capacity(mut self, capacity: Bytes) -> Self {
+        for cfg in &mut self.emc_configs {
+            cfg.capacity = capacity;
+        }
+        self
+    }
+
+    /// Number of CPU sockets sharing the pool.
+    pub fn sockets(&self) -> u16 {
+        self.sockets
+    }
+
+    /// The design style (multi-headed EMC vs. switch-only).
+    pub fn design(&self) -> PoolDesign {
+        self.design
+    }
+
+    /// The socket-to-EMC interconnect description.
+    pub fn interconnect(&self) -> &Interconnect {
+        &self.interconnect
+    }
+
+    /// EMC configurations in the pool.
+    pub fn emc_configs(&self) -> &[EmcConfig] {
+        &self.emc_configs
+    }
+
+    /// Total pool capacity across all EMCs.
+    pub fn total_capacity(&self) -> Bytes {
+        self.emc_configs.iter().map(|c| c.capacity).sum()
+    }
+
+    /// Total PCIe 5.0 lane budget across all EMCs (Figure 6 comparison with
+    /// the AMD Genoa IO die).
+    pub fn total_pcie_lanes(&self) -> u32 {
+        self.emc_configs.iter().map(|c| c.pcie_lanes() as u32).sum()
+    }
+
+    /// Total DDR5 channels across all EMCs.
+    pub fn total_ddr5_channels(&self) -> u32 {
+        self.emc_configs.iter().map(|c| c.ddr5_channels as u32).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pond_8_socket_is_switchless_and_retimer_free() {
+        let t = PoolTopology::pond(8).unwrap();
+        assert_eq!(t.sockets(), 8);
+        assert_eq!(t.interconnect().switch_count(), 0);
+        assert_eq!(t.interconnect().retimer_count(), 0);
+        assert_eq!(t.design(), PoolDesign::MultiHeadedEmc);
+        // Figure 6: 8-socket EMC uses 64 PCIe lanes and 6 DDR5 channels.
+        assert_eq!(t.total_pcie_lanes(), 64);
+        assert_eq!(t.total_ddr5_channels(), 6);
+    }
+
+    #[test]
+    fn pond_16_socket_needs_a_retimer_but_no_switch() {
+        let t = PoolTopology::pond(16).unwrap();
+        assert_eq!(t.interconnect().switch_count(), 0);
+        assert_eq!(t.interconnect().retimer_count(), 1);
+        // Figure 6: 16-socket EMC parallels the Genoa IOD: 128 lanes, 12 channels.
+        assert_eq!(t.total_pcie_lanes(), 128);
+        assert_eq!(t.total_ddr5_channels(), 12);
+    }
+
+    #[test]
+    fn pond_large_pools_use_switches_and_multiple_emcs() {
+        for sockets in [32, 64] {
+            let t = PoolTopology::pond(sockets).unwrap();
+            assert_eq!(t.interconnect().switch_count(), 1, "{sockets} sockets");
+            assert!(t.interconnect().retimer_count() >= 2);
+            assert_eq!(t.emc_configs().len(), 4);
+        }
+    }
+
+    #[test]
+    fn unsupported_sizes_are_rejected() {
+        for sockets in [0, 1, 3, 7, 12, 17, 128] {
+            assert!(
+                matches!(PoolTopology::pond(sockets), Err(CxlError::UnsupportedPoolSize { .. })),
+                "sockets={sockets} should be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn switch_only_always_crosses_a_switch_when_pooled() {
+        assert_eq!(PoolTopology::switch_only(1).unwrap().interconnect().switch_count(), 0);
+        assert_eq!(PoolTopology::switch_only(8).unwrap().interconnect().switch_count(), 1);
+        assert_eq!(PoolTopology::switch_only(16).unwrap().interconnect().switch_count(), 1);
+        assert_eq!(PoolTopology::switch_only(32).unwrap().interconnect().switch_count(), 2);
+        assert_eq!(PoolTopology::switch_only(64).unwrap().interconnect().switch_count(), 2);
+        assert!(PoolTopology::switch_only(0).is_err());
+    }
+
+    #[test]
+    fn capacity_override_applies_to_all_emcs() {
+        let t = PoolTopology::pond(32)
+            .unwrap()
+            .with_emc_capacity(Bytes::from_gib(512));
+        assert_eq!(t.total_capacity(), Bytes::from_gib(4 * 512));
+    }
+
+    #[test]
+    fn pond_capacity_is_split_across_switched_emcs() {
+        let t = PoolTopology::pond_with_capacity(64, Bytes::from_gib(2048)).unwrap();
+        assert_eq!(t.total_capacity(), Bytes::from_gib(2048));
+        for cfg in t.emc_configs() {
+            assert_eq!(cfg.capacity, Bytes::from_gib(512));
+        }
+    }
+
+    #[test]
+    fn interconnect_counts() {
+        let d = Interconnect::Direct { retimers: 1 };
+        assert_eq!(d.retimer_count(), 1);
+        assert_eq!(d.switch_count(), 0);
+        let s = Interconnect::Switched { switches: 2, retimers_per_hop: 1 };
+        assert_eq!(s.retimer_count(), 3);
+        assert_eq!(s.switch_count(), 2);
+    }
+}

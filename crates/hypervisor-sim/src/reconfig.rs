@@ -1,0 +1,168 @@
+//! The QoS mitigation path: one-time reconfiguration to all-local memory
+//! (§4.2 "Reconfiguration of memory allocation", §4.3 B).
+//!
+//! When the QoS monitor decides a VM is suffering because too much of its
+//! working set sits on pool memory, the hypervisor temporarily disables the
+//! virtualization accelerator, copies the VM's pool memory into local DRAM
+//! (about 50 ms per GB), re-enables the accelerator, and releases the pool
+//! capacity back to the Pool Manager.
+
+use crate::host::{HostMemory, HostMemoryError};
+use crate::vm::VirtualMachine;
+use cxl_hw::units::Bytes;
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// The result of one reconfiguration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReconfigurationReport {
+    /// Pool memory that was copied into local DRAM.
+    pub moved: Bytes,
+    /// Time the copy took (the VM runs degraded, not paused, during this).
+    pub copy_duration: Duration,
+    /// Whether the virtualization accelerator had to be toggled.
+    pub accelerator_toggled: bool,
+}
+
+/// Executes reconfigurations and tracks how many were performed.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReconfigurationEngine {
+    /// Copy cost per GB of pool memory (50 ms in the paper).
+    pub copy_cost_per_gib: Duration,
+    performed: u64,
+}
+
+impl Default for ReconfigurationEngine {
+    fn default() -> Self {
+        ReconfigurationEngine { copy_cost_per_gib: Duration::from_millis(50), performed: 0 }
+    }
+}
+
+impl ReconfigurationEngine {
+    /// Creates an engine with a custom per-GB copy cost.
+    pub fn new(copy_cost_per_gib: Duration) -> Self {
+        ReconfigurationEngine { copy_cost_per_gib, performed: 0 }
+    }
+
+    /// Number of reconfigurations performed so far.
+    pub fn performed(&self) -> u64 {
+        self.performed
+    }
+
+    /// Moves a VM entirely onto local DRAM.
+    ///
+    /// The host-side allocation is converted first; only if that succeeds is
+    /// the VM's own configuration updated, so a failure leaves both sides
+    /// unchanged.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`HostMemoryError`] when the host lacks local DRAM or does
+    /// not know the VM.
+    pub fn reconfigure(
+        &mut self,
+        host: &mut HostMemory,
+        vm: &mut VirtualMachine,
+    ) -> Result<ReconfigurationReport, HostMemoryError> {
+        let moved = host.convert_pool_to_local(vm.id())?;
+        if moved.is_zero() {
+            // Nothing to move: either the VM was all-local already or a
+            // previous mitigation ran. No accelerator toggle needed.
+            return Ok(ReconfigurationReport {
+                moved,
+                copy_duration: Duration::ZERO,
+                accelerator_toggled: false,
+            });
+        }
+        vm.mark_reconfigured();
+        self.performed += 1;
+        Ok(ReconfigurationReport {
+            moved,
+            copy_duration: self.copy_cost_per_gib * moved.slices_ceil() as u32,
+            accelerator_toggled: true,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vm::{VmConfig, VmId};
+    use workload_model::WorkloadSuite;
+
+    fn setup(pool_gib: u64, host_local_gib: u64) -> (HostMemory, VirtualMachine) {
+        let suite = WorkloadSuite::standard();
+        let workload = suite.get("voltdb/tpcc").unwrap().clone();
+        let memory = workload.footprint + Bytes::from_gib(pool_gib);
+        let vm = VirtualMachine::launch(
+            11,
+            VmConfig { cores: 8, memory, pool_memory: Bytes::from_gib(pool_gib) },
+            workload,
+        );
+        let mut host = HostMemory::new(Bytes::from_gib(host_local_gib), Bytes::from_gib(4));
+        host.online_pool(Bytes::from_gib(pool_gib));
+        host.pin_vm(VmId(11), vm.config().local_memory(), vm.config().pool_memory).unwrap();
+        (host, vm)
+    }
+
+    #[test]
+    fn reconfiguration_moves_pool_memory_local() {
+        let (mut host, mut vm) = setup(16, 512);
+        let mut engine = ReconfigurationEngine::default();
+        let report = engine.reconfigure(&mut host, &mut vm).unwrap();
+        assert_eq!(report.moved, Bytes::from_gib(16));
+        assert!(report.accelerator_toggled);
+        // 16 GB at 50 ms/GB = 800 ms.
+        assert_eq!(report.copy_duration, Duration::from_millis(800));
+        assert!(vm.is_reconfigured());
+        assert_eq!(vm.pool_memory(), Bytes::ZERO);
+        assert_eq!(engine.performed(), 1);
+        // The pool capacity is free on the host afterwards.
+        assert_eq!(host.pool_free(), Bytes::from_gib(16));
+    }
+
+    #[test]
+    fn reconfiguring_an_all_local_vm_is_a_noop() {
+        let (mut host, mut vm) = setup(0, 512);
+        let mut engine = ReconfigurationEngine::default();
+        let report = engine.reconfigure(&mut host, &mut vm).unwrap();
+        assert_eq!(report.moved, Bytes::ZERO);
+        assert!(!report.accelerator_toggled);
+        assert!(!vm.is_reconfigured());
+        assert_eq!(engine.performed(), 0);
+    }
+
+    #[test]
+    fn reconfiguration_fails_cleanly_without_local_headroom() {
+        // Host local DRAM barely fits the VM's local share; the pool share
+        // cannot be absorbed.
+        let suite = WorkloadSuite::standard();
+        let workload = suite.get("voltdb/tpcc").unwrap().clone();
+        let local_needed = workload.footprint;
+        let mut host = HostMemory::new(local_needed + Bytes::from_gib(6), Bytes::from_gib(2));
+        host.online_pool(Bytes::from_gib(16));
+        let vm_memory = workload.footprint + Bytes::from_gib(16);
+        let mut vm = VirtualMachine::launch(
+            12,
+            VmConfig { cores: 8, memory: vm_memory, pool_memory: Bytes::from_gib(16) },
+            workload,
+        );
+        host.pin_vm(VmId(12), vm.config().local_memory(), vm.config().pool_memory).unwrap();
+
+        let mut engine = ReconfigurationEngine::default();
+        let err = engine.reconfigure(&mut host, &mut vm).unwrap_err();
+        assert!(matches!(err, HostMemoryError::InsufficientLocal { .. }));
+        // Nothing changed.
+        assert!(!vm.is_reconfigured());
+        assert_eq!(vm.pool_memory(), Bytes::from_gib(16));
+        assert_eq!(engine.performed(), 0);
+    }
+
+    #[test]
+    fn custom_copy_cost_is_applied() {
+        let (mut host, mut vm) = setup(4, 512);
+        let mut engine = ReconfigurationEngine::new(Duration::from_millis(100));
+        let report = engine.reconfigure(&mut host, &mut vm).unwrap();
+        assert_eq!(report.copy_duration, Duration::from_millis(400));
+    }
+}

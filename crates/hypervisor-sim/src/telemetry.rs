@@ -1,0 +1,257 @@
+//! Hypervisor telemetry for opaque VMs (§4.2 "Telemetry for opaque VMs", §5).
+//!
+//! Two kinds of signals feed Pond's models:
+//!
+//! * **core-PMU / TMA counters**, sampled once per second per VM (1 ms each),
+//!   re-exported here from `workload-model`'s sampler and associated with a
+//!   VM instead of a bare workload;
+//! * **untouched-memory telemetry**: the guest-committed-memory counter
+//!   (which overestimates real usage) and hypervisor page-table access-bit
+//!   scans every 30 minutes (10 s each), which together bound how much of the
+//!   rented memory a VM has actually touched.
+
+use crate::vm::VirtualMachine;
+use cxl_hw::units::Bytes;
+use rand::{Rng, SeedableRng};
+use rand_pcg::Pcg64;
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+use workload_model::telemetry::{TelemetrySampler, TmaCounters};
+
+/// One access-bit scan result for a VM.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AccessScan {
+    /// Time since VM start at which the scan completed.
+    pub at: Duration,
+    /// Memory whose access bits were set since VM start (monotonically
+    /// non-decreasing across scans).
+    pub touched: Bytes,
+    /// Rented memory that has never had its access bit set.
+    pub untouched: Bytes,
+}
+
+/// Periodic hypervisor page-table access-bit scanning.
+///
+/// Because Pond only needs *untouched* pages, access bits are scanned but
+/// rarely reset, which keeps the overhead at one 10-second scan per half hour.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AccessBitScanner {
+    /// Interval between scans (default 30 minutes).
+    pub scan_interval: Duration,
+    /// Wall-clock cost of one scan (default 10 seconds).
+    pub scan_cost: Duration,
+}
+
+impl Default for AccessBitScanner {
+    fn default() -> Self {
+        AccessBitScanner {
+            scan_interval: Duration::from_secs(30 * 60),
+            scan_cost: Duration::from_secs(10),
+        }
+    }
+}
+
+impl AccessBitScanner {
+    /// Simulates the scan series over a VM's lifetime.
+    ///
+    /// The workload's footprint is touched progressively: most pages are
+    /// touched early (warm-up), the rest over the first part of the lifetime,
+    /// so the untouched-memory estimate shrinks towards its final value.
+    pub fn scan_series(&self, vm: &VirtualMachine, lifetime: Duration, seed: u64) -> Vec<AccessScan> {
+        let scans = (lifetime.as_secs() / self.scan_interval.as_secs().max(1)) as usize;
+        let footprint = vm.touched_memory();
+        let rented = vm.config().memory;
+        let mut rng = Pcg64::seed_from_u64(seed ^ vm.id().0);
+        // Fraction of the footprint touched by the first scan.
+        let warmup: f64 = rng.gen_range(0.6..0.95);
+        (1..=scans.max(1))
+            .map(|i| {
+                let progress = i as f64 / scans.max(1) as f64;
+                // Touched fraction approaches 1.0 along a saturating curve.
+                let fraction = warmup + (1.0 - warmup) * (1.0 - (-3.0 * progress).exp());
+                let touched = footprint.scaled(fraction.min(1.0));
+                AccessScan {
+                    at: self.scan_interval * i as u32,
+                    touched,
+                    untouched: rented.saturating_sub(touched),
+                }
+            })
+            .collect()
+    }
+
+    /// The minimum untouched memory observed across a scan series — the label
+    /// used to train the untouched-memory model (Figure 14).
+    pub fn min_untouched(&self, scans: &[AccessScan]) -> Bytes {
+        scans.iter().map(|s| s.untouched).min().unwrap_or(Bytes::ZERO)
+    }
+
+    /// Total scanning overhead over a VM lifetime.
+    pub fn overhead(&self, lifetime: Duration) -> Duration {
+        let scans = (lifetime.as_secs() / self.scan_interval.as_secs().max(1)) as u32;
+        self.scan_cost * scans
+    }
+}
+
+/// A telemetry record the control plane receives for one VM.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VmTelemetryRecord {
+    /// Aggregated core-PMU counters for the VM.
+    pub counters: TmaCounters,
+    /// Guest-committed memory reported by the existing hypervisor counter.
+    /// Overestimates actual usage (the paper notes it is an upper bound) and
+    /// is available for ~98% of VMs.
+    pub guest_committed: Option<Bytes>,
+    /// Minimum untouched memory observed by access-bit scanning.
+    pub min_untouched: Bytes,
+}
+
+/// Hypervisor telemetry pipeline: PMU sampling plus untouched-memory tracking.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HypervisorTelemetry {
+    /// PMU sampler (per-workload TMA counters with sampling noise).
+    pub pmu: TelemetrySampler,
+    /// Access-bit scanner configuration.
+    pub scanner: AccessBitScanner,
+    /// Interval between PMU samples (default 1 second).
+    pub pmu_interval: Duration,
+    /// Cost of one PMU sample (default 1 millisecond).
+    pub pmu_cost: Duration,
+    /// Fraction of VMs for which the guest-committed counter is available
+    /// (0.98 at Azure).
+    pub committed_counter_coverage: f64,
+}
+
+impl Default for HypervisorTelemetry {
+    fn default() -> Self {
+        HypervisorTelemetry {
+            pmu: TelemetrySampler::default(),
+            scanner: AccessBitScanner::default(),
+            pmu_interval: Duration::from_secs(1),
+            pmu_cost: Duration::from_millis(1),
+            committed_counter_coverage: 0.98,
+        }
+    }
+}
+
+impl HypervisorTelemetry {
+    /// Produces the telemetry record for a VM over its lifetime.
+    pub fn record(&self, vm: &VirtualMachine, lifetime: Duration, seed: u64) -> VmTelemetryRecord {
+        let counters = self.pmu.sample_mean(vm.workload(), seed, 16);
+        let scans = self.scanner.scan_series(vm, lifetime, seed);
+        let min_untouched = self.scanner.min_untouched(&scans);
+        let mut rng = Pcg64::seed_from_u64(seed.wrapping_add(vm.id().0));
+        let guest_committed = if rng.gen::<f64>() < self.committed_counter_coverage {
+            // Committed memory overestimates the true footprint by 5-30%.
+            let overestimate = 1.0 + rng.gen_range(0.05..0.30);
+            Some(Bytes::new(
+                (vm.touched_memory().as_u64() as f64 * overestimate) as u64,
+            ))
+        } else {
+            None
+        };
+        VmTelemetryRecord { counters, guest_committed, min_untouched }
+    }
+
+    /// Relative CPU overhead of PMU sampling (cost per sample over the
+    /// sampling interval). The paper reports this is negligible; with the
+    /// defaults it is 0.1%.
+    pub fn pmu_overhead_fraction(&self) -> f64 {
+        self.pmu_cost.as_secs_f64() / self.pmu_interval.as_secs_f64()
+    }
+
+    /// Relative overhead of access-bit scanning (scan cost over the scan
+    /// interval); about 0.6% with the defaults.
+    pub fn scan_overhead_fraction(&self) -> f64 {
+        self.scanner.scan_cost.as_secs_f64() / self.scanner.scan_interval.as_secs_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vm::VmConfig;
+    use workload_model::WorkloadSuite;
+
+    fn sample_vm(slack_gib: u64) -> VirtualMachine {
+        let suite = WorkloadSuite::standard();
+        let workload = suite.get("proprietary/P3").unwrap().clone();
+        let memory = workload.footprint + Bytes::from_gib(slack_gib);
+        VirtualMachine::launch(7, VmConfig::all_local(8, memory), workload)
+    }
+
+    #[test]
+    fn scan_series_is_monotone_and_bounded() {
+        let vm = sample_vm(20);
+        let scanner = AccessBitScanner::default();
+        let scans = scanner.scan_series(&vm, Duration::from_secs(48 * 3600), 1);
+        assert!(scans.len() >= 90, "48h of 30-minute scans");
+        for pair in scans.windows(2) {
+            assert!(pair[1].touched >= pair[0].touched, "touched memory only grows");
+            assert!(pair[1].untouched <= pair[0].untouched);
+        }
+        for scan in &scans {
+            assert!(scan.touched <= vm.config().memory);
+            assert_eq!(scan.touched + scan.untouched, vm.config().memory);
+        }
+    }
+
+    #[test]
+    fn min_untouched_reflects_the_slack() {
+        let vm = sample_vm(20);
+        let scanner = AccessBitScanner::default();
+        let scans = scanner.scan_series(&vm, Duration::from_secs(24 * 3600), 2);
+        let min = scanner.min_untouched(&scans);
+        // The VM never touches less than its 20 GiB of slack.
+        assert!(min >= Bytes::from_gib(19), "min untouched {min}");
+        assert_eq!(scanner.min_untouched(&[]), Bytes::ZERO);
+    }
+
+    #[test]
+    fn scanning_overhead_is_small() {
+        let scanner = AccessBitScanner::default();
+        let day = Duration::from_secs(24 * 3600);
+        let overhead = scanner.overhead(day);
+        // 48 scans at 10 s each = 480 s over a day: well under 1%.
+        assert!(overhead < Duration::from_secs(600));
+        let telemetry = HypervisorTelemetry::default();
+        assert!(telemetry.pmu_overhead_fraction() < 0.01);
+        assert!(telemetry.scan_overhead_fraction() < 0.01);
+    }
+
+    #[test]
+    fn record_contains_all_signals() {
+        let vm = sample_vm(16);
+        let telemetry = HypervisorTelemetry::default();
+        let record = telemetry.record(&vm, Duration::from_secs(6 * 3600), 3);
+        assert!(record.min_untouched >= Bytes::from_gib(15));
+        assert!(record.counters.memory_bound >= record.counters.dram_bound);
+        if let Some(committed) = record.guest_committed {
+            assert!(committed >= vm.touched_memory(), "committed counter overestimates");
+        }
+    }
+
+    #[test]
+    fn committed_counter_coverage_is_respected() {
+        let vm = sample_vm(16);
+        let telemetry = HypervisorTelemetry {
+            committed_counter_coverage: 0.0,
+            ..Default::default()
+        };
+        let record = telemetry.record(&vm, Duration::from_secs(3600), 4);
+        assert!(record.guest_committed.is_none());
+        let always = HypervisorTelemetry {
+            committed_counter_coverage: 1.0,
+            ..Default::default()
+        };
+        assert!(always.record(&vm, Duration::from_secs(3600), 4).guest_committed.is_some());
+    }
+
+    #[test]
+    fn records_are_deterministic_per_seed() {
+        let vm = sample_vm(16);
+        let telemetry = HypervisorTelemetry::default();
+        let a = telemetry.record(&vm, Duration::from_secs(3600), 5);
+        let b = telemetry.record(&vm, Duration::from_secs(3600), 5);
+        assert_eq!(a, b);
+    }
+}

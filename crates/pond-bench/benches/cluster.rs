@@ -1,0 +1,35 @@
+//! Criterion micro-benchmarks for the cluster substrate: trace generation and
+//! the event-driven simulation that backs Figures 2, 3, and 21.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cluster_sim::scheduler::FixedPoolFraction;
+use cluster_sim::simulation::{Simulation, SimulationConfig};
+use cluster_sim::tracegen::{ClusterConfig, TraceGenerator};
+use std::hint::black_box;
+
+fn bench_tracegen(c: &mut Criterion) {
+    let config = ClusterConfig { servers: 24, duration_days: 10, ..ClusterConfig::azure_like() };
+    let generator = TraceGenerator::new(config, 4);
+    c.bench_function("trace_generation_10_days_24_servers", |b| {
+        b.iter(|| black_box(generator.generate(black_box(1))))
+    });
+}
+
+fn bench_simulation(c: &mut Criterion) {
+    let config = ClusterConfig { servers: 24, duration_days: 10, ..ClusterConfig::azure_like() };
+    let trace = TraceGenerator::new(config, 1).generate(0);
+    c.bench_function("cluster_simulation_fixed_pool", |b| {
+        b.iter(|| {
+            let sim_config = SimulationConfig { qos_mitigation: false, ..Default::default() };
+            let mut sim = Simulation::new(sim_config, FixedPoolFraction::new(0.3));
+            black_box(sim.run(&trace))
+        })
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_tracegen, bench_simulation
+);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Criterion micro-benchmarks for the hardware layer: EMC slice assignment,
+//! permission checks, and the latency-model composition.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cxl_hw::emc::{Emc, EmcConfig};
+use cxl_hw::latency::LatencyModel;
+use cxl_hw::pool::PoolState;
+use cxl_hw::slice::SliceId;
+use cxl_hw::topology::PoolTopology;
+use cxl_hw::units::{Bytes, EmcId, HostId};
+use std::hint::black_box;
+
+fn bench_emc(c: &mut Criterion) {
+    c.bench_function("emc_assign_and_release_64_slices", |b| {
+        b.iter(|| {
+            let mut emc = Emc::new(EmcId(0), EmcConfig::pond_16_socket(Bytes::from_gib(64)));
+            let slices = emc.assign_slices(HostId(0), 64).unwrap();
+            for slice in &slices {
+                emc.begin_release(HostId(0), *slice).unwrap();
+                emc.complete_release(HostId(0), *slice).unwrap();
+            }
+            black_box(emc.free_capacity())
+        })
+    });
+
+    c.bench_function("emc_permission_check", |b| {
+        let mut emc = Emc::new(EmcId(0), EmcConfig::pond_16_socket(Bytes::from_gib(1024)));
+        emc.assign_slices(HostId(3), 512).unwrap();
+        b.iter(|| black_box(emc.check_access(HostId(3), SliceId(black_box(137)))))
+    });
+
+    c.bench_function("pool_state_add_capacity_16gib", |b| {
+        let topology = PoolTopology::pond_with_capacity(16, Bytes::from_gib(1024)).unwrap();
+        b.iter(|| {
+            let mut pool = PoolState::from_topology(&topology);
+            black_box(pool.add_capacity(HostId(1), Bytes::from_gib(16)).unwrap())
+        })
+    });
+}
+
+fn bench_latency_model(c: &mut Criterion) {
+    let model = LatencyModel::default();
+    c.bench_function("latency_breakdown_all_pool_sizes", |b| {
+        b.iter(|| {
+            let mut total = 0.0;
+            for sockets in [8u16, 16, 32, 64] {
+                let topology = PoolTopology::pond(sockets).unwrap();
+                total += model.pool_access_latency(&topology).as_nanos();
+            }
+            black_box(total)
+        })
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_emc, bench_latency_model
+);
+criterion_main!(benches);

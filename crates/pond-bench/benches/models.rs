@@ -1,0 +1,54 @@
+//! Criterion micro-benchmarks for the prediction models: training and
+//! inference latency of the sensitivity and untouched-memory models.
+//!
+//! Inference latency matters because the sensitivity model sits on the VM
+//! request path (Figure 11, A2) and the untouched-memory prediction is added
+//! to the VM request path by the serving system (§5).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cluster_sim::tracegen::{ClusterConfig, TraceGenerator};
+use pond_core::sensitivity::{SensitivityModel, SensitivityModelConfig};
+use pond_core::untouched::{replay_history, UntouchedMemoryModel, UntouchedModelConfig};
+use std::hint::black_box;
+use workload_model::telemetry::TelemetrySampler;
+use workload_model::WorkloadSuite;
+
+fn bench_sensitivity(c: &mut Criterion) {
+    let suite = WorkloadSuite::standard();
+    let config = SensitivityModelConfig {
+        samples_per_workload: 2,
+        ..Default::default()
+    };
+    c.bench_function("sensitivity_model_training", |b| {
+        b.iter(|| black_box(SensitivityModel::train(&suite, &config, 1)))
+    });
+
+    let model = SensitivityModel::train(&suite, &SensitivityModelConfig::default(), 1);
+    let counters = TelemetrySampler::default().sample(suite.at(10).unwrap(), 3);
+    c.bench_function("sensitivity_model_inference", |b| {
+        b.iter(|| black_box(model.insensitive_probability(black_box(&counters))))
+    });
+}
+
+fn bench_untouched(c: &mut Criterion) {
+    let config = ClusterConfig { servers: 16, duration_days: 6, ..ClusterConfig::small() };
+    let trace = TraceGenerator::new(config, 1).generate(0);
+    let model_config = UntouchedModelConfig { quantile: 0.05, rounds: 30 };
+    c.bench_function("untouched_model_training", |b| {
+        b.iter(|| black_box(UntouchedMemoryModel::train(&trace.requests, &model_config, 2)))
+    });
+
+    let model = UntouchedMemoryModel::train(&trace.requests, &model_config, 2);
+    let history = replay_history(&trace.requests);
+    let request = &trace.requests[0];
+    c.bench_function("untouched_model_inference", |b| {
+        b.iter(|| black_box(model.predict_fraction(black_box(request), &history)))
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_sensitivity, bench_untouched
+);
+criterion_main!(benches);

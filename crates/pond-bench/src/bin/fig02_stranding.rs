@@ -1,0 +1,67 @@
+//! Figure 2: memory stranding at cluster scale.
+//!
+//! (a) Stranded memory vs. scheduled CPU cores, bucketed as in the paper
+//!     (mean, 5th/95th percentile, outliers).
+//! (b) Stranding over time for 8 racks, including a workload-shift event.
+
+use cluster_sim::scheduler::AllLocal;
+use cluster_sim::simulation::{Simulation, SimulationConfig};
+use cluster_sim::stranding::{bucket_by_scheduled_cores, rack_time_series, skip_warmup};
+use cluster_sim::tracegen::{ClusterConfig, TraceGenerator};
+use pond_bench::{bench_cluster_config, cluster_count, pct, print_header};
+
+fn main() {
+    print_header("Figure 2a", "stranded memory vs. scheduled CPU cores");
+
+    let config = SimulationConfig {
+        enforce_memory_capacity: true,
+        qos_mitigation: false,
+        snapshot_interval: 6 * 3600,
+        ..Default::default()
+    };
+
+    let generator = TraceGenerator::new(bench_cluster_config(), cluster_count());
+    let mut samples = Vec::new();
+    for cluster in 0..cluster_count() {
+        let trace = generator.generate(cluster);
+        let outcome = Simulation::new(config.clone(), AllLocal).run(&trace);
+        samples.extend(skip_warmup(&outcome.stranding_samples, 86_400));
+    }
+
+    println!("{:<22} {:>8} {:>8} {:>8} {:>8} {:>8}", "scheduled cores", "samples", "mean", "p5", "p95", "max");
+    for bucket in bucket_by_scheduled_cores(&samples, &[0.60, 0.70, 0.80, 0.90]) {
+        println!(
+            "{:<22} {:>8} {:>8} {:>8} {:>8} {:>8}",
+            format!("{:.0}%-{:.0}%", bucket.cores_from * 100.0, bucket.cores_to.min(1.0) * 100.0),
+            bucket.samples,
+            pct(bucket.mean),
+            pct(bucket.p5),
+            pct(bucket.p95),
+            pct(bucket.max),
+        );
+    }
+    println!("paper shape: ~6% stranded at 75% scheduled cores, >10% at 85%, p95 up to ~25%");
+
+    print_header("Figure 2b", "stranding over time across 8 racks (workload shift at day 36)");
+    let shift_config = ClusterConfig {
+        servers: 24,
+        duration_days: 60,
+        workload_shift_day: Some(36),
+        ..ClusterConfig::azure_like()
+    };
+    let trace = TraceGenerator::new(shift_config.clone(), 1).generate(0);
+    let outcome = Simulation::new(config, AllLocal).run(&trace);
+    let racks = rack_time_series(&outcome.stranding_samples, 3, shift_config.dram_per_server);
+    println!("{:<8} {:>14} {:>14} {:>14}", "rack", "day 10", "day 30", "day 50");
+    for rack in racks.iter().take(8) {
+        let at_day = |day: u64| {
+            rack.points
+                .iter()
+                .min_by_key(|(t, _)| t.abs_diff(day * 86_400))
+                .map(|(_, s)| pct(*s))
+                .unwrap_or_else(|| "-".into())
+        };
+        println!("{:<8} {:>14} {:>14} {:>14}", rack.rack, at_day(10), at_day(30), at_day(50));
+    }
+    println!("paper shape: stranding jumps after the workload change around day 36");
+}

@@ -1,0 +1,58 @@
+//! Figure 4: per-workload slowdown when all memory is remote (pool) memory,
+//! under 182% and 222% latency increases, grouped by workload class.
+
+use cxl_hw::latency::LatencyScenario;
+use pond_bench::{pct, print_header};
+use workload_model::class::WorkloadClass;
+use workload_model::{SlowdownModel, WorkloadSuite};
+
+fn main() {
+    print_header("Figure 4", "slowdown of 158 workloads under 182% / 222% memory latency");
+    let suite = WorkloadSuite::standard();
+    let model = SlowdownModel::default();
+
+    println!(
+        "{:<14} {:>6} {:>22} {:>22}",
+        "class", "count", "182% (min/median/max)", "222% (min/median/max)"
+    );
+    for class in WorkloadClass::ALL {
+        let mut stats = Vec::new();
+        for scenario in LatencyScenario::all() {
+            let mut slowdowns: Vec<f64> = suite
+                .by_class(class)
+                .iter()
+                .map(|w| model.full_pool_slowdown(w, scenario))
+                .collect();
+            slowdowns.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let median = slowdowns[slowdowns.len() / 2];
+            stats.push(format!(
+                "{}/{}/{}",
+                pct(slowdowns[0]),
+                pct(median),
+                pct(*slowdowns.last().unwrap())
+            ));
+        }
+        println!(
+            "{:<14} {:>6} {:>22} {:>22}",
+            class.label(),
+            class.workload_count(),
+            stats[0],
+            stats[1]
+        );
+    }
+
+    for scenario in LatencyScenario::all() {
+        let slowdowns: Vec<f64> =
+            suite.workloads().map(|w| model.full_pool_slowdown(w, scenario)).collect();
+        let buckets = SlowdownModel::bucketize(&slowdowns);
+        println!(
+            "\n{scenario}: <1%: {}  1-5%: {}  5-25%: {}  >25%: {}",
+            pct(buckets.under_1pct),
+            pct(buckets.between_1_and_5pct),
+            pct(buckets.between_5_and_25pct),
+            pct(buckets.over_25pct)
+        );
+    }
+    println!("\npaper shape at 182%: 26% under 1%, +17% under 5%, 21% above 25%");
+    println!("paper shape at 222%: 23% under 1%, +14% under 5%, 37% above 25%");
+}

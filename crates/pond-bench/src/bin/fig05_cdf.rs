@@ -1,0 +1,32 @@
+//! Figure 5: CDF of workload slowdowns under the two emulated CXL latencies.
+
+use cxl_hw::latency::LatencyScenario;
+use pond_bench::{pct, print_header};
+use workload_model::{SlowdownModel, WorkloadSuite};
+
+fn main() {
+    print_header("Figure 5", "CDF of slowdowns under 182% and 222% latency");
+    let suite = WorkloadSuite::standard();
+    let model = SlowdownModel::default();
+    let points = [0.0, 0.01, 0.05, 0.10, 0.25, 0.50, 0.75, 1.00];
+
+    println!("{:<12} {:>14} {:>14}", "slowdown <=", "182% (142ns)", "222% (255ns)");
+    let cdfs: Vec<Vec<(f64, f64)>> = LatencyScenario::all()
+        .iter()
+        .map(|&scenario| {
+            let slowdowns: Vec<f64> =
+                suite.workloads().map(|w| model.full_pool_slowdown(w, scenario)).collect();
+            SlowdownModel::cdf(&slowdowns, &points)
+        })
+        .collect();
+    for (i, &p) in points.iter().enumerate() {
+        println!("{:<12} {:>14} {:>14}", pct(p), pct(cdfs[0][i].1), pct(cdfs[1][i].1));
+    }
+
+    let outliers = suite
+        .workloads()
+        .filter(|w| model.full_pool_slowdown(w, LatencyScenario::Increase222) > 1.0)
+        .count();
+    println!("\noutliers with >100% slowdown at 222%: {outliers} (paper reports 3, max 124%)");
+    println!("paper shape: the head of the CDF barely moves with latency, the body and tail shift right");
+}

@@ -1,0 +1,29 @@
+//! Figure 7: pool access latency breakdown for each Pond pool size.
+
+use cxl_hw::latency::LatencyModel;
+use cxl_hw::topology::PoolTopology;
+use pond_bench::print_header;
+
+fn main() {
+    print_header("Figure 7", "pool size vs. access latency breakdown (Pond multi-headed EMC)");
+    let model = LatencyModel::default();
+    println!("local DRAM baseline: {}\n", model.local_dram_latency());
+
+    for sockets in [8u16, 16, 32, 64] {
+        let topology = PoolTopology::pond(sockets).expect("supported Pond pool size");
+        let total = model.pool_access_latency(&topology);
+        let percent = model.pool_latency_percent(&topology);
+        println!(
+            "{}-socket Pond: {} ({:.0}% of local, +{} over local)",
+            sockets,
+            total,
+            percent,
+            model.pool_added_latency(&topology)
+        );
+        for entry in model.pool_access_breakdown(&topology) {
+            println!("    {:<22} x{:<2} {:>8}", format!("{:?}", entry.component), entry.count, format!("{}", entry.total));
+        }
+        println!();
+    }
+    println!("paper values: 8-socket 155ns (182%), 16-socket 180ns (212%), 32/64-socket >270ns (318%)");
+}

@@ -1,0 +1,29 @@
+//! Figure 8: pool access latency of Pond's multi-headed EMC design vs. the
+//! switch-only strawman across pool sizes.
+
+use cxl_hw::latency::LatencyModel;
+use cxl_hw::topology::PoolTopology;
+use pond_bench::print_header;
+
+fn main() {
+    print_header("Figure 8", "pool access latency: multi-headed EMC vs. switch-only design");
+    let model = LatencyModel::default();
+    println!("NUMA-local baseline: {}\n", model.local_dram_latency());
+    println!("{:<14} {:>16} {:>16} {:>12}", "pool sockets", "Pond (EMC)", "switch-only", "reduction");
+
+    for sockets in [2u16, 8, 16, 32, 64] {
+        let pond = PoolTopology::pond(sockets)
+            .map(|t| model.pool_access_latency(&t))
+            .expect("supported pool size");
+        let switch_only = model.pool_access_latency(&PoolTopology::switch_only(sockets).unwrap());
+        let reduction = 1.0 - pond.as_nanos() / switch_only.as_nanos();
+        println!(
+            "{:<14} {:>16} {:>16} {:>11.0}%",
+            sockets,
+            format!("{pond}"),
+            format!("{switch_only}"),
+            reduction * 100.0
+        );
+    }
+    println!("\npaper shape: Pond reduces latency by about one third (-36% at 16 sockets)");
+}

@@ -1,0 +1,65 @@
+//! Figure 17: the latency-insensitivity model's false-positive rate as a
+//! function of how many workloads it marks insensitive, compared with the
+//! Memory-Bound and DRAM-Bound single-counter heuristics.
+
+use pond_bench::{pct, print_header};
+use pond_core::sensitivity::{
+    mean_fp_up_to_coverage, training_dataset, CounterHeuristic, SensitivityModelConfig,
+};
+use pond_ml::eval::OperatingPoint;
+use pond_ml::forest::RandomForest;
+use workload_model::WorkloadSuite;
+
+fn interpolate_fp(points: &[OperatingPoint], coverage: f64) -> f64 {
+    points
+        .iter()
+        .filter(|p| p.positive_fraction <= coverage)
+        .map(|p| p.false_positive_fraction)
+        .fold(0.0, f64::max)
+}
+
+fn main() {
+    print_header("Figure 17", "false positives vs. share of workloads marked latency-insensitive");
+    let suite = WorkloadSuite::standard();
+    let config = SensitivityModelConfig::default();
+
+    // 10-fold repeated random split validation (the paper uses 100-fold).
+    let folds = 10;
+    let mut rf_points: Vec<Vec<OperatingPoint>> = Vec::new();
+    let mut dram_points: Vec<Vec<OperatingPoint>> = Vec::new();
+    let mut mem_points: Vec<Vec<OperatingPoint>> = Vec::new();
+    for fold in 0..folds {
+        let data = training_dataset(&suite, &config, fold);
+        let (train, test) = data.train_test_split(0.5, fold * 31 + 7);
+        let forest = RandomForest::fit(&train, &config.forest, fold);
+        let scores = forest.predict_proba_batch(&test).expect("matching schema");
+        rf_points.push(pond_ml::eval::threshold_sweep(&scores, test.labels(), 50));
+        dram_points.push(CounterHeuristic::DramBound.operating_points(&test, 50));
+        mem_points.push(CounterHeuristic::MemoryBound.operating_points(&test, 50));
+    }
+    let flatten = |folds: &[Vec<OperatingPoint>]| -> Vec<OperatingPoint> {
+        folds.iter().flatten().copied().collect()
+    };
+    let rf = flatten(&rf_points);
+    let dram = flatten(&dram_points);
+    let mem = flatten(&mem_points);
+
+    println!("{:<26} {:>12} {:>12} {:>12}", "workloads insensitive", "RandomForest", "DRAM-bound", "Memory-bound");
+    for coverage in [0.10, 0.20, 0.30, 0.40, 0.50] {
+        println!(
+            "{:<26} {:>12} {:>12} {:>12}",
+            pct(coverage),
+            pct(interpolate_fp(&rf, coverage)),
+            pct(interpolate_fp(&dram, coverage)),
+            pct(interpolate_fp(&mem, coverage))
+        );
+    }
+    println!(
+        "\nmean FP up to 40% coverage: RF {} | DRAM-bound {} | Memory-bound {}",
+        pct(mean_fp_up_to_coverage(&rf, 0.4)),
+        pct(mean_fp_up_to_coverage(&dram, 0.4)),
+        pct(mean_fp_up_to_coverage(&mem, 0.4))
+    );
+    println!("paper shape: the RandomForest slightly outperforms DRAM-bound; both beat Memory-bound;");
+    println!("             ~30% of workloads can go on the pool at ~2% false positives");
+}

@@ -1,0 +1,80 @@
+//! Figure 21: end-to-end DRAM savings vs. pool size under PDM = 5% and
+//! TP = 98%, for Pond at 182% and 222% latency and the static 15% strawman.
+
+use cluster_sim::pooling::pool_size_sweep;
+use cluster_sim::scheduler::FixedPoolFraction;
+use cluster_sim::simulation::SimulationConfig;
+use cxl_hw::latency::LatencyScenario;
+use pond_bench::{bench_traces, pct, print_header};
+use pond_core::policy::{PondPolicy, PondPolicyConfig};
+
+fn main() {
+    print_header(
+        "Figure 21",
+        "required overall DRAM [%] vs. pool size (PDM = 5%, TP = 98%)",
+    );
+    let traces = bench_traces();
+    let pool_sizes = [2u16, 8, 16, 32, 64];
+
+    // Train one Pond policy per scenario on the first trace and reuse it
+    // (cloned) across pool sizes and clusters — the models do not depend on
+    // the pool size.
+    let mut columns: Vec<(String, Vec<f64>, f64)> = Vec::new();
+    for scenario in LatencyScenario::all() {
+        let policy_config = PondPolicyConfig { scenario, ..Default::default() };
+        let policy = PondPolicy::train(&traces[0], &policy_config, 21);
+        let sim_config = SimulationConfig {
+            scenario,
+            pdm: policy_config.pdm,
+            qos_mitigation: true,
+            ..Default::default()
+        };
+        let points =
+            pool_size_sweep(&traces, &pool_sizes, &sim_config, || policy.clone());
+        let violations = points.iter().map(|p| p.violation_fraction).sum::<f64>() / points.len() as f64;
+        columns.push((
+            format!("Pond @ {scenario}"),
+            points.into_iter().map(|p| p.required_dram_fraction).collect(),
+            violations,
+        ));
+    }
+
+    // The static strawman: 15% of every VM's memory on the pool.
+    let static_config = SimulationConfig {
+        scenario: LatencyScenario::Increase182,
+        qos_mitigation: false,
+        ..Default::default()
+    };
+    let static_points =
+        pool_size_sweep(&traces, &pool_sizes, &static_config, || FixedPoolFraction::new(0.15));
+    let static_violations =
+        static_points.iter().map(|p| p.violation_fraction).sum::<f64>() / static_points.len() as f64;
+    columns.push((
+        "Static 15%".to_string(),
+        static_points.into_iter().map(|p| p.required_dram_fraction).collect(),
+        static_violations,
+    ));
+
+    print!("{:<14}", "pool sockets");
+    for (name, _, _) in &columns {
+        print!(" {name:>22}");
+    }
+    println!();
+    for (i, &sockets) in pool_sizes.iter().enumerate() {
+        print!("{sockets:<14}");
+        for (_, series, _) in &columns {
+            print!(" {:>22}", pct(series[i]));
+        }
+        println!();
+    }
+    println!();
+    for (name, series, violations) in &columns {
+        let savings_16 = 1.0 - series[2];
+        println!(
+            "{name}: DRAM saved at 16 sockets = {}, scheduling mispredictions = {}",
+            pct(savings_16),
+            pct(*violations)
+        );
+    }
+    println!("\npaper values at 16 sockets: Pond@182% saves ~9%, Pond@222% saves ~7%, static ~3%");
+}

@@ -1,0 +1,377 @@
+//! The Pond control plane (Figure 11): VM scheduling with predictions, pool
+//! memory onlining, QoS monitoring, and mitigation, wired to the concrete
+//! hardware and hypervisor models.
+//!
+//! [`PondControlPlane`] manages a group of hosts attached to one CXL pool.
+//! It is the piece the examples and integration tests drive end to end: a VM
+//! request comes in, the prediction models pick a local/pool split, the Pool
+//! Manager onlines slices, the hypervisor pins memory and exposes a zNUMA
+//! node, and the QoS monitor later reconfigures VMs whose predictions turned
+//! out wrong.
+
+use crate::error::PondError;
+use crate::policy::{PondDecision, PondPolicy, PondPolicyConfig};
+use crate::pool_manager::PondPoolManager;
+use crate::qos::{MitigationManager, QosMonitor, VmObservation};
+use cluster_sim::trace::{ClusterTrace, VmRequest};
+use cxl_hw::topology::PoolTopology;
+use cxl_hw::units::{Bytes, HostId};
+use hypervisor_sim::host::HostMemory;
+use hypervisor_sim::telemetry::HypervisorTelemetry;
+use hypervisor_sim::vm::{VirtualMachine, VmConfig, VmId};
+use hypervisor_sim::vnuma::VNumaTopology;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::time::Duration;
+use workload_model::WorkloadSuite;
+
+/// Static configuration of a control-plane instance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ControlPlaneConfig {
+    /// Number of hosts sharing the pool (one per socket pair in the paper's
+    /// terms; each host here is one hypervisor).
+    pub hosts: u16,
+    /// Local DRAM per host.
+    pub local_dram_per_host: Bytes,
+    /// Hypervisor-private partition per host.
+    pub hypervisor_private: Bytes,
+    /// Pool size in sockets (must be a supported Pond topology).
+    pub pool_sockets: u16,
+    /// Total pool capacity.
+    pub pool_capacity: Bytes,
+    /// Policy / model configuration.
+    pub policy: PondPolicyConfig,
+    /// Fraction of monitored VMs the mitigation manager may reconfigure.
+    pub mitigation_budget: f64,
+}
+
+impl Default for ControlPlaneConfig {
+    fn default() -> Self {
+        ControlPlaneConfig {
+            hosts: 8,
+            local_dram_per_host: Bytes::from_gib(256),
+            hypervisor_private: Bytes::from_gib(8),
+            pool_sockets: 16,
+            pool_capacity: Bytes::from_gib(512),
+            policy: PondPolicyConfig::default(),
+            mitigation_budget: 0.05,
+        }
+    }
+}
+
+/// Summary of one VM placement returned to the caller.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PlacementSummary {
+    /// The VM's id.
+    pub vm: VmId,
+    /// Index of the host it landed on.
+    pub host: usize,
+    /// Local DRAM pinned for it.
+    pub local: Bytes,
+    /// Pool DRAM pinned for it (zNUMA size).
+    pub pool: Bytes,
+    /// Whether the VM sees a zNUMA node.
+    pub has_znuma: bool,
+}
+
+/// Per-VM bookkeeping inside the control plane.
+#[derive(Debug, Clone)]
+struct VmRecord {
+    vm: VirtualMachine,
+    host: usize,
+    slices: Vec<cxl_hw::pool::PoolSlice>,
+    predicted_untouched: Bytes,
+}
+
+/// The Pond control plane for one pool group.
+#[derive(Debug)]
+pub struct PondControlPlane {
+    config: ControlPlaneConfig,
+    hosts: Vec<HostMemory>,
+    pool: PondPoolManager,
+    policy: PondPolicy,
+    monitor: QosMonitor,
+    mitigation: MitigationManager,
+    telemetry: HypervisorTelemetry,
+    suite: WorkloadSuite,
+    running: BTreeMap<u64, VmRecord>,
+    rejected: u64,
+}
+
+impl PondControlPlane {
+    /// Builds a control plane: trains the prediction models on
+    /// `training_trace` and provisions the hosts and pool.
+    ///
+    /// # Errors
+    ///
+    /// Returns a hardware error if the pool topology is unsupported.
+    pub fn new(
+        training_trace: &ClusterTrace,
+        config: ControlPlaneConfig,
+        seed: u64,
+    ) -> Result<Self, PondError> {
+        let topology =
+            PoolTopology::pond_with_capacity(config.pool_sockets, config.pool_capacity)?;
+        let policy = PondPolicy::train(training_trace, &config.policy, seed);
+        let monitor = QosMonitor::new(policy.sensitivity_model().clone());
+        let hosts = (0..config.hosts)
+            .map(|_| HostMemory::new(config.local_dram_per_host, config.hypervisor_private))
+            .collect();
+        Ok(PondControlPlane {
+            mitigation: MitigationManager::new(config.mitigation_budget),
+            pool: PondPoolManager::new(&topology),
+            telemetry: HypervisorTelemetry::default(),
+            suite: WorkloadSuite::standard(),
+            hosts,
+            policy,
+            monitor,
+            running: BTreeMap::new(),
+            rejected: 0,
+            config,
+        })
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &ControlPlaneConfig {
+        &self.config
+    }
+
+    /// Number of VMs currently running.
+    pub fn running_vms(&self) -> usize {
+        self.running.len()
+    }
+
+    /// Number of requests that could not be placed.
+    pub fn rejected_vms(&self) -> u64 {
+        self.rejected
+    }
+
+    /// The pool manager (for inspection).
+    pub fn pool(&self) -> &PondPoolManager {
+        &self.pool
+    }
+
+    /// The trained policy (for inspection).
+    pub fn policy(&self) -> &PondPolicy {
+        &self.policy
+    }
+
+    /// The hosts (for inspection).
+    pub fn hosts(&self) -> &[HostMemory] {
+        &self.hosts
+    }
+
+    /// Number of mitigations performed so far.
+    pub fn mitigations(&self) -> u64 {
+        self.mitigation.mitigated()
+    }
+
+    /// Handles a VM request end to end: prediction → host selection → pool
+    /// onlining → memory pinning → zNUMA exposure.
+    ///
+    /// # Errors
+    ///
+    /// * [`PondError::NoFeasibleHost`] when no host has enough local DRAM.
+    /// * [`PondError::PoolExhausted`] when the pool buffer cannot cover the
+    ///   pool share (the VM is then *not* placed; a production scheduler
+    ///   would fall back to all-local placement).
+    pub fn handle_request(
+        &mut self,
+        request: &VmRequest,
+        now: Duration,
+    ) -> Result<PlacementSummary, PondError> {
+        // Finish any offlining that has completed so the buffer is current.
+        self.pool.process_releases(now);
+
+        let decision = self.policy.decide(request);
+        let pool = match decision {
+            PondDecision::FullyPool => Bytes::from_gib(request.memory.slices_floor()),
+            PondDecision::Znuma { pool } => pool,
+            PondDecision::AllLocal => Bytes::ZERO,
+        };
+        let local = request.memory - pool;
+
+        // Pick the host with the most free local DRAM that fits the local share.
+        let host_index = (0..self.hosts.len())
+            .filter(|&i| self.hosts[i].local_free() >= local)
+            .max_by_key(|&i| self.hosts[i].local_free().as_u64())
+            .ok_or(PondError::NoFeasibleHost { vm: request.id })?;
+
+        let slices = self.pool.allocate(HostId(host_index as u16), pool, now)?;
+        let host = &mut self.hosts[host_index];
+        host.online_pool(pool);
+        host.pin_vm(VmId(request.id), local, pool)
+            .map_err(|e| PondError::HostMemory(e.to_string()))?;
+
+        let workload = self
+            .suite
+            .at(request.workload_index % self.suite.len())
+            .expect("workload index is taken modulo the suite size")
+            .clone();
+        let vm = VirtualMachine::launch(
+            request.id,
+            VmConfig { cores: request.cores, memory: request.memory, pool_memory: pool },
+            workload,
+        );
+        let _topology = VNumaTopology::for_vm(vm.config(), self.config.policy.scenario);
+
+        let summary = PlacementSummary {
+            vm: vm.id(),
+            host: host_index,
+            local,
+            pool,
+            has_znuma: !pool.is_zero(),
+        };
+        self.running.insert(
+            request.id,
+            VmRecord {
+                vm,
+                host: host_index,
+                slices,
+                predicted_untouched: match decision {
+                    PondDecision::Znuma { pool } => pool,
+                    _ => Bytes::ZERO,
+                },
+            },
+        );
+        Ok(summary)
+    }
+
+    /// Handles a VM departure: unpins host memory and starts the asynchronous
+    /// release of its pool slices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PondError::HostMemory`] when the VM is unknown.
+    pub fn handle_departure(&mut self, vm: VmId, now: Duration) -> Result<(), PondError> {
+        let record = self
+            .running
+            .remove(&vm.0)
+            .ok_or_else(|| PondError::HostMemory(format!("{vm} is not running")))?;
+        let host = &mut self.hosts[record.host];
+        let allocation =
+            host.unpin_vm(vm).map_err(|e| PondError::HostMemory(e.to_string()))?;
+        host.offline_pool(allocation.pool)
+            .map_err(|e| PondError::HostMemory(e.to_string()))?;
+        self.pool
+            .release_async(HostId(record.host as u16), record.slices, now)?;
+        // Feed the observed outcome back into the policy's history.
+        Ok(())
+    }
+
+    /// Runs one QoS-monitoring pass over every running VM and applies
+    /// mitigations within the budget. Returns how many VMs were reconfigured
+    /// in this pass.
+    pub fn run_qos_pass(&mut self, now: Duration) -> u64 {
+        let _ = now;
+        let mut reconfigured = 0;
+        let vm_ids: Vec<u64> = self.running.keys().copied().collect();
+        for id in vm_ids {
+            let record = self.running.get_mut(&id).expect("id from key list");
+            let counters = self.telemetry.pmu.sample(record.vm.workload(), id);
+            let observation = VmObservation {
+                counters,
+                pool_memory: record.vm.pool_memory(),
+                predicted_untouched: record.predicted_untouched,
+                observed_untouched: record.vm.untouched_memory(),
+            };
+            let host = &mut self.hosts[record.host];
+            if let Some(report) =
+                self.mitigation.process(&self.monitor, &observation, host, &mut record.vm)
+            {
+                // The freed pool capacity goes back to the Pool Manager.
+                host.offline_pool(report.moved).expect("mitigation freed exactly this much");
+                let slices = std::mem::take(&mut record.slices);
+                self.pool
+                    .release_async(HostId(record.host as u16), slices, now)
+                    .expect("slices were allocated by this manager");
+                record.predicted_untouched = Bytes::ZERO;
+                reconfigured += 1;
+            }
+        }
+        reconfigured
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cluster_sim::tracegen::{ClusterConfig, TraceGenerator};
+
+    fn setup() -> (ClusterTrace, PondControlPlane) {
+        let trace = TraceGenerator::new(ClusterConfig::small(), 1).generate(0);
+        let plane = PondControlPlane::new(&trace, ControlPlaneConfig::default(), 5).unwrap();
+        (trace, plane)
+    }
+
+    #[test]
+    fn requests_are_placed_and_depart_cleanly() {
+        let (trace, mut plane) = setup();
+        let mut placed = Vec::new();
+        for request in trace.requests.iter().take(40) {
+            match plane.handle_request(request, Duration::from_secs(request.arrival)) {
+                Ok(summary) => {
+                    assert!(summary.local + summary.pool == request.memory);
+                    assert_eq!(summary.has_znuma, !summary.pool.is_zero());
+                    placed.push(summary.vm);
+                }
+                Err(PondError::NoFeasibleHost { .. }) | Err(PondError::PoolExhausted { .. }) => {}
+                Err(other) => panic!("unexpected error: {other}"),
+            }
+        }
+        assert!(!placed.is_empty());
+        assert_eq!(plane.running_vms(), placed.len());
+        // Departure returns capacity.
+        let before = plane.pool().available();
+        for vm in &placed {
+            plane.handle_departure(*vm, Duration::from_secs(1_000_000)).unwrap();
+        }
+        assert_eq!(plane.running_vms(), 0);
+        // After the offlining delay, the buffer is at least as full as before.
+        plane.pool().pending_release();
+        let mut plane = plane;
+        plane.pool.process_releases(Duration::from_secs(2_000_000));
+        assert!(plane.pool().available() >= before);
+    }
+
+    #[test]
+    fn unknown_departure_is_an_error() {
+        let (_, mut plane) = setup();
+        assert!(plane.handle_departure(VmId(12345), Duration::ZERO).is_err());
+    }
+
+    #[test]
+    fn qos_pass_runs_without_panicking_and_respects_the_budget() {
+        let (trace, mut plane) = setup();
+        for request in trace.requests.iter().take(60) {
+            let _ = plane.handle_request(request, Duration::from_secs(request.arrival));
+        }
+        let running_before = plane.running_vms();
+        let reconfigured = plane.run_qos_pass(Duration::from_secs(3600));
+        assert!(reconfigured as usize <= running_before);
+        assert_eq!(plane.mitigations(), reconfigured);
+        // Mitigated VMs stay running, just with all-local memory.
+        assert_eq!(plane.running_vms(), running_before);
+    }
+
+    #[test]
+    fn pool_exhaustion_is_reported() {
+        let trace = TraceGenerator::new(ClusterConfig::small(), 1).generate(0);
+        let config = ControlPlaneConfig {
+            pool_capacity: Bytes::from_gib(2),
+            ..Default::default()
+        };
+        let mut plane = PondControlPlane::new(&trace, config, 6).unwrap();
+        let mut exhausted = false;
+        for request in trace.requests.iter().take(200) {
+            match plane.handle_request(request, Duration::from_secs(request.arrival)) {
+                Err(PondError::PoolExhausted { .. }) => {
+                    exhausted = true;
+                    break;
+                }
+                _ => {}
+            }
+        }
+        assert!(exhausted, "a 2 GiB pool must run out");
+    }
+}

@@ -1,0 +1,78 @@
+//! Error type for the Pond control plane.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised by Pond's control-plane operations.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum PondError {
+    /// The pool cannot supply the requested capacity.
+    PoolExhausted {
+        /// Human-readable description of the shortfall.
+        detail: String,
+    },
+    /// No host in the pool group can place the VM.
+    NoFeasibleHost {
+        /// The VM request id.
+        vm: u64,
+    },
+    /// A model was used before it was trained or with inconsistent features.
+    Model {
+        /// Description of the problem.
+        detail: String,
+    },
+    /// A hardware-layer operation failed.
+    Hardware(cxl_hw::CxlError),
+    /// A host-memory operation failed.
+    HostMemory(String),
+}
+
+impl fmt::Display for PondError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PondError::PoolExhausted { detail } => write!(f, "pool exhausted: {detail}"),
+            PondError::NoFeasibleHost { vm } => write!(f, "no feasible host for vm {vm}"),
+            PondError::Model { detail } => write!(f, "model error: {detail}"),
+            PondError::Hardware(e) => write!(f, "hardware error: {e}"),
+            PondError::HostMemory(e) => write!(f, "host memory error: {e}"),
+        }
+    }
+}
+
+impl Error for PondError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            PondError::Hardware(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<cxl_hw::CxlError> for PondError {
+    fn from(e: cxl_hw::CxlError) -> Self {
+        PondError::Hardware(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let err = PondError::NoFeasibleHost { vm: 9 };
+        assert_eq!(err.to_string(), "no feasible host for vm 9");
+        assert!(err.source().is_none());
+
+        let hw = PondError::from(cxl_hw::CxlError::UnsupportedPoolSize { sockets: 5 });
+        assert!(hw.to_string().contains("unsupported pool size"));
+        assert!(hw.source().is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_bounds<T: Error + Send + Sync + 'static>() {}
+        assert_bounds::<PondError>();
+    }
+}

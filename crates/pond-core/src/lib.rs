@@ -1,0 +1,52 @@
+//! # pond-core
+//!
+//! The core of the Pond reproduction (ASPLOS '23): the distributed
+//! control-plane logic, the two ML prediction models, the combined-model
+//! optimizer of Eq. (1), the QoS monitor with its mitigation path, and the
+//! end-to-end memory-allocation policy that plugs into the cluster simulator.
+//!
+//! Layer map (paper section → module):
+//!
+//! * §4.2 pool memory ownership → [`pool_manager`] (on top of `cxl-hw`)
+//! * §4.3 control-plane workflow (Figure 11) → [`control_plane`]
+//! * §4.4 latency-insensitivity model (Figure 12) → [`sensitivity`]
+//! * §4.4 untouched-memory model (Figure 14) → [`untouched`]
+//! * §4.4 Eq. (1) parameterization → [`combined`]
+//! * §4.3 QoS monitoring and mitigation → [`qos`]
+//! * §6.5 end-to-end policy (Figure 13 decision flow) → [`policy`]
+//!
+//! # Example
+//!
+//! Train both models and run the Pond policy over a synthetic cluster trace:
+//!
+//! ```
+//! use pond_core::policy::{PondPolicy, PondPolicyConfig};
+//! use cluster_sim::{Simulation, SimulationConfig, TraceGenerator, ClusterConfig};
+//!
+//! let trace = TraceGenerator::new(ClusterConfig::small(), 1).generate(0);
+//! let policy = PondPolicy::train(&trace, &PondPolicyConfig::default(), 7);
+//! let mut sim = Simulation::new(SimulationConfig::default(), policy);
+//! let outcome = sim.run(&trace);
+//! assert!(outcome.scheduled_vms > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod combined;
+pub mod control_plane;
+pub mod error;
+pub mod policy;
+pub mod pool_manager;
+pub mod qos;
+pub mod sensitivity;
+pub mod untouched;
+
+pub use combined::{CombinedModel, CombinedModelConfig};
+pub use error::PondError;
+pub use policy::{PondPolicy, PondPolicyConfig};
+pub use pool_manager::PondPoolManager;
+pub use qos::{QosDecision, QosMonitor};
+pub use sensitivity::{SensitivityModel, SensitivityModelConfig};
+pub use untouched::{UntouchedMemoryModel, UntouchedModelConfig};

@@ -1,0 +1,339 @@
+//! The end-to-end Pond memory-allocation policy (Figure 13, left side).
+//!
+//! For every VM request the policy walks the paper's decision flow:
+//!
+//! 1. If the customer has workload history, predict whether the workload is
+//!    latency-insensitive from its core-PMU counters; insensitive VMs are
+//!    allocated entirely on pool DRAM.
+//! 2. Otherwise (or if the VM is predicted sensitive), predict the VM's
+//!    untouched memory from its metadata and allocate exactly that much pool
+//!    DRAM behind a zNUMA node; the rest stays NUMA-local.
+//! 3. VMs predicted to touch everything get only local DRAM.
+//!
+//! The policy implements [`cluster_sim::scheduler::MemoryPolicy`], so it
+//! plugs directly into the cluster simulator for the Figure 20/21
+//! experiments.
+
+use crate::sensitivity::{SensitivityModel, SensitivityModelConfig};
+use crate::untouched::{CustomerHistory, UntouchedMemoryModel, UntouchedModelConfig};
+use cluster_sim::scheduler::MemoryPolicy;
+use cluster_sim::trace::{ClusterTrace, CustomerId, VmRequest};
+use cxl_hw::latency::LatencyScenario;
+use cxl_hw::units::Bytes;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+use workload_model::telemetry::TelemetrySampler;
+use workload_model::WorkloadSuite;
+
+/// Configuration of the full Pond policy.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PondPolicyConfig {
+    /// Performance degradation margin the deployment promises (e.g. 0.05).
+    pub pdm: f64,
+    /// Target fraction of VMs that must stay within the PDM (e.g. 0.98).
+    pub tp: f64,
+    /// The CXL latency scenario the pool operates under.
+    pub scenario: LatencyScenario,
+    /// Quantile used by the untouched-memory model (lower = more conservative).
+    pub untouched_quantile: f64,
+    /// Fraction of the training trace used to fit the untouched-memory model.
+    pub training_fraction: f64,
+    /// Sensitivity-model hyperparameters.
+    pub sensitivity: SensitivityModelConfig,
+}
+
+impl Default for PondPolicyConfig {
+    fn default() -> Self {
+        PondPolicyConfig {
+            pdm: 0.05,
+            tp: 0.98,
+            scenario: LatencyScenario::Increase182,
+            untouched_quantile: 0.05,
+            training_fraction: 0.4,
+            sensitivity: SensitivityModelConfig::default(),
+        }
+    }
+}
+
+impl PondPolicyConfig {
+    /// The false-positive budget handed to the sensitivity model: half the
+    /// total misprediction budget `100 − TP` (the other half is left for
+    /// untouched-memory overpredictions).
+    pub fn sensitivity_fp_budget(&self) -> f64 {
+        (1.0 - self.tp).max(0.0) / 2.0
+    }
+}
+
+/// Counts of the allocation decisions the policy has taken.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PolicyStats {
+    /// VMs allocated entirely on pool DRAM (predicted latency-insensitive).
+    pub fully_pool: u64,
+    /// VMs given a zNUMA node sized to their predicted untouched memory.
+    pub partial_pool: u64,
+    /// VMs allocated entirely on local DRAM.
+    pub all_local: u64,
+}
+
+impl PolicyStats {
+    /// Total decisions taken.
+    pub fn total(&self) -> u64 {
+        self.fully_pool + self.partial_pool + self.all_local
+    }
+}
+
+/// The trained Pond policy.
+#[derive(Debug, Clone)]
+pub struct PondPolicy {
+    config: PondPolicyConfig,
+    sensitivity: SensitivityModel,
+    untouched: UntouchedMemoryModel,
+    history: CustomerHistory,
+    workload_history: BTreeMap<CustomerId, BTreeSet<usize>>,
+    suite: WorkloadSuite,
+    sampler: TelemetrySampler,
+    stats: PolicyStats,
+}
+
+impl PondPolicy {
+    /// Trains both prediction models.
+    ///
+    /// The sensitivity model trains on the workload suite (the paper's
+    /// offline runs and A/B tests) and calibrates its threshold to the
+    /// configured false-positive budget on a held-out split. The
+    /// untouched-memory model trains on the first
+    /// [`PondPolicyConfig::training_fraction`] of the provided trace; the
+    /// remaining requests are what simulations should evaluate on.
+    pub fn train(trace: &ClusterTrace, config: &PondPolicyConfig, seed: u64) -> Self {
+        let suite = WorkloadSuite::standard();
+
+        let mut sensitivity = SensitivityModel::train(&suite, &config.sensitivity, seed);
+        let data = crate::sensitivity::training_dataset(&suite, &config.sensitivity, seed ^ 0xA5);
+        let (_, validation) = data.train_test_split(0.5, seed ^ 0x5A);
+        sensitivity.calibrate_threshold(&validation, config.sensitivity_fp_budget(), 200);
+
+        let train_len =
+            ((trace.requests.len() as f64) * config.training_fraction).round().max(1.0) as usize;
+        let train_slice = &trace.requests[..train_len.min(trace.requests.len())];
+        let untouched = UntouchedMemoryModel::train(
+            train_slice,
+            &UntouchedModelConfig { quantile: config.untouched_quantile, rounds: 50 },
+            seed,
+        );
+
+        // Seed the runtime history with the training period: the policy
+        // starts knowing the customers it has already seen.
+        let mut history = CustomerHistory::new();
+        let mut workload_history: BTreeMap<CustomerId, BTreeSet<usize>> = BTreeMap::new();
+        for request in train_slice {
+            history.record(request.customer, request.untouched_fraction);
+            workload_history.entry(request.customer).or_default().insert(request.workload_index);
+        }
+
+        PondPolicy {
+            config: config.clone(),
+            sensitivity,
+            untouched,
+            history,
+            workload_history,
+            suite,
+            sampler: TelemetrySampler::default(),
+            stats: PolicyStats::default(),
+        }
+    }
+
+    /// The policy's configuration.
+    pub fn config(&self) -> &PondPolicyConfig {
+        &self.config
+    }
+
+    /// Decision statistics accumulated so far.
+    pub fn stats(&self) -> PolicyStats {
+        self.stats
+    }
+
+    /// The trained sensitivity model.
+    pub fn sensitivity_model(&self) -> &SensitivityModel {
+        &self.sensitivity
+    }
+
+    /// The trained untouched-memory model.
+    pub fn untouched_model(&self) -> &UntouchedMemoryModel {
+        &self.untouched
+    }
+
+    /// The Figure 13 decision for one request, without mutating statistics.
+    /// Returns the pool memory to allocate.
+    pub fn decide(&self, request: &VmRequest) -> PondDecision {
+        // "Workload history" means the same customer has run this workload
+        // before (the paper matches on customer id, VM type, and workload
+        // name); only then does Pond trust a sensitivity prediction.
+        let has_history = self
+            .workload_history
+            .get(&request.customer)
+            .is_some_and(|seen| seen.contains(&request.workload_index));
+        if has_history {
+            let workload = self
+                .suite
+                .at(request.workload_index % self.suite.len())
+                .expect("workload index is taken modulo the suite size");
+            let counters = self.sampler.sample(workload, request.id);
+            if self.sensitivity.is_insensitive(&counters) {
+                return PondDecision::FullyPool;
+            }
+        }
+        let pool = self.untouched.pool_memory(request, &self.history);
+        if pool.is_zero() {
+            PondDecision::AllLocal
+        } else {
+            PondDecision::Znuma { pool }
+        }
+    }
+}
+
+/// The three possible outcomes of the Figure 13 scheduling decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PondDecision {
+    /// Allocate the entire VM on pool DRAM.
+    FullyPool,
+    /// Allocate `pool` on the zNUMA node and the rest locally.
+    Znuma {
+        /// Pool memory backing the zNUMA node.
+        pool: Bytes,
+    },
+    /// Allocate everything on local DRAM.
+    AllLocal,
+}
+
+impl MemoryPolicy for PondPolicy {
+    fn pool_memory(&mut self, request: &VmRequest) -> Bytes {
+        match self.decide(request) {
+            PondDecision::FullyPool => {
+                self.stats.fully_pool += 1;
+                request.memory
+            }
+            PondDecision::Znuma { pool } => {
+                self.stats.partial_pool += 1;
+                pool
+            }
+            PondDecision::AllLocal => {
+                self.stats.all_local += 1;
+                Bytes::ZERO
+            }
+        }
+    }
+
+    fn observe_outcome(&mut self, request: &VmRequest, _slowdown: f64, _exceeded_pdm: bool) {
+        // The control plane learns from completed VMs: their untouched memory
+        // feeds the customer history and their workload becomes the
+        // customer's latest known workload.
+        self.history.record(request.customer, request.untouched_fraction);
+        self.workload_history
+            .entry(request.customer)
+            .or_default()
+            .insert(request.workload_index);
+    }
+
+    fn name(&self) -> &str {
+        "pond"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cluster_sim::scheduler::FixedPoolFraction;
+    use cluster_sim::simulation::{Simulation, SimulationConfig};
+    use cluster_sim::tracegen::{ClusterConfig, TraceGenerator};
+
+    fn trace() -> ClusterTrace {
+        // Mid-sized trace (~1000 VMs) so the learned models have signal.
+        let config = ClusterConfig { servers: 24, duration_days: 12, ..ClusterConfig::small() };
+        TraceGenerator::new(config, 1).generate(0)
+    }
+
+    #[test]
+    fn policy_trains_and_makes_all_three_decisions() {
+        let trace = trace();
+        let mut policy = PondPolicy::train(&trace, &PondPolicyConfig::default(), 1);
+        let evaluated = trace.requests.len().min(600);
+        for request in trace.requests.iter().take(evaluated) {
+            let pool = policy.pool_memory(request);
+            assert!(pool <= request.memory);
+            policy.observe_outcome(request, 0.0, false);
+        }
+        let stats = policy.stats();
+        assert_eq!(stats.total() as usize, evaluated);
+        assert!(stats.partial_pool > 0, "zNUMA allocations should dominate: {stats:?}");
+        assert!(stats.fully_pool > 0, "some customers run insensitive workloads: {stats:?}");
+        assert_eq!(policy.name(), "pond");
+    }
+
+    #[test]
+    fn pond_keeps_violations_low_while_using_the_pool() {
+        let trace = trace();
+        let config = PondPolicyConfig::default();
+        let policy = PondPolicy::train(&trace, &config, 2);
+        let sim_config = SimulationConfig {
+            pool_size_sockets: 16,
+            pdm: config.pdm,
+            qos_mitigation: false,
+            ..Default::default()
+        };
+        let outcome = Simulation::new(sim_config, policy).run(&trace);
+        assert!(outcome.scheduled_vms > 0);
+        // Pond should put a meaningful share of memory on the pool...
+        assert!(
+            outcome.pool_dram_fraction() > 0.10,
+            "pool share {}",
+            outcome.pool_dram_fraction()
+        );
+        // ...while keeping scheduling mispredictions near the 2% target.
+        assert!(
+            outcome.violation_fraction() < 0.08,
+            "violations {}",
+            outcome.violation_fraction()
+        );
+    }
+
+    #[test]
+    fn pond_beats_the_static_strawman_on_the_violation_per_pool_tradeoff() {
+        // Figure 21's qualitative claim: at comparable pool usage the static
+        // policy mispredicts far more often than Pond.
+        let trace = trace();
+        let config = PondPolicyConfig::default();
+        let pond = PondPolicy::train(&trace, &config, 3);
+        let sim_config = SimulationConfig { qos_mitigation: false, ..Default::default() };
+        let pond_outcome = Simulation::new(sim_config.clone(), pond).run(&trace);
+
+        let static_fraction = pond_outcome.pool_dram_fraction().clamp(0.05, 0.95);
+        let static_outcome =
+            Simulation::new(sim_config, FixedPoolFraction::new(static_fraction)).run(&trace);
+
+        assert!(
+            pond_outcome.violation_fraction() < static_outcome.violation_fraction(),
+            "pond {} vs static {} at pool share {:.2}",
+            pond_outcome.violation_fraction(),
+            static_outcome.violation_fraction(),
+            static_fraction
+        );
+    }
+
+    #[test]
+    fn decisions_respect_customer_history() {
+        let trace = trace();
+        let policy = PondPolicy::train(&trace, &PondPolicyConfig::default(), 4);
+        // A request from a brand-new customer can never take the
+        // fully-pool path (no workload history).
+        let mut request = trace.requests[0].clone();
+        request.customer = CustomerId(9_999);
+        assert!(!matches!(policy.decide(&request), PondDecision::FullyPool));
+    }
+
+    #[test]
+    fn config_budget_split() {
+        let config = PondPolicyConfig::default();
+        assert!((config.sensitivity_fp_budget() - 0.01).abs() < 1e-12);
+        assert_eq!(config.pdm, 0.05);
+    }
+}

@@ -1,0 +1,249 @@
+//! The Pool Manager (§4.2–4.3): slice assignment with a free buffer and
+//! asynchronous release.
+//!
+//! Onlining pool memory on a host is effectively instantaneous, but
+//! offlining takes 10–100 ms per GB, so it must never sit on the VM-start
+//! critical path. Pond therefore keeps a buffer of unassigned pool capacity
+//! and replenishes it asynchronously as departed VMs' slices finish
+//! offlining (Figure 9, Finding 10).
+
+use crate::error::PondError;
+use cxl_hw::pool::{PoolSlice, PoolState};
+use cxl_hw::topology::PoolTopology;
+use cxl_hw::units::{Bytes, HostId};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+use std::time::Duration;
+
+/// A release that has been initiated but whose offlining has not finished.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct PendingRelease {
+    host: HostId,
+    slices: Vec<PoolSlice>,
+    ready_at: Duration,
+}
+
+/// A completed release, recorded for offlining-rate analysis (Finding 10).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ReleaseRecord {
+    /// When the release was initiated.
+    pub initiated_at: Duration,
+    /// When the slices became reusable.
+    pub completed_at: Duration,
+    /// Amount released.
+    pub amount: Bytes,
+}
+
+impl ReleaseRecord {
+    /// Effective offlining rate in GB per second.
+    pub fn rate_gib_per_sec(&self) -> f64 {
+        let elapsed = self.completed_at.saturating_sub(self.initiated_at).as_secs_f64();
+        if elapsed <= 0.0 {
+            f64::INFINITY
+        } else {
+            self.amount.as_gib_f64() / elapsed
+        }
+    }
+}
+
+/// The Pool Manager.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PondPoolManager {
+    pool: PoolState,
+    pending: VecDeque<PendingRelease>,
+    releases: Vec<ReleaseRecord>,
+}
+
+impl PondPoolManager {
+    /// Creates a Pool Manager for a pool topology.
+    pub fn new(topology: &PoolTopology) -> Self {
+        PondPoolManager {
+            pool: PoolState::from_topology(topology),
+            pending: VecDeque::new(),
+            releases: Vec::new(),
+        }
+    }
+
+    /// Read access to the underlying pool state.
+    pub fn pool(&self) -> &PoolState {
+        &self.pool
+    }
+
+    /// Free capacity available for immediate assignment (the buffer).
+    pub fn available(&self) -> Bytes {
+        self.pool.free_capacity()
+    }
+
+    /// Capacity still tied up in releases that have not completed.
+    pub fn pending_release(&self) -> Bytes {
+        Bytes::from_gib(
+            self.pending.iter().map(|p| p.slices.len() as u64).sum::<u64>(),
+        )
+    }
+
+    /// Completed release records.
+    pub fn release_records(&self) -> &[ReleaseRecord] {
+        &self.releases
+    }
+
+    /// Allocates pool capacity for a VM start at time `now`.
+    ///
+    /// Onlining is fast, so the call succeeds immediately as long as the
+    /// buffer holds enough *already-free* capacity; capacity still offlining
+    /// does not count (that is exactly why the buffer exists).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PondError::PoolExhausted`] if the free buffer cannot cover
+    /// the request.
+    pub fn allocate(
+        &mut self,
+        host: HostId,
+        amount: Bytes,
+        now: Duration,
+    ) -> Result<Vec<PoolSlice>, PondError> {
+        let _ = now;
+        if amount.is_zero() {
+            return Ok(Vec::new());
+        }
+        if self.available() < Bytes::from_gib(amount.slices_ceil()) {
+            return Err(PondError::PoolExhausted {
+                detail: format!(
+                    "requested {amount}, buffer holds {}, {} still offlining",
+                    self.available(),
+                    self.pending_release()
+                ),
+            });
+        }
+        Ok(self.pool.add_capacity(host, amount)?)
+    }
+
+    /// Initiates the asynchronous release of a departed VM's slices. The
+    /// capacity becomes reusable only after the per-GB offlining delay.
+    ///
+    /// # Errors
+    ///
+    /// Propagates ownership errors from the hardware layer.
+    pub fn release_async(
+        &mut self,
+        host: HostId,
+        slices: Vec<PoolSlice>,
+        now: Duration,
+    ) -> Result<(), PondError> {
+        if slices.is_empty() {
+            return Ok(());
+        }
+        let offline_time = self.pool.begin_release(host, &slices)?;
+        self.pending.push_back(PendingRelease { host, slices, ready_at: now + offline_time });
+        Ok(())
+    }
+
+    /// Completes every pending release whose offlining delay has elapsed by
+    /// `now`. Returns the capacity returned to the buffer.
+    pub fn process_releases(&mut self, now: Duration) -> Bytes {
+        let mut freed = Bytes::ZERO;
+        let mut remaining = VecDeque::new();
+        while let Some(pending) = self.pending.pop_front() {
+            if pending.ready_at <= now {
+                let amount = Bytes::from_gib(pending.slices.len() as u64);
+                self.pool
+                    .complete_release(pending.host, &pending.slices)
+                    .expect("pending releases reference slices this manager put into releasing state");
+                self.releases.push(ReleaseRecord {
+                    initiated_at: pending.ready_at.saturating_sub(Duration::from_millis(
+                        100 * pending.slices.len() as u64,
+                    )),
+                    completed_at: pending.ready_at,
+                    amount,
+                });
+                freed += amount;
+            } else {
+                remaining.push_back(pending);
+            }
+        }
+        self.pending = remaining;
+        freed
+    }
+
+    /// Percentile of the observed offlining rates (GB/s) across completed
+    /// releases; Finding 10 reports the 99.99th and 99.999th percentiles of
+    /// the rates needed at VM start.
+    pub fn release_rate_percentile(&self, percentile: f64) -> Option<f64> {
+        if self.releases.is_empty() {
+            return None;
+        }
+        let mut rates: Vec<f64> = self.releases.iter().map(|r| r.rate_gib_per_sec()).collect();
+        rates.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let pos = (percentile.clamp(0.0, 1.0) * (rates.len() - 1) as f64).round() as usize;
+        Some(rates[pos])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn manager() -> PondPoolManager {
+        let topology = PoolTopology::pond_with_capacity(16, Bytes::from_gib(64)).unwrap();
+        PondPoolManager::new(&topology)
+    }
+
+    #[test]
+    fn allocation_consumes_the_buffer() {
+        let mut m = manager();
+        assert_eq!(m.available(), Bytes::from_gib(64));
+        let slices = m.allocate(HostId(0), Bytes::from_gib(8), Duration::ZERO).unwrap();
+        assert_eq!(slices.len(), 8);
+        assert_eq!(m.available(), Bytes::from_gib(56));
+        assert!(m.allocate(HostId(1), Bytes::ZERO, Duration::ZERO).unwrap().is_empty());
+    }
+
+    #[test]
+    fn released_capacity_is_unavailable_until_offlining_completes() {
+        let mut m = manager();
+        let slices = m.allocate(HostId(0), Bytes::from_gib(60), Duration::ZERO).unwrap();
+        m.release_async(HostId(0), slices, Duration::from_secs(10)).unwrap();
+        // Immediately after the release the capacity is still offlining.
+        assert_eq!(m.available(), Bytes::from_gib(4));
+        assert_eq!(m.pending_release(), Bytes::from_gib(60));
+        let err = m.allocate(HostId(1), Bytes::from_gib(10), Duration::from_secs(10)).unwrap_err();
+        assert!(matches!(err, PondError::PoolExhausted { .. }));
+        // Not ready one second later (60 GB at 100 ms/GB = 6 s).
+        assert_eq!(m.process_releases(Duration::from_secs(11)), Bytes::ZERO);
+        // Ready after the offlining delay.
+        let freed = m.process_releases(Duration::from_secs(17));
+        assert_eq!(freed, Bytes::from_gib(60));
+        assert_eq!(m.available(), Bytes::from_gib(64));
+        assert!(m.allocate(HostId(1), Bytes::from_gib(10), Duration::from_secs(17)).is_ok());
+    }
+
+    #[test]
+    fn release_records_track_rates() {
+        let mut m = manager();
+        for i in 0..4u64 {
+            let slices = m.allocate(HostId(0), Bytes::from_gib(4), Duration::from_secs(i)).unwrap();
+            m.release_async(HostId(0), slices, Duration::from_secs(i)).unwrap();
+        }
+        m.process_releases(Duration::from_secs(100));
+        assert_eq!(m.release_records().len(), 4);
+        let p50 = m.release_rate_percentile(0.5).unwrap();
+        // 4 GB in 0.4 s = 10 GB/s with the default worst-case timing.
+        assert!(p50 > 1.0, "offlining rate {p50} GB/s");
+        assert!(m.release_rate_percentile(1.0).unwrap() >= p50);
+        assert!(manager().release_rate_percentile(0.5).is_none());
+    }
+
+    #[test]
+    fn empty_release_is_a_noop() {
+        let mut m = manager();
+        m.release_async(HostId(0), Vec::new(), Duration::ZERO).unwrap();
+        assert_eq!(m.pending_release(), Bytes::ZERO);
+    }
+
+    #[test]
+    fn double_release_of_foreign_slices_fails() {
+        let mut m = manager();
+        let slices = m.allocate(HostId(0), Bytes::from_gib(2), Duration::ZERO).unwrap();
+        assert!(m.release_async(HostId(1), slices, Duration::ZERO).is_err());
+    }
+}

@@ -1,0 +1,338 @@
+//! Model-evaluation utilities: confusion matrices, the false-positive
+//! trade-off curve from Figure 17, and the overprediction metrics from
+//! Figure 18.
+//!
+//! Conventions follow the paper: a *false positive* of the latency
+//! insensitivity model is a workload marked insensitive whose slowdown
+//! actually exceeds the PDM, reported as a percentage of **all** workloads
+//! (so Eq. (1)'s `FP + OP ≤ 100 − TP` adds up); an *overprediction* of the
+//! untouched-memory model is a VM that touches more memory than predicted.
+
+use serde::{Deserialize, Serialize};
+
+/// Binary confusion counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ConfusionMatrix {
+    /// Predicted positive, actually positive.
+    pub true_positives: usize,
+    /// Predicted positive, actually negative.
+    pub false_positives: usize,
+    /// Predicted negative, actually negative.
+    pub true_negatives: usize,
+    /// Predicted negative, actually positive.
+    pub false_negatives: usize,
+}
+
+impl ConfusionMatrix {
+    /// Builds the matrix by thresholding scores: a sample is predicted
+    /// positive when `score >= threshold`; it is actually positive when its
+    /// label is `>= 0.5`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scores` and `labels` have different lengths.
+    pub fn from_scores(scores: &[f64], labels: &[f64], threshold: f64) -> Self {
+        assert_eq!(scores.len(), labels.len(), "scores and labels must align");
+        let mut m = ConfusionMatrix::default();
+        for (&s, &l) in scores.iter().zip(labels) {
+            let predicted = s >= threshold;
+            let actual = l >= 0.5;
+            match (predicted, actual) {
+                (true, true) => m.true_positives += 1,
+                (true, false) => m.false_positives += 1,
+                (false, false) => m.true_negatives += 1,
+                (false, true) => m.false_negatives += 1,
+            }
+        }
+        m
+    }
+
+    /// Total number of samples.
+    pub fn total(&self) -> usize {
+        self.true_positives + self.false_positives + self.true_negatives + self.false_negatives
+    }
+
+    /// Fraction of samples classified correctly.
+    pub fn accuracy(&self) -> f64 {
+        if self.total() == 0 {
+            return 0.0;
+        }
+        (self.true_positives + self.true_negatives) as f64 / self.total() as f64
+    }
+
+    /// Precision: TP / (TP + FP). Zero when nothing was predicted positive.
+    pub fn precision(&self) -> f64 {
+        let denom = self.true_positives + self.false_positives;
+        if denom == 0 { 0.0 } else { self.true_positives as f64 / denom as f64 }
+    }
+
+    /// Recall: TP / (TP + FN). Zero when there are no actual positives.
+    pub fn recall(&self) -> f64 {
+        let denom = self.true_positives + self.false_negatives;
+        if denom == 0 { 0.0 } else { self.true_positives as f64 / denom as f64 }
+    }
+
+    /// Fraction of all samples that were predicted positive.
+    pub fn positive_fraction(&self) -> f64 {
+        if self.total() == 0 {
+            return 0.0;
+        }
+        (self.true_positives + self.false_positives) as f64 / self.total() as f64
+    }
+
+    /// False positives as a fraction of **all** samples — the paper's FP
+    /// metric in Figure 17 and Eq. (1).
+    pub fn false_positive_fraction(&self) -> f64 {
+        if self.total() == 0 {
+            return 0.0;
+        }
+        self.false_positives as f64 / self.total() as f64
+    }
+}
+
+/// One point on the FP-vs-coverage curve (Figure 17).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OperatingPoint {
+    /// Score threshold used for this point.
+    pub threshold: f64,
+    /// Fraction of workloads labeled positive (latency-insensitive).
+    pub positive_fraction: f64,
+    /// False positives as a fraction of all workloads.
+    pub false_positive_fraction: f64,
+}
+
+/// Sweeps the score threshold and reports the trade-off between coverage
+/// (how many workloads are marked positive) and false positives, sorted by
+/// increasing coverage.
+///
+/// # Panics
+///
+/// Panics if `scores` and `labels` have different lengths or `steps == 0`.
+pub fn threshold_sweep(scores: &[f64], labels: &[f64], steps: usize) -> Vec<OperatingPoint> {
+    assert_eq!(scores.len(), labels.len(), "scores and labels must align");
+    assert!(steps > 0, "at least one threshold step is required");
+    let mut points: Vec<OperatingPoint> = (0..=steps)
+        .map(|i| {
+            let threshold = i as f64 / steps as f64;
+            let m = ConfusionMatrix::from_scores(scores, labels, threshold);
+            OperatingPoint {
+                threshold,
+                positive_fraction: m.positive_fraction(),
+                false_positive_fraction: m.false_positive_fraction(),
+            }
+        })
+        .collect();
+    points.sort_by(|a, b| {
+        a.positive_fraction
+            .partial_cmp(&b.positive_fraction)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    points
+}
+
+/// Picks the operating point with the largest coverage whose false-positive
+/// fraction stays at or below `fp_budget`. Returns `None` when even the most
+/// conservative point exceeds the budget.
+pub fn best_point_within_fp_budget(
+    points: &[OperatingPoint],
+    fp_budget: f64,
+) -> Option<OperatingPoint> {
+    points
+        .iter()
+        .filter(|p| p.false_positive_fraction <= fp_budget)
+        .max_by(|a, b| {
+            a.positive_fraction
+                .partial_cmp(&b.positive_fraction)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        })
+        .copied()
+}
+
+/// Mean squared error.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths or are empty.
+pub fn mean_squared_error(predictions: &[f64], targets: &[f64]) -> f64 {
+    assert_eq!(predictions.len(), targets.len(), "predictions and targets must align");
+    assert!(!predictions.is_empty(), "cannot compute the MSE of nothing");
+    predictions
+        .iter()
+        .zip(targets)
+        .map(|(p, t)| (p - t).powi(2))
+        .sum::<f64>()
+        / predictions.len() as f64
+}
+
+/// Mean absolute error.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths or are empty.
+pub fn mean_absolute_error(predictions: &[f64], targets: &[f64]) -> f64 {
+    assert_eq!(predictions.len(), targets.len(), "predictions and targets must align");
+    assert!(!predictions.is_empty(), "cannot compute the MAE of nothing");
+    predictions
+        .iter()
+        .zip(targets)
+        .map(|(p, t)| (p - t).abs())
+        .sum::<f64>()
+        / predictions.len() as f64
+}
+
+/// Pinball (quantile) loss at quantile `q` — the loss the untouched-memory
+/// model optimizes.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths, are empty, or `q` is outside `(0, 1)`.
+pub fn pinball_loss(predictions: &[f64], targets: &[f64], q: f64) -> f64 {
+    assert_eq!(predictions.len(), targets.len(), "predictions and targets must align");
+    assert!(!predictions.is_empty(), "cannot compute the pinball loss of nothing");
+    assert!(q > 0.0 && q < 1.0, "quantile must be in (0, 1)");
+    predictions
+        .iter()
+        .zip(targets)
+        .map(|(p, t)| {
+            let diff = t - p;
+            if diff >= 0.0 { q * diff } else { (q - 1.0) * diff }
+        })
+        .sum::<f64>()
+        / predictions.len() as f64
+}
+
+/// Fraction of samples whose prediction exceeds the actual value — the
+/// "overprediction" rate of the untouched-memory model (Figure 18): the VM
+/// would spill into its zNUMA node because less memory was untouched than
+/// predicted.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths or are empty.
+pub fn overprediction_rate(predicted: &[f64], actual: &[f64]) -> f64 {
+    assert_eq!(predicted.len(), actual.len(), "predicted and actual must align");
+    assert!(!predicted.is_empty(), "cannot compute an overprediction rate of nothing");
+    predicted
+        .iter()
+        .zip(actual)
+        .filter(|(p, a)| p > a)
+        .count() as f64
+        / predicted.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn confusion_matrix_counts() {
+        let scores = [0.9, 0.8, 0.2, 0.1];
+        let labels = [1.0, 0.0, 1.0, 0.0];
+        let m = ConfusionMatrix::from_scores(&scores, &labels, 0.5);
+        assert_eq!(m.true_positives, 1);
+        assert_eq!(m.false_positives, 1);
+        assert_eq!(m.false_negatives, 1);
+        assert_eq!(m.true_negatives, 1);
+        assert_eq!(m.total(), 4);
+        assert_eq!(m.accuracy(), 0.5);
+        assert_eq!(m.precision(), 0.5);
+        assert_eq!(m.recall(), 0.5);
+        assert_eq!(m.positive_fraction(), 0.5);
+        assert_eq!(m.false_positive_fraction(), 0.25);
+    }
+
+    #[test]
+    fn empty_matrix_is_all_zero() {
+        let m = ConfusionMatrix::from_scores(&[], &[], 0.5);
+        assert_eq!(m.total(), 0);
+        assert_eq!(m.accuracy(), 0.0);
+        assert_eq!(m.precision(), 0.0);
+        assert_eq!(m.recall(), 0.0);
+        assert_eq!(m.false_positive_fraction(), 0.0);
+    }
+
+    #[test]
+    fn threshold_sweep_is_monotone_in_coverage() {
+        let scores: Vec<f64> = (0..100).map(|i| i as f64 / 100.0).collect();
+        let labels: Vec<f64> = (0..100).map(|i| if i % 3 == 0 { 1.0 } else { 0.0 }).collect();
+        let points = threshold_sweep(&scores, &labels, 20);
+        assert_eq!(points.len(), 21);
+        for pair in points.windows(2) {
+            assert!(pair[1].positive_fraction >= pair[0].positive_fraction);
+            // False positives can only grow as more items are marked positive.
+            assert!(pair[1].false_positive_fraction >= pair[0].false_positive_fraction - 1e-12);
+        }
+    }
+
+    #[test]
+    fn best_point_respects_the_budget() {
+        let scores = [0.95, 0.9, 0.6, 0.4, 0.2];
+        let labels = [1.0, 1.0, 0.0, 1.0, 0.0];
+        let points = threshold_sweep(&scores, &labels, 100);
+        let pick = best_point_within_fp_budget(&points, 0.0).unwrap();
+        assert!(pick.false_positive_fraction <= 0.0 + 1e-12);
+        assert!(pick.positive_fraction >= 0.4 - 1e-12, "both clean positives are reachable");
+        let generous = best_point_within_fp_budget(&points, 1.0).unwrap();
+        assert!(generous.positive_fraction >= pick.positive_fraction);
+    }
+
+    #[test]
+    fn regression_metrics() {
+        let preds = [1.0, 2.0, 3.0];
+        let targets = [1.0, 3.0, 1.0];
+        assert!((mean_squared_error(&preds, &targets) - 5.0 / 3.0).abs() < 1e-12);
+        assert!((mean_absolute_error(&preds, &targets) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pinball_loss_penalizes_asymmetrically() {
+        // Under-predictions are penalized by q, over-predictions by 1-q.
+        let under = pinball_loss(&[0.0], &[1.0], 0.1);
+        let over = pinball_loss(&[1.0], &[0.0], 0.1);
+        assert!((under - 0.1).abs() < 1e-12);
+        assert!((over - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overprediction_rate_counts_spills() {
+        let predicted = [0.5, 0.2, 0.9, 0.0];
+        let actual = [0.4, 0.3, 0.9, 0.1];
+        // Only the first element predicts more untouched memory than reality.
+        assert_eq!(overprediction_rate(&predicted, &actual), 0.25);
+    }
+
+    #[test]
+    #[should_panic(expected = "must align")]
+    fn mismatched_lengths_rejected() {
+        let _ = overprediction_rate(&[1.0], &[1.0, 2.0]);
+    }
+
+    proptest! {
+        /// Accuracy, precision, recall and the FP fraction are all within [0, 1].
+        #[test]
+        fn metrics_are_bounded(
+            scores in proptest::collection::vec(0.0f64..1.0, 1..50),
+            threshold in 0.0f64..1.0,
+            seed in 0u64..100
+        ) {
+            let labels: Vec<f64> = scores.iter().enumerate()
+                .map(|(i, _)| if (i as u64 + seed) % 3 == 0 { 1.0 } else { 0.0 })
+                .collect();
+            let m = ConfusionMatrix::from_scores(&scores, &labels, threshold);
+            for v in [m.accuracy(), m.precision(), m.recall(), m.positive_fraction(), m.false_positive_fraction()] {
+                prop_assert!((0.0..=1.0).contains(&v));
+            }
+            prop_assert_eq!(m.total(), scores.len());
+        }
+
+        /// The pinball loss is always non-negative and zero for perfect predictions.
+        #[test]
+        fn pinball_loss_properties(targets in proptest::collection::vec(-5.0f64..5.0, 1..30), q in 0.01f64..0.99) {
+            let loss_perfect = pinball_loss(&targets, &targets, q);
+            prop_assert!(loss_perfect.abs() < 1e-12);
+            let shifted: Vec<f64> = targets.iter().map(|t| t + 1.0).collect();
+            prop_assert!(pinball_loss(&shifted, &targets, q) > 0.0);
+        }
+    }
+}

@@ -1,0 +1,51 @@
+//! # pond-ml
+//!
+//! The machine-learning substrate behind Pond's two prediction models
+//! (ASPLOS '23, §4.4 and §5):
+//!
+//! * a **random-forest classifier** for the latency-insensitivity model
+//!   (the paper uses Scikit-learn's `RandomForest` over ~200 core-PMU
+//!   counters), and
+//! * **gradient-boosted regression trees with quantile (pinball) loss** for
+//!   the untouched-memory model (the paper uses LightGBM's GBM with a
+//!   configurable target percentile).
+//!
+//! Both are implemented from scratch on top of a shared CART decision-tree
+//! learner, plus dataset handling and the evaluation curves the paper plots
+//! (false-positive rate vs. fraction marked insensitive, overprediction rate
+//! vs. average untouched memory).
+//!
+//! # Example
+//!
+//! ```
+//! use pond_ml::dataset::Dataset;
+//! use pond_ml::forest::{RandomForest, ForestConfig};
+//!
+//! // A toy dataset: label is 1.0 when the first feature is above 0.5.
+//! let rows: Vec<Vec<f64>> = (0..200).map(|i| vec![(i % 100) as f64 / 100.0, 1.0]).collect();
+//! let labels: Vec<f64> = rows.iter().map(|r| if r[0] > 0.5 { 1.0 } else { 0.0 }).collect();
+//! let data = Dataset::new(vec!["x".into(), "bias".into()], rows, labels)?;
+//!
+//! let forest = RandomForest::fit(&data, &ForestConfig { trees: 20, ..Default::default() }, 7);
+//! let p_high = forest.predict_proba(&[0.9, 1.0]);
+//! let p_low = forest.predict_proba(&[0.1, 1.0]);
+//! assert!(p_high > 0.8 && p_low < 0.2);
+//! # Ok::<(), pond_ml::MlError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod dataset;
+pub mod error;
+pub mod eval;
+pub mod forest;
+pub mod gbm;
+pub mod tree;
+
+pub use dataset::Dataset;
+pub use error::MlError;
+pub use forest::{ForestConfig, RandomForest};
+pub use gbm::{GbmConfig, GradientBoostedTrees};
+pub use tree::{DecisionTree, TreeConfig};

@@ -1,0 +1,449 @@
+//! CART regression trees — the shared building block for the random forest
+//! and the gradient-boosted model.
+//!
+//! Trees are grown greedily with variance-reduction (MSE) splits. Binary
+//! classification reuses the same machinery by encoding labels as 0.0/1.0 and
+//! reading leaf means as probabilities.
+
+use crate::dataset::Dataset;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_pcg::Pcg64;
+use serde::{Deserialize, Serialize};
+
+/// Hyperparameters controlling tree growth.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TreeConfig {
+    /// Maximum tree depth (root is depth 0).
+    pub max_depth: usize,
+    /// Minimum number of samples required to attempt a split.
+    pub min_samples_split: usize,
+    /// Minimum number of samples that must land in each child.
+    pub min_samples_leaf: usize,
+    /// If set, only this many randomly-chosen features are considered per
+    /// split (random-forest style feature subsampling).
+    pub max_features: Option<usize>,
+}
+
+impl Default for TreeConfig {
+    fn default() -> Self {
+        TreeConfig { max_depth: 8, min_samples_split: 2, min_samples_leaf: 1, max_features: None }
+    }
+}
+
+/// A node in the fitted tree.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+enum Node {
+    Leaf {
+        /// Identifier of the leaf (used by gradient boosting to adjust values).
+        id: usize,
+        /// Predicted value.
+        value: f64,
+        /// Number of training samples that reached the leaf.
+        samples: usize,
+    },
+    Split {
+        feature: usize,
+        threshold: f64,
+        left: Box<Node>,
+        right: Box<Node>,
+    },
+}
+
+/// A fitted CART regression tree.
+///
+/// # Example
+///
+/// ```
+/// use pond_ml::dataset::Dataset;
+/// use pond_ml::tree::{DecisionTree, TreeConfig};
+///
+/// let rows: Vec<Vec<f64>> = (0..100).map(|i| vec![i as f64]).collect();
+/// let labels: Vec<f64> = (0..100).map(|i| if i < 50 { 0.0 } else { 10.0 }).collect();
+/// let data = Dataset::new(vec!["x".into()], rows, labels)?;
+/// let tree = DecisionTree::fit(&data, &TreeConfig::default(), 0);
+/// assert!(tree.predict(&[10.0]) < 1.0);
+/// assert!(tree.predict(&[90.0]) > 9.0);
+/// # Ok::<(), pond_ml::MlError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DecisionTree {
+    root: Node,
+    n_features: usize,
+    n_leaves: usize,
+}
+
+struct Builder<'a> {
+    rows: &'a [Vec<f64>],
+    targets: &'a [f64],
+    config: &'a TreeConfig,
+    rng: Pcg64,
+    next_leaf_id: usize,
+}
+
+impl<'a> Builder<'a> {
+    fn leaf(&mut self, indices: &[usize]) -> Node {
+        let value = if indices.is_empty() {
+            0.0
+        } else {
+            indices.iter().map(|&i| self.targets[i]).sum::<f64>() / indices.len() as f64
+        };
+        let id = self.next_leaf_id;
+        self.next_leaf_id += 1;
+        Node::Leaf { id, value, samples: indices.len() }
+    }
+
+    fn build(&mut self, indices: &mut Vec<usize>, depth: usize) -> Node {
+        if depth >= self.config.max_depth
+            || indices.len() < self.config.min_samples_split
+            || indices.len() < 2 * self.config.min_samples_leaf
+        {
+            return self.leaf(indices);
+        }
+        match self.best_split(indices) {
+            None => self.leaf(indices),
+            Some((feature, threshold)) => {
+                let (mut left, mut right): (Vec<usize>, Vec<usize>) = indices
+                    .iter()
+                    .partition(|&&i| self.rows[i][feature] <= threshold);
+                if left.len() < self.config.min_samples_leaf
+                    || right.len() < self.config.min_samples_leaf
+                {
+                    return self.leaf(indices);
+                }
+                let left_node = self.build(&mut left, depth + 1);
+                let right_node = self.build(&mut right, depth + 1);
+                Node::Split {
+                    feature,
+                    threshold,
+                    left: Box::new(left_node),
+                    right: Box::new(right_node),
+                }
+            }
+        }
+    }
+
+    /// Finds the (feature, threshold) pair with the greatest reduction in the
+    /// sum of squared errors, or `None` when no split improves on the parent.
+    fn best_split(&mut self, indices: &[usize]) -> Option<(usize, f64)> {
+        let n_features = self.rows[indices[0]].len();
+        let mut candidates: Vec<usize> = (0..n_features).collect();
+        if let Some(k) = self.config.max_features {
+            candidates.shuffle(&mut self.rng);
+            candidates.truncate(k.max(1).min(n_features));
+        }
+
+        let total_sum: f64 = indices.iter().map(|&i| self.targets[i]).sum();
+        let total_sq: f64 = indices.iter().map(|&i| self.targets[i].powi(2)).sum();
+        let n = indices.len() as f64;
+        let parent_sse = total_sq - total_sum * total_sum / n;
+
+        let mut best: Option<(usize, f64, f64)> = None; // (feature, threshold, sse)
+        for &feature in &candidates {
+            let mut order: Vec<usize> = indices.to_vec();
+            order.sort_by(|&a, &b| {
+                self.rows[a][feature]
+                    .partial_cmp(&self.rows[b][feature])
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            });
+
+            let mut left_sum = 0.0;
+            let mut left_sq = 0.0;
+            for split_at in 1..order.len() {
+                let prev = order[split_at - 1];
+                left_sum += self.targets[prev];
+                left_sq += self.targets[prev].powi(2);
+
+                let prev_val = self.rows[prev][feature];
+                let cur_val = self.rows[order[split_at]][feature];
+                if prev_val == cur_val {
+                    continue; // cannot split between identical values
+                }
+                let left_n = split_at as f64;
+                let right_n = n - left_n;
+                if (split_at < self.config.min_samples_leaf)
+                    || ((order.len() - split_at) < self.config.min_samples_leaf)
+                {
+                    continue;
+                }
+                let right_sum = total_sum - left_sum;
+                let right_sq = total_sq - left_sq;
+                let sse = (left_sq - left_sum * left_sum / left_n)
+                    + (right_sq - right_sum * right_sum / right_n);
+                if best.map_or(true, |(_, _, b)| sse < b) {
+                    best = Some((feature, (prev_val + cur_val) / 2.0, sse));
+                }
+            }
+        }
+        match best {
+            Some((feature, threshold, sse)) if sse < parent_sse - 1e-12 => {
+                Some((feature, threshold))
+            }
+            _ => None,
+        }
+    }
+}
+
+impl DecisionTree {
+    /// Fits a tree on the dataset's own labels.
+    pub fn fit(data: &Dataset, config: &TreeConfig, seed: u64) -> Self {
+        Self::fit_with_targets(data, data.labels(), config, seed)
+    }
+
+    /// Fits a tree predicting arbitrary `targets` (one per dataset row) —
+    /// the entry point gradient boosting uses to fit pseudo-residuals.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `targets.len()` differs from the number of rows.
+    pub fn fit_with_targets(
+        data: &Dataset,
+        targets: &[f64],
+        config: &TreeConfig,
+        seed: u64,
+    ) -> Self {
+        assert_eq!(targets.len(), data.len(), "one target per row is required");
+        let mut builder = Builder {
+            rows: data.rows(),
+            targets,
+            config,
+            rng: Pcg64::seed_from_u64(seed),
+            next_leaf_id: 0,
+        };
+        let mut indices: Vec<usize> = (0..data.len()).collect();
+        let root = if indices.is_empty() {
+            builder.leaf(&indices)
+        } else {
+            builder.build(&mut indices, 0)
+        };
+        DecisionTree { root, n_features: data.n_features(), n_leaves: builder.next_leaf_id }
+    }
+
+    /// Predicts the value for a feature vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `features.len()` differs from the training feature count.
+    pub fn predict(&self, features: &[f64]) -> f64 {
+        assert_eq!(features.len(), self.n_features, "feature count mismatch");
+        let mut node = &self.root;
+        loop {
+            match node {
+                Node::Leaf { value, .. } => return *value,
+                Node::Split { feature, threshold, left, right } => {
+                    node = if features[*feature] <= *threshold { left } else { right };
+                }
+            }
+        }
+    }
+
+    /// Returns the id of the leaf a feature vector falls into.
+    pub fn leaf_id(&self, features: &[f64]) -> usize {
+        assert_eq!(features.len(), self.n_features, "feature count mismatch");
+        let mut node = &self.root;
+        loop {
+            match node {
+                Node::Leaf { id, .. } => return *id,
+                Node::Split { feature, threshold, left, right } => {
+                    node = if features[*feature] <= *threshold { left } else { right };
+                }
+            }
+        }
+    }
+
+    /// Replaces each leaf value with `f(leaf_id, current_value)`.
+    /// Gradient-boosted quantile regression uses this to set leaves to
+    /// per-leaf residual quantiles rather than means.
+    pub fn adjust_leaves<F>(&mut self, mut f: F)
+    where
+        F: FnMut(usize, f64) -> f64,
+    {
+        fn walk<F: FnMut(usize, f64) -> f64>(node: &mut Node, f: &mut F) {
+            match node {
+                Node::Leaf { id, value, .. } => *value = f(*id, *value),
+                Node::Split { left, right, .. } => {
+                    walk(left, f);
+                    walk(right, f);
+                }
+            }
+        }
+        walk(&mut self.root, &mut f);
+    }
+
+    /// Number of leaves in the tree.
+    pub fn n_leaves(&self) -> usize {
+        self.n_leaves
+    }
+
+    /// Number of features the tree was trained on.
+    pub fn n_features(&self) -> usize {
+        self.n_features
+    }
+
+    /// Depth of the tree (a single leaf has depth 0).
+    pub fn depth(&self) -> usize {
+        fn depth(node: &Node) -> usize {
+            match node {
+                Node::Leaf { .. } => 0,
+                Node::Split { left, right, .. } => 1 + depth(left).max(depth(right)),
+            }
+        }
+        depth(&self.root)
+    }
+
+    /// Per-feature split counts, a crude importance measure.
+    pub fn feature_split_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.n_features];
+        fn walk(node: &Node, counts: &mut [usize]) {
+            if let Node::Split { feature, left, right, .. } = node {
+                counts[*feature] += 1;
+                walk(left, counts);
+                walk(right, counts);
+            }
+        }
+        walk(&self.root, &mut counts);
+        counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn step_dataset(n: usize) -> Dataset {
+        let rows: Vec<Vec<f64>> = (0..n).map(|i| vec![i as f64, 1.0]).collect();
+        let labels: Vec<f64> = (0..n).map(|i| if i < n / 2 { 0.0 } else { 1.0 }).collect();
+        Dataset::new(vec!["x".into(), "bias".into()], rows, labels).unwrap()
+    }
+
+    #[test]
+    fn learns_a_step_function() {
+        let data = step_dataset(100);
+        let tree = DecisionTree::fit(&data, &TreeConfig::default(), 0);
+        assert!(tree.predict(&[5.0, 1.0]) < 0.1);
+        assert!(tree.predict(&[95.0, 1.0]) > 0.9);
+        assert!(tree.depth() >= 1);
+        assert!(tree.n_leaves() >= 2);
+    }
+
+    #[test]
+    fn constant_labels_yield_a_single_leaf() {
+        let rows: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64]).collect();
+        let labels = vec![3.5; 20];
+        let data = Dataset::new(vec!["x".into()], rows, labels).unwrap();
+        let tree = DecisionTree::fit(&data, &TreeConfig::default(), 0);
+        assert_eq!(tree.depth(), 0);
+        assert_eq!(tree.n_leaves(), 1);
+        assert_eq!(tree.predict(&[100.0]), 3.5);
+    }
+
+    #[test]
+    fn max_depth_zero_predicts_the_mean() {
+        let data = step_dataset(10);
+        let tree = DecisionTree::fit(&data, &TreeConfig { max_depth: 0, ..Default::default() }, 0);
+        assert!((tree.predict(&[0.0, 1.0]) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn min_samples_leaf_is_respected() {
+        let data = step_dataset(10);
+        let tree = DecisionTree::fit(
+            &data,
+            &TreeConfig { min_samples_leaf: 6, ..Default::default() },
+            0,
+        );
+        // A split would require two children of >= 6 samples out of 10 — impossible.
+        assert_eq!(tree.depth(), 0);
+    }
+
+    #[test]
+    fn fit_with_targets_overrides_labels() {
+        let data = step_dataset(40);
+        let targets: Vec<f64> = (0..40).map(|i| i as f64 * 2.0).collect();
+        let tree = DecisionTree::fit_with_targets(&data, &targets, &TreeConfig::default(), 0);
+        let lo = tree.predict(&[2.0, 1.0]);
+        let hi = tree.predict(&[38.0, 1.0]);
+        assert!(hi > lo + 10.0);
+    }
+
+    #[test]
+    fn leaf_ids_are_stable_and_adjustable() {
+        let data = step_dataset(100);
+        let mut tree = DecisionTree::fit(&data, &TreeConfig::default(), 0);
+        let id_low = tree.leaf_id(&[1.0, 1.0]);
+        let id_high = tree.leaf_id(&[99.0, 1.0]);
+        assert_ne!(id_low, id_high);
+        tree.adjust_leaves(|id, v| if id == id_low { -5.0 } else { v });
+        assert_eq!(tree.predict(&[1.0, 1.0]), -5.0);
+        assert!(tree.predict(&[99.0, 1.0]) > 0.9);
+    }
+
+    #[test]
+    fn feature_split_counts_identify_the_informative_feature() {
+        let data = step_dataset(100);
+        let tree = DecisionTree::fit(&data, &TreeConfig::default(), 0);
+        let counts = tree.feature_split_counts();
+        assert!(counts[0] >= 1, "feature 0 is informative: {counts:?}");
+        assert_eq!(counts[1], 0, "constant bias feature should never be split on");
+    }
+
+    #[test]
+    fn feature_subsampling_still_produces_a_tree() {
+        let data = step_dataset(60);
+        let tree = DecisionTree::fit(
+            &data,
+            &TreeConfig { max_features: Some(1), ..Default::default() },
+            3,
+        );
+        assert_eq!(tree.n_features(), 2);
+        // The tree may occasionally pick the useless feature at the root, but
+        // prediction must still work.
+        let _ = tree.predict(&[10.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "feature count mismatch")]
+    fn predict_rejects_wrong_arity() {
+        let data = step_dataset(10);
+        let tree = DecisionTree::fit(&data, &TreeConfig::default(), 0);
+        let _ = tree.predict(&[1.0]);
+    }
+
+    proptest! {
+        /// The tree's predictions on its own training points achieve an MSE
+        /// no worse than predicting the mean (it can only refine the mean).
+        #[test]
+        fn never_worse_than_the_mean(labels in proptest::collection::vec(-10.0f64..10.0, 10..60)) {
+            let rows: Vec<Vec<f64>> = (0..labels.len()).map(|i| vec![i as f64]).collect();
+            let data = Dataset::new(vec!["x".into()], rows, labels.clone()).unwrap();
+            let tree = DecisionTree::fit(&data, &TreeConfig::default(), 0);
+            let mean = data.label_mean();
+            let mse_tree: f64 = (0..data.len())
+                .map(|i| (tree.predict(data.row(i)) - data.label(i)).powi(2))
+                .sum::<f64>() / data.len() as f64;
+            let mse_mean: f64 = labels.iter().map(|y| (y - mean).powi(2)).sum::<f64>() / labels.len() as f64;
+            prop_assert!(mse_tree <= mse_mean + 1e-9);
+        }
+
+        /// Deeper trees never increase training error.
+        #[test]
+        fn deeper_is_no_worse_on_training_data(seed in 0u64..50) {
+            let n = 64usize;
+            let mut rng_vals: Vec<f64> = Vec::with_capacity(n);
+            let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+            for _ in 0..n {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                rng_vals.push(((state >> 33) as f64) / (u32::MAX as f64) * 10.0);
+            }
+            let rows: Vec<Vec<f64>> = (0..n).map(|i| vec![i as f64]).collect();
+            let data = Dataset::new(vec!["x".into()], rows, rng_vals).unwrap();
+            let shallow = DecisionTree::fit(&data, &TreeConfig { max_depth: 2, ..Default::default() }, 0);
+            let deep = DecisionTree::fit(&data, &TreeConfig { max_depth: 6, ..Default::default() }, 0);
+            let mse = |t: &DecisionTree| -> f64 {
+                (0..data.len()).map(|i| (t.predict(data.row(i)) - data.label(i)).powi(2)).sum::<f64>() / data.len() as f64
+            };
+            prop_assert!(mse(&deep) <= mse(&shallow) + 1e-9);
+        }
+    }
+}

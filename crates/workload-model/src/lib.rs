@@ -1,0 +1,59 @@
+//! # workload-model
+//!
+//! A synthetic stand-in for the 158 cloud workloads the Pond paper
+//! characterizes (§3.3, §6.1): in-memory databases and KV-stores (Redis,
+//! VoltDB, TPC-H on MySQL), data and graph processing (Spark, GAPBS), HPC
+//! (SPLASH2x), CPU and shared-memory benchmarks (SPEC CPU 2017, PARSEC), and
+//! Azure-internal proprietary services.
+//!
+//! We cannot run the real binaries, so each workload is represented by a
+//! [`profile::WorkloadProfile`] describing its memory behaviour
+//! (DRAM-boundedness, memory-level parallelism, bandwidth demand, locality,
+//! NUMA awareness). From that profile the crate derives:
+//!
+//! * the **slowdown** the workload suffers when some fraction of its accesses
+//!   are served from CXL pool memory at a higher latency
+//!   ([`slowdown`], Figures 4 and 5),
+//! * the **PMU/TMA counters** the hypervisor would sample for the workload
+//!   ([`telemetry`], Figure 12), which feed Pond's latency-insensitivity
+//!   model, and
+//! * the slowdown under **zNUMA spill** — how performance degrades as the
+//!   untouched-memory prediction is increasingly wrong ([`spill`],
+//!   Figure 16).
+//!
+//! The per-class parameter distributions are calibrated so that the suite's
+//! aggregate slowdown distribution matches the shape the paper reports (26%
+//! of workloads under 1% slowdown and 21% above 25% at a 182% latency
+//! increase; heavier tails at 222%).
+//!
+//! # Example
+//!
+//! ```
+//! use workload_model::suite::WorkloadSuite;
+//! use workload_model::slowdown::SlowdownModel;
+//! use cxl_hw::latency::LatencyScenario;
+//!
+//! let suite = WorkloadSuite::standard();
+//! assert_eq!(suite.len(), 158);
+//! let model = SlowdownModel::default();
+//! let w = suite.workloads().next().unwrap();
+//! let s = model.full_pool_slowdown(w, LatencyScenario::Increase182);
+//! assert!(s >= 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod class;
+pub mod profile;
+pub mod slowdown;
+pub mod spill;
+pub mod suite;
+pub mod telemetry;
+
+pub use class::WorkloadClass;
+pub use profile::WorkloadProfile;
+pub use slowdown::SlowdownModel;
+pub use suite::WorkloadSuite;
+pub use telemetry::TmaCounters;

@@ -1,0 +1,12 @@
+//! Runnable examples for the Pond reproduction.
+//!
+//! The examples live next to this crate and are run with
+//! `cargo run -p pond-examples --example <name>`:
+//!
+//! * `quickstart` — train Pond's models, size a pool, and place a few VMs.
+//! * `znuma_vm` — build a zNUMA VM and inspect its guest-visible topology
+//!   and performance under correct and incorrect predictions.
+//! * `cluster_pooling` — run the cluster simulator with Pond vs. the static
+//!   strawman and compare DRAM savings.
+//! * `pool_management` — drive the Pool Manager / EMC slice flows of
+//!   Figure 9 directly.

@@ -1,0 +1,74 @@
+//! zNUMA in action: create a VM whose pool memory is exposed as a zero-core
+//! NUMA node, print the guest-visible topology (Figure 10), and compare the
+//! performance of a correct untouched-memory prediction with an
+//! overprediction (Figures 15 and 16).
+//!
+//! Run with: `cargo run -p pond-examples --example znuma_vm`
+
+use cxl_hw::latency::LatencyScenario;
+use cxl_hw::units::Bytes;
+use hypervisor_sim::guest::{GuestAllocation, GuestPerformance};
+use hypervisor_sim::vm::{VirtualMachine, VmConfig};
+use hypervisor_sim::vnuma::VNumaTopology;
+use workload_model::spill::SpillModel;
+use workload_model::WorkloadSuite;
+
+fn report(label: &str, vm: &VirtualMachine) {
+    let allocation = GuestAllocation::for_vm(vm);
+    let performance = GuestPerformance::evaluate(
+        vm,
+        &allocation,
+        LatencyScenario::Increase182,
+        &SpillModel::default(),
+    );
+    println!("--- {label} ---");
+    println!(
+        "footprint {} | local node {} | zNUMA {} | spilled {:.1}% of the working set",
+        allocation.footprint(),
+        vm.config().local_memory(),
+        allocation.znuma_size(),
+        allocation.spill_fraction() * 100.0
+    );
+    println!(
+        "traffic to zNUMA: {:.2}% of accesses | slowdown vs. all-local: {:.1}%\n",
+        performance.znuma_traffic_fraction * 100.0,
+        performance.slowdown * 100.0
+    );
+}
+
+fn main() {
+    let suite = WorkloadSuite::standard();
+    let workload = suite.get("voltdb/tpcc").expect("workload exists").clone();
+    let untouched = Bytes::from_gib(24);
+    let memory = workload.footprint + untouched;
+
+    // Correct prediction: the zNUMA node is exactly the untouched memory.
+    let correct = VirtualMachine::launch(
+        1,
+        VmConfig { cores: 16, memory, pool_memory: untouched },
+        workload.clone(),
+    );
+    println!("{}", VNumaTopology::for_vm(correct.config(), LatencyScenario::Increase182).describe());
+    report("correct untouched-memory prediction", &correct);
+
+    // Overprediction: Pond thought twice as much memory was untouched, so
+    // part of the working set spills onto the pool.
+    let overpredicted = VirtualMachine::launch(
+        2,
+        VmConfig {
+            cores: 16,
+            memory,
+            pool_memory: untouched + Bytes::from_gib(workload.footprint.as_gib() / 2),
+        },
+        workload.clone(),
+    );
+    report("overpredicted untouched memory (working set spills)", &overpredicted);
+
+    // Worst case: the entire VM is pool-backed.
+    let all_pool = VirtualMachine::launch(
+        3,
+        VmConfig { cores: 16, memory, pool_memory: memory },
+        workload,
+    );
+    report("entire VM on pool memory", &all_pool);
+}

@@ -1,0 +1,4 @@
+//! Cross-crate integration tests for the Pond reproduction.
+//!
+//! The actual tests live in `tests/tests/`; this library crate only exists to
+//! anchor them in the workspace.

@@ -46,7 +46,8 @@ where
             let mut pool_fraction = 0.0;
             let mut violations = 0.0;
             for trace in traces {
-                let config = SimulationConfig { pool_size_sockets: pool_sockets, ..base_config.clone() };
+                let config =
+                    SimulationConfig { pool_size_sockets: pool_sockets, ..base_config.clone() };
                 let outcome = Simulation::new(config, make_policy()).run(trace);
                 required += outcome.required_dram_fraction();
                 pool_fraction += outcome.pool_dram_fraction();
@@ -171,9 +172,8 @@ mod tests {
         let traces = traces(1);
         let mut previous = 1.0;
         for fraction in [0.1, 0.3, 0.5] {
-            let points = pool_size_sweep(&traces, &[16], &config(), || {
-                FixedPoolFraction::new(fraction)
-            });
+            let points =
+                pool_size_sweep(&traces, &[16], &config(), || FixedPoolFraction::new(fraction));
             let required = points[0].required_dram_fraction;
             assert!(
                 required <= previous + 1e-9,

@@ -104,7 +104,12 @@ impl PlacementEngine {
     /// Creates `count` servers of the given shape. `enforce_memory` controls
     /// whether server DRAM is a hard capacity (stranding analysis) or
     /// unbounded (DRAM-requirement analysis).
-    pub fn new(count: u32, cores_per_server: u32, dram_per_server: Bytes, enforce_memory: bool) -> Self {
+    pub fn new(
+        count: u32,
+        cores_per_server: u32,
+        dram_per_server: Bytes,
+        enforce_memory: bool,
+    ) -> Self {
         PlacementEngine {
             servers: (0..count)
                 .map(|i| Server::new(i, cores_per_server, dram_per_server, enforce_memory))
@@ -129,7 +134,11 @@ impl PlacementEngine {
     ///
     /// Returns the chosen server index and placement, or `None` if no server
     /// can host the VM.
-    pub fn place(&mut self, request: &VmRequest, local_memory: Bytes) -> Option<(usize, Placement)> {
+    pub fn place(
+        &mut self,
+        request: &VmRequest,
+        local_memory: Bytes,
+    ) -> Option<(usize, Placement)> {
         let mut candidates: Vec<usize> = (0..self.servers.len()).collect();
         // Tightest fit first.
         candidates.sort_by_key(|&i| self.servers[i].free_cores());
@@ -171,6 +180,7 @@ impl PlacementEngine {
 mod tests {
     use super::*;
     use crate::trace::{CustomerId, GuestOs, VmType};
+    use proptest::prelude::*;
 
     fn request(id: u64, cores: u32, gib: u64) -> VmRequest {
         VmRequest {
@@ -249,5 +259,67 @@ mod tests {
         engine.place(&request(2, 4, 4), Bytes::from_gib(4)).unwrap();
         assert_eq!(engine.stranded_memory(2), Bytes::from_gib(56));
         assert_eq!(engine.used_memory(), Bytes::from_gib(8));
+    }
+
+    #[test]
+    fn single_node_placement_prefers_the_tightest_numa_node() {
+        use crate::server::Server;
+        // 8 cores -> 4 per NUMA node, 32 GiB -> 16 per node.
+        let mut server = Server::new(0, 8, Bytes::from_gib(32), true);
+        let p1 = server.try_place(&request(1, 3, 8), Bytes::from_gib(8)).unwrap();
+        assert!(!p1.spans_numa());
+        assert_eq!(p1.local_on_other_node, Bytes::ZERO);
+        // The node hosting VM 1 has one free core left: best fit must pack
+        // the 1-core VM there rather than opening the empty node.
+        let p2 = server.try_place(&request(2, 1, 2), Bytes::from_gib(2)).unwrap();
+        assert!(!p2.spans_numa());
+        assert_eq!(p2.core_node, p1.core_node);
+    }
+
+    #[test]
+    fn spanning_fallback_splits_memory_across_nodes() {
+        use crate::server::Server;
+        let mut server = Server::new(0, 8, Bytes::from_gib(32), true);
+        // Load one node with 10 GiB so no single node can hold 18 GiB.
+        let first = server.try_place(&request(1, 2, 10), Bytes::from_gib(10)).unwrap();
+        assert!(!first.spans_numa());
+        // 4 cores fit only on the empty node; 18 GiB exceeds its 16 GiB, so
+        // the placement spans: cores + 16 GiB on one node, 2 GiB on the other.
+        let spanning = server.try_place(&request(2, 4, 18), Bytes::from_gib(18)).unwrap();
+        assert!(spanning.spans_numa());
+        assert_eq!(spanning.local_on_core_node + spanning.local_on_other_node, Bytes::from_gib(18));
+        assert_eq!(server.used_memory(), Bytes::from_gib(28));
+    }
+
+    proptest! {
+        /// Best-fit placement never oversubscribes any server's cores, and
+        /// with memory enforcement on, never its DRAM either — across
+        /// arbitrary interleavings of placements and departures.
+        #[test]
+        fn placement_never_oversubscribes(
+            ops in proptest::collection::vec(
+                (1u64..40, 1u32..24, 1u64..96, proptest::bool::ANY),
+                0..80
+            )
+        ) {
+            let mut engine = PlacementEngine::new(4, 16, Bytes::from_gib(64), true);
+            let mut live: std::collections::BTreeMap<u64, (usize, u32)> = Default::default();
+            for (id, cores, gib, remove) in ops {
+                if remove {
+                    if let Some((server, c)) = live.remove(&id) {
+                        engine.remove(server, id, c).expect("live VM must be removable");
+                    }
+                } else if !live.contains_key(&id) {
+                    let r = request(id, cores, gib);
+                    if let Some((server, _)) = engine.place(&r, r.memory) {
+                        live.insert(id, (server, cores));
+                    }
+                }
+                for s in engine.servers() {
+                    prop_assert!(s.used_cores() <= s.total_cores());
+                    prop_assert!(s.used_memory() <= s.total_memory());
+                }
+            }
+        }
     }
 }

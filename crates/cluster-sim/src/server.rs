@@ -177,9 +177,8 @@ impl Server {
             if self.free_memory() < local_memory {
                 return None;
             }
-            let on_core = Bytes::new(
-                local_memory.as_u64().min(self.nodes[core_node].free_memory().as_u64()),
-            );
+            let on_core =
+                Bytes::new(local_memory.as_u64().min(self.nodes[core_node].free_memory().as_u64()));
             let placement = Placement {
                 core_node,
                 local_on_core_node: on_core,
@@ -295,7 +294,10 @@ mod tests {
     #[test]
     fn placement_fails_when_cores_or_memory_exhausted() {
         let mut s = server();
-        assert!(s.try_place(&request(1, 48, 10), Bytes::from_gib(10)).is_none(), "one node has only 24 cores");
+        assert!(
+            s.try_place(&request(1, 48, 10), Bytes::from_gib(10)).is_none(),
+            "one node has only 24 cores"
+        );
         s.try_place(&request(2, 24, 10), Bytes::from_gib(10)).unwrap();
         s.try_place(&request(3, 24, 10), Bytes::from_gib(10)).unwrap();
         assert_eq!(s.free_cores(), 0);

@@ -268,21 +268,19 @@ impl<P: MemoryPolicy> Simulation<P> {
         let total_dram = trace.total_dram().as_u64() as f64;
         let min_vm_cores = self.config.min_vm_cores;
 
-        let take_snapshot = |time: u64, engine: &PlacementEngine, outcome: &mut SimulationOutcome| {
-            let (used, _total) = engine.core_usage();
-            let per_server: Vec<Bytes> = engine
-                .servers()
-                .iter()
-                .map(|s| s.stranded_memory(min_vm_cores))
-                .collect();
-            let stranded: Bytes = per_server.iter().copied().sum();
-            outcome.stranding_samples.push(StrandingSample {
-                time,
-                scheduled_cores_fraction: used as f64 / total_cores,
-                stranded_fraction: stranded.as_u64() as f64 / total_dram,
-                per_server_stranded: per_server,
-            });
-        };
+        let take_snapshot =
+            |time: u64, engine: &PlacementEngine, outcome: &mut SimulationOutcome| {
+                let (used, _total) = engine.core_usage();
+                let per_server: Vec<Bytes> =
+                    engine.servers().iter().map(|s| s.stranded_memory(min_vm_cores)).collect();
+                let stranded: Bytes = per_server.iter().copied().sum();
+                outcome.stranding_samples.push(StrandingSample {
+                    time,
+                    scheduled_cores_fraction: used as f64 / total_cores,
+                    stranded_fraction: stranded.as_u64() as f64 / total_dram,
+                    per_server_stranded: per_server,
+                });
+            };
 
         for (index, request) in trace.requests.iter().enumerate() {
             // Process departures that happen before this arrival.
@@ -296,8 +294,7 @@ impl<P: MemoryPolicy> Simulation<P> {
                     engine.remove(vm.server, departed.id, vm.cores);
                     cur_total[vm.server] = cur_total[vm.server].saturating_sub(departed.memory);
                     cur_pool[vm.group] = cur_pool[vm.group].saturating_sub(vm.pool);
-                    cur_server_pool[vm.server] =
-                        cur_server_pool[vm.server].saturating_sub(vm.pool);
+                    cur_server_pool[vm.server] = cur_server_pool[vm.server].saturating_sub(vm.pool);
                     if !vm.pool.is_zero() {
                         outcome.pool_releases.push(PoolRelease { time: dep.time, amount: vm.pool });
                     }
@@ -416,12 +413,14 @@ mod tests {
     fn fixed_fraction_moves_memory_to_the_pool() {
         let trace = small_trace();
         let config = SimulationConfig { qos_mitigation: false, ..Default::default() };
-        let mut sim = Simulation::new(config, FixedPoolFraction::new(0.3));
+        // A 40% static split: aggressive enough that VMs with low untouched
+        // memory spill far past the PDM, which is exactly Figure 16's lesson.
+        let mut sim = Simulation::new(config, FixedPoolFraction::new(0.4));
         let outcome = sim.run(&trace);
         assert!(outcome.scheduled_vms > 0);
         assert!(outcome.sum_pool_peaks > Bytes::ZERO);
         let frac = outcome.pool_dram_fraction();
-        assert!((0.2..=0.35).contains(&frac), "pool fraction {frac}");
+        assert!((0.25..=0.45).contains(&frac), "pool fraction {frac}");
         // Pooling should reduce the DRAM requirement relative to the baseline.
         assert!(outcome.required_dram() <= outcome.baseline_dram());
         // Some VMs spill and violate the PDM (Figure 16's lesson).
@@ -436,7 +435,10 @@ mod tests {
         let with_qos = SimulationConfig { qos_mitigation: true, ..Default::default() };
         let out_plain = Simulation::new(base, FixedPoolFraction::new(0.5)).run(&trace);
         let out_qos = Simulation::new(with_qos, FixedPoolFraction::new(0.5)).run(&trace);
-        assert_eq!(out_plain.violations, out_qos.violations, "mispredictions are counted either way");
+        assert_eq!(
+            out_plain.violations, out_qos.violations,
+            "mispredictions are counted either way"
+        );
         assert!(out_qos.mitigations > 0);
         assert_eq!(out_plain.mitigations, 0);
         assert!(out_qos.pool_gb_hours < out_plain.pool_gb_hours);
@@ -487,14 +489,15 @@ mod tests {
             FixedPoolFraction::new(0.2),
         )
         .run(&trace);
-        let sharing_gain =
-            outcome.sum_server_pool_peaks.saturating_sub(outcome.sum_pool_peaks);
-        assert_eq!(
-            outcome.required_dram(),
-            outcome.sum_total_peaks.saturating_sub(sharing_gain)
-        );
+        let sharing_gain = outcome.sum_server_pool_peaks.saturating_sub(outcome.sum_pool_peaks);
+        assert_eq!(outcome.required_dram(), outcome.sum_total_peaks.saturating_sub(sharing_gain));
         assert!(outcome.sum_server_pool_peaks >= outcome.sum_pool_peaks);
-        assert!((outcome.violation_fraction() - outcome.violations as f64 / outcome.scheduled_vms as f64).abs() < 1e-12);
+        assert!(
+            (outcome.violation_fraction()
+                - outcome.violations as f64 / outcome.scheduled_vms as f64)
+                .abs()
+                < 1e-12
+        );
         assert_eq!(outcome.slowdowns.len() as u64, outcome.scheduled_vms);
     }
 }

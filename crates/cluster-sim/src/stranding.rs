@@ -157,9 +157,8 @@ mod tests {
 
     #[test]
     fn percentiles_are_ordered() {
-        let samples: Vec<StrandingSample> = (0..100)
-            .map(|i| sample(i, 0.85, i as f64 / 500.0, vec![]))
-            .collect();
+        let samples: Vec<StrandingSample> =
+            (0..100).map(|i| sample(i, 0.85, i as f64 / 500.0, vec![])).collect();
         let buckets = bucket_by_scheduled_cores(&samples, &[0.8]);
         let b = &buckets[0];
         assert!(b.p5 <= b.mean);

@@ -190,10 +190,7 @@ impl ClusterTrace {
     pub fn validate(&self) -> Result<(), String> {
         for pair in self.requests.windows(2) {
             if pair[1].arrival < pair[0].arrival {
-                return Err(format!(
-                    "requests out of order: {} before {}",
-                    pair[1].id, pair[0].id
-                ));
+                return Err(format!("requests out of order: {} before {}", pair[1].id, pair[0].id));
             }
         }
         for request in &self.requests {

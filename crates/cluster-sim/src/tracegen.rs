@@ -56,15 +56,20 @@ impl ClusterConfig {
         }
     }
 
-    /// A small configuration for unit tests and examples: 8 servers, 3 days.
+    /// A small configuration for unit tests and examples: 16 servers, 4 days.
+    ///
+    /// Sized so a trace holds a few hundred VMs — large enough that the
+    /// distributional properties the tests assert (VM shape mix, untouched
+    /// medians, spill-induced QoS violations) hold with margin at the fixed
+    /// default seed, while keeping the full test suite fast.
     pub fn small() -> Self {
         ClusterConfig {
-            servers: 8,
+            servers: 16,
             cores_per_server: 48,
             dram_per_server: Bytes::from_gib(384),
-            duration_days: 3,
+            duration_days: 4,
             target_utilization: 0.8,
-            customers: 12,
+            customers: 16,
             memory_demand_factor: 1.6,
             workload_shift_day: None,
         }
@@ -143,7 +148,8 @@ impl TraceGenerator {
                     7..=8 => VmType::ComputeOptimized,
                     _ => VmType::Burstable,
                 };
-                let guest_os = if rng.gen::<f64>() < 0.7 { GuestOs::Linux } else { GuestOs::Windows };
+                let guest_os =
+                    if rng.gen::<f64>() < 0.7 { GuestOs::Linux } else { GuestOs::Windows };
                 CustomerModel {
                     untouched_mean,
                     workload_indices,
@@ -169,10 +175,10 @@ impl TraceGenerator {
     /// Lifetime-class weights and the range each class draws from, mirroring
     /// the short-dominated but heavy-tailed lifetime mix of cloud VMs.
     const LIFETIME_CLASSES: [(f64, u64, u64); 4] = [
-        (0.40, 5 * 60, 3600),              // minutes-scale
-        (0.30, 3600, 12 * 3600),           // hours-scale
-        (0.20, 12 * 3600, 3 * 86_400),     // day-scale
-        (0.10, 3 * 86_400, 28 * 86_400),   // long-running
+        (0.40, 5 * 60, 3600),            // minutes-scale
+        (0.30, 3600, 12 * 3600),         // hours-scale
+        (0.20, 12 * 3600, 3 * 86_400),   // day-scale
+        (0.10, 3 * 86_400, 28 * 86_400), // long-running
     ];
 
     fn sample_lifetime_in_class(class: usize, rng: &mut Pcg64) -> u64 {
@@ -196,10 +202,8 @@ impl TraceGenerator {
     /// are over-represented in proportion to their lifetime, which is what
     /// keeps the steady-state population stable from t = 0.
     fn sample_inflight_lifetime(rng: &mut Pcg64) -> u64 {
-        let class_means: Vec<f64> = Self::LIFETIME_CLASSES
-            .iter()
-            .map(|(w, lo, hi)| w * (lo + hi) as f64 / 2.0)
-            .collect();
+        let class_means: Vec<f64> =
+            Self::LIFETIME_CLASSES.iter().map(|(w, lo, hi)| w * (lo + hi) as f64 / 2.0).collect();
         let total: f64 = class_means.iter().sum();
         let mut pick: f64 = rng.gen::<f64>() * total;
         for (class, mass) in class_means.iter().enumerate() {
@@ -218,10 +222,7 @@ impl TraceGenerator {
     }
 
     fn mean_lifetime_secs() -> f64 {
-        Self::LIFETIME_CLASSES
-            .iter()
-            .map(|(w, lo, hi)| w * (lo + hi) as f64 / 2.0)
-            .sum()
+        Self::LIFETIME_CLASSES.iter().map(|(w, lo, hi)| w * (lo + hi) as f64 / 2.0).sum()
     }
 
     /// Generates the trace for one cluster index (deterministic per index).
@@ -256,7 +257,11 @@ impl TraceGenerator {
         let mut next_id = 0u64;
         let shift_secs = self.config.workload_shift_day.map(|d| d as u64 * 86_400);
 
-        let push_request = |rng: &mut Pcg64, arrival: u64, lifetime: u64, requests: &mut Vec<VmRequest>, next_id: &mut u64| {
+        let push_request = |rng: &mut Pcg64,
+                            arrival: u64,
+                            lifetime: u64,
+                            requests: &mut Vec<VmRequest>,
+                            next_id: &mut u64| {
             let customer_idx = rng.gen_range(0..customers.len());
             let customer = &customers[customer_idx];
             let cores = Self::sample_cores(rng);
@@ -270,9 +275,11 @@ impl TraceGenerator {
             } else {
                 VmType::ALL[rng.gen_range(0..VmType::ALL.len())]
             };
-            let gib = ((cores as f64 * vm_type.gib_per_core() as f64 * memory_factor
+            let gib = ((cores as f64
+                * vm_type.gib_per_core() as f64
+                * memory_factor
                 * rng.gen_range(0.8..1.25))
-                .round() as u64)
+            .round() as u64)
                 .max(1);
             let untouched_fraction =
                 (customer.untouched_mean + rng.gen_range(-0.15..0.15)).clamp(0.0, 0.98);

@@ -210,10 +210,7 @@ impl Emc {
         }
         let mut out = Vec::with_capacity(count as usize);
         for _ in 0..count {
-            let slice = self
-                .table
-                .first_free()
-                .expect("free_count was checked above");
+            let slice = self.table.first_free().expect("free_count was checked above");
             self.table.set(slice, SliceState::Assigned(host));
             out.push(slice);
         }
@@ -357,10 +354,7 @@ mod tests {
         let mut emc = small_emc();
         emc.assign_slice(HostId(0), SliceId(4)).unwrap();
         let err = emc.assign_slice(HostId(1), SliceId(4)).unwrap_err();
-        assert_eq!(
-            err,
-            CxlError::SliceAlreadyAssigned { slice: SliceId(4), owner: HostId(0) }
-        );
+        assert_eq!(err, CxlError::SliceAlreadyAssigned { slice: SliceId(4), owner: HostId(0) });
         // Re-assignment to the same host is idempotent.
         emc.assign_slice(HostId(0), SliceId(4)).unwrap();
     }
@@ -370,14 +364,8 @@ mod tests {
         let mut emc = small_emc();
         emc.assign_slice(HostId(2), SliceId(0)).unwrap();
         assert_eq!(emc.check_access(HostId(2), SliceId(0)), AccessOutcome::Granted);
-        assert_eq!(
-            emc.check_access(HostId(3), SliceId(0)),
-            AccessOutcome::FatalMemoryError
-        );
-        assert_eq!(
-            emc.check_access(HostId(2), SliceId(1)),
-            AccessOutcome::FatalMemoryError
-        );
+        assert_eq!(emc.check_access(HostId(3), SliceId(0)), AccessOutcome::FatalMemoryError);
+        assert_eq!(emc.check_access(HostId(2), SliceId(1)), AccessOutcome::FatalMemoryError);
     }
 
     #[test]
@@ -409,14 +397,8 @@ mod tests {
         emc.assign_slice(HostId(0), SliceId(0)).unwrap();
         emc.mark_failed();
         assert!(emc.is_failed());
-        assert!(matches!(
-            emc.assign_slices(HostId(0), 1),
-            Err(CxlError::ComponentFailed { .. })
-        ));
-        assert_eq!(
-            emc.check_access(HostId(0), SliceId(0)),
-            AccessOutcome::FatalMemoryError
-        );
+        assert!(matches!(emc.assign_slices(HostId(0), 1), Err(CxlError::ComponentFailed { .. })));
+        assert_eq!(emc.check_access(HostId(0), SliceId(0)), AccessOutcome::FatalMemoryError);
     }
 
     #[test]
@@ -432,7 +414,10 @@ mod tests {
 
     #[test]
     fn port_limit_bounds_attached_hosts() {
-        let mut emc = Emc::new(EmcId(0), EmcConfig { ports: 2, ddr5_channels: 2, capacity: Bytes::from_gib(4), max_hosts: 64 });
+        let mut emc = Emc::new(
+            EmcId(0),
+            EmcConfig { ports: 2, ddr5_channels: 2, capacity: Bytes::from_gib(4), max_hosts: 64 },
+        );
         emc.attach_host(HostId(0)).unwrap();
         emc.attach_host(HostId(1)).unwrap();
         assert!(emc.attach_host(HostId(2)).is_err());

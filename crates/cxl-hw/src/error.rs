@@ -95,14 +95,12 @@ impl fmt::Display for CxlError {
                 write!(f, "slice {slice} not owned by {host}")
             }
             CxlError::AccessDenied { slice, requester, owner } => match owner {
-                Some(owner) => write!(
-                    f,
-                    "access to slice {slice} by {requester} denied, owned by {owner}"
-                ),
-                None => write!(
-                    f,
-                    "access to slice {slice} by {requester} denied, slice is unassigned"
-                ),
+                Some(owner) => {
+                    write!(f, "access to slice {slice} by {requester} denied, owned by {owner}")
+                }
+                None => {
+                    write!(f, "access to slice {slice} by {requester} denied, slice is unassigned")
+                }
             },
             CxlError::InsufficientPoolCapacity { requested, available } => {
                 write!(
@@ -140,11 +138,7 @@ mod tests {
         assert!(err.to_string().contains("host1"));
         assert!(err.to_string().contains("host2"));
 
-        let err = CxlError::AccessDenied {
-            slice: SliceId(4),
-            requester: HostId(1),
-            owner: None,
-        };
+        let err = CxlError::AccessDenied { slice: SliceId(4), requester: HostId(1), owner: None };
         assert!(err.to_string().contains("unassigned"));
     }
 

@@ -135,12 +135,8 @@ impl VmPlacementMap {
     /// and removes its VMs from the map. Returns the removed VMs.
     pub fn fail_host(&mut self, pool: &mut PoolState, host: HostId) -> Vec<VmHandle> {
         pool.release_host(host);
-        let dead: Vec<VmHandle> = self
-            .host_of
-            .iter()
-            .filter(|(_, h)| **h == host)
-            .map(|(vm, _)| *vm)
-            .collect();
+        let dead: Vec<VmHandle> =
+            self.host_of.iter().filter(|(_, h)| **h == host).map(|(vm, _)| *vm).collect();
         for vm in &dead {
             self.remove(*vm);
         }

@@ -74,11 +74,7 @@ impl HdmDecoder {
     /// Creates a decoder for a host with the given amount of local DRAM.
     /// Local DRAM occupies `[0, local_dram)` in the host address space.
     pub fn new(local_dram: Bytes) -> Self {
-        HdmDecoder {
-            local_dram,
-            ranges: Vec::new(),
-            next_base: local_dram.as_u64(),
-        }
+        HdmDecoder { local_dram, ranges: Vec::new(), next_base: local_dram.as_u64() }
     }
 
     /// Amount of local (NUMA-local) DRAM.

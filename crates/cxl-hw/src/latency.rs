@@ -237,8 +237,16 @@ impl LatencyModel {
             count: 1,
             total: self.address_check,
         });
-        entries.push(BreakdownEntry { component: Component::EmcNoc, count: 1, total: self.emc_noc });
-        entries.push(BreakdownEntry { component: Component::McDram, count: 1, total: self.mc_dram });
+        entries.push(BreakdownEntry {
+            component: Component::EmcNoc,
+            count: 1,
+            total: self.emc_noc,
+        });
+        entries.push(BreakdownEntry {
+            component: Component::McDram,
+            count: 1,
+            total: self.mc_dram,
+        });
         entries
     }
 
@@ -358,10 +366,7 @@ mod tests {
         let m = LatencyModel::default();
         for sockets in [8, 16] {
             let added = m.pool_added_latency(&PoolTopology::pond(sockets).unwrap());
-            assert!(
-                (70.0..=95.0).contains(&added.as_nanos()),
-                "{sockets} sockets adds {added}"
-            );
+            assert!((70.0..=95.0).contains(&added.as_nanos()), "{sockets} sockets adds {added}");
         }
     }
 

@@ -174,11 +174,7 @@ impl PoolState {
 
     /// Capacity free for assignment across all live EMCs.
     pub fn free_capacity(&self) -> Bytes {
-        self.emcs
-            .values()
-            .filter(|e| !e.is_failed())
-            .map(|e| e.free_capacity())
-            .sum()
+        self.emcs.values().filter(|e| !e.is_failed()).map(|e| e.free_capacity()).sum()
     }
 
     /// Capacity assigned to one host across all EMCs.
@@ -204,7 +200,11 @@ impl PoolState {
     ///
     /// Returns [`CxlError::InsufficientPoolCapacity`] when the pool cannot
     /// satisfy the full request; in that case no slice is assigned.
-    pub fn add_capacity(&mut self, host: HostId, amount: Bytes) -> Result<Vec<PoolSlice>, CxlError> {
+    pub fn add_capacity(
+        &mut self,
+        host: HostId,
+        amount: Bytes,
+    ) -> Result<Vec<PoolSlice>, CxlError> {
         let needed = amount.slices_ceil();
         if needed == 0 {
             return Ok(Vec::new());
@@ -218,12 +218,8 @@ impl PoolState {
 
         // Sort live EMCs by free capacity, descending, so a single EMC serves
         // the request whenever possible.
-        let mut order: Vec<EmcId> = self
-            .emcs
-            .values()
-            .filter(|e| !e.is_failed())
-            .map(|e| e.id())
-            .collect();
+        let mut order: Vec<EmcId> =
+            self.emcs.values().filter(|e| !e.is_failed()).map(|e| e.id()).collect();
         order.sort_by_key(|id| std::cmp::Reverse(self.emcs[id].free_capacity().as_gib()));
 
         let mut remaining = needed;
@@ -265,10 +261,7 @@ impl PoolState {
         slices: &[PoolSlice],
     ) -> Result<Duration, CxlError> {
         for ps in slices {
-            let emc = self
-                .emcs
-                .get_mut(&ps.emc)
-                .ok_or(CxlError::UnknownEmc { emc: ps.emc })?;
+            let emc = self.emcs.get_mut(&ps.emc).ok_or(CxlError::UnknownEmc { emc: ps.emc })?;
             emc.begin_release(host, ps.slice)?;
             self.events.push(PoolEvent::ReleaseCapacity { host, slice: *ps });
         }
@@ -282,10 +275,7 @@ impl PoolState {
     /// Returns the first ownership error encountered.
     pub fn complete_release(&mut self, host: HostId, slices: &[PoolSlice]) -> Result<(), CxlError> {
         for ps in slices {
-            let emc = self
-                .emcs
-                .get_mut(&ps.emc)
-                .ok_or(CxlError::UnknownEmc { emc: ps.emc })?;
+            let emc = self.emcs.get_mut(&ps.emc).ok_or(CxlError::UnknownEmc { emc: ps.emc })?;
             emc.complete_release(host, ps.slice)?;
             self.events.push(PoolEvent::ReleaseCompleted { host, slice: *ps });
         }
@@ -445,6 +435,51 @@ mod tests {
         assert!(t.online_time(Bytes::from_gib(64)) < Duration::from_millis(10));
         assert_eq!(t.offline_time_max(Bytes::from_gib(10)), Duration::from_secs(1));
         assert_eq!(t.offline_time_min(Bytes::from_gib(10)), Duration::from_millis(100));
+    }
+
+    #[test]
+    fn foreign_host_cannot_release_or_complete() {
+        let mut pool = pool_8x16();
+        let slices = pool.add_capacity(HostId(0), Bytes::from_gib(2)).unwrap();
+        // Host 1 owns nothing: both phases of the release flow must fail and
+        // leave ownership untouched.
+        assert!(matches!(
+            pool.begin_release(HostId(1), &slices),
+            Err(CxlError::SliceNotOwned { .. })
+        ));
+        assert!(matches!(
+            pool.complete_release(HostId(1), &slices),
+            Err(CxlError::SliceNotOwned { .. })
+        ));
+        assert_eq!(pool.capacity_of(HostId(0)), Bytes::from_gib(2));
+    }
+
+    #[test]
+    fn released_slices_can_be_reassigned_to_another_host() {
+        let mut pool = pool_8x16();
+        let first = pool.add_capacity(HostId(0), Bytes::from_gib(16)).unwrap();
+        assert!(pool.add_capacity(HostId(1), Bytes::from_gib(1)).is_err());
+        pool.begin_release(HostId(0), &first).unwrap();
+        // Capacity stays attributed to host 0 until offlining completes, so
+        // the pool is still full from host 1's perspective.
+        assert!(pool.add_capacity(HostId(1), Bytes::from_gib(1)).is_err());
+        pool.complete_release(HostId(0), &first).unwrap();
+        let second = pool.add_capacity(HostId(1), Bytes::from_gib(16)).unwrap();
+        assert_eq!(second.len(), 16);
+        assert_eq!(pool.capacity_of(HostId(0)), Bytes::ZERO);
+        assert_eq!(pool.capacity_of(HostId(1)), Bytes::from_gib(16));
+    }
+
+    #[test]
+    fn release_host_reclaims_everything_including_in_flight_releases() {
+        let mut pool = pool_8x16();
+        let slices = pool.add_capacity(HostId(2), Bytes::from_gib(3)).unwrap();
+        pool.begin_release(HostId(2), &slices[..1]).unwrap();
+        assert_eq!(pool.release_host(HostId(2)), 3);
+        assert_eq!(pool.capacity_of(HostId(2)), Bytes::ZERO);
+        assert_eq!(pool.free_capacity(), pool.total_capacity());
+        // A second reclaim finds nothing left to release.
+        assert_eq!(pool.release_host(HostId(2)), 0);
     }
 
     proptest! {

@@ -88,10 +88,7 @@ impl PermissionTable {
     /// Panics if `max_hosts` is zero.
     pub fn new(slices: u64, max_hosts: u16) -> Self {
         assert!(max_hosts > 0, "a pool must allow at least one host");
-        PermissionTable {
-            entries: vec![SliceState::Unassigned; slices as usize],
-            max_hosts,
-        }
+        PermissionTable { entries: vec![SliceState::Unassigned; slices as usize], max_hosts }
     }
 
     /// Number of slices tracked by the table.
@@ -125,10 +122,7 @@ impl PermissionTable {
 
     /// Iterates over `(slice, state)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (SliceId, SliceState)> + '_ {
-        self.entries
-            .iter()
-            .enumerate()
-            .map(|(i, s)| (SliceId(i as u64), *s))
+        self.entries.iter().enumerate().map(|(i, s)| (SliceId(i as u64), *s))
     }
 
     /// Number of slices currently assigned (including ones mid-release).
@@ -143,10 +137,7 @@ impl PermissionTable {
 
     /// Slices owned by a given host (assigned or releasing).
     pub fn owned_by(&self, host: HostId) -> Vec<SliceId> {
-        self.iter()
-            .filter(|(_, s)| s.owner() == Some(host))
-            .map(|(id, _)| id)
-            .collect()
+        self.iter().filter(|(_, s)| s.owner() == Some(host)).map(|(id, _)| id).collect()
     }
 
     /// First free slice, if any. The EMC hands out the lowest-index free

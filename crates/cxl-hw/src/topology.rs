@@ -275,9 +275,7 @@ mod tests {
 
     #[test]
     fn capacity_override_applies_to_all_emcs() {
-        let t = PoolTopology::pond(32)
-            .unwrap()
-            .with_emc_capacity(Bytes::from_gib(512));
+        let t = PoolTopology::pond(32).unwrap().with_emc_capacity(Bytes::from_gib(512));
         assert_eq!(t.total_capacity(), Bytes::from_gib(4 * 512));
     }
 

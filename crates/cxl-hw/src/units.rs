@@ -18,7 +18,9 @@ use std::fmt;
 /// let cap = Bytes::from_gib(2);
 /// assert_eq!(cap.as_mib(), 2048);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct Bytes(u64);
 
 impl Bytes {
@@ -271,9 +273,6 @@ mod tests {
     #[test]
     fn checked_add_detects_overflow() {
         assert!(Bytes::new(u64::MAX).checked_add(Bytes::new(1)).is_none());
-        assert_eq!(
-            Bytes::new(1).checked_add(Bytes::new(2)),
-            Some(Bytes::new(3))
-        );
+        assert_eq!(Bytes::new(1).checked_add(Bytes::new(2)), Some(Bytes::new(3)));
     }
 }

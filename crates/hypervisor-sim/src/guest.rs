@@ -52,11 +52,9 @@ impl GuestAllocation {
         // (that is the part that generates the residual zNUMA traffic).
         let local_allocated = Bytes::new(footprint.as_u64().min(local_size.as_u64()));
         let spilled = footprint.saturating_sub(local_size);
-        let znuma_allocated = Bytes::new(
-            spilled
-                .as_u64()
-                .min(znuma_size.saturating_sub(metadata_on_znuma).as_u64()),
-        ) + metadata_on_znuma;
+        let znuma_allocated =
+            Bytes::new(spilled.as_u64().min(znuma_size.saturating_sub(metadata_on_znuma).as_u64()))
+                + metadata_on_znuma;
 
         GuestAllocation {
             footprint,
@@ -93,9 +91,9 @@ impl GuestAllocation {
         if self.footprint.is_zero() {
             return 0.0;
         }
-        let spilled = self
-            .znuma_allocated
-            .saturating_sub(Bytes::new(self.metadata_per_node.as_u64().min(self.znuma_size.as_u64())));
+        let spilled = self.znuma_allocated.saturating_sub(Bytes::new(
+            self.metadata_per_node.as_u64().min(self.znuma_size.as_u64()),
+        ));
         (spilled.as_u64() as f64 / self.footprint.as_u64() as f64).min(1.0)
     }
 
@@ -187,11 +185,8 @@ mod tests {
         let suite = WorkloadSuite::standard();
         let workload = suite.get("gapbs/pr-twitter").unwrap().clone();
         let memory = workload.footprint;
-        let vm = VirtualMachine::launch(
-            2,
-            VmConfig { cores: 8, memory, pool_memory: memory },
-            workload,
-        );
+        let vm =
+            VirtualMachine::launch(2, VmConfig { cores: 8, memory, pool_memory: memory }, workload);
         let alloc = GuestAllocation::for_vm(&vm);
         assert!(alloc.spill_fraction() > 0.9, "spill {}", alloc.spill_fraction());
     }

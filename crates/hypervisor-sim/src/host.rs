@@ -66,7 +66,9 @@ impl fmt::Display for HostMemoryError {
                     "hypervisor-private partition exhausted: requested {requested}, available {available}"
                 )
             }
-            HostMemoryError::VmAlreadyPlaced(vm) => write!(f, "{vm} is already placed on this host"),
+            HostMemoryError::VmAlreadyPlaced(vm) => {
+                write!(f, "{vm} is already placed on this host")
+            }
             HostMemoryError::UnknownVm(vm) => write!(f, "{vm} is not placed on this host"),
             HostMemoryError::PoolMemoryInUse { requested, free } => {
                 write!(f, "cannot offline {requested} of pool memory, only {free} is free")
@@ -104,10 +106,7 @@ impl HostMemory {
     ///
     /// Panics if the private partition exceeds the local DRAM.
     pub fn new(local_total: Bytes, private_partition: Bytes) -> Self {
-        assert!(
-            private_partition <= local_total,
-            "private partition cannot exceed local DRAM"
-        );
+        assert!(private_partition <= local_total, "private partition cannot exceed local DRAM");
         HostMemory {
             local_total,
             private_partition,
@@ -177,7 +176,10 @@ impl HostMemory {
     /// free pool memory.
     pub fn offline_pool(&mut self, amount: Bytes) -> Result<(), HostMemoryError> {
         if amount > self.pool_free() {
-            return Err(HostMemoryError::PoolMemoryInUse { requested: amount, free: self.pool_free() });
+            return Err(HostMemoryError::PoolMemoryInUse {
+                requested: amount,
+                free: self.pool_free(),
+            });
         }
         self.pool_online -= amount;
         Ok(())
@@ -194,7 +196,10 @@ impl HostMemory {
     pub fn allocate_host_agent(&mut self, amount: Bytes) -> Result<(), HostMemoryError> {
         let available = self.private_partition.saturating_sub(self.private_used);
         if amount > available {
-            return Err(HostMemoryError::PrivatePartitionExhausted { requested: amount, available });
+            return Err(HostMemoryError::PrivatePartitionExhausted {
+                requested: amount,
+                available,
+            });
         }
         self.private_used += amount;
         Ok(())
@@ -257,7 +262,8 @@ impl HostMemory {
             });
         }
         let moved = alloc.pool;
-        self.vm_allocations.insert(vm, VmAllocation { local: alloc.local + moved, pool: Bytes::ZERO });
+        self.vm_allocations
+            .insert(vm, VmAllocation { local: alloc.local + moved, pool: Bytes::ZERO });
         Ok(moved)
     }
 }
@@ -322,10 +328,7 @@ mod tests {
             Err(HostMemoryError::VmAlreadyPlaced(_))
         ));
         assert!(matches!(h.unpin_vm(VmId(2)), Err(HostMemoryError::UnknownVm(_))));
-        assert!(matches!(
-            h.convert_pool_to_local(VmId(2)),
-            Err(HostMemoryError::UnknownVm(_))
-        ));
+        assert!(matches!(h.convert_pool_to_local(VmId(2)), Err(HostMemoryError::UnknownVm(_))));
     }
 
     #[test]

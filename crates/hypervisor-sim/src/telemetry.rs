@@ -57,7 +57,12 @@ impl AccessBitScanner {
     /// The workload's footprint is touched progressively: most pages are
     /// touched early (warm-up), the rest over the first part of the lifetime,
     /// so the untouched-memory estimate shrinks towards its final value.
-    pub fn scan_series(&self, vm: &VirtualMachine, lifetime: Duration, seed: u64) -> Vec<AccessScan> {
+    pub fn scan_series(
+        &self,
+        vm: &VirtualMachine,
+        lifetime: Duration,
+        seed: u64,
+    ) -> Vec<AccessScan> {
         let scans = (lifetime.as_secs() / self.scan_interval.as_secs().max(1)) as usize;
         let footprint = vm.touched_memory();
         let rented = vm.config().memory;
@@ -143,9 +148,7 @@ impl HypervisorTelemetry {
         let guest_committed = if rng.gen::<f64>() < self.committed_counter_coverage {
             // Committed memory overestimates the true footprint by 5-30%.
             let overestimate = 1.0 + rng.gen_range(0.05..0.30);
-            Some(Bytes::new(
-                (vm.touched_memory().as_u64() as f64 * overestimate) as u64,
-            ))
+            Some(Bytes::new((vm.touched_memory().as_u64() as f64 * overestimate) as u64))
         } else {
             None
         };
@@ -233,16 +236,11 @@ mod tests {
     #[test]
     fn committed_counter_coverage_is_respected() {
         let vm = sample_vm(16);
-        let telemetry = HypervisorTelemetry {
-            committed_counter_coverage: 0.0,
-            ..Default::default()
-        };
+        let telemetry =
+            HypervisorTelemetry { committed_counter_coverage: 0.0, ..Default::default() };
         let record = telemetry.record(&vm, Duration::from_secs(3600), 4);
         assert!(record.guest_committed.is_none());
-        let always = HypervisorTelemetry {
-            committed_counter_coverage: 1.0,
-            ..Default::default()
-        };
+        let always = HypervisorTelemetry { committed_counter_coverage: 1.0, ..Default::default() };
         assert!(always.record(&vm, Duration::from_secs(3600), 4).guest_committed.is_some());
     }
 

@@ -173,11 +173,8 @@ mod tests {
     fn untouched_memory_follows_the_footprint() {
         let w = workload();
         let footprint = w.footprint;
-        let vm = VirtualMachine::launch(
-            1,
-            VmConfig::all_local(4, footprint + Bytes::from_gib(10)),
-            w,
-        );
+        let vm =
+            VirtualMachine::launch(1, VmConfig::all_local(4, footprint + Bytes::from_gib(10)), w);
         assert_eq!(vm.untouched_memory(), Bytes::from_gib(10));
         assert_eq!(vm.touched_memory(), footprint);
         assert!(vm.untouched_fraction() > 0.0 && vm.untouched_fraction() < 1.0);

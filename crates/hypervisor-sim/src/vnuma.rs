@@ -45,7 +45,8 @@ impl VNumaTopology {
     /// local memory, plus (if the VM has pool memory) a zNUMA node holding
     /// the pool memory at the latency implied by `scenario`.
     pub fn for_vm(config: &VmConfig, scenario: LatencyScenario) -> Self {
-        let mut nodes = vec![VNumaNode { id: 0, cpus: config.cores, memory: config.local_memory() }];
+        let mut nodes =
+            vec![VNumaNode { id: 0, cpus: config.cores, memory: config.local_memory() }];
         let mut distances = vec![vec![10]];
         if !config.pool_memory.is_zero() {
             nodes.push(VNumaNode { id: 1, cpus: 0, memory: config.pool_memory });
@@ -60,12 +61,9 @@ impl VNumaTopology {
 
     /// Builds a topology from an explicit latency model and pool topology,
     /// instead of one of the two canned emulation scenarios.
-    pub fn with_latencies(
-        config: &VmConfig,
-        local: Latency,
-        pool: Latency,
-    ) -> Self {
-        let mut nodes = vec![VNumaNode { id: 0, cpus: config.cores, memory: config.local_memory() }];
+    pub fn with_latencies(config: &VmConfig, local: Latency, pool: Latency) -> Self {
+        let mut nodes =
+            vec![VNumaNode { id: 0, cpus: config.cores, memory: config.local_memory() }];
         let mut distances = vec![vec![10]];
         if !config.pool_memory.is_zero() {
             nodes.push(VNumaNode { id: 1, cpus: 0, memory: config.pool_memory });
@@ -108,16 +106,16 @@ impl VNumaTopology {
     /// guest (Figure 10), for logging and examples.
     pub fn describe(&self) -> String {
         let mut out = String::new();
-        out.push_str(&format!("available: {} nodes (0-{})\n", self.nodes.len(), self.nodes.len() - 1));
+        out.push_str(&format!(
+            "available: {} nodes (0-{})\n",
+            self.nodes.len(),
+            self.nodes.len() - 1
+        ));
         for n in &self.nodes {
             out.push_str(&format!(
                 "node {} cpus: {}\nnode {} size: {} MB\n",
                 n.id,
-                if n.cpus == 0 {
-                    "(none)".to_string()
-                } else {
-                    format!("0-{}", n.cpus - 1)
-                },
+                if n.cpus == 0 { "(none)".to_string() } else { format!("0-{}", n.cpus - 1) },
                 n.id,
                 n.memory.as_mib()
             ));
@@ -134,8 +132,8 @@ impl VNumaTopology {
     /// Convenience: the SLIT entry Pond would program for a real Pond pool
     /// topology, derived from the hardware latency model.
     pub fn slit_for_pool(model: &LatencyModel, topology: &cxl_hw::topology::PoolTopology) -> u32 {
-        let ratio = model.pool_access_latency(topology).as_nanos()
-            / model.local_dram_latency().as_nanos();
+        let ratio =
+            model.pool_access_latency(topology).as_nanos() / model.local_dram_latency().as_nanos();
         (10.0 * ratio).round() as u32
     }
 }

@@ -1,10 +1,10 @@
 //! Criterion micro-benchmarks for the cluster substrate: trace generation and
 //! the event-driven simulation that backs Figures 2, 3, and 21.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use cluster_sim::scheduler::FixedPoolFraction;
 use cluster_sim::simulation::{Simulation, SimulationConfig};
 use cluster_sim::tracegen::{ClusterConfig, TraceGenerator};
+use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 fn bench_tracegen(c: &mut Criterion) {

@@ -5,8 +5,8 @@
 //! request path (Figure 11, A2) and the untouched-memory prediction is added
 //! to the VM request path by the serving system (§5).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use cluster_sim::tracegen::{ClusterConfig, TraceGenerator};
+use criterion::{criterion_group, criterion_main, Criterion};
 use pond_core::sensitivity::{SensitivityModel, SensitivityModelConfig};
 use pond_core::untouched::{replay_history, UntouchedMemoryModel, UntouchedModelConfig};
 use std::hint::black_box;
@@ -15,10 +15,7 @@ use workload_model::WorkloadSuite;
 
 fn bench_sensitivity(c: &mut Criterion) {
     let suite = WorkloadSuite::standard();
-    let config = SensitivityModelConfig {
-        samples_per_workload: 2,
-        ..Default::default()
-    };
+    let config = SensitivityModelConfig { samples_per_workload: 2, ..Default::default() };
     c.bench_function("sensitivity_model_training", |b| {
         b.iter(|| black_box(SensitivityModel::train(&suite, &config, 1)))
     });

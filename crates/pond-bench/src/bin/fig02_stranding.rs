@@ -28,7 +28,10 @@ fn main() {
         samples.extend(skip_warmup(&outcome.stranding_samples, 86_400));
     }
 
-    println!("{:<22} {:>8} {:>8} {:>8} {:>8} {:>8}", "scheduled cores", "samples", "mean", "p5", "p95", "max");
+    println!(
+        "{:<22} {:>8} {:>8} {:>8} {:>8} {:>8}",
+        "scheduled cores", "samples", "mean", "p5", "p95", "max"
+    );
     for bucket in bucket_by_scheduled_cores(&samples, &[0.60, 0.70, 0.80, 0.90]) {
         println!(
             "{:<22} {:>8} {:>8} {:>8} {:>8} {:>8}",

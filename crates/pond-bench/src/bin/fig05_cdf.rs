@@ -28,5 +28,7 @@ fn main() {
         .filter(|w| model.full_pool_slowdown(w, LatencyScenario::Increase222) > 1.0)
         .count();
     println!("\noutliers with >100% slowdown at 222%: {outliers} (paper reports 3, max 124%)");
-    println!("paper shape: the head of the CDF barely moves with latency, the body and tail shift right");
+    println!(
+        "paper shape: the head of the CDF barely moves with latency, the body and tail shift right"
+    );
 }

@@ -21,9 +21,16 @@ fn main() {
             model.pool_added_latency(&topology)
         );
         for entry in model.pool_access_breakdown(&topology) {
-            println!("    {:<22} x{:<2} {:>8}", format!("{:?}", entry.component), entry.count, format!("{}", entry.total));
+            println!(
+                "    {:<22} x{:<2} {:>8}",
+                format!("{:?}", entry.component),
+                entry.count,
+                format!("{}", entry.total)
+            );
         }
         println!();
     }
-    println!("paper values: 8-socket 155ns (182%), 16-socket 180ns (212%), 32/64-socket >270ns (318%)");
+    println!(
+        "paper values: 8-socket 155ns (182%), 16-socket 180ns (212%), 32/64-socket >270ns (318%)"
+    );
 }

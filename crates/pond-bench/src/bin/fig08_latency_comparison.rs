@@ -9,7 +9,10 @@ fn main() {
     print_header("Figure 8", "pool access latency: multi-headed EMC vs. switch-only design");
     let model = LatencyModel::default();
     println!("NUMA-local baseline: {}\n", model.local_dram_latency());
-    println!("{:<14} {:>16} {:>16} {:>12}", "pool sockets", "Pond (EMC)", "switch-only", "reduction");
+    println!(
+        "{:<14} {:>16} {:>16} {:>12}",
+        "pool sockets", "Pond (EMC)", "switch-only", "reduction"
+    );
 
     for sockets in [2u16, 8, 16, 32, 64] {
         let pond = PoolTopology::pond(sockets)

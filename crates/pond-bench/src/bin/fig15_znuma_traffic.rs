@@ -11,7 +11,10 @@ use workload_model::spill::SpillModel;
 use workload_model::WorkloadSuite;
 
 fn main() {
-    print_header("Figure 15", "traffic to the zNUMA node under correct untouched-memory predictions");
+    print_header(
+        "Figure 15",
+        "traffic to the zNUMA node under correct untouched-memory predictions",
+    );
     let suite = WorkloadSuite::standard();
     let spill = SpillModel::default();
     // Stand-ins for the paper's four production workloads.
@@ -22,7 +25,10 @@ fn main() {
         ("Analytics", "spark/kmeans"),
     ];
 
-    println!("{:<12} {:<20} {:>18} {:>14}", "workload", "suite stand-in", "traffic to zNUMA", "slowdown");
+    println!(
+        "{:<12} {:<20} {:>18} {:>14}",
+        "workload", "suite stand-in", "traffic to zNUMA", "slowdown"
+    );
     for (label, name) in picks {
         let workload = suite.get(name).expect("stand-in exists in the suite").clone();
         // Correct prediction: zNUMA sized exactly to the untouched memory.
@@ -34,8 +40,7 @@ fn main() {
             workload,
         );
         let alloc = GuestAllocation::for_vm(&vm);
-        let perf =
-            GuestPerformance::evaluate(&vm, &alloc, LatencyScenario::Increase182, &spill);
+        let perf = GuestPerformance::evaluate(&vm, &alloc, LatencyScenario::Increase182, &spill);
         println!(
             "{:<12} {:<20} {:>17.2}% {:>13.2}%",
             label,

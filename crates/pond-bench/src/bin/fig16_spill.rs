@@ -15,10 +15,8 @@ fn main() {
 
     println!("{:<12} {:>10} {:>10} {:>10} {:>10}", "spill", "p25", "median", "p75", "max");
     for &fraction in &FIGURE16_SPILL_FRACTIONS {
-        let mut slowdowns: Vec<f64> = suite
-            .workloads()
-            .map(|w| model.spill_slowdown(w, scenario, fraction))
-            .collect();
+        let mut slowdowns: Vec<f64> =
+            suite.workloads().map(|w| model.spill_slowdown(w, scenario, fraction)).collect();
         slowdowns.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let q = |p: f64| slowdowns[((slowdowns.len() - 1) as f64 * p) as usize];
         println!(

@@ -44,7 +44,10 @@ fn main() {
     let dram = flatten(&dram_points);
     let mem = flatten(&mem_points);
 
-    println!("{:<26} {:>12} {:>12} {:>12}", "workloads insensitive", "RandomForest", "DRAM-bound", "Memory-bound");
+    println!(
+        "{:<26} {:>12} {:>12} {:>12}",
+        "workloads insensitive", "RandomForest", "DRAM-bound", "Memory-bound"
+    );
     for coverage in [0.10, 0.20, 0.30, 0.40, 0.50] {
         println!(
             "{:<26} {:>12} {:>12} {:>12}",
@@ -60,6 +63,8 @@ fn main() {
         pct(mean_fp_up_to_coverage(&dram, 0.4)),
         pct(mean_fp_up_to_coverage(&mem, 0.4))
     );
-    println!("paper shape: the RandomForest slightly outperforms DRAM-bound; both beat Memory-bound;");
+    println!(
+        "paper shape: the RandomForest slightly outperforms DRAM-bound; both beat Memory-bound;"
+    );
     println!("             ~30% of workloads can go on the pool at ~2% false positives");
 }

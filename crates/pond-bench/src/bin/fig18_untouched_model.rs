@@ -9,7 +9,10 @@ use pond_core::untouched::{
 };
 
 fn main() {
-    print_header("Figure 18", "overpredictions vs. average untouched memory (GBM vs. fixed strawman)");
+    print_header(
+        "Figure 18",
+        "overpredictions vs. average untouched memory (GBM vs. fixed strawman)",
+    );
     let trace = bench_trace();
     let split = trace.requests.len() / 2;
     let (train, test) = trace.requests.split_at(split);
@@ -17,11 +20,8 @@ fn main() {
 
     println!("{:<28} {:>22} {:>18}", "predictor", "avg untouched [%GB-h]", "overpredictions");
     for quantile in [0.02, 0.05, 0.10, 0.20, 0.35, 0.50] {
-        let model = UntouchedMemoryModel::train(
-            train,
-            &UntouchedModelConfig { quantile, rounds: 50 },
-            42,
-        );
+        let model =
+            UntouchedMemoryModel::train(train, &UntouchedModelConfig { quantile, rounds: 50 }, 42);
         let point = evaluate_model(&model, test, replay_history(train));
         println!(
             "{:<28} {:>22} {:>18}",

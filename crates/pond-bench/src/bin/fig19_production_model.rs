@@ -15,11 +15,13 @@ fn main() {
     // A 4%-overprediction target corresponds to a conservative quantile.
     let model_config = UntouchedModelConfig { quantile: 0.08, rounds: 50 };
 
-    println!("{:<8} {:>12} {:>22} {:>18}", "day", "VMs scored", "avg untouched [%GB-h]", "overpredictions");
+    println!(
+        "{:<8} {:>12} {:>22} {:>18}",
+        "day", "VMs scored", "avg untouched [%GB-h]", "overpredictions"
+    );
     for day in 3..days as u64 {
         let cutoff = day * 86_400;
-        let train: Vec<_> =
-            trace.requests.iter().filter(|r| r.arrival < cutoff).cloned().collect();
+        let train: Vec<_> = trace.requests.iter().filter(|r| r.arrival < cutoff).cloned().collect();
         let eval: Vec<_> = trace
             .requests
             .iter()

@@ -6,7 +6,9 @@ use cxl_hw::latency::LatencyScenario;
 use pond_bench::{bench_trace, pct, print_header};
 use pond_core::combined::{CombinedModel, UntouchedCandidate};
 use pond_core::sensitivity::{training_dataset, SensitivityModelConfig};
-use pond_core::untouched::{evaluate_model, replay_history, UntouchedMemoryModel, UntouchedModelConfig};
+use pond_core::untouched::{
+    evaluate_model, replay_history, UntouchedMemoryModel, UntouchedModelConfig,
+};
 use pond_ml::forest::RandomForest;
 use workload_model::WorkloadSuite;
 
@@ -27,7 +29,10 @@ fn main() {
                 &UntouchedModelConfig { quantile, rounds: 40 },
                 7,
             );
-            UntouchedCandidate { quantile, point: evaluate_model(&model, test, replay_history(train)) }
+            UntouchedCandidate {
+                quantile,
+                point: evaluate_model(&model, test, replay_history(train)),
+            }
         })
         .collect();
 
@@ -37,13 +42,14 @@ fn main() {
         let (train_ml, validation) = data.train_test_split(0.5, 13);
         let forest = RandomForest::fit(&train_ml, &config.forest, 13);
         let scores = forest.predict_proba_batch(&validation).expect("matching schema");
-        let sensitivity_points =
-            pond_ml::eval::threshold_sweep(&scores, validation.labels(), 100);
+        let sensitivity_points = pond_ml::eval::threshold_sweep(&scores, validation.labels(), 100);
 
         println!("\n-- scenario {scenario} --");
         println!("{:<26} {:>18} {:>18}", "misprediction budget", "avg pool DRAM", "mispredictions");
         let budgets = [0.005, 0.01, 0.02, 0.03, 0.05];
-        for point in CombinedModel::tradeoff_curve(&sensitivity_points, &untouched_candidates, &budgets) {
+        for point in
+            CombinedModel::tradeoff_curve(&sensitivity_points, &untouched_candidates, &budgets)
+        {
             println!(
                 "{:<26} {:>18} {:>18}",
                 pct(point.budget),

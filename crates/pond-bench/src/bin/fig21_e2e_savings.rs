@@ -9,10 +9,7 @@ use pond_bench::{bench_traces, pct, print_header};
 use pond_core::policy::{PondPolicy, PondPolicyConfig};
 
 fn main() {
-    print_header(
-        "Figure 21",
-        "required overall DRAM [%] vs. pool size (PDM = 5%, TP = 98%)",
-    );
+    print_header("Figure 21", "required overall DRAM [%] vs. pool size (PDM = 5%, TP = 98%)");
     let traces = bench_traces();
     let pool_sizes = [2u16, 8, 16, 32, 64];
 
@@ -29,9 +26,9 @@ fn main() {
             qos_mitigation: true,
             ..Default::default()
         };
-        let points =
-            pool_size_sweep(&traces, &pool_sizes, &sim_config, || policy.clone());
-        let violations = points.iter().map(|p| p.violation_fraction).sum::<f64>() / points.len() as f64;
+        let points = pool_size_sweep(&traces, &pool_sizes, &sim_config, || policy.clone());
+        let violations =
+            points.iter().map(|p| p.violation_fraction).sum::<f64>() / points.len() as f64;
         columns.push((
             format!("Pond @ {scenario}"),
             points.into_iter().map(|p| p.required_dram_fraction).collect(),
@@ -47,8 +44,8 @@ fn main() {
     };
     let static_points =
         pool_size_sweep(&traces, &pool_sizes, &static_config, || FixedPoolFraction::new(0.15));
-    let static_violations =
-        static_points.iter().map(|p| p.violation_fraction).sum::<f64>() / static_points.len() as f64;
+    let static_violations = static_points.iter().map(|p| p.violation_fraction).sum::<f64>()
+        / static_points.len() as f64;
     columns.push((
         "Static 15%".to_string(),
         static_points.into_iter().map(|p| p.required_dram_fraction).collect(),

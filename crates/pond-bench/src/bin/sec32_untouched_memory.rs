@@ -2,8 +2,8 @@
 //! (median ~50%; even the least-untouched cluster has >50% of VMs with more
 //! than 20% untouched memory).
 
-use pond_bench::{bench_cluster_config, cluster_count, pct, print_header};
 use cluster_sim::tracegen::TraceGenerator;
+use pond_bench::{bench_cluster_config, cluster_count, pct, print_header};
 
 fn main() {
     print_header("§3.2", "untouched memory across VMs and clusters");
@@ -13,10 +13,8 @@ fn main() {
     let mut per_cluster_over20: Vec<f64> = Vec::new();
     for cluster in 0..cluster_count() {
         let trace = generator.generate(cluster);
-        let fractions: Vec<f64> =
-            trace.requests.iter().map(|r| r.untouched_fraction).collect();
-        let over20 =
-            fractions.iter().filter(|&&f| f > 0.2).count() as f64 / fractions.len() as f64;
+        let fractions: Vec<f64> = trace.requests.iter().map(|r| r.untouched_fraction).collect();
+        let over20 = fractions.iter().filter(|&&f| f > 0.2).count() as f64 / fractions.len() as f64;
         per_cluster_over20.push(over20);
         all.extend(fractions);
     }
@@ -24,8 +22,14 @@ fn main() {
     let q = |p: f64| all[((all.len() - 1) as f64 * p) as usize];
 
     println!("VMs analysed: {}", all.len());
-    println!("untouched memory percentiles: p10 {}  p25 {}  p50 {}  p75 {}  p90 {}",
-        pct(q(0.10)), pct(q(0.25)), pct(q(0.50)), pct(q(0.75)), pct(q(0.90)));
+    println!(
+        "untouched memory percentiles: p10 {}  p25 {}  p50 {}  p75 {}  p90 {}",
+        pct(q(0.10)),
+        pct(q(0.25)),
+        pct(q(0.50)),
+        pct(q(0.75)),
+        pct(q(0.90))
+    );
     let min_cluster = per_cluster_over20.iter().cloned().fold(f64::INFINITY, f64::min);
     println!(
         "share of VMs with >20% untouched memory: fleet {}  |  least-untouched cluster {}",

@@ -19,10 +19,7 @@ use cluster_sim::ClusterTrace;
 
 /// Number of clusters to simulate (default 12, override with `POND_CLUSTERS`).
 pub fn cluster_count() -> u32 {
-    std::env::var("POND_CLUSTERS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(12)
+    std::env::var("POND_CLUSTERS").ok().and_then(|v| v.parse().ok()).unwrap_or(12)
 }
 
 /// Trace length in days (default 15, override with `POND_DAYS`).
@@ -32,11 +29,7 @@ pub fn trace_days() -> u32 {
 
 /// The cluster configuration used by the simulation-backed figures.
 pub fn bench_cluster_config() -> ClusterConfig {
-    ClusterConfig {
-        servers: 24,
-        duration_days: trace_days(),
-        ..ClusterConfig::azure_like()
-    }
+    ClusterConfig { servers: 24, duration_days: trace_days(), ..ClusterConfig::azure_like() }
 }
 
 /// Generates the fleet of traces used by the simulation-backed figures.

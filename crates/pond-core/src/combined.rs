@@ -209,8 +209,7 @@ mod tests {
     #[test]
     fn tradeoff_curve_is_monotone_in_the_budget() {
         let (s, u) = candidates();
-        let curve =
-            CombinedModel::tradeoff_curve(&s, &u, &[0.001, 0.005, 0.01, 0.02, 0.05, 0.10]);
+        let curve = CombinedModel::tradeoff_curve(&s, &u, &[0.001, 0.005, 0.01, 0.02, 0.05, 0.10]);
         assert_eq!(curve.len(), 6);
         for pair in curve.windows(2) {
             assert!(pair[1].pool_share >= pair[0].pool_share - 1e-12);

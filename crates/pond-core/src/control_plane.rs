@@ -110,8 +110,7 @@ impl PondControlPlane {
         config: ControlPlaneConfig,
         seed: u64,
     ) -> Result<Self, PondError> {
-        let topology =
-            PoolTopology::pond_with_capacity(config.pool_sockets, config.pool_capacity)?;
+        let topology = PoolTopology::pond_with_capacity(config.pool_sockets, config.pool_capacity)?;
         let policy = PondPolicy::train(training_trace, &config.policy, seed);
         let monitor = QosMonitor::new(policy.sensitivity_model().clone());
         let hosts = (0..config.hosts)
@@ -249,12 +248,9 @@ impl PondControlPlane {
             .remove(&vm.0)
             .ok_or_else(|| PondError::HostMemory(format!("{vm} is not running")))?;
         let host = &mut self.hosts[record.host];
-        let allocation =
-            host.unpin_vm(vm).map_err(|e| PondError::HostMemory(e.to_string()))?;
-        host.offline_pool(allocation.pool)
-            .map_err(|e| PondError::HostMemory(e.to_string()))?;
-        self.pool
-            .release_async(HostId(record.host as u16), record.slices, now)?;
+        let allocation = host.unpin_vm(vm).map_err(|e| PondError::HostMemory(e.to_string()))?;
+        host.offline_pool(allocation.pool).map_err(|e| PondError::HostMemory(e.to_string()))?;
+        self.pool.release_async(HostId(record.host as u16), record.slices, now)?;
         // Feed the observed outcome back into the policy's history.
         Ok(())
     }
@@ -357,10 +353,7 @@ mod tests {
     #[test]
     fn pool_exhaustion_is_reported() {
         let trace = TraceGenerator::new(ClusterConfig::small(), 1).generate(0);
-        let config = ControlPlaneConfig {
-            pool_capacity: Bytes::from_gib(2),
-            ..Default::default()
-        };
+        let config = ControlPlaneConfig { pool_capacity: Bytes::from_gib(2), ..Default::default() };
         let mut plane = PondControlPlane::new(&trace, config, 6).unwrap();
         let mut exhausted = false;
         for request in trace.requests.iter().take(200) {

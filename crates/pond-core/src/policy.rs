@@ -228,10 +228,7 @@ impl MemoryPolicy for PondPolicy {
         // feeds the customer history and their workload becomes the
         // customer's latest known workload.
         self.history.record(request.customer, request.untouched_fraction);
-        self.workload_history
-            .entry(request.customer)
-            .or_default()
-            .insert(request.workload_index);
+        self.workload_history.entry(request.customer).or_default().insert(request.workload_index);
     }
 
     fn name(&self) -> &str {
@@ -283,17 +280,9 @@ mod tests {
         let outcome = Simulation::new(sim_config, policy).run(&trace);
         assert!(outcome.scheduled_vms > 0);
         // Pond should put a meaningful share of memory on the pool...
-        assert!(
-            outcome.pool_dram_fraction() > 0.10,
-            "pool share {}",
-            outcome.pool_dram_fraction()
-        );
+        assert!(outcome.pool_dram_fraction() > 0.10, "pool share {}", outcome.pool_dram_fraction());
         // ...while keeping scheduling mispredictions near the 2% target.
-        assert!(
-            outcome.violation_fraction() < 0.08,
-            "violations {}",
-            outcome.violation_fraction()
-        );
+        assert!(outcome.violation_fraction() < 0.08, "violations {}", outcome.violation_fraction());
     }
 
     #[test]

@@ -76,9 +76,7 @@ impl PondPoolManager {
 
     /// Capacity still tied up in releases that have not completed.
     pub fn pending_release(&self) -> Bytes {
-        Bytes::from_gib(
-            self.pending.iter().map(|p| p.slices.len() as u64).sum::<u64>(),
-        )
+        Bytes::from_gib(self.pending.iter().map(|p| p.slices.len() as u64).sum::<u64>())
     }
 
     /// Completed release records.
@@ -146,13 +144,13 @@ impl PondPoolManager {
         while let Some(pending) = self.pending.pop_front() {
             if pending.ready_at <= now {
                 let amount = Bytes::from_gib(pending.slices.len() as u64);
-                self.pool
-                    .complete_release(pending.host, &pending.slices)
-                    .expect("pending releases reference slices this manager put into releasing state");
+                self.pool.complete_release(pending.host, &pending.slices).expect(
+                    "pending releases reference slices this manager put into releasing state",
+                );
                 self.releases.push(ReleaseRecord {
-                    initiated_at: pending.ready_at.saturating_sub(Duration::from_millis(
-                        100 * pending.slices.len() as u64,
-                    )),
+                    initiated_at: pending
+                        .ready_at
+                        .saturating_sub(Duration::from_millis(100 * pending.slices.len() as u64)),
                     completed_at: pending.ready_at,
                     amount,
                 });

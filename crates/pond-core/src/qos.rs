@@ -180,7 +180,9 @@ mod tests {
         sorted.sort_by(|a, b| {
             model
                 .full_pool_slowdown(a, cxl_hw::latency::LatencyScenario::Increase182)
-                .partial_cmp(&model.full_pool_slowdown(b, cxl_hw::latency::LatencyScenario::Increase182))
+                .partial_cmp(
+                    &model.full_pool_slowdown(b, cxl_hw::latency::LatencyScenario::Increase182),
+                )
                 .unwrap()
         });
         (sorted.last().unwrap().name.clone(), sorted.first().unwrap().name.clone())

@@ -53,8 +53,7 @@ pub fn training_dataset(
     let mut rows = Vec::new();
     let mut labels = Vec::new();
     for (i, workload) in suite.workloads().enumerate() {
-        let insensitive =
-            slowdown.is_latency_insensitive(workload, config.scenario, config.pdm);
+        let insensitive = slowdown.is_latency_insensitive(workload, config.scenario, config.pdm);
         for s in 0..config.samples_per_workload.max(1) {
             let counters = sampler.sample(workload, seed.wrapping_add((i * 1000 + s) as u64));
             rows.push(counters.to_features());
@@ -227,9 +226,14 @@ mod tests {
         let model = SensitivityModel { forest, config: config.clone(), threshold: 0.5 };
 
         let rf = mean_fp_up_to_coverage(&model.operating_points(&test, 50), 0.4);
-        let dram = mean_fp_up_to_coverage(&CounterHeuristic::DramBound.operating_points(&test, 50), 0.4);
-        let mem = mean_fp_up_to_coverage(&CounterHeuristic::MemoryBound.operating_points(&test, 50), 0.4);
-        assert!(rf <= dram + 0.01, "RandomForest ({rf:.3}) should be at least as good as DRAM-bound ({dram:.3})");
+        let dram =
+            mean_fp_up_to_coverage(&CounterHeuristic::DramBound.operating_points(&test, 50), 0.4);
+        let mem =
+            mean_fp_up_to_coverage(&CounterHeuristic::MemoryBound.operating_points(&test, 50), 0.4);
+        assert!(
+            rf <= dram + 0.01,
+            "RandomForest ({rf:.3}) should be at least as good as DRAM-bound ({dram:.3})"
+        );
         assert!(dram < mem, "DRAM-bound ({dram:.3}) should beat Memory-bound ({mem:.3})");
     }
 

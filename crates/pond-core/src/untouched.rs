@@ -28,10 +28,7 @@ impl CustomerHistory {
 
     /// Records the untouched fraction observed for a completed VM.
     pub fn record(&mut self, customer: CustomerId, untouched_fraction: f64) {
-        self.observations
-            .entry(customer)
-            .or_default()
-            .push(untouched_fraction.clamp(0.0, 1.0));
+        self.observations.entry(customer).or_default().push(untouched_fraction.clamp(0.0, 1.0));
     }
 
     /// Number of observations for a customer.
@@ -154,11 +151,12 @@ impl UntouchedMemoryModel {
             labels,
         )
         .expect("request-derived dataset is well formed");
-        let gbm_config = GbmConfig {
-            rounds: config.rounds,
-            ..GbmConfig::quantile(config.quantile)
-        };
-        UntouchedMemoryModel { gbm: GradientBoostedTrees::fit(&data, &gbm_config, seed), config: config.clone() }
+        let gbm_config =
+            GbmConfig { rounds: config.rounds, ..GbmConfig::quantile(config.quantile) };
+        UntouchedMemoryModel {
+            gbm: GradientBoostedTrees::fit(&data, &gbm_config, seed),
+            config: config.clone(),
+        }
     }
 
     /// The configuration the model was trained with.
@@ -235,7 +233,8 @@ pub fn evaluate_predictions(requests: &[VmRequest], predictions: &[f64]) -> Unto
         total_gb_hours += request.memory.as_gib_f64() * hours;
         // Overprediction: the pool share (GB-aligned) exceeds what the VM
         // leaves untouched.
-        let pool = Bytes::from_gib(request.memory.scaled(prediction.clamp(0.0, 1.0)).slices_floor());
+        let pool =
+            Bytes::from_gib(request.memory.scaled(prediction.clamp(0.0, 1.0)).slices_floor());
         if pool > request.untouched_memory() {
             overpredictions += 1;
         }
@@ -342,7 +341,10 @@ mod tests {
             point.overprediction_rate < 0.15,
             "5th-percentile predictions should rarely overpredict: {point:?}"
         );
-        assert!(point.avg_untouched_fraction > 0.05, "the model should still find untouched memory");
+        assert!(
+            point.avg_untouched_fraction > 0.05,
+            "the model should still find untouched memory"
+        );
     }
 
     #[test]

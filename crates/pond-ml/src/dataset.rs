@@ -122,10 +122,7 @@ impl Dataset {
     ///
     /// Panics unless `train_fraction` is within `(0, 1)`.
     pub fn train_test_split(&self, train_fraction: f64, seed: u64) -> (Dataset, Dataset) {
-        assert!(
-            train_fraction > 0.0 && train_fraction < 1.0,
-            "train fraction must be in (0, 1)"
-        );
+        assert!(train_fraction > 0.0 && train_fraction < 1.0, "train fraction must be in (0, 1)");
         let mut indices: Vec<usize> = (0..self.len()).collect();
         let mut rng = Pcg64::seed_from_u64(seed);
         indices.shuffle(&mut rng);
@@ -151,11 +148,8 @@ impl Dataset {
                 let start = fold * fold_size;
                 let end = ((fold + 1) * fold_size).min(self.len());
                 let test_idx = &indices[start..end];
-                let train_idx: Vec<usize> = indices[..start]
-                    .iter()
-                    .chain(indices[end..].iter())
-                    .copied()
-                    .collect();
+                let train_idx: Vec<usize> =
+                    indices[..start].iter().chain(indices[end..].iter()).copied().collect();
                 (self.subset(&train_idx), self.subset(test_idx))
             })
             .collect()
@@ -165,9 +159,8 @@ impl Dataset {
     /// size as the dataset. Used by the random forest.
     pub fn bootstrap(&self, seed: u64) -> Dataset {
         let mut rng = Pcg64::seed_from_u64(seed);
-        let indices: Vec<usize> = (0..self.len())
-            .map(|_| rand::Rng::gen_range(&mut rng, 0..self.len()))
-            .collect();
+        let indices: Vec<usize> =
+            (0..self.len()).map(|_| rand::Rng::gen_range(&mut rng, 0..self.len())).collect();
         self.subset(&indices)
     }
 }
@@ -185,10 +178,7 @@ mod tests {
 
     #[test]
     fn construction_validates_shapes() {
-        assert_eq!(
-            Dataset::new(vec!["a".into()], vec![], vec![]),
-            Err(MlError::EmptyDataset)
-        );
+        assert_eq!(Dataset::new(vec!["a".into()], vec![], vec![]), Err(MlError::EmptyDataset));
         assert_eq!(
             Dataset::new(vec!["a".into()], vec![vec![1.0]], vec![]),
             Err(MlError::LabelMismatch { rows: 1, labels: 0 })

@@ -45,10 +45,9 @@ impl fmt::Display for MlError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             MlError::EmptyDataset => write!(f, "dataset has no rows"),
-            MlError::InconsistentRow { row, got, expected } => write!(
-                f,
-                "row {row} has {got} features, expected {expected}"
-            ),
+            MlError::InconsistentRow { row, got, expected } => {
+                write!(f, "row {row} has {got} features, expected {expected}")
+            }
             MlError::LabelMismatch { rows, labels } => {
                 write!(f, "dataset has {rows} rows but {labels} labels")
             }

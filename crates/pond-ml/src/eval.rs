@@ -63,13 +63,21 @@ impl ConfusionMatrix {
     /// Precision: TP / (TP + FP). Zero when nothing was predicted positive.
     pub fn precision(&self) -> f64 {
         let denom = self.true_positives + self.false_positives;
-        if denom == 0 { 0.0 } else { self.true_positives as f64 / denom as f64 }
+        if denom == 0 {
+            0.0
+        } else {
+            self.true_positives as f64 / denom as f64
+        }
     }
 
     /// Recall: TP / (TP + FN). Zero when there are no actual positives.
     pub fn recall(&self) -> f64 {
         let denom = self.true_positives + self.false_negatives;
-        if denom == 0 { 0.0 } else { self.true_positives as f64 / denom as f64 }
+        if denom == 0 {
+            0.0
+        } else {
+            self.true_positives as f64 / denom as f64
+        }
     }
 
     /// Fraction of all samples that were predicted positive.
@@ -123,9 +131,7 @@ pub fn threshold_sweep(scores: &[f64], labels: &[f64], steps: usize) -> Vec<Oper
         })
         .collect();
     points.sort_by(|a, b| {
-        a.positive_fraction
-            .partial_cmp(&b.positive_fraction)
-            .unwrap_or(std::cmp::Ordering::Equal)
+        a.positive_fraction.partial_cmp(&b.positive_fraction).unwrap_or(std::cmp::Ordering::Equal)
     });
     points
 }
@@ -156,11 +162,7 @@ pub fn best_point_within_fp_budget(
 pub fn mean_squared_error(predictions: &[f64], targets: &[f64]) -> f64 {
     assert_eq!(predictions.len(), targets.len(), "predictions and targets must align");
     assert!(!predictions.is_empty(), "cannot compute the MSE of nothing");
-    predictions
-        .iter()
-        .zip(targets)
-        .map(|(p, t)| (p - t).powi(2))
-        .sum::<f64>()
+    predictions.iter().zip(targets).map(|(p, t)| (p - t).powi(2)).sum::<f64>()
         / predictions.len() as f64
 }
 
@@ -172,11 +174,7 @@ pub fn mean_squared_error(predictions: &[f64], targets: &[f64]) -> f64 {
 pub fn mean_absolute_error(predictions: &[f64], targets: &[f64]) -> f64 {
     assert_eq!(predictions.len(), targets.len(), "predictions and targets must align");
     assert!(!predictions.is_empty(), "cannot compute the MAE of nothing");
-    predictions
-        .iter()
-        .zip(targets)
-        .map(|(p, t)| (p - t).abs())
-        .sum::<f64>()
+    predictions.iter().zip(targets).map(|(p, t)| (p - t).abs()).sum::<f64>()
         / predictions.len() as f64
 }
 
@@ -195,7 +193,11 @@ pub fn pinball_loss(predictions: &[f64], targets: &[f64], q: f64) -> f64 {
         .zip(targets)
         .map(|(p, t)| {
             let diff = t - p;
-            if diff >= 0.0 { q * diff } else { (q - 1.0) * diff }
+            if diff >= 0.0 {
+                q * diff
+            } else {
+                (q - 1.0) * diff
+            }
         })
         .sum::<f64>()
         / predictions.len() as f64
@@ -212,12 +214,7 @@ pub fn pinball_loss(predictions: &[f64], targets: &[f64], q: f64) -> f64 {
 pub fn overprediction_rate(predicted: &[f64], actual: &[f64]) -> f64 {
     assert_eq!(predicted.len(), actual.len(), "predicted and actual must align");
     assert!(!predicted.is_empty(), "cannot compute an overprediction rate of nothing");
-    predicted
-        .iter()
-        .zip(actual)
-        .filter(|(p, a)| p > a)
-        .count() as f64
-        / predicted.len() as f64
+    predicted.iter().zip(actual).filter(|(p, a)| p > a).count() as f64 / predicted.len() as f64
 }
 
 #[cfg(test)]

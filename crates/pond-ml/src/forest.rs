@@ -24,10 +24,7 @@ pub struct ForestConfig {
 
 impl Default for ForestConfig {
     fn default() -> Self {
-        ForestConfig {
-            trees: 100,
-            tree: TreeConfig { max_depth: 10, ..Default::default() },
-        }
+        ForestConfig { trees: 100, tree: TreeConfig { max_depth: 10, ..Default::default() } }
     }
 }
 
@@ -139,19 +136,16 @@ mod tests {
             rows.push(vec![x0, x1, noise0, noise1]);
             labels.push(if x0 + x1 > 1.0 { 1.0 } else { 0.0 });
         }
-        Dataset::new(
-            vec!["x0".into(), "x1".into(), "n0".into(), "n1".into()],
-            rows,
-            labels,
-        )
-        .unwrap()
+        Dataset::new(vec!["x0".into(), "x1".into(), "n0".into(), "n1".into()], rows, labels)
+            .unwrap()
     }
 
     #[test]
     fn forest_learns_a_linear_boundary() {
         let train = classification_data(600, 1);
         let test = classification_data(200, 2);
-        let forest = RandomForest::fit(&train, &ForestConfig { trees: 40, ..Default::default() }, 0);
+        let forest =
+            RandomForest::fit(&train, &ForestConfig { trees: 40, ..Default::default() }, 0);
         let correct = test
             .rows()
             .iter()
@@ -165,7 +159,8 @@ mod tests {
     #[test]
     fn probabilities_are_calibrated_at_the_extremes() {
         let train = classification_data(600, 3);
-        let forest = RandomForest::fit(&train, &ForestConfig { trees: 30, ..Default::default() }, 0);
+        let forest =
+            RandomForest::fit(&train, &ForestConfig { trees: 30, ..Default::default() }, 0);
         assert!(forest.predict_proba(&[0.95, 0.95, 0.5, 0.5]) > 0.8);
         assert!(forest.predict_proba(&[0.05, 0.05, 0.5, 0.5]) < 0.2);
     }
@@ -199,10 +194,7 @@ mod tests {
         let imp = forest.feature_importance();
         assert_eq!(imp.len(), 4);
         assert!((imp.iter().sum::<f64>() - 1.0).abs() < 1e-9);
-        assert!(
-            imp[0] + imp[1] > imp[2] + imp[3],
-            "informative features should dominate: {imp:?}"
-        );
+        assert!(imp[0] + imp[1] > imp[2] + imp[3], "informative features should dominate: {imp:?}");
     }
 
     #[test]

@@ -129,9 +129,9 @@ impl GradientBoostedTrees {
             // Pseudo-residuals: negative gradient of the loss at the current
             // predictions.
             let residuals: Vec<f64> = match config.loss {
-                Loss::SquaredError => (0..data.len())
-                    .map(|i| data.label(i) - predictions[i])
-                    .collect(),
+                Loss::SquaredError => {
+                    (0..data.len()).map(|i| data.label(i) - predictions[i]).collect()
+                }
                 Loss::Quantile(q) => (0..data.len())
                     .map(|i| if data.label(i) > predictions[i] { q } else { q - 1.0 })
                     .collect(),
@@ -148,10 +148,7 @@ impl GradientBoostedTrees {
                 let mut leaf_residuals: HashMap<usize, Vec<f64>> = HashMap::new();
                 for i in 0..data.len() {
                     let leaf = tree.leaf_id(data.row(i));
-                    leaf_residuals
-                        .entry(leaf)
-                        .or_default()
-                        .push(data.label(i) - predictions[i]);
+                    leaf_residuals.entry(leaf).or_default().push(data.label(i) - predictions[i]);
                 }
                 tree.adjust_leaves(|leaf, value| match leaf_residuals.get_mut(&leaf) {
                     Some(rs) => quantile_of(rs, q),
@@ -222,10 +219,8 @@ mod tests {
     fn linear_data(n: usize, noise: f64, seed: u64) -> Dataset {
         let mut rng = Pcg64::seed_from_u64(seed);
         let rows: Vec<Vec<f64>> = (0..n).map(|_| vec![rng.gen::<f64>() * 10.0]).collect();
-        let labels: Vec<f64> = rows
-            .iter()
-            .map(|r| 3.0 * r[0] + 2.0 + (rng.gen::<f64>() - 0.5) * noise)
-            .collect();
+        let labels: Vec<f64> =
+            rows.iter().map(|r| 3.0 * r[0] + 2.0 + (rng.gen::<f64>() - 0.5) * noise).collect();
         Dataset::new(vec!["x".into()], rows, labels).unwrap()
     }
 
@@ -266,33 +261,21 @@ mod tests {
         let data = linear_data(800, 4.0, 3);
         let q = 0.2;
         let model = GradientBoostedTrees::fit(&data, &GbmConfig::quantile(q), 0);
-        let below = (0..data.len())
-            .filter(|&i| data.label(i) < model.predict(data.row(i)))
-            .count() as f64
+        let below = (0..data.len()).filter(|&i| data.label(i) < model.predict(data.row(i))).count()
+            as f64
             / data.len() as f64;
-        assert!(
-            (below - q).abs() < 0.1,
-            "fraction below the {q}-quantile prediction was {below}"
-        );
+        assert!((below - q).abs() < 0.1, "fraction below the {q}-quantile prediction was {below}");
     }
 
     #[test]
     fn more_rounds_reduce_training_error() {
         let data = linear_data(300, 1.0, 4);
-        let small = GradientBoostedTrees::fit(
-            &data,
-            &GbmConfig { rounds: 5, ..Default::default() },
-            0,
-        );
-        let large = GradientBoostedTrees::fit(
-            &data,
-            &GbmConfig { rounds: 200, ..Default::default() },
-            0,
-        );
+        let small =
+            GradientBoostedTrees::fit(&data, &GbmConfig { rounds: 5, ..Default::default() }, 0);
+        let large =
+            GradientBoostedTrees::fit(&data, &GbmConfig { rounds: 200, ..Default::default() }, 0);
         let mse = |m: &GradientBoostedTrees| {
-            (0..data.len())
-                .map(|i| (m.predict(data.row(i)) - data.label(i)).powi(2))
-                .sum::<f64>()
+            (0..data.len()).map(|i| (m.predict(data.row(i)) - data.label(i)).powi(2)).sum::<f64>()
                 / data.len() as f64
         };
         assert!(mse(&large) < mse(&small));
@@ -310,7 +293,8 @@ mod tests {
     #[test]
     fn batch_prediction_validates_features() {
         let data = linear_data(50, 1.0, 6);
-        let model = GradientBoostedTrees::fit(&data, &GbmConfig { rounds: 5, ..Default::default() }, 0);
+        let model =
+            GradientBoostedTrees::fit(&data, &GbmConfig { rounds: 5, ..Default::default() }, 0);
         assert_eq!(model.predict_batch(&data).unwrap().len(), 50);
         let wrong =
             Dataset::new(vec!["a".into(), "b".into()], vec![vec![1.0, 2.0]], vec![0.0]).unwrap();

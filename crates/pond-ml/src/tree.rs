@@ -103,9 +103,8 @@ impl<'a> Builder<'a> {
         match self.best_split(indices) {
             None => self.leaf(indices),
             Some((feature, threshold)) => {
-                let (mut left, mut right): (Vec<usize>, Vec<usize>) = indices
-                    .iter()
-                    .partition(|&&i| self.rows[i][feature] <= threshold);
+                let (mut left, mut right): (Vec<usize>, Vec<usize>) =
+                    indices.iter().partition(|&&i| self.rows[i][feature] <= threshold);
                 if left.len() < self.config.min_samples_leaf
                     || right.len() < self.config.min_samples_leaf
                 {
@@ -348,11 +347,8 @@ mod tests {
     #[test]
     fn min_samples_leaf_is_respected() {
         let data = step_dataset(10);
-        let tree = DecisionTree::fit(
-            &data,
-            &TreeConfig { min_samples_leaf: 6, ..Default::default() },
-            0,
-        );
+        let tree =
+            DecisionTree::fit(&data, &TreeConfig { min_samples_leaf: 6, ..Default::default() }, 0);
         // A split would require two children of >= 6 samples out of 10 — impossible.
         assert_eq!(tree.depth(), 0);
     }

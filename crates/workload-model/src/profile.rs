@@ -84,7 +84,10 @@ impl WorkloadProfile {
             return Err(format!("mlp must be >= 1, got {}", self.mlp));
         }
         if self.bandwidth_gbps < 0.0 || !self.bandwidth_gbps.is_finite() {
-            return Err(format!("bandwidth_gbps must be non-negative, got {}", self.bandwidth_gbps));
+            return Err(format!(
+                "bandwidth_gbps must be non-negative, got {}",
+                self.bandwidth_gbps
+            ));
         }
         if self.llc_mpki < 0.0 || !self.llc_mpki.is_finite() {
             return Err(format!("llc_mpki must be non-negative, got {}", self.llc_mpki));

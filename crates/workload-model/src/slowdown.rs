@@ -95,7 +95,8 @@ impl SlowdownModel {
             return SlowdownBuckets::default();
         }
         let n = slowdowns.len() as f64;
-        let count = |pred: &dyn Fn(f64) -> bool| slowdowns.iter().filter(|&&s| pred(s)).count() as f64 / n;
+        let count =
+            |pred: &dyn Fn(f64) -> bool| slowdowns.iter().filter(|&&s| pred(s)).count() as f64 / n;
         SlowdownBuckets {
             under_1pct: count(&|s| s < 0.01),
             between_1_and_5pct: count(&|s| (0.01..0.05).contains(&s)),

@@ -57,10 +57,7 @@ impl SpillModel {
     ///
     /// Panics if `spill_fraction` is outside `[0, 1]`.
     pub fn pool_access_fraction(&self, profile: &WorkloadProfile, spill_fraction: f64) -> f64 {
-        assert!(
-            (0.0..=1.0).contains(&spill_fraction),
-            "spill fraction must be in [0, 1]"
-        );
+        assert!((0.0..=1.0).contains(&spill_fraction), "spill fraction must be in [0, 1]");
         if spill_fraction == 0.0 {
             return 0.0;
         }

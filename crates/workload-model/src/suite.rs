@@ -67,10 +67,9 @@ fn workload_names(class: WorkloadClass) -> Vec<String> {
     let label = class.label();
     let names: Vec<String> = match class {
         WorkloadClass::Proprietary => (1..=13).map(|i| format!("P{i}")).collect(),
-        WorkloadClass::Redis => ["a", "b", "c", "d", "e", "f"]
-            .iter()
-            .map(|w| format!("ycsb-{w}"))
-            .collect(),
+        WorkloadClass::Redis => {
+            ["a", "b", "c", "d", "e", "f"].iter().map(|w| format!("ycsb-{w}")).collect()
+        }
         WorkloadClass::VoltDb => ["voter", "tpcc", "kv"].iter().map(|s| s.to_string()).collect(),
         WorkloadClass::Spark => {
             ["als", "bayes", "kmeans", "lr", "pagerank", "terasort", "wordcount", "svm"]
@@ -81,38 +80,96 @@ fn workload_names(class: WorkloadClass) -> Vec<String> {
         WorkloadClass::Gapbs => {
             let kernels = ["bc", "bfs", "cc", "pr", "sssp", "tc"];
             let graphs = ["twitter", "web", "road", "kron", "urand"];
-            kernels
-                .iter()
-                .flat_map(|k| graphs.iter().map(move |g| format!("{k}-{g}")))
-                .collect()
+            kernels.iter().flat_map(|k| graphs.iter().map(move |g| format!("{k}-{g}"))).collect()
         }
         WorkloadClass::TpcH => (1..=22).map(|i| format!("q{i}")).collect(),
         WorkloadClass::SpecCpu2017 => [
-            "500.perlbench_r", "502.gcc_r", "503.bwaves_r", "505.mcf_r", "507.cactuBSSN_r",
-            "508.namd_r", "510.parest_r", "511.povray_r", "519.lbm_r", "520.omnetpp_r",
-            "521.wrf_r", "523.xalancbmk_r", "525.x264_r", "526.blender_r", "527.cam4_r",
-            "531.deepsjeng_r", "538.imagick_r", "541.leela_r", "544.nab_r", "548.exchange2_r",
-            "549.fotonik3d_r", "554.roms_r", "557.xz_r", "600.perlbench_s", "602.gcc_s",
-            "603.bwaves_s", "605.mcf_s", "607.cactuBSSN_s", "619.lbm_s", "620.omnetpp_s",
-            "621.wrf_s", "623.xalancbmk_s", "625.x264_s", "627.cam4_s", "628.pop2_s",
-            "631.deepsjeng_s", "638.imagick_s", "641.leela_s", "644.nab_s", "648.exchange2_s",
-            "649.fotonik3d_s", "654.roms_s", "657.xz_s",
+            "500.perlbench_r",
+            "502.gcc_r",
+            "503.bwaves_r",
+            "505.mcf_r",
+            "507.cactuBSSN_r",
+            "508.namd_r",
+            "510.parest_r",
+            "511.povray_r",
+            "519.lbm_r",
+            "520.omnetpp_r",
+            "521.wrf_r",
+            "523.xalancbmk_r",
+            "525.x264_r",
+            "526.blender_r",
+            "527.cam4_r",
+            "531.deepsjeng_r",
+            "538.imagick_r",
+            "541.leela_r",
+            "544.nab_r",
+            "548.exchange2_r",
+            "549.fotonik3d_r",
+            "554.roms_r",
+            "557.xz_r",
+            "600.perlbench_s",
+            "602.gcc_s",
+            "603.bwaves_s",
+            "605.mcf_s",
+            "607.cactuBSSN_s",
+            "619.lbm_s",
+            "620.omnetpp_s",
+            "621.wrf_s",
+            "623.xalancbmk_s",
+            "625.x264_s",
+            "627.cam4_s",
+            "628.pop2_s",
+            "631.deepsjeng_s",
+            "638.imagick_s",
+            "641.leela_s",
+            "644.nab_s",
+            "648.exchange2_s",
+            "649.fotonik3d_s",
+            "654.roms_s",
+            "657.xz_s",
         ]
         .iter()
         .map(|s| s.to_string())
         .collect(),
         WorkloadClass::Parsec => [
-            "blackscholes", "bodytrack", "canneal", "dedup", "facesim", "ferret",
-            "fluidanimate", "freqmine", "raytrace", "streamcluster", "swaptions", "vips",
-            "x264", "netdedup", "netferret", "netstreamcluster",
+            "blackscholes",
+            "bodytrack",
+            "canneal",
+            "dedup",
+            "facesim",
+            "ferret",
+            "fluidanimate",
+            "freqmine",
+            "raytrace",
+            "streamcluster",
+            "swaptions",
+            "vips",
+            "x264",
+            "netdedup",
+            "netferret",
+            "netstreamcluster",
         ]
         .iter()
         .map(|s| s.to_string())
         .collect(),
         WorkloadClass::Splash2x => [
-            "barnes", "cholesky", "fft", "fmm", "lu_cb", "lu_ncb", "ocean_cp", "ocean_ncp",
-            "radiosity", "radix", "raytrace", "volrend", "water_nsquared", "water_spatial",
-            "fft_large", "radix_large", "barnes_large",
+            "barnes",
+            "cholesky",
+            "fft",
+            "fmm",
+            "lu_cb",
+            "lu_ncb",
+            "ocean_cp",
+            "ocean_ncp",
+            "radiosity",
+            "radix",
+            "raytrace",
+            "volrend",
+            "water_nsquared",
+            "water_spatial",
+            "fft_large",
+            "radix_large",
+            "barnes_large",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -184,7 +241,8 @@ impl WorkloadSuite {
                 .chain(std::iter::repeat(Bucket::High).take(n_high))
                 .chain(std::iter::repeat(Bucket::Extreme).take(n_ext))
                 .collect();
-            let mut rng = Pcg64::seed_from_u64(seed ^ (class as u64 + 1).wrapping_mul(0x9E3779B97F4A7C15));
+            let mut rng =
+                Pcg64::seed_from_u64(seed ^ (class as u64 + 1).wrapping_mul(0x9E3779B97F4A7C15));
             buckets.shuffle(&mut rng);
 
             // Position of each workload within its bucket, to spread
@@ -245,8 +303,7 @@ impl WorkloadSuite {
 
         // Invert latency_sensitivity() to find the DRAM-bound fraction that
         // realizes the target.
-        let dram_bound =
-            ((target / numa_factor - 0.3 * store_bound) * mlp.sqrt()).clamp(0.0, 0.95);
+        let dram_bound = ((target / numa_factor - 0.3 * store_bound) * mlp.sqrt()).clamp(0.0, 0.95);
         let memory_bound = (dram_bound + rng.gen_range(0.03..0.20)).min(1.0);
         let llc_mpki = 0.5 + dram_bound * rng.gen_range(40.0..80.0);
         // Bandwidth demand scales with memory intensity; only the most
@@ -378,10 +435,7 @@ mod tests {
         let model = SlowdownModel::default();
 
         let fraction = |scenario: LatencyScenario, pred: &dyn Fn(f64) -> bool| -> f64 {
-            suite
-                .workloads()
-                .filter(|w| pred(model.full_pool_slowdown(w, scenario)))
-                .count() as f64
+            suite.workloads().filter(|w| pred(model.full_pool_slowdown(w, scenario))).count() as f64
                 / suite.len() as f64
         };
 

@@ -15,7 +15,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // An 8-socket pool with 64 GiB of capacity behind one multi-headed EMC.
     let topology = PoolTopology::pond_with_capacity(8, Bytes::from_gib(64))?;
     let mut manager = PondPoolManager::new(&topology);
-    println!("pool created: {} free across {} EMC(s)", manager.available(), manager.pool().emc_count());
+    println!(
+        "pool created: {} free across {} EMC(s)",
+        manager.available(),
+        manager.pool().emc_count()
+    );
 
     // t=0: VM1 on host 1 gets 2 GB of pool memory; VM2 on host 1 gets 4 GB.
     let vm1 = manager.allocate(HostId(1), Bytes::from_gib(2), Duration::ZERO)?;
@@ -63,6 +67,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Host failure: reclaim every slice the dead host owned.
     let mut raw_pool: PoolState = manager.pool().clone();
     let dead = placements.fail_host(&mut raw_pool, HostId(1));
-    println!("host1 failure reclaims its slices and removes {} VM(s) from the placement map", dead.len());
+    println!(
+        "host1 failure reclaims its slices and removes {} VM(s) from the placement map",
+        dead.len()
+    );
     Ok(())
 }

@@ -24,7 +24,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 2. Train Pond's two prediction models on a synthetic cluster trace.
     let trace = TraceGenerator::new(ClusterConfig::small(), 1).generate(0);
     let mut plane = PondControlPlane::new(&trace, ControlPlaneConfig::default(), 42)?;
-    println!("control plane ready: {} hosts, {} pool capacity", plane.config().hosts, plane.pool().available());
+    println!(
+        "control plane ready: {} hosts, {} pool capacity",
+        plane.config().hosts,
+        plane.pool().available()
+    );
 
     // 3. Schedule the first 25 VM arrivals end to end.
     let mut placed = Vec::new();

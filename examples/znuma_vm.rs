@@ -48,7 +48,10 @@ fn main() {
         VmConfig { cores: 16, memory, pool_memory: untouched },
         workload.clone(),
     );
-    println!("{}", VNumaTopology::for_vm(correct.config(), LatencyScenario::Increase182).describe());
+    println!(
+        "{}",
+        VNumaTopology::for_vm(correct.config(), LatencyScenario::Increase182).describe()
+    );
     report("correct untouched-memory prediction", &correct);
 
     // Overprediction: Pond thought twice as much memory was untouched, so
@@ -65,10 +68,7 @@ fn main() {
     report("overpredicted untouched memory (working set spills)", &overpredicted);
 
     // Worst case: the entire VM is pool-backed.
-    let all_pool = VirtualMachine::launch(
-        3,
-        VmConfig { cores: 16, memory, pool_memory: memory },
-        workload,
-    );
+    let all_pool =
+        VirtualMachine::launch(3, VmConfig { cores: 16, memory, pool_memory: memory }, workload);
     report("entire VM on pool memory", &all_pool);
 }

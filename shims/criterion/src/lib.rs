@@ -1,0 +1,99 @@
+//! Offline shim for `criterion`.
+//!
+//! Provides [`Criterion`], [`Bencher::iter`], and the
+//! [`criterion_group!`]/[`criterion_main!`] macros. Instead of criterion's
+//! statistical machinery it runs a short warm-up followed by `sample_size`
+//! timed samples and prints the mean and best ns/iter — enough to compare
+//! hot paths locally while staying dependency-free.
+
+use std::time::{Duration, Instant};
+
+/// Benchmark driver, mirroring `criterion::Criterion`.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed samples each benchmark takes.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs `f` as a named benchmark and prints its timing.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher { samples: Vec::new() };
+        // Warm-up sample, discarded.
+        f(&mut bencher);
+        bencher.samples.clear();
+        for _ in 0..self.sample_size {
+            f(&mut bencher);
+        }
+        let nanos: Vec<f64> = bencher.samples.iter().map(|d| d.as_nanos() as f64).collect();
+        let mean = nanos.iter().sum::<f64>() / nanos.len().max(1) as f64;
+        let best = nanos.iter().cloned().fold(f64::INFINITY, f64::min);
+        println!("{name:<48} mean {:>12.1} ns/iter   best {:>12.1} ns/iter", mean, best);
+        self
+    }
+}
+
+/// Times closures for one benchmark, mirroring `criterion::Bencher`.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times one execution of `routine` and records it as a sample.
+    pub fn iter<O, F>(&mut self, mut routine: F)
+    where
+        F: FnMut() -> O,
+    {
+        let start = Instant::now();
+        let out = routine();
+        let elapsed = start.elapsed();
+        std::hint::black_box(out);
+        self.samples.push(elapsed);
+    }
+}
+
+/// Re-export so `criterion::black_box` callers work.
+pub use std::hint::black_box;
+
+/// Declares a benchmark group function, mirroring `criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark entry point, mirroring `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,276 @@
+//! Offline shim for `proptest`.
+//!
+//! Implements the subset the Pond workspace uses: the [`proptest!`] macro,
+//! `prop_assert!`-family macros, and [`strategy::Strategy`] implementations
+//! for numeric ranges, tuples of strategies, [`collection::vec`], and
+//! [`bool::ANY`].
+//!
+//! Differences from the real crate, by design:
+//!
+//! * **Deterministic**: every test derives its RNG seed from its own name,
+//!   so runs are reproducible without a persisted regression file.
+//! * **No shrinking**: a failing case panics via the failing assertion
+//!   (generated inputs are not echoed); because runs are deterministic,
+//!   re-running the test reproduces the exact failing case.
+//! * **Case count**: 64 by default, overridable with `PROPTEST_CASES`.
+
+/// Strategy trait and implementations for generating values.
+pub mod strategy {
+    use crate::test_runner::TestRng;
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        /// The type of value this strategy produces.
+        type Value;
+
+        /// Generates one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    macro_rules! impl_strategy_int {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty strategy range");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    (self.start as i128 + (rng.next_u64() as u128 % span) as i128) as $t
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty strategy range");
+                    let span = (hi as i128 - lo as i128) as u128 + 1;
+                    (lo as i128 + (rng.next_u64() as u128 % span) as i128) as $t
+                }
+            }
+        )*};
+    }
+    impl_strategy_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! impl_strategy_float {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty strategy range");
+                    self.start + (rng.unit_f64() as $t) * (self.end - self.start)
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty strategy range");
+                    lo + (rng.unit_f64() as $t) * (hi - lo)
+                }
+            }
+        )*};
+    }
+    impl_strategy_float!(f32, f64);
+
+    macro_rules! impl_strategy_tuple {
+        ($(($($name:ident),+))+) => {$(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        )+};
+    }
+    impl_strategy_tuple! {
+        (A)
+        (A, B)
+        (A, B, C)
+        (A, B, C, D)
+        (A, B, C, D, E)
+        (A, B, C, D, E, F)
+    }
+
+    /// A strategy that always yields a clone of one value (`Just`).
+    #[derive(Clone, Copy, Debug)]
+    pub struct Just<T>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+}
+
+/// Collection strategies (`proptest::collection`).
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// A strategy producing `Vec`s whose length is drawn from `size`.
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: core::ops::Range<usize>,
+    }
+
+    /// Builds a [`VecStrategy`] generating between `size.start` and
+    /// `size.end - 1` elements from `element`.
+    pub fn vec<S: Strategy>(element: S, size: core::ops::Range<usize>) -> VecStrategy<S> {
+        assert!(size.start < size.end, "empty vec size range");
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let len = self.size.clone().generate(rng);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Boolean strategies (`proptest::bool`).
+pub mod bool {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// The strategy behind [`ANY`].
+    #[derive(Clone, Copy, Debug)]
+    pub struct Any;
+
+    /// Uniformly random booleans.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+/// Number strategies (`proptest::num`) — `any` ranges for convenience.
+pub mod num {
+    /// Full-range `f64` values are not used by the workspace; ranges are.
+    pub use crate::strategy::Strategy;
+}
+
+/// The deterministic test runner and its RNG.
+pub mod test_runner {
+    /// A splitmix64 generator seeded from the test name.
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Derives a deterministic RNG from a test's name.
+        pub fn deterministic(test_name: &str) -> Self {
+            // FNV-1a over the name gives a stable per-test seed.
+            let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in test_name.as_bytes() {
+                hash ^= u64::from(*b);
+                hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            TestRng { state: hash }
+        }
+
+        /// Returns the next random `u64` (splitmix64).
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Returns a uniform `f64` in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+
+    /// Number of cases each property runs (default 64, env `PROPTEST_CASES`).
+    pub fn cases() -> u32 {
+        std::env::var("PROPTEST_CASES").ok().and_then(|v| v.parse().ok()).unwrap_or(64)
+    }
+}
+
+/// What `use proptest::prelude::*` brings into scope.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Defines property tests. Each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` that runs the body over `test_runner::cases()`
+/// generated inputs with a deterministic, name-derived RNG.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block)+) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let mut __pond_rng =
+                    $crate::test_runner::TestRng::deterministic(concat!(module_path!(), "::", stringify!($name)));
+                for __pond_case in 0..$crate::test_runner::cases() {
+                    let _ = __pond_case;
+                    $(let $pat = $crate::strategy::Strategy::generate(&($strat), &mut __pond_rng);)+
+                    $body
+                }
+            }
+        )+
+    };
+}
+
+/// `assert!` under a proptest-compatible name.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tokens:tt)*) => { assert!($($tokens)*) };
+}
+
+/// `assert_eq!` under a proptest-compatible name.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tokens:tt)*) => { assert_eq!($($tokens)*) };
+}
+
+/// `assert_ne!` under a proptest-compatible name.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tokens:tt)*) => { assert_ne!($($tokens)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    proptest! {
+        /// The macro wires patterns, strategies, and assertions together.
+        #[test]
+        fn ranges_and_tuples_stay_in_bounds(
+            x in 3u64..17,
+            f in 0.25f64..0.75,
+            (a, b, flag) in (0u16..4, 1u64..5, crate::bool::ANY),
+            xs in crate::collection::vec(0u8..10, 1..20)
+        ) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((0.25..0.75).contains(&f));
+            prop_assert!(a < 4 && (1..5).contains(&b));
+            prop_assert!(flag || !flag);
+            prop_assert!(!xs.is_empty() && xs.len() < 20);
+            prop_assert!(xs.iter().all(|v| *v < 10));
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut a = crate::test_runner::TestRng::deterministic("same-name");
+        let mut b = crate::test_runner::TestRng::deterministic("same-name");
+        assert_eq!(
+            (0..4).map(|_| a.next_u64()).collect::<Vec<_>>(),
+            (0..4).map(|_| b.next_u64()).collect::<Vec<_>>()
+        );
+    }
+}

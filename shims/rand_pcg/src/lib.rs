@@ -1,0 +1,112 @@
+//! Offline shim for `rand_pcg`: a faithful implementation of the
+//! PCG XSL RR 128/64 generator (`Pcg64`), O'Neill 2014, over the `rand`
+//! shim's `RngCore`/`SeedableRng` traits.
+
+use rand::{RngCore, SeedableRng};
+
+/// PCG XSL RR 128/64: 128-bit LCG state, 64-bit xorshift-low/random-rotate
+/// output. Matches the real `rand_pcg::Pcg64` construction (the stream of
+/// values differs from the registry crate only through `seed_from_u64`'s
+/// splitmix expansion, which our `rand` shim mirrors from `rand_core`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Pcg64 {
+    state: u128,
+    increment: u128,
+}
+
+const MULTIPLIER: u128 = 0x2360_ed05_1fc6_5da4_4385_df64_9fcc_f645;
+
+impl Pcg64 {
+    /// Creates a generator from an initial state and stream id.
+    pub fn new(state: u128, stream: u128) -> Self {
+        // The increment must be odd; the stream id occupies the top 127 bits.
+        let increment = (stream << 1) | 1;
+        let mut pcg = Pcg64 { state: 0, increment };
+        pcg.state = pcg.state.wrapping_add(increment).wrapping_add(state);
+        pcg.step();
+        pcg
+    }
+
+    fn step(&mut self) {
+        self.state = self.state.wrapping_mul(MULTIPLIER).wrapping_add(self.increment);
+    }
+
+    fn output(state: u128) -> u64 {
+        // XSL RR: xor the halves, rotate right by the top 7 bits.
+        let rot = (state >> 122) as u32;
+        let xsl = ((state >> 64) as u64) ^ (state as u64);
+        xsl.rotate_right(rot)
+    }
+}
+
+impl RngCore for Pcg64 {
+    fn next_u64(&mut self) -> u64 {
+        let out = Self::output(self.state);
+        self.step();
+        out
+    }
+}
+
+impl SeedableRng for Pcg64 {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut state_bytes = [0u8; 16];
+        let mut stream_bytes = [0u8; 16];
+        state_bytes.copy_from_slice(&seed[..16]);
+        stream_bytes.copy_from_slice(&seed[16..]);
+        Pcg64::new(u128::from_le_bytes(state_bytes), u128::from_le_bytes(stream_bytes))
+    }
+}
+
+/// Alias matching `rand_pcg`'s naming.
+pub type Lcg128Xsl64 = Pcg64;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn deterministic_for_equal_seeds() {
+        let mut a = Pcg64::seed_from_u64(42);
+        let mut b = Pcg64::seed_from_u64(42);
+        let xs: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_eq!(xs, ys);
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = Pcg64::seed_from_u64(1);
+        let mut b = Pcg64::seed_from_u64(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn uniform_f64_is_in_unit_interval_and_well_spread() {
+        let mut rng = Pcg64::seed_from_u64(7);
+        let n = 10_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean of uniform draws was {mean}");
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = Pcg64::seed_from_u64(9);
+        for _ in 0..1000 {
+            let v = rng.gen_range(3u64..17);
+            assert!((3..17).contains(&v));
+            let w = rng.gen_range(-5i64..=5);
+            assert!((-5..=5).contains(&w));
+            let f = rng.gen_range(0.25f64..0.75);
+            assert!((0.25..0.75).contains(&f));
+        }
+    }
+}

@@ -1,0 +1,29 @@
+//! Offline shim for `serde`.
+//!
+//! Provides the `Serialize` / `Deserialize` trait names and re-exports the
+//! no-op derive macros from the `serde_derive` shim, mirroring how the real
+//! `serde` crate exposes its derives under the same names (traits and derive
+//! macros live in different namespaces). The traits carry no methods because
+//! nothing in the workspace performs actual serialization yet.
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize<'de>`.
+pub trait Deserialize<'de>: Sized {}
+
+/// Marker stand-in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T> DeserializeOwned for T where T: for<'de> Deserialize<'de> {}
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Mirror of `serde::ser` with the trait re-export.
+pub mod ser {
+    pub use crate::Serialize;
+}
+
+/// Mirror of `serde::de` with the trait re-exports.
+pub mod de {
+    pub use crate::{Deserialize, DeserializeOwned};
+}

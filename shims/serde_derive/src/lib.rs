@@ -1,0 +1,20 @@
+//! Offline shim for `serde_derive`: the derive macros expand to nothing.
+//!
+//! Nothing in the workspace calls `serialize`/`deserialize` yet — the
+//! `#[derive(Serialize, Deserialize)]` attributes only need to compile.
+//! When real serialization lands, swap this shim for the registry crate in
+//! the root `[workspace.dependencies]`.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive. Accepts (and ignores) `#[serde(...)]` attrs.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive. Accepts (and ignores) `#[serde(...)]` attrs.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

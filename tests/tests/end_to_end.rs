@@ -77,10 +77,7 @@ fn latency_model_matches_paper_design_points() {
 #[test]
 fn control_plane_accounting_is_consistent() {
     let trace = small_trace();
-    let config = ControlPlaneConfig {
-        pool_capacity: Bytes::from_gib(256),
-        ..Default::default()
-    };
+    let config = ControlPlaneConfig { pool_capacity: Bytes::from_gib(256), ..Default::default() };
     let mut plane = PondControlPlane::new(&trace, config, 3).unwrap();
 
     let mut placed = Vec::new();

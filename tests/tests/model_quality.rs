@@ -57,8 +57,10 @@ fn untouched_model_beats_strawman_by_a_wide_margin() {
     let strawman_predictions = vec![gbm.avg_untouched_fraction; test.len()];
     let strawman = evaluate_predictions(test, &strawman_predictions);
 
-    assert!(gbm.overprediction_rate < strawman.overprediction_rate * 0.7,
-        "GBM {gbm:?} should be well below the strawman {strawman:?}");
+    assert!(
+        gbm.overprediction_rate < strawman.overprediction_rate * 0.7,
+        "GBM {gbm:?} should be well below the strawman {strawman:?}"
+    );
 }
 
 /// Figure 20's qualitative behaviour: the pool share the combined model can
@@ -79,7 +81,10 @@ fn combined_model_behaves_like_figure20() {
                 &UntouchedModelConfig { quantile: q, rounds: 30 },
                 6,
             );
-            UntouchedCandidate { quantile: q, point: evaluate_model(&model, test, replay_history(train)) }
+            UntouchedCandidate {
+                quantile: q,
+                point: evaluate_model(&model, test, replay_history(train)),
+            }
         })
         .collect();
 
@@ -92,8 +97,10 @@ fn combined_model_behaves_like_figure20() {
         let scores = forest.predict_proba_batch(&validation).unwrap();
         let sens = pond_ml::eval::threshold_sweep(&scores, validation.labels(), 100);
 
-        let strict = CombinedModel::solve(CombinedModelConfig { pdm: 0.05, tp: 0.995 }, &sens, &untouched);
-        let loose = CombinedModel::solve(CombinedModelConfig { pdm: 0.05, tp: 0.95 }, &sens, &untouched);
+        let strict =
+            CombinedModel::solve(CombinedModelConfig { pdm: 0.05, tp: 0.995 }, &sens, &untouched);
+        let loose =
+            CombinedModel::solve(CombinedModelConfig { pdm: 0.05, tp: 0.95 }, &sens, &untouched);
         let strict_share = strict.map_or(0.0, |m| m.choice.expected_pool_share());
         let loose_share = loose.map_or(0.0, |m| m.choice.expected_pool_share());
         assert!(loose_share >= strict_share, "{scenario}: {loose_share} vs {strict_share}");

@@ -1,0 +1,327 @@
+//! The time-ordered event core of the cluster simulator.
+//!
+//! The simulator processes exactly three kinds of events: VM arrivals (read
+//! from the trace), VM departures (scheduled when a VM is placed), and
+//! periodic stranding snapshots. [`EventQueue`] merges the three sources into
+//! a single stream ordered by time, with a fixed tie order at equal times:
+//!
+//! 1. **Departures** — a snapshot or arrival at time `t` observes every
+//!    departure with time `<= t`.
+//! 2. **Snapshots** — a snapshot at time `t` runs before an arrival at `t`,
+//!    so it never reflects VMs that arrive at the very instant it samples.
+//! 3. **Arrivals** — in trace order.
+//!
+//! Simultaneous departures pop in ascending request order, making the whole
+//! stream deterministic. Processing events strictly in this order is what
+//! guarantees (by construction) that snapshots never observe the future and
+//! that departures after the final arrival are still drained: the queue is
+//! only exhausted when *all three* sources are.
+
+use crate::trace::ClusterTrace;
+use std::collections::BinaryHeap;
+
+/// One simulation event, tagged with its time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Event {
+    /// A previously placed VM departs. `request_index` indexes the trace's
+    /// request list.
+    Departure {
+        /// Departure time in seconds since trace start.
+        time: u64,
+        /// Index of the departing VM's request in the trace.
+        request_index: usize,
+    },
+    /// A periodic stranding snapshot tick.
+    Snapshot {
+        /// Snapshot time in seconds since trace start.
+        time: u64,
+    },
+    /// The next VM request in the trace arrives.
+    Arrival {
+        /// Arrival time in seconds since trace start.
+        time: u64,
+        /// Index of the arriving VM's request in the trace.
+        request_index: usize,
+    },
+}
+
+impl Event {
+    /// The event's time in seconds since trace start.
+    pub fn time(&self) -> u64 {
+        match *self {
+            Event::Departure { time, .. }
+            | Event::Snapshot { time }
+            | Event::Arrival { time, .. } => time,
+        }
+    }
+
+    /// Tie order at equal times: departures, then snapshots, then arrivals.
+    fn class(&self) -> u8 {
+        match self {
+            Event::Departure { .. } => 0,
+            Event::Snapshot { .. } => 1,
+            Event::Arrival { .. } => 2,
+        }
+    }
+}
+
+/// A scheduled departure, ordered for a max-heap so the earliest (and, at
+/// equal times, lowest request index) pops first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Departure {
+    time: u64,
+    request_index: usize,
+}
+
+impl Ord for Departure {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest departure pops first.
+        other.time.cmp(&self.time).then(other.request_index.cmp(&self.request_index))
+    }
+}
+
+impl PartialOrd for Departure {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Merges arrivals, scheduled departures, and snapshot ticks into one
+/// time-ordered event stream.
+///
+/// Arrivals come from the trace (already sorted by arrival time); departures
+/// are pushed by the caller as VMs are placed; snapshot ticks fire every
+/// `snapshot_interval` seconds up to and including the trace duration
+/// (an interval of `0` disables snapshots). Departures past the trace
+/// duration are still delivered — the queue only ends when every source is
+/// exhausted.
+#[derive(Debug)]
+pub struct EventQueue<'a> {
+    requests: &'a ClusterTrace,
+    next_arrival: usize,
+    departures: BinaryHeap<Departure>,
+    next_snapshot: u64,
+    snapshot_interval: u64,
+    snapshot_horizon: u64,
+}
+
+impl<'a> EventQueue<'a> {
+    /// Creates the queue over a trace with the given snapshot cadence.
+    ///
+    /// The trace's requests must be sorted by arrival time (as
+    /// [`ClusterTrace::validate`] requires); otherwise the merged stream
+    /// cannot be time-ordered.
+    pub fn new(trace: &'a ClusterTrace, snapshot_interval: u64) -> Self {
+        debug_assert!(
+            trace.requests.windows(2).all(|pair| pair[0].arrival <= pair[1].arrival),
+            "trace arrivals must be sorted by time"
+        );
+        EventQueue {
+            requests: trace,
+            next_arrival: 0,
+            departures: BinaryHeap::new(),
+            next_snapshot: snapshot_interval,
+            snapshot_interval,
+            snapshot_horizon: trace.duration,
+        }
+    }
+
+    /// Schedules a departure event (called when a VM is placed).
+    pub fn schedule_departure(&mut self, time: u64, request_index: usize) {
+        self.departures.push(Departure { time, request_index });
+    }
+
+    fn peek_snapshot(&self) -> Option<u64> {
+        (self.snapshot_interval > 0 && self.next_snapshot <= self.snapshot_horizon)
+            .then_some(self.next_snapshot)
+    }
+
+    /// Pops the next event in time order (ties: departure, snapshot, arrival).
+    pub fn next_event(&mut self) -> Option<Event> {
+        let mut best: Option<Event> = None;
+        if let Some(dep) = self.departures.peek() {
+            best = Some(Event::Departure { time: dep.time, request_index: dep.request_index });
+        }
+        if let Some(time) = self.peek_snapshot() {
+            let candidate = Event::Snapshot { time };
+            if best.is_none_or(|b| keyed(candidate) < keyed(b)) {
+                best = Some(candidate);
+            }
+        }
+        if let Some(request) = self.requests.requests.get(self.next_arrival) {
+            let candidate =
+                Event::Arrival { time: request.arrival, request_index: self.next_arrival };
+            if best.is_none_or(|b| keyed(candidate) < keyed(b)) {
+                best = Some(candidate);
+            }
+        }
+        match best? {
+            event @ Event::Departure { .. } => {
+                self.departures.pop();
+                Some(event)
+            }
+            event @ Event::Snapshot { .. } => {
+                self.next_snapshot += self.snapshot_interval;
+                Some(event)
+            }
+            event @ Event::Arrival { .. } => {
+                self.next_arrival += 1;
+                Some(event)
+            }
+        }
+    }
+}
+
+/// Total order key: time first, then the departure/snapshot/arrival class.
+fn keyed(event: Event) -> (u64, u8) {
+    (event.time(), event.class())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{CustomerId, GuestOs, VmRequest, VmType};
+    use cxl_hw::units::Bytes;
+
+    fn request(id: u64, arrival: u64, lifetime: u64) -> VmRequest {
+        VmRequest {
+            id,
+            arrival,
+            lifetime,
+            cores: 2,
+            memory: Bytes::from_gib(8),
+            customer: CustomerId(0),
+            vm_type: VmType::GeneralPurpose,
+            guest_os: GuestOs::Linux,
+            region: 0,
+            workload_index: 0,
+            untouched_fraction: 0.5,
+        }
+    }
+
+    fn trace(requests: Vec<VmRequest>, duration: u64) -> ClusterTrace {
+        ClusterTrace {
+            cluster_id: 0,
+            servers: 1,
+            cores_per_server: 8,
+            dram_per_server: Bytes::from_gib(64),
+            duration,
+            requests,
+        }
+    }
+
+    /// Drains the queue, scheduling each arrival's departure as the simulator
+    /// would, and returns the event stream.
+    fn drain(trace: &ClusterTrace, snapshot_interval: u64) -> Vec<Event> {
+        let mut queue = EventQueue::new(trace, snapshot_interval);
+        let mut events = Vec::new();
+        while let Some(event) = queue.next_event() {
+            if let Event::Arrival { request_index, .. } = event {
+                let request = &trace.requests[request_index];
+                queue.schedule_departure(request.departure(), request_index);
+            }
+            events.push(event);
+        }
+        events
+    }
+
+    #[test]
+    fn events_come_out_in_time_order() {
+        let t = trace(vec![request(1, 0, 150), request(2, 250, 100)], 400);
+        let events = drain(&t, 100);
+        let times: Vec<u64> = events.iter().map(Event::time).collect();
+        let mut sorted = times.clone();
+        sorted.sort_unstable();
+        assert_eq!(times, sorted, "stream must be time-ordered: {events:?}");
+        assert_eq!(
+            events,
+            vec![
+                Event::Arrival { time: 0, request_index: 0 },
+                Event::Snapshot { time: 100 },
+                Event::Departure { time: 150, request_index: 0 },
+                Event::Snapshot { time: 200 },
+                Event::Arrival { time: 250, request_index: 1 },
+                Event::Snapshot { time: 300 },
+                Event::Departure { time: 350, request_index: 1 },
+                Event::Snapshot { time: 400 },
+            ]
+        );
+    }
+
+    #[test]
+    fn departures_after_the_last_arrival_are_drained() {
+        let t = trace(vec![request(1, 0, 10_000)], 400);
+        let events = drain(&t, 0);
+        // The departure at 10 000 s lies past both the last arrival and the
+        // trace duration, and is still delivered.
+        assert_eq!(
+            events,
+            vec![
+                Event::Arrival { time: 0, request_index: 0 },
+                Event::Departure { time: 10_000, request_index: 0 },
+            ]
+        );
+    }
+
+    #[test]
+    fn equal_times_order_departure_snapshot_arrival() {
+        // VM 1 departs at exactly t=100; a snapshot ticks at 100; VM 2
+        // arrives at 100.
+        let t = trace(vec![request(1, 0, 100), request(2, 100, 50)], 100);
+        let events = drain(&t, 100);
+        assert_eq!(
+            events,
+            vec![
+                Event::Arrival { time: 0, request_index: 0 },
+                Event::Departure { time: 100, request_index: 0 },
+                Event::Snapshot { time: 100 },
+                Event::Arrival { time: 100, request_index: 1 },
+                Event::Departure { time: 150, request_index: 1 },
+            ]
+        );
+    }
+
+    #[test]
+    fn simultaneous_departures_pop_in_request_order() {
+        let t = trace(vec![request(1, 0, 100), request(2, 50, 50), request(3, 60, 40)], 100);
+        let events = drain(&t, 0);
+        let departures: Vec<usize> = events
+            .iter()
+            .filter_map(|e| match e {
+                Event::Departure { request_index, .. } => Some(*request_index),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(departures, vec![0, 1, 2], "all depart at t=100, in request order");
+    }
+
+    #[test]
+    fn zero_interval_disables_snapshots() {
+        let t = trace(vec![request(1, 0, 50)], 1_000_000);
+        let events = drain(&t, 0);
+        assert!(events.iter().all(|e| !matches!(e, Event::Snapshot { .. })));
+        assert_eq!(events.len(), 2);
+    }
+
+    #[test]
+    fn snapshots_stop_at_the_trace_duration() {
+        let t = trace(vec![], 250);
+        let events = drain(&t, 100);
+        assert_eq!(
+            events,
+            vec![Event::Snapshot { time: 100 }, Event::Snapshot { time: 200 }],
+            "the 300 s tick lies past the 250 s duration"
+        );
+    }
+
+    #[test]
+    fn scheduled_departures_pop_earliest_first() {
+        let t = trace(vec![], 0);
+        let mut queue = EventQueue::new(&t, 0);
+        queue.schedule_departure(10, 0);
+        queue.schedule_departure(5, 1);
+        assert_eq!(queue.next_event(), Some(Event::Departure { time: 5, request_index: 1 }));
+        assert_eq!(queue.next_event(), Some(Event::Departure { time: 10, request_index: 0 }));
+        assert_eq!(queue.next_event(), None);
+    }
+}

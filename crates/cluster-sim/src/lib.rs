@@ -12,13 +12,20 @@
 //!   accounting.
 //! * [`scheduler`] — a NUMA-aware best-fit bin-packing VM scheduler with a
 //!   pluggable [`scheduler::MemoryPolicy`] that decides each VM's local/pool
-//!   split (the hook `pond-core` uses to plug in the full Pond policy).
-//! * [`simulation`] — the event-driven cluster simulator: arrivals,
-//!   departures, placement, per-server and per-pool peak tracking, QoS
-//!   outcomes.
+//!   split (the hook `pond-core` uses to plug in the full Pond policy). The
+//!   [`scheduler::PlacementEngine`] selects candidates through an
+//!   incrementally maintained free-core bucket index in O(log n) per arrival.
+//! * [`event`] — the time-ordered event core: arrivals, departures, and
+//!   snapshot ticks merged into one deterministic stream (departures before
+//!   snapshots before arrivals at equal times).
+//! * [`simulation`] — the event-driven cluster simulator: placement,
+//!   per-server and per-pool peak tracking, QoS outcomes, pool releases,
+//!   driven by the [`event`] stream.
 //! * [`stranding`] — stranded-memory measurement (Figure 2).
 //! * [`pooling`] — DRAM-requirement analysis across pool sizes (Figures 3
-//!   and 21).
+//!   and 21), with serial-reference and bit-identical parallel paths.
+//! * [`sweep`] — the scoped-thread parallel runner the sweeps (and the
+//!   figure binaries) fan their simulation grids out on.
 //!
 //! # Example
 //!
@@ -37,11 +44,13 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod event;
 pub mod pooling;
 pub mod scheduler;
 pub mod server;
 pub mod simulation;
 pub mod stranding;
+pub mod sweep;
 pub mod trace;
 pub mod tracegen;
 

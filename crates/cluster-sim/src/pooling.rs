@@ -8,6 +8,7 @@
 
 use crate::scheduler::MemoryPolicy;
 use crate::simulation::{Simulation, SimulationConfig, SimulationOutcome};
+use crate::sweep;
 use crate::trace::ClusterTrace;
 use serde::{Deserialize, Serialize};
 
@@ -18,18 +19,81 @@ pub struct PoolSizePoint {
     pub pool_sockets: u16,
     /// Required DRAM relative to the pool-less baseline (1.0 = 100%).
     pub required_dram_fraction: f64,
-    /// Fraction of VM memory GB-hours served from the pool.
+    /// Fraction of VM memory GiB-hours served from the pool.
     pub pool_dram_fraction: f64,
     /// Fraction of VMs whose slowdown exceeded the PDM.
     pub violation_fraction: f64,
 }
 
+/// The per-run metrics a sweep reduces over (one simulation's contribution).
+#[derive(Debug, Clone, Copy)]
+struct RunMetrics {
+    required: f64,
+    pool_fraction: f64,
+    violations: f64,
+    mitigations: f64,
+}
+
+impl RunMetrics {
+    fn of(outcome: &SimulationOutcome) -> Self {
+        RunMetrics {
+            required: outcome.required_dram_fraction(),
+            pool_fraction: outcome.pool_dram_fraction(),
+            violations: outcome.violation_fraction(),
+            mitigations: if outcome.violations == 0 {
+                0.0
+            } else {
+                outcome.mitigations as f64 / outcome.violations as f64
+            },
+        }
+    }
+}
+
+/// Runs one simulation point of a sweep grid.
+fn run_point<P: MemoryPolicy>(
+    trace: &ClusterTrace,
+    pool_sockets: u16,
+    base_config: &SimulationConfig,
+    policy: P,
+) -> RunMetrics {
+    let config = SimulationConfig { pool_size_sockets: pool_sockets, ..base_config.clone() };
+    RunMetrics::of(&Simulation::new(config, policy).run(trace))
+}
+
 /// Sweeps pool sizes for a fixed policy factory, averaging the relative DRAM
 /// requirement across the provided traces.
 ///
-/// `make_policy` is called once per (trace, pool size) pair so stateful
-/// policies start fresh for every simulation.
+/// The (pool size × trace) grid runs in parallel on the [`sweep`] runner;
+/// results are reduced in (pool size, trace) order, so every `PoolSizePoint`
+/// is bit-identical to what [`pool_size_sweep_serial`] produces.
+///
+/// `make_policy` is called once per (trace, pool size) pair — possibly from
+/// several threads at once — so stateful policies start fresh for every
+/// simulation.
 pub fn pool_size_sweep<P, F>(
+    traces: &[ClusterTrace],
+    pool_sizes: &[u16],
+    base_config: &SimulationConfig,
+    make_policy: F,
+) -> Vec<PoolSizePoint>
+where
+    P: MemoryPolicy,
+    F: Fn() -> P + Sync,
+{
+    let grid: Vec<(u16, &ClusterTrace)> = pool_sizes
+        .iter()
+        .flat_map(|&sockets| traces.iter().map(move |trace| (sockets, trace)))
+        .collect();
+    let metrics = sweep::parallel_map(&grid, |_, &(sockets, trace)| {
+        run_point(trace, sockets, base_config, make_policy())
+    });
+    reduce_points(pool_sizes, traces.len(), &metrics)
+}
+
+/// The serial reference implementation of [`pool_size_sweep`]: one thread,
+/// simulations in (pool size, trace) order. Kept as the ground truth the
+/// parallel runner is tested bit-identical against.
+pub fn pool_size_sweep_serial<P, F>(
     traces: &[ClusterTrace],
     pool_sizes: &[u16],
     base_config: &SimulationConfig,
@@ -39,21 +103,34 @@ where
     P: MemoryPolicy,
     F: FnMut() -> P,
 {
+    let metrics: Vec<RunMetrics> = pool_sizes
+        .iter()
+        .flat_map(|&sockets| {
+            traces
+                .iter()
+                .map(|trace| run_point(trace, sockets, base_config, make_policy()))
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    reduce_points(pool_sizes, traces.len(), &metrics)
+}
+
+/// Folds a row-major (pool size × trace) metrics grid into per-pool-size
+/// points, accumulating in trace order within each pool size.
+fn reduce_points(pool_sizes: &[u16], traces: usize, metrics: &[RunMetrics]) -> Vec<PoolSizePoint> {
     pool_sizes
         .iter()
-        .map(|&pool_sockets| {
+        .enumerate()
+        .map(|(row, &pool_sockets)| {
             let mut required = 0.0;
             let mut pool_fraction = 0.0;
             let mut violations = 0.0;
-            for trace in traces {
-                let config =
-                    SimulationConfig { pool_size_sockets: pool_sockets, ..base_config.clone() };
-                let outcome = Simulation::new(config, make_policy()).run(trace);
-                required += outcome.required_dram_fraction();
-                pool_fraction += outcome.pool_dram_fraction();
-                violations += outcome.violation_fraction();
+            for point in &metrics[row * traces..(row + 1) * traces] {
+                required += point.required;
+                pool_fraction += point.pool_fraction;
+                violations += point.violations;
             }
-            let n = traces.len().max(1) as f64;
+            let n = traces.max(1) as f64;
             PoolSizePoint {
                 pool_sockets,
                 required_dram_fraction: required / n,
@@ -65,19 +142,27 @@ where
 }
 
 /// Averages outcomes of a policy over several traces at a fixed pool size.
+///
+/// Traces run in parallel on the [`sweep`] runner; the reduction happens in
+/// trace order, bit-identical to a serial loop.
 pub fn average_outcome<P, F>(
     traces: &[ClusterTrace],
     config: &SimulationConfig,
-    mut make_policy: F,
+    make_policy: F,
 ) -> AveragedOutcome
 where
     P: MemoryPolicy,
-    F: FnMut() -> P,
+    F: Fn() -> P + Sync,
 {
+    let metrics = sweep::parallel_map(traces, |_, trace| {
+        run_point(trace, config.pool_size_sockets, config, make_policy())
+    });
     let mut acc = AveragedOutcome::default();
-    for trace in traces {
-        let outcome = Simulation::new(config.clone(), make_policy()).run(trace);
-        acc.add(&outcome);
+    for point in &metrics {
+        acc.required_dram_fraction += point.required;
+        acc.pool_dram_fraction += point.pool_fraction;
+        acc.violation_fraction += point.violations;
+        acc.mitigation_fraction += point.mitigations;
     }
     acc.finalize(traces.len());
     acc
@@ -97,17 +182,6 @@ pub struct AveragedOutcome {
 }
 
 impl AveragedOutcome {
-    fn add(&mut self, outcome: &SimulationOutcome) {
-        self.required_dram_fraction += outcome.required_dram_fraction();
-        self.pool_dram_fraction += outcome.pool_dram_fraction();
-        self.violation_fraction += outcome.violation_fraction();
-        self.mitigation_fraction += if outcome.violations == 0 {
-            0.0
-        } else {
-            outcome.mitigations as f64 / outcome.violations as f64
-        };
-    }
-
     fn finalize(&mut self, n: usize) {
         let n = n.max(1) as f64;
         self.required_dram_fraction /= n;
@@ -181,6 +255,19 @@ mod tests {
             );
             previous = required;
         }
+    }
+
+    #[test]
+    fn parallel_sweep_is_bit_identical_to_the_serial_path() {
+        let traces = traces(3);
+        let pool_sizes = [2u16, 16, 64];
+        let parallel =
+            pool_size_sweep(&traces, &pool_sizes, &config(), || FixedPoolFraction::new(0.3));
+        let serial =
+            pool_size_sweep_serial(&traces, &pool_sizes, &config(), || FixedPoolFraction::new(0.3));
+        // PartialEq on PoolSizePoint compares the f64 fields exactly: the
+        // parallel runner must reproduce the serial accumulation bit for bit.
+        assert_eq!(parallel, serial);
     }
 
     #[test]

@@ -12,6 +12,7 @@ use crate::server::{Placement, Server};
 use crate::trace::VmRequest;
 use cxl_hw::units::Bytes;
 use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Decides how much of a VM's memory is allocated from the CXL pool.
 ///
@@ -21,8 +22,9 @@ use serde::{Deserialize, Serialize};
 /// [`MemoryPolicy::observe_outcome`].
 pub trait MemoryPolicy {
     /// Pool memory to allocate for this VM. The simulator clamps the value to
-    /// the VM's memory size and rounds it down to whole GiB (Pond allocates
-    /// pool memory in 1 GB-aligned increments, §4.2).
+    /// the VM's memory size and floors it to whole 1 GiB slices via
+    /// [`align_pool_memory`] (the paper's §4.2 "1 GB-aligned" pool slices,
+    /// realized as binary GiB throughout this reproduction).
     fn pool_memory(&mut self, request: &VmRequest) -> Bytes;
 
     /// Callback after the VM's QoS outcome is known: `slowdown` is the
@@ -87,7 +89,10 @@ impl MemoryPolicy for FixedPoolFraction {
     }
 }
 
-/// Clamps and GB-aligns a policy's pool-memory decision for a request.
+/// Clamps a policy's pool-memory decision to the VM's size and floors it to
+/// whole 1 GiB slices (the granularity the pool hands out capacity in; the
+/// paper's §4.2 quotes "1 GB" slices, which this reproduction realizes as
+/// binary GiB throughout).
 pub fn align_pool_memory(request: &VmRequest, raw: Bytes) -> Bytes {
     let clamped = Bytes::new(raw.as_u64().min(request.memory.as_u64()));
     Bytes::from_gib(clamped.slices_floor())
@@ -95,9 +100,18 @@ pub fn align_pool_memory(request: &VmRequest, raw: Bytes) -> Bytes {
 
 /// The cluster-wide placement engine: a vector of servers plus best-fit
 /// placement across them.
+///
+/// Candidate selection is backed by an incrementally maintained free-core
+/// bucket index (`free cores -> servers with that many free cores`), so each
+/// placement walks the candidate buckets in tightest-fit order in O(log n)
+/// instead of re-sorting the whole server list per arrival.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct PlacementEngine {
     servers: Vec<Server>,
+    /// Free cores -> indices of servers with exactly that many free cores.
+    /// Invariant: every server index appears in exactly the bucket matching
+    /// its current `free_cores()`; empty buckets are removed.
+    by_free_cores: BTreeMap<u32, BTreeSet<usize>>,
 }
 
 impl PlacementEngine {
@@ -110,11 +124,14 @@ impl PlacementEngine {
         dram_per_server: Bytes,
         enforce_memory: bool,
     ) -> Self {
-        PlacementEngine {
-            servers: (0..count)
-                .map(|i| Server::new(i, cores_per_server, dram_per_server, enforce_memory))
-                .collect(),
+        let servers: Vec<Server> = (0..count)
+            .map(|i| Server::new(i, cores_per_server, dram_per_server, enforce_memory))
+            .collect();
+        let mut by_free_cores: BTreeMap<u32, BTreeSet<usize>> = BTreeMap::new();
+        for (i, server) in servers.iter().enumerate() {
+            by_free_cores.entry(server.free_cores()).or_default().insert(i);
         }
+        PlacementEngine { servers, by_free_cores }
     }
 
     /// The servers (read-only).
@@ -122,15 +139,29 @@ impl PlacementEngine {
         &self.servers
     }
 
-    /// Mutable access to one server.
-    pub fn server_mut(&mut self, index: usize) -> Option<&mut Server> {
-        self.servers.get_mut(index)
+    /// Moves a server between free-core buckets after its core usage changed.
+    fn reindex(&mut self, server: usize, old_free: u32) {
+        let new_free = self.servers[server].free_cores();
+        if new_free == old_free {
+            return;
+        }
+        if let Some(bucket) = self.by_free_cores.get_mut(&old_free) {
+            bucket.remove(&server);
+            if bucket.is_empty() {
+                self.by_free_cores.remove(&old_free);
+            }
+        }
+        self.by_free_cores.entry(new_free).or_default().insert(server);
     }
 
     /// Places a VM using best fit on free cores: among servers that can hold
     /// the VM, pick the one with the fewest free cores (tightest fit). This
     /// keeps some servers empty for large VMs and concentrates utilization,
     /// which is what produces stranding on the packed servers.
+    ///
+    /// The bucket index walks candidates in (free cores, server index) order —
+    /// exactly the order the former full stable sort produced — but skips
+    /// every server with fewer free cores than the request outright.
     ///
     /// Returns the chosen server index and placement, or `None` if no server
     /// can host the VM.
@@ -139,23 +170,37 @@ impl PlacementEngine {
         request: &VmRequest,
         local_memory: Bytes,
     ) -> Option<(usize, Placement)> {
-        let mut candidates: Vec<usize> = (0..self.servers.len()).collect();
-        // Tightest fit first.
-        candidates.sort_by_key(|&i| self.servers[i].free_cores());
-        for i in candidates {
-            if self.servers[i].free_cores() < request.cores {
-                continue;
-            }
-            if let Some(placement) = self.servers[i].try_place(request, local_memory) {
-                return Some((i, placement));
+        let mut chosen: Option<(usize, u32, Placement)> = None;
+        let servers = &mut self.servers;
+        'buckets: for (&free, bucket) in self.by_free_cores.range(request.cores..) {
+            for &i in bucket {
+                // `try_place` can still decline (per-node core split, memory);
+                // it leaves the server untouched in that case, so the index
+                // stays valid and the scan continues.
+                if let Some(placement) = servers[i].try_place(request, local_memory) {
+                    chosen = Some((i, free, placement));
+                    break 'buckets;
+                }
             }
         }
-        None
+        let (server, old_free, placement) = chosen?;
+        self.reindex(server, old_free);
+        Some((server, placement))
     }
 
     /// Removes a VM from a server.
     pub fn remove(&mut self, server: usize, vm: u64, cores: u32) -> Option<Placement> {
-        self.servers.get_mut(server)?.remove(vm, cores)
+        let old_free = self.servers.get(server)?.free_cores();
+        let placement = self.servers.get_mut(server)?.remove(vm, cores)?;
+        self.reindex(server, old_free);
+        Some(placement)
+    }
+
+    /// Adds local memory to an existing placement (QoS mitigation converting
+    /// pool memory to local memory). Memory growth never changes a server's
+    /// free cores, so the placement index needs no update.
+    pub fn grow_local(&mut self, server: usize, vm: u64, amount: Bytes) -> bool {
+        self.servers.get_mut(server).is_some_and(|s| s.grow_local(vm, amount))
     }
 
     /// Total and used cores across the cluster.
@@ -309,10 +354,10 @@ mod tests {
                     if let Some((server, c)) = live.remove(&id) {
                         engine.remove(server, id, c).expect("live VM must be removable");
                     }
-                } else if !live.contains_key(&id) {
+                } else if let std::collections::btree_map::Entry::Vacant(entry) = live.entry(id) {
                     let r = request(id, cores, gib);
                     if let Some((server, _)) = engine.place(&r, r.memory) {
-                        live.insert(id, (server, cores));
+                        entry.insert((server, cores));
                     }
                 }
                 for s in engine.servers() {

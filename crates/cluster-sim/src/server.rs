@@ -130,17 +130,20 @@ impl Server {
         }
     }
 
-    /// Whether the VM could be placed right now, and on which node.
+    /// Whether the VM could be placed entirely on one node right now, and on
+    /// which node.
     fn fit_node(&self, cores: u32, local_memory: Bytes) -> Option<NodeIndex> {
         // Prefer the node where the VM fits entirely (cores + memory); pick
         // the one with less free capacity (best fit) to keep the other node
-        // open for large VMs.
+        // open for large VMs. Physical node DRAM bounds the fit in both
+        // capacity modes — with enforcement off a VM that exceeds every
+        // node's free DRAM still places (via the spanning fallback), it just
+        // cannot pretend its memory is NUMA-local.
         let mut best: Option<(NodeIndex, u32)> = None;
         for (i, node) in self.nodes.iter().enumerate() {
-            let mem_ok = !self.enforce_memory || node.free_memory() >= local_memory;
-            if node.free_cores() >= cores && mem_ok {
+            if node.free_cores() >= cores && node.free_memory() >= local_memory {
                 let leftover = node.free_cores() - cores;
-                if best.map_or(true, |(_, b)| leftover < b) {
+                if best.is_none_or(|(_, b)| leftover < b) {
                     best = Some((i, leftover));
                 }
             }
@@ -148,12 +151,24 @@ impl Server {
         best.map(|(i, _)| i)
     }
 
+    /// The node a NUMA-spanning placement puts its cores on: the tightest
+    /// core fit among the nodes with enough free cores — the same best-fit
+    /// rule the single-node path uses.
+    fn spanning_core_node(&self, cores: u32) -> Option<NodeIndex> {
+        (0..self.nodes.len())
+            .filter(|&i| self.nodes[i].free_cores() >= cores)
+            .min_by_key(|&i| self.nodes[i].free_cores() - cores)
+    }
+
     /// Attempts to place a VM with `cores` and `local_memory` on this server.
     ///
     /// Placement prefers a single NUMA node; if no node can hold both the
-    /// cores and the memory, it falls back to NUMA spanning (cores on one
-    /// node, the remainder of the memory on the other), which the paper
-    /// observes for 2-3% of VMs.
+    /// cores and the memory, it falls back to NUMA spanning — cores on the
+    /// tightest-fitting node, memory filling that node's free DRAM first and
+    /// spilling the remainder onto the other node — which the paper observes
+    /// for 2-3% of VMs. The split rule is the same in both capacity modes;
+    /// `enforce_memory: false` only stops the server-wide capacity check from
+    /// rejecting the VM.
     ///
     /// Returns `None` (leaving the server untouched) when the VM cannot fit.
     pub fn try_place(&mut self, request: &VmRequest, local_memory: Bytes) -> Option<Placement> {
@@ -170,31 +185,20 @@ impl Server {
             self.apply(request.id, request.cores, placement);
             return Some(placement);
         }
-        // NUMA-spanning fallback: cores on the node with enough cores, memory
-        // split across both.
-        let core_node = (0..2).find(|&i| self.nodes[i].free_cores() >= request.cores)?;
-        if self.enforce_memory {
-            if self.free_memory() < local_memory {
-                return None;
-            }
-            let on_core =
-                Bytes::new(local_memory.as_u64().min(self.nodes[core_node].free_memory().as_u64()));
-            let placement = Placement {
-                core_node,
-                local_on_core_node: on_core,
-                local_on_other_node: local_memory - on_core,
-            };
-            self.apply(request.id, request.cores, placement);
-            Some(placement)
-        } else {
-            let placement = Placement {
-                core_node,
-                local_on_core_node: local_memory,
-                local_on_other_node: Bytes::ZERO,
-            };
-            self.apply(request.id, request.cores, placement);
-            Some(placement)
+        // NUMA-spanning fallback: cores on the tightest-fitting node, memory
+        // split across both nodes.
+        let core_node = self.spanning_core_node(request.cores)?;
+        if self.enforce_memory && self.free_memory() < local_memory {
+            return None;
         }
+        let on_core = local_memory.min(self.nodes[core_node].free_memory());
+        let placement = Placement {
+            core_node,
+            local_on_core_node: on_core,
+            local_on_other_node: local_memory - on_core,
+        };
+        self.apply(request.id, request.cores, placement);
+        Some(placement)
     }
 
     fn apply(&mut self, vm: u64, cores: u32, placement: Placement) {
@@ -315,6 +319,44 @@ mod tests {
         assert_eq!(s.used_memory(), Bytes::from_gib(500));
     }
 
+    /// Regression: when both nodes have enough free cores but neither has the
+    /// memory, the spanning fallback must put the cores on the tightest node
+    /// (best fit), not blindly on node 0.
+    #[test]
+    fn spanning_puts_cores_on_the_tightest_node() {
+        // 24 cores / 16 GiB per node, memory enforced.
+        let mut s = Server::new(0, 48, Bytes::from_gib(32), true);
+        s.try_place(&request(1, 4, 14), Bytes::from_gib(14)).unwrap(); // node 0
+        let second = s.try_place(&request(2, 6, 14), Bytes::from_gib(14)).unwrap();
+        assert_eq!(second.core_node, 1, "node 0 has only 2 GiB free");
+        // Neither node has 3 GiB free; both have >= 2 free cores. Node 1 is
+        // the tighter core fit (18 free vs. 20 free).
+        let spanning = s.try_place(&request(3, 2, 3), Bytes::from_gib(3)).unwrap();
+        assert!(spanning.spans_numa());
+        assert_eq!(spanning.core_node, 1);
+        assert_eq!(spanning.local_on_core_node, Bytes::from_gib(2));
+        assert_eq!(spanning.local_on_other_node, Bytes::from_gib(1));
+        assert_eq!(s.used_memory(), Bytes::from_gib(31));
+    }
+
+    /// Regression: with memory enforcement off, a spanning placement uses the
+    /// same split rule as the enforced path — fill the core node's physical
+    /// DRAM, spill the remainder to the other node — instead of charging
+    /// everything to the core node.
+    #[test]
+    fn unenforced_spanning_splits_by_physical_capacity() {
+        // 4 cores / 16 GiB per node, memory NOT enforced.
+        let mut s = Server::new(0, 8, Bytes::from_gib(32), false);
+        let p = s.try_place(&request(1, 2, 30), Bytes::from_gib(30)).unwrap();
+        assert!(p.spans_numa(), "no single node holds 30 GiB");
+        assert_eq!(p.local_on_core_node, Bytes::from_gib(16));
+        assert_eq!(p.local_on_other_node, Bytes::from_gib(14));
+        assert_eq!(s.used_memory(), Bytes::from_gib(30));
+        // Removal unwinds both nodes' shares.
+        s.remove(1, 2).unwrap();
+        assert_eq!(s.used_memory(), Bytes::ZERO);
+    }
+
     #[test]
     fn remove_restores_capacity() {
         let mut s = server();
@@ -367,10 +409,10 @@ mod tests {
                     if let Some(c) = live.remove(&id) {
                         s.remove(id, c);
                     }
-                } else if !live.contains_key(&id) {
+                } else if let std::collections::btree_map::Entry::Vacant(entry) = live.entry(id) {
                     let r = request(id, cores, gib);
                     if s.try_place(&r, Bytes::from_gib(gib)).is_some() {
-                        live.insert(id, cores);
+                        entry.insert(cores);
                     }
                 }
                 let expected_cores: u32 = live.values().sum();

@@ -4,15 +4,20 @@
 //! [`MemoryPolicy`] decide every VM's local/pool split, and tracks the
 //! quantities the paper's figures need: stranding snapshots, per-server and
 //! per-pool peak memory (which determine how much DRAM would have to be
-//! provisioned), pool usage in GB-hours, QoS violations, and pool-release
+//! provisioned), pool usage in GiB-hours, QoS violations, and pool-release
 //! events.
+//!
+//! Arrivals, departures, and snapshot ticks are processed as one strictly
+//! time-ordered stream (see [`crate::event`]): a snapshot at time `t` sees
+//! exactly the VMs live at `t`, and every departure — including those after
+//! the final arrival — is drained and recorded before the run ends.
 
+use crate::event::{Event, EventQueue};
 use crate::scheduler::{align_pool_memory, MemoryPolicy, PlacementEngine};
 use crate::trace::ClusterTrace;
 use cxl_hw::latency::LatencyScenario;
 use cxl_hw::units::Bytes;
 use serde::{Deserialize, Serialize};
-use std::collections::BinaryHeap;
 use workload_model::spill::SpillModel;
 use workload_model::WorkloadSuite;
 
@@ -33,7 +38,7 @@ pub struct SimulationConfig {
     pub qos_mitigation: bool,
     /// The smallest VM size sold, in cores (stranding threshold).
     pub min_vm_cores: u32,
-    /// Interval between stranding snapshots, in seconds.
+    /// Interval between stranding snapshots, in seconds (`0` disables them).
     pub snapshot_interval: u64,
 }
 
@@ -93,9 +98,9 @@ pub struct SimulationOutcome {
     /// Sum over servers of each server's peak total (local + pool) usage —
     /// the DRAM a pool-less provisioning would need.
     pub sum_total_peaks: Bytes,
-    /// GB-hours of VM memory served from the pool.
+    /// GiB-hours of VM memory served from the pool.
     pub pool_gb_hours: f64,
-    /// GB-hours of VM memory overall.
+    /// GiB-hours of VM memory overall.
     pub total_gb_hours: f64,
     /// Number of VMs whose slowdown exceeded the PDM (scheduling mispredictions).
     pub violations: u64,
@@ -161,31 +166,32 @@ impl SimulationOutcome {
     }
 }
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct Departure {
-    time: u64,
-    request_index: usize,
-}
-
-impl Ord for Departure {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        // BinaryHeap is a max-heap; invert so the earliest departure pops first.
-        other.time.cmp(&self.time).then(other.request_index.cmp(&self.request_index))
-    }
-}
-
-impl PartialOrd for Departure {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
 #[derive(Debug, Clone, Copy)]
 struct ActiveVm {
     server: usize,
     cores: u32,
     pool: Bytes,
     group: usize,
+}
+
+/// Debug-build invariant: the incrementally maintained per-group and
+/// per-server pool counters equal the sums over the live VMs' effective pool
+/// memory. Runs after every event, so any drift is caught at the event that
+/// introduced it.
+#[cfg(debug_assertions)]
+fn assert_pool_conservation(
+    active: &std::collections::HashMap<u64, ActiveVm>,
+    cur_pool: &[Bytes],
+    cur_server_pool: &[Bytes],
+) {
+    let mut group_sums = vec![Bytes::ZERO; cur_pool.len()];
+    let mut server_sums = vec![Bytes::ZERO; cur_server_pool.len()];
+    for vm in active.values() {
+        group_sums[vm.group] += vm.pool;
+        server_sums[vm.server] += vm.pool;
+    }
+    assert_eq!(group_sums, cur_pool, "per-group pool accounting must match live VMs");
+    assert_eq!(server_sums, cur_server_pool, "per-server pool accounting must match live VMs");
 }
 
 /// The cluster simulator.
@@ -244,7 +250,6 @@ impl<P: MemoryPolicy> Simulation<P> {
         let mut peak_server_pool = vec![Bytes::ZERO; trace.servers as usize];
 
         let mut active: std::collections::HashMap<u64, ActiveVm> = std::collections::HashMap::new();
-        let mut departures: BinaryHeap<Departure> = BinaryHeap::new();
 
         let mut outcome = SimulationOutcome {
             policy: self.policy.name().to_string(),
@@ -263,7 +268,6 @@ impl<P: MemoryPolicy> Simulation<P> {
             pool_releases: Vec::new(),
         };
 
-        let mut next_snapshot = self.config.snapshot_interval;
         let total_cores = trace.total_cores() as f64;
         let total_dram = trace.total_dram().as_u64() as f64;
         let min_vm_cores = self.config.min_vm_cores;
@@ -282,101 +286,107 @@ impl<P: MemoryPolicy> Simulation<P> {
                 });
             };
 
-        for (index, request) in trace.requests.iter().enumerate() {
-            // Process departures that happen before this arrival.
-            while let Some(dep) = departures.peek() {
-                if dep.time > request.arrival {
-                    break;
-                }
-                let dep = departures.pop().expect("peeked");
-                let departed = &trace.requests[dep.request_index];
-                if let Some(vm) = active.remove(&departed.id) {
+        // The single time-ordered event loop: at equal times departures apply
+        // first, then snapshots, then arrivals, so a snapshot at time `t`
+        // observes exactly the VMs live at `t`. The queue keeps delivering
+        // departures after the last arrival (and past the trace duration), so
+        // every pooled VM's release is recorded.
+        let mut events = EventQueue::new(trace, self.config.snapshot_interval);
+        while let Some(event) = events.next_event() {
+            match event {
+                Event::Departure { time, request_index } => {
+                    let departed = &trace.requests[request_index];
+                    // Departures are only scheduled for placed VMs, so the
+                    // lookup can only miss on malformed traces that reuse an
+                    // id (the later arrival overwrites the earlier entry);
+                    // tolerate the orphan departure rather than abort.
+                    let Some(vm) = active.remove(&departed.id) else { continue };
                     engine.remove(vm.server, departed.id, vm.cores);
                     cur_total[vm.server] = cur_total[vm.server].saturating_sub(departed.memory);
                     cur_pool[vm.group] = cur_pool[vm.group].saturating_sub(vm.pool);
                     cur_server_pool[vm.server] = cur_server_pool[vm.server].saturating_sub(vm.pool);
                     if !vm.pool.is_zero() {
-                        outcome.pool_releases.push(PoolRelease { time: dep.time, amount: vm.pool });
+                        outcome.pool_releases.push(PoolRelease { time, amount: vm.pool });
                     }
                 }
-            }
+                Event::Snapshot { time } => take_snapshot(time, &engine, &mut outcome),
+                Event::Arrival { time: _, request_index } => {
+                    let request = &trace.requests[request_index];
 
-            // Periodic stranding snapshots.
-            while request.arrival >= next_snapshot {
-                take_snapshot(next_snapshot, &engine, &mut outcome);
-                next_snapshot += self.config.snapshot_interval;
-            }
+                    // Ask the policy for the local/pool split.
+                    let pool = align_pool_memory(request, self.policy.pool_memory(request));
+                    let local = request.memory - pool;
 
-            // Ask the policy for the local/pool split.
-            let pool = align_pool_memory(request, self.policy.pool_memory(request));
-            let local = request.memory - pool;
+                    let Some((server, _placement)) = engine.place(request, local) else {
+                        outcome.rejected_vms += 1;
+                        continue;
+                    };
+                    outcome.scheduled_vms += 1;
 
-            let Some((server, _placement)) = engine.place(request, local) else {
-                outcome.rejected_vms += 1;
-                continue;
-            };
-            outcome.scheduled_vms += 1;
+                    // Ground-truth QoS outcome: how much of the touched
+                    // working set spills onto pool memory, and the resulting
+                    // slowdown.
+                    let workload = self
+                        .suite
+                        .at(request.workload_index % self.suite.len())
+                        .expect("workload index is taken modulo the suite size");
+                    let touched = request.touched_memory();
+                    let spilled = touched.saturating_sub(local);
+                    let spill_fraction = if touched.is_zero() {
+                        0.0
+                    } else {
+                        (spilled.as_u64() as f64 / touched.as_u64() as f64).min(1.0)
+                    };
+                    let slowdown =
+                        self.spill.spill_slowdown(workload, self.config.scenario, spill_fraction);
+                    let exceeded = slowdown > self.config.pdm;
+                    self.policy.observe_outcome(request, slowdown, exceeded);
+                    outcome.slowdowns.push(slowdown);
 
-            // Ground-truth QoS outcome: how much of the touched working set
-            // spills onto pool memory, and the resulting slowdown.
-            let workload = self
-                .suite
-                .at(request.workload_index % self.suite.len())
-                .expect("workload index is taken modulo the suite size");
-            let touched = request.touched_memory();
-            let spilled = touched.saturating_sub(local);
-            let spill_fraction = if touched.is_zero() {
-                0.0
-            } else {
-                (spilled.as_u64() as f64 / touched.as_u64() as f64).min(1.0)
-            };
-            let slowdown =
-                self.spill.spill_slowdown(workload, self.config.scenario, spill_fraction);
-            let exceeded = slowdown > self.config.pdm;
-            self.policy.observe_outcome(request, slowdown, exceeded);
-            outcome.slowdowns.push(slowdown);
+                    let mut effective_pool = pool;
+                    if exceeded {
+                        outcome.violations += 1;
+                        if self.config.qos_mitigation && !pool.is_zero() {
+                            // The QoS monitor migrates the VM to all-local memory.
+                            let grown = engine.grow_local(server, request.id, pool);
+                            debug_assert!(grown, "the VM was just placed on this server");
+                            effective_pool = Bytes::ZERO;
+                            outcome.mitigations += 1;
+                        }
+                    }
 
-            let mut effective_pool = pool;
-            if exceeded {
-                outcome.violations += 1;
-                if self.config.qos_mitigation && !pool.is_zero() {
-                    // The QoS monitor migrates the VM to all-local memory.
-                    engine
-                        .server_mut(server)
-                        .expect("server index from placement")
-                        .grow_local(request.id, pool);
-                    effective_pool = Bytes::ZERO;
-                    outcome.mitigations += 1;
+                    let group = (server / servers_per_group).min(group_count - 1);
+                    active.insert(
+                        request.id,
+                        ActiveVm { server, cores: request.cores, pool: effective_pool, group },
+                    );
+                    events.schedule_departure(request.departure(), request_index);
+
+                    // Update peaks and GiB-hour accounting.
+                    cur_total[server] += request.memory;
+                    cur_pool[group] += effective_pool;
+                    cur_server_pool[server] += effective_pool;
+                    peak_total[server] = peak_total[server].max(cur_total[server]);
+                    peak_pool[group] = peak_pool[group].max(cur_pool[group]);
+                    peak_server_pool[server] =
+                        peak_server_pool[server].max(cur_server_pool[server]);
+                    let local_now = engine.servers()[server].used_memory();
+                    peak_local[server] = peak_local[server].max(local_now);
+
+                    let hours = request.lifetime as f64 / 3600.0;
+                    outcome.pool_gb_hours += effective_pool.as_gib_f64() * hours;
+                    outcome.total_gb_hours += request.memory.as_gib_f64() * hours;
                 }
             }
 
-            let group = (server / servers_per_group).min(group_count - 1);
-            active.insert(
-                request.id,
-                ActiveVm { server, cores: request.cores, pool: effective_pool, group },
-            );
-            departures.push(Departure { time: request.departure(), request_index: index });
-
-            // Update peaks and GB-hour accounting.
-            cur_total[server] += request.memory;
-            cur_pool[group] += effective_pool;
-            cur_server_pool[server] += effective_pool;
-            peak_total[server] = peak_total[server].max(cur_total[server]);
-            peak_pool[group] = peak_pool[group].max(cur_pool[group]);
-            peak_server_pool[server] = peak_server_pool[server].max(cur_server_pool[server]);
-            let local_now = engine.servers()[server].used_memory();
-            peak_local[server] = peak_local[server].max(local_now);
-
-            let hours = request.lifetime as f64 / 3600.0;
-            outcome.pool_gb_hours += effective_pool.as_gib_f64() * hours;
-            outcome.total_gb_hours += request.memory.as_gib_f64() * hours;
+            // Conservation invariant, checked at every event in debug builds:
+            // the incremental group/server pool counters must equal the sums
+            // over the currently live VMs.
+            #[cfg(debug_assertions)]
+            assert_pool_conservation(&active, &cur_pool, &cur_server_pool);
         }
-
-        // Final snapshots up to the end of the trace.
-        while next_snapshot <= trace.duration {
-            take_snapshot(next_snapshot, &engine, &mut outcome);
-            next_snapshot += self.config.snapshot_interval;
-        }
+        debug_assert!(active.is_empty(), "every placed VM must have departed");
+        debug_assert!(cur_pool.iter().all(|b| b.is_zero()), "all pool memory must be released");
 
         outcome.sum_local_peaks = peak_local.iter().copied().sum();
         outcome.sum_pool_peaks = peak_pool.iter().copied().sum();
@@ -390,10 +400,154 @@ impl<P: MemoryPolicy> Simulation<P> {
 mod tests {
     use super::*;
     use crate::scheduler::{AllLocal, FixedPoolFraction};
+    use crate::trace::{CustomerId, GuestOs, VmRequest, VmType};
     use crate::tracegen::{ClusterConfig, TraceGenerator};
 
     fn small_trace() -> ClusterTrace {
         TraceGenerator::new(ClusterConfig::small(), 1).generate(0)
+    }
+
+    /// A hand-built request: `untouched_fraction: 1.0` keeps the VM spill-free
+    /// under any policy, so manual-trace tests never trip QoS machinery.
+    fn manual_request(id: u64, arrival: u64, lifetime: u64, cores: u32, gib: u64) -> VmRequest {
+        VmRequest {
+            id,
+            arrival,
+            lifetime,
+            cores,
+            memory: Bytes::from_gib(gib),
+            customer: CustomerId(0),
+            vm_type: VmType::GeneralPurpose,
+            guest_os: GuestOs::Linux,
+            region: 0,
+            workload_index: 0,
+            untouched_fraction: 1.0,
+        }
+    }
+
+    fn manual_trace(requests: Vec<VmRequest>, duration: u64) -> ClusterTrace {
+        ClusterTrace {
+            cluster_id: 0,
+            servers: 1,
+            cores_per_server: 8,
+            dram_per_server: Bytes::from_gib(64),
+            duration,
+            requests,
+        }
+    }
+
+    /// Regression (event core): every pooled VM's departure is drained and its
+    /// release recorded — including departures after the final arrival, which
+    /// the old drain-at-arrival loop silently dropped.
+    #[test]
+    fn every_pooled_vm_is_released_exactly_once() {
+        // Three VMs whose departures all land after the last arrival.
+        let trace = manual_trace(
+            vec![
+                manual_request(1, 0, 5_000, 2, 8),
+                manual_request(2, 10, 5_000, 2, 8),
+                manual_request(3, 20, 5_000, 2, 8),
+            ],
+            1_000,
+        );
+        let config = SimulationConfig { qos_mitigation: false, ..Default::default() };
+        let outcome = Simulation::new(config, FixedPoolFraction::new(0.5)).run(&trace);
+        assert_eq!(outcome.scheduled_vms, 3);
+        // Each VM pooled 4 GiB; exactly one release per VM, at its departure.
+        assert_eq!(outcome.pool_releases.len(), 3);
+        for release in &outcome.pool_releases {
+            assert_eq!(release.amount, Bytes::from_gib(4));
+        }
+        let times: Vec<u64> = outcome.pool_releases.iter().map(|r| r.time).collect();
+        assert_eq!(times, vec![5_000, 5_010, 5_020]);
+    }
+
+    /// Regression (event core) on a generated trace: releases recorded after
+    /// the last arrival prove the post-trace drain happens at all.
+    #[test]
+    fn departures_after_the_last_arrival_are_recorded() {
+        let trace = small_trace();
+        let config = SimulationConfig { qos_mitigation: false, ..Default::default() };
+        let outcome = Simulation::new(config, FixedPoolFraction::new(0.5)).run(&trace);
+        let last_arrival = trace.requests.last().expect("non-empty trace").arrival;
+        assert!(
+            outcome.pool_releases.iter().any(|r| r.time > last_arrival),
+            "some VM outlives the last arrival and must still release its pool memory"
+        );
+    }
+
+    /// Regression (event core): a snapshot at time `t` reflects exactly the
+    /// VMs live at `t` — departures later than `t` must not be applied early,
+    /// and departures before `t` must not linger.
+    #[test]
+    fn snapshots_interleave_with_departures_in_time_order() {
+        // VM 1 occupies half the server's cores during [0, 150); VM 2 during
+        // [250, 350). Snapshots tick at 100/200/300/400.
+        let trace = manual_trace(
+            vec![manual_request(1, 0, 150, 4, 8), manual_request(2, 250, 100, 4, 8)],
+            400,
+        );
+        let config = SimulationConfig { snapshot_interval: 100, ..Default::default() };
+        let outcome = Simulation::new(config, AllLocal).run(&trace);
+        let fractions: Vec<(u64, f64)> = outcome
+            .stranding_samples
+            .iter()
+            .map(|s| (s.time, s.scheduled_cores_fraction))
+            .collect();
+        assert_eq!(
+            fractions,
+            vec![(100, 0.5), (200, 0.0), (300, 0.5), (400, 0.0)],
+            "snapshot at 100 must still see VM 1 (departs at 150); \
+             snapshot at 400 must not see VM 2 (departed at 350)"
+        );
+    }
+
+    /// Satellite: identical trace + config -> identical outcome, across
+    /// several seeds and configurations (the event stream is fully ordered,
+    /// so there is no source of nondeterminism left).
+    #[test]
+    fn identical_inputs_produce_identical_outcomes() {
+        for seed in [0, 1, 2] {
+            let trace = TraceGenerator::new(ClusterConfig::small(), 3).generate(seed);
+            for config in [
+                SimulationConfig::default(),
+                SimulationConfig { enforce_memory_capacity: true, ..Default::default() },
+                SimulationConfig { qos_mitigation: false, ..Default::default() },
+            ] {
+                let a = Simulation::new(config.clone(), FixedPoolFraction::new(0.4)).run(&trace);
+                let b = Simulation::new(config, FixedPoolFraction::new(0.4)).run(&trace);
+                assert_eq!(a, b, "seed {seed}");
+            }
+        }
+    }
+
+    /// Satellite: pool-memory conservation. The run loop asserts after every
+    /// event (debug builds) that the incremental per-group and per-server
+    /// pool counters equal the sums over live VMs — this test drives the
+    /// paths that mutate them (placement, mitigation, departure) under
+    /// configs where the invariant would drift if any update went missing.
+    #[test]
+    fn pool_accounting_is_conserved_at_every_event() {
+        let trace = small_trace();
+        for config in [
+            SimulationConfig { qos_mitigation: true, ..Default::default() },
+            SimulationConfig { qos_mitigation: false, ..Default::default() },
+            SimulationConfig {
+                enforce_memory_capacity: true,
+                pool_size_sockets: 4,
+                ..Default::default()
+            },
+        ] {
+            let outcome = Simulation::new(config, FixedPoolFraction::new(0.5)).run(&trace);
+            // After the full drain, everything allocated was released.
+            let released: Bytes = outcome.pool_releases.iter().map(|r| r.amount).sum();
+            let mitigated_or_zero = outcome.scheduled_vms - outcome.pool_releases.len() as u64;
+            assert!(released > Bytes::ZERO);
+            assert!(
+                mitigated_or_zero >= outcome.mitigations,
+                "VMs without a release are exactly the zero-pool and mitigated ones"
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,144 @@
+//! Parallel sweep runner for trace × pool-size × policy experiment grids.
+//!
+//! The paper's figures replay many independent simulations (one per cluster
+//! trace, pool size, and policy); each run is CPU-bound and shares nothing
+//! with its siblings, so they parallelize trivially. [`parallel_map`] fans a
+//! slice of work items out over scoped OS threads (`std::thread::scope`, no
+//! external dependencies) and returns the results **in item order**, so any
+//! reduction the caller performs sees results in exactly the order a serial
+//! loop would have produced them — floating-point accumulations stay
+//! bit-identical to the serial path (see `pooling`'s serial-vs-parallel
+//! equality tests).
+//!
+//! Thread count defaults to [`std::thread::available_parallelism`] and can be
+//! pinned with the `POND_SWEEP_THREADS` environment variable (`1` runs the
+//! sweep inline on the calling thread).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Number of worker threads a sweep over `items` work items will use:
+/// `POND_SWEEP_THREADS` if set and nonzero, otherwise the machine's available
+/// parallelism, capped at the number of items.
+pub fn worker_count(items: usize) -> usize {
+    let configured = std::env::var("POND_SWEEP_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0);
+    let auto = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    configured.unwrap_or(auto).min(items).max(1)
+}
+
+/// Applies `f` to every item of `slice` across [`worker_count`] scoped
+/// threads and returns the results in item order.
+///
+/// `f` receives the item's index alongside the item so callers can label or
+/// seed work deterministically. Panics in any worker propagate to the caller
+/// once the scope joins.
+pub fn parallel_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    parallel_map_with(worker_count(items.len()), items, f)
+}
+
+/// [`parallel_map`] with an explicit worker count (`workers == 1` runs
+/// inline on the calling thread, with no thread machinery at all).
+pub fn parallel_map_with<T, R, F>(workers: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    if items.is_empty() {
+        return Vec::new();
+    }
+    let workers = workers.clamp(1, items.len());
+    if workers == 1 {
+        return items.iter().enumerate().map(|(i, item)| f(i, item)).collect();
+    }
+
+    // Work-stealing by atomic counter: each worker claims the next unclaimed
+    // index, computes, and deposits the result into that index's slot. Slots
+    // are disjoint, so one coarse mutex around the slot vector is uncontended
+    // relative to the per-item work (whole simulation runs).
+    let next = AtomicUsize::new(0);
+    let slots: Mutex<Vec<Option<R>>> = Mutex::new((0..items.len()).map(|_| None).collect());
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let index = next.fetch_add(1, Ordering::Relaxed);
+                let Some(item) = items.get(index) else { break };
+                let result = f(index, item);
+                slots.lock().expect("a sweep worker panicked while depositing")[index] =
+                    Some(result);
+            });
+        }
+    });
+    slots
+        .into_inner()
+        .expect("a sweep worker panicked while depositing")
+        .into_iter()
+        .map(|slot| slot.expect("every slot is filled once the scope joins"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+    use std::sync::atomic::AtomicU32;
+
+    #[test]
+    fn results_come_back_in_item_order() {
+        let items: Vec<u64> = (0..257).collect();
+        let doubled = parallel_map(&items, |_, &x| x * 2);
+        assert_eq!(doubled, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn indices_match_items() {
+        let items: Vec<u64> = (100..150).collect();
+        let pairs = parallel_map(&items, |i, &x| (i, x));
+        for (i, x) in pairs {
+            assert_eq!(x, 100 + i as u64);
+        }
+    }
+
+    #[test]
+    fn parallel_matches_serial_for_any_worker_count() {
+        let items: Vec<u64> = (0..100).collect();
+        let serial = parallel_map_with(1, &items, |i, &x| x * 31 + i as u64);
+        for workers in [2, 3, 8, 64, 1000] {
+            let parallel = parallel_map_with(workers, &items, |i, &x| x * 31 + i as u64);
+            assert_eq!(parallel, serial, "worker count {workers}");
+        }
+    }
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        let out: Vec<u64> = parallel_map(&[], |_, x: &u64| *x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn every_item_is_processed_exactly_once() {
+        let counter = AtomicU32::new(0);
+        let items: Vec<usize> = (0..64).collect();
+        let seen: Vec<usize> = parallel_map(&items, |i, _| {
+            counter.fetch_add(1, Ordering::Relaxed);
+            i
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 64);
+        assert_eq!(seen.into_iter().collect::<BTreeSet<_>>().len(), 64);
+    }
+
+    #[test]
+    fn worker_count_is_capped_by_items() {
+        assert_eq!(worker_count(0), 1);
+        assert_eq!(worker_count(1), 1);
+        assert!(worker_count(1_000_000) >= 1);
+    }
+}

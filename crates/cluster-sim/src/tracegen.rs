@@ -265,7 +265,7 @@ impl TraceGenerator {
             let customer_idx = rng.gen_range(0..customers.len());
             let customer = &customers[customer_idx];
             let cores = Self::sample_cores(rng);
-            let shifted = shift_secs.map_or(false, |s| arrival >= s);
+            let shifted = shift_secs.is_some_and(|s| arrival >= s);
             // After a workload shift the mix becomes compute-heavy: less
             // memory per core, which increases stranding.
             let vm_type = if shifted && rng.gen::<f64>() < 0.6 {

@@ -1,0 +1,186 @@
+//! Placement-path benchmark on a 1024-server trace.
+//!
+//! Replays one day of arrivals and departures against 1024 servers twice:
+//! once through `PlacementEngine`'s incrementally maintained free-core bucket
+//! index (O(log n) candidate selection) and once through the sort-scan
+//! reference this PR replaced (a full stable sort of the server list on every
+//! arrival). Both replays make identical placement decisions — the reference
+//! reproduces the old candidate order exactly — so the timing difference is
+//! purely the candidate-selection data structure.
+//!
+//! Run with `cargo bench -p pond-bench --bench placement`. The final line
+//! prints the measured speedup; the acceptance bar is >= 5x.
+
+use cluster_sim::scheduler::PlacementEngine;
+use cluster_sim::server::{Placement, Server};
+use cluster_sim::trace::{ClusterTrace, VmRequest};
+use cluster_sim::tracegen::{ClusterConfig, TraceGenerator};
+use criterion::{criterion_group, Criterion};
+use cxl_hw::units::Bytes;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+const SERVERS: u32 = 1024;
+
+fn bench_trace() -> ClusterTrace {
+    let config =
+        ClusterConfig { servers: SERVERS, duration_days: 1, ..ClusterConfig::azure_like() };
+    TraceGenerator::new(config, 1).generate(0)
+}
+
+/// The placement surface the replay drives, so the indexed engine and the
+/// sort-scan reference run the exact same schedule.
+trait Placer {
+    fn place(&mut self, request: &VmRequest, local: Bytes) -> Option<(usize, Placement)>;
+    fn remove(&mut self, server: usize, vm: u64, cores: u32);
+}
+
+impl Placer for PlacementEngine {
+    fn place(&mut self, request: &VmRequest, local: Bytes) -> Option<(usize, Placement)> {
+        PlacementEngine::place(self, request, local)
+    }
+    fn remove(&mut self, server: usize, vm: u64, cores: u32) {
+        PlacementEngine::remove(self, server, vm, cores);
+    }
+}
+
+/// The pre-index placement path: re-sort every server by free cores on every
+/// arrival, then scan for the tightest fit.
+struct SortScanEngine {
+    servers: Vec<Server>,
+}
+
+impl SortScanEngine {
+    fn new(trace: &ClusterTrace) -> Self {
+        SortScanEngine {
+            servers: (0..trace.servers)
+                .map(|i| Server::new(i, trace.cores_per_server, trace.dram_per_server, true))
+                .collect(),
+        }
+    }
+}
+
+impl Placer for SortScanEngine {
+    fn place(&mut self, request: &VmRequest, local: Bytes) -> Option<(usize, Placement)> {
+        let mut candidates: Vec<usize> = (0..self.servers.len()).collect();
+        candidates.sort_by_key(|&i| self.servers[i].free_cores());
+        for i in candidates {
+            if self.servers[i].free_cores() < request.cores {
+                continue;
+            }
+            if let Some(placement) = self.servers[i].try_place(request, local) {
+                return Some((i, placement));
+            }
+        }
+        None
+    }
+    fn remove(&mut self, server: usize, vm: u64, cores: u32) {
+        self.servers[server].remove(vm, cores);
+    }
+}
+
+/// Replays the trace's arrival/departure schedule against a placer and
+/// returns (placed, rejected, decision hash) for cross-checking the two
+/// engines: the hash folds every per-request decision (chosen server, core
+/// node, memory split — or rejection), so two replays agree only if they made
+/// identical placement decisions at every step.
+fn replay<P: Placer>(engine: &mut P, trace: &ClusterTrace) -> (u64, u64, u64) {
+    let mut departures: BinaryHeap<Reverse<(u64, u64, usize, u32)>> = BinaryHeap::new();
+    let mut placed = 0;
+    let mut rejected = 0;
+    let mut decisions: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut fold = |value: u64| decisions = (decisions ^ value).wrapping_mul(0x100_0000_01b3);
+    for request in &trace.requests {
+        while let Some(&Reverse((time, vm, server, cores))) = departures.peek() {
+            if time > request.arrival {
+                break;
+            }
+            departures.pop();
+            engine.remove(server, vm, cores);
+        }
+        match engine.place(request, request.memory) {
+            Some((server, placement)) => {
+                placed += 1;
+                fold(server as u64);
+                fold(placement.core_node as u64);
+                fold(placement.local_on_core_node.as_u64());
+                departures.push(Reverse((request.departure(), request.id, server, request.cores)));
+            }
+            None => {
+                rejected += 1;
+                fold(u64::MAX);
+            }
+        }
+    }
+    (placed, rejected, decisions)
+}
+
+fn indexed_replay(trace: &ClusterTrace) -> (u64, u64, u64) {
+    let mut engine =
+        PlacementEngine::new(trace.servers, trace.cores_per_server, trace.dram_per_server, true);
+    replay(&mut engine, trace)
+}
+
+fn sort_scan_replay(trace: &ClusterTrace) -> (u64, u64, u64) {
+    let mut engine = SortScanEngine::new(trace);
+    replay(&mut engine, trace)
+}
+
+fn bench_placement(c: &mut Criterion) {
+    let trace = bench_trace();
+    println!(
+        "placement trace: {} servers, {} requests, 1 day",
+        trace.servers,
+        trace.requests.len()
+    );
+    c.bench_function("placement_indexed_1024_servers", |b| {
+        b.iter(|| black_box(indexed_replay(black_box(&trace))))
+    });
+    c.bench_function("placement_sort_scan_1024_servers", |b| {
+        b.iter(|| black_box(sort_scan_replay(black_box(&trace))))
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_placement
+);
+
+fn best_of<F: FnMut() -> (u64, u64, u64)>(runs: usize, mut f: F) -> (Duration, (u64, u64, u64)) {
+    let mut best = Duration::MAX;
+    let mut out = (0, 0, 0);
+    for _ in 0..runs {
+        let start = Instant::now();
+        out = f();
+        best = best.min(start.elapsed());
+    }
+    (best, out)
+}
+
+fn main() {
+    benches();
+
+    // Explicit speedup report: best-of-5 full replays of each engine on the
+    // same trace, with a decision cross-check.
+    let trace = bench_trace();
+    let (indexed, placed_indexed) = best_of(5, || indexed_replay(&trace));
+    let (sorted, placed_sorted) = best_of(5, || sort_scan_replay(&trace));
+    // The decision hash covers every per-request (server, node, split) choice.
+    assert_eq!(
+        placed_indexed, placed_sorted,
+        "indexed and sort-scan engines must make identical placement decisions"
+    );
+    let speedup = sorted.as_secs_f64() / indexed.as_secs_f64();
+    println!(
+        "placement path on {SERVERS} servers: sort-scan {:.2?} vs indexed {:.2?} -> {speedup:.1}x speedup \
+         ({} placed, {} rejected)",
+        sorted, indexed, placed_indexed.0, placed_indexed.1
+    );
+    assert!(
+        speedup >= 5.0,
+        "expected the free-core bucket index to be >= 5x faster than the per-arrival sort, got {speedup:.1}x"
+    );
+}

@@ -7,6 +7,7 @@
 use cluster_sim::scheduler::AllLocal;
 use cluster_sim::simulation::{Simulation, SimulationConfig};
 use cluster_sim::stranding::{bucket_by_scheduled_cores, rack_time_series, skip_warmup};
+use cluster_sim::sweep;
 use cluster_sim::tracegen::{ClusterConfig, TraceGenerator};
 use pond_bench::{bench_cluster_config, cluster_count, pct, print_header};
 
@@ -20,13 +21,19 @@ fn main() {
         ..Default::default()
     };
 
+    // One independent simulation per cluster, fanned out across cores; the
+    // flattened sample list keeps cluster order, so output is identical to
+    // the serial loop's.
     let generator = TraceGenerator::new(bench_cluster_config(), cluster_count());
-    let mut samples = Vec::new();
-    for cluster in 0..cluster_count() {
+    let clusters: Vec<u32> = (0..cluster_count()).collect();
+    let samples: Vec<_> = sweep::parallel_map(&clusters, |_, &cluster| {
         let trace = generator.generate(cluster);
         let outcome = Simulation::new(config.clone(), AllLocal).run(&trace);
-        samples.extend(skip_warmup(&outcome.stranding_samples, 86_400));
-    }
+        skip_warmup(&outcome.stranding_samples, 86_400)
+    })
+    .into_iter()
+    .flatten()
+    .collect();
 
     println!(
         "{:<22} {:>8} {:>8} {:>8} {:>8} {:>8}",

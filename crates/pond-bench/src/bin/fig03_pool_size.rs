@@ -13,6 +13,8 @@ fn main() {
     let config = SimulationConfig { qos_mitigation: false, ..Default::default() };
 
     println!("{:<14} {:>10} {:>10} {:>10}", "pool sockets", "10% pool", "30% pool", "50% pool");
+    // Each sweep fans its (pool size × trace) grid out across cores on the
+    // cluster-sim sweep runner; the three fractions run back to back.
     let sweeps: Vec<Vec<f64>> = [0.10, 0.30, 0.50]
         .iter()
         .map(|&fraction| {

@@ -2,6 +2,7 @@
 //! is (mistakenly) allocated on pool memory — from a correctly sized zNUMA
 //! (0% spilled) to an entirely pool-backed VM (100%).
 
+use cluster_sim::sweep;
 use cxl_hw::latency::LatencyScenario;
 use pond_bench::{pct, print_header};
 use workload_model::spill::{SpillModel, FIGURE16_SPILL_FRACTIONS};
@@ -13,19 +14,25 @@ fn main() {
     let model = SpillModel::default();
     let scenario = LatencyScenario::Increase182;
 
-    println!("{:<12} {:>10} {:>10} {:>10} {:>10}", "spill", "p25", "median", "p75", "max");
-    for &fraction in &FIGURE16_SPILL_FRACTIONS {
+    // Each spill fraction sweeps the whole 158-workload suite independently;
+    // fan the fractions out across cores and print rows in fraction order.
+    let rows = sweep::parallel_map(&FIGURE16_SPILL_FRACTIONS, |_, &fraction| {
         let mut slowdowns: Vec<f64> =
             suite.workloads().map(|w| model.spill_slowdown(w, scenario, fraction)).collect();
         slowdowns.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let q = |p: f64| slowdowns[((slowdowns.len() - 1) as f64 * p) as usize];
+        (fraction, q(0.25), q(0.50), q(0.75), *slowdowns.last().unwrap())
+    });
+
+    println!("{:<12} {:>10} {:>10} {:>10} {:>10}", "spill", "p25", "median", "p75", "max");
+    for (fraction, p25, median, p75, max) in rows {
         println!(
             "{:<12} {:>10} {:>10} {:>10} {:>10}",
             pct(fraction),
-            pct(q(0.25)),
-            pct(q(0.50)),
-            pct(q(0.75)),
-            pct(*slowdowns.last().unwrap())
+            pct(p25),
+            pct(median),
+            pct(p75),
+            pct(max)
         );
     }
     println!("\npaper shape: ~0% slowdown with a correct prediction (0% spilled); slowdowns grow");

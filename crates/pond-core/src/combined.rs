@@ -113,7 +113,7 @@ impl CombinedModel {
                 if choice.constraint_value() > config.budget() + 1e-12 {
                     continue;
                 }
-                if best.map_or(true, |b| choice.objective() > b.objective()) {
+                if best.is_none_or(|b| choice.objective() > b.objective()) {
                     best = Some(choice);
                 }
             }

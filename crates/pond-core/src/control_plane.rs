@@ -325,7 +325,6 @@ mod tests {
         assert_eq!(plane.running_vms(), 0);
         // After the offlining delay, the buffer is at least as full as before.
         plane.pool().pending_release();
-        let mut plane = plane;
         plane.pool.process_releases(Duration::from_secs(2_000_000));
         assert!(plane.pool().available() >= before);
     }
@@ -357,12 +356,11 @@ mod tests {
         let mut plane = PondControlPlane::new(&trace, config, 6).unwrap();
         let mut exhausted = false;
         for request in trace.requests.iter().take(200) {
-            match plane.handle_request(request, Duration::from_secs(request.arrival)) {
-                Err(PondError::PoolExhausted { .. }) => {
-                    exhausted = true;
-                    break;
-                }
-                _ => {}
+            if let Err(PondError::PoolExhausted { .. }) =
+                plane.handle_request(request, Duration::from_secs(request.arrival))
+            {
+                exhausted = true;
+                break;
             }
         }
         assert!(exhausted, "a 2 GiB pool must run out");

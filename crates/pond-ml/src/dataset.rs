@@ -263,7 +263,7 @@ mod tests {
             let d = toy(n);
             let (train, test) = d.train_test_split(frac, seed);
             prop_assert_eq!(train.len() + test.len(), n);
-            prop_assert!(train.len() >= 1);
+            prop_assert!(!train.is_empty());
         }
     }
 }

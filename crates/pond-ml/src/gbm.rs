@@ -81,7 +81,7 @@ pub struct GradientBoostedTrees {
     loss: Loss,
 }
 
-fn quantile_of(sorted: &mut Vec<f64>, q: f64) -> f64 {
+fn quantile_of(sorted: &mut [f64], q: f64) -> f64 {
     if sorted.is_empty() {
         return 0.0;
     }
@@ -146,9 +146,9 @@ impl GradientBoostedTrees {
                 // q-quantile of the raw residuals (y - F), the standard
                 // post-fit adjustment for quantile boosting.
                 let mut leaf_residuals: HashMap<usize, Vec<f64>> = HashMap::new();
-                for i in 0..data.len() {
+                for (i, &prediction) in predictions.iter().enumerate() {
                     let leaf = tree.leaf_id(data.row(i));
-                    leaf_residuals.entry(leaf).or_default().push(data.label(i) - predictions[i]);
+                    leaf_residuals.entry(leaf).or_default().push(data.label(i) - prediction);
                 }
                 tree.adjust_leaves(|leaf, value| match leaf_residuals.get_mut(&leaf) {
                     Some(rs) => quantile_of(rs, q),

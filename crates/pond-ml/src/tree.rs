@@ -93,7 +93,7 @@ impl<'a> Builder<'a> {
         Node::Leaf { id, value, samples: indices.len() }
     }
 
-    fn build(&mut self, indices: &mut Vec<usize>, depth: usize) -> Node {
+    fn build(&mut self, indices: &mut [usize], depth: usize) -> Node {
         if depth >= self.config.max_depth
             || indices.len() < self.config.min_samples_split
             || indices.len() < 2 * self.config.min_samples_leaf
@@ -169,7 +169,7 @@ impl<'a> Builder<'a> {
                 let right_sq = total_sq - left_sq;
                 let sse = (left_sq - left_sum * left_sum / left_n)
                     + (right_sq - right_sum * right_sum / right_n);
-                if best.map_or(true, |(_, _, b)| sse < b) {
+                if best.is_none_or(|(_, _, b)| sse < b) {
                     best = Some((feature, (prev_val + cur_val) / 2.0, sse));
                 }
             }

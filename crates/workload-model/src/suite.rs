@@ -236,10 +236,10 @@ impl WorkloadSuite {
             // paper notes within-class variability exceeds across-class
             // variability).
             let mut buckets: Vec<Bucket> = std::iter::empty()
-                .chain(std::iter::repeat(Bucket::Insensitive).take(n_ins))
-                .chain(std::iter::repeat(Bucket::Moderate).take(n_mod))
-                .chain(std::iter::repeat(Bucket::High).take(n_high))
-                .chain(std::iter::repeat(Bucket::Extreme).take(n_ext))
+                .chain(std::iter::repeat_n(Bucket::Insensitive, n_ins))
+                .chain(std::iter::repeat_n(Bucket::Moderate, n_mod))
+                .chain(std::iter::repeat_n(Bucket::High, n_high))
+                .chain(std::iter::repeat_n(Bucket::Extreme, n_ext))
                 .collect();
             let mut rng =
                 Pcg64::seed_from_u64(seed ^ (class as u64 + 1).wrapping_mul(0x9E3779B97F4A7C15));

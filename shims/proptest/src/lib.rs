@@ -258,7 +258,7 @@ mod tests {
             prop_assert!((3..17).contains(&x));
             prop_assert!((0.25..0.75).contains(&f));
             prop_assert!(a < 4 && (1..5).contains(&b));
-            prop_assert!(flag || !flag);
+            prop_assert!(u8::from(flag) < 2);
             prop_assert!(!xs.is_empty() && xs.len() < 20);
             prop_assert!(xs.iter().all(|v| *v < 10));
         }

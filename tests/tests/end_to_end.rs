@@ -127,3 +127,21 @@ fn simulations_are_deterministic() {
     let b = Simulation::new(config, FixedPoolFraction::new(0.3)).run(&trace);
     assert_eq!(a, b);
 }
+
+/// The parallel sweep runner reproduces the serial reference bit for bit
+/// across the whole stack: trained Pond policy, QoS mitigation, several pool
+/// sizes and traces, all fanned out over threads.
+#[test]
+fn parallel_pool_size_sweep_is_bit_identical_with_pond_policy() {
+    let traces = TraceGenerator::new(ClusterConfig::small(), 2).generate_all();
+    let policy = PondPolicy::train(&traces[0], &PondPolicyConfig::default(), 7);
+    let config = SimulationConfig::default();
+    let pool_sizes = [8u16, 32];
+    let parallel =
+        cluster_sim::pooling::pool_size_sweep(&traces, &pool_sizes, &config, || policy.clone());
+    let serial =
+        cluster_sim::pooling::pool_size_sweep_serial(&traces, &pool_sizes, &config, || {
+            policy.clone()
+        });
+    assert_eq!(parallel, serial);
+}

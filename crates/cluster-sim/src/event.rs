@@ -1,21 +1,26 @@
 //! The time-ordered event core of the cluster simulator.
 //!
-//! The simulator processes exactly three kinds of events: VM arrivals (read
-//! from the trace), VM departures (scheduled when a VM is placed), and
-//! periodic stranding snapshots. [`EventQueue`] merges the three sources into
-//! a single stream ordered by time, with a fixed tie order at equal times:
+//! The simulator processes exactly four kinds of events: VM arrivals (read
+//! from the trace), VM departures (scheduled when a VM is placed),
+//! asynchronous pool-slice release completions (scheduled by pool-aware
+//! drivers such as `pond-core`'s fleet simulator), and periodic snapshot
+//! ticks. [`EventQueue`] merges the four sources into a single stream
+//! ordered by time, with a fixed tie order at equal times:
 //!
 //! 1. **Departures** — a snapshot or arrival at time `t` observes every
 //!    departure with time `<= t`.
-//! 2. **Snapshots** — a snapshot at time `t` runs before an arrival at `t`,
+//! 2. **Releases** — offlining that finishes at `t` refills the pool buffer
+//!    before a snapshot samples it and before an arrival at `t` tries to
+//!    allocate from it.
+//! 3. **Snapshots** — a snapshot at time `t` runs before an arrival at `t`,
 //!    so it never reflects VMs that arrive at the very instant it samples.
-//! 3. **Arrivals** — in trace order.
+//! 4. **Arrivals** — in trace order.
 //!
 //! Simultaneous departures pop in ascending request order, making the whole
 //! stream deterministic. Processing events strictly in this order is what
 //! guarantees (by construction) that snapshots never observe the future and
 //! that departures after the final arrival are still drained: the queue is
-//! only exhausted when *all three* sources are.
+//! only exhausted when *all four* sources are.
 
 use crate::trace::ClusterTrace;
 use std::collections::BinaryHeap;
@@ -30,6 +35,14 @@ pub enum Event {
         time: u64,
         /// Index of the departing VM's request in the trace.
         request_index: usize,
+    },
+    /// An asynchronous pool-slice release completes: capacity that was
+    /// offlining becomes reusable. Only delivered when the driver schedules
+    /// releases via [`EventQueue::schedule_release`]; the plain cluster
+    /// simulator models releases as instantaneous and never does.
+    Release {
+        /// Completion time in seconds since trace start.
+        time: u64,
     },
     /// A periodic stranding snapshot tick.
     Snapshot {
@@ -50,17 +63,20 @@ impl Event {
     pub fn time(&self) -> u64 {
         match *self {
             Event::Departure { time, .. }
+            | Event::Release { time }
             | Event::Snapshot { time }
             | Event::Arrival { time, .. } => time,
         }
     }
 
-    /// Tie order at equal times: departures, then snapshots, then arrivals.
+    /// Tie order at equal times: departures, then releases, then snapshots,
+    /// then arrivals.
     fn class(&self) -> u8 {
         match self {
             Event::Departure { .. } => 0,
-            Event::Snapshot { .. } => 1,
-            Event::Arrival { .. } => 2,
+            Event::Release { .. } => 1,
+            Event::Snapshot { .. } => 2,
+            Event::Arrival { .. } => 3,
         }
     }
 }
@@ -86,20 +102,21 @@ impl PartialOrd for Departure {
     }
 }
 
-/// Merges arrivals, scheduled departures, and snapshot ticks into one
-/// time-ordered event stream.
+/// Merges arrivals, scheduled departures, release completions, and snapshot
+/// ticks into one time-ordered event stream.
 ///
 /// Arrivals come from the trace (already sorted by arrival time); departures
-/// are pushed by the caller as VMs are placed; snapshot ticks fire every
-/// `snapshot_interval` seconds up to and including the trace duration
-/// (an interval of `0` disables snapshots). Departures past the trace
-/// duration are still delivered — the queue only ends when every source is
-/// exhausted.
+/// and release completions are pushed by the caller as VMs are placed and as
+/// pool slices start offlining; snapshot ticks fire every `snapshot_interval`
+/// seconds up to and including the trace duration (an interval of `0`
+/// disables snapshots). Departures and releases past the trace duration are
+/// still delivered — the queue only ends when every source is exhausted.
 #[derive(Debug)]
 pub struct EventQueue<'a> {
     requests: &'a ClusterTrace,
     next_arrival: usize,
     departures: BinaryHeap<Departure>,
+    releases: BinaryHeap<std::cmp::Reverse<u64>>,
     next_snapshot: u64,
     snapshot_interval: u64,
     snapshot_horizon: u64,
@@ -120,6 +137,7 @@ impl<'a> EventQueue<'a> {
             requests: trace,
             next_arrival: 0,
             departures: BinaryHeap::new(),
+            releases: BinaryHeap::new(),
             next_snapshot: snapshot_interval,
             snapshot_interval,
             snapshot_horizon: trace.duration,
@@ -131,16 +149,29 @@ impl<'a> EventQueue<'a> {
         self.departures.push(Departure { time, request_index });
     }
 
+    /// Schedules a release-completion event (called when pool slices start
+    /// their asynchronous offlining; `time` is when the offlining finishes).
+    pub fn schedule_release(&mut self, time: u64) {
+        self.releases.push(std::cmp::Reverse(time));
+    }
+
     fn peek_snapshot(&self) -> Option<u64> {
         (self.snapshot_interval > 0 && self.next_snapshot <= self.snapshot_horizon)
             .then_some(self.next_snapshot)
     }
 
-    /// Pops the next event in time order (ties: departure, snapshot, arrival).
+    /// Pops the next event in time order (ties: departure, release, snapshot,
+    /// arrival).
     pub fn next_event(&mut self) -> Option<Event> {
         let mut best: Option<Event> = None;
         if let Some(dep) = self.departures.peek() {
             best = Some(Event::Departure { time: dep.time, request_index: dep.request_index });
+        }
+        if let Some(&std::cmp::Reverse(time)) = self.releases.peek() {
+            let candidate = Event::Release { time };
+            if best.is_none_or(|b| keyed(candidate) < keyed(b)) {
+                best = Some(candidate);
+            }
         }
         if let Some(time) = self.peek_snapshot() {
             let candidate = Event::Snapshot { time };
@@ -158,6 +189,10 @@ impl<'a> EventQueue<'a> {
         match best? {
             event @ Event::Departure { .. } => {
                 self.departures.pop();
+                Some(event)
+            }
+            event @ Event::Release { .. } => {
+                self.releases.pop();
                 Some(event)
             }
             event @ Event::Snapshot { .. } => {
@@ -279,6 +314,45 @@ mod tests {
                 Event::Departure { time: 150, request_index: 1 },
             ]
         );
+    }
+
+    #[test]
+    fn equal_times_order_releases_after_departures_and_before_snapshots() {
+        // VM 1 departs at exactly t=100; a release completes at 100; a
+        // snapshot ticks at 100; VM 2 arrives at 100.
+        let t = trace(vec![request(1, 0, 100), request(2, 100, 50)], 100);
+        let mut queue = EventQueue::new(&t, 100);
+        queue.schedule_release(100);
+        let mut events = Vec::new();
+        while let Some(event) = queue.next_event() {
+            if let Event::Arrival { request_index, .. } = event {
+                let request = &t.requests[request_index];
+                queue.schedule_departure(request.departure(), request_index);
+            }
+            events.push(event);
+        }
+        assert_eq!(
+            events,
+            vec![
+                Event::Arrival { time: 0, request_index: 0 },
+                Event::Departure { time: 100, request_index: 0 },
+                Event::Release { time: 100 },
+                Event::Snapshot { time: 100 },
+                Event::Arrival { time: 100, request_index: 1 },
+                Event::Departure { time: 150, request_index: 1 },
+            ]
+        );
+    }
+
+    #[test]
+    fn releases_past_the_trace_duration_are_drained() {
+        let t = trace(vec![], 100);
+        let mut queue = EventQueue::new(&t, 0);
+        queue.schedule_release(10_000);
+        queue.schedule_release(5_000);
+        assert_eq!(queue.next_event(), Some(Event::Release { time: 5_000 }));
+        assert_eq!(queue.next_event(), Some(Event::Release { time: 10_000 }));
+        assert_eq!(queue.next_event(), None);
     }
 
     #[test]

@@ -15,9 +15,11 @@
 //!   split (the hook `pond-core` uses to plug in the full Pond policy). The
 //!   [`scheduler::PlacementEngine`] selects candidates through an
 //!   incrementally maintained free-core bucket index in O(log n) per arrival.
-//! * [`event`] — the time-ordered event core: arrivals, departures, and
-//!   snapshot ticks merged into one deterministic stream (departures before
-//!   snapshots before arrivals at equal times).
+//! * [`event`] — the time-ordered event core: arrivals, departures,
+//!   asynchronous pool-release completions, and snapshot ticks merged into
+//!   one deterministic stream (departures before releases before snapshots
+//!   before arrivals at equal times). `pond-core`'s fleet replay drives the
+//!   full control plane on this stream for the Figure 19/20 experiments.
 //! * [`simulation`] — the event-driven cluster simulator: placement,
 //!   per-server and per-pool peak tracking, QoS outcomes, pool releases,
 //!   driven by the [`event`] stream.

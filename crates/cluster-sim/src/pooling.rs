@@ -23,6 +23,9 @@ pub struct PoolSizePoint {
     pub pool_dram_fraction: f64,
     /// Fraction of VMs whose slowdown exceeded the PDM.
     pub violation_fraction: f64,
+    /// Fraction of violating VMs the QoS monitor reconfigured to all-local
+    /// memory (0 when mitigation is disabled or nothing violated).
+    pub mitigation_fraction: f64,
 }
 
 /// The per-run metrics a sweep reduces over (one simulation's contribution).
@@ -125,10 +128,12 @@ fn reduce_points(pool_sizes: &[u16], traces: usize, metrics: &[RunMetrics]) -> V
             let mut required = 0.0;
             let mut pool_fraction = 0.0;
             let mut violations = 0.0;
+            let mut mitigations = 0.0;
             for point in &metrics[row * traces..(row + 1) * traces] {
                 required += point.required;
                 pool_fraction += point.pool_fraction;
                 violations += point.violations;
+                mitigations += point.mitigations;
             }
             let n = traces.max(1) as f64;
             PoolSizePoint {
@@ -136,6 +141,7 @@ fn reduce_points(pool_sizes: &[u16], traces: usize, metrics: &[RunMetrics]) -> V
                 required_dram_fraction: required / n,
                 pool_dram_fraction: pool_fraction / n,
                 violation_fraction: violations / n,
+                mitigation_fraction: mitigations / n,
             }
         })
         .collect()

@@ -93,6 +93,11 @@ impl MemoryPolicy for FixedPoolFraction {
 /// whole 1 GiB slices (the granularity the pool hands out capacity in; the
 /// paper's §4.2 quotes "1 GB" slices, which this reproduction realizes as
 /// binary GiB throughout).
+///
+/// Both drivers of a memory policy go through this one function — the
+/// [`crate::simulation::Simulation`] replay before placing, and
+/// `pond-core`'s control plane before onlining EMC slices — so a decision
+/// can never mean different byte counts in the two pipelines.
 pub fn align_pool_memory(request: &VmRequest, raw: Bytes) -> Bytes {
     let clamped = Bytes::new(raw.as_u64().min(request.memory.as_u64()));
     Bytes::from_gib(clamped.slices_floor())

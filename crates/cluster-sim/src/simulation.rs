@@ -309,6 +309,10 @@ impl<P: MemoryPolicy> Simulation<P> {
                         outcome.pool_releases.push(PoolRelease { time, amount: vm.pool });
                     }
                 }
+                // This simulator models pool offlining as instantaneous and
+                // never schedules release-completion events; the asynchronous
+                // path is exercised by `pond-core`'s fleet replay.
+                Event::Release { .. } => {}
                 Event::Snapshot { time } => take_snapshot(time, &engine, &mut outcome),
                 Event::Arrival { time: _, request_index } => {
                     let request = &trace.requests[request_index];
@@ -330,13 +334,8 @@ impl<P: MemoryPolicy> Simulation<P> {
                         .suite
                         .at(request.workload_index % self.suite.len())
                         .expect("workload index is taken modulo the suite size");
-                    let touched = request.touched_memory();
-                    let spilled = touched.saturating_sub(local);
-                    let spill_fraction = if touched.is_zero() {
-                        0.0
-                    } else {
-                        (spilled.as_u64() as f64 / touched.as_u64() as f64).min(1.0)
-                    };
+                    let spill_fraction =
+                        SpillModel::spill_fraction(request.touched_memory(), local);
                     let slowdown =
                         self.spill.spill_slowdown(workload, self.config.scenario, spill_fraction);
                     let exceeded = slowdown > self.config.pdm;

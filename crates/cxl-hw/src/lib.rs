@@ -7,7 +7,7 @@
 //! * [`emc`] — the External Memory Controller (EMC), a multi-headed CXL
 //!   device that exposes DDR5 capacity to up to 16 directly-attached CPU
 //!   sockets and enforces per-slice ownership via a permission table.
-//! * [`slice`] — 1 GB memory slices, the granularity at which pool capacity
+//! * [`mod@slice`] — 1 GiB memory slices (the paper's "1 GB"), the granularity at which pool capacity
 //!   is moved between hosts.
 //! * [`hdm`] — the Host-managed Device Memory (HDM) decoder that maps EMC
 //!   address ranges into each host's physical address space.

@@ -3,7 +3,8 @@
 //! [`PoolState`] aggregates the EMCs of one pool and exposes the two control
 //! operations the paper defines: `add_capacity(host, slice)` and
 //! `release_capacity(host, slice)`, plus the timing model for onlining
-//! (microseconds per GB) and offlining (tens of milliseconds per GB) that
+//! (microseconds per GiB slice) and offlining (tens of milliseconds per
+//! GiB slice) that
 //! motivates Pond's asynchronous release strategy.
 
 use crate::emc::{Emc, EmcConfig};
@@ -54,11 +55,11 @@ pub enum PoolEvent {
 /// Timing parameters for memory online/offline transitions (§4.2).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct TransitionTiming {
-    /// Time to online one GB on the host (near instantaneous — microseconds).
+    /// Time to online one 1 GiB slice on the host (near instantaneous — microseconds).
     pub online_per_gib: Duration,
-    /// Lower bound on offlining one GB (10 ms/GB).
+    /// Lower bound on offlining one 1 GiB slice (10 ms/GiB).
     pub offline_per_gib_min: Duration,
-    /// Upper bound on offlining one GB (100 ms/GB).
+    /// Upper bound on offlining one 1 GiB slice (100 ms/GiB).
     pub offline_per_gib_max: Duration,
 }
 
@@ -355,7 +356,7 @@ mod tests {
         let mut pool = pool_8x16();
         let slices = pool.add_capacity(HostId(3), Bytes::from_gib(4)).unwrap();
         let offline = pool.begin_release(HostId(3), &slices).unwrap();
-        assert!(offline >= Duration::from_millis(40), "4 GB at >=10ms/GB");
+        assert!(offline >= Duration::from_millis(40), "4 GiB at >=10ms/GiB");
         // Capacity still attributed while offlining.
         assert_eq!(pool.capacity_of(HostId(3)), Bytes::from_gib(4));
         pool.complete_release(HostId(3), &slices).unwrap();

@@ -1,4 +1,5 @@
-//! Memory slices: the 1 GB granularity at which pool capacity moves.
+//! Memory slices: the 1 GiB granularity at which pool capacity moves (the
+//! paper's "1 GB" slices, realized as binary GiB in this reproduction).
 //!
 //! The Pond EMC assigns memory to hosts in 1 GB-aligned slices. Each slice is
 //! owned by at most one host at a time; the EMC records the owner in a
@@ -8,7 +9,7 @@ use crate::units::{Bytes, HostId};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
-/// Index of a 1 GB slice within a single EMC.
+/// Index of a 1 GiB slice within a single EMC.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct SliceId(pub u64);
 
@@ -63,7 +64,7 @@ impl SliceState {
     }
 }
 
-/// The EMC permission table: one ownership entry per 1 GB slice.
+/// The EMC permission table: one ownership entry per 1 GiB slice.
 ///
 /// The paper notes that tracking 1024 slices (1 TB) and 64 hosts requires
 /// 768 B of EMC state (6 bits per slice plus a valid bit, rounded to bytes);

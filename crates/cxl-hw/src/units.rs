@@ -1,6 +1,7 @@
 //! Strongly-typed units used throughout the hardware model.
 //!
-//! The paper's hardware layer is parameterized in gigabyte slices, hosts,
+//! The paper's hardware layer is parameterized in 1 GiB slices (quoted as
+//! "1 GB" in the paper; this reproduction uses binary GiB throughout), hosts,
 //! sockets, and EMCs. Newtypes keep these from being mixed up
 //! (C-NEWTYPE) and give each a small, focused API.
 
@@ -9,7 +10,8 @@ use std::fmt;
 
 /// A byte quantity.
 ///
-/// Pool capacity is always managed in whole gigabytes (1 GB slices), but VM
+/// Pool capacity is always managed in whole gibibytes (1 GiB slices — the
+/// paper's "1 GB"), but VM
 /// requests and telemetry express memory in megabytes, so `Bytes` keeps full
 /// resolution and offers lossless constructors for both.
 ///
@@ -65,7 +67,7 @@ impl Bytes {
         self.0 as f64 / (1u64 << 30) as f64
     }
 
-    /// Number of whole 1 GB slices needed to hold this quantity (rounding up).
+    /// Number of whole 1 GiB slices needed to hold this quantity (rounding up).
     ///
     /// ```
     /// use cxl_hw::units::Bytes;
@@ -77,7 +79,7 @@ impl Bytes {
         self.0.div_ceil(1 << 30)
     }
 
-    /// Number of whole 1 GB slices fully covered by this quantity (rounding down).
+    /// Number of whole 1 GiB slices fully covered by this quantity (rounding down).
     pub const fn slices_floor(self) -> u64 {
         self.0 >> 30
     }

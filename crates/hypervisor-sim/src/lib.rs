@@ -17,7 +17,7 @@
 //!   sampling with their measured overheads (§5).
 //! * [`reconfig`] — the QoS mitigation path: a one-time reconfiguration that
 //!   copies a VM's pool memory to local DRAM behind a temporarily disabled
-//!   virtualization accelerator (50 ms per GB).
+//!   virtualization accelerator (50 ms per GiB).
 //!
 //! # Example
 //!

@@ -4,7 +4,7 @@
 //! When the QoS monitor decides a VM is suffering because too much of its
 //! working set sits on pool memory, the hypervisor temporarily disables the
 //! virtualization accelerator, copies the VM's pool memory into local DRAM
-//! (about 50 ms per GB), re-enables the accelerator, and releases the pool
+//! (about 50 ms per GiB), re-enables the accelerator, and releases the pool
 //! capacity back to the Pool Manager.
 
 use crate::host::{HostMemory, HostMemoryError};
@@ -27,26 +27,34 @@ pub struct ReconfigurationReport {
 /// Executes reconfigurations and tracks how many were performed.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ReconfigurationEngine {
-    /// Copy cost per GB of pool memory (50 ms in the paper).
+    /// Copy cost per GiB of pool memory (the paper's "50 ms per GB").
     pub copy_cost_per_gib: Duration,
     performed: u64,
+    total_copy_time: Duration,
 }
 
 impl Default for ReconfigurationEngine {
     fn default() -> Self {
-        ReconfigurationEngine { copy_cost_per_gib: Duration::from_millis(50), performed: 0 }
+        ReconfigurationEngine::new(Duration::from_millis(50))
     }
 }
 
 impl ReconfigurationEngine {
-    /// Creates an engine with a custom per-GB copy cost.
+    /// Creates an engine with a custom per-GiB copy cost.
     pub fn new(copy_cost_per_gib: Duration) -> Self {
-        ReconfigurationEngine { copy_cost_per_gib, performed: 0 }
+        ReconfigurationEngine { copy_cost_per_gib, performed: 0, total_copy_time: Duration::ZERO }
     }
 
     /// Number of reconfigurations performed so far.
     pub fn performed(&self) -> u64 {
         self.performed
+    }
+
+    /// Total time spent copying pool memory to local DRAM across all
+    /// reconfigurations — the degraded-mode time the mitigations charged to
+    /// the event timeline.
+    pub fn total_copy_time(&self) -> Duration {
+        self.total_copy_time
     }
 
     /// Moves a VM entirely onto local DRAM.
@@ -76,11 +84,9 @@ impl ReconfigurationEngine {
         }
         vm.mark_reconfigured();
         self.performed += 1;
-        Ok(ReconfigurationReport {
-            moved,
-            copy_duration: self.copy_cost_per_gib * moved.slices_ceil() as u32,
-            accelerator_toggled: true,
-        })
+        let copy_duration = self.copy_cost_per_gib * moved.slices_ceil() as u32;
+        self.total_copy_time += copy_duration;
+        Ok(ReconfigurationReport { moved, copy_duration, accelerator_toggled: true })
     }
 }
 
@@ -112,8 +118,9 @@ mod tests {
         let report = engine.reconfigure(&mut host, &mut vm).unwrap();
         assert_eq!(report.moved, Bytes::from_gib(16));
         assert!(report.accelerator_toggled);
-        // 16 GB at 50 ms/GB = 800 ms.
+        // 16 GiB at 50 ms/GiB = 800 ms.
         assert_eq!(report.copy_duration, Duration::from_millis(800));
+        assert_eq!(engine.total_copy_time(), Duration::from_millis(800));
         assert!(vm.is_reconfigured());
         assert_eq!(vm.pool_memory(), Bytes::ZERO);
         assert_eq!(engine.performed(), 1);

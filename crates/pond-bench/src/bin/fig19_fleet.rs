@@ -1,0 +1,47 @@
+//! Figure 19 (fleet replay): DRAM savings vs. pool size with the *full* Pond
+//! pipeline — live untouched-memory and sensitivity predictions per arrival,
+//! asynchronous Pool Manager slice offlining as first-class events, and QoS
+//! mitigation — replayed over a cloud VM trace on the time-ordered event
+//! core. Contrast with `fig21_e2e_savings`, which drives the cluster
+//! simulator's static placement hook instead of the control plane.
+
+use pond_bench::{bench_trace, pct, print_header};
+use pond_core::fleet::fleet_pool_sweep;
+
+fn main() {
+    print_header(
+        "Figure 19 (fleet replay)",
+        "DRAM savings vs. pool percentage, full Pond control plane",
+    );
+    let trace = bench_trace();
+    let fractions = [0.05, 0.10, 0.15, 0.20, 0.30, 0.50];
+    let points = fleet_pool_sweep(&trace, &fractions, 19).expect("fleet replay must not fail");
+
+    println!(
+        "{:>7} {:>12} {:>11} {:>10} {:>11} {:>10} {:>9}",
+        "pool %", "DRAM saved", "pool share", "fallbacks", "violations", "mitigated", "releases"
+    );
+    for point in &points {
+        let o = &point.outcome;
+        println!(
+            "{:>7} {:>12} {:>11} {:>10} {:>11} {:>10} {:>9}",
+            pct(point.pool_fraction),
+            pct(o.dram_savings_fraction()),
+            pct(o.pool_dram_fraction()),
+            o.fallback_all_local,
+            pct(o.violation_fraction()),
+            o.mitigations,
+            o.releases_completed,
+        );
+    }
+    let best = points.last().expect("non-empty sweep");
+    println!(
+        "\nat {} pool: {} of {} baseline DRAM required ({} scheduled, {} rejected)",
+        pct(best.pool_fraction),
+        best.outcome.required_dram(),
+        best.outcome.baseline_dram(),
+        best.outcome.scheduled_vms,
+        best.outcome.rejected_vms,
+    );
+    println!("paper: the full pipeline sustains ~7-9% DRAM savings at 16-socket pools");
+}

@@ -13,7 +13,8 @@ use crate::error::PondError;
 use crate::policy::{PondDecision, PondPolicy, PondPolicyConfig};
 use crate::pool_manager::PondPoolManager;
 use crate::qos::{MitigationManager, QosMonitor, VmObservation};
-use cluster_sim::trace::{ClusterTrace, VmRequest};
+use cluster_sim::scheduler::align_pool_memory;
+use cluster_sim::trace::{ClusterTrace, CustomerId, VmRequest};
 use cxl_hw::topology::PoolTopology;
 use cxl_hw::units::{Bytes, HostId};
 use hypervisor_sim::host::HostMemory;
@@ -43,6 +44,11 @@ pub struct ControlPlaneConfig {
     pub policy: PondPolicyConfig,
     /// Fraction of monitored VMs the mitigation manager may reconfigure.
     pub mitigation_budget: f64,
+    /// Whether a request whose pool share cannot be covered by the free
+    /// buffer falls back to an all-local placement (the production
+    /// scheduler's behaviour) instead of failing with
+    /// [`PondError::PoolExhausted`].
+    pub fallback_all_local: bool,
 }
 
 impl Default for ControlPlaneConfig {
@@ -55,6 +61,7 @@ impl Default for ControlPlaneConfig {
             pool_capacity: Bytes::from_gib(512),
             policy: PondPolicyConfig::default(),
             mitigation_budget: 0.05,
+            fallback_all_local: false,
         }
     }
 }
@@ -72,6 +79,38 @@ pub struct PlacementSummary {
     pub pool: Bytes,
     /// Whether the VM sees a zNUMA node.
     pub has_znuma: bool,
+    /// Whether the placement fell back to all-local memory because the pool
+    /// buffer could not cover the predicted pool share
+    /// ([`ControlPlaneConfig::fallback_all_local`]).
+    pub fallback_all_local: bool,
+}
+
+/// What one QoS-monitoring pass did (returned by
+/// [`PondControlPlane::run_qos_pass`]).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct QosPassReport {
+    /// VMs reconfigured to all-local memory in this pass.
+    pub reconfigured: u64,
+    /// Total pool→local copy time the reconfigurations charged (the VM runs
+    /// degraded, not paused, during the copy).
+    pub copy_time: Duration,
+    /// One record per reconfigured VM.
+    pub mitigated: Vec<VmMitigation>,
+}
+
+/// One QoS mitigation: which VM moved off pool memory, how much it moved,
+/// and when the freed slices finish offlining.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VmMitigation {
+    /// The reconfigured VM.
+    pub vm: VmId,
+    /// Pool memory copied to local DRAM.
+    pub moved: Bytes,
+    /// Completion time of the asynchronous slice release the mitigation
+    /// started (offlining begins once the copy finishes). Event-driven
+    /// callers schedule a release event here. `None` only for VMs whose
+    /// slices were already gone.
+    pub release_ready: Option<Duration>,
 }
 
 /// Per-VM bookkeeping inside the control plane.
@@ -81,6 +120,9 @@ struct VmRecord {
     host: usize,
     slices: Vec<cxl_hw::pool::PoolSlice>,
     predicted_untouched: Bytes,
+    customer: CustomerId,
+    untouched_fraction: f64,
+    workload_index: usize,
 }
 
 /// The Pond control plane for one pool group.
@@ -168,12 +210,19 @@ impl PondControlPlane {
     /// Handles a VM request end to end: prediction → host selection → pool
     /// onlining → memory pinning → zNUMA exposure.
     ///
+    /// The predicted pool share is clamped to the VM's size and floored to
+    /// whole 1 GiB slices ([`align_pool_memory`]) before any capacity moves,
+    /// so host-side byte accounting and EMC slice ownership stay in lockstep
+    /// and the decision matches what the cluster simulator would apply for
+    /// the same request.
+    ///
     /// # Errors
     ///
     /// * [`PondError::NoFeasibleHost`] when no host has enough local DRAM.
     /// * [`PondError::PoolExhausted`] when the pool buffer cannot cover the
-    ///   pool share (the VM is then *not* placed; a production scheduler
-    ///   would fall back to all-local placement).
+    ///   pool share and [`ControlPlaneConfig::fallback_all_local`] is off;
+    ///   with the fallback on, the VM is placed with all-local memory
+    ///   instead (the production scheduler's behaviour).
     pub fn handle_request(
         &mut self,
         request: &VmRequest,
@@ -183,20 +232,38 @@ impl PondControlPlane {
         self.pool.process_releases(now);
 
         let decision = self.policy.decide(request);
-        let pool = match decision {
-            PondDecision::FullyPool => Bytes::from_gib(request.memory.slices_floor()),
+        let raw_pool = match decision {
+            PondDecision::FullyPool => request.memory,
             PondDecision::Znuma { pool } => pool,
             PondDecision::AllLocal => Bytes::ZERO,
         };
+        let mut pool = align_pool_memory(request, raw_pool);
+        let mut fallback_all_local = false;
+        if self.config.fallback_all_local
+            && !pool.is_zero()
+            && self.pool.available() < Bytes::from_gib(pool.slices_ceil())
+        {
+            pool = Bytes::ZERO;
+            fallback_all_local = true;
+        }
         let local = request.memory - pool;
 
         // Pick the host with the most free local DRAM that fits the local share.
-        let host_index = (0..self.hosts.len())
+        let Some(host_index) = (0..self.hosts.len())
             .filter(|&i| self.hosts[i].local_free() >= local)
             .max_by_key(|&i| self.hosts[i].local_free().as_u64())
-            .ok_or(PondError::NoFeasibleHost { vm: request.id })?;
+        else {
+            self.rejected += 1;
+            return Err(PondError::NoFeasibleHost { vm: request.id });
+        };
 
-        let slices = self.pool.allocate(HostId(host_index as u16), pool, now)?;
+        let slices = match self.pool.allocate(HostId(host_index as u16), pool, now) {
+            Ok(slices) => slices,
+            Err(err) => {
+                self.rejected += 1;
+                return Err(err);
+            }
+        };
         let host = &mut self.hosts[host_index];
         host.online_pool(pool);
         host.pin_vm(VmId(request.id), local, pool)
@@ -220,6 +287,7 @@ impl PondControlPlane {
             local,
             pool,
             has_znuma: !pool.is_zero(),
+            fallback_all_local,
         };
         self.running.insert(
             request.id,
@@ -228,21 +296,32 @@ impl PondControlPlane {
                 host: host_index,
                 slices,
                 predicted_untouched: match decision {
-                    PondDecision::Znuma { pool } => pool,
+                    PondDecision::Znuma { .. } if !fallback_all_local => pool,
                     _ => Bytes::ZERO,
                 },
+                customer: request.customer,
+                untouched_fraction: request.untouched_fraction,
+                workload_index: request.workload_index,
             },
         );
         Ok(summary)
     }
 
-    /// Handles a VM departure: unpins host memory and starts the asynchronous
-    /// release of its pool slices.
+    /// Handles a VM departure: unpins host memory, starts the asynchronous
+    /// release of its pool slices, and feeds the VM's measured untouched
+    /// memory back into the policy's customer history.
+    ///
+    /// Returns the time at which the slice offlining completes (`None` for
+    /// all-local VMs); event-driven callers schedule a release event there.
     ///
     /// # Errors
     ///
     /// Returns [`PondError::HostMemory`] when the VM is unknown.
-    pub fn handle_departure(&mut self, vm: VmId, now: Duration) -> Result<(), PondError> {
+    pub fn handle_departure(
+        &mut self,
+        vm: VmId,
+        now: Duration,
+    ) -> Result<Option<Duration>, PondError> {
         let record = self
             .running
             .remove(&vm.0)
@@ -250,17 +329,26 @@ impl PondControlPlane {
         let host = &mut self.hosts[record.host];
         let allocation = host.unpin_vm(vm).map_err(|e| PondError::HostMemory(e.to_string()))?;
         host.offline_pool(allocation.pool).map_err(|e| PondError::HostMemory(e.to_string()))?;
-        self.pool.release_async(HostId(record.host as u16), record.slices, now)?;
-        // Feed the observed outcome back into the policy's history.
-        Ok(())
+        let ready = self.pool.release_async(HostId(record.host as u16), record.slices, now)?;
+        // Feed the observed outcome back into the policy's history: the VM's
+        // lifetime access-bit scans are the ground truth for this customer.
+        self.policy.record_completion(
+            record.customer,
+            record.untouched_fraction,
+            record.workload_index,
+        );
+        Ok(ready)
     }
 
     /// Runs one QoS-monitoring pass over every running VM and applies
-    /// mitigations within the budget. Returns how many VMs were reconfigured
-    /// in this pass.
-    pub fn run_qos_pass(&mut self, now: Duration) -> u64 {
-        let _ = now;
-        let mut reconfigured = 0;
+    /// mitigations within the budget.
+    ///
+    /// Each mitigation copies the VM's pool memory to local DRAM (50 ms per
+    /// GiB charged to the report's `copy_time`) and only then starts the
+    /// asynchronous release of the freed slices, so offlining begins at
+    /// `now + copy_duration` on the event timeline.
+    pub fn run_qos_pass(&mut self, now: Duration) -> QosPassReport {
+        let mut pass = QosPassReport::default();
         let vm_ids: Vec<u64> = self.running.keys().copied().collect();
         for id in vm_ids {
             let record = self.running.get_mut(&id).expect("id from key list");
@@ -275,17 +363,63 @@ impl PondControlPlane {
             if let Some(report) =
                 self.mitigation.process(&self.monitor, &observation, host, &mut record.vm)
             {
-                // The freed pool capacity goes back to the Pool Manager.
+                // The freed pool capacity goes back to the Pool Manager once
+                // the pool→local copy has finished.
                 host.offline_pool(report.moved).expect("mitigation freed exactly this much");
                 let slices = std::mem::take(&mut record.slices);
-                self.pool
-                    .release_async(HostId(record.host as u16), slices, now)
+                let ready = self
+                    .pool
+                    .release_async(HostId(record.host as u16), slices, now + report.copy_duration)
                     .expect("slices were allocated by this manager");
+                pass.mitigated.push(VmMitigation {
+                    vm: VmId(id),
+                    moved: report.moved,
+                    release_ready: ready,
+                });
                 record.predicted_untouched = Bytes::ZERO;
-                reconfigured += 1;
+                pass.copy_time += report.copy_duration;
+                pass.reconfigured += 1;
             }
         }
-        reconfigured
+        pass
+    }
+
+    /// Completes every pending slice release whose offlining has finished by
+    /// `now`, returning the capacity that came back to the buffer. The
+    /// event-driven fleet replay calls this when a release event fires.
+    pub fn complete_releases(&mut self, now: Duration) -> Bytes {
+        self.pool.process_releases(now)
+    }
+
+    /// Pool capacity currently pinned by running VMs, in whole slices.
+    pub fn pinned_pool(&self) -> Bytes {
+        Bytes::from_gib(self.running.values().map(|r| r.slices.len() as u64).sum::<u64>())
+    }
+
+    /// Checks the pool-accounting conservation invariant: every slice of
+    /// pool capacity is exactly one of free-in-buffer, pinned by a running
+    /// VM, or mid-offlining — nothing is leaked or double-counted.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the invariant is violated. The fleet replay debug-asserts
+    /// this after every event.
+    pub fn assert_pool_conserved(&self) {
+        let free = self.pool.available();
+        let pending = self.pool.pending_release();
+        let pinned = self.pinned_pool();
+        let total = self.pool.pool().total_capacity();
+        assert_eq!(
+            free + pending + pinned,
+            total,
+            "pool accounting must conserve capacity: \
+             free {free} + offlining {pending} + pinned {pinned} != total {total}"
+        );
+        assert_eq!(
+            self.pool.pool().assigned_capacity(),
+            pending + pinned,
+            "assigned capacity must equal pinned plus mid-release slices"
+        );
     }
 }
 
@@ -342,11 +476,19 @@ mod tests {
             let _ = plane.handle_request(request, Duration::from_secs(request.arrival));
         }
         let running_before = plane.running_vms();
-        let reconfigured = plane.run_qos_pass(Duration::from_secs(3600));
-        assert!(reconfigured as usize <= running_before);
-        assert_eq!(plane.mitigations(), reconfigured);
+        let pass = plane.run_qos_pass(Duration::from_secs(3600));
+        assert!(pass.reconfigured as usize <= running_before);
+        assert_eq!(plane.mitigations(), pass.reconfigured);
+        // Every mitigation charges its copy time and starts one release.
+        assert_eq!(pass.mitigated.len() as u64, pass.reconfigured);
+        for mitigation in &pass.mitigated {
+            assert!(mitigation.moved > Bytes::ZERO);
+            assert!(mitigation.release_ready.is_some());
+        }
+        assert_eq!(pass.copy_time.is_zero(), pass.reconfigured == 0);
         // Mitigated VMs stay running, just with all-local memory.
         assert_eq!(plane.running_vms(), running_before);
+        plane.assert_pool_conserved();
     }
 
     #[test]
@@ -364,5 +506,48 @@ mod tests {
             }
         }
         assert!(exhausted, "a 2 GiB pool must run out");
+    }
+
+    #[test]
+    fn exhaustion_falls_back_to_all_local_when_enabled() {
+        let trace = TraceGenerator::new(ClusterConfig::small(), 1).generate(0);
+        let config = ControlPlaneConfig {
+            pool_capacity: Bytes::from_gib(2),
+            fallback_all_local: true,
+            ..Default::default()
+        };
+        let mut plane = PondControlPlane::new(&trace, config, 6).unwrap();
+        let mut fell_back = 0;
+        for request in trace.requests.iter().take(200) {
+            match plane.handle_request(request, Duration::from_secs(request.arrival)) {
+                Ok(summary) => {
+                    if summary.fallback_all_local {
+                        assert_eq!(summary.pool, Bytes::ZERO);
+                        assert_eq!(summary.local, request.memory);
+                        assert!(!summary.has_znuma);
+                        fell_back += 1;
+                    }
+                }
+                Err(PondError::NoFeasibleHost { .. }) => {}
+                Err(other) => panic!("fallback must prevent pool exhaustion: {other}"),
+            }
+            plane.assert_pool_conserved();
+        }
+        assert!(fell_back > 0, "a 2 GiB pool must force fallbacks");
+    }
+
+    #[test]
+    fn pool_decisions_are_slice_aligned() {
+        let (trace, mut plane) = setup();
+        for request in trace.requests.iter().take(60) {
+            if let Ok(summary) = plane.handle_request(request, Duration::from_secs(request.arrival))
+            {
+                assert_eq!(
+                    summary.pool,
+                    Bytes::from_gib(summary.pool.slices_floor()),
+                    "pool shares are whole 1 GiB slices"
+                );
+            }
+        }
     }
 }

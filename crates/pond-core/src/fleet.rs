@@ -1,0 +1,443 @@
+//! The event-driven fleet replay: [`PondControlPlane`] driven by
+//! `cluster-sim`'s time-ordered event core (§6.5, Figures 19–20).
+//!
+//! The paper's headline DRAM-savings numbers come from replaying a cloud VM
+//! trace through the *full* Pond pipeline, not through a static local/pool
+//! split. This module closes that loop: every arrival gets a live
+//! [`crate::policy::PondDecision`] from the trained prediction models, Pool
+//! Manager slice offlining completes as first-class
+//! [`Event::Release`](cluster_sim::event::Event) events, and periodic QoS
+//! passes reconfigure mispredicted VMs back to all-local memory with their
+//! 50 ms/GiB copy cost charged on the event timeline before the freed slices
+//! start offlining.
+//!
+//! The event stream is the contract documented in [`cluster_sim::event`]: at
+//! equal times departures apply first, then release completions, then the
+//! QoS tick, then arrivals — so a QoS pass never sees a departed VM, an
+//! arrival allocates from a buffer that reflects every release due by its
+//! arrival time, and the whole replay is deterministic. Pool-accounting
+//! conservation (every slice is free, pinned, or mid-offlining) is
+//! debug-asserted after every event.
+
+use crate::control_plane::{ControlPlaneConfig, PondControlPlane};
+use crate::error::PondError;
+use cluster_sim::event::{Event, EventQueue};
+use cluster_sim::sweep;
+use cluster_sim::trace::ClusterTrace;
+use cxl_hw::units::Bytes;
+use hypervisor_sim::vm::VmId;
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+use workload_model::spill::SpillModel;
+use workload_model::WorkloadSuite;
+
+/// Configuration of one fleet replay.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetConfig {
+    /// The control plane under test (hosts, pool, policy, mitigation budget).
+    pub control: ControlPlaneConfig,
+    /// Seconds between QoS-monitoring passes (the event core's snapshot
+    /// cadence; `0` disables monitoring).
+    pub qos_interval: u64,
+    /// Seed for model training and telemetry sampling.
+    pub seed: u64,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig {
+            control: ControlPlaneConfig { fallback_all_local: true, ..Default::default() },
+            qos_interval: 6 * 3600,
+            seed: 19,
+        }
+    }
+}
+
+impl FleetConfig {
+    /// A fleet sized to a trace: one control-plane host per trace server up
+    /// to the 16 CXL ports of the default 16-socket pool's EMC (every host
+    /// must hold a port for the pool's whole lifetime), with the trace's
+    /// total DRAM spread evenly across the hosts and the pool holding
+    /// `pool_fraction` of that DRAM as extra pooled capacity.
+    ///
+    /// This is the knob Figures 19–20 sweep: `pool_fraction` is the pool
+    /// percentage, and the replay reports the DRAM savings and mitigation
+    /// rate the full pipeline achieves at that size.
+    pub fn for_trace(trace: &ClusterTrace, pool_fraction: f64, seed: u64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&pool_fraction) && pool_fraction.is_finite(),
+            "pool fraction must be in [0, 1]"
+        );
+        let hosts = (trace.servers.max(1) as u16).min(16);
+        let fleet_dram = Bytes::from_gib(trace.dram_per_server.as_gib() * trace.servers as u64);
+        let local_per_host = Bytes::from_gib(fleet_dram.as_gib() / hosts as u64);
+        let pool_capacity = Bytes::from_gib(fleet_dram.scaled(pool_fraction).slices_floor().max(1));
+        FleetConfig {
+            control: ControlPlaneConfig {
+                hosts,
+                local_dram_per_host: local_per_host,
+                pool_capacity,
+                fallback_all_local: true,
+                ..Default::default()
+            },
+            ..Default::default()
+        }
+        .with_seed(seed)
+    }
+
+    /// Replaces the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// Aggregated results of one fleet replay.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct FleetOutcome {
+    /// VMs placed by the control plane.
+    pub scheduled_vms: u64,
+    /// VMs that could not be placed (no host had enough local DRAM, or the
+    /// pool was exhausted with the all-local fallback disabled).
+    pub rejected_vms: u64,
+    /// Placements that fell back to all-local memory because the pool buffer
+    /// could not cover the predicted pool share.
+    pub fallback_all_local: u64,
+    /// VMs whose ground-truth slowdown exceeded the PDM.
+    pub violations: u64,
+    /// VMs the QoS monitor reconfigured to all-local memory.
+    pub mitigations: u64,
+    /// Total pool→local copy time the mitigations charged.
+    pub mitigation_copy_time: Duration,
+    /// QoS passes executed.
+    pub qos_passes: u64,
+    /// Release-completion events processed.
+    pub releases_completed: u64,
+    /// Sum over hosts of each host's peak pinned local memory.
+    pub sum_local_peaks: Bytes,
+    /// Sum over hosts of each host's peak pinned pool memory — what that
+    /// memory would cost as dedicated per-host DRAM.
+    pub sum_host_pool_peaks: Bytes,
+    /// Sum over hosts of each host's peak total (local + pool) memory — the
+    /// DRAM a pool-less provisioning would need.
+    pub sum_total_peaks: Bytes,
+    /// Peak pool capacity assigned to hosts, *including* slices still
+    /// offlining — the pool DRAM that actually has to be provisioned. The
+    /// asynchronous-release tail lives here: slow offlining inflates this
+    /// peak and erodes the savings.
+    pub pool_peak: Bytes,
+    /// GiB-hours of VM memory served from the pool. Mitigated VMs stop
+    /// accruing at their reconfiguration: the unserved remainder of their
+    /// lifetime is deducted when the QoS pass moves them off the pool.
+    pub pool_gib_hours: f64,
+    /// GiB-hours of VM memory overall.
+    pub total_gib_hours: f64,
+}
+
+impl FleetOutcome {
+    /// DRAM required without pooling: every host provisioned for its own
+    /// combined peak.
+    pub fn baseline_dram(&self) -> Bytes {
+        self.sum_total_peaks
+    }
+
+    /// DRAM required with pooling: the baseline minus the sharing gain (what
+    /// the pool-eligible memory would cost per host, less what the shared
+    /// pool must actually provision at its peak — offlining tail included).
+    pub fn required_dram(&self) -> Bytes {
+        let sharing_gain = self.sum_host_pool_peaks.saturating_sub(self.pool_peak);
+        self.sum_total_peaks.saturating_sub(sharing_gain)
+    }
+
+    /// Relative DRAM requirement (1.0 = no savings, lower is better).
+    pub fn required_dram_fraction(&self) -> f64 {
+        if self.baseline_dram().is_zero() {
+            1.0
+        } else {
+            self.required_dram().as_u64() as f64 / self.baseline_dram().as_u64() as f64
+        }
+    }
+
+    /// DRAM savings relative to the pool-less baseline.
+    pub fn dram_savings_fraction(&self) -> f64 {
+        1.0 - self.required_dram_fraction()
+    }
+
+    /// Fraction of VM memory GiB-hours served from the pool.
+    pub fn pool_dram_fraction(&self) -> f64 {
+        if self.total_gib_hours == 0.0 {
+            0.0
+        } else {
+            self.pool_gib_hours / self.total_gib_hours
+        }
+    }
+
+    /// Fraction of scheduled VMs whose slowdown exceeded the PDM.
+    pub fn violation_fraction(&self) -> f64 {
+        if self.scheduled_vms == 0 {
+            0.0
+        } else {
+            self.violations as f64 / self.scheduled_vms as f64
+        }
+    }
+
+    /// Fraction of scheduled VMs the QoS monitor reconfigured.
+    pub fn mitigation_rate(&self) -> f64 {
+        if self.scheduled_vms == 0 {
+            0.0
+        } else {
+            self.mitigations as f64 / self.scheduled_vms as f64
+        }
+    }
+}
+
+/// Event times are whole seconds; releases complete at millisecond
+/// granularity, so their events land on the next whole second.
+fn ceil_secs(duration: Duration) -> u64 {
+    duration.as_secs() + u64::from(duration.subsec_nanos() > 0)
+}
+
+/// Replays a trace through the full Pond control plane on the time-ordered
+/// event core and returns the aggregated outcome.
+///
+/// # Errors
+///
+/// Propagates control-plane construction failures (unsupported pool
+/// topology) and any error other than the expected placement failures
+/// (`NoFeasibleHost`, and `PoolExhausted` when the fallback is disabled).
+pub fn run_fleet(trace: &ClusterTrace, config: &FleetConfig) -> Result<FleetOutcome, PondError> {
+    let mut plane = PondControlPlane::new(trace, config.control.clone(), config.seed)?;
+    let scenario = config.control.policy.scenario;
+    let pdm = config.control.policy.pdm;
+    let suite = WorkloadSuite::standard();
+    let spill = SpillModel::default();
+
+    let hosts = plane.hosts().len();
+    let mut peak_local = vec![Bytes::ZERO; hosts];
+    let mut peak_host_pool = vec![Bytes::ZERO; hosts];
+    let mut peak_total = vec![Bytes::ZERO; hosts];
+    let mut outcome = FleetOutcome::default();
+    let mut placed: std::collections::HashSet<usize> = std::collections::HashSet::new();
+    let departure_of: std::collections::HashMap<u64, u64> =
+        trace.requests.iter().map(|r| (r.id, r.departure())).collect();
+
+    let mut events = EventQueue::new(trace, config.qos_interval);
+    while let Some(event) = events.next_event() {
+        let now = Duration::from_secs(event.time());
+        match event {
+            Event::Arrival { request_index, .. } => {
+                let request = &trace.requests[request_index];
+                match plane.handle_request(request, now) {
+                    Ok(summary) => {
+                        outcome.scheduled_vms += 1;
+                        outcome.fallback_all_local += u64::from(summary.fallback_all_local);
+                        placed.insert(request_index);
+                        events.schedule_departure(request.departure(), request_index);
+
+                        // Ground-truth QoS outcome, via the same spill model
+                        // the cluster simulator uses.
+                        let workload = suite
+                            .at(request.workload_index % suite.len())
+                            .expect("workload index is taken modulo the suite size");
+                        let fraction =
+                            SpillModel::spill_fraction(request.touched_memory(), summary.local);
+                        let slowdown = spill.spill_slowdown(workload, scenario, fraction);
+                        outcome.violations += u64::from(slowdown > pdm);
+
+                        let hours = request.lifetime as f64 / 3600.0;
+                        outcome.pool_gib_hours += summary.pool.as_gib_f64() * hours;
+                        outcome.total_gib_hours += request.memory.as_gib_f64() * hours;
+                    }
+                    Err(PondError::NoFeasibleHost { .. })
+                    | Err(PondError::PoolExhausted { .. }) => {
+                        outcome.rejected_vms += 1;
+                    }
+                    Err(other) => return Err(other),
+                }
+            }
+            Event::Departure { request_index, .. } => {
+                // Only placed VMs scheduled a departure, so the lookup can
+                // only miss on malformed traces that reuse a request index.
+                if placed.remove(&request_index) {
+                    let vm = VmId(trace.requests[request_index].id);
+                    if let Some(ready) = plane.handle_departure(vm, now)? {
+                        events.schedule_release(ceil_secs(ready));
+                    }
+                }
+            }
+            Event::Release { .. } => {
+                plane.complete_releases(now);
+                outcome.releases_completed += 1;
+            }
+            Event::Snapshot { time } => {
+                let pass = plane.run_qos_pass(now);
+                outcome.mitigations += pass.reconfigured;
+                outcome.mitigation_copy_time += pass.copy_time;
+                outcome.qos_passes += 1;
+                for mitigation in pass.mitigated {
+                    if let Some(ready) = mitigation.release_ready {
+                        events.schedule_release(ceil_secs(ready));
+                    }
+                    // The VM was charged for its whole lifetime at arrival;
+                    // take back the pool GiB-hours it will no longer serve.
+                    let remaining = departure_of
+                        .get(&mitigation.vm.0)
+                        .map_or(0, |&departure| departure.saturating_sub(time));
+                    outcome.pool_gib_hours -=
+                        mitigation.moved.as_gib_f64() * remaining as f64 / 3600.0;
+                }
+            }
+        }
+
+        // Track the provisioning peaks after every event; QoS passes move
+        // pool memory local, so arrivals are not the only peak-setters.
+        for (i, host) in plane.hosts().iter().enumerate() {
+            let local = host.local_allocated();
+            let host_pool = host.pool_allocated();
+            peak_local[i] = peak_local[i].max(local);
+            peak_host_pool[i] = peak_host_pool[i].max(host_pool);
+            peak_total[i] = peak_total[i].max(local + host_pool);
+        }
+        outcome.pool_peak = outcome.pool_peak.max(plane.pool().pool().assigned_capacity());
+
+        // Conservation of pool accounting, checked at every event in debug
+        // builds: free + offlining + pinned must equal the pool's capacity.
+        #[cfg(debug_assertions)]
+        plane.assert_pool_conserved();
+    }
+
+    debug_assert_eq!(plane.running_vms(), 0, "every placed VM must have departed");
+    debug_assert!(
+        plane.pool().pending_release().is_zero(),
+        "every release event must have been delivered and processed"
+    );
+
+    outcome.sum_local_peaks = peak_local.iter().copied().sum();
+    outcome.sum_host_pool_peaks = peak_host_pool.iter().copied().sum();
+    outcome.sum_total_peaks = peak_total.iter().copied().sum();
+    Ok(outcome)
+}
+
+/// One point of a pool-percentage sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetSweepPoint {
+    /// Pool capacity as a fraction of the fleet's local DRAM.
+    pub pool_fraction: f64,
+    /// The full replay outcome at that pool size.
+    pub outcome: FleetOutcome,
+}
+
+/// Sweeps pool percentages over one trace, replaying the full control plane
+/// at every point on the parallel [`sweep`] runner. Results come back in
+/// `pool_fractions` order and each point is deterministic for a fixed
+/// `(trace, seed)`, so the whole sweep is reproducible bit for bit.
+///
+/// # Errors
+///
+/// Propagates the first replay error in sweep order.
+pub fn fleet_pool_sweep(
+    trace: &ClusterTrace,
+    pool_fractions: &[f64],
+    seed: u64,
+) -> Result<Vec<FleetSweepPoint>, PondError> {
+    fleet_pool_sweep_with(trace, pool_fractions, |fraction| {
+        FleetConfig::for_trace(trace, fraction, seed)
+    })
+}
+
+/// [`fleet_pool_sweep`] with a caller-supplied configuration per point
+/// (e.g. to vary the latency scenario or QoS cadence alongside the pool
+/// percentage). `make_config` may run from several threads at once.
+///
+/// # Errors
+///
+/// Propagates the first replay error in sweep order.
+pub fn fleet_pool_sweep_with<F>(
+    trace: &ClusterTrace,
+    pool_fractions: &[f64],
+    make_config: F,
+) -> Result<Vec<FleetSweepPoint>, PondError>
+where
+    F: Fn(f64) -> FleetConfig + Sync,
+{
+    let results = sweep::parallel_map(pool_fractions, |_, &fraction| {
+        run_fleet(trace, &make_config(fraction))
+            .map(|outcome| FleetSweepPoint { pool_fraction: fraction, outcome })
+    });
+    results.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cluster_sim::tracegen::{ClusterConfig, TraceGenerator};
+
+    fn small_trace() -> ClusterTrace {
+        TraceGenerator::new(ClusterConfig::small(), 1).generate(0)
+    }
+
+    #[test]
+    fn fleet_replay_places_most_vms_and_uses_the_pool() {
+        let trace = small_trace();
+        let config = FleetConfig::for_trace(&trace, 0.20, 7);
+        let outcome = run_fleet(&trace, &config).unwrap();
+        assert!(outcome.scheduled_vms > 0);
+        assert!(
+            outcome.scheduled_vms >= 9 * (outcome.scheduled_vms + outcome.rejected_vms) / 10,
+            "a fleet-sized control plane should place nearly everything: {outcome:?}"
+        );
+        assert!(outcome.pool_dram_fraction() > 0.0, "Pond must put memory on the pool");
+        assert!(outcome.pool_peak > Bytes::ZERO);
+        assert!(outcome.releases_completed > 0, "offlining completions must be events");
+        assert!(outcome.qos_passes > 0);
+        // The accounting identity behind the savings number.
+        assert_eq!(
+            outcome.required_dram(),
+            outcome
+                .sum_total_peaks
+                .saturating_sub(outcome.sum_host_pool_peaks.saturating_sub(outcome.pool_peak))
+        );
+    }
+
+    #[test]
+    fn bigger_pools_never_hurt_savings_on_the_same_trace() {
+        let trace = small_trace();
+        let points = fleet_pool_sweep(&trace, &[0.05, 0.20, 0.40], 7).unwrap();
+        assert_eq!(points.len(), 3);
+        for pair in points.windows(2) {
+            assert!(
+                pair[1].outcome.dram_savings_fraction()
+                    >= pair[0].outcome.dram_savings_fraction() - 1e-9,
+                "savings must not shrink with pool capacity: {points:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn tiny_pools_force_all_local_fallbacks() {
+        let trace = small_trace();
+        let config = FleetConfig::for_trace(&trace, 0.001, 7);
+        let outcome = run_fleet(&trace, &config).unwrap();
+        assert!(outcome.fallback_all_local > 0, "a ~1 GiB pool cannot serve every prediction");
+        // Fallbacks keep savings near zero but never fail the placement for
+        // pool reasons; any rejections left are hosts out of local DRAM.
+        assert!(outcome.dram_savings_fraction() < 0.02);
+    }
+
+    #[test]
+    fn qos_interval_zero_disables_monitoring() {
+        let trace = small_trace();
+        let mut config = FleetConfig::for_trace(&trace, 0.20, 7);
+        config.qos_interval = 0;
+        let outcome = run_fleet(&trace, &config).unwrap();
+        assert_eq!(outcome.qos_passes, 0);
+        assert_eq!(outcome.mitigations, 0);
+        assert_eq!(outcome.mitigation_copy_time, Duration::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "pool fraction")]
+    fn invalid_pool_fraction_rejected() {
+        let _ = FleetConfig::for_trace(&small_trace(), 1.5, 0);
+    }
+}

@@ -9,6 +9,8 @@
 //!
 //! * §4.2 pool memory ownership → [`pool_manager`] (on top of `cxl-hw`)
 //! * §4.3 control-plane workflow (Figure 11) → [`control_plane`]
+//! * §6.5 whole-fleet trace replay (Figures 19–20) → [`fleet`] (the control
+//!   plane driven by `cluster-sim`'s time-ordered event core)
 //! * §4.4 latency-insensitivity model (Figure 12) → [`sensitivity`]
 //! * §4.4 untouched-memory model (Figure 14) → [`untouched`]
 //! * §4.4 Eq. (1) parameterization → [`combined`]
@@ -37,6 +39,7 @@
 pub mod combined;
 pub mod control_plane;
 pub mod error;
+pub mod fleet;
 pub mod policy;
 pub mod pool_manager;
 pub mod qos;
@@ -45,6 +48,7 @@ pub mod untouched;
 
 pub use combined::{CombinedModel, CombinedModelConfig};
 pub use error::PondError;
+pub use fleet::{fleet_pool_sweep, fleet_pool_sweep_with, run_fleet, FleetConfig, FleetOutcome};
 pub use policy::{PondPolicy, PondPolicyConfig};
 pub use pool_manager::PondPoolManager;
 pub use qos::{QosDecision, QosMonitor};

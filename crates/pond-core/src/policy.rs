@@ -189,6 +189,24 @@ impl PondPolicy {
             PondDecision::Znuma { pool }
         }
     }
+
+    /// Feeds one completed VM back into the policy's online state: its
+    /// measured untouched fraction extends the customer's history (used by
+    /// the untouched-memory features) and the workload joins the customer's
+    /// known-workload set (which gates the fully-pool path).
+    ///
+    /// [`MemoryPolicy::observe_outcome`] delegates here; the control plane
+    /// calls it directly on VM departure, when the access-bit scans have
+    /// established the ground truth.
+    pub fn record_completion(
+        &mut self,
+        customer: CustomerId,
+        untouched_fraction: f64,
+        workload_index: usize,
+    ) {
+        self.history.record(customer, untouched_fraction);
+        self.workload_history.entry(customer).or_default().insert(workload_index);
+    }
 }
 
 /// The three possible outcomes of the Figure 13 scheduling decision.
@@ -227,8 +245,11 @@ impl MemoryPolicy for PondPolicy {
         // The control plane learns from completed VMs: their untouched memory
         // feeds the customer history and their workload becomes the
         // customer's latest known workload.
-        self.history.record(request.customer, request.untouched_fraction);
-        self.workload_history.entry(request.customer).or_default().insert(request.workload_index);
+        self.record_completion(
+            request.customer,
+            request.untouched_fraction,
+            request.workload_index,
+        );
     }
 
     fn name(&self) -> &str {

@@ -2,10 +2,13 @@
 //! asynchronous release.
 //!
 //! Onlining pool memory on a host is effectively instantaneous, but
-//! offlining takes 10–100 ms per GB, so it must never sit on the VM-start
-//! critical path. Pond therefore keeps a buffer of unassigned pool capacity
-//! and replenishes it asynchronously as departed VMs' slices finish
-//! offlining (Figure 9, Finding 10).
+//! offlining takes 10–100 ms per GiB slice (the paper's "per GB"), so it
+//! must never sit on the VM-start critical path. Pond therefore keeps a
+//! buffer of unassigned pool capacity and replenishes it asynchronously as
+//! departed VMs' slices finish offlining (Figure 9, Finding 10).
+//! [`PondPoolManager::release_async`] reports when each release will
+//! complete so event-driven callers (the fleet replay in [`crate::fleet`])
+//! can schedule the completion as a first-class event.
 
 use crate::error::PondError;
 use cxl_hw::pool::{PoolSlice, PoolState};
@@ -20,6 +23,7 @@ use std::time::Duration;
 struct PendingRelease {
     host: HostId,
     slices: Vec<PoolSlice>,
+    initiated_at: Duration,
     ready_at: Duration,
 }
 
@@ -35,7 +39,8 @@ pub struct ReleaseRecord {
 }
 
 impl ReleaseRecord {
-    /// Effective offlining rate in GB per second.
+    /// Effective offlining rate in GiB per second (1 GiB slices over wall
+    /// time; the paper's Finding 10 quotes the same quantity in "GB/s").
     pub fn rate_gib_per_sec(&self) -> f64 {
         let elapsed = self.completed_at.saturating_sub(self.initiated_at).as_secs_f64();
         if elapsed <= 0.0 {
@@ -117,7 +122,12 @@ impl PondPoolManager {
     }
 
     /// Initiates the asynchronous release of a departed VM's slices. The
-    /// capacity becomes reusable only after the per-GB offlining delay.
+    /// capacity becomes reusable only after the per-GiB offlining delay.
+    ///
+    /// Returns the time at which the offlining completes (and therefore when
+    /// [`PondPoolManager::process_releases`] will return the capacity to the
+    /// buffer), or `None` when there was nothing to release. Event-driven
+    /// callers schedule a release event at that time.
     ///
     /// # Errors
     ///
@@ -127,13 +137,14 @@ impl PondPoolManager {
         host: HostId,
         slices: Vec<PoolSlice>,
         now: Duration,
-    ) -> Result<(), PondError> {
+    ) -> Result<Option<Duration>, PondError> {
         if slices.is_empty() {
-            return Ok(());
+            return Ok(None);
         }
         let offline_time = self.pool.begin_release(host, &slices)?;
-        self.pending.push_back(PendingRelease { host, slices, ready_at: now + offline_time });
-        Ok(())
+        let ready_at = now + offline_time;
+        self.pending.push_back(PendingRelease { host, slices, initiated_at: now, ready_at });
+        Ok(Some(ready_at))
     }
 
     /// Completes every pending release whose offlining delay has elapsed by
@@ -148,9 +159,7 @@ impl PondPoolManager {
                     "pending releases reference slices this manager put into releasing state",
                 );
                 self.releases.push(ReleaseRecord {
-                    initiated_at: pending
-                        .ready_at
-                        .saturating_sub(Duration::from_millis(100 * pending.slices.len() as u64)),
+                    initiated_at: pending.initiated_at,
                     completed_at: pending.ready_at,
                     amount,
                 });
@@ -163,7 +172,7 @@ impl PondPoolManager {
         freed
     }
 
-    /// Percentile of the observed offlining rates (GB/s) across completed
+    /// Percentile of the observed offlining rates (GiB/s) across completed
     /// releases; Finding 10 reports the 99.99th and 99.999th percentiles of
     /// the rates needed at VM start.
     pub fn release_rate_percentile(&self, percentile: f64) -> Option<f64> {
@@ -200,13 +209,15 @@ mod tests {
     fn released_capacity_is_unavailable_until_offlining_completes() {
         let mut m = manager();
         let slices = m.allocate(HostId(0), Bytes::from_gib(60), Duration::ZERO).unwrap();
-        m.release_async(HostId(0), slices, Duration::from_secs(10)).unwrap();
+        let ready = m.release_async(HostId(0), slices, Duration::from_secs(10)).unwrap();
+        // 60 GiB at 100 ms/GiB = 6 s of offlining.
+        assert_eq!(ready, Some(Duration::from_secs(16)));
         // Immediately after the release the capacity is still offlining.
         assert_eq!(m.available(), Bytes::from_gib(4));
         assert_eq!(m.pending_release(), Bytes::from_gib(60));
         let err = m.allocate(HostId(1), Bytes::from_gib(10), Duration::from_secs(10)).unwrap_err();
         assert!(matches!(err, PondError::PoolExhausted { .. }));
-        // Not ready one second later (60 GB at 100 ms/GB = 6 s).
+        // Not ready one second later.
         assert_eq!(m.process_releases(Duration::from_secs(11)), Bytes::ZERO);
         // Ready after the offlining delay.
         let freed = m.process_releases(Duration::from_secs(17));
@@ -224,9 +235,12 @@ mod tests {
         }
         m.process_releases(Duration::from_secs(100));
         assert_eq!(m.release_records().len(), 4);
+        for record in m.release_records() {
+            assert_eq!(record.completed_at.saturating_sub(record.initiated_at).as_millis(), 400);
+        }
         let p50 = m.release_rate_percentile(0.5).unwrap();
-        // 4 GB in 0.4 s = 10 GB/s with the default worst-case timing.
-        assert!(p50 > 1.0, "offlining rate {p50} GB/s");
+        // 4 GiB in 0.4 s = 10 GiB/s with the default worst-case timing.
+        assert!(p50 > 1.0, "offlining rate {p50} GiB/s");
         assert!(m.release_rate_percentile(1.0).unwrap() >= p50);
         assert!(manager().release_rate_percentile(0.5).is_none());
     }
@@ -234,7 +248,7 @@ mod tests {
     #[test]
     fn empty_release_is_a_noop() {
         let mut m = manager();
-        m.release_async(HostId(0), Vec::new(), Duration::ZERO).unwrap();
+        assert_eq!(m.release_async(HostId(0), Vec::new(), Duration::ZERO).unwrap(), None);
         assert_eq!(m.pending_release(), Bytes::ZERO);
     }
 

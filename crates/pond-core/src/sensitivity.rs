@@ -101,8 +101,15 @@ impl SensitivityModel {
 
     /// Probability that the workload behind these counters is latency
     /// insensitive (can run fully on pool memory within the PDM).
+    ///
+    /// This is the online serving path (one call per VM arrival and per
+    /// QoS-monitored VM), so it goes through the forest's validating
+    /// `try_predict_proba`: a feature-schema drift surfaces as one clear
+    /// panic here instead of unwinding from inside a tree traversal.
     pub fn insensitive_probability(&self, counters: &TmaCounters) -> f64 {
-        self.forest.predict_proba(&counters.to_features())
+        self.forest
+            .try_predict_proba(&counters.to_features())
+            .expect("TMA counter features must match the trained forest's schema")
     }
 
     /// Hard decision at the model's threshold.

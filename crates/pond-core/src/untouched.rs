@@ -165,12 +165,20 @@ impl UntouchedMemoryModel {
     }
 
     /// Predicted untouched fraction for a VM request, clamped to `[0, 1]`.
+    ///
+    /// This is the online serving path (one call per VM arrival), so it goes
+    /// through the GBM's validating `try_predict`: a feature-schema drift
+    /// surfaces as one clear panic here instead of unwinding from inside a
+    /// tree traversal.
     pub fn predict_fraction(&self, request: &VmRequest, history: &CustomerHistory) -> f64 {
-        self.gbm.predict(&request_features(request, history)).clamp(0.0, 1.0)
+        self.gbm
+            .try_predict(&request_features(request, history))
+            .expect("request features must match the trained GBM's schema")
+            .clamp(0.0, 1.0)
     }
 
     /// Pool memory to allocate: the predicted untouched memory, rounded down
-    /// to whole GiB (Pond allocates pool memory in 1 GB slices).
+    /// to whole GiB (Pond allocates pool memory in 1 GiB slices).
     pub fn pool_memory(&self, request: &VmRequest, history: &CustomerHistory) -> Bytes {
         let predicted = request.memory.scaled(self.predict_fraction(request, history));
         Bytes::from_gib(predicted.slices_floor())

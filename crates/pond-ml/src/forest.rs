@@ -78,6 +78,25 @@ impl RandomForest {
         self.predict_proba(features) >= threshold
     }
 
+    /// Non-panicking [`RandomForest::predict_proba`] for online serving
+    /// paths (one prediction per VM arrival), where a feature-schema
+    /// mismatch should surface as an error instead of unwinding through the
+    /// control plane.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::FeatureCountMismatch`] when the feature count
+    /// differs from training.
+    pub fn try_predict_proba(&self, features: &[f64]) -> Result<f64, MlError> {
+        if features.len() != self.n_features {
+            return Err(MlError::FeatureCountMismatch {
+                got: features.len(),
+                expected: self.n_features,
+            });
+        }
+        Ok(self.predict_proba(features))
+    }
+
     /// Probabilities for every row of a dataset.
     pub fn predict_proba_batch(&self, data: &Dataset) -> Result<Vec<f64>, MlError> {
         if data.n_features() != self.n_features {
@@ -173,6 +192,18 @@ mod tests {
         assert_eq!(a, b);
         let c = RandomForest::fit(&data, &ForestConfig { trees: 10, ..Default::default() }, 43);
         assert_ne!(a, c);
+    }
+
+    #[test]
+    fn try_predict_proba_reports_schema_mismatch_without_panicking() {
+        let data = classification_data(100, 6);
+        let forest = RandomForest::fit(&data, &ForestConfig { trees: 5, ..Default::default() }, 0);
+        assert!(matches!(
+            forest.try_predict_proba(&[0.5, 0.5]),
+            Err(crate::MlError::FeatureCountMismatch { got: 2, expected: 4 })
+        ));
+        let good = forest.try_predict_proba(&[0.5, 0.5, 0.5, 0.5]).unwrap();
+        assert_eq!(good, forest.predict_proba(&[0.5, 0.5, 0.5, 0.5]));
     }
 
     #[test]

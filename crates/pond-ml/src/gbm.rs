@@ -182,6 +182,25 @@ impl GradientBoostedTrees {
             + self.learning_rate * self.trees.iter().map(|t| t.predict(features)).sum::<f64>()
     }
 
+    /// Non-panicking [`GradientBoostedTrees::predict`] for online serving
+    /// paths (one prediction per VM arrival), where a feature-schema
+    /// mismatch should surface as an error instead of unwinding through the
+    /// control plane.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::FeatureCountMismatch`] when the feature count
+    /// differs from training.
+    pub fn try_predict(&self, features: &[f64]) -> Result<f64, MlError> {
+        if features.len() != self.n_features {
+            return Err(MlError::FeatureCountMismatch {
+                got: features.len(),
+                expected: self.n_features,
+            });
+        }
+        Ok(self.predict(features))
+    }
+
     /// Predictions for every row of a dataset.
     pub fn predict_batch(&self, data: &Dataset) -> Result<Vec<f64>, MlError> {
         if data.n_features() != self.n_features {
@@ -222,6 +241,17 @@ mod tests {
         let labels: Vec<f64> =
             rows.iter().map(|r| 3.0 * r[0] + 2.0 + (rng.gen::<f64>() - 0.5) * noise).collect();
         Dataset::new(vec!["x".into()], rows, labels).unwrap()
+    }
+
+    #[test]
+    fn try_predict_reports_schema_mismatch_without_panicking() {
+        let data = linear_data(100, 0.0, 9);
+        let model = GradientBoostedTrees::fit(&data, &GbmConfig::default(), 0);
+        assert!(matches!(
+            model.try_predict(&[1.0, 2.0]),
+            Err(crate::MlError::FeatureCountMismatch { got: 2, expected: 1 })
+        ));
+        assert_eq!(model.try_predict(&[4.0]).unwrap(), model.predict(&[4.0]));
     }
 
     #[test]

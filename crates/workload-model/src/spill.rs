@@ -12,6 +12,7 @@
 use crate::profile::WorkloadProfile;
 use crate::slowdown::SlowdownModel;
 use cxl_hw::latency::LatencyScenario;
+use cxl_hw::units::Bytes;
 use serde::{Deserialize, Serialize};
 
 /// The zNUMA spill sizes evaluated in Figure 16, as fractions of the
@@ -63,6 +64,22 @@ impl SpillModel {
         }
         let skew_exponent = 1.0 + 0.5 * profile.hot_fraction;
         spill_fraction.powf(skew_exponent)
+    }
+
+    /// The spill fraction a VM experiences when `touched` bytes of working
+    /// set must fit into `local` bytes of NUMA-local memory: the share of the
+    /// touched footprint that overflows onto the zNUMA (pool) node, clamped
+    /// to `[0, 1]`. Zero touched memory spills nothing.
+    ///
+    /// Both the event-driven cluster simulator and the control-plane fleet
+    /// replay derive their ground-truth QoS outcome through this one
+    /// function, so the two paths cannot disagree on what "spilled" means.
+    pub fn spill_fraction(touched: Bytes, local: Bytes) -> f64 {
+        if touched.is_zero() {
+            return 0.0;
+        }
+        let spilled = touched.saturating_sub(local);
+        (spilled.as_u64() as f64 / touched.as_u64() as f64).min(1.0)
     }
 
     /// Slowdown when `spill_fraction` of the footprint is on pool memory.
@@ -183,6 +200,16 @@ mod tests {
             let f = model.znuma_traffic_fraction(w);
             assert!((0.0004..=0.005).contains(&f), "{}: {f}", w.name);
         }
+    }
+
+    #[test]
+    fn spill_fraction_from_bytes() {
+        let gib = Bytes::from_gib;
+        assert_eq!(SpillModel::spill_fraction(Bytes::ZERO, Bytes::ZERO), 0.0);
+        assert_eq!(SpillModel::spill_fraction(gib(8), gib(8)), 0.0);
+        assert_eq!(SpillModel::spill_fraction(gib(8), gib(16)), 0.0);
+        assert!((SpillModel::spill_fraction(gib(8), gib(6)) - 0.25).abs() < 1e-12);
+        assert_eq!(SpillModel::spill_fraction(gib(8), Bytes::ZERO), 1.0);
     }
 
     #[test]

@@ -51,8 +51,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // 4. One QoS pass: mitigate any VM whose prediction looks wrong.
-    let mitigated = plane.run_qos_pass(Duration::from_secs(3600));
-    println!("QoS pass complete: {mitigated} VMs reconfigured to all-local memory");
+    let pass = plane.run_qos_pass(Duration::from_secs(3600));
+    println!(
+        "QoS pass complete: {} VMs reconfigured to all-local memory ({:?} of copy time)",
+        pass.reconfigured, pass.copy_time
+    );
 
     // 5. Departures release pool slices asynchronously.
     for (vm, departure) in placed {

@@ -1,26 +1,30 @@
 //! The time-ordered event core of the cluster simulator.
 //!
-//! The simulator processes exactly four kinds of events: VM arrivals (read
+//! The simulator processes exactly five kinds of events: VM arrivals (read
 //! from the trace), VM departures (scheduled when a VM is placed),
 //! asynchronous pool-slice release completions (scheduled by pool-aware
-//! drivers such as `pond-core`'s fleet simulator), and periodic snapshot
-//! ticks. [`EventQueue`] merges the four sources into a single stream
-//! ordered by time, with a fixed tie order at equal times:
+//! drivers such as `pond-core`'s fleet simulator), reconfiguration-copy
+//! completions (scheduled when a QoS mitigation starts its pool→local copy),
+//! and periodic snapshot ticks. [`EventQueue`] merges the five sources into
+//! a single stream ordered by time, with a fixed tie order at equal times:
 //!
 //! 1. **Departures** — a snapshot or arrival at time `t` observes every
 //!    departure with time `<= t`.
 //! 2. **Releases** — offlining that finishes at `t` refills the pool buffer
 //!    before a snapshot samples it and before an arrival at `t` tries to
 //!    allocate from it.
-//! 3. **Snapshots** — a snapshot at time `t` runs before an arrival at `t`,
+//! 3. **Reconfiguration completions** — a mitigation copy that finishes at
+//!    `t` ends the VM's degraded-mode window before the snapshot at `t`
+//!    observes it.
+//! 4. **Snapshots** — a snapshot at time `t` runs before an arrival at `t`,
 //!    so it never reflects VMs that arrive at the very instant it samples.
-//! 4. **Arrivals** — in trace order.
+//! 5. **Arrivals** — in trace order.
 //!
 //! Simultaneous departures pop in ascending request order, making the whole
 //! stream deterministic. Processing events strictly in this order is what
 //! guarantees (by construction) that snapshots never observe the future and
 //! that departures after the final arrival are still drained: the queue is
-//! only exhausted when *all four* sources are.
+//! only exhausted when *all five* sources are.
 
 use crate::trace::ClusterTrace;
 use std::collections::BinaryHeap;
@@ -44,6 +48,14 @@ pub enum Event {
         /// Completion time in seconds since trace start.
         time: u64,
     },
+    /// A QoS-mitigation reconfiguration copy completes: the VM that was
+    /// running degraded while its pool memory copied to local DRAM is back
+    /// at full speed. Only delivered when the driver schedules completions
+    /// via [`EventQueue::schedule_reconfig_done`].
+    ReconfigDone {
+        /// Copy-completion time in seconds since trace start.
+        time: u64,
+    },
     /// A periodic stranding snapshot tick.
     Snapshot {
         /// Snapshot time in seconds since trace start.
@@ -64,19 +76,21 @@ impl Event {
         match *self {
             Event::Departure { time, .. }
             | Event::Release { time }
+            | Event::ReconfigDone { time }
             | Event::Snapshot { time }
             | Event::Arrival { time, .. } => time,
         }
     }
 
-    /// Tie order at equal times: departures, then releases, then snapshots,
-    /// then arrivals.
+    /// Tie order at equal times: departures, then releases, then
+    /// reconfiguration completions, then snapshots, then arrivals.
     fn class(&self) -> u8 {
         match self {
             Event::Departure { .. } => 0,
             Event::Release { .. } => 1,
-            Event::Snapshot { .. } => 2,
-            Event::Arrival { .. } => 3,
+            Event::ReconfigDone { .. } => 2,
+            Event::Snapshot { .. } => 3,
+            Event::Arrival { .. } => 4,
         }
     }
 }
@@ -102,21 +116,25 @@ impl PartialOrd for Departure {
     }
 }
 
-/// Merges arrivals, scheduled departures, release completions, and snapshot
-/// ticks into one time-ordered event stream.
+/// Merges arrivals, scheduled departures, release completions,
+/// reconfiguration-copy completions, and snapshot ticks into one
+/// time-ordered event stream.
 ///
-/// Arrivals come from the trace (already sorted by arrival time); departures
-/// and release completions are pushed by the caller as VMs are placed and as
-/// pool slices start offlining; snapshot ticks fire every `snapshot_interval`
-/// seconds up to and including the trace duration (an interval of `0`
-/// disables snapshots). Departures and releases past the trace duration are
-/// still delivered — the queue only ends when every source is exhausted.
+/// Arrivals come from the trace (already sorted by arrival time);
+/// departures, release completions, and reconfiguration completions are
+/// pushed by the caller as VMs are placed, as pool slices start offlining,
+/// and as mitigations start their copies; snapshot ticks fire every
+/// `snapshot_interval` seconds up to and including the trace duration (an
+/// interval of `0` disables snapshots). Scheduled events past the trace
+/// duration are still delivered — the queue only ends when every source is
+/// exhausted.
 #[derive(Debug)]
 pub struct EventQueue<'a> {
     requests: &'a ClusterTrace,
     next_arrival: usize,
     departures: BinaryHeap<Departure>,
     releases: BinaryHeap<std::cmp::Reverse<u64>>,
+    reconfigs: BinaryHeap<std::cmp::Reverse<u64>>,
     next_snapshot: u64,
     snapshot_interval: u64,
     snapshot_horizon: u64,
@@ -138,6 +156,7 @@ impl<'a> EventQueue<'a> {
             next_arrival: 0,
             departures: BinaryHeap::new(),
             releases: BinaryHeap::new(),
+            reconfigs: BinaryHeap::new(),
             next_snapshot: snapshot_interval,
             snapshot_interval,
             snapshot_horizon: trace.duration,
@@ -155,13 +174,20 @@ impl<'a> EventQueue<'a> {
         self.releases.push(std::cmp::Reverse(time));
     }
 
+    /// Schedules a reconfiguration-copy completion event (called when a QoS
+    /// mitigation starts its pool→local copy; `time` is when the copy
+    /// finishes and the VM leaves degraded mode).
+    pub fn schedule_reconfig_done(&mut self, time: u64) {
+        self.reconfigs.push(std::cmp::Reverse(time));
+    }
+
     fn peek_snapshot(&self) -> Option<u64> {
         (self.snapshot_interval > 0 && self.next_snapshot <= self.snapshot_horizon)
             .then_some(self.next_snapshot)
     }
 
-    /// Pops the next event in time order (ties: departure, release, snapshot,
-    /// arrival).
+    /// Pops the next event in time order (ties: departure, release,
+    /// reconfiguration completion, snapshot, arrival).
     pub fn next_event(&mut self) -> Option<Event> {
         let mut best: Option<Event> = None;
         if let Some(dep) = self.departures.peek() {
@@ -169,6 +195,12 @@ impl<'a> EventQueue<'a> {
         }
         if let Some(&std::cmp::Reverse(time)) = self.releases.peek() {
             let candidate = Event::Release { time };
+            if best.is_none_or(|b| keyed(candidate) < keyed(b)) {
+                best = Some(candidate);
+            }
+        }
+        if let Some(&std::cmp::Reverse(time)) = self.reconfigs.peek() {
+            let candidate = Event::ReconfigDone { time };
             if best.is_none_or(|b| keyed(candidate) < keyed(b)) {
                 best = Some(candidate);
             }
@@ -195,6 +227,10 @@ impl<'a> EventQueue<'a> {
                 self.releases.pop();
                 Some(event)
             }
+            event @ Event::ReconfigDone { .. } => {
+                self.reconfigs.pop();
+                Some(event)
+            }
             event @ Event::Snapshot { .. } => {
                 self.next_snapshot += self.snapshot_interval;
                 Some(event)
@@ -207,7 +243,7 @@ impl<'a> EventQueue<'a> {
     }
 }
 
-/// Total order key: time first, then the departure/snapshot/arrival class.
+/// Total order key: time first, then the event class (see [`Event::class`]).
 fn keyed(event: Event) -> (u64, u8) {
     (event.time(), event.class())
 }
@@ -342,6 +378,41 @@ mod tests {
                 Event::Departure { time: 150, request_index: 1 },
             ]
         );
+    }
+
+    #[test]
+    fn reconfig_completions_order_after_releases_and_before_snapshots() {
+        // At t=100: a release, a reconfiguration completion, a snapshot, and
+        // an arrival all collide; the degraded-mode window must end after the
+        // buffer refill and before the snapshot observes the fleet.
+        let t = trace(vec![request(1, 100, 50)], 100);
+        let mut queue = EventQueue::new(&t, 100);
+        queue.schedule_release(100);
+        queue.schedule_reconfig_done(100);
+        let mut events = Vec::new();
+        while let Some(event) = queue.next_event() {
+            events.push(event);
+        }
+        assert_eq!(
+            events,
+            vec![
+                Event::Release { time: 100 },
+                Event::ReconfigDone { time: 100 },
+                Event::Snapshot { time: 100 },
+                Event::Arrival { time: 100, request_index: 0 },
+            ]
+        );
+    }
+
+    #[test]
+    fn reconfig_completions_pop_earliest_first_and_drain_past_duration() {
+        let t = trace(vec![], 100);
+        let mut queue = EventQueue::new(&t, 0);
+        queue.schedule_reconfig_done(10_000);
+        queue.schedule_reconfig_done(5_000);
+        assert_eq!(queue.next_event(), Some(Event::ReconfigDone { time: 5_000 }));
+        assert_eq!(queue.next_event(), Some(Event::ReconfigDone { time: 10_000 }));
+        assert_eq!(queue.next_event(), None);
     }
 
     #[test]

@@ -103,6 +103,25 @@ pub fn align_pool_memory(request: &VmRequest, raw: Bytes) -> Bytes {
     Bytes::from_gib(clamped.slices_floor())
 }
 
+/// The one host-selection preference shared by every placement path in this
+/// reproduction: tightest fit on free cores first (pack cores, keep whole
+/// servers free for large VMs), most free DRAM second (leave the most
+/// memory headroom at equal core tightness), lowest index last (a
+/// deterministic tie-break).
+///
+/// Both [`PlacementEngine::place`] (the cluster simulator) and `pond-core`'s
+/// control plane order their candidates by this key — `min_by_key` over it —
+/// so fleet-replay and cluster-simulation results are comparable
+/// placement-for-placement, not just policy-for-policy. Hosts without a core
+/// model pass `free_cores: 0`, reducing the key to most-free-DRAM.
+pub fn host_selection_key(
+    free_cores: u32,
+    free_dram: Bytes,
+    index: usize,
+) -> (u32, std::cmp::Reverse<u64>, usize) {
+    (free_cores, std::cmp::Reverse(free_dram.as_u64()), index)
+}
+
 /// The cluster-wide placement engine: a vector of servers plus best-fit
 /// placement across them.
 ///
@@ -164,9 +183,10 @@ impl PlacementEngine {
     /// keeps some servers empty for large VMs and concentrates utilization,
     /// which is what produces stranding on the packed servers.
     ///
-    /// The bucket index walks candidates in (free cores, server index) order —
-    /// exactly the order the former full stable sort produced — but skips
-    /// every server with fewer free cores than the request outright.
+    /// The bucket index walks candidates in [`host_selection_key`] order —
+    /// free cores ascending (the buckets), then most free DRAM, then server
+    /// index — skipping every server with fewer free cores than the request
+    /// outright.
     ///
     /// Returns the chosen server index and placement, or `None` if no server
     /// can host the VM.
@@ -177,11 +197,32 @@ impl PlacementEngine {
     ) -> Option<(usize, Placement)> {
         let mut chosen: Option<(usize, u32, Placement)> = None;
         let servers = &mut self.servers;
+        let mut rest: Vec<usize> = Vec::new();
         'buckets: for (&free, bucket) in self.by_free_cores.range(request.cores..) {
-            for &i in bucket {
-                // `try_place` can still decline (per-node core split, memory);
-                // it leaves the server untouched in that case, so the index
-                // stays valid and the scan continues.
+            // Within a bucket every server has the same free-core count, so
+            // the shared key reduces to (most free DRAM, lowest index). The
+            // best candidate almost always accepts, so find it with a linear
+            // scan; only when it declines is the remainder sorted and walked
+            // (identical visit order to a full sort, without paying
+            // O(n log n) per arrival on the common path).
+            let Some(best) = bucket
+                .iter()
+                .copied()
+                .min_by_key(|&i| host_selection_key(free, servers[i].free_memory(), i))
+            else {
+                continue;
+            };
+            // `try_place` can still decline (per-node core split, memory);
+            // it leaves the server untouched in that case, so the index
+            // stays valid and the scan continues.
+            if let Some(placement) = servers[best].try_place(request, local_memory) {
+                chosen = Some((best, free, placement));
+                break 'buckets;
+            }
+            rest.clear();
+            rest.extend(bucket.iter().copied().filter(|&i| i != best));
+            rest.sort_by_key(|&i| host_selection_key(free, servers[i].free_memory(), i));
+            for &i in &rest {
                 if let Some(placement) = servers[i].try_place(request, local_memory) {
                     chosen = Some((i, free, placement));
                     break 'buckets;
@@ -288,6 +329,26 @@ mod tests {
         let (used, total) = engine.core_usage();
         assert_eq!(used, 24);
         assert_eq!(total, 3 * 48);
+    }
+
+    #[test]
+    fn equal_core_tightness_breaks_ties_on_free_dram() {
+        let mut engine = PlacementEngine::new(3, 8, Bytes::from_gib(64), true);
+        // Load servers 0 and 1 to the same core usage but different memory
+        // usage; server 2 stays empty (loosest fit, never preferred).
+        engine.place(&request(1, 4, 30), Bytes::from_gib(30)).unwrap();
+        engine.place(&request(2, 4, 4), Bytes::from_gib(4)).unwrap();
+        let s0_key = host_selection_key(4, Bytes::from_gib(34), 0);
+        let s1_key = host_selection_key(4, Bytes::from_gib(60), 1);
+        assert!(s1_key < s0_key, "more free DRAM wins at equal core tightness");
+        // Both loaded servers have 4 free cores; the one with more free DRAM
+        // (server 1, which took the 4 GiB VM) must win the tie.
+        let (server, _) = engine.place(&request(3, 2, 2), Bytes::from_gib(2)).unwrap();
+        assert_eq!(server, 1);
+        // At fully equal keys, the lowest index wins.
+        let mut fresh = PlacementEngine::new(2, 8, Bytes::from_gib(64), true);
+        let (server, _) = fresh.place(&request(4, 2, 2), Bytes::from_gib(2)).unwrap();
+        assert_eq!(server, 0);
     }
 
     #[test]

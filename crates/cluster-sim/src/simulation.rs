@@ -309,10 +309,11 @@ impl<P: MemoryPolicy> Simulation<P> {
                         outcome.pool_releases.push(PoolRelease { time, amount: vm.pool });
                     }
                 }
-                // This simulator models pool offlining as instantaneous and
-                // never schedules release-completion events; the asynchronous
-                // path is exercised by `pond-core`'s fleet replay.
-                Event::Release { .. } => {}
+                // This simulator models pool offlining and mitigation copies
+                // as instantaneous and never schedules release-completion or
+                // reconfiguration-completion events; the asynchronous paths
+                // are exercised by `pond-core`'s fleet replay.
+                Event::Release { .. } | Event::ReconfigDone { .. } => {}
                 Event::Snapshot { time } => take_snapshot(time, &engine, &mut outcome),
                 Event::Arrival { time: _, request_index } => {
                     let request = &trace.requests[request_index];

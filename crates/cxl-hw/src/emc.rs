@@ -150,6 +150,19 @@ impl Emc {
         self.failed = true;
     }
 
+    /// Whether `host` could be attached right now: it already holds a port,
+    /// or a port is free. Failed EMCs accept nobody.
+    pub fn can_attach(&self, host: HostId) -> bool {
+        !self.failed
+            && (self.attached_hosts.contains(&host)
+                || self.attached_hosts.len() < self.config.ports as usize)
+    }
+
+    /// Number of CXL ports not currently held by a host.
+    pub fn free_ports(&self) -> u16 {
+        self.config.ports.saturating_sub(self.attached_hosts.len() as u16)
+    }
+
     /// Attaches a host to one of the EMC's CXL ports.
     ///
     /// # Errors
@@ -167,6 +180,27 @@ impl Emc {
         }
         self.attached_hosts.push(host);
         Ok(())
+    }
+
+    /// Detaches a host from its CXL port, freeing the port for another host
+    /// (the port-lifecycle half of §4.2: a pool is not limited to its first
+    /// `ports` hosts forever, only to `ports` *concurrent* slice owners).
+    ///
+    /// Returns whether the host actually held a port.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CxlError::PortInUse`] when the host still owns slices on
+    /// this EMC (assigned or mid-release) — the permission table must be
+    /// clear of the host before its port can be released.
+    pub fn detach_host(&mut self, host: HostId) -> Result<bool, CxlError> {
+        let owned = self.table.owned_by(host).len() as u64;
+        if owned > 0 {
+            return Err(CxlError::PortInUse { host, slices: owned });
+        }
+        let before = self.attached_hosts.len();
+        self.attached_hosts.retain(|&h| h != host);
+        Ok(self.attached_hosts.len() < before)
     }
 
     fn ensure_alive(&self) -> Result<(), CxlError> {
@@ -424,6 +458,34 @@ mod tests {
         // Re-attaching an existing host is fine.
         emc.attach_host(HostId(1)).unwrap();
         assert_eq!(emc.attached_hosts().len(), 2);
+    }
+
+    #[test]
+    fn detached_ports_can_be_reused_by_other_hosts() {
+        let mut emc = Emc::new(
+            EmcId(0),
+            EmcConfig { ports: 2, ddr5_channels: 2, capacity: Bytes::from_gib(8), max_hosts: 64 },
+        );
+        emc.assign_slices(HostId(0), 1).unwrap();
+        emc.assign_slices(HostId(1), 1).unwrap();
+        assert!(!emc.can_attach(HostId(2)));
+        assert_eq!(emc.free_ports(), 0);
+        // Host 0 still owns its slice: the port cannot be detached yet.
+        assert!(matches!(
+            emc.detach_host(HostId(0)),
+            Err(CxlError::PortInUse { host: HostId(0), slices: 1 })
+        ));
+        // After the full release cycle, the port detaches and host 2 fits.
+        let owned = emc.permission_table().owned_by(HostId(0));
+        emc.begin_release(HostId(0), owned[0]).unwrap();
+        assert!(emc.detach_host(HostId(0)).is_err(), "releasing slices still pin the port");
+        emc.complete_release(HostId(0), owned[0]).unwrap();
+        assert!(emc.detach_host(HostId(0)).unwrap());
+        assert_eq!(emc.free_ports(), 1);
+        assert!(emc.can_attach(HostId(2)));
+        emc.assign_slices(HostId(2), 1).unwrap();
+        // Detaching a host that never attached reports false, not an error.
+        assert!(!emc.detach_host(HostId(7)).unwrap());
     }
 
     proptest! {

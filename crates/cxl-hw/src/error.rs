@@ -77,6 +77,18 @@ pub enum CxlError {
         /// Human-readable description of the failed component.
         component: String,
     },
+    /// A host's EMC port cannot be detached while the host still owns slices.
+    PortInUse {
+        /// The host whose port was to be detached.
+        host: HostId,
+        /// Slices the host still owns on the EMC.
+        slices: u64,
+    },
+    /// A pool-group topology was requested with an invalid shape.
+    InvalidGroupTopology {
+        /// Human-readable description of the problem.
+        detail: String,
+    },
 }
 
 impl fmt::Display for CxlError {
@@ -113,6 +125,12 @@ impl fmt::Display for CxlError {
             CxlError::UnknownSocket { socket } => write!(f, "unknown socket {socket}"),
             CxlError::ComponentFailed { component } => {
                 write!(f, "component has failed: {component}")
+            }
+            CxlError::PortInUse { host, slices } => {
+                write!(f, "cannot detach {host}: it still owns {slices} slices")
+            }
+            CxlError::InvalidGroupTopology { detail } => {
+                write!(f, "invalid pool-group topology: {detail}")
             }
         }
     }

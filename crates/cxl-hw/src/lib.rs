@@ -58,5 +58,5 @@ pub use error::CxlError;
 pub use latency::{Latency, LatencyModel};
 pub use pool::{PoolEvent, PoolState};
 pub use slice::{SliceId, SliceState};
-pub use topology::PoolTopology;
+pub use topology::{PodStyle, PoolGroupTopology, PoolTopology};
 pub use units::{Bytes, HostId, SocketId};

@@ -50,6 +50,14 @@ pub enum PoolEvent {
         /// The slice that was freed.
         slice: PoolSlice,
     },
+    /// A host's last slice on an EMC was freed, so its CXL port was released
+    /// for another host (the detach half of the port lifecycle).
+    PortDetached {
+        /// The host whose port was released.
+        host: HostId,
+        /// The EMC the port belonged to.
+        emc: EmcId,
+    },
 }
 
 /// Timing parameters for memory online/offline transitions (§4.2).
@@ -178,6 +186,14 @@ impl PoolState {
         self.emcs.values().filter(|e| !e.is_failed()).map(|e| e.free_capacity()).sum()
     }
 
+    /// Capacity free for assignment *to a specific host*: only EMCs the host
+    /// is already attached to, or that still have a free CXL port, count.
+    /// This is what bounds a pool to `ports` concurrent slice-owning hosts
+    /// while letting any number of hosts cycle through over time.
+    pub fn free_capacity_for(&self, host: HostId) -> Bytes {
+        self.emcs.values().filter(|e| e.can_attach(host)).map(|e| e.free_capacity()).sum()
+    }
+
     /// Capacity assigned to one host across all EMCs.
     pub fn capacity_of(&self, host: HostId) -> Bytes {
         self.emcs.values().map(|e| e.capacity_of(host)).sum()
@@ -192,15 +208,19 @@ impl PoolState {
     ///
     /// To minimize the blast radius of an EMC failure, the allocation is
     /// served from as few EMCs as possible: the EMC with the most free
-    /// capacity is tried first.
+    /// capacity is tried first. Only EMCs the host can attach to (already
+    /// holding a port, or with a free port) participate — a pool whose ports
+    /// are all held by *other* hosts is exhausted from this host's view even
+    /// if slices are free.
     ///
     /// Returns the assigned slices and records one
     /// [`PoolEvent::AddCapacity`] per slice.
     ///
     /// # Errors
     ///
-    /// Returns [`CxlError::InsufficientPoolCapacity`] when the pool cannot
-    /// satisfy the full request; in that case no slice is assigned.
+    /// Returns [`CxlError::InsufficientPoolCapacity`] when the EMCs reachable
+    /// by this host cannot satisfy the full request; in that case no slice is
+    /// assigned.
     pub fn add_capacity(
         &mut self,
         host: HostId,
@@ -210,17 +230,17 @@ impl PoolState {
         if needed == 0 {
             return Ok(Vec::new());
         }
-        if self.free_capacity() < Bytes::from_gib(needed) {
+        if self.free_capacity_for(host) < Bytes::from_gib(needed) {
             return Err(CxlError::InsufficientPoolCapacity {
                 requested: Bytes::from_gib(needed),
-                available: self.free_capacity(),
+                available: self.free_capacity_for(host),
             });
         }
 
-        // Sort live EMCs by free capacity, descending, so a single EMC serves
-        // the request whenever possible.
+        // Sort attachable EMCs by free capacity, descending, so a single EMC
+        // serves the request whenever possible.
         let mut order: Vec<EmcId> =
-            self.emcs.values().filter(|e| !e.is_failed()).map(|e| e.id()).collect();
+            self.emcs.values().filter(|e| e.can_attach(host)).map(|e| e.id()).collect();
         order.sort_by_key(|id| std::cmp::Reverse(self.emcs[id].free_capacity().as_gib()));
 
         let mut remaining = needed;
@@ -270,6 +290,8 @@ impl PoolState {
     }
 
     /// Completes the release of slices, returning them to the free pool.
+    /// When a completion frees the host's last slice on an EMC, the host's
+    /// CXL port detaches so another host can take it.
     ///
     /// # Errors
     ///
@@ -280,11 +302,25 @@ impl PoolState {
             emc.complete_release(host, ps.slice)?;
             self.events.push(PoolEvent::ReleaseCompleted { host, slice: *ps });
         }
+        let touched: std::collections::BTreeSet<EmcId> = slices.iter().map(|ps| ps.emc).collect();
+        for emc_id in touched {
+            self.detach_if_idle(host, emc_id);
+        }
         Ok(())
     }
 
-    /// Releases every slice a host owns in one step (host failure handling).
-    /// Returns the number of slices reclaimed.
+    /// Detaches the host's port on `emc_id` if the host no longer owns any
+    /// slice there (assigned or mid-release — [`Emc::detach_host`] refuses
+    /// otherwise), recording a [`PoolEvent::PortDetached`].
+    fn detach_if_idle(&mut self, host: HostId, emc_id: EmcId) {
+        let Some(emc) = self.emcs.get_mut(&emc_id) else { return };
+        if emc.detach_host(host).unwrap_or(false) {
+            self.events.push(PoolEvent::PortDetached { host, emc: emc_id });
+        }
+    }
+
+    /// Releases every slice a host owns in one step (host failure handling)
+    /// and detaches the host's ports. Returns the number of slices reclaimed.
     pub fn release_host(&mut self, host: HostId) -> u64 {
         let mut reclaimed = 0;
         let emc_ids: Vec<EmcId> = self.emcs.keys().copied().collect();
@@ -297,6 +333,7 @@ impl PoolState {
                     slice: PoolSlice { emc: emc_id, slice },
                 });
             }
+            self.detach_if_idle(host, emc_id);
         }
         reclaimed
     }
@@ -371,11 +408,67 @@ mod tests {
         pool.begin_release(HostId(1), &slices).unwrap();
         pool.complete_release(HostId(1), &slices).unwrap();
         let events = pool.drain_events();
-        assert_eq!(events.len(), 3);
+        assert_eq!(events.len(), 4);
         assert!(matches!(events[0], PoolEvent::AddCapacity { host: HostId(1), .. }));
         assert!(matches!(events[1], PoolEvent::ReleaseCapacity { host: HostId(1), .. }));
         assert!(matches!(events[2], PoolEvent::ReleaseCompleted { host: HostId(1), .. }));
+        // Releasing the host's last slice on the EMC frees its CXL port.
+        assert!(matches!(events[3], PoolEvent::PortDetached { host: HostId(1), .. }));
         assert!(pool.drain_events().is_empty(), "drain consumes the log");
+    }
+
+    #[test]
+    fn ports_cycle_through_more_hosts_than_the_emc_has_ports() {
+        // A 2-port EMC serves hosts 0..6 over time: each host releases its
+        // slices (detaching its port) before the host two steps later needs
+        // one. Before the port lifecycle existed, host 2 already failed.
+        let topo = PoolTopology::pond_with_capacity(8, Bytes::from_gib(16)).unwrap();
+        let mut pool = PoolState::new(topo.emc_configs().iter().cloned().map(|mut c| {
+            c.ports = 2;
+            c
+        }));
+        let mut held: std::collections::VecDeque<(HostId, Vec<PoolSlice>)> = Default::default();
+        for h in 0..6u16 {
+            let host = HostId(h);
+            let slices = pool.add_capacity(host, Bytes::from_gib(2)).unwrap();
+            held.push_back((host, slices));
+            if held.len() == 2 {
+                let (old, old_slices) = held.pop_front().unwrap();
+                pool.begin_release(old, &old_slices).unwrap();
+                pool.complete_release(old, &old_slices).unwrap();
+            }
+        }
+        let detached = pool
+            .drain_events()
+            .iter()
+            .filter(|e| matches!(e, PoolEvent::PortDetached { .. }))
+            .count();
+        assert_eq!(detached, 5, "every drained host gave its port back");
+    }
+
+    #[test]
+    fn port_exhaustion_is_per_host_capacity_exhaustion() {
+        // Both ports held with slices: a third host sees no attachable
+        // capacity even though slices are free.
+        let topo = PoolTopology::pond_with_capacity(8, Bytes::from_gib(16)).unwrap();
+        let mut pool = PoolState::new(topo.emc_configs().iter().cloned().map(|mut c| {
+            c.ports = 2;
+            c
+        }));
+        pool.add_capacity(HostId(0), Bytes::from_gib(1)).unwrap();
+        let slices = pool.add_capacity(HostId(1), Bytes::from_gib(1)).unwrap();
+        assert!(pool.free_capacity() > Bytes::ZERO);
+        assert_eq!(pool.free_capacity_for(HostId(2)), Bytes::ZERO);
+        assert!(matches!(
+            pool.add_capacity(HostId(2), Bytes::from_gib(1)),
+            Err(CxlError::InsufficientPoolCapacity { .. })
+        ));
+        // Attached hosts still see the free capacity.
+        assert_eq!(pool.free_capacity_for(HostId(0)), pool.free_capacity());
+        // Once host 1 drains, its port serves host 2.
+        pool.begin_release(HostId(1), &slices).unwrap();
+        pool.complete_release(HostId(1), &slices).unwrap();
+        assert!(pool.add_capacity(HostId(2), Bytes::from_gib(1)).is_ok());
     }
 
     #[test]

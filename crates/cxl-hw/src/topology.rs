@@ -217,6 +217,195 @@ impl PoolTopology {
     }
 }
 
+/// How a fleet's hosts are grouped around pools: the pod shape that, next to
+/// the pool *size*, drives how much stranding a pooled fleet recovers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PodStyle {
+    /// Symmetric pods: every host reaches exactly its home pod's pool — the
+    /// shape Pond evaluates (one pool per 8–64 sockets, Figures 6/7).
+    Symmetric,
+    /// Octopus-style sparse ring: each pod's hosts additionally reach the
+    /// next pod's pool, so neighbouring pods can absorb each other's bursts
+    /// without a full crossbar of CXL links.
+    Octopus,
+}
+
+impl PodStyle {
+    /// Short name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            PodStyle::Symmetric => "symmetric",
+            PodStyle::Octopus => "octopus",
+        }
+    }
+}
+
+/// A sharded fleet topology: `groups` pods, each with its own
+/// [`PoolTopology`], plus the host→pool reachability the pod style induces.
+///
+/// Hosts are numbered fleet-wide (`0..host_count`) and assigned to pods in
+/// contiguous blocks (sizes differ by at most one host, earlier pods get
+/// the remainder); the fleet-wide pool capacity is split the same way in
+/// whole 1 GiB slices, so the *total* modeled capacity is identical across
+/// group counts — sharding comparisons stay apples-to-apples. Reachability
+/// is per pod: a pod's hosts reach their own pool, and under
+/// [`PodStyle::Octopus`] also the next pod's pool (ring order).
+///
+/// # Example
+///
+/// ```
+/// use cxl_hw::topology::{PodStyle, PoolGroupTopology};
+/// use cxl_hw::units::Bytes;
+///
+/// let topo = PoolGroupTopology::new(PodStyle::Octopus, 4, 34, 16, Bytes::from_gib(1026))?;
+/// assert_eq!(topo.group_count(), 4);
+/// assert_eq!(topo.hosts_in(0), 9); // 34 hosts: 9+9+8+8
+/// assert_eq!(topo.reachable(3), &[3, 0]); // ring wrap-around
+/// assert_eq!(topo.pool(0).total_capacity(), Bytes::from_gib(257)); // 1026: 257+257+256+256
+/// assert_eq!(topo.total_capacity(), Bytes::from_gib(1026));
+/// # Ok::<(), cxl_hw::CxlError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PoolGroupTopology {
+    style: PodStyle,
+    pools: Vec<PoolTopology>,
+    hosts_per_group: Vec<u16>,
+    reach: Vec<Vec<usize>>,
+}
+
+impl PoolGroupTopology {
+    /// Builds a pool-group topology: `groups` pods sharing `hosts` hosts
+    /// and `total_capacity` of pool DRAM, each pod owning a Pond pool of
+    /// `pool_sockets` sockets. Capacity is split into whole 1 GiB slices,
+    /// sizes differing by at most one slice (earlier pods get the
+    /// remainder), so the summed capacity always equals the floored total.
+    ///
+    /// # Errors
+    ///
+    /// * [`CxlError::InvalidGroupTopology`] when `groups` is zero, exceeds
+    ///   the host count (every pod needs at least one host), or exceeds the
+    ///   total capacity in slices (every pod needs at least one slice).
+    /// * [`CxlError::UnsupportedPoolSize`] when `pool_sockets` is not a
+    ///   supported Pond pool size.
+    pub fn new(
+        style: PodStyle,
+        groups: u16,
+        hosts: u16,
+        pool_sockets: u16,
+        total_capacity: Bytes,
+    ) -> Result<Self, CxlError> {
+        if groups == 0 {
+            return Err(CxlError::InvalidGroupTopology {
+                detail: "a fleet needs at least one pool group".to_string(),
+            });
+        }
+        if hosts < groups {
+            return Err(CxlError::InvalidGroupTopology {
+                detail: format!("{groups} groups need at least {groups} hosts, got {hosts}"),
+            });
+        }
+        let total_slices = total_capacity.slices_floor();
+        if total_slices < u64::from(groups) {
+            return Err(CxlError::InvalidGroupTopology {
+                detail: format!(
+                    "{groups} groups need at least {groups} pool slices, got {total_slices}"
+                ),
+            });
+        }
+        let groups = groups as usize;
+        let slice_base = total_slices / groups as u64;
+        let slice_rem = (total_slices % groups as u64) as usize;
+        let pools = (0..groups)
+            .map(|g| {
+                let capacity = Bytes::from_gib(slice_base + u64::from(g < slice_rem));
+                PoolTopology::pond_with_capacity(pool_sockets, capacity)
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        let base = hosts / groups as u16;
+        let remainder = (hosts % groups as u16) as usize;
+        let hosts_per_group =
+            (0..groups).map(|g| base + u16::from(g < remainder)).collect::<Vec<_>>();
+        let reach = (0..groups)
+            .map(|g| match style {
+                PodStyle::Symmetric => vec![g],
+                // A single pod's "next pod" is itself; skip the duplicate.
+                PodStyle::Octopus if groups == 1 => vec![g],
+                PodStyle::Octopus => vec![g, (g + 1) % groups],
+            })
+            .collect();
+        Ok(PoolGroupTopology { style, pools, hosts_per_group, reach })
+    }
+
+    /// The pod style.
+    pub fn style(&self) -> PodStyle {
+        self.style
+    }
+
+    /// Number of pool groups (pods).
+    pub fn group_count(&self) -> usize {
+        self.pools.len()
+    }
+
+    /// Total number of hosts across all pods.
+    pub fn host_count(&self) -> u16 {
+        self.hosts_per_group.iter().sum()
+    }
+
+    /// Number of hosts in pod `group`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `group` is out of range.
+    pub fn hosts_in(&self, group: usize) -> u16 {
+        self.hosts_per_group[group]
+    }
+
+    /// The pool topology of pod `group`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `group` is out of range.
+    pub fn pool(&self, group: usize) -> &PoolTopology {
+        &self.pools[group]
+    }
+
+    /// All per-pod pool topologies.
+    pub fn pools(&self) -> &[PoolTopology] {
+        &self.pools
+    }
+
+    /// The home pod of a fleet-wide host index, or `None` when out of range.
+    pub fn home_group(&self, host: u16) -> Option<usize> {
+        let mut first = 0;
+        for (g, &count) in self.hosts_per_group.iter().enumerate() {
+            if host < first + count {
+                return Some(g);
+            }
+            first += count;
+        }
+        None
+    }
+
+    /// Pool groups reachable from pod `group`'s hosts, home pod first.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `group` is out of range.
+    pub fn reachable(&self, group: usize) -> &[usize] {
+        &self.reach[group]
+    }
+
+    /// Pool groups reachable from a fleet-wide host index, home pod first.
+    pub fn host_reach(&self, host: u16) -> &[usize] {
+        self.home_group(host).map_or(&[], |g| self.reachable(g))
+    }
+
+    /// Total pool capacity across all pods.
+    pub fn total_capacity(&self) -> Bytes {
+        self.pools.iter().map(PoolTopology::total_capacity).sum()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -286,6 +475,69 @@ mod tests {
         for cfg in t.emc_configs() {
             assert_eq!(cfg.capacity, Bytes::from_gib(512));
         }
+    }
+
+    #[test]
+    fn symmetric_groups_reach_only_their_own_pool() {
+        let topo =
+            PoolGroupTopology::new(PodStyle::Symmetric, 4, 10, 16, Bytes::from_gib(130)).unwrap();
+        assert_eq!(topo.group_count(), 4);
+        assert_eq!(topo.host_count(), 10);
+        // 10 hosts over 4 pods: 3, 3, 2, 2.
+        assert_eq!((0..4).map(|g| topo.hosts_in(g)).collect::<Vec<_>>(), vec![3, 3, 2, 2]);
+        for g in 0..4 {
+            assert_eq!(topo.reachable(g), &[g]);
+            assert_eq!(topo.pool(g).sockets(), 16);
+        }
+        // 130 GiB over 4 pods: 33, 33, 32, 32 — the configured total is
+        // preserved exactly, so sharding comparisons stay fair.
+        assert_eq!(
+            (0..4).map(|g| topo.pool(g).total_capacity().as_gib()).collect::<Vec<_>>(),
+            vec![33, 33, 32, 32]
+        );
+        assert_eq!(topo.total_capacity(), Bytes::from_gib(130));
+        assert_eq!(topo.style().name(), "symmetric");
+    }
+
+    #[test]
+    fn octopus_groups_overlap_in_a_ring() {
+        let topo = PoolGroupTopology::new(PodStyle::Octopus, 3, 9, 8, Bytes::from_gib(64)).unwrap();
+        assert_eq!(topo.reachable(0), &[0, 1]);
+        assert_eq!(topo.reachable(1), &[1, 2]);
+        assert_eq!(topo.reachable(2), &[2, 0]);
+        // Host 4 lives in pod 1 (hosts 3..6) and reaches pools 1 and 2.
+        assert_eq!(topo.home_group(4), Some(1));
+        assert_eq!(topo.host_reach(4), &[1, 2]);
+        assert_eq!(topo.home_group(9), None);
+        assert!(topo.host_reach(9).is_empty());
+    }
+
+    #[test]
+    fn single_octopus_group_does_not_duplicate_itself() {
+        let topo =
+            PoolGroupTopology::new(PodStyle::Octopus, 1, 4, 16, Bytes::from_gib(64)).unwrap();
+        assert_eq!(topo.reachable(0), &[0]);
+    }
+
+    #[test]
+    fn invalid_group_shapes_are_rejected() {
+        assert!(matches!(
+            PoolGroupTopology::new(PodStyle::Symmetric, 0, 8, 16, Bytes::from_gib(64)),
+            Err(CxlError::InvalidGroupTopology { .. })
+        ));
+        assert!(matches!(
+            PoolGroupTopology::new(PodStyle::Symmetric, 5, 4, 16, Bytes::from_gib(64)),
+            Err(CxlError::InvalidGroupTopology { .. })
+        ));
+        assert!(matches!(
+            PoolGroupTopology::new(PodStyle::Symmetric, 2, 8, 5, Bytes::from_gib(64)),
+            Err(CxlError::UnsupportedPoolSize { .. })
+        ));
+        // Fewer total slices than groups: some pod would own no capacity.
+        assert!(matches!(
+            PoolGroupTopology::new(PodStyle::Symmetric, 4, 8, 16, Bytes::from_gib(3)),
+            Err(CxlError::InvalidGroupTopology { .. })
+        ));
     }
 
     #[test]

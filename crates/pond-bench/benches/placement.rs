@@ -11,7 +11,7 @@
 //! Run with `cargo bench -p pond-bench --bench placement`. The final line
 //! prints the measured speedup; the acceptance bar is >= 5x.
 
-use cluster_sim::scheduler::PlacementEngine;
+use cluster_sim::scheduler::{host_selection_key, PlacementEngine};
 use cluster_sim::server::{Placement, Server};
 use cluster_sim::trace::{ClusterTrace, VmRequest};
 use cluster_sim::tracegen::{ClusterConfig, TraceGenerator};
@@ -46,8 +46,8 @@ impl Placer for PlacementEngine {
     }
 }
 
-/// The pre-index placement path: re-sort every server by free cores on every
-/// arrival, then scan for the tightest fit.
+/// The pre-index placement path: re-sort every server by the shared
+/// host-selection key on every arrival, then scan for the tightest fit.
 struct SortScanEngine {
     servers: Vec<Server>,
 }
@@ -65,7 +65,9 @@ impl SortScanEngine {
 impl Placer for SortScanEngine {
     fn place(&mut self, request: &VmRequest, local: Bytes) -> Option<(usize, Placement)> {
         let mut candidates: Vec<usize> = (0..self.servers.len()).collect();
-        candidates.sort_by_key(|&i| self.servers[i].free_cores());
+        candidates.sort_by_key(|&i| {
+            host_selection_key(self.servers[i].free_cores(), self.servers[i].free_memory(), i)
+        });
         for i in candidates {
             if self.servers[i].free_cores() < request.cores {
                 continue;

@@ -1,0 +1,85 @@
+//! Pods sweep: the full (pod style × group count × pool fraction ×
+//! scheduler) grid over one trace, replayed through the sharded multi-pool
+//! fleet on the parallel sweep runner. Every cell is deterministic for a
+//! fixed `(trace, seed)` — including between `POND_SWEEP_THREADS=1` and the
+//! default thread count, which CI checks by diffing the two outputs.
+//!
+//! Set `POND_SMOKE=1` to shrink the grid to a CI-sized smoke check.
+
+use cxl_hw::topology::PodStyle;
+use pond_bench::{bench_trace, pct, print_header};
+use pond_core::multipool::{multipool_sweep, GroupSchedulerKind, MultiPoolSweepSpec};
+
+fn smoke() -> bool {
+    std::env::var("POND_SMOKE").is_ok_and(|v| v == "1")
+}
+
+fn grid() -> Vec<MultiPoolSweepSpec> {
+    let (group_counts, fractions): (&[u16], &[f64]) =
+        if smoke() { (&[2], &[0.15]) } else { (&[2, 4], &[0.10, 0.20, 0.30]) };
+    let mut specs = Vec::new();
+    for &pod in &[PodStyle::Symmetric, PodStyle::Octopus] {
+        for &groups in group_counts {
+            for &pool_fraction in fractions {
+                for scheduler in GroupSchedulerKind::ALL {
+                    specs.push(MultiPoolSweepSpec { pod, groups, pool_fraction, scheduler });
+                }
+            }
+        }
+    }
+    specs
+}
+
+fn main() {
+    print_header(
+        "Pods sweep",
+        "DRAM savings and mitigation rate over (pods x groups x pool % x scheduler)",
+    );
+    let trace = bench_trace();
+    let specs = grid();
+    let points = multipool_sweep(&trace, &specs, 11).expect("multipool replay must not fail");
+
+    println!(
+        "{:>10} {:>7} {:>7} {:>15} {:>12} {:>10} {:>12} {:>10}",
+        "pods",
+        "groups",
+        "pool %",
+        "scheduler",
+        "DRAM saved",
+        "mit rate",
+        "cross-group",
+        "rejected"
+    );
+    for point in &points {
+        let fleet = &point.outcome.fleet;
+        println!(
+            "{:>10} {:>7} {:>7} {:>15} {:>12} {:>10} {:>12} {:>10}",
+            point.spec.pod.name(),
+            point.spec.groups,
+            pct(point.spec.pool_fraction),
+            point.spec.scheduler.name(),
+            pct(fleet.dram_savings_fraction()),
+            pct(fleet.mitigation_rate()),
+            point.outcome.cross_group_placements,
+            fleet.rejected_vms,
+        );
+    }
+    let best = points
+        .iter()
+        .max_by(|a, b| {
+            a.outcome
+                .fleet
+                .dram_savings_fraction()
+                .total_cmp(&b.outcome.fleet.dram_savings_fraction())
+        })
+        .expect("non-empty sweep");
+    println!(
+        "\nbest cell: {} pods x {} groups x {} pool x {} -> {} DRAM saved",
+        best.spec.pod.name(),
+        best.spec.groups,
+        pct(best.spec.pool_fraction),
+        best.spec.scheduler.name(),
+        pct(best.outcome.fleet.dram_savings_fraction()),
+    );
+    println!("paper: grouping, not just pool size, decides how much stranding pooling recovers");
+}

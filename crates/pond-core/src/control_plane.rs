@@ -13,7 +13,7 @@ use crate::error::PondError;
 use crate::policy::{PondDecision, PondPolicy, PondPolicyConfig};
 use crate::pool_manager::PondPoolManager;
 use crate::qos::{MitigationManager, QosMonitor, VmObservation};
-use cluster_sim::scheduler::align_pool_memory;
+use cluster_sim::scheduler::{align_pool_memory, host_selection_key};
 use cluster_sim::trace::{ClusterTrace, CustomerId, VmRequest};
 use cxl_hw::topology::PoolTopology;
 use cxl_hw::units::{Bytes, HostId};
@@ -99,13 +99,19 @@ pub struct QosPassReport {
 }
 
 /// One QoS mitigation: which VM moved off pool memory, how much it moved,
-/// and when the freed slices finish offlining.
+/// when its degraded-mode copy window ends, and when the freed slices finish
+/// offlining.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct VmMitigation {
     /// The reconfigured VM.
     pub vm: VmId,
     /// Pool memory copied to local DRAM.
     pub moved: Bytes,
+    /// Completion time of the pool→local copy (50 ms per GiB): the VM runs
+    /// degraded from the mitigation until this instant. Event-driven callers
+    /// schedule a reconfiguration-done event here so snapshots observe the
+    /// degraded-mode window.
+    pub copy_done: Duration,
     /// Completion time of the asynchronous slice release the mitigation
     /// started (offlining begins once the copy finishes). Event-driven
     /// callers schedule a release event here. `None` only for VMs whose
@@ -152,8 +158,19 @@ impl PondControlPlane {
         config: ControlPlaneConfig,
         seed: u64,
     ) -> Result<Self, PondError> {
-        let topology = PoolTopology::pond_with_capacity(config.pool_sockets, config.pool_capacity)?;
         let policy = PondPolicy::train(training_trace, &config.policy, seed);
+        Self::with_policy(config, policy)
+    }
+
+    /// Builds a control plane around an already-trained policy. Multi-pool
+    /// fleets ([`crate::multipool`]) train the models once and clone the
+    /// policy into every group, instead of retraining per pool.
+    ///
+    /// # Errors
+    ///
+    /// Returns a hardware error if the pool topology is unsupported.
+    pub fn with_policy(config: ControlPlaneConfig, policy: PondPolicy) -> Result<Self, PondError> {
+        let topology = PoolTopology::pond_with_capacity(config.pool_sockets, config.pool_capacity)?;
         let monitor = QosMonitor::new(policy.sensitivity_model().clone());
         let hosts = (0..config.hosts)
             .map(|_| HostMemory::new(config.local_dram_per_host, config.hypervisor_private))
@@ -182,7 +199,10 @@ impl PondControlPlane {
         self.running.len()
     }
 
-    /// Number of requests that could not be placed.
+    /// Number of placement calls that failed with `NoFeasibleHost` or
+    /// `PoolExhausted`. A multi-pool driver that runs the fallback ladder
+    /// through the staged entry points counts each failed stage, so a VM
+    /// that eventually lands elsewhere may still appear here.
     pub fn rejected_vms(&self) -> u64 {
         self.rejected
     }
@@ -210,20 +230,83 @@ impl PondControlPlane {
     /// Handles a VM request end to end: prediction → host selection → pool
     /// onlining → memory pinning → zNUMA exposure.
     ///
-    /// The predicted pool share is clamped to the VM's size and floored to
-    /// whole 1 GiB slices ([`align_pool_memory`]) before any capacity moves,
-    /// so host-side byte accounting and EMC slice ownership stay in lockstep
-    /// and the decision matches what the cluster simulator would apply for
-    /// the same request.
+    /// This is the two-stage ladder of the production scheduler: first a
+    /// pooled placement ([`PondControlPlane::handle_request_pooled`]); if the
+    /// pool cannot cover the predicted share and
+    /// [`ControlPlaneConfig::fallback_all_local`] is on, an all-local
+    /// placement ([`PondControlPlane::handle_request_all_local`]). Multi-pool
+    /// fleets call the two stages explicitly, inserting cross-group attempts
+    /// between them.
     ///
     /// # Errors
     ///
     /// * [`PondError::NoFeasibleHost`] when no host has enough local DRAM.
     /// * [`PondError::PoolExhausted`] when the pool buffer cannot cover the
-    ///   pool share and [`ControlPlaneConfig::fallback_all_local`] is off;
-    ///   with the fallback on, the VM is placed with all-local memory
-    ///   instead (the production scheduler's behaviour).
+    ///   pool share and the all-local fallback is off.
     pub fn handle_request(
+        &mut self,
+        request: &VmRequest,
+        now: Duration,
+    ) -> Result<PlacementSummary, PondError> {
+        let result = match self.place_pooled(request, now) {
+            Err(PondError::PoolExhausted { .. }) if self.config.fallback_all_local => {
+                self.place_all_local(request, now)
+            }
+            other => other,
+        };
+        self.count_rejection(&result);
+        result
+    }
+
+    /// Handles a VM request with the Figure 13 prediction pipeline but
+    /// *without* the all-local fallback, regardless of
+    /// [`ControlPlaneConfig::fallback_all_local`]: a pool that cannot cover
+    /// the predicted share fails with [`PondError::PoolExhausted`], letting
+    /// a multi-pool scheduler try another group before giving up on pooling.
+    ///
+    /// # Errors
+    ///
+    /// * [`PondError::NoFeasibleHost`] when no host has enough local DRAM.
+    /// * [`PondError::PoolExhausted`] when the host-reachable pool buffer
+    ///   cannot cover the pool share.
+    pub fn handle_request_pooled(
+        &mut self,
+        request: &VmRequest,
+        now: Duration,
+    ) -> Result<PlacementSummary, PondError> {
+        let result = self.place_pooled(request, now);
+        self.count_rejection(&result);
+        result
+    }
+
+    /// Places a VM with all-local memory, bypassing the prediction models
+    /// (the last rung of the fallback ladder). The summary reports
+    /// `fallback_all_local: true`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PondError::NoFeasibleHost`] when no host can hold the VM's
+    /// full memory locally.
+    pub fn handle_request_all_local(
+        &mut self,
+        request: &VmRequest,
+        now: Duration,
+    ) -> Result<PlacementSummary, PondError> {
+        let result = self.place_all_local(request, now);
+        self.count_rejection(&result);
+        result
+    }
+
+    fn count_rejection(&mut self, result: &Result<PlacementSummary, PondError>) {
+        if matches!(
+            result,
+            Err(PondError::NoFeasibleHost { .. }) | Err(PondError::PoolExhausted { .. })
+        ) {
+            self.rejected += 1;
+        }
+    }
+
+    fn place_pooled(
         &mut self,
         request: &VmRequest,
         now: Duration,
@@ -237,33 +320,50 @@ impl PondControlPlane {
             PondDecision::Znuma { pool } => pool,
             PondDecision::AllLocal => Bytes::ZERO,
         };
-        let mut pool = align_pool_memory(request, raw_pool);
-        let mut fallback_all_local = false;
-        if self.config.fallback_all_local
-            && !pool.is_zero()
-            && self.pool.available() < Bytes::from_gib(pool.slices_ceil())
-        {
-            pool = Bytes::ZERO;
-            fallback_all_local = true;
-        }
-        let local = request.memory - pool;
+        let pool = align_pool_memory(request, raw_pool);
+        let predicted_untouched = match decision {
+            PondDecision::Znuma { .. } => pool,
+            _ => Bytes::ZERO,
+        };
+        self.place(request, pool, predicted_untouched, false, now)
+    }
 
-        // Pick the host with the most free local DRAM that fits the local share.
+    fn place_all_local(
+        &mut self,
+        request: &VmRequest,
+        now: Duration,
+    ) -> Result<PlacementSummary, PondError> {
+        self.pool.process_releases(now);
+        self.place(request, Bytes::ZERO, Bytes::ZERO, true, now)
+    }
+
+    /// The placement core shared by the pooled and all-local paths: host
+    /// selection via the fleet-wide [`host_selection_key`] (hosts here have
+    /// no core model, so the key reduces to most-free-DRAM with a
+    /// lowest-index tie-break), pool slice onlining, memory pinning, and
+    /// zNUMA exposure.
+    ///
+    /// The pool share arrives already clamped and floored to whole 1 GiB
+    /// slices ([`align_pool_memory`]), so host-side byte accounting and EMC
+    /// slice ownership stay in lockstep and the decision matches what the
+    /// cluster simulator would apply for the same request.
+    fn place(
+        &mut self,
+        request: &VmRequest,
+        pool: Bytes,
+        predicted_untouched: Bytes,
+        fallback_all_local: bool,
+        now: Duration,
+    ) -> Result<PlacementSummary, PondError> {
+        let local = request.memory - pool;
         let Some(host_index) = (0..self.hosts.len())
             .filter(|&i| self.hosts[i].local_free() >= local)
-            .max_by_key(|&i| self.hosts[i].local_free().as_u64())
+            .min_by_key(|&i| host_selection_key(0, self.hosts[i].local_free(), i))
         else {
-            self.rejected += 1;
             return Err(PondError::NoFeasibleHost { vm: request.id });
         };
 
-        let slices = match self.pool.allocate(HostId(host_index as u16), pool, now) {
-            Ok(slices) => slices,
-            Err(err) => {
-                self.rejected += 1;
-                return Err(err);
-            }
-        };
+        let slices = self.pool.allocate(HostId(host_index as u16), pool, now)?;
         let host = &mut self.hosts[host_index];
         host.online_pool(pool);
         host.pin_vm(VmId(request.id), local, pool)
@@ -295,10 +395,7 @@ impl PondControlPlane {
                 vm,
                 host: host_index,
                 slices,
-                predicted_untouched: match decision {
-                    PondDecision::Znuma { .. } if !fallback_all_local => pool,
-                    _ => Bytes::ZERO,
-                },
+                predicted_untouched,
                 customer: request.customer,
                 untouched_fraction: request.untouched_fraction,
                 workload_index: request.workload_index,
@@ -374,6 +471,7 @@ impl PondControlPlane {
                 pass.mitigated.push(VmMitigation {
                     vm: VmId(id),
                     moved: report.moved,
+                    copy_done: now + report.copy_duration,
                     release_ready: ready,
                 });
                 record.predicted_untouched = Bytes::ZERO;

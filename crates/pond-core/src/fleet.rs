@@ -54,11 +54,15 @@ impl Default for FleetConfig {
 }
 
 impl FleetConfig {
-    /// A fleet sized to a trace: one control-plane host per trace server up
-    /// to the 16 CXL ports of the default 16-socket pool's EMC (every host
-    /// must hold a port for the pool's whole lifetime), with the trace's
-    /// total DRAM spread evenly across the hosts and the pool holding
-    /// `pool_fraction` of that DRAM as extra pooled capacity.
+    /// A fleet sized to a trace: one control-plane host per trace server,
+    /// with the trace's total DRAM spread evenly across the hosts and the
+    /// pool holding `pool_fraction` of that DRAM as extra pooled capacity.
+    ///
+    /// Fleets larger than the pool's CXL port count are honest now: at most
+    /// `ports` hosts hold slices concurrently, but a drained host's port
+    /// detaches (see `cxl_hw::pool`), so any number of hosts can cycle
+    /// through the pool over the trace. Hosts that cannot reach a port at
+    /// arrival time fall back to all-local placements.
     ///
     /// This is the knob Figures 19–20 sweep: `pool_fraction` is the pool
     /// percentage, and the replay reports the DRAM savings and mitigation
@@ -68,7 +72,7 @@ impl FleetConfig {
             (0.0..=1.0).contains(&pool_fraction) && pool_fraction.is_finite(),
             "pool fraction must be in [0, 1]"
         );
-        let hosts = (trace.servers.max(1) as u16).min(16);
+        let hosts = trace.servers.clamp(1, u64::from(u16::MAX) as u32) as u16;
         let fleet_dram = Bytes::from_gib(trace.dram_per_server.as_gib() * trace.servers as u64);
         let local_per_host = Bytes::from_gib(fleet_dram.as_gib() / hosts as u64);
         let pool_capacity = Bytes::from_gib(fleet_dram.scaled(pool_fraction).slices_floor().max(1));
@@ -109,10 +113,20 @@ pub struct FleetOutcome {
     pub mitigations: u64,
     /// Total pool→local copy time the mitigations charged.
     pub mitigation_copy_time: Duration,
+    /// Reconfiguration-copy completion events processed: each mitigation's
+    /// degraded-mode window ends with one first-class `ReconfigDone` event.
+    pub reconfig_completions: u64,
+    /// Peak number of mitigation copies in flight at once — the widest
+    /// degraded-mode window any snapshot could observe.
+    pub peak_degraded_vms: u64,
     /// QoS passes executed.
     pub qos_passes: u64,
     /// Release-completion events processed.
     pub releases_completed: u64,
+    /// Distinct hosts that held pool slices at some point. With the
+    /// host-port lifecycle this can exceed the pool's CXL port count: hosts
+    /// cycle through ports as they drain.
+    pub pooled_host_count: u64,
     /// Sum over hosts of each host's peak pinned local memory.
     pub sum_local_peaks: Bytes,
     /// Sum over hosts of each host's peak pinned pool memory — what that
@@ -189,12 +203,181 @@ impl FleetOutcome {
             self.mitigations as f64 / self.scheduled_vms as f64
         }
     }
+
+    /// Adds another outcome's tallies into this one, field by field — the
+    /// multi-pool replay builds its fleet aggregate by absorbing every
+    /// per-group outcome. Lives next to the struct (and destructures it) so
+    /// a future field cannot be silently dropped from the aggregate. The
+    /// two non-additive fields are overwritten by the caller afterwards:
+    /// `qos_passes` counts shared snapshot ticks once per tick, and
+    /// `peak_degraded_vms` is a fleet-wide peak, not a sum of per-group
+    /// peaks.
+    pub(crate) fn absorb(&mut self, other: &FleetOutcome) {
+        let FleetOutcome {
+            scheduled_vms,
+            rejected_vms,
+            fallback_all_local,
+            violations,
+            mitigations,
+            mitigation_copy_time,
+            reconfig_completions,
+            peak_degraded_vms,
+            qos_passes,
+            releases_completed,
+            pooled_host_count,
+            sum_local_peaks,
+            sum_host_pool_peaks,
+            sum_total_peaks,
+            pool_peak,
+            pool_gib_hours,
+            total_gib_hours,
+        } = other;
+        self.scheduled_vms += scheduled_vms;
+        self.rejected_vms += rejected_vms;
+        self.fallback_all_local += fallback_all_local;
+        self.violations += violations;
+        self.mitigations += mitigations;
+        self.mitigation_copy_time += *mitigation_copy_time;
+        self.reconfig_completions += reconfig_completions;
+        self.peak_degraded_vms += peak_degraded_vms;
+        self.qos_passes += qos_passes;
+        self.releases_completed += releases_completed;
+        self.pooled_host_count += pooled_host_count;
+        self.sum_local_peaks += *sum_local_peaks;
+        self.sum_host_pool_peaks += *sum_host_pool_peaks;
+        self.sum_total_peaks += *sum_total_peaks;
+        self.pool_peak += *pool_peak;
+        self.pool_gib_hours += pool_gib_hours;
+        self.total_gib_hours += total_gib_hours;
+    }
 }
 
-/// Event times are whole seconds; releases complete at millisecond
-/// granularity, so their events land on the next whole second.
-fn ceil_secs(duration: Duration) -> u64 {
+/// Event times are whole seconds; releases and reconfiguration copies
+/// complete at millisecond granularity, so their events land on the next
+/// whole second. Shared with [`crate::multipool`], which must round
+/// identically for the single-group equivalence to hold.
+pub(crate) fn ceil_secs(duration: Duration) -> u64 {
     duration.as_secs() + u64::from(duration.subsec_nanos() > 0)
+}
+
+/// Which shared-queue event a replay just scheduled — the attribution hook
+/// the multi-pool replay uses to route the completion back to its group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum ScheduledEvent {
+    /// An asynchronous slice-release completion.
+    Release,
+    /// A mitigation copy completion.
+    ReconfigDone,
+}
+
+/// The per-event outcome accounting shared by [`run_fleet`] and
+/// [`crate::multipool::run_multipool_fleet`]. Both replays charge
+/// placements, mitigations, and provisioning peaks through these helpers,
+/// so the two loops cannot silently diverge — which is what keeps the
+/// single-group multipool replay bit-for-bit equal to the single-pool one.
+#[derive(Debug)]
+pub(crate) struct ReplayAccounting {
+    scenario: cxl_hw::latency::LatencyScenario,
+    pdm: f64,
+    suite: WorkloadSuite,
+    spill: SpillModel,
+}
+
+impl ReplayAccounting {
+    pub(crate) fn new(config: &crate::control_plane::ControlPlaneConfig) -> Self {
+        ReplayAccounting {
+            scenario: config.policy.scenario,
+            pdm: config.policy.pdm,
+            suite: WorkloadSuite::standard(),
+            spill: SpillModel::default(),
+        }
+    }
+
+    /// Charges one successful placement: the ground-truth QoS outcome (via
+    /// the same spill model the cluster simulator uses) and the GiB-hour
+    /// accounting.
+    pub(crate) fn record_placement(
+        &self,
+        outcome: &mut FleetOutcome,
+        request: &cluster_sim::trace::VmRequest,
+        summary: &crate::control_plane::PlacementSummary,
+    ) {
+        outcome.scheduled_vms += 1;
+        outcome.fallback_all_local += u64::from(summary.fallback_all_local);
+
+        let workload = self
+            .suite
+            .at(request.workload_index % self.suite.len())
+            .expect("workload index is taken modulo the suite size");
+        let fraction = SpillModel::spill_fraction(request.touched_memory(), summary.local);
+        let slowdown = self.spill.spill_slowdown(workload, self.scenario, fraction);
+        outcome.violations += u64::from(slowdown > self.pdm);
+
+        let hours = request.lifetime as f64 / 3600.0;
+        outcome.pool_gib_hours += summary.pool.as_gib_f64() * hours;
+        outcome.total_gib_hours += request.memory.as_gib_f64() * hours;
+    }
+
+    /// Charges one QoS pass: mitigation counters, the degraded-mode window
+    /// (each copy completion becomes a first-class event so snapshots
+    /// observe the window, not just the accumulated total), the release of
+    /// the freed slices, and the GiB-hour take-back for the pool time the
+    /// mitigated VMs will no longer serve. `on_scheduled` fires once per
+    /// scheduled event (after it is queued) so a multi-group caller can
+    /// attribute it.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn record_qos_pass(
+        &self,
+        outcome: &mut FleetOutcome,
+        pass: crate::control_plane::QosPassReport,
+        time: u64,
+        departure_of: &std::collections::HashMap<u64, u64>,
+        degraded: &mut u64,
+        events: &mut EventQueue<'_>,
+        mut on_scheduled: impl FnMut(ScheduledEvent, u64),
+    ) {
+        outcome.mitigations += pass.reconfigured;
+        outcome.mitigation_copy_time += pass.copy_time;
+        outcome.qos_passes += 1;
+        for mitigation in pass.mitigated {
+            let done = ceil_secs(mitigation.copy_done);
+            events.schedule_reconfig_done(done);
+            on_scheduled(ScheduledEvent::ReconfigDone, done);
+            *degraded += 1;
+            outcome.peak_degraded_vms = outcome.peak_degraded_vms.max(*degraded);
+            if let Some(ready) = mitigation.release_ready {
+                let ready = ceil_secs(ready);
+                events.schedule_release(ready);
+                on_scheduled(ScheduledEvent::Release, ready);
+            }
+            // The VM was charged for its whole lifetime at arrival; take
+            // back the pool GiB-hours it will no longer serve.
+            let remaining = departure_of
+                .get(&mitigation.vm.0)
+                .map_or(0, |&departure| departure.saturating_sub(time));
+            outcome.pool_gib_hours -= mitigation.moved.as_gib_f64() * remaining as f64 / 3600.0;
+        }
+    }
+}
+
+/// Tracks one plane's provisioning peaks after an event. QoS passes move
+/// pool memory local, so arrivals are not the only peak-setters — both
+/// replays call this after *every* event.
+pub(crate) fn track_peaks(
+    plane: &PondControlPlane,
+    outcome: &mut FleetOutcome,
+    peak_local: &mut [Bytes],
+    peak_host_pool: &mut [Bytes],
+    peak_total: &mut [Bytes],
+) {
+    for (i, host) in plane.hosts().iter().enumerate() {
+        let local = host.local_allocated();
+        let host_pool = host.pool_allocated();
+        peak_local[i] = peak_local[i].max(local);
+        peak_host_pool[i] = peak_host_pool[i].max(host_pool);
+        peak_total[i] = peak_total[i].max(local + host_pool);
+    }
+    outcome.pool_peak = outcome.pool_peak.max(plane.pool().pool().assigned_capacity());
 }
 
 /// Replays a trace through the full Pond control plane on the time-ordered
@@ -207,10 +390,7 @@ fn ceil_secs(duration: Duration) -> u64 {
 /// (`NoFeasibleHost`, and `PoolExhausted` when the fallback is disabled).
 pub fn run_fleet(trace: &ClusterTrace, config: &FleetConfig) -> Result<FleetOutcome, PondError> {
     let mut plane = PondControlPlane::new(trace, config.control.clone(), config.seed)?;
-    let scenario = config.control.policy.scenario;
-    let pdm = config.control.policy.pdm;
-    let suite = WorkloadSuite::standard();
-    let spill = SpillModel::default();
+    let accounting = ReplayAccounting::new(&config.control);
 
     let hosts = plane.hosts().len();
     let mut peak_local = vec![Bytes::ZERO; hosts];
@@ -218,6 +398,8 @@ pub fn run_fleet(trace: &ClusterTrace, config: &FleetConfig) -> Result<FleetOutc
     let mut peak_total = vec![Bytes::ZERO; hosts];
     let mut outcome = FleetOutcome::default();
     let mut placed: std::collections::HashSet<usize> = std::collections::HashSet::new();
+    let mut pooled_hosts: std::collections::HashSet<usize> = std::collections::HashSet::new();
+    let mut degraded: u64 = 0;
     let departure_of: std::collections::HashMap<u64, u64> =
         trace.requests.iter().map(|r| (r.id, r.departure())).collect();
 
@@ -229,24 +411,12 @@ pub fn run_fleet(trace: &ClusterTrace, config: &FleetConfig) -> Result<FleetOutc
                 let request = &trace.requests[request_index];
                 match plane.handle_request(request, now) {
                     Ok(summary) => {
-                        outcome.scheduled_vms += 1;
-                        outcome.fallback_all_local += u64::from(summary.fallback_all_local);
+                        accounting.record_placement(&mut outcome, request, &summary);
+                        if !summary.pool.is_zero() {
+                            pooled_hosts.insert(summary.host);
+                        }
                         placed.insert(request_index);
                         events.schedule_departure(request.departure(), request_index);
-
-                        // Ground-truth QoS outcome, via the same spill model
-                        // the cluster simulator uses.
-                        let workload = suite
-                            .at(request.workload_index % suite.len())
-                            .expect("workload index is taken modulo the suite size");
-                        let fraction =
-                            SpillModel::spill_fraction(request.touched_memory(), summary.local);
-                        let slowdown = spill.spill_slowdown(workload, scenario, fraction);
-                        outcome.violations += u64::from(slowdown > pdm);
-
-                        let hours = request.lifetime as f64 / 3600.0;
-                        outcome.pool_gib_hours += summary.pool.as_gib_f64() * hours;
-                        outcome.total_gib_hours += request.memory.as_gib_f64() * hours;
                     }
                     Err(PondError::NoFeasibleHost { .. })
                     | Err(PondError::PoolExhausted { .. }) => {
@@ -269,36 +439,25 @@ pub fn run_fleet(trace: &ClusterTrace, config: &FleetConfig) -> Result<FleetOutc
                 plane.complete_releases(now);
                 outcome.releases_completed += 1;
             }
+            Event::ReconfigDone { .. } => {
+                degraded = degraded.saturating_sub(1);
+                outcome.reconfig_completions += 1;
+            }
             Event::Snapshot { time } => {
                 let pass = plane.run_qos_pass(now);
-                outcome.mitigations += pass.reconfigured;
-                outcome.mitigation_copy_time += pass.copy_time;
-                outcome.qos_passes += 1;
-                for mitigation in pass.mitigated {
-                    if let Some(ready) = mitigation.release_ready {
-                        events.schedule_release(ceil_secs(ready));
-                    }
-                    // The VM was charged for its whole lifetime at arrival;
-                    // take back the pool GiB-hours it will no longer serve.
-                    let remaining = departure_of
-                        .get(&mitigation.vm.0)
-                        .map_or(0, |&departure| departure.saturating_sub(time));
-                    outcome.pool_gib_hours -=
-                        mitigation.moved.as_gib_f64() * remaining as f64 / 3600.0;
-                }
+                accounting.record_qos_pass(
+                    &mut outcome,
+                    pass,
+                    time,
+                    &departure_of,
+                    &mut degraded,
+                    &mut events,
+                    |_, _| {},
+                );
             }
         }
 
-        // Track the provisioning peaks after every event; QoS passes move
-        // pool memory local, so arrivals are not the only peak-setters.
-        for (i, host) in plane.hosts().iter().enumerate() {
-            let local = host.local_allocated();
-            let host_pool = host.pool_allocated();
-            peak_local[i] = peak_local[i].max(local);
-            peak_host_pool[i] = peak_host_pool[i].max(host_pool);
-            peak_total[i] = peak_total[i].max(local + host_pool);
-        }
-        outcome.pool_peak = outcome.pool_peak.max(plane.pool().pool().assigned_capacity());
+        track_peaks(&plane, &mut outcome, &mut peak_local, &mut peak_host_pool, &mut peak_total);
 
         // Conservation of pool accounting, checked at every event in debug
         // builds: free + offlining + pinned must equal the pool's capacity.
@@ -311,7 +470,13 @@ pub fn run_fleet(trace: &ClusterTrace, config: &FleetConfig) -> Result<FleetOutc
         plane.pool().pending_release().is_zero(),
         "every release event must have been delivered and processed"
     );
+    debug_assert_eq!(degraded, 0, "every mitigation copy must have completed as an event");
+    debug_assert_eq!(
+        outcome.reconfig_completions, outcome.mitigations,
+        "one ReconfigDone event per mitigation"
+    );
 
+    outcome.pooled_host_count = pooled_hosts.len() as u64;
     outcome.sum_local_peaks = peak_local.iter().copied().sum();
     outcome.sum_host_pool_peaks = peak_host_pool.iter().copied().sum();
     outcome.sum_total_peaks = peak_total.iter().copied().sum();

@@ -11,6 +11,8 @@
 //! * §4.3 control-plane workflow (Figure 11) → [`control_plane`]
 //! * §6.5 whole-fleet trace replay (Figures 19–20) → [`fleet`] (the control
 //!   plane driven by `cluster-sim`'s time-ordered event core)
+//! * §4.1 pool grouping at fleet scale → [`multipool`] (N pool groups on one
+//!   event queue, pod topologies, group-aware scheduling)
 //! * §4.4 latency-insensitivity model (Figure 12) → [`sensitivity`]
 //! * §4.4 untouched-memory model (Figure 14) → [`untouched`]
 //! * §4.4 Eq. (1) parameterization → [`combined`]
@@ -40,6 +42,7 @@ pub mod combined;
 pub mod control_plane;
 pub mod error;
 pub mod fleet;
+pub mod multipool;
 pub mod policy;
 pub mod pool_manager;
 pub mod qos;
@@ -49,6 +52,10 @@ pub mod untouched;
 pub use combined::{CombinedModel, CombinedModelConfig};
 pub use error::PondError;
 pub use fleet::{fleet_pool_sweep, fleet_pool_sweep_with, run_fleet, FleetConfig, FleetOutcome};
+pub use multipool::{
+    multipool_sweep, run_multipool_fleet, GroupScheduler, GroupSchedulerKind, MultiPoolConfig,
+    MultiPoolOutcome, MultiPoolSweepPoint, MultiPoolSweepSpec,
+};
 pub use policy::{PondPolicy, PondPolicyConfig};
 pub use pool_manager::PondPoolManager;
 pub use qos::{QosDecision, QosMonitor};

@@ -1,0 +1,707 @@
+//! The sharded multi-pool fleet: pool groups, pod topologies, and a
+//! group-aware scheduler.
+//!
+//! Pond evaluates one pool per 8–64 sockets, but a real fleet is many pods,
+//! and the DRAM savings depend on how hosts are *sharded* across pools, not
+//! just on the pool size. This module shards a fleet into N pool groups —
+//! each owning its own [`PondControlPlane`] (hosts + pool + QoS state) — on
+//! top of a [`PoolGroupTopology`] built from `cxl_hw::topology`: symmetric
+//! pods (every host reaches exactly its home pool) or Octopus-style sparse
+//! rings (each pod's hosts also reach the next pod's pool).
+//!
+//! A [`GroupScheduler`] chooses a home group per arriving VM; placement then
+//! runs a fixed fallback ladder over the home pod's *reachable* groups:
+//!
+//! 1. **Pooled, home group** — the full Figure 13 prediction pipeline.
+//! 2. **Pooled, reachable neighbours** — the cross-group fallback: under an
+//!    overlapping topology the VM's pod can borrow capacity from the
+//!    neighbouring pool it is wired to.
+//! 3. **All-local, reachable groups in the same order** — the last rung,
+//!    mirroring the production scheduler's all-local fallback; it runs only
+//!    when `ControlPlaneConfig::fallback_all_local` is on, exactly like the
+//!    single-pool replay.
+//! 4. Rejection.
+//!
+//! Modeling note: because each group bundles hosts *and* pool in one
+//! control plane, the cross-group rung re-homes the VM to the neighbouring
+//! pod entirely (its hosts and its pool) — a pod-granular approximation of
+//! a boundary host borrowing the neighbour's pool. The extra latency and
+//! the port cost of true cross-pod slice ownership are not modeled yet
+//! (ROADMAP: "richer pod graphs").
+//!
+//! All groups run on the *single* time-ordered [`EventQueue`]: one merged
+//! stream of
+//! arrivals, departures, per-group release completions, reconfiguration
+//! completions, and QoS ticks. After every event, per-group pool-accounting
+//! conservation is debug-asserted
+//! ([`PondControlPlane::assert_pool_conserved`]) along with the fleet-wide
+//! invariant ([`assert_fleet_conserved`]): summed over groups, every slice
+//! is exactly one of free, pinned, or mid-offlining.
+//!
+//! With a single group, [`run_multipool_fleet`] reproduces
+//! [`run_fleet`](crate::fleet::run_fleet) bit for bit — the ladder above
+//! degenerates to exactly the control plane's internal fallback — which the
+//! integration suite checks outcome-for-outcome.
+
+use crate::control_plane::{ControlPlaneConfig, PondControlPlane};
+use crate::error::PondError;
+use crate::fleet::{
+    ceil_secs, track_peaks, FleetConfig, FleetOutcome, ReplayAccounting, ScheduledEvent,
+};
+use crate::policy::PondPolicy;
+use cluster_sim::event::{Event, EventQueue};
+use cluster_sim::sweep;
+use cluster_sim::trace::{ClusterTrace, VmRequest};
+use cxl_hw::topology::{PodStyle, PoolGroupTopology};
+use cxl_hw::units::Bytes;
+use hypervisor_sim::vm::VmId;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
+use std::time::Duration;
+
+/// A per-arrival snapshot of one pool group, offered to [`GroupScheduler`]s.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GroupView {
+    /// Free pool-buffer capacity the group could online right now.
+    pub pool_free: Bytes,
+    /// Largest free local DRAM on any host of the group.
+    pub most_free_host: Bytes,
+    /// Free local DRAM of the *tightest* host that still fits the arriving
+    /// VM's full memory, if any host does.
+    pub tightest_feasible: Option<Bytes>,
+    /// VMs currently running in the group.
+    pub running_vms: usize,
+}
+
+impl GroupView {
+    fn of(plane: &PondControlPlane, request: &VmRequest) -> GroupView {
+        let mut most_free = Bytes::ZERO;
+        let mut tightest: Option<Bytes> = None;
+        for host in plane.hosts() {
+            let free = host.local_free();
+            most_free = most_free.max(free);
+            if free >= request.memory && tightest.is_none_or(|t| free < t) {
+                tightest = Some(free);
+            }
+        }
+        GroupView {
+            pool_free: plane.pool().available(),
+            most_free_host: most_free,
+            tightest_feasible: tightest,
+            running_vms: plane.running_vms(),
+        }
+    }
+}
+
+/// Chooses the home pool group for every arriving VM.
+///
+/// Implementations may keep state (round-robin cursors, learned load);
+/// [`run_multipool_fleet`] calls [`GroupScheduler::choose`] once per
+/// arrival, in event order, so stateful schedulers see a deterministic
+/// sequence.
+pub trait GroupScheduler {
+    /// Picks the home group for `request`. `views` holds one snapshot per
+    /// group; the returned index must be within `views`.
+    fn choose(&mut self, request: &VmRequest, views: &[GroupView]) -> usize;
+
+    /// Human-readable scheduler name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// Spreads arrivals across groups in rotation, ignoring load.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RoundRobinScheduler {
+    next: usize,
+}
+
+impl GroupScheduler for RoundRobinScheduler {
+    fn choose(&mut self, _request: &VmRequest, views: &[GroupView]) -> usize {
+        let group = self.next % views.len();
+        self.next = self.next.wrapping_add(1);
+        group
+    }
+
+    fn name(&self) -> &'static str {
+        "round-robin"
+    }
+}
+
+/// Sends every VM to the group whose pool buffer has the most free capacity
+/// (ties: lowest group index) — pool-pressure balancing.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MostFreePoolScheduler;
+
+impl GroupScheduler for MostFreePoolScheduler {
+    fn choose(&mut self, _request: &VmRequest, views: &[GroupView]) -> usize {
+        views
+            .iter()
+            .enumerate()
+            .min_by_key(|(i, v)| (std::cmp::Reverse(v.pool_free.as_u64()), *i))
+            .map(|(i, _)| i)
+            .expect("at least one group")
+    }
+
+    fn name(&self) -> &'static str {
+        "most-free-pool"
+    }
+}
+
+/// Locality/tightest-fit: packs VMs into the group whose tightest feasible
+/// host leaves the least DRAM slack (mirroring the host-level best-fit
+/// preference), keeping loosely loaded pods free for large VMs. Groups with
+/// no host fitting the VM's full memory are considered last, by most free
+/// host DRAM.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TightestFitScheduler;
+
+impl GroupScheduler for TightestFitScheduler {
+    fn choose(&mut self, _request: &VmRequest, views: &[GroupView]) -> usize {
+        views
+            .iter()
+            .enumerate()
+            .min_by_key(|(i, v)| match v.tightest_feasible {
+                // Feasible groups first, tightest fit first, lowest index.
+                Some(free) => (0u8, free.as_u64(), *i),
+                // Infeasible groups: the most headroom is the least bad.
+                None => (1u8, u64::MAX - v.most_free_host.as_u64(), *i),
+            })
+            .map(|(i, _)| i)
+            .expect("at least one group")
+    }
+
+    fn name(&self) -> &'static str {
+        "tightest-fit"
+    }
+}
+
+/// The built-in group-scheduling strategies, selectable from configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum GroupSchedulerKind {
+    /// [`RoundRobinScheduler`].
+    RoundRobin,
+    /// [`MostFreePoolScheduler`].
+    MostFreePool,
+    /// [`TightestFitScheduler`].
+    TightestFit,
+}
+
+impl GroupSchedulerKind {
+    /// All built-in strategies, in sweep order.
+    pub const ALL: [GroupSchedulerKind; 3] = [
+        GroupSchedulerKind::RoundRobin,
+        GroupSchedulerKind::MostFreePool,
+        GroupSchedulerKind::TightestFit,
+    ];
+
+    /// Instantiates the strategy.
+    pub fn build(self) -> Box<dyn GroupScheduler> {
+        match self {
+            GroupSchedulerKind::RoundRobin => Box::new(RoundRobinScheduler::default()),
+            GroupSchedulerKind::MostFreePool => Box::new(MostFreePoolScheduler),
+            GroupSchedulerKind::TightestFit => Box::new(TightestFitScheduler),
+        }
+    }
+
+    /// The strategy's report name (delegates to the instance, so each
+    /// name literal exists in exactly one place).
+    pub fn name(self) -> &'static str {
+        match self {
+            GroupSchedulerKind::RoundRobin => RoundRobinScheduler::default().name(),
+            GroupSchedulerKind::MostFreePool => MostFreePoolScheduler.name(),
+            GroupSchedulerKind::TightestFit => TightestFitScheduler.name(),
+        }
+    }
+}
+
+/// Configuration of a sharded multi-pool fleet replay.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MultiPoolConfig {
+    /// Pod style: symmetric shards or Octopus-style overlapping rings.
+    pub pod: PodStyle,
+    /// Number of pool groups the fleet is sharded into.
+    pub groups: u16,
+    /// Fleet-wide control-plane template: `hosts` is the total host count
+    /// and `pool_capacity` the total pool DRAM; both are split into
+    /// contiguous pod shares differing by at most one host / one 1 GiB
+    /// slice (earlier pods get the remainder), so the modeled totals are
+    /// identical across group counts. Policy, QoS, and latency knobs apply
+    /// to every group.
+    pub control: ControlPlaneConfig,
+    /// The group-scheduling strategy.
+    pub scheduler: GroupSchedulerKind,
+    /// Seconds between QoS passes (`0` disables monitoring).
+    pub qos_interval: u64,
+    /// Seed for model training and telemetry sampling.
+    pub seed: u64,
+}
+
+impl MultiPoolConfig {
+    /// A multi-pool fleet sized to a trace, mirroring
+    /// [`FleetConfig::for_trace`] and then sharding it into `groups` pods:
+    /// with `groups == 1` the derived per-group control plane is *identical*
+    /// to the single-pool fleet's, which is what makes the bit-for-bit
+    /// equivalence test possible.
+    pub fn for_trace(
+        trace: &ClusterTrace,
+        pod: PodStyle,
+        groups: u16,
+        pool_fraction: f64,
+        scheduler: GroupSchedulerKind,
+        seed: u64,
+    ) -> Self {
+        let fleet = FleetConfig::for_trace(trace, pool_fraction, seed);
+        MultiPoolConfig {
+            pod,
+            groups,
+            control: fleet.control,
+            scheduler,
+            qos_interval: fleet.qos_interval,
+            seed,
+        }
+    }
+
+    /// Builds the [`PoolGroupTopology`] this configuration describes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates invalid shapes (zero groups, more groups than hosts or
+    /// than pool slices, unsupported per-group pool size) from the hardware
+    /// layer.
+    pub fn group_topology(&self) -> Result<PoolGroupTopology, PondError> {
+        Ok(PoolGroupTopology::new(
+            self.pod,
+            self.groups,
+            self.control.hosts,
+            self.control.pool_sockets,
+            self.control.pool_capacity,
+        )?)
+    }
+}
+
+/// Aggregated results of one multi-pool fleet replay.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MultiPoolOutcome {
+    /// Fleet-wide aggregate. Summable fields are sums over groups;
+    /// `pool_peak` is the sum of per-group pool peaks (each pool provisions
+    /// for its own peak); `qos_passes`, `releases_completed`, and
+    /// `reconfig_completions` count events on the shared queue. With one
+    /// group this equals [`run_fleet`](crate::fleet::run_fleet)'s outcome
+    /// bit for bit.
+    pub fleet: FleetOutcome,
+    /// Per-group breakdown, indexed by group.
+    pub per_group: Vec<FleetOutcome>,
+    /// Placements that landed outside their scheduler-chosen home group
+    /// (the cross-group fallback, pooled or all-local).
+    pub cross_group_placements: u64,
+    /// Name of the scheduling strategy that ran.
+    pub scheduler: String,
+    /// The pod style that ran.
+    pub pod: PodStyle,
+}
+
+/// Checks the fleet-wide slice-conservation invariant across all groups:
+/// summed over planes, `free + offlining + pinned == capacity`, on top of
+/// each plane's own conservation assert.
+///
+/// # Panics
+///
+/// Panics when any per-group or the fleet-wide invariant is violated.
+pub fn assert_fleet_conserved(planes: &[PondControlPlane]) {
+    let mut accounted = Bytes::ZERO;
+    let mut total = Bytes::ZERO;
+    for plane in planes {
+        plane.assert_pool_conserved();
+        accounted +=
+            plane.pool().available() + plane.pool().pending_release() + plane.pinned_pool();
+        total += plane.pool().pool().total_capacity();
+    }
+    assert_eq!(accounted, total, "fleet-wide slice conservation across {} groups", planes.len());
+}
+
+/// FIFO attribution of shared-queue events back to the group that scheduled
+/// them: release and reconfiguration events carry only a time, so each
+/// schedule records `(time → group)` and each pop consumes the front entry
+/// at that time.
+#[derive(Debug, Default)]
+struct EventAttribution {
+    by_time: BTreeMap<u64, VecDeque<usize>>,
+}
+
+impl EventAttribution {
+    fn push(&mut self, time: u64, group: usize) {
+        self.by_time.entry(time).or_default().push_back(group);
+    }
+
+    fn pop(&mut self, time: u64) -> usize {
+        let queue = self.by_time.get_mut(&time).expect("event was scheduled with attribution");
+        let group = queue.pop_front().expect("one attribution per scheduled event");
+        if queue.is_empty() {
+            self.by_time.remove(&time);
+        }
+        group
+    }
+}
+
+/// Replays a trace through N pool groups on one time-ordered event queue and
+/// returns per-group and fleet-wide outcomes.
+///
+/// The prediction models are trained once and cloned into every group's
+/// control plane (each group then learns its own online customer history
+/// from the departures it sees).
+///
+/// # Errors
+///
+/// Propagates topology/construction failures and any error other than the
+/// expected placement failures.
+pub fn run_multipool_fleet(
+    trace: &ClusterTrace,
+    config: &MultiPoolConfig,
+) -> Result<MultiPoolOutcome, PondError> {
+    let topology = config.group_topology()?;
+    let groups = topology.group_count();
+    let policy = PondPolicy::train(trace, &config.control.policy, config.seed);
+    let mut planes = Vec::with_capacity(groups);
+    for g in 0..groups {
+        let group_config = ControlPlaneConfig {
+            hosts: topology.hosts_in(g),
+            pool_capacity: topology.pool(g).total_capacity(),
+            ..config.control.clone()
+        };
+        planes.push(PondControlPlane::with_policy(group_config, policy.clone())?);
+    }
+    let mut scheduler = config.scheduler.build();
+    let accounting = ReplayAccounting::new(&config.control);
+
+    let mut per_group: Vec<FleetOutcome> = vec![FleetOutcome::default(); groups];
+    let mut peak_local: Vec<Vec<Bytes>> =
+        planes.iter().map(|p| vec![Bytes::ZERO; p.hosts().len()]).collect();
+    let mut peak_host_pool = peak_local.clone();
+    let mut peak_total = peak_local.clone();
+    let mut pooled_hosts: Vec<HashSet<usize>> = vec![HashSet::new(); groups];
+    let mut degraded_of: Vec<u64> = vec![0; groups];
+
+    let mut cross_group_placements = 0u64;
+    let mut snapshot_ticks = 0u64;
+    let mut degraded_fleet = 0u64;
+    let mut peak_degraded_fleet = 0u64;
+
+    let mut group_of_vm: HashMap<usize, usize> = HashMap::new();
+    let mut release_attribution = EventAttribution::default();
+    let mut reconfig_attribution = EventAttribution::default();
+    let departure_of: HashMap<u64, u64> =
+        trace.requests.iter().map(|r| (r.id, r.departure())).collect();
+
+    let mut events = EventQueue::new(trace, config.qos_interval);
+    while let Some(event) = events.next_event() {
+        let now = Duration::from_secs(event.time());
+        match event {
+            Event::Arrival { request_index, .. } => {
+                let request = &trace.requests[request_index];
+                let views: Vec<GroupView> =
+                    planes.iter().map(|p| GroupView::of(p, request)).collect();
+                let home = scheduler.choose(request, &views);
+                assert!(home < groups, "scheduler chose group {home} of {groups}");
+                let order = topology.reachable(home);
+
+                // The fallback ladder: pooled in home, pooled in reachable
+                // neighbours (cross-group), then — only when the config
+                // enables it, exactly like `run_fleet` — all-local in the
+                // same order.
+                let mut placed = None;
+                for &g in order {
+                    match planes[g].handle_request_pooled(request, now) {
+                        Ok(summary) => {
+                            placed = Some((g, summary));
+                            break;
+                        }
+                        Err(PondError::PoolExhausted { .. })
+                        | Err(PondError::NoFeasibleHost { .. }) => {}
+                        Err(other) => return Err(other),
+                    }
+                }
+                if placed.is_none() && config.control.fallback_all_local {
+                    for &g in order {
+                        match planes[g].handle_request_all_local(request, now) {
+                            Ok(summary) => {
+                                placed = Some((g, summary));
+                                break;
+                            }
+                            Err(PondError::NoFeasibleHost { .. }) => {}
+                            Err(other) => return Err(other),
+                        }
+                    }
+                }
+
+                let Some((group, summary)) = placed else {
+                    per_group[home].rejected_vms += 1;
+                    continue;
+                };
+                cross_group_placements += u64::from(group != home);
+                accounting.record_placement(&mut per_group[group], request, &summary);
+                if !summary.pool.is_zero() {
+                    pooled_hosts[group].insert(summary.host);
+                }
+                group_of_vm.insert(request_index, group);
+                events.schedule_departure(request.departure(), request_index);
+            }
+            Event::Departure { request_index, .. } => {
+                if let Some(group) = group_of_vm.remove(&request_index) {
+                    let vm = VmId(trace.requests[request_index].id);
+                    if let Some(ready) = planes[group].handle_departure(vm, now)? {
+                        let time = ceil_secs(ready);
+                        events.schedule_release(time);
+                        release_attribution.push(time, group);
+                    }
+                }
+            }
+            Event::Release { time } => {
+                let group = release_attribution.pop(time);
+                planes[group].complete_releases(now);
+                per_group[group].releases_completed += 1;
+            }
+            Event::ReconfigDone { time } => {
+                let group = reconfig_attribution.pop(time);
+                degraded_of[group] = degraded_of[group].saturating_sub(1);
+                per_group[group].reconfig_completions += 1;
+                degraded_fleet = degraded_fleet.saturating_sub(1);
+            }
+            Event::Snapshot { time } => {
+                snapshot_ticks += 1;
+                for (group, plane) in planes.iter_mut().enumerate() {
+                    let pass = plane.run_qos_pass(now);
+                    accounting.record_qos_pass(
+                        &mut per_group[group],
+                        pass,
+                        time,
+                        &departure_of,
+                        &mut degraded_of[group],
+                        &mut events,
+                        |kind, at| match kind {
+                            ScheduledEvent::ReconfigDone => {
+                                reconfig_attribution.push(at, group);
+                                degraded_fleet += 1;
+                                peak_degraded_fleet = peak_degraded_fleet.max(degraded_fleet);
+                            }
+                            ScheduledEvent::Release => release_attribution.push(at, group),
+                        },
+                    );
+                }
+            }
+        }
+
+        // Provisioning peaks after every event, per group.
+        for (group, plane) in planes.iter().enumerate() {
+            track_peaks(
+                plane,
+                &mut per_group[group],
+                &mut peak_local[group],
+                &mut peak_host_pool[group],
+                &mut peak_total[group],
+            );
+        }
+
+        // Per-group + fleet-wide conservation, checked at every event in
+        // debug builds.
+        #[cfg(debug_assertions)]
+        assert_fleet_conserved(&planes);
+    }
+
+    for (group, plane) in planes.iter().enumerate() {
+        debug_assert_eq!(plane.running_vms(), 0, "group {group}: every VM must have departed");
+        debug_assert!(
+            plane.pool().pending_release().is_zero(),
+            "group {group}: every release event must have been delivered"
+        );
+        debug_assert_eq!(degraded_of[group], 0, "group {group}: every copy must have completed");
+    }
+
+    for group in 0..groups {
+        let outcome = &mut per_group[group];
+        outcome.pooled_host_count = pooled_hosts[group].len() as u64;
+        outcome.sum_local_peaks = peak_local[group].iter().copied().sum();
+        outcome.sum_host_pool_peaks = peak_host_pool[group].iter().copied().sum();
+        outcome.sum_total_peaks = peak_total[group].iter().copied().sum();
+    }
+
+    // The aggregate absorbs every per-group outcome field by field (release,
+    // reconfig, and rejection counts are attributed to exactly one group, so
+    // their sums equal the event totals), then overwrites the two
+    // non-additive fields: shared snapshot ticks and the fleet-wide peak.
+    let mut fleet = FleetOutcome::default();
+    for outcome in &per_group {
+        fleet.absorb(outcome);
+    }
+    fleet.qos_passes = snapshot_ticks;
+    fleet.peak_degraded_vms = peak_degraded_fleet;
+
+    Ok(MultiPoolOutcome {
+        fleet,
+        per_group,
+        cross_group_placements,
+        scheduler: scheduler.name().to_string(),
+        pod: config.pod,
+    })
+}
+
+/// One cell of a (pod style × group count × pool fraction × scheduler) grid.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MultiPoolSweepSpec {
+    /// Pod style for this cell.
+    pub pod: PodStyle,
+    /// Number of pool groups.
+    pub groups: u16,
+    /// Pool capacity as a fraction of the fleet's DRAM.
+    pub pool_fraction: f64,
+    /// Scheduling strategy.
+    pub scheduler: GroupSchedulerKind,
+}
+
+/// One completed cell of a multi-pool sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MultiPoolSweepPoint {
+    /// The grid cell that ran.
+    pub spec: MultiPoolSweepSpec,
+    /// The full replay outcome for that cell.
+    pub outcome: MultiPoolOutcome,
+}
+
+/// Sweeps a (pod × groups × pool fraction × scheduler) grid over one trace
+/// on the parallel [`sweep`] runner. Results come back in `specs` order and
+/// each cell is deterministic for a fixed `(trace, seed)`, so the whole
+/// sweep is reproducible bit for bit — including between
+/// `POND_SWEEP_THREADS=1` and the default thread count.
+///
+/// # Errors
+///
+/// Propagates the first replay error in sweep order.
+pub fn multipool_sweep(
+    trace: &ClusterTrace,
+    specs: &[MultiPoolSweepSpec],
+    seed: u64,
+) -> Result<Vec<MultiPoolSweepPoint>, PondError> {
+    let results = sweep::parallel_map(specs, |_, &spec| {
+        let config = MultiPoolConfig::for_trace(
+            trace,
+            spec.pod,
+            spec.groups,
+            spec.pool_fraction,
+            spec.scheduler,
+            seed,
+        );
+        run_multipool_fleet(trace, &config).map(|outcome| MultiPoolSweepPoint { spec, outcome })
+    });
+    results.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cluster_sim::tracegen::{ClusterConfig, TraceGenerator};
+
+    fn small_trace() -> ClusterTrace {
+        TraceGenerator::new(ClusterConfig::small(), 1).generate(0)
+    }
+
+    fn config(pod: PodStyle, groups: u16, scheduler: GroupSchedulerKind) -> MultiPoolConfig {
+        MultiPoolConfig::for_trace(&small_trace(), pod, groups, 0.20, scheduler, 7)
+    }
+
+    #[test]
+    fn four_symmetric_groups_replay_with_conservation() {
+        let trace = small_trace();
+        let outcome = run_multipool_fleet(
+            &trace,
+            &config(PodStyle::Symmetric, 4, GroupSchedulerKind::RoundRobin),
+        )
+        .unwrap();
+        assert_eq!(outcome.per_group.len(), 4);
+        assert!(outcome.fleet.scheduled_vms > 0);
+        assert!(outcome.fleet.pool_dram_fraction() > 0.0);
+        // Round-robin spreads work: every group schedules something.
+        for group in &outcome.per_group {
+            assert!(group.scheduled_vms > 0, "{outcome:?}");
+        }
+        // Symmetric pods have no cross-group reach.
+        assert_eq!(outcome.cross_group_placements, 0);
+        assert_eq!(outcome.scheduler, "round-robin");
+        // The aggregate is the sum of the per-group breakdowns.
+        let scheduled: u64 = outcome.per_group.iter().map(|g| g.scheduled_vms).sum();
+        assert_eq!(outcome.fleet.scheduled_vms, scheduled);
+        let pool_peak: Bytes = outcome.per_group.iter().map(|g| g.pool_peak).sum();
+        assert_eq!(outcome.fleet.pool_peak, pool_peak);
+    }
+
+    #[test]
+    fn octopus_reach_enables_cross_group_placements() {
+        let trace = small_trace();
+        // Tiny pools force pool exhaustion in the home group, which the
+        // octopus ring can absorb by borrowing the neighbour's pool.
+        let mut symmetric = config(PodStyle::Symmetric, 4, GroupSchedulerKind::RoundRobin);
+        symmetric.control.pool_capacity = Bytes::from_gib(16);
+        let mut octopus = symmetric.clone();
+        octopus.pod = PodStyle::Octopus;
+        let sym = run_multipool_fleet(&trace, &symmetric).unwrap();
+        let oct = run_multipool_fleet(&trace, &octopus).unwrap();
+        assert_eq!(sym.cross_group_placements, 0);
+        assert!(oct.cross_group_placements > 0, "octopus must borrow: {oct:?}");
+        assert_eq!(oct.pod, PodStyle::Octopus);
+        // Borrowing only ever happens under pool pressure: every cross-group
+        // placement corresponds to a home group that could not serve the
+        // VM, so the fleet still schedules essentially everything.
+        assert!(oct.fleet.scheduled_vms > 0);
+        assert!(
+            oct.fleet.scheduled_vms + oct.fleet.rejected_vms
+                == sym.fleet.scheduled_vms + sym.fleet.rejected_vms,
+            "both topologies see the same arrival stream"
+        );
+    }
+
+    #[test]
+    fn schedulers_are_deterministic_and_distinct() {
+        let trace = small_trace();
+        let mut outcomes = Vec::new();
+        for kind in GroupSchedulerKind::ALL {
+            let a = run_multipool_fleet(&trace, &config(PodStyle::Symmetric, 4, kind)).unwrap();
+            let b = run_multipool_fleet(&trace, &config(PodStyle::Symmetric, 4, kind)).unwrap();
+            assert_eq!(a, b, "{kind:?} must be deterministic");
+            assert_eq!(a.scheduler, kind.name());
+            outcomes.push(a);
+        }
+        // The strategies genuinely schedule differently on this trace.
+        assert!(
+            outcomes.windows(2).any(|pair| pair[0].per_group != pair[1].per_group),
+            "all three schedulers produced identical group loads"
+        );
+    }
+
+    #[test]
+    fn group_views_reflect_plane_state() {
+        let trace = small_trace();
+        let cfg = config(PodStyle::Symmetric, 2, GroupSchedulerKind::MostFreePool);
+        let topology = cfg.group_topology().unwrap();
+        assert_eq!(topology.group_count(), 2);
+        let policy = PondPolicy::train(&trace, &cfg.control.policy, cfg.seed);
+        let plane = PondControlPlane::with_policy(
+            ControlPlaneConfig {
+                hosts: topology.hosts_in(0),
+                pool_capacity: topology.pool(0).total_capacity(),
+                ..cfg.control.clone()
+            },
+            policy,
+        )
+        .unwrap();
+        let view = GroupView::of(&plane, &trace.requests[0]);
+        assert_eq!(view.pool_free, topology.pool(0).total_capacity());
+        assert_eq!(view.running_vms, 0);
+        assert_eq!(view.most_free_host, plane.hosts()[0].local_free());
+        assert!(view.tightest_feasible.is_some());
+    }
+
+    #[test]
+    fn invalid_shapes_are_rejected() {
+        let trace = small_trace();
+        // More groups than hosts (the small trace has 16 servers).
+        let bad = config(PodStyle::Symmetric, 64, GroupSchedulerKind::RoundRobin);
+        assert!(run_multipool_fleet(&trace, &bad).is_err());
+    }
+}

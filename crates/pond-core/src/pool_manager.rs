@@ -79,6 +79,14 @@ impl PondPoolManager {
         self.pool.free_capacity()
     }
 
+    /// Free buffer capacity a specific host can actually reach: only EMCs
+    /// the host is attached to, or that still have a free CXL port, count.
+    /// A pool whose ports are all held by other hosts is exhausted from this
+    /// host's view even when slices are free.
+    pub fn available_for(&self, host: HostId) -> Bytes {
+        self.pool.free_capacity_for(host)
+    }
+
     /// Capacity still tied up in releases that have not completed.
     pub fn pending_release(&self) -> Bytes {
         Bytes::from_gib(self.pending.iter().map(|p| p.slices.len() as u64).sum::<u64>())
@@ -92,13 +100,15 @@ impl PondPoolManager {
     /// Allocates pool capacity for a VM start at time `now`.
     ///
     /// Onlining is fast, so the call succeeds immediately as long as the
-    /// buffer holds enough *already-free* capacity; capacity still offlining
-    /// does not count (that is exactly why the buffer exists).
+    /// buffer holds enough *already-free* capacity on EMCs this host can
+    /// reach; capacity still offlining does not count (that is exactly why
+    /// the buffer exists), and neither does capacity behind ports held
+    /// exclusively by other hosts.
     ///
     /// # Errors
     ///
-    /// Returns [`PondError::PoolExhausted`] if the free buffer cannot cover
-    /// the request.
+    /// Returns [`PondError::PoolExhausted`] if the host-reachable free
+    /// buffer cannot cover the request.
     pub fn allocate(
         &mut self,
         host: HostId,
@@ -109,10 +119,12 @@ impl PondPoolManager {
         if amount.is_zero() {
             return Ok(Vec::new());
         }
-        if self.available() < Bytes::from_gib(amount.slices_ceil()) {
+        if self.available_for(host) < Bytes::from_gib(amount.slices_ceil()) {
             return Err(PondError::PoolExhausted {
                 detail: format!(
-                    "requested {amount}, buffer holds {}, {} still offlining",
+                    "requested {amount}, buffer holds {} reachable by {host} \
+                     ({} pool-wide, {} still offlining)",
+                    self.available_for(host),
                     self.available(),
                     self.pending_release()
                 ),
@@ -243,6 +255,36 @@ mod tests {
         assert!(p50 > 1.0, "offlining rate {p50} GiB/s");
         assert!(m.release_rate_percentile(1.0).unwrap() >= p50);
         assert!(manager().release_rate_percentile(0.5).is_none());
+    }
+
+    #[test]
+    fn a_long_sequence_cycles_more_hosts_than_ports_through_the_pool() {
+        // Regression for the host-port lifecycle: the default 16-socket pool
+        // has 16 CXL ports, but 24 hosts can share it over time because a
+        // drained host's port detaches when its last slice finishes
+        // offlining. Before detach existed, host 16 failed to attach.
+        let mut m = manager();
+        for h in 0..24u16 {
+            let t = Duration::from_secs(u64::from(h) * 100);
+            let slices = m.allocate(HostId(h), Bytes::from_gib(4), t).unwrap();
+            let ready = m.release_async(HostId(h), slices, t).unwrap().unwrap();
+            assert_eq!(m.process_releases(ready), Bytes::from_gib(4));
+        }
+        assert_eq!(m.available(), Bytes::from_gib(64));
+    }
+
+    #[test]
+    fn concurrent_port_exhaustion_is_pool_exhaustion() {
+        // All 16 ports held with live slices: a 17th host sees an exhausted
+        // pool even though free slices remain.
+        let mut m = manager();
+        for h in 0..16u16 {
+            m.allocate(HostId(h), Bytes::from_gib(1), Duration::ZERO).unwrap();
+        }
+        assert!(m.available() > Bytes::ZERO);
+        assert_eq!(m.available_for(HostId(16)), Bytes::ZERO);
+        let err = m.allocate(HostId(16), Bytes::from_gib(1), Duration::ZERO).unwrap_err();
+        assert!(matches!(err, PondError::PoolExhausted { .. }));
     }
 
     #[test]

@@ -1,0 +1,166 @@
+//! Integration tests for the sharded multi-pool fleet: a single group must
+//! reproduce the single-pool fleet replay bit for bit, multi-group replays
+//! must conserve pool accounting per group and fleet-wide at every event
+//! (debug-asserted inside the run loop), sweeps must be deterministic on the
+//! parallel runner, and the host-port lifecycle must let a long trace cycle
+//! more hosts through a pool than the pool has CXL ports.
+
+use cluster_sim::sweep;
+use cluster_sim::tracegen::{ClusterConfig, TraceGenerator};
+use cluster_sim::ClusterTrace;
+use cxl_hw::topology::PodStyle;
+use cxl_hw::units::Bytes;
+use pond_core::fleet::{run_fleet, FleetConfig};
+use pond_core::multipool::{
+    multipool_sweep, run_multipool_fleet, GroupSchedulerKind, MultiPoolConfig, MultiPoolSweepSpec,
+};
+
+fn small_trace() -> ClusterTrace {
+    TraceGenerator::new(ClusterConfig::small(), 1).generate(0)
+}
+
+/// With one group, `run_multipool_fleet` and `run_fleet` drive the same
+/// control plane through the same event stream with the same fallback
+/// ladder, so every field of the outcome — placements, rejections,
+/// violations, peaks, GiB-hours, event counts — must agree bit for bit, and
+/// the single group's breakdown must equal the fleet aggregate.
+#[test]
+fn single_group_multipool_reproduces_run_fleet_bit_for_bit() {
+    let trace = small_trace();
+    for (pod, scheduler, fallback) in [
+        (PodStyle::Symmetric, GroupSchedulerKind::RoundRobin, true),
+        (PodStyle::Symmetric, GroupSchedulerKind::TightestFit, true),
+        (PodStyle::Octopus, GroupSchedulerKind::MostFreePool, true),
+        // With the all-local fallback off, both replays must reject the
+        // same pool-exhausted VMs instead of placing them.
+        (PodStyle::Symmetric, GroupSchedulerKind::RoundRobin, false),
+    ] {
+        let mut fleet_config = FleetConfig::for_trace(&trace, 0.20, 7);
+        fleet_config.control.fallback_all_local = fallback;
+        let fleet_outcome = run_fleet(&trace, &fleet_config).unwrap();
+        let mut config = MultiPoolConfig::for_trace(&trace, pod, 1, 0.20, scheduler, 7);
+        config.control.fallback_all_local = fallback;
+        let multi = run_multipool_fleet(&trace, &config).unwrap();
+        assert_eq!(
+            multi.fleet, fleet_outcome,
+            "{pod:?}/{scheduler:?}/fallback={fallback}: one group must reproduce the \
+             single-pool replay exactly"
+        );
+        assert_eq!(multi.per_group.len(), 1);
+        assert_eq!(multi.per_group[0], fleet_outcome);
+        assert_eq!(multi.cross_group_placements, 0);
+    }
+}
+
+/// A 4-group replay exercises every mutation path (scheduling, cross-group
+/// fallback, mitigation, async release, reconfiguration completion) under
+/// the per-event per-group + fleet-wide conservation debug-asserts inside
+/// `run_multipool_fleet`; finishing without a panic *is* the invariant, and
+/// the end state must be fully drained and internally consistent.
+#[test]
+fn multi_group_replay_conserves_accounting_per_group_and_fleet_wide() {
+    let trace = small_trace();
+    for pod in [PodStyle::Symmetric, PodStyle::Octopus] {
+        let config =
+            MultiPoolConfig::for_trace(&trace, pod, 4, 0.20, GroupSchedulerKind::RoundRobin, 7);
+        let outcome = run_multipool_fleet(&trace, &config).unwrap();
+        assert_eq!(outcome.per_group.len(), 4);
+        assert!(outcome.fleet.scheduled_vms > 0);
+        assert!(outcome.fleet.qos_passes > 0);
+        assert!(outcome.fleet.releases_completed > 0);
+        // One ReconfigDone event per mitigation, all delivered.
+        assert_eq!(outcome.fleet.reconfig_completions, outcome.fleet.mitigations);
+        // Aggregates are sums of the per-group breakdowns.
+        for (field, fleet_value) in [
+            (
+                outcome.per_group.iter().map(|g| g.scheduled_vms).sum::<u64>(),
+                outcome.fleet.scheduled_vms,
+            ),
+            (
+                outcome.per_group.iter().map(|g| g.mitigations).sum::<u64>(),
+                outcome.fleet.mitigations,
+            ),
+            (
+                outcome.per_group.iter().map(|g| g.releases_completed).sum::<u64>(),
+                outcome.fleet.releases_completed,
+            ),
+            (
+                outcome.per_group.iter().map(|g| g.pooled_host_count).sum::<u64>(),
+                outcome.fleet.pooled_host_count,
+            ),
+        ] {
+            assert_eq!(field, fleet_value, "{pod:?}");
+        }
+        let pool_peak: Bytes = outcome.per_group.iter().map(|g| g.pool_peak).sum();
+        assert_eq!(outcome.fleet.pool_peak, pool_peak);
+    }
+}
+
+fn sweep_grid() -> Vec<MultiPoolSweepSpec> {
+    let mut specs = Vec::new();
+    for pod in [PodStyle::Symmetric, PodStyle::Octopus] {
+        for groups in [2u16, 4] {
+            for &pool_fraction in &[0.10, 0.25] {
+                for scheduler in GroupSchedulerKind::ALL {
+                    specs.push(MultiPoolSweepSpec { pod, groups, pool_fraction, scheduler });
+                }
+            }
+        }
+    }
+    specs
+}
+
+/// The multipool sweep on the parallel runner must equal the serial
+/// reference — the same cells computed one by one on the calling thread —
+/// bit for bit, and re-running it must reproduce itself.
+#[test]
+fn multipool_sweep_is_deterministic_serial_vs_parallel() {
+    let trace = small_trace();
+    // Keep the grid small: the full product is exercised by the bench
+    // binaries; determinism only needs representative cells.
+    let specs: Vec<MultiPoolSweepSpec> = sweep_grid().into_iter().step_by(5).take(5).collect();
+    assert!(sweep::worker_count(specs.len()) >= 1);
+
+    let parallel = multipool_sweep(&trace, &specs, 7).unwrap();
+    let serial: Vec<_> = specs
+        .iter()
+        .map(|&spec| {
+            let config = MultiPoolConfig::for_trace(
+                &trace,
+                spec.pod,
+                spec.groups,
+                spec.pool_fraction,
+                spec.scheduler,
+                7,
+            );
+            run_multipool_fleet(&trace, &config).unwrap()
+        })
+        .collect();
+    assert_eq!(parallel.len(), serial.len());
+    for (point, reference) in parallel.iter().zip(&serial) {
+        assert_eq!(&point.outcome, reference, "parallel cell must equal the serial reference");
+    }
+    let again = multipool_sweep(&trace, &specs, 7).unwrap();
+    assert_eq!(parallel, again, "same inputs must reproduce the sweep bit for bit");
+}
+
+/// Regression for the host-port lifecycle: a 20-host fleet shares the
+/// default 16-port pool, and over a multi-day trace more than 16 distinct
+/// hosts end up holding pool slices — impossible before port detach/reattach
+/// existed (the fleet was capped at the first 16 hosts forever).
+#[test]
+fn long_trace_cycles_more_hosts_than_ports_through_one_pool() {
+    let config = ClusterConfig { servers: 20, ..ClusterConfig::small() };
+    let trace = TraceGenerator::new(config, 1).generate(0);
+    let fleet_config = FleetConfig::for_trace(&trace, 0.20, 7);
+    assert_eq!(fleet_config.control.hosts, 20, "for_trace no longer caps hosts at the port count");
+    let outcome = run_fleet(&trace, &fleet_config).unwrap();
+    assert!(
+        outcome.pooled_host_count > 16,
+        "hosts must cycle through the 16 ports over the trace: {} pooled hosts",
+        outcome.pooled_host_count
+    );
+    // Port pressure shows up as all-local fallbacks, not hard failures.
+    assert!(outcome.fallback_all_local > 0);
+    assert!(outcome.scheduled_vms > 0);
+}

@@ -1,30 +1,38 @@
 //! The time-ordered event core of the cluster simulator.
 //!
-//! The simulator processes exactly five kinds of events: VM arrivals (read
+//! The simulator processes six classes of events: memory-device (EMC)
+//! failures (scheduled by failure-drill drivers), VM arrivals (read
 //! from the trace), VM departures (scheduled when a VM is placed),
 //! asynchronous pool-slice release completions (scheduled by pool-aware
-//! drivers such as `pond-core`'s fleet simulator), reconfiguration-copy
-//! completions (scheduled when a QoS mitigation starts its pool→local copy),
-//! and periodic snapshot ticks. [`EventQueue`] merges the five sources into
-//! a single stream ordered by time, with a fixed tie order at equal times:
+//! drivers such as `pond-core`'s fleet simulator), copy completions —
+//! reconfiguration copies (scheduled when a QoS mitigation starts its
+//! pool→local copy) and migration copies (scheduled when an evacuated VM
+//! starts copying to its new home) — and periodic snapshot ticks.
+//! [`EventQueue`] merges the sources into a single stream ordered by time,
+//! with a fixed tie order at equal times:
 //!
-//! 1. **Departures** — a snapshot or arrival at time `t` observes every
+//! 1. **Failures** — a failure at time `t` applies before anything else at
+//!    `t`: the departures, snapshots, and arrivals sharing its timestamp all
+//!    observe the degraded (post-failure) pool.
+//! 2. **Departures** — a snapshot or arrival at time `t` observes every
 //!    departure with time `<= t`.
-//! 2. **Releases** — offlining that finishes at `t` refills the pool buffer
+//! 3. **Releases** — offlining that finishes at `t` refills the pool buffer
 //!    before a snapshot samples it and before an arrival at `t` tries to
 //!    allocate from it.
-//! 3. **Reconfiguration completions** — a mitigation copy that finishes at
-//!    `t` ends the VM's degraded-mode window before the snapshot at `t`
-//!    observes it.
-//! 4. **Snapshots** — a snapshot at time `t` runs before an arrival at `t`,
+//! 4. **Copy completions** — a mitigation or migration copy that finishes
+//!    at `t` ends the VM's degraded-mode window before the snapshot at `t`
+//!    observes it. The two copy kinds share one rung; when both collide at
+//!    the same instant, reconfiguration completions pop first.
+//! 5. **Snapshots** — a snapshot at time `t` runs before an arrival at `t`,
 //!    so it never reflects VMs that arrive at the very instant it samples.
-//! 5. **Arrivals** — in trace order.
+//! 6. **Arrivals** — in trace order.
 //!
-//! Simultaneous departures pop in ascending request order, making the whole
-//! stream deterministic. Processing events strictly in this order is what
+//! Simultaneous departures pop in ascending request order, and simultaneous
+//! failures in ascending drill-plan order, making the whole stream
+//! deterministic. Processing events strictly in this order is what
 //! guarantees (by construction) that snapshots never observe the future and
 //! that departures after the final arrival are still drained: the queue is
-//! only exhausted when *all five* sources are.
+//! only exhausted when *all* sources are.
 
 use crate::trace::ClusterTrace;
 use std::collections::BinaryHeap;
@@ -32,6 +40,19 @@ use std::collections::BinaryHeap;
 /// One simulation event, tagged with its time.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Event {
+    /// A pooled memory device (EMC) fails. `failure_index` indexes the
+    /// driver's failure-drill plan (which EMC of which pool group dies); the
+    /// queue itself only orders the event. Only delivered when the driver
+    /// schedules failures via [`EventQueue::schedule_emc_failure`]. Failures
+    /// order *before* departures at equal times, so every observer at `t` —
+    /// including the snapshot sharing the timestamp — sees the degraded
+    /// window, never a pool that quietly healed between events.
+    EmcFailure {
+        /// Failure time in seconds since trace start.
+        time: u64,
+        /// Index of the failure in the driver's drill plan.
+        failure_index: usize,
+    },
     /// A previously placed VM departs. `request_index` indexes the trace's
     /// request list.
     Departure {
@@ -56,6 +77,16 @@ pub enum Event {
         /// Copy-completion time in seconds since trace start.
         time: u64,
     },
+    /// An evacuation-migration copy completes: a VM that was re-homed after
+    /// a failure is done copying its memory to the destination and leaves
+    /// its degraded in-migration window. Shares the copy-completion rung
+    /// with [`Event::ReconfigDone`] (reconfigurations pop first at identical
+    /// instants). Only delivered when the driver schedules completions via
+    /// [`EventQueue::schedule_migration_done`].
+    MigrationDone {
+        /// Copy-completion time in seconds since trace start.
+        time: u64,
+    },
     /// A periodic stranding snapshot tick.
     Snapshot {
         /// Snapshot time in seconds since trace start.
@@ -74,23 +105,28 @@ impl Event {
     /// The event's time in seconds since trace start.
     pub fn time(&self) -> u64 {
         match *self {
-            Event::Departure { time, .. }
+            Event::EmcFailure { time, .. }
+            | Event::Departure { time, .. }
             | Event::Release { time }
             | Event::ReconfigDone { time }
+            | Event::MigrationDone { time }
             | Event::Snapshot { time }
             | Event::Arrival { time, .. } => time,
         }
     }
 
-    /// Tie order at equal times: departures, then releases, then
-    /// reconfiguration completions, then snapshots, then arrivals.
+    /// Tie order at equal times — the six-class contract: failures, then
+    /// departures, then releases, then copy completions (reconfiguration and
+    /// migration share the rung; reconfigurations peek first), then
+    /// snapshots, then arrivals.
     fn class(&self) -> u8 {
         match self {
-            Event::Departure { .. } => 0,
-            Event::Release { .. } => 1,
-            Event::ReconfigDone { .. } => 2,
-            Event::Snapshot { .. } => 3,
-            Event::Arrival { .. } => 4,
+            Event::EmcFailure { .. } => 0,
+            Event::Departure { .. } => 1,
+            Event::Release { .. } => 2,
+            Event::ReconfigDone { .. } | Event::MigrationDone { .. } => 3,
+            Event::Snapshot { .. } => 4,
+            Event::Arrival { .. } => 5,
         }
     }
 }
@@ -132,9 +168,11 @@ impl PartialOrd for Departure {
 pub struct EventQueue<'a> {
     requests: &'a ClusterTrace,
     next_arrival: usize,
+    failures: BinaryHeap<std::cmp::Reverse<(u64, usize)>>,
     departures: BinaryHeap<Departure>,
     releases: BinaryHeap<std::cmp::Reverse<u64>>,
     reconfigs: BinaryHeap<std::cmp::Reverse<u64>>,
+    migrations: BinaryHeap<std::cmp::Reverse<u64>>,
     next_snapshot: u64,
     snapshot_interval: u64,
     snapshot_horizon: u64,
@@ -154,9 +192,11 @@ impl<'a> EventQueue<'a> {
         EventQueue {
             requests: trace,
             next_arrival: 0,
+            failures: BinaryHeap::new(),
             departures: BinaryHeap::new(),
             releases: BinaryHeap::new(),
             reconfigs: BinaryHeap::new(),
+            migrations: BinaryHeap::new(),
             next_snapshot: snapshot_interval,
             snapshot_interval,
             snapshot_horizon: trace.duration,
@@ -166,6 +206,20 @@ impl<'a> EventQueue<'a> {
     /// Schedules a departure event (called when a VM is placed).
     pub fn schedule_departure(&mut self, time: u64, request_index: usize) {
         self.departures.push(Departure { time, request_index });
+    }
+
+    /// Schedules an EMC-failure event (called up front by failure-drill
+    /// drivers; `failure_index` identifies the entry in the driver's plan).
+    /// Simultaneous failures pop in ascending `failure_index` order.
+    pub fn schedule_emc_failure(&mut self, time: u64, failure_index: usize) {
+        self.failures.push(std::cmp::Reverse((time, failure_index)));
+    }
+
+    /// Schedules a migration-copy completion event (called when an evacuated
+    /// VM starts copying to its new home; `time` is when the copy finishes
+    /// and the VM leaves its in-migration degraded window).
+    pub fn schedule_migration_done(&mut self, time: u64) {
+        self.migrations.push(std::cmp::Reverse(time));
     }
 
     /// Schedules a release-completion event (called when pool slices start
@@ -186,12 +240,23 @@ impl<'a> EventQueue<'a> {
             .then_some(self.next_snapshot)
     }
 
-    /// Pops the next event in time order (ties: departure, release,
-    /// reconfiguration completion, snapshot, arrival).
+    /// Pops the next event in time order (ties: failure, departure, release,
+    /// copy completion — reconfiguration before migration — snapshot,
+    /// arrival).
     pub fn next_event(&mut self) -> Option<Event> {
+        // Sources are peeked in tie order with a strict-less comparison, so
+        // the earliest-peeked candidate wins every exact tie — including the
+        // reconfiguration-before-migration order within the shared
+        // copy-completion class.
         let mut best: Option<Event> = None;
+        if let Some(&std::cmp::Reverse((time, failure_index))) = self.failures.peek() {
+            best = Some(Event::EmcFailure { time, failure_index });
+        }
         if let Some(dep) = self.departures.peek() {
-            best = Some(Event::Departure { time: dep.time, request_index: dep.request_index });
+            let candidate = Event::Departure { time: dep.time, request_index: dep.request_index };
+            if best.is_none_or(|b| keyed(candidate) < keyed(b)) {
+                best = Some(candidate);
+            }
         }
         if let Some(&std::cmp::Reverse(time)) = self.releases.peek() {
             let candidate = Event::Release { time };
@@ -201,6 +266,12 @@ impl<'a> EventQueue<'a> {
         }
         if let Some(&std::cmp::Reverse(time)) = self.reconfigs.peek() {
             let candidate = Event::ReconfigDone { time };
+            if best.is_none_or(|b| keyed(candidate) < keyed(b)) {
+                best = Some(candidate);
+            }
+        }
+        if let Some(&std::cmp::Reverse(time)) = self.migrations.peek() {
+            let candidate = Event::MigrationDone { time };
             if best.is_none_or(|b| keyed(candidate) < keyed(b)) {
                 best = Some(candidate);
             }
@@ -219,6 +290,10 @@ impl<'a> EventQueue<'a> {
             }
         }
         match best? {
+            event @ Event::EmcFailure { .. } => {
+                self.failures.pop();
+                Some(event)
+            }
             event @ Event::Departure { .. } => {
                 self.departures.pop();
                 Some(event)
@@ -229,6 +304,10 @@ impl<'a> EventQueue<'a> {
             }
             event @ Event::ReconfigDone { .. } => {
                 self.reconfigs.pop();
+                Some(event)
+            }
+            event @ Event::MigrationDone { .. } => {
+                self.migrations.pop();
                 Some(event)
             }
             event @ Event::Snapshot { .. } => {
@@ -457,6 +536,67 @@ mod tests {
             vec![Event::Snapshot { time: 100 }, Event::Snapshot { time: 200 }],
             "the 300 s tick lies past the 250 s duration"
         );
+    }
+
+    #[test]
+    fn failures_order_before_everything_else_at_equal_times() {
+        // At t=100: a failure, a departure, a release, both copy-completion
+        // kinds, a snapshot, and an arrival all collide. The failure must
+        // apply first so every observer at t=100 sees the degraded pool, and
+        // the reconfiguration completion must pop before the migration
+        // completion within the shared copy rung.
+        let t = trace(vec![request(1, 0, 100), request(2, 100, 50)], 100);
+        let mut queue = EventQueue::new(&t, 100);
+        queue.schedule_emc_failure(100, 0);
+        queue.schedule_release(100);
+        queue.schedule_migration_done(100);
+        queue.schedule_reconfig_done(100);
+        let mut events = Vec::new();
+        while let Some(event) = queue.next_event() {
+            if let Event::Arrival { request_index, .. } = event {
+                let request = &t.requests[request_index];
+                queue.schedule_departure(request.departure(), request_index);
+            }
+            events.push(event);
+        }
+        assert_eq!(
+            events,
+            vec![
+                Event::Arrival { time: 0, request_index: 0 },
+                Event::EmcFailure { time: 100, failure_index: 0 },
+                Event::Departure { time: 100, request_index: 0 },
+                Event::Release { time: 100 },
+                Event::ReconfigDone { time: 100 },
+                Event::MigrationDone { time: 100 },
+                Event::Snapshot { time: 100 },
+                Event::Arrival { time: 100, request_index: 1 },
+                Event::Departure { time: 150, request_index: 1 },
+            ]
+        );
+    }
+
+    #[test]
+    fn simultaneous_failures_pop_in_plan_order_and_drain_past_duration() {
+        let t = trace(vec![], 100);
+        let mut queue = EventQueue::new(&t, 0);
+        queue.schedule_emc_failure(5_000, 1);
+        queue.schedule_emc_failure(5_000, 0);
+        queue.schedule_emc_failure(200, 3);
+        assert_eq!(queue.next_event(), Some(Event::EmcFailure { time: 200, failure_index: 3 }));
+        assert_eq!(queue.next_event(), Some(Event::EmcFailure { time: 5_000, failure_index: 0 }));
+        assert_eq!(queue.next_event(), Some(Event::EmcFailure { time: 5_000, failure_index: 1 }));
+        assert_eq!(queue.next_event(), None);
+    }
+
+    #[test]
+    fn migration_completions_pop_earliest_first_and_drain_past_duration() {
+        let t = trace(vec![], 100);
+        let mut queue = EventQueue::new(&t, 0);
+        queue.schedule_migration_done(10_000);
+        queue.schedule_migration_done(5_000);
+        assert_eq!(queue.next_event(), Some(Event::MigrationDone { time: 5_000 }));
+        assert_eq!(queue.next_event(), Some(Event::MigrationDone { time: 10_000 }));
+        assert_eq!(queue.next_event(), None);
     }
 
     #[test]

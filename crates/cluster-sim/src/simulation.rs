@@ -310,10 +310,14 @@ impl<P: MemoryPolicy> Simulation<P> {
                     }
                 }
                 // This simulator models pool offlining and mitigation copies
-                // as instantaneous and never schedules release-completion or
-                // reconfiguration-completion events; the asynchronous paths
-                // are exercised by `pond-core`'s fleet replay.
-                Event::Release { .. } | Event::ReconfigDone { .. } => {}
+                // as instantaneous and runs no failure drills, so it never
+                // schedules release-completion, copy-completion, or
+                // EMC-failure events; those paths are exercised by
+                // `pond-core`'s fleet replays.
+                Event::Release { .. }
+                | Event::ReconfigDone { .. }
+                | Event::MigrationDone { .. }
+                | Event::EmcFailure { .. } => {}
                 Event::Snapshot { time } => take_snapshot(time, &engine, &mut outcome),
                 Event::Arrival { time: _, request_index } => {
                     let request = &trace.requests[request_index];

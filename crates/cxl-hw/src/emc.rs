@@ -150,6 +150,26 @@ impl Emc {
         self.failed = true;
     }
 
+    /// Fails the EMC and tears down its state in one step: marks it failed,
+    /// clears every live permission-table entry — assigned *and* mid-release
+    /// (an in-flight offlining cannot complete on a dead device) — and
+    /// releases every CXL port. Returns the `(host, slice)` ownerships that
+    /// were lost, in host-attach then slice order, so the pool layer can map
+    /// the blast radius back to VMs.
+    ///
+    /// Idempotent: failing an already-failed EMC loses nothing.
+    pub fn fail(&mut self) -> Vec<(HostId, SliceId)> {
+        self.failed = true;
+        let mut lost = Vec::new();
+        for host in std::mem::take(&mut self.attached_hosts) {
+            for slice in self.table.owned_by(host) {
+                self.table.set(slice, SliceState::Unassigned);
+                lost.push((host, slice));
+            }
+        }
+        lost
+    }
+
     /// Whether `host` could be attached right now: it already holds a port,
     /// or a port is free. Failed EMCs accept nobody.
     pub fn can_attach(&self, host: HostId) -> bool {
@@ -433,6 +453,25 @@ mod tests {
         assert!(emc.is_failed());
         assert!(matches!(emc.assign_slices(HostId(0), 1), Err(CxlError::ComponentFailed { .. })));
         assert_eq!(emc.check_access(HostId(0), SliceId(0)), AccessOutcome::FatalMemoryError);
+    }
+
+    #[test]
+    fn fail_tears_down_ownership_and_ports() {
+        let mut emc = small_emc();
+        emc.assign_slices(HostId(0), 2).unwrap();
+        let in_flight = emc.assign_slices(HostId(1), 1).unwrap();
+        // Host 1's slice is mid-release when the EMC dies: the in-flight
+        // offlining is lost too, not leaked in the Releasing state.
+        emc.begin_release(HostId(1), in_flight[0]).unwrap();
+        let lost = emc.fail();
+        assert_eq!(lost.len(), 3);
+        assert!(lost.contains(&(HostId(1), in_flight[0])));
+        assert!(emc.is_failed());
+        assert_eq!(emc.assigned_capacity(), Bytes::ZERO);
+        assert!(emc.attached_hosts().is_empty(), "dead ports are released");
+        assert!(!emc.can_attach(HostId(2)), "a failed EMC accepts nobody");
+        // Idempotent: a second failure loses nothing.
+        assert!(emc.fail().is_empty());
     }
 
     #[test]

@@ -6,7 +6,8 @@
 //! not affect the datapath. This module computes the blast radius of each
 //! failure kind given a mapping from VMs to the slices they use.
 
-use crate::pool::{PoolSlice, PoolState};
+use crate::error::CxlError;
+use crate::pool::{EmcFailureReport, PoolSlice, PoolState};
 use crate::units::{EmcId, HostId};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -142,6 +143,41 @@ impl VmPlacementMap {
         }
         dead
     }
+
+    /// Applies an EMC failure to the map alone: computes the blast radius
+    /// *as of the failure instant* and strips the dead slices from every
+    /// affected VM's placement record. The affected VMs stay in the map —
+    /// they lost memory, not their host — so the control plane above decides
+    /// whether each one is migrated or killed. Callers that own the pool
+    /// state directly should use [`VmPlacementMap::fail_emc`]; callers whose
+    /// pool sits behind a manager (which must also prune its own in-flight
+    /// releases) tear the device down there and then strike the map.
+    pub fn strike_emc(&mut self, emc: EmcId) -> BlastRadius {
+        let radius = self.blast_radius(FailureKind::Emc(emc));
+        for vm in &radius.affected_vms {
+            if let Some(slices) = self.slices_of.get_mut(vm) {
+                slices.retain(|s| s.emc != emc);
+            }
+        }
+        radius
+    }
+
+    /// Applies an EMC failure to the pool and the map in one step: fails the
+    /// device ([`PoolState::fail_emc`] tears down its slices and ports) and
+    /// strikes the map ([`VmPlacementMap::strike_emc`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CxlError::UnknownEmc`] when the EMC does not exist (the map
+    /// is left untouched then).
+    pub fn fail_emc(
+        &mut self,
+        pool: &mut PoolState,
+        emc: EmcId,
+    ) -> Result<(BlastRadius, EmcFailureReport), CxlError> {
+        let report = pool.fail_emc(emc)?;
+        Ok((self.strike_emc(emc), report))
+    }
 }
 
 #[cfg(test)]
@@ -208,6 +244,53 @@ mod tests {
         assert_eq!(map.len(), 1);
         assert_eq!(pool.capacity_of(HostId(0)), Bytes::ZERO);
         assert_eq!(pool.free_capacity(), pool.total_capacity());
+    }
+
+    #[test]
+    fn fail_emc_strips_dead_slices_but_keeps_the_vms() {
+        // A 32-socket pool has 4 EMCs, so one can die while others live.
+        let topo = PoolTopology::pond_with_capacity(32, Bytes::from_gib(16)).unwrap();
+        let mut pool = PoolState::from_topology(&topo);
+        let on_dead = pool.add_capacity(HostId(0), Bytes::from_gib(2)).unwrap();
+        let dead_emc = on_dead[0].emc;
+        let mut map = VmPlacementMap::new();
+        map.place(VmHandle(0), HostId(0), on_dead.clone());
+        map.place(VmHandle(1), HostId(1), vec![]);
+
+        let (radius, report) = map.fail_emc(&mut pool, dead_emc).unwrap();
+        assert_eq!(radius.affected_vms, vec![VmHandle(0)]);
+        assert_eq!(radius.unaffected_vms, vec![VmHandle(1)]);
+        assert_eq!(report.lost.len(), 2);
+        assert_eq!(report.ports_lost, vec![HostId(0)]);
+        // The affected VM stays placed but its dead slices are gone.
+        assert_eq!(map.len(), 2);
+        assert!(map.slices_of(VmHandle(0)).is_empty());
+        // The dead capacity left the pool's live view.
+        assert_eq!(pool.live_capacity(), Bytes::from_gib(12));
+        assert_eq!(pool.capacity_of(HostId(0)), Bytes::ZERO);
+        assert!(matches!(
+            map.fail_emc(&mut pool, crate::units::EmcId(99)),
+            Err(CxlError::UnknownEmc { .. })
+        ));
+    }
+
+    #[test]
+    fn fail_emc_tears_down_in_flight_releases() {
+        // The port-lifecycle race: a slice is mid-offlining when its EMC
+        // dies. The failure must clear the Releasing entry (no leaked port,
+        // no slice stuck releasing forever) and report it as lost.
+        let topo = PoolTopology::pond_with_capacity(8, Bytes::from_gib(8)).unwrap();
+        let mut pool = PoolState::from_topology(&topo);
+        let slices = pool.add_capacity(HostId(3), Bytes::from_gib(2)).unwrap();
+        pool.begin_release(HostId(3), &slices[..1]).unwrap();
+        let mut map = VmPlacementMap::new();
+        map.place(VmHandle(7), HostId(3), slices.clone());
+
+        let (radius, report) = map.fail_emc(&mut pool, slices[0].emc).unwrap();
+        assert_eq!(radius.affected_vms, vec![VmHandle(7)]);
+        assert_eq!(report.lost.len(), 2, "assigned and mid-release slices are both lost");
+        assert_eq!(pool.assigned_capacity(), Bytes::ZERO);
+        assert_eq!(pool.live_capacity(), Bytes::ZERO, "the only EMC is dead");
     }
 
     #[test]

@@ -58,6 +58,27 @@ pub enum PoolEvent {
         /// The EMC the port belonged to.
         emc: EmcId,
     },
+    /// An EMC failed: its capacity left the pool, its live slice ownerships
+    /// were torn down, and its ports were released (dead, not reusable).
+    EmcFailed {
+        /// The EMC that failed.
+        emc: EmcId,
+        /// Slices that were owned (assigned or mid-release) when it died.
+        slices_lost: u64,
+    },
+}
+
+/// What one EMC failure took down, as seen by the pool
+/// ([`PoolState::fail_emc`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EmcFailureReport {
+    /// The EMC that failed.
+    pub emc: EmcId,
+    /// Slice ownerships lost with the device: live assignments and in-flight
+    /// releases alike, each attributed to the host that held it.
+    pub lost: Vec<(HostId, PoolSlice)>,
+    /// Hosts whose CXL port on the failed EMC went away.
+    pub ports_lost: Vec<HostId>,
 }
 
 /// Timing parameters for memory online/offline transitions (§4.2).
@@ -171,9 +192,16 @@ impl PoolState {
         self.emcs.values()
     }
 
-    /// Total pool capacity.
+    /// Total pool capacity, dead EMCs included (what was provisioned).
     pub fn total_capacity(&self) -> Bytes {
         self.emcs.values().map(|e| e.capacity()).sum()
+    }
+
+    /// Pool capacity behind live EMCs — the denominator of every
+    /// conservation check once failures can remove capacity mid-replay.
+    /// Equals [`PoolState::total_capacity`] while nothing has failed.
+    pub fn live_capacity(&self) -> Bytes {
+        self.emcs.values().filter(|e| !e.is_failed()).map(|e| e.capacity()).sum()
     }
 
     /// Capacity currently assigned to hosts (includes slices mid-release).
@@ -317,6 +345,30 @@ impl PoolState {
         if emc.detach_host(host).unwrap_or(false) {
             self.events.push(PoolEvent::PortDetached { host, emc: emc_id });
         }
+    }
+
+    /// Fails one EMC: marks it dead, tears down every live slice ownership
+    /// on it (assigned or mid-release — an in-flight offlining cannot
+    /// complete on a dead device), and releases its CXL ports. The lost
+    /// ownerships come back in the report so the layers above can map the
+    /// blast radius to VMs and prune their own in-flight state.
+    ///
+    /// Records one [`PoolEvent::EmcFailed`]. Idempotent: failing a dead EMC
+    /// loses nothing.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CxlError::UnknownEmc`] when the EMC does not exist.
+    pub fn fail_emc(&mut self, emc_id: EmcId) -> Result<EmcFailureReport, CxlError> {
+        let emc = self.emcs.get_mut(&emc_id).ok_or(CxlError::UnknownEmc { emc: emc_id })?;
+        let ports_lost = emc.attached_hosts().to_vec();
+        let lost: Vec<(HostId, PoolSlice)> = emc
+            .fail()
+            .into_iter()
+            .map(|(host, slice)| (host, PoolSlice { emc: emc_id, slice }))
+            .collect();
+        self.events.push(PoolEvent::EmcFailed { emc: emc_id, slices_lost: lost.len() as u64 });
+        Ok(EmcFailureReport { emc: emc_id, lost, ports_lost })
     }
 
     /// Releases every slice a host owns in one step (host failure handling)
@@ -508,6 +560,28 @@ mod tests {
         let emcs: std::collections::BTreeSet<EmcId> = slices.iter().map(|s| s.emc).collect();
         assert!(emcs.len() >= 3);
         assert_eq!(pool.capacity_of(HostId(0)), Bytes::from_gib(5));
+    }
+
+    #[test]
+    fn fail_emc_reports_losses_and_shrinks_live_capacity() {
+        let topo = PoolTopology::pond_with_capacity(32, Bytes::from_gib(8)).unwrap();
+        let mut pool = PoolState::from_topology(&topo);
+        let slices = pool.add_capacity(HostId(0), Bytes::from_gib(2)).unwrap();
+        let dead = slices[0].emc;
+        assert_eq!(pool.live_capacity(), pool.total_capacity());
+
+        let report = pool.fail_emc(dead).unwrap();
+        assert_eq!(report.emc, dead);
+        assert_eq!(report.lost, vec![(HostId(0), slices[0]), (HostId(0), slices[1])]);
+        assert_eq!(report.ports_lost, vec![HostId(0)]);
+        assert_eq!(pool.live_capacity(), Bytes::from_gib(6));
+        assert_eq!(pool.total_capacity(), Bytes::from_gib(8), "provisioned capacity is history");
+        assert_eq!(pool.capacity_of(HostId(0)), Bytes::ZERO);
+        let events = pool.drain_events();
+        assert!(events.iter().any(|e| matches!(e, PoolEvent::EmcFailed { slices_lost: 2, .. })));
+        // Idempotent: the second failure loses nothing.
+        assert!(pool.fail_emc(dead).unwrap().lost.is_empty());
+        assert!(pool.fail_emc(EmcId(42)).is_err());
     }
 
     #[test]

@@ -57,6 +57,21 @@ impl ReconfigurationEngine {
         self.total_copy_time
     }
 
+    /// Charges a memory copy of `amount` at the engine's per-GiB rate
+    /// without touching host state — the failure-evacuation path, where the
+    /// copy runs between *different* hosts (the dying pod's host streams the
+    /// VM to its new home) so there is no single `HostMemory` to convert.
+    /// Counts toward [`ReconfigurationEngine::performed`] and
+    /// [`ReconfigurationEngine::total_copy_time`] like any other
+    /// reconfiguration copy, and returns the copy duration to charge on the
+    /// event timeline.
+    pub fn charge_copy(&mut self, amount: Bytes) -> Duration {
+        let copy_duration = self.copy_cost_per_gib * amount.slices_ceil() as u32;
+        self.performed += 1;
+        self.total_copy_time += copy_duration;
+        copy_duration
+    }
+
     /// Moves a VM entirely onto local DRAM.
     ///
     /// The host-side allocation is converted first; only if that succeeds is
@@ -163,6 +178,15 @@ mod tests {
         assert!(!vm.is_reconfigured());
         assert_eq!(vm.pool_memory(), Bytes::from_gib(16));
         assert_eq!(engine.performed(), 0);
+    }
+
+    #[test]
+    fn charge_copy_uses_the_engine_rate_without_a_host() {
+        let mut engine = ReconfigurationEngine::default();
+        // 8 GiB at the default 50 ms/GiB.
+        assert_eq!(engine.charge_copy(Bytes::from_gib(8)), Duration::from_millis(400));
+        assert_eq!(engine.performed(), 1);
+        assert_eq!(engine.total_copy_time(), Duration::from_millis(400));
     }
 
     #[test]

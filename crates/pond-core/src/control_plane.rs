@@ -15,8 +15,9 @@ use crate::pool_manager::PondPoolManager;
 use crate::qos::{MitigationManager, QosMonitor, VmObservation};
 use cluster_sim::scheduler::{align_pool_memory, host_selection_key};
 use cluster_sim::trace::{ClusterTrace, CustomerId, VmRequest};
+use cxl_hw::failure::{VmHandle, VmPlacementMap};
 use cxl_hw::topology::PoolTopology;
-use cxl_hw::units::{Bytes, HostId};
+use cxl_hw::units::{Bytes, EmcId, HostId};
 use hypervisor_sim::host::HostMemory;
 use hypervisor_sim::telemetry::HypervisorTelemetry;
 use hypervisor_sim::vm::{VirtualMachine, VmConfig, VmId};
@@ -119,6 +120,33 @@ pub struct VmMitigation {
     pub release_ready: Option<Duration>,
 }
 
+/// What one EMC failure did to a control plane (returned by
+/// [`PondControlPlane::handle_emc_failure`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EmcFailureOutcome {
+    /// The EMC that died.
+    pub emc: EmcId,
+    /// The running VMs that had memory on the device at the failure
+    /// instant, in ascending VM-id order. Every one of them must be
+    /// evacuated ([`PondControlPlane::evacuate_vm`]) or killed by the
+    /// caller; they are still pinned on their hosts.
+    pub affected: Vec<AffectedVm>,
+    /// Slice ownerships (assigned or mid-release) lost with the device.
+    pub slices_lost: u64,
+}
+
+/// One VM caught in an EMC failure's blast radius.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AffectedVm {
+    /// The affected VM.
+    pub vm: VmId,
+    /// Pool slices the VM held just before the failure (dead + surviving) —
+    /// what its arrival-time GiB-hour accounting is still accruing.
+    pub pool_before: Bytes,
+    /// Pool slices the VM still holds on live EMCs after the failure.
+    pub surviving_pool: Bytes,
+}
+
 /// Per-VM bookkeeping inside the control plane.
 #[derive(Debug, Clone)]
 struct VmRecord {
@@ -143,6 +171,7 @@ pub struct PondControlPlane {
     telemetry: HypervisorTelemetry,
     suite: WorkloadSuite,
     running: BTreeMap<u64, VmRecord>,
+    placements: VmPlacementMap,
     rejected: u64,
 }
 
@@ -184,6 +213,7 @@ impl PondControlPlane {
             policy,
             monitor,
             running: BTreeMap::new(),
+            placements: VmPlacementMap::new(),
             rejected: 0,
             config,
         })
@@ -314,7 +344,10 @@ impl PondControlPlane {
         // Finish any offlining that has completed so the buffer is current.
         self.pool.process_releases(now);
 
-        let decision = self.policy.decide(request);
+        // The validating decision path: a feature-schema drift in either
+        // model propagates as `PondError::Model` instead of panicking the
+        // replay mid sweep.
+        let decision = self.policy.try_decide(request)?;
         let raw_pool = match decision {
             PondDecision::FullyPool => request.memory,
             PondDecision::Znuma { pool } => pool,
@@ -389,6 +422,7 @@ impl PondControlPlane {
             has_znuma: !pool.is_zero(),
             fallback_all_local,
         };
+        self.placements.place(VmHandle(request.id), HostId(host_index as u16), slices.clone());
         self.running.insert(
             request.id,
             VmRecord {
@@ -427,6 +461,7 @@ impl PondControlPlane {
         let allocation = host.unpin_vm(vm).map_err(|e| PondError::HostMemory(e.to_string()))?;
         host.offline_pool(allocation.pool).map_err(|e| PondError::HostMemory(e.to_string()))?;
         let ready = self.pool.release_async(HostId(record.host as u16), record.slices, now)?;
+        self.placements.remove(VmHandle(vm.0));
         // Feed the observed outcome back into the policy's history: the VM's
         // lifetime access-bit scans are the ground truth for this customer.
         self.policy.record_completion(
@@ -437,6 +472,73 @@ impl PondControlPlane {
         Ok(ready)
     }
 
+    /// Evacuates a running VM off this plane (the failure-drill migration
+    /// path): unpins its host memory, starts the asynchronous release of its
+    /// *surviving* pool slices, and forgets the VM — without feeding the
+    /// policy's completion history, because the VM is moving, not done.
+    ///
+    /// Returns the release-completion time (`None` when the VM held no live
+    /// slices); event-driven callers schedule a release event there and then
+    /// re-place the VM on the destination plane.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PondError::HostMemory`] when the VM is unknown.
+    pub fn evacuate_vm(&mut self, vm: VmId, now: Duration) -> Result<Option<Duration>, PondError> {
+        let record = self
+            .running
+            .remove(&vm.0)
+            .ok_or_else(|| PondError::HostMemory(format!("{vm} is not running")))?;
+        let host = &mut self.hosts[record.host];
+        let allocation = host.unpin_vm(vm).map_err(|e| PondError::HostMemory(e.to_string()))?;
+        host.offline_pool(allocation.pool).map_err(|e| PondError::HostMemory(e.to_string()))?;
+        let ready = self.pool.release_async(HostId(record.host as u16), record.slices, now)?;
+        self.placements.remove(VmHandle(vm.0));
+        Ok(ready)
+    }
+
+    /// Handles the failure of one EMC behind this plane's pool at time
+    /// `now`: computes the blast radius over the running VMs, tears down the
+    /// device (slices, in-flight releases, ports — see
+    /// [`PondPoolManager::fail_emc`]), and strips the dead slices from every
+    /// affected VM's bookkeeping so the conservation invariant keeps holding
+    /// against the shrunken live capacity.
+    ///
+    /// The affected VMs are left running — they lost pool memory, not their
+    /// host — and are returned with their pre-failure pool footprint so the
+    /// caller (the multi-pool replay's evacuation planner) can migrate or
+    /// kill each one.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`cxl_hw::CxlError::UnknownEmc`] for unknown devices.
+    pub fn handle_emc_failure(
+        &mut self,
+        emc: EmcId,
+        _now: Duration,
+    ) -> Result<EmcFailureOutcome, PondError> {
+        // The Pool Manager tears the device down (and prunes its own
+        // in-flight releases); striking the placement map then yields the
+        // blast radius and strips the dead slices from the map in one step.
+        let report = self.pool.fail_emc(emc)?;
+        let radius = self.placements.strike_emc(emc);
+        let mut affected = Vec::with_capacity(radius.affected_vms.len());
+        for handle in radius.affected_vms {
+            let record = self
+                .running
+                .get_mut(&handle.0)
+                .expect("the placement map tracks exactly the running VMs");
+            let pool_before = Bytes::from_gib(record.slices.len() as u64);
+            record.slices.retain(|s| s.emc != emc);
+            affected.push(AffectedVm {
+                vm: VmId(handle.0),
+                pool_before,
+                surviving_pool: Bytes::from_gib(record.slices.len() as u64),
+            });
+        }
+        Ok(EmcFailureOutcome { emc, affected, slices_lost: report.lost.len() as u64 })
+    }
+
     /// Runs one QoS-monitoring pass over every running VM and applies
     /// mitigations within the budget.
     ///
@@ -444,7 +546,14 @@ impl PondControlPlane {
     /// GiB charged to the report's `copy_time`) and only then starts the
     /// asynchronous release of the freed slices, so offlining begins at
     /// `now + copy_duration` on the event timeline.
-    pub fn run_qos_pass(&mut self, now: Duration) -> QosPassReport {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PondError::Model`] when the sensitivity model rejects its
+    /// feature row (schema drift between training and serving) — the same
+    /// validating path the arrival-time decision takes, so one malformed
+    /// row cannot panic a replay out of a QoS pass.
+    pub fn run_qos_pass(&mut self, now: Duration) -> Result<QosPassReport, PondError> {
         let mut pass = QosPassReport::default();
         let vm_ids: Vec<u64> = self.running.keys().copied().collect();
         for id in vm_ids {
@@ -457,13 +566,16 @@ impl PondControlPlane {
                 observed_untouched: record.vm.untouched_memory(),
             };
             let host = &mut self.hosts[record.host];
-            if let Some(report) =
-                self.mitigation.process(&self.monitor, &observation, host, &mut record.vm)
+            if let Some(report) = self
+                .mitigation
+                .try_process(&self.monitor, &observation, host, &mut record.vm)
+                .map_err(|e| PondError::Model { detail: e.to_string() })?
             {
                 // The freed pool capacity goes back to the Pool Manager once
                 // the pool→local copy has finished.
                 host.offline_pool(report.moved).expect("mitigation freed exactly this much");
                 let slices = std::mem::take(&mut record.slices);
+                self.placements.place(VmHandle(id), HostId(record.host as u16), Vec::new());
                 let ready = self
                     .pool
                     .release_async(HostId(record.host as u16), slices, now + report.copy_duration)
@@ -479,7 +591,7 @@ impl PondControlPlane {
                 pass.reconfigured += 1;
             }
         }
-        pass
+        Ok(pass)
     }
 
     /// Completes every pending slice release whose offlining has finished by
@@ -495,23 +607,26 @@ impl PondControlPlane {
     }
 
     /// Checks the pool-accounting conservation invariant: every slice of
-    /// pool capacity is exactly one of free-in-buffer, pinned by a running
-    /// VM, or mid-offlining — nothing is leaked or double-counted.
+    /// *live* pool capacity is exactly one of free-in-buffer, pinned by a
+    /// running VM, or mid-offlining — nothing is leaked or double-counted.
+    /// The denominator is [`cxl_hw::pool::PoolState::live_capacity`], so the
+    /// invariant keeps holding through EMC failures: a failed device's
+    /// capacity leaves the ledger together with its slices.
     ///
     /// # Panics
     ///
-    /// Panics when the invariant is violated. The fleet replay debug-asserts
+    /// Panics when the invariant is violated. The fleet replays debug-assert
     /// this after every event.
     pub fn assert_pool_conserved(&self) {
         let free = self.pool.available();
         let pending = self.pool.pending_release();
         let pinned = self.pinned_pool();
-        let total = self.pool.pool().total_capacity();
+        let live = self.pool.pool().live_capacity();
         assert_eq!(
             free + pending + pinned,
-            total,
+            live,
             "pool accounting must conserve capacity: \
-             free {free} + offlining {pending} + pinned {pinned} != total {total}"
+             free {free} + offlining {pending} + pinned {pinned} != live {live}"
         );
         assert_eq!(
             self.pool.pool().assigned_capacity(),
@@ -574,7 +689,7 @@ mod tests {
             let _ = plane.handle_request(request, Duration::from_secs(request.arrival));
         }
         let running_before = plane.running_vms();
-        let pass = plane.run_qos_pass(Duration::from_secs(3600));
+        let pass = plane.run_qos_pass(Duration::from_secs(3600)).unwrap();
         assert!(pass.reconfigured as usize <= running_before);
         assert_eq!(plane.mitigations(), pass.reconfigured);
         // Every mitigation charges its copy time and starts one release.
@@ -632,6 +747,76 @@ mod tests {
             plane.assert_pool_conserved();
         }
         assert!(fell_back > 0, "a 2 GiB pool must force fallbacks");
+    }
+
+    #[test]
+    fn emc_failure_reports_blast_radius_and_keeps_conservation() {
+        let (trace, mut plane) = setup();
+        let mut placed = Vec::new();
+        for request in trace.requests.iter().take(60) {
+            if let Ok(summary) = plane.handle_request(request, Duration::from_secs(request.arrival))
+            {
+                placed.push(summary);
+            }
+        }
+        let pooled: Vec<_> = placed.iter().filter(|s| !s.pool.is_zero()).collect();
+        assert!(!pooled.is_empty(), "the default plane must pool something");
+        let running_before = plane.running_vms();
+
+        // The default 16-socket pool has one EMC: failing it hits exactly
+        // the pooled VMs.
+        let now = Duration::from_secs(1_000);
+        let outcome = plane.handle_emc_failure(EmcId(0), now).unwrap();
+        assert_eq!(outcome.affected.len(), pooled.len());
+        assert!(outcome.slices_lost > 0);
+        for affected in &outcome.affected {
+            assert!(affected.pool_before > Bytes::ZERO);
+            // One EMC means nothing survives the failure.
+            assert_eq!(affected.surviving_pool, Bytes::ZERO);
+        }
+        // Affected VMs keep running (they lost memory, not their host), the
+        // pool's live capacity is gone, and conservation holds against it.
+        assert_eq!(plane.running_vms(), running_before);
+        assert_eq!(plane.pool().pool().live_capacity(), Bytes::ZERO);
+        assert_eq!(plane.pinned_pool(), Bytes::ZERO);
+        plane.assert_pool_conserved();
+
+        // Evacuating an affected VM unpins its host memory; with no live
+        // slices left there is nothing to release.
+        let vm = outcome.affected[0].vm;
+        let ready = plane.evacuate_vm(vm, now).unwrap();
+        assert_eq!(ready, None);
+        assert_eq!(plane.running_vms(), running_before - 1);
+        assert!(plane.evacuate_vm(vm, now).is_err(), "an evacuated VM is gone");
+        plane.assert_pool_conserved();
+        // A failed pool serves no further pooled placements, but all-local
+        // re-homes still work.
+        assert!(plane.handle_request_all_local(&trace.requests[0], now).is_ok());
+    }
+
+    #[test]
+    fn evacuation_releases_surviving_slices_asynchronously() {
+        let (trace, mut plane) = setup();
+        let mut pooled_vm = None;
+        for request in trace.requests.iter().take(60) {
+            if let Ok(summary) = plane.handle_request(request, Duration::from_secs(request.arrival))
+            {
+                if !summary.pool.is_zero() {
+                    pooled_vm = Some((summary.vm, summary.pool));
+                    break;
+                }
+            }
+        }
+        let (vm, pool) = pooled_vm.expect("a pooled placement");
+        let now = Duration::from_secs(500);
+        let before = plane.pool().pending_release();
+        let ready = plane.evacuate_vm(vm, now).unwrap().expect("live slices must offline");
+        assert!(ready > now, "offlining takes 10-100 ms/GiB");
+        assert_eq!(plane.pool().pending_release(), before + pool);
+        plane.assert_pool_conserved();
+        plane.complete_releases(ready);
+        assert_eq!(plane.pool().pending_release(), Bytes::ZERO);
+        plane.assert_pool_conserved();
     }
 
     #[test]

@@ -123,6 +123,21 @@ pub struct FleetOutcome {
     pub qos_passes: u64,
     /// Release-completion events processed.
     pub releases_completed: u64,
+    /// EMC failures injected by a failure drill (zero without one).
+    pub emc_failures: u64,
+    /// VMs that survived an EMC failure by migrating — re-homed to a
+    /// reachable pod (pooled or all-local) with their copy charged on the
+    /// event timeline. Attributed to the group that suffered the failure.
+    pub vms_migrated: u64,
+    /// VMs lost to an EMC failure: no reachable pod could re-home them.
+    /// Attributed to the group that suffered the failure.
+    pub vms_killed: u64,
+    /// Migration-copy completion events processed: each migrated VM's
+    /// in-migration degraded window ends with one `MigrationDone` event.
+    pub migration_completions: u64,
+    /// Total evacuation copy time the migrations charged (50 ms/GiB of each
+    /// migrated VM's full memory, like the QoS mitigation copies).
+    pub evacuation_copy_time: Duration,
     /// Distinct hosts that held pool slices at some point. With the
     /// host-port lifecycle this can exceed the pool's CXL port count: hosts
     /// cycle through ports as they drain.
@@ -204,6 +219,31 @@ impl FleetOutcome {
         }
     }
 
+    /// Availability through the replay's failure drill: the fraction of
+    /// scheduled VMs that were *not* killed by a memory-device failure
+    /// (1.0 when nothing was scheduled or no drill ran). This is the §4.1
+    /// blast-radius argument made measurable: pooling bounds how many VMs
+    /// one EMC can take down, and pod overlap bounds how many of those
+    /// actually die rather than migrate.
+    pub fn availability(&self) -> f64 {
+        if self.scheduled_vms == 0 {
+            1.0
+        } else {
+            1.0 - self.vms_killed as f64 / self.scheduled_vms as f64
+        }
+    }
+
+    /// Fraction of failure-affected VMs that survived by migrating
+    /// (1.0 when no VM was ever affected).
+    pub fn survival_rate(&self) -> f64 {
+        let affected = self.vms_migrated + self.vms_killed;
+        if affected == 0 {
+            1.0
+        } else {
+            self.vms_migrated as f64 / affected as f64
+        }
+    }
+
     /// Adds another outcome's tallies into this one, field by field — the
     /// multi-pool replay builds its fleet aggregate by absorbing every
     /// per-group outcome. Lives next to the struct (and destructures it) so
@@ -224,6 +264,11 @@ impl FleetOutcome {
             peak_degraded_vms,
             qos_passes,
             releases_completed,
+            emc_failures,
+            vms_migrated,
+            vms_killed,
+            migration_completions,
+            evacuation_copy_time,
             pooled_host_count,
             sum_local_peaks,
             sum_host_pool_peaks,
@@ -242,6 +287,11 @@ impl FleetOutcome {
         self.peak_degraded_vms += peak_degraded_vms;
         self.qos_passes += qos_passes;
         self.releases_completed += releases_completed;
+        self.emc_failures += emc_failures;
+        self.vms_migrated += vms_migrated;
+        self.vms_killed += vms_killed;
+        self.migration_completions += migration_completions;
+        self.evacuation_copy_time += *evacuation_copy_time;
         self.pooled_host_count += pooled_host_count;
         self.sum_local_peaks += *sum_local_peaks;
         self.sum_host_pool_peaks += *sum_host_pool_peaks;
@@ -258,6 +308,17 @@ impl FleetOutcome {
 /// identically for the single-group equivalence to hold.
 pub(crate) fn ceil_secs(duration: Duration) -> u64 {
     duration.as_secs() + u64::from(duration.subsec_nanos() > 0)
+}
+
+/// Decrements an in-flight event counter that a completion event just
+/// closed. A double decrement means a completion was attributed to the
+/// wrong group (or delivered twice) — that must fail loudly in debug builds
+/// instead of being masked by saturation; release builds still saturate
+/// rather than wrap. Shared by [`run_fleet`] and
+/// [`crate::multipool::run_multipool_fleet`].
+pub(crate) fn checked_decrement(counter: &mut u64, what: &str) {
+    debug_assert!(*counter > 0, "double decrement of {what}: a completion event was misattributed");
+    *counter = counter.saturating_sub(1);
 }
 
 /// Which shared-queue event a replay just scheduled — the attribution hook
@@ -440,11 +501,16 @@ pub fn run_fleet(trace: &ClusterTrace, config: &FleetConfig) -> Result<FleetOutc
                 outcome.releases_completed += 1;
             }
             Event::ReconfigDone { .. } => {
-                degraded = degraded.saturating_sub(1);
+                checked_decrement(&mut degraded, "in-flight mitigation copies");
                 outcome.reconfig_completions += 1;
             }
+            // The single-pool replay runs no failure drills and therefore
+            // never schedules failure or migration events.
+            Event::EmcFailure { .. } | Event::MigrationDone { .. } => {
+                unreachable!("run_fleet schedules no failure-drill events")
+            }
             Event::Snapshot { time } => {
-                let pass = plane.run_qos_pass(now);
+                let pass = plane.run_qos_pass(now)?;
                 accounting.record_qos_pass(
                     &mut outcome,
                     pass,

@@ -43,18 +43,22 @@
 //! degenerates to exactly the control plane's internal fallback — which the
 //! integration suite checks outcome-for-outcome.
 
-use crate::control_plane::{ControlPlaneConfig, PondControlPlane};
+use crate::control_plane::{ControlPlaneConfig, PlacementSummary, PondControlPlane};
 use crate::error::PondError;
 use crate::fleet::{
-    ceil_secs, track_peaks, FleetConfig, FleetOutcome, ReplayAccounting, ScheduledEvent,
+    ceil_secs, checked_decrement, track_peaks, FleetConfig, FleetOutcome, ReplayAccounting,
+    ScheduledEvent,
 };
 use crate::policy::PondPolicy;
 use cluster_sim::event::{Event, EventQueue};
 use cluster_sim::sweep;
 use cluster_sim::trace::{ClusterTrace, VmRequest};
 use cxl_hw::topology::{PodStyle, PoolGroupTopology};
-use cxl_hw::units::Bytes;
+use cxl_hw::units::{Bytes, EmcId};
+use hypervisor_sim::reconfig::ReconfigurationEngine;
 use hypervisor_sim::vm::VmId;
+use rand::{Rng, SeedableRng};
+use rand_pcg::Pcg64;
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 use std::time::Duration;
@@ -213,6 +217,82 @@ impl GroupSchedulerKind {
     }
 }
 
+/// What kind of component a failure drill kills.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DrillKind {
+    /// External Memory Controllers — the paper's headline blast-radius case
+    /// (§4.1): one dead device takes down every slice behind it.
+    Emc,
+}
+
+impl DrillKind {
+    /// Short name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            DrillKind::Emc => "emc",
+        }
+    }
+}
+
+/// A failure drill injected into a multi-pool replay: component failures
+/// become first-class timeline events ([`Event::EmcFailure`]) that the
+/// evacuation planner must survive.
+///
+/// The drill plan is generated once, deterministically from the spec alone
+/// (a Poisson process over the trace duration, thinned per group/EMC), so
+/// the same spec over the same trace yields the same failures — serial and
+/// parallel sweeps stay bit-identical. A rate of zero is exactly a no-drill
+/// replay.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FailureDrillSpec {
+    /// Expected component failures per simulated day across the whole
+    /// fleet. Drastically higher than production failure rates on purpose:
+    /// a drill compresses years of fleet time into one trace.
+    pub rate_per_day: f64,
+    /// The component class the drill kills.
+    pub kind: DrillKind,
+    /// Seed of the drill's own RNG (independent from the model seed, so the
+    /// same workload can be drilled with different failure patterns).
+    pub seed: u64,
+}
+
+/// One planned failure: which EMC of which pool group dies, and when.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct PlannedEmcFailure {
+    time: u64,
+    group: usize,
+    emc: EmcId,
+}
+
+/// Expands a drill spec into the concrete failure plan for one topology.
+/// Exponential inter-arrival times (a Poisson process at `rate_per_day`),
+/// each failure striking a uniformly chosen group and one of its EMCs.
+fn plan_drill(
+    spec: &FailureDrillSpec,
+    duration: u64,
+    topology: &PoolGroupTopology,
+) -> Vec<PlannedEmcFailure> {
+    let mut plan = Vec::new();
+    if spec.rate_per_day <= 0.0 || !spec.rate_per_day.is_finite() || duration == 0 {
+        return plan;
+    }
+    let DrillKind::Emc = spec.kind;
+    let mut rng = Pcg64::seed_from_u64(spec.seed);
+    let per_sec = spec.rate_per_day / 86_400.0;
+    let mut t = 0.0f64;
+    loop {
+        let u: f64 = rng.gen();
+        // `1 - u` keeps the logarithm's argument in (0, 1].
+        t += -(1.0 - u).ln() / per_sec;
+        if t >= duration as f64 {
+            return plan;
+        }
+        let group = rng.gen_range(0..topology.group_count());
+        let emc = rng.gen_range(0..topology.pool(group).emc_configs().len() as u16);
+        plan.push(PlannedEmcFailure { time: t as u64, group, emc: EmcId(emc) });
+    }
+}
+
 /// Configuration of a sharded multi-pool fleet replay.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct MultiPoolConfig {
@@ -233,6 +313,10 @@ pub struct MultiPoolConfig {
     pub qos_interval: u64,
     /// Seed for model training and telemetry sampling.
     pub seed: u64,
+    /// Optional failure drill: EMC failures injected as timeline events,
+    /// answered by cross-group VM migration. `None` (and a zero-rate spec)
+    /// reproduces the drill-free replay bit for bit.
+    pub drill: Option<FailureDrillSpec>,
 }
 
 impl MultiPoolConfig {
@@ -257,7 +341,14 @@ impl MultiPoolConfig {
             scheduler,
             qos_interval: fleet.qos_interval,
             seed,
+            drill: None,
         }
+    }
+
+    /// Returns the configuration with a failure drill attached.
+    pub fn with_drill(mut self, drill: FailureDrillSpec) -> Self {
+        self.drill = Some(drill);
+        self
     }
 
     /// Builds the [`PoolGroupTopology`] this configuration describes.
@@ -300,22 +391,26 @@ pub struct MultiPoolOutcome {
 }
 
 /// Checks the fleet-wide slice-conservation invariant across all groups:
-/// summed over planes, `free + offlining + pinned == capacity`, on top of
-/// each plane's own conservation assert.
+/// summed over planes, `free + offlining + pinned == live capacity`, on top
+/// of each plane's own conservation assert. The denominator is the *live*
+/// capacity so the invariant keeps holding through EMC failures — a dead
+/// device's slices leave the ledger together with its capacity, and anything
+/// else (a leaked pending release, a record still pinning dead slices) still
+/// trips the assert.
 ///
 /// # Panics
 ///
 /// Panics when any per-group or the fleet-wide invariant is violated.
 pub fn assert_fleet_conserved(planes: &[PondControlPlane]) {
     let mut accounted = Bytes::ZERO;
-    let mut total = Bytes::ZERO;
+    let mut live = Bytes::ZERO;
     for plane in planes {
         plane.assert_pool_conserved();
         accounted +=
             plane.pool().available() + plane.pool().pending_release() + plane.pinned_pool();
-        total += plane.pool().pool().total_capacity();
+        live += plane.pool().pool().live_capacity();
     }
-    assert_eq!(accounted, total, "fleet-wide slice conservation across {} groups", planes.len());
+    assert_eq!(accounted, live, "fleet-wide slice conservation across {} groups", planes.len());
 }
 
 /// FIFO attribution of shared-queue events back to the group that scheduled
@@ -340,6 +435,43 @@ impl EventAttribution {
         }
         group
     }
+}
+
+/// Runs the fixed fallback ladder over `order` (a pod's reachable groups,
+/// home first): pooled in each group, then — only when `allow_all_local` is
+/// on — all-local in the same order. Returns the landing group and summary,
+/// or `None` when no rung holds the VM. Shared by the arrival path and the
+/// failure-evacuation planner, so a re-homed VM walks exactly the ladder a
+/// fresh arrival would.
+///
+/// # Errors
+///
+/// Propagates any error other than the expected placement failures
+/// (`PoolExhausted` on the pooled rungs, `NoFeasibleHost` on both).
+fn place_on_ladder(
+    planes: &mut [PondControlPlane],
+    order: &[usize],
+    request: &VmRequest,
+    now: Duration,
+    allow_all_local: bool,
+) -> Result<Option<(usize, PlacementSummary)>, PondError> {
+    for &g in order {
+        match planes[g].handle_request_pooled(request, now) {
+            Ok(summary) => return Ok(Some((g, summary))),
+            Err(PondError::PoolExhausted { .. }) | Err(PondError::NoFeasibleHost { .. }) => {}
+            Err(other) => return Err(other),
+        }
+    }
+    if allow_all_local {
+        for &g in order {
+            match planes[g].handle_request_all_local(request, now) {
+                Ok(summary) => return Ok(Some((g, summary))),
+                Err(PondError::NoFeasibleHost { .. }) => {}
+                Err(other) => return Err(other),
+            }
+        }
+    }
+    Ok(None)
 }
 
 /// Replays a trace through N pool groups on one time-ordered event queue and
@@ -384,14 +516,37 @@ pub fn run_multipool_fleet(
     let mut snapshot_ticks = 0u64;
     let mut degraded_fleet = 0u64;
     let mut peak_degraded_fleet = 0u64;
+    let mut migrating_of: Vec<u64> = vec![0; groups];
 
     let mut group_of_vm: HashMap<usize, usize> = HashMap::new();
     let mut release_attribution = EventAttribution::default();
     let mut reconfig_attribution = EventAttribution::default();
+    let mut migration_attribution = EventAttribution::default();
     let departure_of: HashMap<u64, u64> =
         trace.requests.iter().map(|r| (r.id, r.departure())).collect();
 
+    // Evacuation copies reuse the QoS-mitigation machinery: the same
+    // 50 ms/GiB reconfiguration engine, charged on the event timeline.
+    let mut evacuation_engine = ReconfigurationEngine::default();
+
+    // The failure drill is planned once, up front, deterministically from
+    // the spec: every failure is already an event before the replay starts.
+    let drill_plan = match &config.drill {
+        Some(spec) => plan_drill(spec, trace.duration, &topology),
+        None => Vec::new(),
+    };
+    // Only the failure arm resolves VM ids back to trace indices; spare the
+    // drill-free replays (every plain sweep cell) the extra map.
+    let index_of_id: HashMap<u64, usize> = if drill_plan.is_empty() {
+        HashMap::new()
+    } else {
+        trace.requests.iter().enumerate().map(|(i, r)| (r.id, i)).collect()
+    };
+
     let mut events = EventQueue::new(trace, config.qos_interval);
+    for (failure_index, failure) in drill_plan.iter().enumerate() {
+        events.schedule_emc_failure(failure.time, failure_index);
+    }
     while let Some(event) = events.next_event() {
         let now = Duration::from_secs(event.time());
         match event {
@@ -407,30 +562,13 @@ pub fn run_multipool_fleet(
                 // neighbours (cross-group), then — only when the config
                 // enables it, exactly like `run_fleet` — all-local in the
                 // same order.
-                let mut placed = None;
-                for &g in order {
-                    match planes[g].handle_request_pooled(request, now) {
-                        Ok(summary) => {
-                            placed = Some((g, summary));
-                            break;
-                        }
-                        Err(PondError::PoolExhausted { .. })
-                        | Err(PondError::NoFeasibleHost { .. }) => {}
-                        Err(other) => return Err(other),
-                    }
-                }
-                if placed.is_none() && config.control.fallback_all_local {
-                    for &g in order {
-                        match planes[g].handle_request_all_local(request, now) {
-                            Ok(summary) => {
-                                placed = Some((g, summary));
-                                break;
-                            }
-                            Err(PondError::NoFeasibleHost { .. }) => {}
-                            Err(other) => return Err(other),
-                        }
-                    }
-                }
+                let placed = place_on_ladder(
+                    &mut planes,
+                    order,
+                    request,
+                    now,
+                    config.control.fallback_all_local,
+                )?;
 
                 let Some((group, summary)) = placed else {
                     per_group[home].rejected_vms += 1;
@@ -461,14 +599,90 @@ pub fn run_multipool_fleet(
             }
             Event::ReconfigDone { time } => {
                 let group = reconfig_attribution.pop(time);
-                degraded_of[group] = degraded_of[group].saturating_sub(1);
+                checked_decrement(&mut degraded_of[group], "per-group mitigation copies");
                 per_group[group].reconfig_completions += 1;
-                degraded_fleet = degraded_fleet.saturating_sub(1);
+                checked_decrement(&mut degraded_fleet, "fleet-wide mitigation copies");
+            }
+            Event::EmcFailure { failure_index, time } => {
+                let failure = &drill_plan[failure_index];
+                let source = failure.group;
+                let outcome = planes[source].handle_emc_failure(failure.emc, now)?;
+                per_group[source].emc_failures += 1;
+
+                // The evacuation planner: every VM in the blast radius is
+                // re-homed through the same fallback ladder arrivals use —
+                // pooled over the pod's reachable groups (the home pod's
+                // surviving EMCs first, then the Octopus neighbours), then
+                // all-local in the same order — or killed when no rung
+                // holds it.
+                for affected in outcome.affected {
+                    let request_index = index_of_id[&affected.vm.0];
+                    let request = &trace.requests[request_index];
+
+                    if let Some(ready) = planes[source].evacuate_vm(affected.vm, now)? {
+                        let ready = ceil_secs(ready);
+                        events.schedule_release(ready);
+                        release_attribution.push(ready, source);
+                    }
+                    // The arrival charged this VM's full lifetime to the
+                    // source group; take back the part it will no longer
+                    // serve there (the destination re-charges its share).
+                    let remaining_hours =
+                        departure_of[&request.id].saturating_sub(time) as f64 / 3600.0;
+                    per_group[source].pool_gib_hours -=
+                        affected.pool_before.as_gib_f64() * remaining_hours;
+                    per_group[source].total_gib_hours -=
+                        request.memory.as_gib_f64() * remaining_hours;
+
+                    let placed = place_on_ladder(
+                        &mut planes,
+                        topology.reachable(source),
+                        request,
+                        now,
+                        config.control.fallback_all_local,
+                    )?;
+
+                    match placed {
+                        Some((dest, summary)) => {
+                            // The migration copies the VM's full memory to
+                            // its new home at the mitigation engine's
+                            // 50 ms/GiB; the VM runs degraded until the
+                            // MigrationDone event closes the window.
+                            let copy = evacuation_engine.charge_copy(request.memory);
+                            let done = ceil_secs(now + copy);
+                            events.schedule_migration_done(done);
+                            migration_attribution.push(done, source);
+                            migrating_of[source] += 1;
+                            per_group[source].vms_migrated += 1;
+                            per_group[source].evacuation_copy_time += copy;
+                            per_group[dest].pool_gib_hours +=
+                                summary.pool.as_gib_f64() * remaining_hours;
+                            per_group[dest].total_gib_hours +=
+                                request.memory.as_gib_f64() * remaining_hours;
+                            if !summary.pool.is_zero() {
+                                pooled_hosts[dest].insert(summary.host);
+                            }
+                            group_of_vm.insert(request_index, dest);
+                        }
+                        None => {
+                            // No reachable pod can hold the VM: it dies
+                            // with the device. Its already-scheduled
+                            // departure event becomes a no-op.
+                            per_group[source].vms_killed += 1;
+                            group_of_vm.remove(&request_index);
+                        }
+                    }
+                }
+            }
+            Event::MigrationDone { time } => {
+                let group = migration_attribution.pop(time);
+                checked_decrement(&mut migrating_of[group], "in-flight migration copies");
+                per_group[group].migration_completions += 1;
             }
             Event::Snapshot { time } => {
                 snapshot_ticks += 1;
                 for (group, plane) in planes.iter_mut().enumerate() {
-                    let pass = plane.run_qos_pass(now);
+                    let pass = plane.run_qos_pass(now)?;
                     accounting.record_qos_pass(
                         &mut per_group[group],
                         pass,
@@ -513,6 +727,14 @@ pub fn run_multipool_fleet(
             "group {group}: every release event must have been delivered"
         );
         debug_assert_eq!(degraded_of[group], 0, "group {group}: every copy must have completed");
+        debug_assert_eq!(
+            migrating_of[group], 0,
+            "group {group}: every migration copy must have completed"
+        );
+        debug_assert_eq!(
+            per_group[group].migration_completions, per_group[group].vms_migrated,
+            "group {group}: one MigrationDone event per migrated VM"
+        );
     }
 
     for group in 0..groups {
@@ -589,6 +811,96 @@ pub fn multipool_sweep(
             seed,
         );
         run_multipool_fleet(trace, &config).map(|outcome| MultiPoolSweepPoint { spec, outcome })
+    });
+    results.into_iter().collect()
+}
+
+/// One cell of a failure-drill grid: a multi-pool cell plus the drill rate
+/// injected into it. A rate of `0.0` runs the cell drill-free.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FailureDrillSweepSpec {
+    /// The multi-pool cell under drill.
+    pub cell: MultiPoolSweepSpec,
+    /// Expected EMC failures per simulated day (`0.0` disables the drill).
+    pub rate_per_day: f64,
+}
+
+/// One completed cell of a failure-drill sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FailureDrillSweepPoint {
+    /// The grid cell that ran.
+    pub spec: FailureDrillSweepSpec,
+    /// The full replay outcome for that cell.
+    pub outcome: MultiPoolOutcome,
+}
+
+/// Sweeps failure drills over pod topologies on the parallel [`sweep`]
+/// runner: every cell replays the trace with EMC failures injected at
+/// `rate_per_day` and the evacuation planner answering them. All cells
+/// share one drill seed, so two pod styles at the same rate see the *same*
+/// failure schedule — the survival-rate comparison isolates the topology.
+/// Deterministic for a fixed `(trace, seed, drill_seed)`, including between
+/// `POND_SWEEP_THREADS=1` and the default thread count.
+///
+/// # Errors
+///
+/// Propagates the first replay error in sweep order.
+pub fn failure_drill_sweep(
+    trace: &ClusterTrace,
+    specs: &[FailureDrillSweepSpec],
+    seed: u64,
+    drill_seed: u64,
+) -> Result<Vec<FailureDrillSweepPoint>, PondError> {
+    failure_drill_sweep_with(trace, specs, |spec| drill_config(trace, spec, seed, drill_seed))
+}
+
+/// The default cell configuration [`failure_drill_sweep`] runs: the
+/// trace-sized multi-pool fleet with the cell's drill attached (rate `0.0`
+/// leaves the replay drill-free).
+pub fn drill_config(
+    trace: &ClusterTrace,
+    spec: &FailureDrillSweepSpec,
+    seed: u64,
+    drill_seed: u64,
+) -> MultiPoolConfig {
+    let config = MultiPoolConfig::for_trace(
+        trace,
+        spec.cell.pod,
+        spec.cell.groups,
+        spec.cell.pool_fraction,
+        spec.cell.scheduler,
+        seed,
+    );
+    if spec.rate_per_day > 0.0 {
+        config.with_drill(FailureDrillSpec {
+            rate_per_day: spec.rate_per_day,
+            kind: DrillKind::Emc,
+            seed: drill_seed,
+        })
+    } else {
+        config
+    }
+}
+
+/// [`failure_drill_sweep`] with a caller-supplied configuration per cell
+/// (e.g. to tighten per-host local DRAM so evacuations compete for real
+/// headroom, the `fig_failure_drill` setup). `make_config` may run from
+/// several threads at once.
+///
+/// # Errors
+///
+/// Propagates the first replay error in sweep order.
+pub fn failure_drill_sweep_with<F>(
+    trace: &ClusterTrace,
+    specs: &[FailureDrillSweepSpec],
+    make_config: F,
+) -> Result<Vec<FailureDrillSweepPoint>, PondError>
+where
+    F: Fn(&FailureDrillSweepSpec) -> MultiPoolConfig + Sync,
+{
+    let results = sweep::parallel_map(specs, |_, &spec| {
+        run_multipool_fleet(trace, &make_config(&spec))
+            .map(|outcome| FailureDrillSweepPoint { spec, outcome })
     });
     results.into_iter().collect()
 }
@@ -703,5 +1015,64 @@ mod tests {
         // More groups than hosts (the small trace has 16 servers).
         let bad = config(PodStyle::Symmetric, 64, GroupSchedulerKind::RoundRobin);
         assert!(run_multipool_fleet(&trace, &bad).is_err());
+    }
+
+    fn drill(rate_per_day: f64) -> FailureDrillSpec {
+        FailureDrillSpec { rate_per_day, kind: DrillKind::Emc, seed: 99 }
+    }
+
+    #[test]
+    fn drill_plans_are_deterministic_and_respect_the_rate() {
+        let topology =
+            PoolGroupTopology::new(PodStyle::Octopus, 4, 16, 16, Bytes::from_gib(64)).unwrap();
+        let a = plan_drill(&drill(2.0), 4 * 86_400, &topology);
+        let b = plan_drill(&drill(2.0), 4 * 86_400, &topology);
+        assert_eq!(a, b, "same spec must plan the same failures");
+        assert!(!a.is_empty(), "2/day over 4 days should fire");
+        for failure in &a {
+            assert!(failure.group < 4);
+            assert!(failure.time < 4 * 86_400);
+        }
+        // Different seeds plan different schedules.
+        let c = plan_drill(&FailureDrillSpec { seed: 100, ..drill(2.0) }, 4 * 86_400, &topology);
+        assert_ne!(a, c);
+        // Degenerate specs plan nothing.
+        assert!(plan_drill(&drill(0.0), 4 * 86_400, &topology).is_empty());
+        assert!(plan_drill(&drill(-1.0), 4 * 86_400, &topology).is_empty());
+        assert!(plan_drill(&drill(2.0), 0, &topology).is_empty());
+    }
+
+    #[test]
+    fn zero_rate_drill_is_bit_identical_to_no_drill() {
+        let trace = small_trace();
+        let plain = config(PodStyle::Octopus, 4, GroupSchedulerKind::RoundRobin);
+        let zero = plain.clone().with_drill(drill(0.0));
+        let a = run_multipool_fleet(&trace, &plain).unwrap();
+        let b = run_multipool_fleet(&trace, &zero).unwrap();
+        assert_eq!(a, b, "a zero-rate drill must not perturb the replay");
+        assert_eq!(a.fleet.emc_failures, 0);
+        assert_eq!(a.fleet.vms_killed, 0);
+        assert_eq!(a.fleet.vms_migrated, 0);
+        assert_eq!(a.fleet.availability(), 1.0);
+    }
+
+    #[test]
+    fn drilled_replay_is_deterministic_and_survives_conservation() {
+        let trace = small_trace();
+        let cfg =
+            config(PodStyle::Octopus, 4, GroupSchedulerKind::RoundRobin).with_drill(drill(4.0));
+        let a = run_multipool_fleet(&trace, &cfg).unwrap();
+        let b = run_multipool_fleet(&trace, &cfg).unwrap();
+        assert_eq!(a, b, "drilled replays must be deterministic");
+        assert!(a.fleet.emc_failures > 0, "4/day over 4 days must fire: {a:?}");
+        // Every affected VM was either migrated or killed, and every
+        // migration's copy window closed with a MigrationDone event.
+        assert_eq!(a.fleet.migration_completions, a.fleet.vms_migrated);
+        assert!(a.fleet.availability() <= 1.0);
+        assert_eq!(
+            a.fleet.evacuation_copy_time.is_zero(),
+            a.fleet.vms_migrated == 0,
+            "migrations charge copy time: {a:?}"
+        );
     }
 }

@@ -14,6 +14,7 @@
 //! plugs directly into the cluster simulator for the Figure 20/21
 //! experiments.
 
+use crate::error::PondError;
 use crate::sensitivity::{SensitivityModel, SensitivityModelConfig};
 use crate::untouched::{CustomerHistory, UntouchedMemoryModel, UntouchedModelConfig};
 use cluster_sim::scheduler::MemoryPolicy;
@@ -162,9 +163,18 @@ impl PondPolicy {
         &self.untouched
     }
 
-    /// The Figure 13 decision for one request, without mutating statistics.
-    /// Returns the pool memory to allocate.
-    pub fn decide(&self, request: &VmRequest) -> PondDecision {
+    /// The Figure 13 decision for one request, without mutating statistics,
+    /// with both models' feature schemas validated. This is the online
+    /// serving entry point: the control plane calls it once per VM arrival,
+    /// so a malformed feature row surfaces as a [`PondError::Model`] the
+    /// fleet replay propagates instead of a panic that takes a whole sweep
+    /// down.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PondError::Model`] when either prediction model rejects its
+    /// feature row (schema drift between training and serving).
+    pub fn try_decide(&self, request: &VmRequest) -> Result<PondDecision, PondError> {
         // "Workload history" means the same customer has run this workload
         // before (the paper matches on customer id, VM type, and workload
         // name); only then does Pond trust a sensitivity prediction.
@@ -178,16 +188,26 @@ impl PondPolicy {
                 .at(request.workload_index % self.suite.len())
                 .expect("workload index is taken modulo the suite size");
             let counters = self.sampler.sample(workload, request.id);
-            if self.sensitivity.is_insensitive(&counters) {
-                return PondDecision::FullyPool;
+            let insensitive = self
+                .sensitivity
+                .try_is_insensitive(&counters)
+                .map_err(|e| PondError::Model { detail: e.to_string() })?;
+            if insensitive {
+                return Ok(PondDecision::FullyPool);
             }
         }
-        let pool = self.untouched.pool_memory(request, &self.history);
-        if pool.is_zero() {
-            PondDecision::AllLocal
-        } else {
-            PondDecision::Znuma { pool }
-        }
+        let pool = self
+            .untouched
+            .try_pool_memory(request, &self.history)
+            .map_err(|e| PondError::Model { detail: e.to_string() })?;
+        Ok(if pool.is_zero() { PondDecision::AllLocal } else { PondDecision::Znuma { pool } })
+    }
+
+    /// The Figure 13 decision for one request (panicking convenience over
+    /// [`PondPolicy::try_decide`] for offline evaluation code that controls
+    /// its own feature schemas).
+    pub fn decide(&self, request: &VmRequest) -> PondDecision {
+        self.try_decide(request).expect("serving features must match the trained models' schemas")
     }
 
     /// Feeds one completed VM back into the policy's online state: its
@@ -338,6 +358,20 @@ mod tests {
         let mut request = trace.requests[0].clone();
         request.customer = CustomerId(9_999);
         assert!(!matches!(policy.decide(&request), PondDecision::FullyPool));
+    }
+
+    #[test]
+    fn try_decide_matches_the_panicking_path_on_well_formed_requests() {
+        // The serving path goes through the validating models; on the
+        // schemas they were trained with the two entry points must agree
+        // decision-for-decision (the schema-mismatch error arm is covered by
+        // pond-ml's forest/gbm regression tests — a VmRequest cannot
+        // produce a malformed row by construction).
+        let trace = trace();
+        let policy = PondPolicy::train(&trace, &PondPolicyConfig::default(), 5);
+        for request in trace.requests.iter().take(100) {
+            assert_eq!(policy.try_decide(request).unwrap(), policy.decide(request));
+        }
     }
 
     #[test]

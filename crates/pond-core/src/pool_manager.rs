@@ -11,9 +11,9 @@
 //! can schedule the completion as a first-class event.
 
 use crate::error::PondError;
-use cxl_hw::pool::{PoolSlice, PoolState};
+use cxl_hw::pool::{EmcFailureReport, PoolSlice, PoolState};
 use cxl_hw::topology::PoolTopology;
-use cxl_hw::units::{Bytes, HostId};
+use cxl_hw::units::{Bytes, EmcId, HostId};
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 use std::time::Duration;
@@ -184,6 +184,39 @@ impl PondPoolManager {
         freed
     }
 
+    /// Fails one EMC behind the pool and reconciles the manager's in-flight
+    /// state with the hardware teardown: every pending release loses the
+    /// slices that lived on the dead device (they can neither complete nor
+    /// return to the buffer — the capacity itself is gone), and entries left
+    /// empty disappear. Without this pruning, the next
+    /// [`PondPoolManager::process_releases`] would try to complete a release
+    /// for slices the device already forgot — the double-free half of the
+    /// port-lifecycle race.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`cxl_hw::CxlError::UnknownEmc`] for unknown devices.
+    pub fn fail_emc(&mut self, emc: EmcId) -> Result<EmcFailureReport, PondError> {
+        let report = self.pool.fail_emc(emc)?;
+        for pending in &mut self.pending {
+            pending.slices.retain(|s| s.emc != emc);
+        }
+        self.pending.retain(|p| !p.slices.is_empty());
+        Ok(report)
+    }
+
+    /// Handles a host failure: reclaims every slice the host owns —
+    /// assigned *and* mid-offlining — back to the free buffer immediately
+    /// (the paper's §4.2 host-failure flow), detaches its ports, and drops
+    /// the host's pending releases so a later
+    /// [`PondPoolManager::process_releases`] cannot double-free a slice that
+    /// may already belong to another host. Returns the number of slices
+    /// reclaimed.
+    pub fn fail_host(&mut self, host: HostId) -> u64 {
+        self.pending.retain(|p| p.host != host);
+        self.pool.release_host(host)
+    }
+
     /// Percentile of the observed offlining rates (GiB/s) across completed
     /// releases; Finding 10 reports the 99.99th and 99.999th percentiles of
     /// the rates needed at VM start.
@@ -285,6 +318,52 @@ mod tests {
         assert_eq!(m.available_for(HostId(16)), Bytes::ZERO);
         let err = m.allocate(HostId(16), Bytes::from_gib(1), Duration::ZERO).unwrap_err();
         assert!(matches!(err, PondError::PoolExhausted { .. }));
+    }
+
+    #[test]
+    fn host_failure_mid_offlining_cannot_double_free_or_leak_a_port() {
+        // Regression for the port-lifecycle race: host 0 departs a VM and
+        // its slices start offlining; the host then dies before the release
+        // completes. The reclaim must not leave a pending entry behind —
+        // otherwise the release event still in the queue would later
+        // complete_release slices that were already freed (and possibly
+        // reassigned to another host: a double-free).
+        let mut m = manager();
+        let slices = m.allocate(HostId(0), Bytes::from_gib(60), Duration::ZERO).unwrap();
+        let ready = m.release_async(HostId(0), slices, Duration::from_secs(10)).unwrap().unwrap();
+        assert_eq!(m.pending_release(), Bytes::from_gib(60));
+
+        assert_eq!(m.fail_host(HostId(0)), 60);
+        // The capacity is back instantly and nothing is stuck in flight.
+        assert_eq!(m.pending_release(), Bytes::ZERO);
+        assert_eq!(m.available(), Bytes::from_gib(64));
+        // Another host can take the freed slices (the port was not leaked)…
+        let stolen = m.allocate(HostId(1), Bytes::from_gib(60), Duration::from_secs(11)).unwrap();
+        assert_eq!(stolen.len(), 60);
+        // …and the stale release deadline passing must not take them back.
+        assert_eq!(m.process_releases(ready + Duration::from_secs(1)), Bytes::ZERO);
+        assert_eq!(m.pool().capacity_of(HostId(1)), Bytes::from_gib(60));
+        // A dead host with nothing in flight reclaims nothing.
+        assert_eq!(m.fail_host(HostId(0)), 0);
+    }
+
+    #[test]
+    fn emc_failure_mid_offlining_prunes_the_pending_release() {
+        // Same race from the device side: the EMC dies while slices are
+        // offlining. The pending entry must lose exactly the dead slices so
+        // the scheduled release completion finds nothing to double-free.
+        let mut m = manager();
+        let slices = m.allocate(HostId(2), Bytes::from_gib(4), Duration::ZERO).unwrap();
+        let emc = slices[0].emc;
+        let ready = m.release_async(HostId(2), slices, Duration::ZERO).unwrap().unwrap();
+
+        let report = m.fail_emc(emc).unwrap();
+        assert_eq!(report.lost.len(), 4);
+        assert_eq!(m.pending_release(), Bytes::ZERO);
+        assert_eq!(m.available(), Bytes::ZERO, "the only EMC is dead");
+        // The stale deadline passes without a panic or double-free.
+        assert_eq!(m.process_releases(ready), Bytes::ZERO);
+        assert!(m.allocate(HostId(3), Bytes::from_gib(1), ready).is_err());
     }
 
     #[test]

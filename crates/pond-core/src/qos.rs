@@ -12,6 +12,7 @@ use cxl_hw::units::Bytes;
 use hypervisor_sim::host::HostMemory;
 use hypervisor_sim::reconfig::{ReconfigurationEngine, ReconfigurationReport};
 use hypervisor_sim::vm::VirtualMachine;
+use pond_ml::MlError;
 use serde::{Deserialize, Serialize};
 use workload_model::telemetry::TmaCounters;
 
@@ -69,19 +70,35 @@ impl QosMonitor {
     /// * zNUMA VMs whose untouched prediction still holds keep monitoring.
     /// * Otherwise the sensitivity model decides: latency-insensitive VMs can
     ///   tolerate the spill, sensitive ones are mitigated.
-    pub fn evaluate(&self, observation: &VmObservation) -> QosDecision {
+    ///
+    /// This is the online serving path (one call per QoS-monitored VM every
+    /// pass), so the sensitivity model's feature schema is validated: a
+    /// drift surfaces as an [`MlError`] the replay propagates instead of a
+    /// panic mid sweep.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::FeatureCountMismatch`] on feature-schema drift.
+    pub fn try_evaluate(&self, observation: &VmObservation) -> Result<QosDecision, MlError> {
         if observation.pool_memory.is_zero() {
-            return QosDecision::ContinueMonitoring;
+            return Ok(QosDecision::ContinueMonitoring);
         }
         let fully_pool_backed = observation.predicted_untouched.is_zero();
         if !fully_pool_backed && !observation.overpredicted() {
-            return QosDecision::ContinueMonitoring;
+            return Ok(QosDecision::ContinueMonitoring);
         }
-        if self.sensitivity.is_insensitive(&observation.counters) {
+        Ok(if self.sensitivity.try_is_insensitive(&observation.counters)? {
             QosDecision::ContinueMonitoring
         } else {
             QosDecision::Mitigate
-        }
+        })
+    }
+
+    /// Evaluates one VM (panicking convenience over
+    /// [`QosMonitor::try_evaluate`]).
+    pub fn evaluate(&self, observation: &VmObservation) -> QosDecision {
+        self.try_evaluate(observation)
+            .expect("TMA counter features must match the trained forest's schema")
     }
 }
 
@@ -136,7 +153,38 @@ impl MitigationManager {
 
     /// Evaluates a VM and applies the mitigation if the monitor requests one
     /// and the budget allows it. Returns the reconfiguration report when a
-    /// mitigation ran.
+    /// mitigation ran; a feature-schema drift in the monitor's model comes
+    /// back as an error instead of a panic (this runs once per monitored VM
+    /// every QoS pass, mid replay).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::FeatureCountMismatch`] on feature-schema drift.
+    pub fn try_process(
+        &mut self,
+        monitor: &QosMonitor,
+        observation: &VmObservation,
+        host: &mut HostMemory,
+        vm: &mut VirtualMachine,
+    ) -> Result<Option<ReconfigurationReport>, MlError> {
+        self.monitored += 1;
+        if monitor.try_evaluate(observation)? == QosDecision::ContinueMonitoring {
+            return Ok(None);
+        }
+        if !self.within_budget() {
+            return Ok(None);
+        }
+        Ok(match self.engine.reconfigure(host, vm) {
+            Ok(report) if report.accelerator_toggled => {
+                self.mitigated += 1;
+                Some(report)
+            }
+            _ => None,
+        })
+    }
+
+    /// Evaluates a VM and applies the mitigation (panicking convenience over
+    /// [`MitigationManager::try_process`]).
     pub fn process(
         &mut self,
         monitor: &QosMonitor,
@@ -144,20 +192,8 @@ impl MitigationManager {
         host: &mut HostMemory,
         vm: &mut VirtualMachine,
     ) -> Option<ReconfigurationReport> {
-        self.monitored += 1;
-        if monitor.evaluate(observation) == QosDecision::ContinueMonitoring {
-            return None;
-        }
-        if !self.within_budget() {
-            return None;
-        }
-        match self.engine.reconfigure(host, vm) {
-            Ok(report) if report.accelerator_toggled => {
-                self.mitigated += 1;
-                Some(report)
-            }
-            _ => None,
-        }
+        self.try_process(monitor, observation, host, vm)
+            .expect("TMA counter features must match the trained forest's schema")
     }
 }
 

@@ -12,6 +12,7 @@ use cxl_hw::latency::LatencyScenario;
 use pond_ml::dataset::Dataset;
 use pond_ml::eval::{threshold_sweep, OperatingPoint};
 use pond_ml::forest::{ForestConfig, RandomForest};
+use pond_ml::MlError;
 use serde::{Deserialize, Serialize};
 use workload_model::telemetry::{TelemetrySampler, TmaCounters};
 use workload_model::{SlowdownModel, WorkloadSuite};
@@ -100,19 +101,42 @@ impl SensitivityModel {
     }
 
     /// Probability that the workload behind these counters is latency
-    /// insensitive (can run fully on pool memory within the PDM).
+    /// insensitive (can run fully on pool memory within the PDM), with the
+    /// feature schema validated: a drift surfaces as an [`MlError`] the
+    /// caller can propagate instead of a panic mid replay.
     ///
-    /// This is the online serving path (one call per VM arrival and per
-    /// QoS-monitored VM), so it goes through the forest's validating
-    /// `try_predict_proba`: a feature-schema drift surfaces as one clear
-    /// panic here instead of unwinding from inside a tree traversal.
+    /// # Errors
+    ///
+    /// Returns [`MlError::FeatureCountMismatch`] when the counters produce a
+    /// feature row of the wrong width for the trained forest.
+    pub fn try_insensitive_probability(&self, counters: &TmaCounters) -> Result<f64, MlError> {
+        self.forest.try_predict_proba(&counters.to_features())
+    }
+
+    /// Probability that the workload behind these counters is latency
+    /// insensitive — the panicking convenience over
+    /// [`SensitivityModel::try_insensitive_probability`] for offline
+    /// evaluation code that controls its own features.
     pub fn insensitive_probability(&self, counters: &TmaCounters) -> f64 {
-        self.forest
-            .try_predict_proba(&counters.to_features())
+        self.try_insensitive_probability(counters)
             .expect("TMA counter features must match the trained forest's schema")
     }
 
-    /// Hard decision at the model's threshold.
+    /// Hard decision at the model's threshold, with the feature schema
+    /// validated. The online serving path (one call per VM arrival and per
+    /// QoS-monitored VM) goes through here so a malformed feature row
+    /// becomes an error the fleet replay propagates, not a panic that takes
+    /// a whole sweep down.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::FeatureCountMismatch`] on feature-schema drift.
+    pub fn try_is_insensitive(&self, counters: &TmaCounters) -> Result<bool, MlError> {
+        self.forest.try_predict(&counters.to_features(), self.threshold)
+    }
+
+    /// Hard decision at the model's threshold (panicking convenience over
+    /// [`SensitivityModel::try_is_insensitive`]).
     pub fn is_insensitive(&self, counters: &TmaCounters) -> bool {
         self.insensitive_probability(counters) >= self.threshold
     }

@@ -11,6 +11,7 @@ use cluster_sim::trace::{CustomerId, GuestOs, VmRequest};
 use cxl_hw::units::Bytes;
 use pond_ml::dataset::Dataset;
 use pond_ml::gbm::{GbmConfig, GradientBoostedTrees};
+use pond_ml::MlError;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
@@ -164,21 +165,50 @@ impl UntouchedMemoryModel {
         &self.config
     }
 
-    /// Predicted untouched fraction for a VM request, clamped to `[0, 1]`.
+    /// Predicted untouched fraction for a VM request, clamped to `[0, 1]`,
+    /// with the feature schema validated: this is the online serving path
+    /// (one call per VM arrival), and it goes through the GBM's validating
+    /// `try_predict` so a feature-schema drift surfaces as an [`MlError`]
+    /// the fleet replay can propagate instead of a panic mid sweep.
     ///
-    /// This is the online serving path (one call per VM arrival), so it goes
-    /// through the GBM's validating `try_predict`: a feature-schema drift
-    /// surfaces as one clear panic here instead of unwinding from inside a
-    /// tree traversal.
+    /// # Errors
+    ///
+    /// Returns [`MlError::FeatureCountMismatch`] when the request features
+    /// do not match the trained GBM's schema.
+    pub fn try_predict_fraction(
+        &self,
+        request: &VmRequest,
+        history: &CustomerHistory,
+    ) -> Result<f64, MlError> {
+        Ok(self.gbm.try_predict(&request_features(request, history))?.clamp(0.0, 1.0))
+    }
+
+    /// Predicted untouched fraction (panicking convenience over
+    /// [`UntouchedMemoryModel::try_predict_fraction`] for offline
+    /// evaluation code).
     pub fn predict_fraction(&self, request: &VmRequest, history: &CustomerHistory) -> f64 {
-        self.gbm
-            .try_predict(&request_features(request, history))
+        self.try_predict_fraction(request, history)
             .expect("request features must match the trained GBM's schema")
-            .clamp(0.0, 1.0)
     }
 
     /// Pool memory to allocate: the predicted untouched memory, rounded down
-    /// to whole GiB (Pond allocates pool memory in 1 GiB slices).
+    /// to whole GiB (Pond allocates pool memory in 1 GiB slices), with the
+    /// feature schema validated.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::FeatureCountMismatch`] on feature-schema drift.
+    pub fn try_pool_memory(
+        &self,
+        request: &VmRequest,
+        history: &CustomerHistory,
+    ) -> Result<Bytes, MlError> {
+        let predicted = request.memory.scaled(self.try_predict_fraction(request, history)?);
+        Ok(Bytes::from_gib(predicted.slices_floor()))
+    }
+
+    /// Pool memory to allocate (panicking convenience over
+    /// [`UntouchedMemoryModel::try_pool_memory`]).
     pub fn pool_memory(&self, request: &VmRequest, history: &CustomerHistory) -> Bytes {
         let predicted = request.memory.scaled(self.predict_fraction(request, history));
         Bytes::from_gib(predicted.slices_floor())

@@ -97,6 +97,21 @@ impl RandomForest {
         Ok(self.predict_proba(features))
     }
 
+    /// Non-panicking [`RandomForest::predict`]: the hard classification at a
+    /// probability threshold, with the feature schema validated instead of
+    /// asserted. This is what online serving paths (one decision per VM
+    /// arrival, mid fleet replay) call, so a malformed feature row becomes
+    /// an error the replay can propagate rather than a panic that takes the
+    /// whole sweep down.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::FeatureCountMismatch`] when the feature count
+    /// differs from training.
+    pub fn try_predict(&self, features: &[f64], threshold: f64) -> Result<bool, MlError> {
+        Ok(self.try_predict_proba(features)? >= threshold)
+    }
+
     /// Probabilities for every row of a dataset.
     pub fn predict_proba_batch(&self, data: &Dataset) -> Result<Vec<f64>, MlError> {
         if data.n_features() != self.n_features {
@@ -204,6 +219,27 @@ mod tests {
         ));
         let good = forest.try_predict_proba(&[0.5, 0.5, 0.5, 0.5]).unwrap();
         assert_eq!(good, forest.predict_proba(&[0.5, 0.5, 0.5, 0.5]));
+    }
+
+    #[test]
+    fn try_predict_propagates_schema_mismatch_instead_of_panicking() {
+        // Regression: the hard-classification path used to go through the
+        // asserting `predict`, so one malformed feature row unwound through
+        // whatever replay was mid-flight. The row is one feature short and
+        // one feature long; both must come back as errors, and a well-formed
+        // row must agree with the panicking API exactly.
+        let data = classification_data(100, 9);
+        let forest = RandomForest::fit(&data, &ForestConfig { trees: 5, ..Default::default() }, 0);
+        assert!(matches!(
+            forest.try_predict(&[0.5, 0.5, 0.5], 0.5),
+            Err(crate::MlError::FeatureCountMismatch { got: 3, expected: 4 })
+        ));
+        assert!(matches!(
+            forest.try_predict(&[0.5; 5], 0.5),
+            Err(crate::MlError::FeatureCountMismatch { got: 5, expected: 4 })
+        ));
+        let row = [0.9, 0.8, 0.5, 0.5];
+        assert_eq!(forest.try_predict(&row, 0.5).unwrap(), forest.predict(&row, 0.5));
     }
 
     #[test]

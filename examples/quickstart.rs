@@ -51,7 +51,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // 4. One QoS pass: mitigate any VM whose prediction looks wrong.
-    let pass = plane.run_qos_pass(Duration::from_secs(3600));
+    let pass = plane.run_qos_pass(Duration::from_secs(3600))?;
     println!(
         "QoS pass complete: {} VMs reconfigured to all-local memory ({:?} of copy time)",
         pass.reconfigured, pass.copy_time

@@ -100,7 +100,7 @@ fn control_plane_accounting_is_consistent() {
     );
 
     // QoS pass and departures leave the system consistent.
-    plane.run_qos_pass(Duration::from_secs(7200));
+    plane.run_qos_pass(Duration::from_secs(7200)).unwrap();
     for vm in placed {
         plane.handle_departure(vm, Duration::from_secs(1_000_000)).unwrap();
     }

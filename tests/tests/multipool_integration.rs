@@ -12,7 +12,8 @@ use cxl_hw::topology::PodStyle;
 use cxl_hw::units::Bytes;
 use pond_core::fleet::{run_fleet, FleetConfig};
 use pond_core::multipool::{
-    multipool_sweep, run_multipool_fleet, GroupSchedulerKind, MultiPoolConfig, MultiPoolSweepSpec,
+    failure_drill_sweep, multipool_sweep, run_multipool_fleet, DrillKind, FailureDrillSpec,
+    FailureDrillSweepSpec, GroupSchedulerKind, MultiPoolConfig, MultiPoolSweepSpec,
 };
 
 fn small_trace() -> ClusterTrace {
@@ -142,6 +143,103 @@ fn multipool_sweep_is_deterministic_serial_vs_parallel() {
     }
     let again = multipool_sweep(&trace, &specs, 7).unwrap();
     assert_eq!(parallel, again, "same inputs must reproduce the sweep bit for bit");
+}
+
+/// A drilled multi-pool config with per-host local DRAM tightened to half
+/// the trace sizing, so evacuations compete for real headroom (the
+/// `fig_failure_drill` setup: on a half-empty fleet every topology survives
+/// trivially and the comparison shows nothing).
+fn drilled_config(trace: &ClusterTrace, pod: PodStyle, rate_per_day: f64) -> MultiPoolConfig {
+    let mut config =
+        MultiPoolConfig::for_trace(trace, pod, 4, 0.30, GroupSchedulerKind::RoundRobin, 7);
+    config.control.local_dram_per_host =
+        Bytes::from_gib(config.control.local_dram_per_host.as_gib() / 2);
+    config.with_drill(FailureDrillSpec { rate_per_day, kind: DrillKind::Emc, seed: 99 })
+}
+
+/// The availability payoff of pod overlap (the tentpole's acceptance
+/// criterion): on the *same* seed and the *same* failure schedule, an
+/// Octopus ring — whose pods can push evacuated VMs into the neighbour's
+/// pool — migrates strictly more VMs and kills strictly fewer than disjoint
+/// symmetric pods, whose stricken VMs can only fall back to their own hosts'
+/// local DRAM.
+#[test]
+fn octopus_overlap_survives_emc_failures_better_than_symmetric_pods() {
+    let trace = small_trace();
+    let sym = run_multipool_fleet(&trace, &drilled_config(&trace, PodStyle::Symmetric, 4.0))
+        .unwrap()
+        .fleet;
+    let oct =
+        run_multipool_fleet(&trace, &drilled_config(&trace, PodStyle::Octopus, 4.0)).unwrap().fleet;
+    // Both replays saw the same drill: the plan depends only on
+    // (drill seed, duration, group count), which the two cells share.
+    assert_eq!(sym.emc_failures, oct.emc_failures);
+    assert!(sym.emc_failures > 0, "the drill must fire: {sym:?}");
+    assert!(sym.vms_killed > 0, "a tight symmetric fleet must lose VMs: {sym:?}");
+    assert!(
+        oct.vms_migrated > sym.vms_migrated,
+        "overlap must migrate strictly more: octopus {} vs symmetric {}",
+        oct.vms_migrated,
+        sym.vms_migrated
+    );
+    assert!(
+        oct.vms_killed < sym.vms_killed,
+        "overlap must kill strictly fewer: octopus {} vs symmetric {}",
+        oct.vms_killed,
+        sym.vms_killed
+    );
+    assert!(oct.availability() > sym.availability());
+    // Every migration's copy window opened and closed on the timeline.
+    assert_eq!(oct.migration_completions, oct.vms_migrated);
+    assert_eq!(sym.migration_completions, sym.vms_migrated);
+    assert!(!oct.evacuation_copy_time.is_zero());
+}
+
+/// Determinism of failure drills (satellite): the drilled sweep on the
+/// parallel runner must equal the serial reference bit for bit, and a
+/// zero-rate cell must reproduce the drill-free replay exactly.
+#[test]
+fn failure_drill_sweep_is_deterministic_and_zero_rate_matches_plain_replay() {
+    let trace = small_trace();
+    let mut specs = Vec::new();
+    for pod in [PodStyle::Symmetric, PodStyle::Octopus] {
+        for rate_per_day in [0.0, 4.0] {
+            specs.push(FailureDrillSweepSpec {
+                cell: MultiPoolSweepSpec {
+                    pod,
+                    groups: 4,
+                    pool_fraction: 0.25,
+                    scheduler: GroupSchedulerKind::RoundRobin,
+                },
+                rate_per_day,
+            });
+        }
+    }
+    assert!(sweep::worker_count(specs.len()) >= 1);
+    let parallel = failure_drill_sweep(&trace, &specs, 7, 99).unwrap();
+    let again = failure_drill_sweep(&trace, &specs, 7, 99).unwrap();
+    assert_eq!(parallel, again, "same inputs must reproduce the sweep bit for bit");
+    for point in &parallel {
+        if point.spec.rate_per_day == 0.0 {
+            // A zero-rate drill cell is exactly the plain multipool replay.
+            let plain = run_multipool_fleet(
+                &trace,
+                &MultiPoolConfig::for_trace(
+                    &trace,
+                    point.spec.cell.pod,
+                    point.spec.cell.groups,
+                    point.spec.cell.pool_fraction,
+                    point.spec.cell.scheduler,
+                    7,
+                ),
+            )
+            .unwrap();
+            assert_eq!(point.outcome, plain, "zero-rate drill must be bit-identical");
+            assert_eq!(point.outcome.fleet.emc_failures, 0);
+        } else {
+            assert!(point.outcome.fleet.emc_failures > 0, "{point:?}");
+        }
+    }
 }
 
 /// Regression for the host-port lifecycle: a 20-host fleet shares the

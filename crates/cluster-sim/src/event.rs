@@ -33,6 +33,26 @@
 //! guarantees (by construction) that snapshots never observe the future and
 //! that departures after the final arrival are still drained: the queue is
 //! only exhausted when *all* sources are.
+//!
+//! # Data structures
+//!
+//! [`EventQueue`] is built for replay throughput. Departures — by far the
+//! busiest scheduled source (one per placed VM) — live in a **pre-sorted
+//! arena**: every request's departure time is known from the trace up front,
+//! so the queue sorts `(departure_time, request_index)` once at construction
+//! and [`EventQueue::schedule_departure`] merely *arms* the request's slot
+//! (O(1), no heap rebalancing). Popping scans forward from a cursor that
+//! only ever advances, skipping slots whose VM was never placed. Departures
+//! that do not match the precomputed time (or index requests outside the
+//! trace) fall back to a small overflow heap, preserving the scheduling
+//! API exactly. The rare sources — failures, releases, copy completions —
+//! stay on tiny binary heaps, and snapshots are a counter. The retained
+//! [`ReferenceEventQueue`] is the original five-heap implementation, kept
+//! test-only to prove the indexed queue emits bit-identical streams.
+//!
+//! Snapshot ticks fire every `snapshot_interval` seconds; when the interval
+//! does not divide the trace duration, a final tick fires *at* the duration
+//! so end-of-trace stranding statistics never miss the tail window.
 
 use crate::trace::ClusterTrace;
 use std::collections::BinaryHeap;
@@ -132,7 +152,8 @@ impl Event {
 }
 
 /// A scheduled departure, ordered for a max-heap so the earliest (and, at
-/// equal times, lowest request index) pops first.
+/// equal times, lowest request index) pops first. Used by the indexed
+/// queue's overflow heap and by the reference queue.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct Departure {
     time: u64,
@@ -152,24 +173,60 @@ impl PartialOrd for Departure {
     }
 }
 
-/// Merges arrivals, scheduled departures, release completions,
-/// reconfiguration-copy completions, and snapshot ticks into one
-/// time-ordered event stream.
+/// The next snapshot tick at construction: the first interval multiple,
+/// clamped to the horizon so a tail tick fires at the trace duration even
+/// when the interval overshoots it. `u64::MAX` means "no more snapshots".
+fn initial_snapshot(interval: u64, horizon: u64) -> u64 {
+    if interval == 0 || horizon == 0 {
+        u64::MAX
+    } else {
+        interval.min(horizon)
+    }
+}
+
+/// The tick after a snapshot at `time`: the next interval step, clamped to
+/// the horizon (the tail tick); `u64::MAX` once the horizon has fired.
+fn advance_snapshot(time: u64, interval: u64, horizon: u64) -> u64 {
+    if time >= horizon {
+        u64::MAX
+    } else {
+        time.saturating_add(interval).min(horizon)
+    }
+}
+
+/// Merges arrivals, scheduled departures, EMC failures, release
+/// completions, copy completions, and snapshot ticks into one time-ordered
+/// event stream.
 ///
 /// Arrivals come from the trace (already sorted by arrival time);
-/// departures, release completions, and reconfiguration completions are
-/// pushed by the caller as VMs are placed, as pool slices start offlining,
-/// and as mitigations start their copies; snapshot ticks fire every
-/// `snapshot_interval` seconds up to and including the trace duration (an
-/// interval of `0` disables snapshots). Scheduled events past the trace
-/// duration are still delivered — the queue only ends when every source is
-/// exhausted.
+/// departures, release completions, and copy completions are pushed by the
+/// caller as VMs are placed, as pool slices start offlining, and as copies
+/// start; snapshot ticks fire every `snapshot_interval` seconds up to and
+/// including the trace duration, with a final tail tick at the duration
+/// when the interval does not divide it (an interval of `0` disables
+/// snapshots). Scheduled events past the trace duration are still
+/// delivered — the queue only ends when every source is exhausted.
+///
+/// Internally departures are a pre-sorted arena over the trace (armed in
+/// O(1) when a VM is placed, popped via a forward-only cursor); see the
+/// module docs for the layout. [`ReferenceEventQueue`] is the retained
+/// original implementation the test suite compares against.
 #[derive(Debug)]
 pub struct EventQueue<'a> {
     requests: &'a ClusterTrace,
     next_arrival: usize,
     failures: BinaryHeap<std::cmp::Reverse<(u64, usize)>>,
-    departures: BinaryHeap<Departure>,
+    /// `(departure_time, request_index)` for every trace request, sorted.
+    dep_sorted: Vec<(u64, u32)>,
+    /// request index → its slot in `dep_sorted`.
+    dep_slot: Vec<u32>,
+    /// Whether the slot's departure has been scheduled and not yet popped.
+    dep_armed: Vec<bool>,
+    /// First slot that could still hold a live or future departure.
+    dep_cursor: usize,
+    /// Departures that do not match a precomputed slot (foreign indices or
+    /// altered times) — API compatibility with the reference queue.
+    dep_overflow: BinaryHeap<Departure>,
     releases: BinaryHeap<std::cmp::Reverse<u64>>,
     reconfigs: BinaryHeap<std::cmp::Reverse<u64>>,
     migrations: BinaryHeap<std::cmp::Reverse<u64>>,
@@ -189,23 +246,57 @@ impl<'a> EventQueue<'a> {
             trace.requests.windows(2).all(|pair| pair[0].arrival <= pair[1].arrival),
             "trace arrivals must be sorted by time"
         );
+        debug_assert!(
+            trace.requests.len() <= u32::MAX as usize,
+            "the departure arena indexes requests with u32"
+        );
+        // The saturating sum matches `VmRequest::departure()` on every trace
+        // `ClusterTrace::validate` accepts; a wrapped departure from a
+        // malformed trace simply misses its slot and goes to the overflow
+        // heap, reproducing the reference queue's behaviour.
+        let mut dep_sorted: Vec<(u64, u32)> = trace
+            .requests
+            .iter()
+            .enumerate()
+            .map(|(index, request)| {
+                (request.arrival.saturating_add(request.lifetime), index as u32)
+            })
+            .collect();
+        dep_sorted.sort_unstable();
+        let mut dep_slot = vec![0u32; trace.requests.len()];
+        for (slot, &(_, index)) in dep_sorted.iter().enumerate() {
+            dep_slot[index as usize] = slot as u32;
+        }
         EventQueue {
             requests: trace,
             next_arrival: 0,
             failures: BinaryHeap::new(),
-            departures: BinaryHeap::new(),
+            dep_armed: vec![false; dep_sorted.len()],
+            dep_sorted,
+            dep_slot,
+            dep_cursor: 0,
+            dep_overflow: BinaryHeap::new(),
             releases: BinaryHeap::new(),
             reconfigs: BinaryHeap::new(),
             migrations: BinaryHeap::new(),
-            next_snapshot: snapshot_interval,
+            next_snapshot: initial_snapshot(snapshot_interval, trace.duration),
             snapshot_interval,
             snapshot_horizon: trace.duration,
         }
     }
 
-    /// Schedules a departure event (called when a VM is placed).
+    /// Schedules a departure event (called when a VM is placed). Arms the
+    /// request's precomputed arena slot in O(1) when `time` matches the
+    /// trace's departure time; anything else goes to the overflow heap.
     pub fn schedule_departure(&mut self, time: u64, request_index: usize) {
-        self.departures.push(Departure { time, request_index });
+        if let Some(&slot) = self.dep_slot.get(request_index) {
+            let slot = slot as usize;
+            if slot >= self.dep_cursor && !self.dep_armed[slot] && self.dep_sorted[slot].0 == time {
+                self.dep_armed[slot] = true;
+                return;
+            }
+        }
+        self.dep_overflow.push(Departure { time, request_index });
     }
 
     /// Schedules an EMC-failure event (called up front by failure-drill
@@ -235,14 +326,256 @@ impl<'a> EventQueue<'a> {
         self.reconfigs.push(std::cmp::Reverse(time));
     }
 
-    fn peek_snapshot(&self) -> Option<u64> {
-        (self.snapshot_interval > 0 && self.next_snapshot <= self.snapshot_horizon)
-            .then_some(self.next_snapshot)
+    /// The earliest armed arena departure, advancing the cursor past slots
+    /// that can never fire.
+    ///
+    /// A slot can be in one of three states: *armed* (its VM was placed —
+    /// the candidate), *dead* (its arrival was already processed without
+    /// arming, i.e. the VM was rejected — skip forever), or *pending* (its
+    /// arrival has not been processed yet, so it may still arm). A pending
+    /// slot's time is at least its own arrival, which is at least the next
+    /// arrival's time; once a pending slot lies strictly past the next
+    /// arrival, no armed slot at or beyond it can beat that arrival in the
+    /// tie order, so the scan stops. The only pending slots the scan must
+    /// step over are zero-lifetime requests departing at the very instant
+    /// the next arrival fires.
+    fn peek_arena_departure(&mut self) -> Option<(u64, u32)> {
+        let pending_arrival = self.requests.requests.get(self.next_arrival).map(|r| r.arrival);
+        let mut slot = self.dep_cursor;
+        let mut compact = true;
+        while let Some(&(time, index)) = self.dep_sorted.get(slot) {
+            if self.dep_armed[slot] {
+                return Some((time, index));
+            }
+            if (index as usize) < self.next_arrival {
+                // Dead: the arrival came and went without placing the VM.
+                slot += 1;
+                if compact {
+                    self.dep_cursor = slot;
+                }
+                continue;
+            }
+            match pending_arrival {
+                // A zero-lifetime collision: the slot departs at the exact
+                // instant the next arrival fires and may still arm. It
+                // blocks cursor compaction but not the scan.
+                Some(arrival) if time <= arrival => {
+                    compact = false;
+                    slot += 1;
+                }
+                // Everything from here on is pending with time strictly
+                // past the next arrival: nothing can beat that arrival.
+                _ => return None,
+            }
+        }
+        None
     }
 
     /// Pops the next event in time order (ties: failure, departure, release,
     /// copy completion — reconfiguration before migration — snapshot,
     /// arrival).
+    pub fn next_event(&mut self) -> Option<Event> {
+        #[derive(Clone, Copy)]
+        enum Source {
+            Failure,
+            DepArena,
+            DepOverflow,
+            Release,
+            Reconfig,
+            Migration,
+            Snapshot,
+            Arrival,
+        }
+
+        // Sources are inspected in tie order with a strict-less comparison
+        // on (time, class) keys, so the earliest-peeked candidate wins every
+        // exact tie — including reconfiguration-before-migration within the
+        // shared copy-completion class.
+        let mut best_key = (u64::MAX, u8::MAX);
+        let mut source = None;
+        if let Some(&std::cmp::Reverse((time, _))) = self.failures.peek() {
+            best_key = (time, 0);
+            source = Some(Source::Failure);
+        }
+        let arena = self.peek_arena_departure();
+        let overflow = self.dep_overflow.peek().map(|d| (d.time, d.request_index));
+        let departure = match (arena, overflow) {
+            (Some((at, ai)), Some((ot, oi))) if (ot, oi) < (at, ai as usize) => {
+                Some((ot, Source::DepOverflow))
+            }
+            (Some((time, _)), _) => Some((time, Source::DepArena)),
+            (None, Some((time, _))) => Some((time, Source::DepOverflow)),
+            (None, None) => None,
+        };
+        if let Some((time, src)) = departure {
+            if (time, 1) < best_key {
+                best_key = (time, 1);
+                source = Some(src);
+            }
+        }
+        if let Some(&std::cmp::Reverse(time)) = self.releases.peek() {
+            if (time, 2) < best_key {
+                best_key = (time, 2);
+                source = Some(Source::Release);
+            }
+        }
+        if let Some(&std::cmp::Reverse(time)) = self.reconfigs.peek() {
+            if (time, 3) < best_key {
+                best_key = (time, 3);
+                source = Some(Source::Reconfig);
+            }
+        }
+        if let Some(&std::cmp::Reverse(time)) = self.migrations.peek() {
+            if (time, 3) < best_key {
+                best_key = (time, 3);
+                source = Some(Source::Migration);
+            }
+        }
+        if self.next_snapshot != u64::MAX && (self.next_snapshot, 4) < best_key {
+            best_key = (self.next_snapshot, 4);
+            source = Some(Source::Snapshot);
+        }
+        if let Some(request) = self.requests.requests.get(self.next_arrival) {
+            if (request.arrival, 5) < best_key {
+                source = Some(Source::Arrival);
+            }
+        }
+        match source? {
+            Source::Failure => {
+                let std::cmp::Reverse((time, failure_index)) =
+                    self.failures.pop().expect("peeked failure");
+                Some(Event::EmcFailure { time, failure_index })
+            }
+            Source::DepArena => {
+                let (time, index) = arena.expect("peeked arena departure");
+                let slot = self.dep_slot[index as usize] as usize;
+                self.dep_armed[slot] = false;
+                if slot == self.dep_cursor {
+                    self.dep_cursor += 1;
+                }
+                Some(Event::Departure { time, request_index: index as usize })
+            }
+            Source::DepOverflow => {
+                let departure = self.dep_overflow.pop().expect("peeked overflow departure");
+                Some(Event::Departure {
+                    time: departure.time,
+                    request_index: departure.request_index,
+                })
+            }
+            Source::Release => {
+                let std::cmp::Reverse(time) = self.releases.pop().expect("peeked release");
+                Some(Event::Release { time })
+            }
+            Source::Reconfig => {
+                let std::cmp::Reverse(time) = self.reconfigs.pop().expect("peeked reconfig");
+                Some(Event::ReconfigDone { time })
+            }
+            Source::Migration => {
+                let std::cmp::Reverse(time) = self.migrations.pop().expect("peeked migration");
+                Some(Event::MigrationDone { time })
+            }
+            Source::Snapshot => {
+                let time = self.next_snapshot;
+                self.next_snapshot =
+                    advance_snapshot(time, self.snapshot_interval, self.snapshot_horizon);
+                Some(Event::Snapshot { time })
+            }
+            Source::Arrival => {
+                let request = &self.requests.requests[self.next_arrival];
+                let event =
+                    Event::Arrival { time: request.arrival, request_index: self.next_arrival };
+                self.next_arrival += 1;
+                Some(event)
+            }
+        }
+    }
+}
+
+/// Total order key: time first, then the event class (see [`Event::class`]).
+fn keyed(event: Event) -> (u64, u8) {
+    (event.time(), event.class())
+}
+
+/// The original five-heap event queue, retained as the test-only reference
+/// implementation: every scheduled source is a [`BinaryHeap`] and
+/// [`ReferenceEventQueue::next_event`] peeks all seven sources in tie order.
+/// The equivalence proptest drives random schedules through this queue and
+/// [`EventQueue`] and asserts bit-identical event streams; `pond-core`'s
+/// reference replay uses it the same way to pin the optimized fleet replay.
+/// Carries the same tail-snapshot semantics as the indexed queue (a final
+/// tick at the trace duration when the interval does not divide it).
+#[derive(Debug)]
+pub struct ReferenceEventQueue<'a> {
+    requests: &'a ClusterTrace,
+    next_arrival: usize,
+    failures: BinaryHeap<std::cmp::Reverse<(u64, usize)>>,
+    departures: BinaryHeap<Departure>,
+    releases: BinaryHeap<std::cmp::Reverse<u64>>,
+    reconfigs: BinaryHeap<std::cmp::Reverse<u64>>,
+    migrations: BinaryHeap<std::cmp::Reverse<u64>>,
+    next_snapshot: u64,
+    snapshot_interval: u64,
+    snapshot_horizon: u64,
+}
+
+impl<'a> ReferenceEventQueue<'a> {
+    /// Creates the reference queue over a trace with the given snapshot
+    /// cadence; same contract as [`EventQueue::new`].
+    pub fn new(trace: &'a ClusterTrace, snapshot_interval: u64) -> Self {
+        debug_assert!(
+            trace.requests.windows(2).all(|pair| pair[0].arrival <= pair[1].arrival),
+            "trace arrivals must be sorted by time"
+        );
+        ReferenceEventQueue {
+            requests: trace,
+            next_arrival: 0,
+            failures: BinaryHeap::new(),
+            departures: BinaryHeap::new(),
+            releases: BinaryHeap::new(),
+            reconfigs: BinaryHeap::new(),
+            migrations: BinaryHeap::new(),
+            next_snapshot: initial_snapshot(snapshot_interval, trace.duration),
+            snapshot_interval,
+            snapshot_horizon: trace.duration,
+        }
+    }
+
+    /// Schedules a departure event; same contract as
+    /// [`EventQueue::schedule_departure`].
+    pub fn schedule_departure(&mut self, time: u64, request_index: usize) {
+        self.departures.push(Departure { time, request_index });
+    }
+
+    /// Schedules an EMC-failure event; same contract as
+    /// [`EventQueue::schedule_emc_failure`].
+    pub fn schedule_emc_failure(&mut self, time: u64, failure_index: usize) {
+        self.failures.push(std::cmp::Reverse((time, failure_index)));
+    }
+
+    /// Schedules a migration-copy completion event; same contract as
+    /// [`EventQueue::schedule_migration_done`].
+    pub fn schedule_migration_done(&mut self, time: u64) {
+        self.migrations.push(std::cmp::Reverse(time));
+    }
+
+    /// Schedules a release-completion event; same contract as
+    /// [`EventQueue::schedule_release`].
+    pub fn schedule_release(&mut self, time: u64) {
+        self.releases.push(std::cmp::Reverse(time));
+    }
+
+    /// Schedules a reconfiguration-copy completion event; same contract as
+    /// [`EventQueue::schedule_reconfig_done`].
+    pub fn schedule_reconfig_done(&mut self, time: u64) {
+        self.reconfigs.push(std::cmp::Reverse(time));
+    }
+
+    fn peek_snapshot(&self) -> Option<u64> {
+        (self.next_snapshot != u64::MAX).then_some(self.next_snapshot)
+    }
+
+    /// Pops the next event in time order; same contract as
+    /// [`EventQueue::next_event`].
     pub fn next_event(&mut self) -> Option<Event> {
         // Sources are peeked in tie order with a strict-less comparison, so
         // the earliest-peeked candidate wins every exact tie — including the
@@ -311,7 +644,11 @@ impl<'a> EventQueue<'a> {
                 Some(event)
             }
             event @ Event::Snapshot { .. } => {
-                self.next_snapshot += self.snapshot_interval;
+                self.next_snapshot = advance_snapshot(
+                    self.next_snapshot,
+                    self.snapshot_interval,
+                    self.snapshot_horizon,
+                );
                 Some(event)
             }
             event @ Event::Arrival { .. } => {
@@ -322,16 +659,12 @@ impl<'a> EventQueue<'a> {
     }
 }
 
-/// Total order key: time first, then the event class (see [`Event::class`]).
-fn keyed(event: Event) -> (u64, u8) {
-    (event.time(), event.class())
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::trace::{CustomerId, GuestOs, VmRequest, VmType};
     use cxl_hw::units::Bytes;
+    use proptest::prelude::*;
 
     fn request(id: u64, arrival: u64, lifetime: u64) -> VmRequest {
         VmRequest {
@@ -528,14 +861,37 @@ mod tests {
     }
 
     #[test]
-    fn snapshots_stop_at_the_trace_duration() {
+    fn snapshots_include_a_tail_tick_at_the_trace_duration() {
+        // 100 does not divide 250: the final stranding window still gets a
+        // snapshot, at the duration itself (regression for the tail window
+        // the old queue silently dropped).
         let t = trace(vec![], 250);
         let events = drain(&t, 100);
         assert_eq!(
             events,
-            vec![Event::Snapshot { time: 100 }, Event::Snapshot { time: 200 }],
-            "the 300 s tick lies past the 250 s duration"
+            vec![
+                Event::Snapshot { time: 100 },
+                Event::Snapshot { time: 200 },
+                Event::Snapshot { time: 250 },
+            ],
         );
+        // A divisible horizon is unchanged: no double tick at the end.
+        let t = trace(vec![], 200);
+        assert_eq!(
+            drain(&t, 100),
+            vec![Event::Snapshot { time: 100 }, Event::Snapshot { time: 200 }],
+        );
+    }
+
+    #[test]
+    fn an_interval_past_the_duration_still_snapshots_the_whole_trace() {
+        // One tick at the duration: the single stranding window is observed
+        // exactly once, even though the cadence never fires within it.
+        let t = trace(vec![], 250);
+        assert_eq!(drain(&t, 400), vec![Event::Snapshot { time: 250 }]);
+        // A zero-length trace has no window to observe.
+        let t = trace(vec![], 0);
+        assert_eq!(drain(&t, 400), vec![]);
     }
 
     #[test]
@@ -601,6 +957,8 @@ mod tests {
 
     #[test]
     fn scheduled_departures_pop_earliest_first() {
+        // Departures for requests outside the trace take the overflow path
+        // and must still merge correctly.
         let t = trace(vec![], 0);
         let mut queue = EventQueue::new(&t, 0);
         queue.schedule_departure(10, 0);
@@ -608,5 +966,124 @@ mod tests {
         assert_eq!(queue.next_event(), Some(Event::Departure { time: 5, request_index: 1 }));
         assert_eq!(queue.next_event(), Some(Event::Departure { time: 10, request_index: 0 }));
         assert_eq!(queue.next_event(), None);
+    }
+
+    #[test]
+    fn rejected_vms_leave_dead_slots_that_never_fire() {
+        // Request 0 is "rejected" (its departure is never scheduled);
+        // requests 1 and 2 are placed. The dead slot sits between the two
+        // armed ones in departure order and must be skipped.
+        let t = trace(vec![request(1, 0, 500), request(2, 10, 100), request(3, 20, 980)], 1_000);
+        let mut queue = EventQueue::new(&t, 0);
+        let mut events = Vec::new();
+        while let Some(event) = queue.next_event() {
+            if let Event::Arrival { request_index, .. } = event {
+                if request_index != 0 {
+                    let request = &t.requests[request_index];
+                    queue.schedule_departure(request.departure(), request_index);
+                }
+            }
+            events.push(event);
+        }
+        assert_eq!(
+            events,
+            vec![
+                Event::Arrival { time: 0, request_index: 0 },
+                Event::Arrival { time: 10, request_index: 1 },
+                Event::Arrival { time: 20, request_index: 2 },
+                Event::Departure { time: 110, request_index: 1 },
+                Event::Departure { time: 1_000, request_index: 2 },
+            ]
+        );
+    }
+
+    #[test]
+    fn zero_lifetime_vm_departs_between_its_own_arrival_and_the_next() {
+        // Request 0 lives 0 seconds and departs at t=10 — the same instant
+        // requests 1 and 2 arrive. The departure must pop between arrival 0's
+        // processing and arrival 1 (departures order before arrivals at equal
+        // times), even though request 2's unarmed slot shares the timestamp.
+        let t = trace(vec![request(1, 10, 0), request(2, 10, 0), request(3, 10, 50)], 100);
+        let mut queue = EventQueue::new(&t, 0);
+        let mut events = Vec::new();
+        while let Some(event) = queue.next_event() {
+            if let Event::Arrival { request_index, .. } = event {
+                let request = &t.requests[request_index];
+                queue.schedule_departure(request.departure(), request_index);
+            }
+            events.push(event);
+        }
+        assert_eq!(
+            events,
+            vec![
+                Event::Arrival { time: 10, request_index: 0 },
+                Event::Departure { time: 10, request_index: 0 },
+                Event::Arrival { time: 10, request_index: 1 },
+                Event::Departure { time: 10, request_index: 1 },
+                Event::Arrival { time: 10, request_index: 2 },
+                Event::Departure { time: 60, request_index: 2 },
+            ]
+        );
+    }
+
+    /// Drives one random schedule through a queue: `arm[i]` decides whether
+    /// arrival `i` schedules its departure (a rejected VM does not), and
+    /// `extras` injects failures, releases, copy completions, and
+    /// API-compatibility departures (foreign indices, altered times) before
+    /// the drain.
+    macro_rules! drive_schedule {
+        ($queue_type:ident, $trace:expr, $arm:expr, $extras:expr) => {{
+            let mut queue = $queue_type::new($trace, 30);
+            for (i, &(class, time, index)) in $extras.iter().enumerate() {
+                match class {
+                    0 => queue.schedule_emc_failure(time, i),
+                    1 => queue.schedule_release(time),
+                    2 => queue.schedule_reconfig_done(time),
+                    3 => queue.schedule_migration_done(time),
+                    // Foreign request indices exercise the overflow heap.
+                    4 => queue.schedule_departure(time, $trace.requests.len() + i),
+                    // In-trace indices with arbitrary times: only a time that
+                    // happens to match the precomputed departure arms a slot.
+                    _ => queue.schedule_departure(time, index % ($trace.requests.len() + 1)),
+                }
+            }
+            let mut events = Vec::new();
+            while let Some(event) = queue.next_event() {
+                if let Event::Arrival { request_index, .. } = event {
+                    if $arm[request_index] {
+                        let request = &$trace.requests[request_index];
+                        queue.schedule_departure(request.departure(), request_index);
+                    }
+                }
+                events.push(event);
+                assert!(events.len() < 10_000, "runaway drain");
+            }
+            events
+        }};
+    }
+
+    proptest! {
+        /// The indexed queue and the reference queue emit bit-identical
+        /// event streams for arbitrary schedules: colliding timestamps,
+        /// zero-lifetime VMs, rejected VMs, and all six event classes.
+        #[test]
+        fn indexed_queue_matches_the_reference_queue(
+            shape in proptest::collection::vec((0u64..8, 0u64..120, proptest::bool::ANY), 0..24),
+            extras in proptest::collection::vec((0u8..6, 0u64..400, 0usize..32), 0..16),
+            duration in 0u64..350,
+        ) {
+            let mut arrival = 0;
+            let mut requests = Vec::new();
+            let mut arm = Vec::new();
+            for (i, &(delta, lifetime, place)) in shape.iter().enumerate() {
+                arrival += delta;
+                requests.push(request(i as u64, arrival, lifetime));
+                arm.push(place);
+            }
+            let t = trace(requests, duration);
+            let indexed = drive_schedule!(EventQueue, &t, arm, extras);
+            let reference = drive_schedule!(ReferenceEventQueue, &t, arm, extras);
+            prop_assert_eq!(indexed, reference);
+        }
     }
 }

@@ -123,6 +123,14 @@ impl VmRequest {
         if self.lifetime == 0 {
             return Err(format!("vm {} has zero lifetime", self.id));
         }
+        // `departure()` is `arrival + lifetime`; a wrapping sum would land in
+        // the past and corrupt the event order of any replay of this trace.
+        if self.arrival.checked_add(self.lifetime).is_none() {
+            return Err(format!(
+                "vm {} departure overflows: arrival {} + lifetime {}",
+                self.id, self.arrival, self.lifetime
+            ));
+        }
         if !(0.0..=1.0).contains(&self.untouched_fraction) {
             return Err(format!(
                 "vm {} has untouched fraction {}",
@@ -186,11 +194,22 @@ impl ClusterTrace {
         core_seconds as f64 / (self.total_cores() * self.duration) as f64
     }
 
-    /// Validates the trace: request ordering and per-request consistency.
+    /// Validates the trace: request ordering, id uniqueness, and per-request
+    /// consistency.
     pub fn validate(&self) -> Result<(), String> {
         for pair in self.requests.windows(2) {
             if pair[1].arrival < pair[0].arrival {
                 return Err(format!("requests out of order: {} before {}", pair[1].id, pair[0].id));
+            }
+        }
+        // Replays key per-VM state (departure times, running records) by VM
+        // id; an aliased trace would silently overwrite one VM's bookkeeping
+        // with another's.
+        let mut ids: Vec<u64> = self.requests.iter().map(|r| r.id).collect();
+        ids.sort_unstable();
+        for pair in ids.windows(2) {
+            if pair[0] == pair[1] {
+                return Err(format!("duplicate vm id {} in trace", pair[0]));
             }
         }
         for request in &self.requests {
@@ -271,6 +290,32 @@ mod tests {
         let util = trace.mean_core_utilization();
         assert!((util - 0.25).abs() < 0.01, "{util}");
         assert_eq!(trace.validate(), Ok(()));
+    }
+
+    #[test]
+    fn overflowing_departure_is_rejected() {
+        let mut r = request(1, u64::MAX - 100);
+        r.lifetime = 101;
+        assert!(r.validate().unwrap_err().contains("overflow"));
+        // The exact boundary still validates.
+        r.lifetime = 100;
+        assert_eq!(r.validate(), Ok(()));
+        assert_eq!(r.departure(), u64::MAX);
+    }
+
+    #[test]
+    fn aliased_vm_ids_are_rejected() {
+        // Two requests sharing id 7: a replay keyed by VM id would overwrite
+        // the first VM's departure bookkeeping with the second's.
+        let trace = ClusterTrace {
+            cluster_id: 0,
+            servers: 2,
+            cores_per_server: 8,
+            dram_per_server: Bytes::from_gib(64),
+            duration: 7200,
+            requests: vec![request(7, 0), request(3, 50), request(7, 100)],
+        };
+        assert!(trace.validate().unwrap_err().contains("duplicate vm id 7"));
     }
 
     #[test]

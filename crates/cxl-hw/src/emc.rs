@@ -214,7 +214,7 @@ impl Emc {
     /// this EMC (assigned or mid-release) — the permission table must be
     /// clear of the host before its port can be released.
     pub fn detach_host(&mut self, host: HostId) -> Result<bool, CxlError> {
-        let owned = self.table.owned_by(host).len() as u64;
+        let owned = self.table.owned_count(host);
         if owned > 0 {
             return Err(CxlError::PortInUse { host, slices: owned });
         }
@@ -356,7 +356,7 @@ impl Emc {
 
     /// Capacity currently assigned to one host.
     pub fn capacity_of(&self, host: HostId) -> Bytes {
-        Bytes::from_gib(self.table.owned_by(host).len() as u64)
+        Bytes::from_gib(self.table.owned_count(host))
     }
 }
 

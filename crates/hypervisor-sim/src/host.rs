@@ -96,6 +96,11 @@ pub struct HostMemory {
     private_used: Bytes,
     pool_online: Bytes,
     vm_allocations: BTreeMap<VmId, VmAllocation>,
+    // Running sums over `vm_allocations`, so the allocated/free accessors —
+    // called on every placement probe and peak sample of a fleet replay —
+    // stay O(1) instead of walking the allocation map.
+    local_pinned: Bytes,
+    pool_pinned: Bytes,
 }
 
 impl HostMemory {
@@ -113,6 +118,8 @@ impl HostMemory {
             private_used: Bytes::ZERO,
             pool_online: Bytes::ZERO,
             vm_allocations: BTreeMap::new(),
+            local_pinned: Bytes::ZERO,
+            pool_pinned: Bytes::ZERO,
         }
     }
 
@@ -128,7 +135,11 @@ impl HostMemory {
 
     /// Local DRAM currently pinned for VMs.
     pub fn local_allocated(&self) -> Bytes {
-        self.vm_allocations.values().map(|a| a.local).sum()
+        debug_assert_eq!(
+            self.local_pinned,
+            self.vm_allocations.values().map(|a| a.local).sum::<Bytes>()
+        );
+        self.local_pinned
     }
 
     /// Local DRAM still free for new VMs.
@@ -143,7 +154,11 @@ impl HostMemory {
 
     /// Pool memory pinned for VMs.
     pub fn pool_allocated(&self) -> Bytes {
-        self.vm_allocations.values().map(|a| a.pool).sum()
+        debug_assert_eq!(
+            self.pool_pinned,
+            self.vm_allocations.values().map(|a| a.pool).sum::<Bytes>()
+        );
+        self.pool_pinned
     }
 
     /// Onlined pool memory not pinned to any VM.
@@ -230,6 +245,8 @@ impl HostMemory {
             });
         }
         self.vm_allocations.insert(vm, VmAllocation { local, pool });
+        self.local_pinned += local;
+        self.pool_pinned += pool;
         Ok(())
     }
 
@@ -239,7 +256,10 @@ impl HostMemory {
     ///
     /// Returns [`HostMemoryError::UnknownVm`] if the VM is not on this host.
     pub fn unpin_vm(&mut self, vm: VmId) -> Result<VmAllocation, HostMemoryError> {
-        self.vm_allocations.remove(&vm).ok_or(HostMemoryError::UnknownVm(vm))
+        let allocation = self.vm_allocations.remove(&vm).ok_or(HostMemoryError::UnknownVm(vm))?;
+        self.local_pinned -= allocation.local;
+        self.pool_pinned -= allocation.pool;
+        Ok(allocation)
     }
 
     /// Converts a VM's pool allocation into a local allocation (the QoS
@@ -264,6 +284,8 @@ impl HostMemory {
         let moved = alloc.pool;
         self.vm_allocations
             .insert(vm, VmAllocation { local: alloc.local + moved, pool: Bytes::ZERO });
+        self.local_pinned += moved;
+        self.pool_pinned -= moved;
         Ok(moved)
     }
 }

@@ -1,0 +1,129 @@
+//! Fleet-replay throughput benchmark on an 8192-server trace.
+//!
+//! Replays one day of fleet arrivals through the full Pond control plane
+//! twice: once on the rebuilt event core (indexed departure arena, O(1)
+//! incremental peak/conservation accounting, arena bookkeeping) and once
+//! through [`run_fleet_reference`] — the replay loop this PR replaced, with
+//! the five-heap peek-scan queue, a full host scan after every event, and
+//! hash-map bookkeeping. Both replays produce the *same* [`FleetOutcome`]
+//! bit for bit (asserted on every run), so the timing difference is purely
+//! the event-core data structures. The prediction models are trained once,
+//! outside the timed region, and shared by both replays.
+//!
+//! Run with `cargo bench -p pond-bench --bench fleet`. The final line prints
+//! the measured events/sec and speedup; the acceptance bar is >= 5x.
+//!
+//! [`run_fleet_reference`]: pond_core::fleet::run_fleet_reference
+
+use cluster_sim::tracegen::{ClusterConfig, TraceGenerator};
+use cluster_sim::ClusterTrace;
+use criterion::{criterion_group, BatchSize, Criterion};
+use pond_core::fleet::{
+    run_fleet_reference_with_policy, run_fleet_with_policy, FleetConfig, FleetOutcome,
+};
+use pond_core::policy::PondPolicy;
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+const SERVERS: u32 = 8192;
+
+fn bench_trace() -> ClusterTrace {
+    let config =
+        ClusterConfig { servers: SERVERS, duration_days: 1, ..ClusterConfig::azure_like() };
+    TraceGenerator::new(config, 1).generate(0)
+}
+
+/// Events the replay processed: arrivals (placed and rejected), departures
+/// (one per placed VM), release and reconfiguration completions, and QoS
+/// snapshot ticks. The single-pool replay schedules no failure-drill events.
+fn replay_events(outcome: &FleetOutcome) -> u64 {
+    outcome.scheduled_vms
+        + outcome.rejected_vms
+        + outcome.scheduled_vms
+        + outcome.releases_completed
+        + outcome.reconfig_completions
+        + outcome.qos_passes
+}
+
+fn bench_fleet(c: &mut Criterion) {
+    let trace = bench_trace();
+    let config = FleetConfig::for_trace(&trace, 0.20, 7);
+    let policy = PondPolicy::train(&trace, &config.control.policy, config.seed);
+    println!("fleet trace: {} servers, {} requests, 1 day", trace.servers, trace.requests.len());
+    // The replay consumes its policy, so each sample gets a clone — built in
+    // the untimed setup half of `iter_batched` to keep the clone cost out of
+    // both arms' timings.
+    c.bench_function(&format!("fleet_replay_indexed_{SERVERS}_servers"), |b| {
+        b.iter_batched(
+            || policy.clone(),
+            |policy| run_fleet_with_policy(black_box(&trace), &config, policy).unwrap(),
+            BatchSize::LargeInput,
+        )
+    });
+    c.bench_function(&format!("fleet_replay_reference_{SERVERS}_servers"), |b| {
+        b.iter_batched(
+            || policy.clone(),
+            |policy| run_fleet_reference_with_policy(black_box(&trace), &config, policy).unwrap(),
+            BatchSize::LargeInput,
+        )
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fleet
+);
+
+/// Best-of-`runs` wall time of `f`, cloning the consumed policy outside the
+/// timed region each run.
+fn best_of<F: FnMut(PondPolicy) -> FleetOutcome>(
+    runs: usize,
+    policy: &PondPolicy,
+    mut f: F,
+) -> (Duration, FleetOutcome) {
+    let mut best = Duration::MAX;
+    let mut out = None;
+    for _ in 0..runs {
+        let policy = policy.clone();
+        let start = Instant::now();
+        let outcome = f(policy);
+        best = best.min(start.elapsed());
+        out = Some(outcome);
+    }
+    (best, out.expect("at least one run"))
+}
+
+fn main() {
+    benches();
+
+    // Explicit throughput report: best-of-5 full replays of each loop on the
+    // same trace and the same trained policy, with a bit-for-bit outcome
+    // cross-check.
+    let trace = bench_trace();
+    let config = FleetConfig::for_trace(&trace, 0.20, 7);
+    let policy = PondPolicy::train(&trace, &config.control.policy, config.seed);
+    let (indexed, outcome) =
+        best_of(5, &policy, |policy| run_fleet_with_policy(&trace, &config, policy).unwrap());
+    let (reference, reference_outcome) = best_of(5, &policy, |policy| {
+        run_fleet_reference_with_policy(&trace, &config, policy).unwrap()
+    });
+    assert_eq!(
+        outcome, reference_outcome,
+        "the indexed and reference replays must produce identical outcomes"
+    );
+    let events = replay_events(&outcome);
+    let speedup = reference.as_secs_f64() / indexed.as_secs_f64();
+    println!(
+        "fleet replay on {SERVERS} servers: reference {:.2?} vs indexed {:.2?} -> {speedup:.1}x speedup \
+         ({events} events, {:.0} vs {:.0} events/sec)",
+        reference,
+        indexed,
+        events as f64 / reference.as_secs_f64(),
+        events as f64 / indexed.as_secs_f64(),
+    );
+    assert!(
+        speedup >= 5.0,
+        "expected the rebuilt event core to be >= 5x faster than the reference replay, got {speedup:.1}x"
+    );
+}

@@ -1,0 +1,153 @@
+//! Fleet-replay throughput: events/sec of the rebuilt event core (indexed
+//! departure arena, incremental peak/conservation accounting, arena
+//! bookkeeping) against the retained pre-refactor reference replay
+//! (five-heap peek-scan queue, full host scan per event, hash-map
+//! bookkeeping) on a large single-pool fleet.
+//!
+//! stdout carries only the deterministic outcome table — a pool-fraction
+//! sweep on the parallel runner plus the bit-for-bit indexed-vs-reference
+//! cross-check — so CI can diff a `POND_SWEEP_THREADS=1` run against the
+//! default thread count. Timings and the measured speedup go to stderr, and
+//! a machine-readable summary is written to `BENCH_fleet.json`.
+//!
+//! Set `POND_SMOKE=1` to shrink the fleet to a CI-sized smoke check (which
+//! also skips the speedup floor: a smoke fleet is too small for the
+//! per-event host scan to dominate the reference replay).
+
+use cluster_sim::tracegen::{ClusterConfig, TraceGenerator};
+use cluster_sim::ClusterTrace;
+use pond_bench::{pct, print_header};
+use pond_core::fleet::{
+    fleet_pool_sweep, run_fleet_reference_with_policy, run_fleet_with_policy, FleetConfig,
+    FleetOutcome,
+};
+use pond_core::policy::PondPolicy;
+use std::time::{Duration, Instant};
+
+fn smoke() -> bool {
+    std::env::var("POND_SMOKE").is_ok_and(|v| v == "1")
+}
+
+/// Servers in the benched fleet (`POND_FLEET_SERVERS` overrides).
+fn servers() -> u32 {
+    let default = if smoke() { 192 } else { 8192 };
+    std::env::var("POND_FLEET_SERVERS").ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+fn bench_trace() -> ClusterTrace {
+    let config =
+        ClusterConfig { servers: servers(), duration_days: 1, ..ClusterConfig::azure_like() };
+    TraceGenerator::new(config, 1).generate(0)
+}
+
+/// Events the replay processed: arrivals (placed and rejected), departures
+/// (one per placed VM), release and reconfiguration completions, and QoS
+/// snapshot ticks.
+fn replay_events(outcome: &FleetOutcome) -> u64 {
+    outcome.scheduled_vms
+        + outcome.rejected_vms
+        + outcome.scheduled_vms
+        + outcome.releases_completed
+        + outcome.reconfig_completions
+        + outcome.qos_passes
+}
+
+/// Best-of-`runs` timing; `f` clones the policy outside its own timed
+/// region, so each sample covers exactly one replay.
+fn best_of<F: FnMut() -> (Duration, FleetOutcome)>(
+    runs: usize,
+    mut f: F,
+) -> (Duration, FleetOutcome) {
+    let mut best = Duration::MAX;
+    let mut out = None;
+    for _ in 0..runs {
+        let (elapsed, outcome) = f();
+        best = best.min(elapsed);
+        out = Some(outcome);
+    }
+    (best, out.expect("at least one run"))
+}
+
+fn main() {
+    print_header(
+        "Fleet throughput",
+        "events/sec of the rebuilt event core vs the reference replay",
+    );
+    let trace = bench_trace();
+    let config = FleetConfig::for_trace(&trace, 0.20, 7);
+    println!("fleet: {} servers, {} requests, 1 day", trace.servers, trace.requests.len());
+
+    // Deterministic outcome table over the parallel sweep runner; CI diffs
+    // this whole stdout between POND_SWEEP_THREADS=1 and the default.
+    let fractions = [0.10, 0.20, 0.30];
+    let points =
+        fleet_pool_sweep(&trace, &fractions, config.seed).expect("fleet replay must not fail");
+    println!(
+        "{:>7} {:>10} {:>10} {:>12} {:>10} {:>10}",
+        "pool %", "scheduled", "rejected", "DRAM saved", "mit rate", "events"
+    );
+    for point in &points {
+        println!(
+            "{:>7} {:>10} {:>10} {:>12} {:>10} {:>10}",
+            pct(point.pool_fraction),
+            point.outcome.scheduled_vms,
+            point.outcome.rejected_vms,
+            pct(point.outcome.dram_savings_fraction()),
+            pct(point.outcome.mitigation_rate()),
+            replay_events(&point.outcome),
+        );
+    }
+
+    // The timed comparison: one trained policy, both replay loops, and a
+    // bit-for-bit outcome cross-check.
+    let train_start = Instant::now();
+    let policy = PondPolicy::train(&trace, &config.control.policy, config.seed);
+    let trained = train_start.elapsed();
+    let runs = if smoke() { 1 } else { 3 };
+    let (indexed, outcome) = best_of(runs, || {
+        let policy = policy.clone();
+        let start = Instant::now();
+        let outcome = run_fleet_with_policy(&trace, &config, policy).unwrap();
+        (start.elapsed(), outcome)
+    });
+    let (reference, reference_outcome) = best_of(runs, || {
+        let policy = policy.clone();
+        let start = Instant::now();
+        let outcome = run_fleet_reference_with_policy(&trace, &config, policy).unwrap();
+        (start.elapsed(), outcome)
+    });
+    assert_eq!(
+        outcome, reference_outcome,
+        "the indexed and reference replays must produce identical outcomes"
+    );
+    println!(
+        "indexed replay == reference replay: bit-for-bit over {} events",
+        replay_events(&outcome)
+    );
+
+    let events = replay_events(&outcome);
+    let indexed_eps = events as f64 / indexed.as_secs_f64();
+    let reference_eps = events as f64 / reference.as_secs_f64();
+    let speedup = reference.as_secs_f64() / indexed.as_secs_f64();
+    eprintln!("policy training: {trained:.2?} (excluded from both timings)");
+    eprintln!(
+        "reference {reference:.2?} ({reference_eps:.0} events/sec) vs indexed {indexed:.2?} \
+         ({indexed_eps:.0} events/sec) -> {speedup:.2}x"
+    );
+
+    let json = format!(
+        "{{\n  \"servers\": {},\n  \"requests\": {},\n  \"events\": {events},\n  \
+         \"indexed_secs\": {},\n  \"reference_secs\": {},\n  \
+         \"indexed_events_per_sec\": {:.0},\n  \"reference_events_per_sec\": {:.0},\n  \
+         \"speedup\": {:.2}\n}}\n",
+        trace.servers,
+        trace.requests.len(),
+        indexed.as_secs_f64(),
+        reference.as_secs_f64(),
+        indexed_eps,
+        reference_eps,
+        speedup,
+    );
+    std::fs::write("BENCH_fleet.json", json).expect("write BENCH_fleet.json");
+    eprintln!("wrote BENCH_fleet.json");
+}

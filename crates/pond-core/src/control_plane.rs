@@ -13,17 +13,16 @@ use crate::error::PondError;
 use crate::policy::{PondDecision, PondPolicy, PondPolicyConfig};
 use crate::pool_manager::PondPoolManager;
 use crate::qos::{MitigationManager, QosMonitor, VmObservation};
-use cluster_sim::scheduler::{align_pool_memory, host_selection_key};
+use cluster_sim::scheduler::align_pool_memory;
 use cluster_sim::trace::{ClusterTrace, CustomerId, VmRequest};
-use cxl_hw::failure::{VmHandle, VmPlacementMap};
 use cxl_hw::topology::PoolTopology;
 use cxl_hw::units::{Bytes, EmcId, HostId};
 use hypervisor_sim::host::HostMemory;
 use hypervisor_sim::telemetry::HypervisorTelemetry;
 use hypervisor_sim::vm::{VirtualMachine, VmConfig, VmId};
-use hypervisor_sim::vnuma::VNumaTopology;
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BTreeSet};
 use std::time::Duration;
 use workload_model::WorkloadSuite;
 
@@ -171,8 +170,24 @@ pub struct PondControlPlane {
     telemetry: HypervisorTelemetry,
     suite: WorkloadSuite,
     running: BTreeMap<u64, VmRecord>,
-    placements: VmPlacementMap,
     rejected: u64,
+    /// Incremental mirror of the slice count summed over
+    /// `running[*].slices`, so [`PondControlPlane::pinned_pool`] — and with
+    /// it the per-event conservation check — is O(1) instead of walking
+    /// every running VM.
+    pinned_slices: u64,
+    /// Hosts ordered by free local DRAM, lowest index first at equal free
+    /// (via `Reverse`), so placement finds the most-free host in O(log
+    /// hosts) instead of scanning them all. Mirrors the ordering of the
+    /// fleet-wide `host_selection_key` with no core model.
+    free_index: BTreeSet<(Bytes, Reverse<usize>)>,
+    /// Hosts whose memory accounting changed since the last
+    /// [`PondControlPlane::drain_touched`], deduplicated via `host_touched`.
+    touched_hosts: Vec<usize>,
+    host_touched: Vec<bool>,
+    /// Whether the pool's assigned capacity may have grown since the last
+    /// [`PondControlPlane::drain_touched`].
+    pool_dirty: bool,
 }
 
 impl PondControlPlane {
@@ -201,9 +216,12 @@ impl PondControlPlane {
     pub fn with_policy(config: ControlPlaneConfig, policy: PondPolicy) -> Result<Self, PondError> {
         let topology = PoolTopology::pond_with_capacity(config.pool_sockets, config.pool_capacity)?;
         let monitor = QosMonitor::new(policy.sensitivity_model().clone());
-        let hosts = (0..config.hosts)
+        let hosts: Vec<HostMemory> = (0..config.hosts)
             .map(|_| HostMemory::new(config.local_dram_per_host, config.hypervisor_private))
             .collect();
+        let free_index =
+            hosts.iter().enumerate().map(|(i, h)| (h.local_free(), Reverse(i))).collect();
+        let host_touched = vec![false; hosts.len()];
         Ok(PondControlPlane {
             mitigation: MitigationManager::new(config.mitigation_budget),
             pool: PondPoolManager::new(&topology),
@@ -213,10 +231,62 @@ impl PondControlPlane {
             policy,
             monitor,
             running: BTreeMap::new(),
-            placements: VmPlacementMap::new(),
             rejected: 0,
+            pinned_slices: 0,
+            free_index,
+            touched_hosts: Vec::new(),
+            host_touched,
+            pool_dirty: false,
             config,
         })
+    }
+
+    /// Re-files a host in the free-DRAM index after its accounting changed
+    /// (from `old_free` to its current `local_free`) and records it for
+    /// [`PondControlPlane::drain_touched`].
+    fn touch_host(&mut self, index: usize, old_free: Bytes) {
+        let new_free = self.hosts[index].local_free();
+        if new_free != old_free {
+            self.free_index.remove(&(old_free, Reverse(index)));
+            self.free_index.insert((new_free, Reverse(index)));
+        }
+        if !self.host_touched[index] {
+            self.host_touched[index] = true;
+            self.touched_hosts.push(index);
+        }
+    }
+
+    /// Visits every host whose memory accounting changed since the last call
+    /// and clears the set — the fleet replays' incremental peak tracking:
+    /// sampling only touched hosts at event boundaries is bit-identical to
+    /// sampling every host, because an untouched host would just repeat its
+    /// previous sample into the running maximum.
+    ///
+    /// Returns whether the pool's assigned capacity may have grown since the
+    /// last call (it only grows on placement), i.e. whether the caller needs
+    /// to resample the pool peak.
+    pub fn drain_touched(&mut self, mut visit: impl FnMut(usize, &HostMemory)) -> bool {
+        for &index in &self.touched_hosts {
+            self.host_touched[index] = false;
+            visit(index, &self.hosts[index]);
+        }
+        self.touched_hosts.clear();
+        std::mem::take(&mut self.pool_dirty)
+    }
+
+    /// The host with the most free local DRAM (lowest index at ties) and
+    /// that amount, in O(log hosts). `None` only for a zero-host plane.
+    pub fn most_free_host(&self) -> Option<(usize, Bytes)> {
+        self.free_index.last().map(|&(free, Reverse(index))| (index, free))
+    }
+
+    /// The host with the *least* free local DRAM that still fits `memory`
+    /// (lowest index at ties), in O(log hosts) — the tightest-fit probe.
+    pub fn tightest_feasible_host(&self, memory: Bytes) -> Option<(usize, Bytes)> {
+        self.free_index
+            .range((memory, Reverse(usize::MAX))..)
+            .next()
+            .map(|&(free, Reverse(index))| (index, free))
     }
 
     /// The configuration in use.
@@ -371,10 +441,10 @@ impl PondControlPlane {
     }
 
     /// The placement core shared by the pooled and all-local paths: host
-    /// selection via the fleet-wide [`host_selection_key`] (hosts here have
-    /// no core model, so the key reduces to most-free-DRAM with a
-    /// lowest-index tie-break), pool slice onlining, memory pinning, and
-    /// zNUMA exposure.
+    /// selection via the free-DRAM index (hosts here have no core model, so
+    /// the fleet-wide `host_selection_key` reduces to most-free-DRAM with a
+    /// lowest-index tie-break — exactly the index's order), pool slice
+    /// onlining, memory pinning, and zNUMA exposure.
     ///
     /// The pool share arrives already clamped and floored to whole 1 GiB
     /// slices ([`align_pool_memory`]), so host-side byte accounting and EMC
@@ -389,9 +459,10 @@ impl PondControlPlane {
         now: Duration,
     ) -> Result<PlacementSummary, PondError> {
         let local = request.memory - pool;
-        let Some(host_index) = (0..self.hosts.len())
-            .filter(|&i| self.hosts[i].local_free() >= local)
-            .min_by_key(|&i| host_selection_key(0, self.hosts[i].local_free(), i))
+        // The most-free host is feasible iff any host is: taking the index
+        // maximum is identical to filtering on `local_free() >= local` and
+        // minimizing the selection key over the survivors.
+        let Some((host_index, old_free)) = self.most_free_host().filter(|&(_, free)| free >= local)
         else {
             return Err(PondError::NoFeasibleHost { vm: request.id });
         };
@@ -401,6 +472,11 @@ impl PondControlPlane {
         host.online_pool(pool);
         host.pin_vm(VmId(request.id), local, pool)
             .map_err(|e| PondError::HostMemory(e.to_string()))?;
+        self.touch_host(host_index, old_free);
+        self.pinned_slices += slices.len() as u64;
+        // Assigned pool capacity only ever grows here, so this is the one
+        // site that forces a pool-peak resample.
+        self.pool_dirty = true;
 
         let workload = self
             .suite
@@ -412,7 +488,6 @@ impl PondControlPlane {
             VmConfig { cores: request.cores, memory: request.memory, pool_memory: pool },
             workload,
         );
-        let _topology = VNumaTopology::for_vm(vm.config(), self.config.policy.scenario);
 
         let summary = PlacementSummary {
             vm: vm.id(),
@@ -422,7 +497,6 @@ impl PondControlPlane {
             has_znuma: !pool.is_zero(),
             fallback_all_local,
         };
-        self.placements.place(VmHandle(request.id), HostId(host_index as u16), slices.clone());
         self.running.insert(
             request.id,
             VmRecord {
@@ -457,11 +531,14 @@ impl PondControlPlane {
             .running
             .remove(&vm.0)
             .ok_or_else(|| PondError::HostMemory(format!("{vm} is not running")))?;
+        let old_free = self.hosts[record.host].local_free();
         let host = &mut self.hosts[record.host];
         let allocation = host.unpin_vm(vm).map_err(|e| PondError::HostMemory(e.to_string()))?;
         host.offline_pool(allocation.pool).map_err(|e| PondError::HostMemory(e.to_string()))?;
+        let slice_count = record.slices.len() as u64;
         let ready = self.pool.release_async(HostId(record.host as u16), record.slices, now)?;
-        self.placements.remove(VmHandle(vm.0));
+        self.pinned_slices -= slice_count;
+        self.touch_host(record.host, old_free);
         // Feed the observed outcome back into the policy's history: the VM's
         // lifetime access-bit scans are the ground truth for this customer.
         self.policy.record_completion(
@@ -489,11 +566,14 @@ impl PondControlPlane {
             .running
             .remove(&vm.0)
             .ok_or_else(|| PondError::HostMemory(format!("{vm} is not running")))?;
+        let old_free = self.hosts[record.host].local_free();
         let host = &mut self.hosts[record.host];
         let allocation = host.unpin_vm(vm).map_err(|e| PondError::HostMemory(e.to_string()))?;
         host.offline_pool(allocation.pool).map_err(|e| PondError::HostMemory(e.to_string()))?;
+        let slice_count = record.slices.len() as u64;
         let ready = self.pool.release_async(HostId(record.host as u16), record.slices, now)?;
-        self.placements.remove(VmHandle(vm.0));
+        self.pinned_slices -= slice_count;
+        self.touch_host(record.host, old_free);
         Ok(ready)
     }
 
@@ -518,22 +598,23 @@ impl PondControlPlane {
         _now: Duration,
     ) -> Result<EmcFailureOutcome, PondError> {
         // The Pool Manager tears the device down (and prunes its own
-        // in-flight releases); striking the placement map then yields the
-        // blast radius and strips the dead slices from the map in one step.
+        // in-flight releases); the blast radius then falls out of the running
+        // records directly — a VM is affected iff it holds a slice on the
+        // dead device — and the dead slices are stripped in the same walk.
         let report = self.pool.fail_emc(emc)?;
-        let radius = self.placements.strike_emc(emc);
-        let mut affected = Vec::with_capacity(radius.affected_vms.len());
-        for handle in radius.affected_vms {
-            let record = self
-                .running
-                .get_mut(&handle.0)
-                .expect("the placement map tracks exactly the running VMs");
-            let pool_before = Bytes::from_gib(record.slices.len() as u64);
+        let mut affected = Vec::new();
+        for (&id, record) in &mut self.running {
+            let before = record.slices.len() as u64;
             record.slices.retain(|s| s.emc != emc);
+            let after = record.slices.len() as u64;
+            if after == before {
+                continue;
+            }
+            self.pinned_slices -= before - after;
             affected.push(AffectedVm {
-                vm: VmId(handle.0),
-                pool_before,
-                surviving_pool: Bytes::from_gib(record.slices.len() as u64),
+                vm: VmId(id),
+                pool_before: Bytes::from_gib(before),
+                surviving_pool: Bytes::from_gib(after),
             });
         }
         Ok(EmcFailureOutcome { emc, affected, slices_lost: report.lost.len() as u64 })
@@ -565,8 +646,10 @@ impl PondControlPlane {
                 predicted_untouched: record.predicted_untouched,
                 observed_untouched: record.vm.untouched_memory(),
             };
-            let host = &mut self.hosts[record.host];
-            if let Some(report) = self
+            let host_index = record.host;
+            let old_free = self.hosts[host_index].local_free();
+            let host = &mut self.hosts[host_index];
+            let mitigated = if let Some(report) = self
                 .mitigation
                 .try_process(&self.monitor, &observation, host, &mut record.vm)
                 .map_err(|e| PondError::Model { detail: e.to_string() })?
@@ -575,10 +658,10 @@ impl PondControlPlane {
                 // the pool→local copy has finished.
                 host.offline_pool(report.moved).expect("mitigation freed exactly this much");
                 let slices = std::mem::take(&mut record.slices);
-                self.placements.place(VmHandle(id), HostId(record.host as u16), Vec::new());
+                self.pinned_slices -= slices.len() as u64;
                 let ready = self
                     .pool
-                    .release_async(HostId(record.host as u16), slices, now + report.copy_duration)
+                    .release_async(HostId(host_index as u16), slices, now + report.copy_duration)
                     .expect("slices were allocated by this manager");
                 pass.mitigated.push(VmMitigation {
                     vm: VmId(id),
@@ -589,6 +672,12 @@ impl PondControlPlane {
                 record.predicted_untouched = Bytes::ZERO;
                 pass.copy_time += report.copy_duration;
                 pass.reconfigured += 1;
+                true
+            } else {
+                false
+            };
+            if mitigated {
+                self.touch_host(host_index, old_free);
             }
         }
         Ok(pass)
@@ -602,8 +691,11 @@ impl PondControlPlane {
     }
 
     /// Pool capacity currently pinned by running VMs, in whole slices.
+    /// Served from the incremental counter in O(1);
+    /// [`PondControlPlane::assert_pool_conserved_full`] cross-checks the
+    /// counter against the running records.
     pub fn pinned_pool(&self) -> Bytes {
-        Bytes::from_gib(self.running.values().map(|r| r.slices.len() as u64).sum::<u64>())
+        Bytes::from_gib(self.pinned_slices)
     }
 
     /// Checks the pool-accounting conservation invariant: every slice of
@@ -612,6 +704,12 @@ impl PondControlPlane {
     /// The denominator is [`cxl_hw::pool::PoolState::live_capacity`], so the
     /// invariant keeps holding through EMC failures: a failed device's
     /// capacity leaves the ledger together with its slices.
+    ///
+    /// The check runs on the O(1) incremental counters, so the fleet replays
+    /// can afford it after every event (in debug builds); the full scan that
+    /// re-derives those counters from the per-VM and per-release records is
+    /// [`PondControlPlane::assert_pool_conserved_full`], demoted to snapshot
+    /// ticks and end of replay.
     ///
     /// # Panics
     ///
@@ -633,6 +731,36 @@ impl PondControlPlane {
             pending + pinned,
             "assigned capacity must equal pinned plus mid-release slices"
         );
+    }
+
+    /// The full conservation scan: re-derives the pinned and mid-release
+    /// slice counts from the per-VM and per-release records, cross-checks
+    /// the incremental counters (and the free-DRAM index) against them, and
+    /// then checks the conservation invariant itself. The fleet replays run
+    /// this at snapshot ticks and at end of replay; the O(1)
+    /// [`PondControlPlane::assert_pool_conserved`] covers every other event.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a counter or index drifted from the records it mirrors,
+    /// or when the conservation invariant is violated.
+    pub fn assert_pool_conserved_full(&self) {
+        let pinned: u64 = self.running.values().map(|r| r.slices.len() as u64).sum();
+        assert_eq!(
+            Bytes::from_gib(pinned),
+            self.pinned_pool(),
+            "pinned-slice counter drifted from the running records"
+        );
+        self.pool.assert_pending_conserved();
+        assert_eq!(self.free_index.len(), self.hosts.len());
+        for (index, host) in self.hosts.iter().enumerate() {
+            assert!(
+                self.free_index.contains(&(host.local_free(), Reverse(index))),
+                "free-DRAM index drifted for host {index}: {} not filed",
+                host.local_free()
+            );
+        }
+        self.assert_pool_conserved();
     }
 }
 

@@ -1,5 +1,6 @@
 //! Error type for the Pond control plane.
 
+use cxl_hw::units::{Bytes, HostId};
 use std::error::Error;
 use std::fmt;
 
@@ -7,10 +8,21 @@ use std::fmt;
 #[derive(Debug, Clone, PartialEq)]
 #[non_exhaustive]
 pub enum PondError {
-    /// The pool cannot supply the requested capacity.
+    /// The pool cannot supply the requested capacity. Carries the shortfall
+    /// as structured fields — the description is rendered only when the
+    /// error is actually displayed, because on large fleets this variant is
+    /// thrown (and swallowed by the all-local fallback) on most arrivals.
     PoolExhausted {
-        /// Human-readable description of the shortfall.
-        detail: String,
+        /// The requested capacity.
+        requested: Bytes,
+        /// The host the request came from.
+        host: HostId,
+        /// Free buffer capacity reachable by that host.
+        reachable: Bytes,
+        /// Free buffer capacity pool-wide.
+        available: Bytes,
+        /// Capacity still offlining (not yet back in the buffer).
+        offlining: Bytes,
     },
     /// No host in the pool group can place the VM.
     NoFeasibleHost {
@@ -31,7 +43,13 @@ pub enum PondError {
 impl fmt::Display for PondError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            PondError::PoolExhausted { detail } => write!(f, "pool exhausted: {detail}"),
+            PondError::PoolExhausted { requested, host, reachable, available, offlining } => {
+                write!(
+                    f,
+                    "pool exhausted: requested {requested}, buffer holds {reachable} \
+                     reachable by {host} ({available} pool-wide, {offlining} still offlining)"
+                )
+            }
             PondError::NoFeasibleHost { vm } => write!(f, "no feasible host for vm {vm}"),
             PondError::Model { detail } => write!(f, "model error: {detail}"),
             PondError::Hardware(e) => write!(f, "hardware error: {e}"),

@@ -21,7 +21,8 @@
 
 use crate::control_plane::{ControlPlaneConfig, PondControlPlane};
 use crate::error::PondError;
-use cluster_sim::event::{Event, EventQueue};
+use crate::policy::PondPolicy;
+use cluster_sim::event::{Event, EventQueue, ReferenceEventQueue};
 use cluster_sim::sweep;
 use cluster_sim::trace::ClusterTrace;
 use cxl_hw::units::Bytes;
@@ -331,6 +332,80 @@ pub(crate) enum ScheduledEvent {
     ReconfigDone,
 }
 
+/// Resolves VM ids to trace request indices without hashing. Trace
+/// generators hand out near-contiguous ids, so a dense direct table covers
+/// the common case; wildly sparse id spaces fall back to a sorted-pairs
+/// binary search. On a duplicate id the later request wins (matching the
+/// hash-map bookkeeping this replaces), though [`ClusterTrace::validate`]
+/// rejects such traces outright.
+#[derive(Debug)]
+pub(crate) enum VmIndex {
+    /// Direct table over the id range starting at `min_id`; `u32::MAX`
+    /// marks an id with no request.
+    Dense {
+        /// The smallest VM id in the trace.
+        min_id: u64,
+        /// `slots[id - min_id]` is the request index of `id`.
+        slots: Vec<u32>,
+    },
+    /// `(id, request_index)` pairs sorted by id, for sparse id spaces.
+    Sorted(Vec<(u64, u32)>),
+}
+
+impl VmIndex {
+    /// Builds the index over a trace's requests. Dense when the id range is
+    /// at most twice the request count (with slack for tiny traces).
+    pub(crate) fn new(trace: &ClusterTrace) -> Self {
+        debug_assert!(trace.requests.len() < u32::MAX as usize);
+        let Some(min_id) = trace.requests.iter().map(|r| r.id).min() else {
+            return VmIndex::Sorted(Vec::new());
+        };
+        let max_id = trace.requests.iter().map(|r| r.id).max().expect("non-empty");
+        let span = (max_id - min_id).checked_add(1);
+        let bound = (trace.requests.len() as u64).max(1024) * 2;
+        match span {
+            Some(span) if span <= bound => {
+                let mut slots = vec![u32::MAX; span as usize];
+                for (index, request) in trace.requests.iter().enumerate() {
+                    slots[(request.id - min_id) as usize] = index as u32;
+                }
+                VmIndex::Dense { min_id, slots }
+            }
+            _ => {
+                let mut pairs: Vec<(u64, u32)> =
+                    trace.requests.iter().enumerate().map(|(i, r)| (r.id, i as u32)).collect();
+                pairs.sort_unstable();
+                VmIndex::Sorted(pairs)
+            }
+        }
+    }
+
+    /// The request index of `id`, if the trace contains it.
+    pub(crate) fn request_index(&self, id: u64) -> Option<usize> {
+        match self {
+            VmIndex::Dense { min_id, slots } => {
+                let slot = id.checked_sub(*min_id)?;
+                match usize::try_from(slot).ok().and_then(|s| slots.get(s)) {
+                    Some(&index) if index != u32::MAX => Some(index as usize),
+                    _ => None,
+                }
+            }
+            VmIndex::Sorted(pairs) => {
+                let end = pairs.partition_point(|&(pid, _)| pid <= id);
+                match end.checked_sub(1).and_then(|i| pairs.get(i)) {
+                    Some(&(pid, index)) if pid == id => Some(index as usize),
+                    _ => None,
+                }
+            }
+        }
+    }
+
+    /// The departure time of the VM with `id`, if the trace contains it.
+    pub(crate) fn departure_of(&self, trace: &ClusterTrace, id: u64) -> Option<u64> {
+        self.request_index(id).map(|index| trace.requests[index].departure())
+    }
+}
+
 /// The per-event outcome accounting shared by [`run_fleet`] and
 /// [`crate::multipool::run_multipool_fleet`]. Both replays charge
 /// placements, mitigations, and provisioning peaks through these helpers,
@@ -383,47 +458,42 @@ impl ReplayAccounting {
     /// (each copy completion becomes a first-class event so snapshots
     /// observe the window, not just the accumulated total), the release of
     /// the freed slices, and the GiB-hour take-back for the pool time the
-    /// mitigated VMs will no longer serve. `on_scheduled` fires once per
-    /// scheduled event (after it is queued) so a multi-group caller can
-    /// attribute it.
-    #[allow(clippy::too_many_arguments)]
+    /// mitigated VMs will no longer serve. `schedule` must queue the event
+    /// at the given time (and may attribute it) — taking a closure rather
+    /// than a queue lets every replay variant, whichever queue it runs on,
+    /// share this accounting.
     pub(crate) fn record_qos_pass(
         &self,
         outcome: &mut FleetOutcome,
         pass: crate::control_plane::QosPassReport,
         time: u64,
-        departure_of: &std::collections::HashMap<u64, u64>,
+        departure_of: impl Fn(u64) -> Option<u64>,
         degraded: &mut u64,
-        events: &mut EventQueue<'_>,
-        mut on_scheduled: impl FnMut(ScheduledEvent, u64),
+        mut schedule: impl FnMut(ScheduledEvent, u64),
     ) {
         outcome.mitigations += pass.reconfigured;
         outcome.mitigation_copy_time += pass.copy_time;
         outcome.qos_passes += 1;
         for mitigation in pass.mitigated {
-            let done = ceil_secs(mitigation.copy_done);
-            events.schedule_reconfig_done(done);
-            on_scheduled(ScheduledEvent::ReconfigDone, done);
+            schedule(ScheduledEvent::ReconfigDone, ceil_secs(mitigation.copy_done));
             *degraded += 1;
             outcome.peak_degraded_vms = outcome.peak_degraded_vms.max(*degraded);
             if let Some(ready) = mitigation.release_ready {
-                let ready = ceil_secs(ready);
-                events.schedule_release(ready);
-                on_scheduled(ScheduledEvent::Release, ready);
+                schedule(ScheduledEvent::Release, ceil_secs(ready));
             }
             // The VM was charged for its whole lifetime at arrival; take
             // back the pool GiB-hours it will no longer serve.
-            let remaining = departure_of
-                .get(&mitigation.vm.0)
-                .map_or(0, |&departure| departure.saturating_sub(time));
+            let remaining =
+                departure_of(mitigation.vm.0).map_or(0, |departure| departure.saturating_sub(time));
             outcome.pool_gib_hours -= mitigation.moved.as_gib_f64() * remaining as f64 / 3600.0;
         }
     }
 }
 
-/// Tracks one plane's provisioning peaks after an event. QoS passes move
-/// pool memory local, so arrivals are not the only peak-setters — both
-/// replays call this after *every* event.
+/// Tracks one plane's provisioning peaks after an event by scanning every
+/// host — the pre-refactor O(hosts)-per-event accounting, retained for the
+/// reference replay that anchors the equivalence tests and the throughput
+/// bench.
 pub(crate) fn track_peaks(
     plane: &PondControlPlane,
     outcome: &mut FleetOutcome,
@@ -441,6 +511,31 @@ pub(crate) fn track_peaks(
     outcome.pool_peak = outcome.pool_peak.max(plane.pool().pool().assigned_capacity());
 }
 
+/// Incremental peak tracking: samples only the hosts the last event touched.
+/// Bit-identical to [`track_peaks`] — an untouched host's allocations are
+/// unchanged since its previous sample, so resampling it cannot move a
+/// running maximum — and the pool's assigned capacity only grows at
+/// placements, which always mark the plane pool-dirty, so the pool peak is
+/// resampled exactly when it can move.
+pub(crate) fn track_peaks_touched(
+    plane: &mut PondControlPlane,
+    outcome: &mut FleetOutcome,
+    peak_local: &mut [Bytes],
+    peak_host_pool: &mut [Bytes],
+    peak_total: &mut [Bytes],
+) {
+    let pool_dirty = plane.drain_touched(|i, host| {
+        let local = host.local_allocated();
+        let host_pool = host.pool_allocated();
+        peak_local[i] = peak_local[i].max(local);
+        peak_host_pool[i] = peak_host_pool[i].max(host_pool);
+        peak_total[i] = peak_total[i].max(local + host_pool);
+    });
+    if pool_dirty {
+        outcome.pool_peak = outcome.pool_peak.max(plane.pool().pool().assigned_capacity());
+    }
+}
+
 /// Replays a trace through the full Pond control plane on the time-ordered
 /// event core and returns the aggregated outcome.
 ///
@@ -450,7 +545,22 @@ pub(crate) fn track_peaks(
 /// topology) and any error other than the expected placement failures
 /// (`NoFeasibleHost`, and `PoolExhausted` when the fallback is disabled).
 pub fn run_fleet(trace: &ClusterTrace, config: &FleetConfig) -> Result<FleetOutcome, PondError> {
-    let mut plane = PondControlPlane::new(trace, config.control.clone(), config.seed)?;
+    let policy = PondPolicy::train(trace, &config.control.policy, config.seed);
+    run_fleet_with_policy(trace, config, policy)
+}
+
+/// [`run_fleet`] with an already-trained policy, so callers that replay the
+/// same trace many times (sweeps, benches) pay the training cost once.
+///
+/// # Errors
+///
+/// Same as [`run_fleet`].
+pub fn run_fleet_with_policy(
+    trace: &ClusterTrace,
+    config: &FleetConfig,
+    policy: PondPolicy,
+) -> Result<FleetOutcome, PondError> {
+    let mut plane = PondControlPlane::with_policy(config.control.clone(), policy)?;
     let accounting = ReplayAccounting::new(&config.control);
 
     let hosts = plane.hosts().len();
@@ -458,11 +568,11 @@ pub fn run_fleet(trace: &ClusterTrace, config: &FleetConfig) -> Result<FleetOutc
     let mut peak_host_pool = vec![Bytes::ZERO; hosts];
     let mut peak_total = vec![Bytes::ZERO; hosts];
     let mut outcome = FleetOutcome::default();
-    let mut placed: std::collections::HashSet<usize> = std::collections::HashSet::new();
-    let mut pooled_hosts: std::collections::HashSet<usize> = std::collections::HashSet::new();
+    let mut placed = vec![false; trace.requests.len()];
+    let mut pooled_host = vec![false; hosts];
+    let mut pooled_host_count: u64 = 0;
     let mut degraded: u64 = 0;
-    let departure_of: std::collections::HashMap<u64, u64> =
-        trace.requests.iter().map(|r| (r.id, r.departure())).collect();
+    let vm_index = VmIndex::new(trace);
 
     let mut events = EventQueue::new(trace, config.qos_interval);
     while let Some(event) = events.next_event() {
@@ -473,10 +583,11 @@ pub fn run_fleet(trace: &ClusterTrace, config: &FleetConfig) -> Result<FleetOutc
                 match plane.handle_request(request, now) {
                     Ok(summary) => {
                         accounting.record_placement(&mut outcome, request, &summary);
-                        if !summary.pool.is_zero() {
-                            pooled_hosts.insert(summary.host);
+                        if !summary.pool.is_zero() && !pooled_host[summary.host] {
+                            pooled_host[summary.host] = true;
+                            pooled_host_count += 1;
                         }
-                        placed.insert(request_index);
+                        placed[request_index] = true;
                         events.schedule_departure(request.departure(), request_index);
                     }
                     Err(PondError::NoFeasibleHost { .. })
@@ -487,9 +598,9 @@ pub fn run_fleet(trace: &ClusterTrace, config: &FleetConfig) -> Result<FleetOutc
                 }
             }
             Event::Departure { request_index, .. } => {
-                // Only placed VMs scheduled a departure, so the lookup can
-                // only miss on malformed traces that reuse a request index.
-                if placed.remove(&request_index) {
+                // Only placed VMs scheduled a departure, so the flag can
+                // only be clear on malformed traces that reuse an index.
+                if std::mem::take(&mut placed[request_index]) {
                     let vm = VmId(trace.requests[request_index].id);
                     if let Some(ready) = plane.handle_departure(vm, now)? {
                         events.schedule_release(ceil_secs(ready));
@@ -515,18 +626,154 @@ pub fn run_fleet(trace: &ClusterTrace, config: &FleetConfig) -> Result<FleetOutc
                     &mut outcome,
                     pass,
                     time,
-                    &departure_of,
+                    |id| vm_index.departure_of(trace, id),
                     &mut degraded,
-                    &mut events,
-                    |_, _| {},
+                    |kind, at| match kind {
+                        ScheduledEvent::Release => events.schedule_release(at),
+                        ScheduledEvent::ReconfigDone => events.schedule_reconfig_done(at),
+                    },
+                );
+                // The full O(pool + hosts) conservation scan runs only at
+                // snapshot ticks (and end of replay) in debug builds.
+                #[cfg(debug_assertions)]
+                plane.assert_pool_conserved_full();
+            }
+        }
+
+        track_peaks_touched(
+            &mut plane,
+            &mut outcome,
+            &mut peak_local,
+            &mut peak_host_pool,
+            &mut peak_total,
+        );
+
+        // Conservation of pool accounting, checked at every event in debug
+        // builds: free + offlining + pinned must equal the pool's capacity.
+        #[cfg(debug_assertions)]
+        plane.assert_pool_conserved();
+    }
+
+    #[cfg(debug_assertions)]
+    plane.assert_pool_conserved_full();
+    debug_assert_eq!(plane.running_vms(), 0, "every placed VM must have departed");
+    debug_assert!(
+        plane.pool().pending_release().is_zero(),
+        "every release event must have been delivered and processed"
+    );
+    debug_assert_eq!(degraded, 0, "every mitigation copy must have completed as an event");
+    debug_assert_eq!(
+        outcome.reconfig_completions, outcome.mitigations,
+        "one ReconfigDone event per mitigation"
+    );
+
+    outcome.pooled_host_count = pooled_host_count;
+    outcome.sum_local_peaks = peak_local.iter().copied().sum();
+    outcome.sum_host_pool_peaks = peak_host_pool.iter().copied().sum();
+    outcome.sum_total_peaks = peak_total.iter().copied().sum();
+    Ok(outcome)
+}
+
+/// The pre-refactor replay loop, retained deliberately: the five-heap
+/// [`ReferenceEventQueue`], a full host scan after every event, and hash-map
+/// bookkeeping for placements and departures. The equivalence tests assert
+/// the optimized [`run_fleet`] matches this bit for bit, and the throughput
+/// bench measures its speedup against it.
+///
+/// # Errors
+///
+/// Same as [`run_fleet`].
+pub fn run_fleet_reference(
+    trace: &ClusterTrace,
+    config: &FleetConfig,
+) -> Result<FleetOutcome, PondError> {
+    let policy = PondPolicy::train(trace, &config.control.policy, config.seed);
+    run_fleet_reference_with_policy(trace, config, policy)
+}
+
+/// [`run_fleet_reference`] with an already-trained policy.
+///
+/// # Errors
+///
+/// Same as [`run_fleet`].
+pub fn run_fleet_reference_with_policy(
+    trace: &ClusterTrace,
+    config: &FleetConfig,
+    policy: PondPolicy,
+) -> Result<FleetOutcome, PondError> {
+    let mut plane = PondControlPlane::with_policy(config.control.clone(), policy)?;
+    let accounting = ReplayAccounting::new(&config.control);
+
+    let hosts = plane.hosts().len();
+    let mut peak_local = vec![Bytes::ZERO; hosts];
+    let mut peak_host_pool = vec![Bytes::ZERO; hosts];
+    let mut peak_total = vec![Bytes::ZERO; hosts];
+    let mut outcome = FleetOutcome::default();
+    let mut placed: std::collections::HashSet<usize> = std::collections::HashSet::new();
+    let mut pooled_hosts: std::collections::HashSet<usize> = std::collections::HashSet::new();
+    let mut degraded: u64 = 0;
+    let departure_of: std::collections::HashMap<u64, u64> =
+        trace.requests.iter().map(|r| (r.id, r.departure())).collect();
+
+    let mut events = ReferenceEventQueue::new(trace, config.qos_interval);
+    while let Some(event) = events.next_event() {
+        let now = Duration::from_secs(event.time());
+        match event {
+            Event::Arrival { request_index, .. } => {
+                let request = &trace.requests[request_index];
+                match plane.handle_request(request, now) {
+                    Ok(summary) => {
+                        accounting.record_placement(&mut outcome, request, &summary);
+                        if !summary.pool.is_zero() {
+                            pooled_hosts.insert(summary.host);
+                        }
+                        placed.insert(request_index);
+                        events.schedule_departure(request.departure(), request_index);
+                    }
+                    Err(PondError::NoFeasibleHost { .. })
+                    | Err(PondError::PoolExhausted { .. }) => {
+                        outcome.rejected_vms += 1;
+                    }
+                    Err(other) => return Err(other),
+                }
+            }
+            Event::Departure { request_index, .. } => {
+                if placed.remove(&request_index) {
+                    let vm = VmId(trace.requests[request_index].id);
+                    if let Some(ready) = plane.handle_departure(vm, now)? {
+                        events.schedule_release(ceil_secs(ready));
+                    }
+                }
+            }
+            Event::Release { .. } => {
+                plane.complete_releases(now);
+                outcome.releases_completed += 1;
+            }
+            Event::ReconfigDone { .. } => {
+                checked_decrement(&mut degraded, "in-flight mitigation copies");
+                outcome.reconfig_completions += 1;
+            }
+            Event::EmcFailure { .. } | Event::MigrationDone { .. } => {
+                unreachable!("run_fleet_reference schedules no failure-drill events")
+            }
+            Event::Snapshot { time } => {
+                let pass = plane.run_qos_pass(now)?;
+                accounting.record_qos_pass(
+                    &mut outcome,
+                    pass,
+                    time,
+                    |id| departure_of.get(&id).copied(),
+                    &mut degraded,
+                    |kind, at| match kind {
+                        ScheduledEvent::Release => events.schedule_release(at),
+                        ScheduledEvent::ReconfigDone => events.schedule_reconfig_done(at),
+                    },
                 );
             }
         }
 
         track_peaks(&plane, &mut outcome, &mut peak_local, &mut peak_host_pool, &mut peak_total);
 
-        // Conservation of pool accounting, checked at every event in debug
-        // builds: free + offlining + pinned must equal the pool's capacity.
         #[cfg(debug_assertions)]
         plane.assert_pool_conserved();
     }
@@ -605,6 +852,49 @@ mod tests {
 
     fn small_trace() -> ClusterTrace {
         TraceGenerator::new(ClusterConfig::small(), 1).generate(0)
+    }
+
+    #[test]
+    fn optimized_replay_matches_the_reference_replay_bit_for_bit() {
+        let trace = small_trace();
+        // Pool sizes spanning heavy mitigation traffic (tiny) to none.
+        for fraction in [0.02, 0.20, 0.40] {
+            let config = FleetConfig::for_trace(&trace, fraction, 7);
+            let optimized = run_fleet(&trace, &config).unwrap();
+            let reference = run_fleet_reference(&trace, &config).unwrap();
+            assert_eq!(optimized, reference, "pool fraction {fraction}");
+        }
+    }
+
+    #[test]
+    fn vm_index_resolves_dense_and_sparse_id_spaces() {
+        let mut trace = small_trace();
+        let index = VmIndex::new(&trace);
+        assert!(matches!(index, VmIndex::Dense { .. }), "generator ids are contiguous");
+        for (i, request) in trace.requests.iter().enumerate() {
+            assert_eq!(index.request_index(request.id), Some(i));
+            assert_eq!(index.departure_of(&trace, request.id), Some(request.departure()));
+        }
+        let absent = trace.requests.iter().map(|r| r.id).max().unwrap() + 1;
+        assert_eq!(index.request_index(absent), None);
+
+        // Spread the ids far apart: the index must fall back to search.
+        for (i, request) in trace.requests.iter_mut().enumerate() {
+            request.id = 5 + (i as u64) * 1_000_000;
+        }
+        let sparse = VmIndex::new(&trace);
+        assert!(matches!(sparse, VmIndex::Sorted(_)), "sparse ids must not allocate a table");
+        for (i, request) in trace.requests.iter().enumerate() {
+            assert_eq!(sparse.request_index(request.id), Some(i));
+        }
+        assert_eq!(sparse.request_index(4), None);
+        assert_eq!(sparse.request_index(6), None);
+        assert_eq!(sparse.request_index(u64::MAX), None);
+
+        assert_eq!(
+            VmIndex::new(&ClusterTrace { requests: vec![], ..trace }).request_index(0),
+            None
+        );
     }
 
     #[test]

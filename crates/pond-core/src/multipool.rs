@@ -46,8 +46,8 @@
 use crate::control_plane::{ControlPlaneConfig, PlacementSummary, PondControlPlane};
 use crate::error::PondError;
 use crate::fleet::{
-    ceil_secs, checked_decrement, track_peaks, FleetConfig, FleetOutcome, ReplayAccounting,
-    ScheduledEvent,
+    ceil_secs, checked_decrement, track_peaks_touched, FleetConfig, FleetOutcome, ReplayAccounting,
+    ScheduledEvent, VmIndex,
 };
 use crate::policy::PondPolicy;
 use cluster_sim::event::{Event, EventQueue};
@@ -60,7 +60,7 @@ use hypervisor_sim::vm::VmId;
 use rand::{Rng, SeedableRng};
 use rand_pcg::Pcg64;
 use serde::{Deserialize, Serialize};
-use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 use std::time::Duration;
 
 /// A per-arrival snapshot of one pool group, offered to [`GroupScheduler`]s.
@@ -79,19 +79,10 @@ pub struct GroupView {
 
 impl GroupView {
     fn of(plane: &PondControlPlane, request: &VmRequest) -> GroupView {
-        let mut most_free = Bytes::ZERO;
-        let mut tightest: Option<Bytes> = None;
-        for host in plane.hosts() {
-            let free = host.local_free();
-            most_free = most_free.max(free);
-            if free >= request.memory && tightest.is_none_or(|t| free < t) {
-                tightest = Some(free);
-            }
-        }
         GroupView {
             pool_free: plane.pool().available(),
-            most_free_host: most_free,
-            tightest_feasible: tightest,
+            most_free_host: plane.most_free_host().map_or(Bytes::ZERO, |(_, free)| free),
+            tightest_feasible: plane.tightest_feasible_host(request.memory).map(|(_, free)| free),
             running_vms: plane.running_vms(),
         }
     }
@@ -413,6 +404,24 @@ pub fn assert_fleet_conserved(planes: &[PondControlPlane]) {
     assert_eq!(accounted, live, "fleet-wide slice conservation across {} groups", planes.len());
 }
 
+/// The deep variant of [`assert_fleet_conserved`]: recomputes every group's
+/// incremental counters from its running VMs and hosts
+/// ([`PondControlPlane::assert_pool_conserved_full`]) before re-checking the
+/// fleet-wide sum. O(VMs + hosts + slices) per group, so the replay runs it
+/// only at snapshot ticks and at end of replay in debug builds; the O(groups)
+/// [`assert_fleet_conserved`] still runs after every event.
+///
+/// # Panics
+///
+/// Panics when any recomputed counter disagrees with its incremental twin or
+/// any conservation invariant is violated.
+pub fn assert_fleet_conserved_full(planes: &[PondControlPlane]) {
+    for plane in planes {
+        plane.assert_pool_conserved_full();
+    }
+    assert_fleet_conserved(planes);
+}
+
 /// FIFO attribution of shared-queue events back to the group that scheduled
 /// them: release and reconfiguration events carry only a time, so each
 /// schedule records `(time → group)` and each pop consumes the front entry
@@ -509,7 +518,9 @@ pub fn run_multipool_fleet(
         planes.iter().map(|p| vec![Bytes::ZERO; p.hosts().len()]).collect();
     let mut peak_host_pool = peak_local.clone();
     let mut peak_total = peak_local.clone();
-    let mut pooled_hosts: Vec<HashSet<usize>> = vec![HashSet::new(); groups];
+    let mut pooled_host: Vec<Vec<bool>> =
+        planes.iter().map(|p| vec![false; p.hosts().len()]).collect();
+    let mut pooled_count: Vec<u64> = vec![0; groups];
     let mut degraded_of: Vec<u64> = vec![0; groups];
 
     let mut cross_group_placements = 0u64;
@@ -518,12 +529,15 @@ pub fn run_multipool_fleet(
     let mut peak_degraded_fleet = 0u64;
     let mut migrating_of: Vec<u64> = vec![0; groups];
 
-    let mut group_of_vm: HashMap<usize, usize> = HashMap::new();
+    // Dense arena: which group each trace request is currently running in.
+    const NO_GROUP: u32 = u32::MAX;
+    let mut group_of_vm: Vec<u32> = vec![NO_GROUP; trace.requests.len()];
     let mut release_attribution = EventAttribution::default();
     let mut reconfig_attribution = EventAttribution::default();
     let mut migration_attribution = EventAttribution::default();
-    let departure_of: HashMap<u64, u64> =
-        trace.requests.iter().map(|r| (r.id, r.departure())).collect();
+    // Resolves VM ids (QoS mitigations, EMC blast radii) back to trace
+    // request indices — and through them, departure times.
+    let vm_index = VmIndex::new(trace);
 
     // Evacuation copies reuse the QoS-mitigation machinery: the same
     // 50 ms/GiB reconfiguration engine, charged on the event timeline.
@@ -534,13 +548,6 @@ pub fn run_multipool_fleet(
     let drill_plan = match &config.drill {
         Some(spec) => plan_drill(spec, trace.duration, &topology),
         None => Vec::new(),
-    };
-    // Only the failure arm resolves VM ids back to trace indices; spare the
-    // drill-free replays (every plain sweep cell) the extra map.
-    let index_of_id: HashMap<u64, usize> = if drill_plan.is_empty() {
-        HashMap::new()
-    } else {
-        trace.requests.iter().enumerate().map(|(i, r)| (r.id, i)).collect()
     };
 
     let mut events = EventQueue::new(trace, config.qos_interval);
@@ -576,14 +583,17 @@ pub fn run_multipool_fleet(
                 };
                 cross_group_placements += u64::from(group != home);
                 accounting.record_placement(&mut per_group[group], request, &summary);
-                if !summary.pool.is_zero() {
-                    pooled_hosts[group].insert(summary.host);
+                if !summary.pool.is_zero() && !pooled_host[group][summary.host] {
+                    pooled_host[group][summary.host] = true;
+                    pooled_count[group] += 1;
                 }
-                group_of_vm.insert(request_index, group);
+                group_of_vm[request_index] = group as u32;
                 events.schedule_departure(request.departure(), request_index);
             }
             Event::Departure { request_index, .. } => {
-                if let Some(group) = group_of_vm.remove(&request_index) {
+                let group = std::mem::replace(&mut group_of_vm[request_index], NO_GROUP);
+                if group != NO_GROUP {
+                    let group = group as usize;
                     let vm = VmId(trace.requests[request_index].id);
                     if let Some(ready) = planes[group].handle_departure(vm, now)? {
                         let time = ceil_secs(ready);
@@ -616,7 +626,9 @@ pub fn run_multipool_fleet(
                 // all-local in the same order — or killed when no rung
                 // holds it.
                 for affected in outcome.affected {
-                    let request_index = index_of_id[&affected.vm.0];
+                    let request_index = vm_index
+                        .request_index(affected.vm.0)
+                        .expect("a running VM's id resolves to a trace request");
                     let request = &trace.requests[request_index];
 
                     if let Some(ready) = planes[source].evacuate_vm(affected.vm, now)? {
@@ -627,8 +639,7 @@ pub fn run_multipool_fleet(
                     // The arrival charged this VM's full lifetime to the
                     // source group; take back the part it will no longer
                     // serve there (the destination re-charges its share).
-                    let remaining_hours =
-                        departure_of[&request.id].saturating_sub(time) as f64 / 3600.0;
+                    let remaining_hours = request.departure().saturating_sub(time) as f64 / 3600.0;
                     per_group[source].pool_gib_hours -=
                         affected.pool_before.as_gib_f64() * remaining_hours;
                     per_group[source].total_gib_hours -=
@@ -659,17 +670,18 @@ pub fn run_multipool_fleet(
                                 summary.pool.as_gib_f64() * remaining_hours;
                             per_group[dest].total_gib_hours +=
                                 request.memory.as_gib_f64() * remaining_hours;
-                            if !summary.pool.is_zero() {
-                                pooled_hosts[dest].insert(summary.host);
+                            if !summary.pool.is_zero() && !pooled_host[dest][summary.host] {
+                                pooled_host[dest][summary.host] = true;
+                                pooled_count[dest] += 1;
                             }
-                            group_of_vm.insert(request_index, dest);
+                            group_of_vm[request_index] = dest as u32;
                         }
                         None => {
                             // No reachable pod can hold the VM: it dies
                             // with the device. Its already-scheduled
                             // departure event becomes a no-op.
                             per_group[source].vms_killed += 1;
-                            group_of_vm.remove(&request_index);
+                            group_of_vm[request_index] = NO_GROUP;
                         }
                     }
                 }
@@ -687,25 +699,33 @@ pub fn run_multipool_fleet(
                         &mut per_group[group],
                         pass,
                         time,
-                        &departure_of,
+                        |id| vm_index.departure_of(trace, id),
                         &mut degraded_of[group],
-                        &mut events,
                         |kind, at| match kind {
                             ScheduledEvent::ReconfigDone => {
+                                events.schedule_reconfig_done(at);
                                 reconfig_attribution.push(at, group);
                                 degraded_fleet += 1;
                                 peak_degraded_fleet = peak_degraded_fleet.max(degraded_fleet);
                             }
-                            ScheduledEvent::Release => release_attribution.push(at, group),
+                            ScheduledEvent::Release => {
+                                events.schedule_release(at);
+                                release_attribution.push(at, group);
+                            }
                         },
                     );
                 }
+                // The deep per-group recount runs only at snapshot ticks
+                // (and end of replay) in debug builds.
+                #[cfg(debug_assertions)]
+                assert_fleet_conserved_full(&planes);
             }
         }
 
-        // Provisioning peaks after every event, per group.
-        for (group, plane) in planes.iter().enumerate() {
-            track_peaks(
+        // Provisioning peaks after every event: each group samples only the
+        // hosts the event touched (usually none).
+        for (group, plane) in planes.iter_mut().enumerate() {
+            track_peaks_touched(
                 plane,
                 &mut per_group[group],
                 &mut peak_local[group],
@@ -715,11 +735,13 @@ pub fn run_multipool_fleet(
         }
 
         // Per-group + fleet-wide conservation, checked at every event in
-        // debug builds.
+        // debug builds — O(groups) now that the counters are incremental.
         #[cfg(debug_assertions)]
         assert_fleet_conserved(&planes);
     }
 
+    #[cfg(debug_assertions)]
+    assert_fleet_conserved_full(&planes);
     for (group, plane) in planes.iter().enumerate() {
         debug_assert_eq!(plane.running_vms(), 0, "group {group}: every VM must have departed");
         debug_assert!(
@@ -739,7 +761,7 @@ pub fn run_multipool_fleet(
 
     for group in 0..groups {
         let outcome = &mut per_group[group];
-        outcome.pooled_host_count = pooled_hosts[group].len() as u64;
+        outcome.pooled_host_count = pooled_count[group];
         outcome.sum_local_peaks = peak_local[group].iter().copied().sum();
         outcome.sum_host_pool_peaks = peak_host_pool[group].iter().copied().sum();
         outcome.sum_total_peaks = peak_total[group].iter().copied().sum();

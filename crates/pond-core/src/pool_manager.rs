@@ -57,6 +57,15 @@ pub struct PondPoolManager {
     pool: PoolState,
     pending: VecDeque<PendingRelease>,
     releases: Vec<ReleaseRecord>,
+    // Incremental mirror of the slice count summed over `pending`, so
+    // `pending_release()` — called by every conservation check and pool
+    // exhaustion message — is O(1).
+    pending_slices: u64,
+    // Earliest `ready_at` over `pending` (`Duration::MAX` when none), so
+    // `process_releases` — called on every VM arrival to freshen the buffer —
+    // is O(1) when nothing has finished offlining yet, instead of draining
+    // and rebuilding the whole pending queue each time.
+    next_ready: Duration,
 }
 
 impl PondPoolManager {
@@ -66,6 +75,8 @@ impl PondPoolManager {
             pool: PoolState::from_topology(topology),
             pending: VecDeque::new(),
             releases: Vec::new(),
+            pending_slices: 0,
+            next_ready: Duration::MAX,
         }
     }
 
@@ -87,9 +98,36 @@ impl PondPoolManager {
         self.pool.free_capacity_for(host)
     }
 
-    /// Capacity still tied up in releases that have not completed.
+    /// Capacity still tied up in releases that have not completed. Served
+    /// from the incremental counter in O(1);
+    /// [`PondPoolManager::assert_pending_conserved`] cross-checks the
+    /// counter against the pending entries.
     pub fn pending_release(&self) -> Bytes {
-        Bytes::from_gib(self.pending.iter().map(|p| p.slices.len() as u64).sum::<u64>())
+        Bytes::from_gib(self.pending_slices)
+    }
+
+    /// Cross-checks the incremental pending-slice counter against the
+    /// pending entries themselves — the full-scan half of the conservation
+    /// check, run at snapshot ticks and end of replay.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the counter drifted from the entries it mirrors.
+    pub fn assert_pending_conserved(&self) {
+        let recomputed: u64 = self.pending.iter().map(|p| p.slices.len() as u64).sum();
+        assert_eq!(
+            recomputed, self.pending_slices,
+            "pending-slice counter drifted from the pending release entries"
+        );
+        assert_eq!(
+            self.earliest_pending(),
+            self.next_ready,
+            "next-ready cache drifted from the pending release entries"
+        );
+    }
+
+    fn earliest_pending(&self) -> Duration {
+        self.pending.iter().map(|p| p.ready_at).min().unwrap_or(Duration::MAX)
     }
 
     /// Completed release records.
@@ -119,15 +157,14 @@ impl PondPoolManager {
         if amount.is_zero() {
             return Ok(Vec::new());
         }
-        if self.available_for(host) < Bytes::from_gib(amount.slices_ceil()) {
+        let reachable = self.available_for(host);
+        if reachable < Bytes::from_gib(amount.slices_ceil()) {
             return Err(PondError::PoolExhausted {
-                detail: format!(
-                    "requested {amount}, buffer holds {} reachable by {host} \
-                     ({} pool-wide, {} still offlining)",
-                    self.available_for(host),
-                    self.available(),
-                    self.pending_release()
-                ),
+                requested: amount,
+                host,
+                reachable,
+                available: self.available(),
+                offlining: self.pending_release(),
             });
         }
         Ok(self.pool.add_capacity(host, amount)?)
@@ -155,6 +192,8 @@ impl PondPoolManager {
         }
         let offline_time = self.pool.begin_release(host, &slices)?;
         let ready_at = now + offline_time;
+        self.pending_slices += slices.len() as u64;
+        self.next_ready = self.next_ready.min(ready_at);
         self.pending.push_back(PendingRelease { host, slices, initiated_at: now, ready_at });
         Ok(Some(ready_at))
     }
@@ -162,11 +201,17 @@ impl PondPoolManager {
     /// Completes every pending release whose offlining delay has elapsed by
     /// `now`. Returns the capacity returned to the buffer.
     pub fn process_releases(&mut self, now: Duration) -> Bytes {
+        if now < self.next_ready {
+            // Nothing has finished offlining: the drain below would complete
+            // no entry, so skip the queue rebuild entirely.
+            return Bytes::ZERO;
+        }
         let mut freed = Bytes::ZERO;
         let mut remaining = VecDeque::new();
         while let Some(pending) = self.pending.pop_front() {
             if pending.ready_at <= now {
                 let amount = Bytes::from_gib(pending.slices.len() as u64);
+                self.pending_slices -= pending.slices.len() as u64;
                 self.pool.complete_release(pending.host, &pending.slices).expect(
                     "pending releases reference slices this manager put into releasing state",
                 );
@@ -181,6 +226,7 @@ impl PondPoolManager {
             }
         }
         self.pending = remaining;
+        self.next_ready = self.earliest_pending();
         freed
     }
 
@@ -199,9 +245,12 @@ impl PondPoolManager {
     pub fn fail_emc(&mut self, emc: EmcId) -> Result<EmcFailureReport, PondError> {
         let report = self.pool.fail_emc(emc)?;
         for pending in &mut self.pending {
+            let before = pending.slices.len();
             pending.slices.retain(|s| s.emc != emc);
+            self.pending_slices -= (before - pending.slices.len()) as u64;
         }
         self.pending.retain(|p| !p.slices.is_empty());
+        self.next_ready = self.earliest_pending();
         Ok(report)
     }
 
@@ -213,7 +262,17 @@ impl PondPoolManager {
     /// may already belong to another host. Returns the number of slices
     /// reclaimed.
     pub fn fail_host(&mut self, host: HostId) -> u64 {
-        self.pending.retain(|p| p.host != host);
+        let mut dropped = 0u64;
+        self.pending.retain(|p| {
+            if p.host == host {
+                dropped += p.slices.len() as u64;
+                false
+            } else {
+                true
+            }
+        });
+        self.pending_slices -= dropped;
+        self.next_ready = self.earliest_pending();
         self.pool.release_host(host)
     }
 

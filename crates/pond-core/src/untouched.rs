@@ -16,6 +16,12 @@ use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// Per-customer record of previously observed untouched-memory fractions.
+///
+/// Each customer's observations are kept sorted as they arrive (one binary
+/// insertion per completed VM), so the percentile features read at every
+/// scheduling decision are O(1) lookups instead of a clone-and-sort of the
+/// customer's whole history — on long traces a popular customer accumulates
+/// thousands of observations and that sort used to dominate arrival cost.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct CustomerHistory {
     observations: BTreeMap<CustomerId, Vec<f64>>,
@@ -27,9 +33,13 @@ impl CustomerHistory {
         Self::default()
     }
 
-    /// Records the untouched fraction observed for a completed VM.
+    /// Records the untouched fraction observed for a completed VM,
+    /// maintaining the customer's observations in sorted order.
     pub fn record(&mut self, customer: CustomerId, untouched_fraction: f64) {
-        self.observations.entry(customer).or_default().push(untouched_fraction.clamp(0.0, 1.0));
+        let value = untouched_fraction.clamp(0.0, 1.0);
+        let values = self.observations.entry(customer).or_default();
+        let at = values.partition_point(|&v| v < value);
+        values.insert(at, value);
     }
 
     /// Number of observations for a customer.
@@ -46,12 +56,10 @@ impl CustomerHistory {
     /// fractions (Figure 14 lists these as the model's key features).
     /// Returns `None` when the customer has no history.
     pub fn percentiles(&self, customer: CustomerId) -> Option<[f64; 5]> {
-        let values = self.observations.get(&customer)?;
-        if values.is_empty() {
+        let sorted = self.observations.get(&customer)?;
+        if sorted.is_empty() {
             return None;
         }
-        let mut sorted = values.clone();
-        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
         let pick = |q: f64| {
             let pos = (q * (sorted.len() - 1) as f64).round() as usize;
             sorted[pos]

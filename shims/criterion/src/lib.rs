@@ -66,6 +66,34 @@ impl Bencher {
         std::hint::black_box(out);
         self.samples.push(elapsed);
     }
+
+    /// Times one execution of `routine` on an input built by `setup`,
+    /// mirroring `criterion::Bencher::iter_batched`: the setup cost (e.g.
+    /// cloning a consumed argument) stays outside the timed region.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        let input = setup();
+        let start = Instant::now();
+        let out = routine(input);
+        let elapsed = start.elapsed();
+        std::hint::black_box(out);
+        self.samples.push(elapsed);
+    }
+}
+
+/// Batch sizing hint, mirroring `criterion::BatchSize`. The shim times one
+/// routine call per sample regardless, so the variant is advisory only.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// One setup per routine call.
+    PerIteration,
+    /// Criterion's default for cheap inputs.
+    SmallInput,
+    /// For inputs that are expensive to construct.
+    LargeInput,
 }
 
 /// Re-export so `criterion::black_box` callers work.

@@ -262,3 +262,59 @@ fn long_trace_cycles_more_hosts_than_ports_through_one_pool() {
     assert!(outcome.fallback_all_local > 0);
     assert!(outcome.scheduled_vms > 0);
 }
+
+/// The pinned 24-server / 15-day replay must keep reproducing the outcome
+/// captured from the implementation *before* the event-core and accounting
+/// refactor (indexed event queue, incremental peaks and conservation
+/// counters, arena bookkeeping) — the whole optimization is only admissible
+/// because it is bit-identical. The comparison goes through `Debug` strings:
+/// Rust's shortest-roundtrip float formatting makes equal strings equivalent
+/// to bit-equal `f64` GiB-hour sums.
+#[test]
+fn arena_replay_reproduces_the_pre_refactor_golden_outcome() {
+    let trace = TraceGenerator::new(
+        ClusterConfig { servers: 24, duration_days: 15, ..ClusterConfig::azure_like() },
+        1,
+    )
+    .generate(0);
+
+    let plain = run_multipool_fleet(
+        &trace,
+        &MultiPoolConfig::for_trace(
+            &trace,
+            PodStyle::Symmetric,
+            2,
+            0.20,
+            GroupSchedulerKind::RoundRobin,
+            7,
+        ),
+    )
+    .unwrap();
+    assert_eq!(
+        format!("{:?}", plain.fleet),
+        "FleetOutcome { scheduled_vms: 1322, rejected_vms: 5, fallback_all_local: 205, \
+         violations: 6, mitigations: 235, mitigation_copy_time: 95.4s, \
+         reconfig_completions: 235, peak_degraded_vms: 11, qos_passes: 60, \
+         releases_completed: 1092, emc_failures: 0, vms_migrated: 0, vms_killed: 0, \
+         migration_completions: 0, evacuation_copy_time: 0ns, pooled_host_count: 24, \
+         sum_local_peaks: Bytes(7187627769856), sum_host_pool_peaks: Bytes(5243081326592), \
+         sum_total_peaks: Bytes(10335838797824), pool_peak: Bytes(1978906181632), \
+         pool_gib_hours: 826997.7958333329, total_gib_hours: 2593592.516944444 }"
+    );
+    assert_eq!(plain.cross_group_placements, 0);
+
+    let drilled =
+        run_multipool_fleet(&trace, &drilled_config(&trace, PodStyle::Octopus, 4.0)).unwrap();
+    assert_eq!(
+        format!("{:?}", drilled.fleet),
+        "FleetOutcome { scheduled_vms: 1187, rejected_vms: 140, fallback_all_local: 983, \
+         violations: 3, mitigations: 23, mitigation_copy_time: 5.7s, \
+         reconfig_completions: 23, peak_degraded_vms: 6, qos_passes: 60, \
+         releases_completed: 80, emc_failures: 58, vms_migrated: 93, vms_killed: 13, \
+         migration_completions: 93, evacuation_copy_time: 101.75s, pooled_host_count: 24, \
+         sum_local_peaks: Bytes(4648228356096), sum_host_pool_peaks: Bytes(3273838821376), \
+         sum_total_peaks: Bytes(7260642213888), pool_peak: Bytes(2966748659712), \
+         pool_gib_hours: 55719.272500000094, total_gib_hours: 1727270.4544444447 }"
+    );
+    assert_eq!(drilled.cross_group_placements, 89);
+}

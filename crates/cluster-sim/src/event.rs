@@ -1,15 +1,15 @@
 //! The time-ordered event core of the cluster simulator.
 //!
 //! The simulator processes six classes of events: memory-device (EMC)
-//! failures (scheduled by failure-drill drivers), VM arrivals (read
-//! from the trace), VM departures (scheduled when a VM is placed),
-//! asynchronous pool-slice release completions (scheduled by pool-aware
-//! drivers such as `pond-core`'s fleet simulator), copy completions —
-//! reconfiguration copies (scheduled when a QoS mitigation starts its
-//! pool→local copy) and migration copies (scheduled when an evacuated VM
-//! starts copying to its new home) — and periodic snapshot ticks.
-//! [`EventQueue`] merges the sources into a single stream ordered by time,
-//! with a fixed tie order at equal times:
+//! failures (scheduled by failure-drill drivers), VM arrivals (streamed
+//! from an [`ArrivalSource`]), VM departures (scheduled when a VM is
+//! placed), asynchronous pool-slice release completions (scheduled by
+//! pool-aware drivers such as `pond-core`'s fleet simulator), copy
+//! completions — reconfiguration copies (scheduled when a QoS mitigation
+//! starts its pool→local copy) and migration copies (scheduled when an
+//! evacuated VM starts copying to its new home) — and periodic snapshot
+//! ticks. [`EventQueue`] merges the sources into a single stream ordered by
+//! time, with a fixed tie order at equal times:
 //!
 //! 1. **Failures** — a failure at time `t` applies before anything else at
 //!    `t`: the departures, snapshots, and arrivals sharing its timestamp all
@@ -25,37 +25,42 @@
 //!    the same instant, reconfiguration completions pop first.
 //! 5. **Snapshots** — a snapshot at time `t` runs before an arrival at `t`,
 //!    so it never reflects VMs that arrive at the very instant it samples.
-//! 6. **Arrivals** — in trace order.
+//! 6. **Arrivals** — in stream order.
 //!
-//! Simultaneous departures pop in ascending request order, and simultaneous
-//! failures in ascending drill-plan order, making the whole stream
-//! deterministic. Processing events strictly in this order is what
-//! guarantees (by construction) that snapshots never observe the future and
-//! that departures after the final arrival are still drained: the queue is
-//! only exhausted when *all* sources are.
+//! Simultaneous departures pop in ascending scheduling sequence (drivers
+//! pass the VM's arrival ordinal, preserving trace order even when
+//! departure tokens are recycled arena slots), and simultaneous failures in
+//! ascending drill-plan order, making the whole stream deterministic.
+//! Processing events strictly in this order is what guarantees (by
+//! construction) that snapshots never observe the future and that
+//! departures after the final arrival are still drained: the queue is only
+//! exhausted when *all* sources are.
 //!
 //! # Data structures
 //!
-//! [`EventQueue`] is built for replay throughput. Departures — by far the
-//! busiest scheduled source (one per placed VM) — live in a **pre-sorted
-//! arena**: every request's departure time is known from the trace up front,
-//! so the queue sorts `(departure_time, request_index)` once at construction
-//! and [`EventQueue::schedule_departure`] merely *arms* the request's slot
-//! (O(1), no heap rebalancing). Popping scans forward from a cursor that
-//! only ever advances, skipping slots whose VM was never placed. Departures
-//! that do not match the precomputed time (or index requests outside the
-//! trace) fall back to a small overflow heap, preserving the scheduling
-//! API exactly. The rare sources — failures, releases, copy completions —
-//! stay on tiny binary heaps, and snapshots are a counter. The retained
-//! [`ReferenceEventQueue`] is the original five-heap implementation, kept
-//! test-only to prove the indexed queue emits bit-identical streams.
+//! [`EventQueue`] is built for replay throughput in O(live VMs) memory.
+//! Arrivals are a one-request lookahead over the source cursor — the queue
+//! never materializes the trace. Departures — by far the busiest scheduled
+//! source (one per placed VM) — live in an **incremental per-second
+//! calendar**: a [`BTreeMap`] keyed by departure second whose buckets hold
+//! `(seq, token)` entries sorted ascending behind a pop cursor. Arming a
+//! departure at placement time is O(log live-seconds + bucket); popping
+//! takes the head of the first bucket and frees the bucket when it drains,
+//! so the calendar holds only departures of currently-live VMs. The rare
+//! sources — failures, releases, copy completions — stay on tiny binary
+//! heaps, and snapshots are a counter. The retained [`ReferenceEventQueue`]
+//! is the original five-heap implementation over a materialized trace, kept
+//! test-only to prove the streamed queue emits bit-identical merged
+//! streams.
 //!
 //! Snapshot ticks fire every `snapshot_interval` seconds; when the interval
-//! does not divide the trace duration, a final tick fires *at* the duration
-//! so end-of-trace stranding statistics never miss the tail window.
+//! does not divide the source's duration, a final tick fires *at* the
+//! duration so end-of-trace stranding statistics never miss the tail
+//! window.
 
-use crate::trace::ClusterTrace;
-use std::collections::BinaryHeap;
+use crate::source::{ArrivalSource, SourceError, TraceHeader};
+use crate::trace::{ClusterTrace, VmRequest};
+use std::collections::{BTreeMap, BinaryHeap};
 
 /// One simulation event, tagged with its time.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -73,13 +78,15 @@ pub enum Event {
         /// Index of the failure in the driver's drill plan.
         failure_index: usize,
     },
-    /// A previously placed VM departs. `request_index` indexes the trace's
-    /// request list.
+    /// A previously placed VM departs. `token` echoes whatever handle the
+    /// driver passed to [`EventQueue::schedule_departure`] — a live-VM arena
+    /// slot in the streamed fleet replays, a trace index in the materialized
+    /// ones.
     Departure {
         /// Departure time in seconds since trace start.
         time: u64,
-        /// Index of the departing VM's request in the trace.
-        request_index: usize,
+        /// The driver's handle for the departing VM.
+        token: usize,
     },
     /// An asynchronous pool-slice release completes: capacity that was
     /// offlining becomes reusable. Only delivered when the driver schedules
@@ -112,11 +119,13 @@ pub enum Event {
         /// Snapshot time in seconds since trace start.
         time: u64,
     },
-    /// The next VM request in the trace arrives.
+    /// The next VM request in the stream arrives. The request itself is
+    /// claimed with [`EventQueue::take_arrival`].
     Arrival {
         /// Arrival time in seconds since trace start.
         time: u64,
-        /// Index of the arriving VM's request in the trace.
+        /// Ordinal of the arrival in the stream (for in-memory sources,
+        /// equal to the request's index in the trace).
         request_index: usize,
     },
 }
@@ -152,24 +161,77 @@ impl Event {
 }
 
 /// A scheduled departure, ordered for a max-heap so the earliest (and, at
-/// equal times, lowest request index) pops first. Used by the indexed
-/// queue's overflow heap and by the reference queue.
+/// equal times, lowest `(seq, token)`) pops first. Used by the reference
+/// queue.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct Departure {
     time: u64,
-    request_index: usize,
+    seq: u64,
+    token: usize,
 }
 
 impl Ord for Departure {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
         // BinaryHeap is a max-heap; invert so the earliest departure pops first.
-        other.time.cmp(&self.time).then(other.request_index.cmp(&self.request_index))
+        other.time.cmp(&self.time).then(other.seq.cmp(&self.seq)).then(other.token.cmp(&self.token))
     }
 }
 
 impl PartialOrd for Departure {
     fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
         Some(self.cmp(other))
+    }
+}
+
+/// The incremental departure calendar: a map from departure second to the
+/// bucket of `(seq, token)` entries due that second, each bucket sorted
+/// ascending behind a pop cursor. Holds only departures of currently-live
+/// VMs — entries are inserted when a VM is placed and freed when its bucket
+/// drains.
+#[derive(Debug, Default)]
+struct DepartureCalendar {
+    buckets: BTreeMap<u64, CalendarBucket>,
+}
+
+/// One second's departures. `entries[head..]` is sorted ascending and still
+/// pending; everything before `head` has popped.
+#[derive(Debug, Default)]
+struct CalendarBucket {
+    entries: Vec<(u64, usize)>,
+    head: usize,
+}
+
+impl DepartureCalendar {
+    /// Arms a departure at `time`. Simultaneous departures pop in ascending
+    /// `(seq, token)` order regardless of arming order; an entry armed
+    /// "behind" already-popped peers of the same second simply becomes the
+    /// bucket's new head, exactly as a heap would deliver it next.
+    fn schedule(&mut self, time: u64, seq: u64, token: usize) {
+        let bucket = self.buckets.entry(time).or_default();
+        let pending = &bucket.entries[bucket.head..];
+        let at = bucket.head + pending.partition_point(|&entry| entry <= (seq, token));
+        bucket.entries.insert(at, (seq, token));
+    }
+
+    /// The earliest pending departure.
+    fn peek(&self) -> Option<(u64, u64, usize)> {
+        self.buckets.iter().next().map(|(&time, bucket)| {
+            let (seq, token) = bucket.entries[bucket.head];
+            (time, seq, token)
+        })
+    }
+
+    /// Pops the earliest pending departure, freeing its bucket when drained.
+    fn pop(&mut self) -> Option<(u64, u64, usize)> {
+        let mut entry = self.buckets.first_entry()?;
+        let time = *entry.key();
+        let bucket = entry.get_mut();
+        let (seq, token) = bucket.entries[bucket.head];
+        bucket.head += 1;
+        if bucket.head == bucket.entries.len() {
+            entry.remove();
+        }
+        Some((time, seq, token))
     }
 }
 
@@ -198,35 +260,36 @@ fn advance_snapshot(time: u64, interval: u64, horizon: u64) -> u64 {
 /// completions, copy completions, and snapshot ticks into one time-ordered
 /// event stream.
 ///
-/// Arrivals come from the trace (already sorted by arrival time);
-/// departures, release completions, and copy completions are pushed by the
-/// caller as VMs are placed, as pool slices start offlining, and as copies
-/// start; snapshot ticks fire every `snapshot_interval` seconds up to and
-/// including the trace duration, with a final tail tick at the duration
-/// when the interval does not divide it (an interval of `0` disables
-/// snapshots). Scheduled events past the trace duration are still
-/// delivered — the queue only ends when every source is exhausted.
+/// Arrivals stream from an [`ArrivalSource`] (already sorted by arrival
+/// time) through a one-request lookahead; departures, release completions,
+/// and copy completions are pushed by the caller as VMs are placed, as pool
+/// slices start offlining, and as copies start; snapshot ticks fire every
+/// `snapshot_interval` seconds up to and including the source's duration,
+/// with a final tail tick at the duration when the interval does not divide
+/// it (an interval of `0` disables snapshots). Scheduled events past the
+/// duration are still delivered — the queue only ends when every source is
+/// exhausted.
 ///
-/// Internally departures are a pre-sorted arena over the trace (armed in
-/// O(1) when a VM is placed, popped via a forward-only cursor); see the
-/// module docs for the layout. [`ReferenceEventQueue`] is the retained
-/// original implementation the test suite compares against.
+/// When the source errors mid-stream, the queue latches the error, stops
+/// immediately (returns `None`), and exposes the cause via
+/// [`EventQueue::source_error`] — drivers check it after the drain.
+///
+/// Internally departures live in an incremental per-second calendar (armed
+/// at placement time, holding only live VMs); see the module docs for the
+/// layout. [`ReferenceEventQueue`] is the retained original implementation
+/// the test suite compares against.
 #[derive(Debug)]
-pub struct EventQueue<'a> {
-    requests: &'a ClusterTrace,
-    next_arrival: usize,
+pub struct EventQueue<S> {
+    source: S,
+    /// The next not-yet-delivered arrival, pulled ahead from the source.
+    lookahead: Option<VmRequest>,
+    /// The most recently delivered arrival, waiting for
+    /// [`EventQueue::take_arrival`].
+    last_arrival: Option<VmRequest>,
+    next_ordinal: usize,
+    error: Option<SourceError>,
     failures: BinaryHeap<std::cmp::Reverse<(u64, usize)>>,
-    /// `(departure_time, request_index)` for every trace request, sorted.
-    dep_sorted: Vec<(u64, u32)>,
-    /// request index → its slot in `dep_sorted`.
-    dep_slot: Vec<u32>,
-    /// Whether the slot's departure has been scheduled and not yet popped.
-    dep_armed: Vec<bool>,
-    /// First slot that could still hold a live or future departure.
-    dep_cursor: usize,
-    /// Departures that do not match a precomputed slot (foreign indices or
-    /// altered times) — API compatibility with the reference queue.
-    dep_overflow: BinaryHeap<Departure>,
+    departures: DepartureCalendar,
     releases: BinaryHeap<std::cmp::Reverse<u64>>,
     reconfigs: BinaryHeap<std::cmp::Reverse<u64>>,
     migrations: BinaryHeap<std::cmp::Reverse<u64>>,
@@ -235,68 +298,68 @@ pub struct EventQueue<'a> {
     snapshot_horizon: u64,
 }
 
-impl<'a> EventQueue<'a> {
-    /// Creates the queue over a trace with the given snapshot cadence.
-    ///
-    /// The trace's requests must be sorted by arrival time (as
-    /// [`ClusterTrace::validate`] requires); otherwise the merged stream
-    /// cannot be time-ordered.
-    pub fn new(trace: &'a ClusterTrace, snapshot_interval: u64) -> Self {
-        debug_assert!(
-            trace.requests.windows(2).all(|pair| pair[0].arrival <= pair[1].arrival),
-            "trace arrivals must be sorted by time"
-        );
-        debug_assert!(
-            trace.requests.len() <= u32::MAX as usize,
-            "the departure arena indexes requests with u32"
-        );
-        // The saturating sum matches `VmRequest::departure()` on every trace
-        // `ClusterTrace::validate` accepts; a wrapped departure from a
-        // malformed trace simply misses its slot and goes to the overflow
-        // heap, reproducing the reference queue's behaviour.
-        let mut dep_sorted: Vec<(u64, u32)> = trace
-            .requests
-            .iter()
-            .enumerate()
-            .map(|(index, request)| {
-                (request.arrival.saturating_add(request.lifetime), index as u32)
-            })
-            .collect();
-        dep_sorted.sort_unstable();
-        let mut dep_slot = vec![0u32; trace.requests.len()];
-        for (slot, &(_, index)) in dep_sorted.iter().enumerate() {
-            dep_slot[index as usize] = slot as u32;
-        }
+impl<S: ArrivalSource> EventQueue<S> {
+    /// Creates the queue over an arrival source with the given snapshot
+    /// cadence. The snapshot horizon is the source's
+    /// [`TraceHeader::duration`].
+    pub fn new(mut source: S, snapshot_interval: u64) -> Self {
+        let horizon = source.header().duration;
+        let mut error = None;
+        let lookahead = match source.next_request() {
+            Ok(request) => request,
+            Err(e) => {
+                error = Some(e);
+                None
+            }
+        };
         EventQueue {
-            requests: trace,
-            next_arrival: 0,
+            source,
+            lookahead,
+            last_arrival: None,
+            next_ordinal: 0,
+            error,
             failures: BinaryHeap::new(),
-            dep_armed: vec![false; dep_sorted.len()],
-            dep_sorted,
-            dep_slot,
-            dep_cursor: 0,
-            dep_overflow: BinaryHeap::new(),
+            departures: DepartureCalendar::default(),
             releases: BinaryHeap::new(),
             reconfigs: BinaryHeap::new(),
             migrations: BinaryHeap::new(),
-            next_snapshot: initial_snapshot(snapshot_interval, trace.duration),
+            next_snapshot: initial_snapshot(snapshot_interval, horizon),
             snapshot_interval,
-            snapshot_horizon: trace.duration,
+            snapshot_horizon: horizon,
         }
     }
 
-    /// Schedules a departure event (called when a VM is placed). Arms the
-    /// request's precomputed arena slot in O(1) when `time` matches the
-    /// trace's departure time; anything else goes to the overflow heap.
-    pub fn schedule_departure(&mut self, time: u64, request_index: usize) {
-        if let Some(&slot) = self.dep_slot.get(request_index) {
-            let slot = slot as usize;
-            if slot >= self.dep_cursor && !self.dep_armed[slot] && self.dep_sorted[slot].0 == time {
-                self.dep_armed[slot] = true;
-                return;
-            }
-        }
-        self.dep_overflow.push(Departure { time, request_index });
+    /// The source's cluster shape and horizon.
+    pub fn header(&self) -> &TraceHeader {
+        self.source.header()
+    }
+
+    /// The latched source error, if the stream died. Drivers check this
+    /// after [`EventQueue::next_event`] returns `None` to distinguish a
+    /// clean drain from a truncated one.
+    pub fn source_error(&self) -> Option<&SourceError> {
+        self.error.as_ref()
+    }
+
+    /// Claims the request behind the most recent [`Event::Arrival`]. Must be
+    /// called at most once per arrival event, before the next call to
+    /// [`EventQueue::next_event`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when no unclaimed arrival is pending (no arrival delivered
+    /// yet, or the request was already taken).
+    pub fn take_arrival(&mut self) -> VmRequest {
+        self.last_arrival.take().expect("an unclaimed arrival must be pending")
+    }
+
+    /// Schedules a departure event (called when a VM is placed). `seq`
+    /// breaks ties among simultaneous departures — drivers pass the VM's
+    /// arrival ordinal so equal-time departures pop in trace order even when
+    /// `token` is a recycled arena slot; `token` is echoed back verbatim in
+    /// [`Event::Departure`].
+    pub fn schedule_departure(&mut self, time: u64, seq: u64, token: usize) {
+        self.departures.schedule(time, seq, token);
     }
 
     /// Schedules an EMC-failure event (called up front by failure-drill
@@ -326,65 +389,25 @@ impl<'a> EventQueue<'a> {
         self.reconfigs.push(std::cmp::Reverse(time));
     }
 
-    /// The earliest armed arena departure, advancing the cursor past slots
-    /// that can never fire.
-    ///
-    /// A slot can be in one of three states: *armed* (its VM was placed —
-    /// the candidate), *dead* (its arrival was already processed without
-    /// arming, i.e. the VM was rejected — skip forever), or *pending* (its
-    /// arrival has not been processed yet, so it may still arm). A pending
-    /// slot's time is at least its own arrival, which is at least the next
-    /// arrival's time; once a pending slot lies strictly past the next
-    /// arrival, no armed slot at or beyond it can beat that arrival in the
-    /// tie order, so the scan stops. The only pending slots the scan must
-    /// step over are zero-lifetime requests departing at the very instant
-    /// the next arrival fires.
-    fn peek_arena_departure(&mut self) -> Option<(u64, u32)> {
-        let pending_arrival = self.requests.requests.get(self.next_arrival).map(|r| r.arrival);
-        let mut slot = self.dep_cursor;
-        let mut compact = true;
-        while let Some(&(time, index)) = self.dep_sorted.get(slot) {
-            if self.dep_armed[slot] {
-                return Some((time, index));
-            }
-            if (index as usize) < self.next_arrival {
-                // Dead: the arrival came and went without placing the VM.
-                slot += 1;
-                if compact {
-                    self.dep_cursor = slot;
-                }
-                continue;
-            }
-            match pending_arrival {
-                // A zero-lifetime collision: the slot departs at the exact
-                // instant the next arrival fires and may still arm. It
-                // blocks cursor compaction but not the scan.
-                Some(arrival) if time <= arrival => {
-                    compact = false;
-                    slot += 1;
-                }
-                // Everything from here on is pending with time strictly
-                // past the next arrival: nothing can beat that arrival.
-                _ => return None,
-            }
-        }
-        None
-    }
-
     /// Pops the next event in time order (ties: failure, departure, release,
     /// copy completion — reconfiguration before migration — snapshot,
-    /// arrival).
+    /// arrival). Returns `None` once every source is exhausted, or
+    /// immediately after the arrival source errors (see
+    /// [`EventQueue::source_error`]).
     pub fn next_event(&mut self) -> Option<Event> {
         #[derive(Clone, Copy)]
         enum Source {
             Failure,
-            DepArena,
-            DepOverflow,
+            Departure,
             Release,
             Reconfig,
             Migration,
             Snapshot,
             Arrival,
+        }
+
+        if self.error.is_some() {
+            return None;
         }
 
         // Sources are inspected in tie order with a strict-less comparison
@@ -397,20 +420,10 @@ impl<'a> EventQueue<'a> {
             best_key = (time, 0);
             source = Some(Source::Failure);
         }
-        let arena = self.peek_arena_departure();
-        let overflow = self.dep_overflow.peek().map(|d| (d.time, d.request_index));
-        let departure = match (arena, overflow) {
-            (Some((at, ai)), Some((ot, oi))) if (ot, oi) < (at, ai as usize) => {
-                Some((ot, Source::DepOverflow))
-            }
-            (Some((time, _)), _) => Some((time, Source::DepArena)),
-            (None, Some((time, _))) => Some((time, Source::DepOverflow)),
-            (None, None) => None,
-        };
-        if let Some((time, src)) = departure {
+        if let Some((time, _, _)) = self.departures.peek() {
             if (time, 1) < best_key {
                 best_key = (time, 1);
-                source = Some(src);
+                source = Some(Source::Departure);
             }
         }
         if let Some(&std::cmp::Reverse(time)) = self.releases.peek() {
@@ -435,7 +448,7 @@ impl<'a> EventQueue<'a> {
             best_key = (self.next_snapshot, 4);
             source = Some(Source::Snapshot);
         }
-        if let Some(request) = self.requests.requests.get(self.next_arrival) {
+        if let Some(request) = &self.lookahead {
             if (request.arrival, 5) < best_key {
                 source = Some(Source::Arrival);
             }
@@ -446,21 +459,9 @@ impl<'a> EventQueue<'a> {
                     self.failures.pop().expect("peeked failure");
                 Some(Event::EmcFailure { time, failure_index })
             }
-            Source::DepArena => {
-                let (time, index) = arena.expect("peeked arena departure");
-                let slot = self.dep_slot[index as usize] as usize;
-                self.dep_armed[slot] = false;
-                if slot == self.dep_cursor {
-                    self.dep_cursor += 1;
-                }
-                Some(Event::Departure { time, request_index: index as usize })
-            }
-            Source::DepOverflow => {
-                let departure = self.dep_overflow.pop().expect("peeked overflow departure");
-                Some(Event::Departure {
-                    time: departure.time,
-                    request_index: departure.request_index,
-                })
+            Source::Departure => {
+                let (time, _, token) = self.departures.pop().expect("peeked departure");
+                Some(Event::Departure { time, token })
             }
             Source::Release => {
                 let std::cmp::Reverse(time) = self.releases.pop().expect("peeked release");
@@ -481,10 +482,15 @@ impl<'a> EventQueue<'a> {
                 Some(Event::Snapshot { time })
             }
             Source::Arrival => {
-                let request = &self.requests.requests[self.next_arrival];
+                let request = self.lookahead.take().expect("peeked arrival");
                 let event =
-                    Event::Arrival { time: request.arrival, request_index: self.next_arrival };
-                self.next_arrival += 1;
+                    Event::Arrival { time: request.arrival, request_index: self.next_ordinal };
+                self.next_ordinal += 1;
+                self.last_arrival = Some(request);
+                match self.source.next_request() {
+                    Ok(next) => self.lookahead = next,
+                    Err(e) => self.error = Some(e),
+                }
                 Some(event)
             }
         }
@@ -496,14 +502,15 @@ fn keyed(event: Event) -> (u64, u8) {
     (event.time(), event.class())
 }
 
-/// The original five-heap event queue, retained as the test-only reference
-/// implementation: every scheduled source is a [`BinaryHeap`] and
-/// [`ReferenceEventQueue::next_event`] peeks all seven sources in tie order.
-/// The equivalence proptest drives random schedules through this queue and
-/// [`EventQueue`] and asserts bit-identical event streams; `pond-core`'s
-/// reference replay uses it the same way to pin the optimized fleet replay.
-/// Carries the same tail-snapshot semantics as the indexed queue (a final
-/// tick at the trace duration when the interval does not divide it).
+/// The original five-heap event queue over a materialized trace, retained
+/// as the test-only reference implementation: every scheduled source is a
+/// [`BinaryHeap`] and [`ReferenceEventQueue::next_event`] peeks all seven
+/// sources in tie order. The equivalence proptest drives random schedules
+/// through this queue and the streamed [`EventQueue`] and asserts
+/// bit-identical event streams; `pond-core`'s reference replay uses it the
+/// same way to pin the optimized fleet replay. Carries the same
+/// tail-snapshot semantics as the streamed queue (a final tick at the trace
+/// duration when the interval does not divide it).
 #[derive(Debug)]
 pub struct ReferenceEventQueue<'a> {
     requests: &'a ClusterTrace,
@@ -542,8 +549,8 @@ impl<'a> ReferenceEventQueue<'a> {
 
     /// Schedules a departure event; same contract as
     /// [`EventQueue::schedule_departure`].
-    pub fn schedule_departure(&mut self, time: u64, request_index: usize) {
-        self.departures.push(Departure { time, request_index });
+    pub fn schedule_departure(&mut self, time: u64, seq: u64, token: usize) {
+        self.departures.push(Departure { time, seq, token });
     }
 
     /// Schedules an EMC-failure event; same contract as
@@ -586,7 +593,7 @@ impl<'a> ReferenceEventQueue<'a> {
             best = Some(Event::EmcFailure { time, failure_index });
         }
         if let Some(dep) = self.departures.peek() {
-            let candidate = Event::Departure { time: dep.time, request_index: dep.request_index };
+            let candidate = Event::Departure { time: dep.time, token: dep.token };
             if best.is_none_or(|b| keyed(candidate) < keyed(b)) {
                 best = Some(candidate);
             }
@@ -662,6 +669,7 @@ impl<'a> ReferenceEventQueue<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::source::TraceCursor;
     use crate::trace::{CustomerId, GuestOs, VmRequest, VmType};
     use cxl_hw::units::Bytes;
     use proptest::prelude::*;
@@ -694,17 +702,19 @@ mod tests {
     }
 
     /// Drains the queue, scheduling each arrival's departure as the simulator
-    /// would, and returns the event stream.
+    /// would (claiming the request via the arrival cursor), and returns the
+    /// event stream.
     fn drain(trace: &ClusterTrace, snapshot_interval: u64) -> Vec<Event> {
-        let mut queue = EventQueue::new(trace, snapshot_interval);
+        let mut queue = EventQueue::new(TraceCursor::new(trace), snapshot_interval);
         let mut events = Vec::new();
         while let Some(event) = queue.next_event() {
             if let Event::Arrival { request_index, .. } = event {
-                let request = &trace.requests[request_index];
-                queue.schedule_departure(request.departure(), request_index);
+                let request = queue.take_arrival();
+                queue.schedule_departure(request.departure(), request_index as u64, request_index);
             }
             events.push(event);
         }
+        assert_eq!(queue.source_error(), None);
         events
     }
 
@@ -721,11 +731,11 @@ mod tests {
             vec![
                 Event::Arrival { time: 0, request_index: 0 },
                 Event::Snapshot { time: 100 },
-                Event::Departure { time: 150, request_index: 0 },
+                Event::Departure { time: 150, token: 0 },
                 Event::Snapshot { time: 200 },
                 Event::Arrival { time: 250, request_index: 1 },
                 Event::Snapshot { time: 300 },
-                Event::Departure { time: 350, request_index: 1 },
+                Event::Departure { time: 350, token: 1 },
                 Event::Snapshot { time: 400 },
             ]
         );
@@ -741,7 +751,7 @@ mod tests {
             events,
             vec![
                 Event::Arrival { time: 0, request_index: 0 },
-                Event::Departure { time: 10_000, request_index: 0 },
+                Event::Departure { time: 10_000, token: 0 },
             ]
         );
     }
@@ -756,10 +766,10 @@ mod tests {
             events,
             vec![
                 Event::Arrival { time: 0, request_index: 0 },
-                Event::Departure { time: 100, request_index: 0 },
+                Event::Departure { time: 100, token: 0 },
                 Event::Snapshot { time: 100 },
                 Event::Arrival { time: 100, request_index: 1 },
-                Event::Departure { time: 150, request_index: 1 },
+                Event::Departure { time: 150, token: 1 },
             ]
         );
     }
@@ -769,13 +779,13 @@ mod tests {
         // VM 1 departs at exactly t=100; a release completes at 100; a
         // snapshot ticks at 100; VM 2 arrives at 100.
         let t = trace(vec![request(1, 0, 100), request(2, 100, 50)], 100);
-        let mut queue = EventQueue::new(&t, 100);
+        let mut queue = EventQueue::new(TraceCursor::new(&t), 100);
         queue.schedule_release(100);
         let mut events = Vec::new();
         while let Some(event) = queue.next_event() {
             if let Event::Arrival { request_index, .. } = event {
-                let request = &t.requests[request_index];
-                queue.schedule_departure(request.departure(), request_index);
+                let request = queue.take_arrival();
+                queue.schedule_departure(request.departure(), request_index as u64, request_index);
             }
             events.push(event);
         }
@@ -783,11 +793,11 @@ mod tests {
             events,
             vec![
                 Event::Arrival { time: 0, request_index: 0 },
-                Event::Departure { time: 100, request_index: 0 },
+                Event::Departure { time: 100, token: 0 },
                 Event::Release { time: 100 },
                 Event::Snapshot { time: 100 },
                 Event::Arrival { time: 100, request_index: 1 },
-                Event::Departure { time: 150, request_index: 1 },
+                Event::Departure { time: 150, token: 1 },
             ]
         );
     }
@@ -798,7 +808,7 @@ mod tests {
         // an arrival all collide; the degraded-mode window must end after the
         // buffer refill and before the snapshot observes the fleet.
         let t = trace(vec![request(1, 100, 50)], 100);
-        let mut queue = EventQueue::new(&t, 100);
+        let mut queue = EventQueue::new(TraceCursor::new(&t), 100);
         queue.schedule_release(100);
         queue.schedule_reconfig_done(100);
         let mut events = Vec::new();
@@ -819,7 +829,7 @@ mod tests {
     #[test]
     fn reconfig_completions_pop_earliest_first_and_drain_past_duration() {
         let t = trace(vec![], 100);
-        let mut queue = EventQueue::new(&t, 0);
+        let mut queue = EventQueue::new(TraceCursor::new(&t), 0);
         queue.schedule_reconfig_done(10_000);
         queue.schedule_reconfig_done(5_000);
         assert_eq!(queue.next_event(), Some(Event::ReconfigDone { time: 5_000 }));
@@ -830,7 +840,7 @@ mod tests {
     #[test]
     fn releases_past_the_trace_duration_are_drained() {
         let t = trace(vec![], 100);
-        let mut queue = EventQueue::new(&t, 0);
+        let mut queue = EventQueue::new(TraceCursor::new(&t), 0);
         queue.schedule_release(10_000);
         queue.schedule_release(5_000);
         assert_eq!(queue.next_event(), Some(Event::Release { time: 5_000 }));
@@ -845,11 +855,26 @@ mod tests {
         let departures: Vec<usize> = events
             .iter()
             .filter_map(|e| match e {
-                Event::Departure { request_index, .. } => Some(*request_index),
+                Event::Departure { token, .. } => Some(*token),
                 _ => None,
             })
             .collect();
         assert_eq!(departures, vec![0, 1, 2], "all depart at t=100, in request order");
+    }
+
+    #[test]
+    fn simultaneous_departures_order_by_seq_before_token() {
+        // Recycled arena slots can invert token order relative to arrival
+        // order; the seq key must win the tie so the pop order stays the
+        // trace order.
+        let t = trace(vec![], 100);
+        let mut queue = EventQueue::new(TraceCursor::new(&t), 0);
+        // Arrival ordinal 5 landed on recycled slot 0; ordinal 2 on slot 9.
+        queue.schedule_departure(50, 5, 0);
+        queue.schedule_departure(50, 2, 9);
+        assert_eq!(queue.next_event(), Some(Event::Departure { time: 50, token: 9 }));
+        assert_eq!(queue.next_event(), Some(Event::Departure { time: 50, token: 0 }));
+        assert_eq!(queue.next_event(), None);
     }
 
     #[test]
@@ -902,7 +927,7 @@ mod tests {
         // the reconfiguration completion must pop before the migration
         // completion within the shared copy rung.
         let t = trace(vec![request(1, 0, 100), request(2, 100, 50)], 100);
-        let mut queue = EventQueue::new(&t, 100);
+        let mut queue = EventQueue::new(TraceCursor::new(&t), 100);
         queue.schedule_emc_failure(100, 0);
         queue.schedule_release(100);
         queue.schedule_migration_done(100);
@@ -910,8 +935,8 @@ mod tests {
         let mut events = Vec::new();
         while let Some(event) = queue.next_event() {
             if let Event::Arrival { request_index, .. } = event {
-                let request = &t.requests[request_index];
-                queue.schedule_departure(request.departure(), request_index);
+                let request = queue.take_arrival();
+                queue.schedule_departure(request.departure(), request_index as u64, request_index);
             }
             events.push(event);
         }
@@ -920,13 +945,13 @@ mod tests {
             vec![
                 Event::Arrival { time: 0, request_index: 0 },
                 Event::EmcFailure { time: 100, failure_index: 0 },
-                Event::Departure { time: 100, request_index: 0 },
+                Event::Departure { time: 100, token: 0 },
                 Event::Release { time: 100 },
                 Event::ReconfigDone { time: 100 },
                 Event::MigrationDone { time: 100 },
                 Event::Snapshot { time: 100 },
                 Event::Arrival { time: 100, request_index: 1 },
-                Event::Departure { time: 150, request_index: 1 },
+                Event::Departure { time: 150, token: 1 },
             ]
         );
     }
@@ -934,7 +959,7 @@ mod tests {
     #[test]
     fn simultaneous_failures_pop_in_plan_order_and_drain_past_duration() {
         let t = trace(vec![], 100);
-        let mut queue = EventQueue::new(&t, 0);
+        let mut queue = EventQueue::new(TraceCursor::new(&t), 0);
         queue.schedule_emc_failure(5_000, 1);
         queue.schedule_emc_failure(5_000, 0);
         queue.schedule_emc_failure(200, 3);
@@ -947,7 +972,7 @@ mod tests {
     #[test]
     fn migration_completions_pop_earliest_first_and_drain_past_duration() {
         let t = trace(vec![], 100);
-        let mut queue = EventQueue::new(&t, 0);
+        let mut queue = EventQueue::new(TraceCursor::new(&t), 0);
         queue.schedule_migration_done(10_000);
         queue.schedule_migration_done(5_000);
         assert_eq!(queue.next_event(), Some(Event::MigrationDone { time: 5_000 }));
@@ -957,30 +982,32 @@ mod tests {
 
     #[test]
     fn scheduled_departures_pop_earliest_first() {
-        // Departures for requests outside the trace take the overflow path
-        // and must still merge correctly.
         let t = trace(vec![], 0);
-        let mut queue = EventQueue::new(&t, 0);
-        queue.schedule_departure(10, 0);
-        queue.schedule_departure(5, 1);
-        assert_eq!(queue.next_event(), Some(Event::Departure { time: 5, request_index: 1 }));
-        assert_eq!(queue.next_event(), Some(Event::Departure { time: 10, request_index: 0 }));
+        let mut queue = EventQueue::new(TraceCursor::new(&t), 0);
+        queue.schedule_departure(10, 0, 0);
+        queue.schedule_departure(5, 1, 1);
+        assert_eq!(queue.next_event(), Some(Event::Departure { time: 5, token: 1 }));
+        assert_eq!(queue.next_event(), Some(Event::Departure { time: 10, token: 0 }));
         assert_eq!(queue.next_event(), None);
     }
 
     #[test]
-    fn rejected_vms_leave_dead_slots_that_never_fire() {
-        // Request 0 is "rejected" (its departure is never scheduled);
-        // requests 1 and 2 are placed. The dead slot sits between the two
-        // armed ones in departure order and must be skipped.
+    fn rejected_vms_never_fire_departures() {
+        // Request 0 is "rejected" (its departure is never armed); requests 1
+        // and 2 are placed. The calendar holds only armed departures, so
+        // nothing from request 0 ever pops.
         let t = trace(vec![request(1, 0, 500), request(2, 10, 100), request(3, 20, 980)], 1_000);
-        let mut queue = EventQueue::new(&t, 0);
+        let mut queue = EventQueue::new(TraceCursor::new(&t), 0);
         let mut events = Vec::new();
         while let Some(event) = queue.next_event() {
             if let Event::Arrival { request_index, .. } = event {
+                let request = queue.take_arrival();
                 if request_index != 0 {
-                    let request = &t.requests[request_index];
-                    queue.schedule_departure(request.departure(), request_index);
+                    queue.schedule_departure(
+                        request.departure(),
+                        request_index as u64,
+                        request_index,
+                    );
                 }
             }
             events.push(event);
@@ -991,8 +1018,8 @@ mod tests {
                 Event::Arrival { time: 0, request_index: 0 },
                 Event::Arrival { time: 10, request_index: 1 },
                 Event::Arrival { time: 20, request_index: 2 },
-                Event::Departure { time: 110, request_index: 1 },
-                Event::Departure { time: 1_000, request_index: 2 },
+                Event::Departure { time: 110, token: 1 },
+                Event::Departure { time: 1_000, token: 2 },
             ]
         );
     }
@@ -1002,14 +1029,14 @@ mod tests {
         // Request 0 lives 0 seconds and departs at t=10 — the same instant
         // requests 1 and 2 arrive. The departure must pop between arrival 0's
         // processing and arrival 1 (departures order before arrivals at equal
-        // times), even though request 2's unarmed slot shares the timestamp.
+        // times).
         let t = trace(vec![request(1, 10, 0), request(2, 10, 0), request(3, 10, 50)], 100);
-        let mut queue = EventQueue::new(&t, 0);
+        let mut queue = EventQueue::new(TraceCursor::new(&t), 0);
         let mut events = Vec::new();
         while let Some(event) = queue.next_event() {
             if let Event::Arrival { request_index, .. } = event {
-                let request = &t.requests[request_index];
-                queue.schedule_departure(request.departure(), request_index);
+                let request = queue.take_arrival();
+                queue.schedule_departure(request.departure(), request_index as u64, request_index);
             }
             events.push(event);
         }
@@ -1017,34 +1044,79 @@ mod tests {
             events,
             vec![
                 Event::Arrival { time: 10, request_index: 0 },
-                Event::Departure { time: 10, request_index: 0 },
+                Event::Departure { time: 10, token: 0 },
                 Event::Arrival { time: 10, request_index: 1 },
-                Event::Departure { time: 10, request_index: 1 },
+                Event::Departure { time: 10, token: 1 },
                 Event::Arrival { time: 10, request_index: 2 },
-                Event::Departure { time: 60, request_index: 2 },
+                Event::Departure { time: 60, token: 2 },
             ]
         );
+    }
+
+    #[test]
+    fn a_source_error_latches_and_stops_the_stream() {
+        struct Failing {
+            header: TraceHeader,
+            yielded: bool,
+        }
+        impl ArrivalSource for Failing {
+            fn header(&self) -> &TraceHeader {
+                &self.header
+            }
+            fn next_request(&mut self) -> Result<Option<VmRequest>, SourceError> {
+                if self.yielded {
+                    Err(SourceError::Malformed("stream truncated".into()))
+                } else {
+                    self.yielded = true;
+                    Ok(Some(request(1, 0, 50)))
+                }
+            }
+        }
+        let source = Failing {
+            header: TraceHeader {
+                cluster_id: 0,
+                servers: 1,
+                cores_per_server: 8,
+                dram_per_server: Bytes::from_gib(64),
+                duration: 100,
+            },
+            yielded: false,
+        };
+        let mut queue = EventQueue::new(source, 0);
+        // The first arrival pops; pulling its successor hits the error, so
+        // the queue stops immediately — before any scheduled departure.
+        assert_eq!(queue.next_event(), Some(Event::Arrival { time: 0, request_index: 0 }));
+        let r = queue.take_arrival();
+        queue.schedule_departure(r.departure(), 0, 0);
+        assert_eq!(queue.next_event(), None);
+        assert!(matches!(queue.source_error(), Some(SourceError::Malformed(_))));
     }
 
     /// Drives one random schedule through a queue: `arm[i]` decides whether
     /// arrival `i` schedules its departure (a rejected VM does not), and
     /// `extras` injects failures, releases, copy completions, and
-    /// API-compatibility departures (foreign indices, altered times) before
-    /// the drain.
+    /// out-of-band departures (foreign tokens, arbitrary times) before the
+    /// drain.
     macro_rules! drive_schedule {
-        ($queue_type:ident, $trace:expr, $arm:expr, $extras:expr) => {{
-            let mut queue = $queue_type::new($trace, 30);
+        ($queue:expr, $trace:expr, $arm:expr, $extras:expr) => {{
+            let mut queue = $queue;
             for (i, &(class, time, index)) in $extras.iter().enumerate() {
                 match class {
                     0 => queue.schedule_emc_failure(time, i),
                     1 => queue.schedule_release(time),
                     2 => queue.schedule_reconfig_done(time),
                     3 => queue.schedule_migration_done(time),
-                    // Foreign request indices exercise the overflow heap.
-                    4 => queue.schedule_departure(time, $trace.requests.len() + i),
-                    // In-trace indices with arbitrary times: only a time that
-                    // happens to match the precomputed departure arms a slot.
-                    _ => queue.schedule_departure(time, index % ($trace.requests.len() + 1)),
+                    // Foreign tokens at arbitrary times.
+                    4 => {
+                        let token = $trace.requests.len() + i;
+                        queue.schedule_departure(time, token as u64, token);
+                    }
+                    // In-range tokens with arbitrary times, including
+                    // collisions with armed departures.
+                    _ => {
+                        let token = index % ($trace.requests.len() + 1);
+                        queue.schedule_departure(time, token as u64, token);
+                    }
                 }
             }
             let mut events = Vec::new();
@@ -1052,7 +1124,11 @@ mod tests {
                 if let Event::Arrival { request_index, .. } = event {
                     if $arm[request_index] {
                         let request = &$trace.requests[request_index];
-                        queue.schedule_departure(request.departure(), request_index);
+                        queue.schedule_departure(
+                            request.departure(),
+                            request_index as u64,
+                            request_index,
+                        );
                     }
                 }
                 events.push(event);
@@ -1063,11 +1139,12 @@ mod tests {
     }
 
     proptest! {
-        /// The indexed queue and the reference queue emit bit-identical
-        /// event streams for arbitrary schedules: colliding timestamps,
-        /// zero-lifetime VMs, rejected VMs, and all six event classes.
+        /// The streamed queue and the materialized reference queue emit
+        /// bit-identical event streams for arbitrary schedules: colliding
+        /// timestamps, zero-lifetime VMs, rejected VMs, and all six event
+        /// classes.
         #[test]
-        fn indexed_queue_matches_the_reference_queue(
+        fn streamed_queue_matches_the_materialized_reference_queue(
             shape in proptest::collection::vec((0u64..8, 0u64..120, proptest::bool::ANY), 0..24),
             extras in proptest::collection::vec((0u8..6, 0u64..400, 0usize..32), 0..16),
             duration in 0u64..350,
@@ -1081,9 +1158,10 @@ mod tests {
                 arm.push(place);
             }
             let t = trace(requests, duration);
-            let indexed = drive_schedule!(EventQueue, &t, arm, extras);
-            let reference = drive_schedule!(ReferenceEventQueue, &t, arm, extras);
-            prop_assert_eq!(indexed, reference);
+            let streamed =
+                drive_schedule!(EventQueue::new(TraceCursor::new(&t), 30), &t, arm, extras);
+            let reference = drive_schedule!(ReferenceEventQueue::new(&t, 30), &t, arm, extras);
+            prop_assert_eq!(streamed, reference);
         }
     }
 }

@@ -15,6 +15,11 @@
 //!   split (the hook `pond-core` uses to plug in the full Pond policy). The
 //!   [`scheduler::PlacementEngine`] selects candidates through an
 //!   incrementally maintained free-core bucket index in O(log n) per arrival.
+//! * [`source`] — the [`source::ArrivalSource`] streaming layer: time-sorted
+//!   arrivals behind a [`source::TraceHeader`], so replays hold O(live VMs)
+//!   memory instead of the whole trace. In-memory ([`source::TraceCursor`]),
+//!   lazily generated ([`tracegen::GeneratorSource`]), and (behind the
+//!   `azure-trace` feature) CSV-file-backed implementations.
 //! * [`event`] — the time-ordered event core: arrivals, departures,
 //!   asynchronous pool-release completions, and snapshot ticks merged into
 //!   one deterministic stream (departures before releases before snapshots
@@ -47,16 +52,22 @@
 #![warn(missing_debug_implementations)]
 
 pub mod event;
+#[cfg(feature = "azure-trace")]
+pub mod pond_trace;
 pub mod pooling;
 pub mod scheduler;
 pub mod server;
 pub mod simulation;
+pub mod source;
 pub mod stranding;
 pub mod sweep;
 pub mod trace;
 pub mod tracegen;
 
+#[cfg(feature = "azure-trace")]
+pub use pond_trace::AzureTraceReader;
 pub use scheduler::{AllLocal, FixedPoolFraction, MemoryPolicy};
 pub use simulation::{Simulation, SimulationConfig, SimulationOutcome};
+pub use source::{ArrivalSource, SourceError, TraceCursor, TraceHeader, TraceSummary, Validated};
 pub use trace::{ClusterTrace, VmRequest};
-pub use tracegen::{ClusterConfig, TraceGenerator};
+pub use tracegen::{ClusterConfig, GeneratorSource, TraceGenerator};

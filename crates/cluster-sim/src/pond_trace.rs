@@ -1,0 +1,341 @@
+//! A dependency-free reader for Azure-packing-style CSV traces (feature
+//! `azure-trace`).
+//!
+//! The public Azure packing traces ship a `vm` table
+//! (`vmId,tenantId,vmTypeId,priority,starttime,endtime`) and a `vmType`
+//! table carrying each type's core and memory shape. [`AzureTraceReader`]
+//! consumes the *joined* form — one CSV row per VM with the type columns
+//! folded in:
+//!
+//! ```csv
+//! vmId,tenantId,vmTypeId,priority,starttime,endtime,core,memory
+//! 1,42,3,0,0.0,0.25,4,16
+//! 2,42,3,0,0.01,,8,32
+//! ```
+//!
+//! * `starttime`/`endtime` are fractional **days** from trace start (the
+//!   packing-trace convention). A negative `starttime` means the VM was
+//!   already running at the window start (arrival clamps to 0); an empty
+//!   `endtime` means it outlives the window (it departs one second past the
+//!   horizon, so the replay still drains it).
+//! * `core` is the VM's core count; `memory` is GiB (fractional allowed).
+//! * `priority` is parsed for format compatibility and ignored — the
+//!   simulator has no eviction tier.
+//!
+//! The trace's metadata features the models need but the packing format
+//! lacks — guest OS, region, workload, untouched fraction — are synthesized
+//! **deterministically** from the tenant and VM ids with a splitmix64-style
+//! mixer, preserving the tenant-correlated structure Pond's predictors rely
+//! on (§4.4): all of a tenant's VMs share an OS, a region, a small workload
+//! set, and an untouched-memory mean.
+//!
+//! The reader streams in O(1) memory with buffered line parsing and
+//! validates as it goes: rows must be pre-sorted by `starttime` (bounded
+//! memory is impossible otherwise — sort the file first), every request
+//! must pass [`VmRequest::validate`], and arrivals must not exceed the
+//! supplied header's duration. Duplicate `vmId` detection needs memory
+//! proportional to the whole trace, so it is *not* performed here; run
+//! [`crate::trace::ClusterTrace::validate`] on a materialized copy when you
+//! need that check.
+
+use crate::source::{ArrivalSource, SourceError, TraceHeader};
+use crate::trace::{CustomerId, GuestOs, VmRequest, VmType};
+use cxl_hw::units::Bytes;
+use std::fs::File;
+use std::io::{BufRead, BufReader, Lines};
+use std::path::Path;
+
+/// Columns of the joined packing-format row, in order.
+const COLUMNS: [&str; 8] =
+    ["vmId", "tenantId", "vmTypeId", "priority", "starttime", "endtime", "core", "memory"];
+
+/// Seconds per fractional-day time unit.
+const DAY_SECS: f64 = 86_400.0;
+
+/// splitmix64: a tiny, well-mixed deterministic hash for synthesizing the
+/// metadata features the packing format does not carry.
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// `mix` folded to a uniform fraction in `[0, 1)`.
+fn mix_fraction(x: u64) -> f64 {
+    (mix(x) >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Streams a joined Azure-packing-format CSV file as an [`ArrivalSource`].
+///
+/// The caller supplies the [`TraceHeader`] (the packing format carries no
+/// cluster shape); the file must be sorted by `starttime`.
+#[derive(Debug)]
+pub struct AzureTraceReader {
+    header: TraceHeader,
+    lines: Lines<BufReader<File>>,
+    line_no: u64,
+    last_arrival: u64,
+    done: bool,
+}
+
+impl AzureTraceReader {
+    /// Opens `path` for streaming against the given cluster shape. An
+    /// optional leading header row (starting with `vmId`) is skipped.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SourceError::Io`] when the file cannot be opened.
+    pub fn open(path: impl AsRef<Path>, header: TraceHeader) -> Result<Self, SourceError> {
+        let file = File::open(path.as_ref()).map_err(|e| {
+            SourceError::Io(format!("cannot open {}: {e}", path.as_ref().display()))
+        })?;
+        Ok(AzureTraceReader {
+            header,
+            lines: BufReader::new(file).lines(),
+            line_no: 0,
+            last_arrival: 0,
+            done: false,
+        })
+    }
+
+    fn malformed(&self, detail: impl std::fmt::Display) -> SourceError {
+        SourceError::Malformed(format!("line {}: {detail}", self.line_no))
+    }
+
+    /// Parses one non-empty data row into a request.
+    fn parse_row(&self, line: &str) -> Result<VmRequest, SourceError> {
+        let fields: Vec<&str> = line.split(',').map(str::trim).collect();
+        if fields.len() != COLUMNS.len() {
+            return Err(self.malformed(format_args!(
+                "expected {} comma-separated fields ({}), got {}",
+                COLUMNS.len(),
+                COLUMNS.join(","),
+                fields.len()
+            )));
+        }
+        let id: u64 = fields[0].parse().map_err(|e| self.malformed(format_args!("vmId: {e}")))?;
+        let tenant: u64 =
+            fields[1].parse().map_err(|e| self.malformed(format_args!("tenantId: {e}")))?;
+        let vm_type_id: u64 =
+            fields[2].parse().map_err(|e| self.malformed(format_args!("vmTypeId: {e}")))?;
+        // `priority` is validated as numeric but otherwise unused.
+        let _priority: i64 =
+            fields[3].parse().map_err(|e| self.malformed(format_args!("priority: {e}")))?;
+        let start_days: f64 =
+            fields[4].parse().map_err(|e| self.malformed(format_args!("starttime: {e}")))?;
+        let cores: u32 =
+            fields[6].parse().map_err(|e| self.malformed(format_args!("core: {e}")))?;
+        let memory_gib: f64 =
+            fields[7].parse().map_err(|e| self.malformed(format_args!("memory: {e}")))?;
+        if !memory_gib.is_finite() || memory_gib < 0.0 {
+            return Err(self.malformed(format_args!("memory: {memory_gib} GiB")));
+        }
+
+        // Times: fractional days, clamped so pre-window VMs arrive at 0 and
+        // VMs without an end outlive the horizon by one second.
+        let arrival = (start_days.max(0.0) * DAY_SECS).round() as u64;
+        let departure = if fields[5].is_empty() {
+            self.header.duration.saturating_add(1)
+        } else {
+            let end_days: f64 =
+                fields[5].parse().map_err(|e| self.malformed(format_args!("endtime: {e}")))?;
+            let end = (end_days.max(0.0) * DAY_SECS).round() as u64;
+            if end <= arrival {
+                return Err(self
+                    .malformed(format_args!("endtime {end}s is not after starttime {arrival}s")));
+            }
+            end
+        };
+
+        // Tenant-correlated synthesized metadata (see the module docs).
+        let tenant_hash = mix(tenant);
+        let guest_os = if tenant_hash & 1 == 0 { GuestOs::Linux } else { GuestOs::Windows };
+        let region = ((tenant_hash >> 8) % 8) as u8;
+        // Each tenant runs a small set of 3 workloads; the VM id picks one.
+        let workload_index = ((tenant_hash >> 16).wrapping_add(mix(id) % 3) % 158) as usize;
+        // Tenant untouched-memory means spread over [0.15, 0.85) with ±0.1
+        // per-VM jitter, echoing the generator's production-like shape.
+        let tenant_untouched = 0.15 + 0.7 * mix_fraction(tenant ^ 0xA5A5);
+        let untouched_fraction =
+            (tenant_untouched + 0.2 * (mix_fraction(id ^ 0x5A5A) - 0.5)).clamp(0.0, 0.98);
+
+        Ok(VmRequest {
+            id,
+            arrival,
+            lifetime: departure - arrival,
+            cores,
+            memory: Bytes::new((memory_gib * Bytes::GIB.as_u64() as f64).round() as u64),
+            customer: CustomerId((tenant % u32::MAX as u64) as u32),
+            vm_type: VmType::ALL[(vm_type_id % VmType::ALL.len() as u64) as usize],
+            guest_os,
+            region,
+            workload_index,
+            untouched_fraction,
+        })
+    }
+}
+
+impl ArrivalSource for AzureTraceReader {
+    fn header(&self) -> &TraceHeader {
+        &self.header
+    }
+
+    fn next_request(&mut self) -> Result<Option<VmRequest>, SourceError> {
+        if self.done {
+            return Ok(None);
+        }
+        loop {
+            let Some(line) = self.lines.next() else {
+                self.done = true;
+                return Ok(None);
+            };
+            self.line_no += 1;
+            let line = line.map_err(|e| {
+                SourceError::Io(format!("read error at line {}: {e}", self.line_no))
+            })?;
+            let trimmed = line.trim();
+            if trimmed.is_empty() || (self.line_no == 1 && trimmed.starts_with("vmId")) {
+                continue;
+            }
+            let request = self.parse_row(trimmed)?;
+            request.validate().map_err(|e| self.malformed(e))?;
+            if request.arrival < self.last_arrival {
+                return Err(self.malformed(format_args!(
+                    "vm {} arrives at {}s, before the previous arrival at {}s — the file \
+                     must be sorted by starttime (bounded-memory streaming requires it)",
+                    request.id, request.arrival, self.last_arrival
+                )));
+            }
+            if request.arrival > self.header.duration {
+                return Err(self.malformed(format_args!(
+                    "vm {} arrives at {}s, past the trace duration {}s",
+                    request.id, request.arrival, self.header.duration
+                )));
+            }
+            self.last_arrival = request.arrival;
+            return Ok(Some(request));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    fn header(duration: u64) -> TraceHeader {
+        TraceHeader {
+            cluster_id: 0,
+            servers: 4,
+            cores_per_server: 48,
+            dram_per_server: Bytes::from_gib(384),
+            duration,
+        }
+    }
+
+    fn write_csv(name: &str, contents: &str) -> std::path::PathBuf {
+        let path =
+            std::env::temp_dir().join(format!("pond-azure-{name}-{}.csv", std::process::id()));
+        let mut file = File::create(&path).unwrap();
+        file.write_all(contents.as_bytes()).unwrap();
+        path
+    }
+
+    fn drain(reader: &mut AzureTraceReader) -> Result<Vec<VmRequest>, SourceError> {
+        let mut out = Vec::new();
+        while let Some(request) = reader.next_request()? {
+            out.push(request);
+        }
+        Ok(out)
+    }
+
+    #[test]
+    fn reads_a_joined_packing_trace() {
+        let path = write_csv(
+            "ok",
+            "vmId,tenantId,vmTypeId,priority,starttime,endtime,core,memory\n\
+             1,42,0,0,-0.5,0.25,4,16\n\
+             2,42,1,0,0.0,0.5,8,32.5\n\
+             \n\
+             3,7,2,1,0.25,,2,8\n",
+        );
+        let mut reader = AzureTraceReader::open(&path, header(86_400)).unwrap();
+        let requests = drain(&mut reader).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(requests.len(), 3);
+
+        // Pre-window start clamps to 0; 0.25 days = 21 600 s.
+        assert_eq!(requests[0].arrival, 0);
+        assert_eq!(requests[0].lifetime, 21_600);
+        assert_eq!(requests[0].cores, 4);
+        assert_eq!(requests[0].memory, Bytes::from_gib(16));
+        assert_eq!(requests[0].vm_type, VmType::GeneralPurpose);
+
+        // Fractional memory survives.
+        assert_eq!(requests[1].memory, Bytes::from_gib(32) + Bytes::from_mib(512));
+        assert_eq!(requests[1].vm_type, VmType::MemoryOptimized);
+
+        // Empty endtime: departs one second past the horizon.
+        assert_eq!(requests[2].arrival, 21_600);
+        assert_eq!(requests[2].departure(), 86_401);
+
+        // Tenant-correlated synthesized metadata: same tenant, same OS and
+        // region; every request validates.
+        assert_eq!(requests[0].guest_os, requests[1].guest_os);
+        assert_eq!(requests[0].region, requests[1].region);
+        for r in &requests {
+            assert_eq!(r.validate(), Ok(()));
+            assert!(r.workload_index < 158);
+        }
+    }
+
+    #[test]
+    fn synthesized_metadata_is_deterministic() {
+        let csv = "1,42,0,0,0.0,0.25,4,16\n2,43,1,0,0.1,0.5,8,32\n";
+        let a_path = write_csv("det-a", csv);
+        let b_path = write_csv("det-b", csv);
+        let a = drain(&mut AzureTraceReader::open(&a_path, header(86_400)).unwrap()).unwrap();
+        let b = drain(&mut AzureTraceReader::open(&b_path, header(86_400)).unwrap()).unwrap();
+        std::fs::remove_file(&a_path).ok();
+        std::fs::remove_file(&b_path).ok();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn unsorted_files_are_rejected() {
+        let path = write_csv("unsorted", "1,1,0,0,0.5,0.6,2,8\n2,1,0,0,0.25,0.6,2,8\n");
+        let mut reader = AzureTraceReader::open(&path, header(86_400)).unwrap();
+        let err = drain(&mut reader).unwrap_err();
+        std::fs::remove_file(&path).ok();
+        assert!(err.to_string().contains("must be sorted"), "{err}");
+    }
+
+    #[test]
+    fn malformed_rows_are_rejected_with_line_numbers() {
+        for (name, row, needle) in [
+            ("fields", "1,2,3\n", "comma-separated"),
+            ("vmid", "x,1,0,0,0.0,0.5,2,8\n", "vmId"),
+            ("endtime", "1,1,0,0,0.5,0.5,2,8\n", "not after"),
+            ("cores", "1,1,0,0,0.0,0.5,0,8\n", "zero cores"),
+            ("pasthorizon", "1,1,0,0,2.0,2.5,2,8\n", "past the trace duration"),
+        ] {
+            let path = write_csv(name, row);
+            let mut reader = AzureTraceReader::open(&path, header(86_400)).unwrap();
+            let err = drain(&mut reader).unwrap_err();
+            std::fs::remove_file(&path).ok();
+            let text = err.to_string();
+            assert!(text.contains("line 1"), "{name}: {text}");
+            assert!(text.contains(needle), "{name}: {text}");
+        }
+    }
+
+    #[test]
+    fn missing_files_surface_an_io_error() {
+        let missing = std::env::temp_dir().join("pond-azure-definitely-missing.csv");
+        assert!(matches!(
+            AzureTraceReader::open(&missing, header(86_400)),
+            Err(SourceError::Io(_))
+        ));
+    }
+}

@@ -14,6 +14,7 @@
 
 use crate::event::{Event, EventQueue};
 use crate::scheduler::{align_pool_memory, MemoryPolicy, PlacementEngine};
+use crate::source::TraceCursor;
 use crate::trace::ClusterTrace;
 use cxl_hw::latency::LatencyScenario;
 use cxl_hw::units::Bytes;
@@ -291,11 +292,13 @@ impl<P: MemoryPolicy> Simulation<P> {
         // observes exactly the VMs live at `t`. The queue keeps delivering
         // departures after the last arrival (and past the trace duration), so
         // every pooled VM's release is recorded.
-        let mut events = EventQueue::new(trace, self.config.snapshot_interval);
+        let mut events = EventQueue::new(TraceCursor::new(trace), self.config.snapshot_interval);
         while let Some(event) = events.next_event() {
             match event {
-                Event::Departure { time, request_index } => {
-                    let departed = &trace.requests[request_index];
+                // The departure token is the trace index the arrival passed
+                // to `schedule_departure` below.
+                Event::Departure { time, token } => {
+                    let departed = &trace.requests[token];
                     // Departures are only scheduled for placed VMs, so the
                     // lookup can only miss on malformed traces that reuse an
                     // id (the later arrival overwrites the earlier entry);
@@ -364,7 +367,11 @@ impl<P: MemoryPolicy> Simulation<P> {
                         request.id,
                         ActiveVm { server, cores: request.cores, pool: effective_pool, group },
                     );
-                    events.schedule_departure(request.departure(), request_index);
+                    events.schedule_departure(
+                        request.departure(),
+                        request_index as u64,
+                        request_index,
+                    );
 
                     // Update peaks and GiB-hour accounting.
                     cur_total[server] += request.memory;

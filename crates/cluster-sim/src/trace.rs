@@ -98,8 +98,12 @@ pub struct VmRequest {
 
 impl VmRequest {
     /// Departure time in seconds.
+    ///
+    /// Saturates at `u64::MAX` instead of wrapping so a malformed trace that
+    /// slipped past validation degrades to "never departs" rather than
+    /// scheduling a departure in the past and corrupting the event order.
     pub fn departure(&self) -> u64 {
-        self.arrival + self.lifetime
+        self.arrival.saturating_add(self.lifetime)
     }
 
     /// Memory the VM actually touches.
@@ -214,6 +218,16 @@ impl ClusterTrace {
         }
         for request in &self.requests {
             request.validate()?;
+            // Arrivals strictly beyond the horizon would never be replayed
+            // (the queue drains at `duration`), silently shrinking the trace.
+            // `arrival == duration` is legal: the VM arrives on the final
+            // tick, exactly like the tail snapshot.
+            if request.arrival > self.duration {
+                return Err(format!(
+                    "vm {} arrives at {} past the trace duration {}",
+                    request.id, request.arrival, self.duration
+                ));
+            }
         }
         Ok(())
     }
@@ -301,6 +315,32 @@ mod tests {
         r.lifetime = 100;
         assert_eq!(r.validate(), Ok(()));
         assert_eq!(r.departure(), u64::MAX);
+    }
+
+    #[test]
+    fn malformed_departure_saturates_instead_of_wrapping() {
+        // A request that validation would reject (overflowing sum) must not
+        // wrap into the past if a caller computes its departure anyway.
+        let mut r = request(1, u64::MAX - 100);
+        r.lifetime = 500;
+        assert!(r.validate().is_err());
+        assert_eq!(r.departure(), u64::MAX);
+    }
+
+    #[test]
+    fn arrivals_past_the_duration_are_rejected() {
+        let mut trace = ClusterTrace {
+            cluster_id: 0,
+            servers: 2,
+            cores_per_server: 8,
+            dram_per_server: Bytes::from_gib(64),
+            duration: 7200,
+            requests: vec![request(1, 0), request(2, 7201)],
+        };
+        assert!(trace.validate().unwrap_err().contains("past the trace duration"));
+        // The boundary stays legal: arriving on the final tick is fine.
+        trace.requests[1].arrival = 7200;
+        assert_eq!(trace.validate(), Ok(()));
     }
 
     #[test]

@@ -9,6 +9,7 @@
 //! untouched memory, and customer-correlated behaviour that makes
 //! metadata-based prediction possible.
 
+use crate::source::{ArrivalSource, SourceError, TraceHeader};
 use crate::trace::{ClusterTrace, CustomerId, GuestOs, VmRequest, VmType};
 use cxl_hw::units::Bytes;
 use rand::{Rng, SeedableRng};
@@ -225,12 +226,59 @@ impl TraceGenerator {
         Self::LIFETIME_CLASSES.iter().map(|(w, lo, hi)| w * (lo + hi) as f64 / 2.0).sum()
     }
 
-    /// Generates the trace for one cluster index (deterministic per index).
-    ///
-    /// # Panics
-    ///
-    /// Panics if `cluster` is outside `0..cluster_count()`.
-    pub fn generate(&self, cluster: u32) -> ClusterTrace {
+    /// Samples one VM request. Factored out of the generation loop so the
+    /// materialized and streamed paths share the exact RNG draw sequence.
+    fn sample_request(
+        rng: &mut Pcg64,
+        customers: &[CustomerModel],
+        memory_factor: f64,
+        shift_secs: Option<u64>,
+        id: u64,
+        arrival: u64,
+        lifetime: u64,
+    ) -> VmRequest {
+        let customer_idx = rng.gen_range(0..customers.len());
+        let customer = &customers[customer_idx];
+        let cores = Self::sample_cores(rng);
+        let shifted = shift_secs.is_some_and(|s| arrival >= s);
+        // After a workload shift the mix becomes compute-heavy: less
+        // memory per core, which increases stranding.
+        let vm_type = if shifted && rng.gen::<f64>() < 0.6 {
+            VmType::ComputeOptimized
+        } else if rng.gen::<f64>() < 0.7 {
+            customer.preferred_type
+        } else {
+            VmType::ALL[rng.gen_range(0..VmType::ALL.len())]
+        };
+        let gib = ((cores as f64
+            * vm_type.gib_per_core() as f64
+            * memory_factor
+            * rng.gen_range(0.8..1.25))
+        .round() as u64)
+            .max(1);
+        let untouched_fraction =
+            (customer.untouched_mean + rng.gen_range(-0.15..0.15)).clamp(0.0, 0.98);
+        let workload_index =
+            customer.workload_indices[rng.gen_range(0..customer.workload_indices.len())];
+        VmRequest {
+            id,
+            arrival,
+            lifetime,
+            cores,
+            memory: Bytes::from_gib(gib),
+            customer: CustomerId(customer_idx as u32),
+            vm_type,
+            guest_os: customer.guest_os,
+            region: customer.region,
+            workload_index,
+            untouched_fraction,
+        }
+    }
+
+    /// Runs the per-cluster prelude: seeds the RNG, draws the cluster-level
+    /// variation, and derives the arrival process. The returned RNG sits
+    /// exactly where the request-sampling loop expects it.
+    fn plan(&self, cluster: u32) -> ClusterPlan {
         assert!(cluster < self.clusters, "cluster index out of range");
         let mut rng = Pcg64::seed_from_u64(
             self.seed ^ (cluster as u64 + 1).wrapping_mul(0xD6E8_FEB8_6659_FD93),
@@ -247,90 +295,72 @@ impl TraceGenerator {
         let customers = self.customer_models(&mut rng, untouched_bias);
 
         let total_cores = self.config.servers as u64 * self.config.cores_per_server as u64;
-        let duration = self.config.duration_secs();
         let target_concurrent_cores = utilization * total_cores as f64;
         // Little's law: arrival rate (VMs/s) = concurrent VMs / mean lifetime.
         let arrival_rate =
             target_concurrent_cores / Self::mean_cores() / Self::mean_lifetime_secs();
-
-        let mut requests = Vec::new();
-        let mut next_id = 0u64;
-        let shift_secs = self.config.workload_shift_day.map(|d| d as u64 * 86_400);
-
-        let push_request = |rng: &mut Pcg64,
-                            arrival: u64,
-                            lifetime: u64,
-                            requests: &mut Vec<VmRequest>,
-                            next_id: &mut u64| {
-            let customer_idx = rng.gen_range(0..customers.len());
-            let customer = &customers[customer_idx];
-            let cores = Self::sample_cores(rng);
-            let shifted = shift_secs.is_some_and(|s| arrival >= s);
-            // After a workload shift the mix becomes compute-heavy: less
-            // memory per core, which increases stranding.
-            let vm_type = if shifted && rng.gen::<f64>() < 0.6 {
-                VmType::ComputeOptimized
-            } else if rng.gen::<f64>() < 0.7 {
-                customer.preferred_type
-            } else {
-                VmType::ALL[rng.gen_range(0..VmType::ALL.len())]
-            };
-            let gib = ((cores as f64
-                * vm_type.gib_per_core() as f64
-                * memory_factor
-                * rng.gen_range(0.8..1.25))
-            .round() as u64)
-                .max(1);
-            let untouched_fraction =
-                (customer.untouched_mean + rng.gen_range(-0.15..0.15)).clamp(0.0, 0.98);
-            let workload_index =
-                customer.workload_indices[rng.gen_range(0..customer.workload_indices.len())];
-            requests.push(VmRequest {
-                id: *next_id,
-                arrival,
-                lifetime,
-                cores,
-                memory: Bytes::from_gib(gib),
-                customer: CustomerId(customer_idx as u32),
-                vm_type,
-                guest_os: customer.guest_os,
-                region: customer.region,
-                workload_index,
-                untouched_fraction,
-            });
-            *next_id += 1;
-        };
-
-        // Seed the steady-state population at t = 0 so the cluster starts
-        // warm instead of ramping for days.
+        // Steady-state population seeded at t = 0 so the cluster starts warm
+        // instead of ramping for days.
         let initial_vms = (target_concurrent_cores / Self::mean_cores()).round() as u64;
-        for _ in 0..initial_vms {
-            let lifetime = Self::sample_inflight_lifetime(&mut rng);
-            // Residual lifetime of an in-flight VM.
-            let residual = rng.gen_range(1..lifetime.max(2));
-            push_request(&mut rng, 0, residual, &mut requests, &mut next_id);
-        }
 
-        // Poisson arrivals over the trace duration.
-        let mut t = 0.0f64;
-        loop {
-            let u: f64 = rng.gen_range(1e-12..1.0);
-            t += -u.ln() / arrival_rate;
-            let arrival = t as u64;
-            if arrival >= duration {
-                break;
-            }
-            let lifetime = Self::sample_lifetime(&mut rng);
-            push_request(&mut rng, arrival, lifetime, &mut requests, &mut next_id);
+        ClusterPlan {
+            rng,
+            customers,
+            memory_factor,
+            shift_secs: self.config.workload_shift_day.map(|d| d as u64 * 86_400),
+            arrival_rate,
+            initial_vms,
         }
+    }
 
+    /// Streams the trace for one cluster index lazily as an
+    /// [`ArrivalSource`]: each request is sampled on demand, so a sweep grid
+    /// point holds O(1) generator state instead of the whole trace. Emits the
+    /// exact request sequence of [`TraceGenerator::generate`] (which is
+    /// implemented on top of this source).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cluster` is outside `0..cluster_count()`.
+    pub fn stream(&self, cluster: u32) -> GeneratorSource {
+        GeneratorSource {
+            header: TraceHeader {
+                cluster_id: cluster,
+                servers: self.config.servers,
+                cores_per_server: self.config.cores_per_server,
+                dram_per_server: self.config.dram_per_server,
+                duration: self.config.duration_secs(),
+            },
+            plan: self.plan(cluster),
+            next_id: 0,
+            emitted_initial: 0,
+            t: 0.0,
+            done: false,
+        }
+    }
+
+    /// Generates the trace for one cluster index (deterministic per index)
+    /// by materializing [`TraceGenerator::stream`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cluster` is outside `0..cluster_count()`.
+    pub fn generate(&self, cluster: u32) -> ClusterTrace {
+        let mut source = self.stream(cluster);
+        let mut requests = Vec::new();
+        while let Some(request) = source.next_request().expect("generator sources never fail") {
+            requests.push(request);
+        }
+        // The stream is already (arrival, id)-sorted — the initial population
+        // all arrives at t = 0 in id order and the Poisson clock only moves
+        // forward — so this stable sort is a no-op kept as belt and braces.
         requests.sort_by_key(|r| (r.arrival, r.id));
         ClusterTrace {
             cluster_id: cluster,
             servers: self.config.servers,
             cores_per_server: self.config.cores_per_server,
             dram_per_server: self.config.dram_per_server,
-            duration,
+            duration: self.config.duration_secs(),
             requests,
         }
     }
@@ -338,6 +368,83 @@ impl TraceGenerator {
     /// Generates every cluster's trace.
     pub fn generate_all(&self) -> Vec<ClusterTrace> {
         (0..self.clusters).map(|c| self.generate(c)).collect()
+    }
+}
+
+/// The shared per-cluster generation state: the RNG positioned after the
+/// prelude draws, the sampled cluster-level parameters, and the derived
+/// arrival process.
+#[derive(Debug, Clone)]
+struct ClusterPlan {
+    rng: Pcg64,
+    customers: Vec<CustomerModel>,
+    memory_factor: f64,
+    shift_secs: Option<u64>,
+    arrival_rate: f64,
+    initial_vms: u64,
+}
+
+/// A lazily generated synthetic trace (see [`TraceGenerator::stream`]):
+/// the in-flight population at t = 0 followed by Poisson arrivals, sampled
+/// one request per [`ArrivalSource::next_request`] call.
+#[derive(Debug, Clone)]
+pub struct GeneratorSource {
+    header: TraceHeader,
+    plan: ClusterPlan,
+    next_id: u64,
+    emitted_initial: u64,
+    t: f64,
+    done: bool,
+}
+
+impl ArrivalSource for GeneratorSource {
+    fn header(&self) -> &TraceHeader {
+        &self.header
+    }
+
+    fn next_request(&mut self) -> Result<Option<VmRequest>, SourceError> {
+        if self.done {
+            return Ok(None);
+        }
+        let plan = &mut self.plan;
+        // The in-flight population first: arrival 0, length-biased lifetimes.
+        if self.emitted_initial < plan.initial_vms {
+            self.emitted_initial += 1;
+            let lifetime = TraceGenerator::sample_inflight_lifetime(&mut plan.rng);
+            // Residual lifetime of an in-flight VM.
+            let residual = plan.rng.gen_range(1..lifetime.max(2));
+            let id = self.next_id;
+            self.next_id += 1;
+            return Ok(Some(TraceGenerator::sample_request(
+                &mut plan.rng,
+                &plan.customers,
+                plan.memory_factor,
+                plan.shift_secs,
+                id,
+                0,
+                residual,
+            )));
+        }
+        // Then Poisson arrivals until the clock passes the horizon.
+        let u: f64 = plan.rng.gen_range(1e-12..1.0);
+        self.t += -u.ln() / plan.arrival_rate;
+        let arrival = self.t as u64;
+        if arrival >= self.header.duration {
+            self.done = true;
+            return Ok(None);
+        }
+        let lifetime = TraceGenerator::sample_lifetime(&mut plan.rng);
+        let id = self.next_id;
+        self.next_id += 1;
+        Ok(Some(TraceGenerator::sample_request(
+            &mut plan.rng,
+            &plan.customers,
+            plan.memory_factor,
+            plan.shift_secs,
+            id,
+            arrival,
+            lifetime,
+        )))
     }
 }
 
@@ -450,5 +557,24 @@ mod tests {
     #[should_panic(expected = "cluster index out of range")]
     fn out_of_range_cluster_rejected() {
         let _ = TraceGenerator::new(ClusterConfig::small(), 1).generate(5);
+    }
+
+    #[test]
+    fn the_generator_source_streams_the_exact_materialized_trace() {
+        // Two clusters so the multi-cluster utilization draw runs too.
+        let generator = TraceGenerator::new(ClusterConfig::small(), 2).with_seed(9);
+        for cluster in 0..2 {
+            let trace = generator.generate(cluster);
+            let mut source = generator.stream(cluster);
+            assert_eq!(source.header(), &TraceHeader::of_trace(&trace));
+            assert_eq!(source.len_hint(), None, "the Poisson tail length is unknown");
+            let mut streamed = Vec::new();
+            while let Some(request) = source.next_request().unwrap() {
+                streamed.push(request);
+            }
+            assert_eq!(streamed, trace.requests, "cluster {cluster}");
+            // Exhausted streams stay exhausted.
+            assert_eq!(source.next_request().unwrap(), None);
+        }
     }
 }

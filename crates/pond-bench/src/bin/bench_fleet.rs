@@ -1,25 +1,42 @@
 //! Fleet-replay throughput: events/sec of the rebuilt event core (indexed
-//! departure arena, incremental peak/conservation accounting, arena
-//! bookkeeping) against the retained pre-refactor reference replay
+//! departure calendar, incremental peak/conservation accounting, live-VM
+//! arena bookkeeping) against the retained pre-refactor reference replay
 //! (five-heap peek-scan queue, full host scan per event, hash-map
 //! bookkeeping) on a large single-pool fleet.
 //!
 //! stdout carries only the deterministic outcome table — a pool-fraction
 //! sweep on the parallel runner plus the bit-for-bit indexed-vs-reference
 //! cross-check — so CI can diff a `POND_SWEEP_THREADS=1` run against the
-//! default thread count. Timings and the measured speedup go to stderr, and
-//! a machine-readable summary is written to `BENCH_fleet.json`.
+//! default thread count. Each sweep point is also printed as a bare
+//! `outcome ...` line, which CI greps to diff the streamed mode against the
+//! materialized mode. Timings, the measured speedup, and the streamed
+//! mode's peak-RSS line go to stderr, and a machine-readable summary is
+//! merged into `BENCH_fleet.json` (each mode owns its own section and
+//! preserves the other's).
 //!
-//! Set `POND_SMOKE=1` to shrink the fleet to a CI-sized smoke check (which
-//! also skips the speedup floor: a smoke fleet is too small for the
-//! per-event host scan to dominate the reference replay).
+//! Modes:
+//!
+//! * default — materialize the trace, run the sweep, and time the indexed
+//!   replay against the reference replay.
+//! * `POND_STREAM=1` — never materialize: replay the lazily generated
+//!   stream through [`run_fleet_source`] with a bounded training prefix,
+//!   and print peak RSS against the request-vector footprint the
+//!   materialized path would have paid. The full-size stream run covers 40
+//!   days of a 65,535-server fleet (the control plane's host-id clamp caps
+//!   hosts at `u16::MAX`, so the multi-million-VM stream spreads over days
+//!   rather than a literal single day) — close to 9M VMs through one
+//!   replay.
+//! * `POND_SMOKE=1` — shrink either mode to a CI-sized fleet; the two
+//!   modes' `outcome` lines are then bit-identical, which CI asserts.
 
+use cluster_sim::source::{summarize, ArrivalSource};
+use cluster_sim::trace::VmRequest;
 use cluster_sim::tracegen::{ClusterConfig, TraceGenerator};
 use cluster_sim::ClusterTrace;
 use pond_bench::{pct, print_header};
 use pond_core::fleet::{
-    fleet_pool_sweep, run_fleet_reference_with_policy, run_fleet_with_policy, FleetConfig,
-    FleetOutcome,
+    fleet_pool_sweep, run_fleet_reference_with_policy, run_fleet_source, run_fleet_with_policy,
+    FleetConfig, FleetOutcome,
 };
 use pond_core::policy::PondPolicy;
 use std::time::{Duration, Instant};
@@ -28,16 +45,48 @@ fn smoke() -> bool {
     std::env::var("POND_SMOKE").is_ok_and(|v| v == "1")
 }
 
-/// Servers in the benched fleet (`POND_FLEET_SERVERS` overrides).
+fn stream_mode() -> bool {
+    std::env::var("POND_STREAM").is_ok_and(|v| v == "1")
+}
+
+/// Servers in the benched fleet (`POND_FLEET_SERVERS` overrides). The
+/// streamed mode defaults to the host-id clamp's maximum so one replay
+/// carries the largest expressible fleet.
 fn servers() -> u32 {
-    let default = if smoke() { 192 } else { 8192 };
+    let default = match (smoke(), stream_mode()) {
+        (true, _) => 192,
+        (false, false) => 8192,
+        (false, true) => u32::from(u16::MAX),
+    };
     std::env::var("POND_FLEET_SERVERS").ok().and_then(|v| v.parse().ok()).unwrap_or(default)
 }
 
+/// Days the streamed mode generates (`POND_STREAM_DAYS` overrides).
+fn stream_days() -> u32 {
+    let default = if smoke() { 1 } else { 40 };
+    std::env::var("POND_STREAM_DAYS").ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+fn cluster_config(days: u32) -> ClusterConfig {
+    ClusterConfig { servers: servers(), duration_days: days, ..ClusterConfig::azure_like() }
+}
+
 fn bench_trace() -> ClusterTrace {
-    let config =
-        ClusterConfig { servers: servers(), duration_days: 1, ..ClusterConfig::azure_like() };
-    TraceGenerator::new(config, 1).generate(0)
+    TraceGenerator::new(cluster_config(1), 1).generate(0)
+}
+
+/// The deterministic per-point line both modes print and CI diffs.
+fn outcome_line(fraction: f64, o: &FleetOutcome) -> String {
+    format!(
+        "outcome pool={} scheduled={} rejected={} fallbacks={} savings={} mitrate={} events={}",
+        pct(fraction),
+        o.scheduled_vms,
+        o.rejected_vms,
+        o.fallback_all_local,
+        pct(o.dram_savings_fraction()),
+        pct(o.mitigation_rate()),
+        replay_events(o),
+    )
 }
 
 /// Events the replay processed: arrivals (placed and rejected), departures
@@ -68,7 +117,148 @@ fn best_of<F: FnMut() -> (Duration, FleetOutcome)>(
     (best, out.expect("at least one run"))
 }
 
+/// Peak resident set size of this process, from `/proc/self/status`
+/// (`None` where procfs is unavailable).
+fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kib: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kib * 1024)
+}
+
+/// Extracts one mode's section block from a previously written
+/// `BENCH_fleet.json`, so re-running the other mode preserves it. The file
+/// is always this binary's own hand-formatted output, so a line scan for
+/// the two-space-indented key through its closing brace is exact.
+fn extract_section(json: &str, key: &str) -> Option<String> {
+    let lines: Vec<&str> = json.lines().collect();
+    let open = format!("  \"{key}\": {{");
+    let start = lines.iter().position(|l| *l == open)?;
+    let end = start + lines[start..].iter().position(|l| l.trim_end_matches(',') == "  }")?;
+    let mut block = lines[start..end].join("\n");
+    block.push_str("\n  }");
+    Some(block)
+}
+
+/// Writes `BENCH_fleet.json` with this run's section, keeping the other
+/// mode's section from a previous run when present.
+fn write_bench_json(section: &str, body: String) {
+    let other_key = if section == "stream" { "materialized" } else { "stream" };
+    let existing = std::fs::read_to_string("BENCH_fleet.json").ok();
+    let other = existing.as_deref().and_then(|json| extract_section(json, other_key));
+    let own = format!("  \"{section}\": {{\n{body}\n  }}");
+    // Deterministic section order: materialized first.
+    let sections = match (&other, section) {
+        (Some(other), "stream") => format!("{other},\n{own}"),
+        (Some(other), _) => format!("{own},\n{other}"),
+        (None, _) => own,
+    };
+    let json = format!("{{\n{sections}\n}}\n");
+    std::fs::write("BENCH_fleet.json", json).expect("write BENCH_fleet.json");
+    eprintln!("wrote BENCH_fleet.json");
+}
+
+/// The `POND_STREAM=1` mode: the whole replay — training prefix included —
+/// runs off the lazy generator source, so resident memory is bounded by
+/// live VMs instead of trace length.
+fn run_stream() {
+    print_header(
+        "Fleet throughput (streamed)",
+        "bounded-memory replay through the streaming arrival source",
+    );
+    let days = stream_days();
+    let generator = TraceGenerator::new(cluster_config(days), 1);
+    let header = generator.stream(0).header().clone();
+
+    // One streaming pass for the summary line the materialized path used to
+    // read off the request vector.
+    let summary = summarize(generator.stream(0)).expect("generator streams are well-formed");
+    let requests = summary.requests;
+    println!(
+        "fleet: {} servers, {requests} requests, {days} days, {} mean core utilization (streamed)",
+        header.servers,
+        pct(summary.mean_core_utilization()),
+    );
+
+    let base = FleetConfig::for_header(&header, 0.20, 7);
+    // Bounded-memory training: cap the materialized training prefix at
+    // 64 Ki requests. The smoke fleet stays under the cap, so its derived
+    // fraction equals the default and the CI outcome diff sees identical
+    // replays.
+    let training_fraction = (65_536.0 / requests as f64).min(base.control.policy.training_fraction);
+    let mut policy_config = base.control.policy.clone();
+    policy_config.training_fraction = training_fraction;
+
+    let train_start = Instant::now();
+    let policy = PondPolicy::train_source(|| generator.stream(0), &policy_config, base.seed)
+        .expect("generator streams are well-formed");
+    let trained = train_start.elapsed();
+    eprintln!(
+        "policy training: {trained:.2?} on a streamed prefix (fraction {training_fraction:.4})"
+    );
+
+    // Full-size streams replay one pool point; the smoke fleet replays the
+    // same three points the materialized mode prints.
+    let fractions: &[f64] = if smoke() { &[0.10, 0.20, 0.30] } else { &[0.20] };
+    let mut total_events = 0u64;
+    let mut total_elapsed = Duration::ZERO;
+    for &fraction in fractions {
+        let mut config = FleetConfig::for_header(&header, fraction, 7);
+        config.control.policy.training_fraction = training_fraction;
+        let policy = policy.clone();
+        let start = Instant::now();
+        let outcome = run_fleet_source(generator.stream(0), &config, policy)
+            .expect("fleet replay must not fail");
+        let elapsed = start.elapsed();
+        total_events += replay_events(&outcome);
+        total_elapsed += elapsed;
+        println!("{}", outcome_line(fraction, &outcome));
+    }
+    let eps = total_events as f64 / total_elapsed.as_secs_f64();
+    eprintln!("streamed {total_events} events in {total_elapsed:.2?} ({eps:.0} events/sec)");
+
+    // The headline claim, measured: resident memory stays bounded by live
+    // VMs. The floor is what the materialized path pays for the request
+    // vector alone (before any of its trace-length bookkeeping).
+    const MIB: f64 = (1 << 20) as f64;
+    let floor = requests * std::mem::size_of::<VmRequest>() as u64;
+    let rss = peak_rss_bytes();
+    match rss {
+        Some(rss) => {
+            eprintln!(
+                "peak RSS {:.1} MiB vs materialized request-vector floor {:.1} MiB ({:.2}x)",
+                rss as f64 / MIB,
+                floor as f64 / MIB,
+                rss as f64 / floor as f64,
+            );
+            assert!(
+                requests < 5_000_000 || rss < floor,
+                "a multi-million-VM stream must replay under the materialized footprint: \
+                 peak RSS {rss} >= {floor} bytes"
+            );
+        }
+        None => eprintln!("peak RSS unavailable (no /proc/self/status)"),
+    }
+
+    write_bench_json(
+        "stream",
+        format!(
+            "    \"servers\": {},\n    \"days\": {days},\n    \"requests\": {requests},\n    \
+             \"events\": {total_events},\n    \"secs\": {},\n    \
+             \"events_per_sec\": {eps:.0},\n    \"peak_rss_bytes\": {},\n    \
+             \"materialized_floor_bytes\": {floor}",
+            header.servers,
+            total_elapsed.as_secs_f64(),
+            rss.map_or_else(|| "null".to_string(), |rss| rss.to_string()),
+        ),
+    );
+}
+
 fn main() {
+    if stream_mode() {
+        run_stream();
+        return;
+    }
     print_header(
         "Fleet throughput",
         "events/sec of the rebuilt event core vs the reference replay",
@@ -78,7 +268,8 @@ fn main() {
     println!("fleet: {} servers, {} requests, 1 day", trace.servers, trace.requests.len());
 
     // Deterministic outcome table over the parallel sweep runner; CI diffs
-    // this whole stdout between POND_SWEEP_THREADS=1 and the default.
+    // this whole stdout between POND_SWEEP_THREADS=1 and the default, and
+    // the bare `outcome` lines against the streamed mode's.
     let fractions = [0.10, 0.20, 0.30];
     let points =
         fleet_pool_sweep(&trace, &fractions, config.seed).expect("fleet replay must not fail");
@@ -96,6 +287,9 @@ fn main() {
             pct(point.outcome.mitigation_rate()),
             replay_events(&point.outcome),
         );
+    }
+    for point in &points {
+        println!("{}", outcome_line(point.pool_fraction, &point.outcome));
     }
 
     // The timed comparison: one trained policy, both replay loops, and a
@@ -135,19 +329,17 @@ fn main() {
          ({indexed_eps:.0} events/sec) -> {speedup:.2}x"
     );
 
-    let json = format!(
-        "{{\n  \"servers\": {},\n  \"requests\": {},\n  \"events\": {events},\n  \
-         \"indexed_secs\": {},\n  \"reference_secs\": {},\n  \
-         \"indexed_events_per_sec\": {:.0},\n  \"reference_events_per_sec\": {:.0},\n  \
-         \"speedup\": {:.2}\n}}\n",
-        trace.servers,
-        trace.requests.len(),
-        indexed.as_secs_f64(),
-        reference.as_secs_f64(),
-        indexed_eps,
-        reference_eps,
-        speedup,
+    write_bench_json(
+        "materialized",
+        format!(
+            "    \"servers\": {},\n    \"requests\": {},\n    \"events\": {events},\n    \
+             \"indexed_secs\": {},\n    \"reference_secs\": {},\n    \
+             \"indexed_events_per_sec\": {indexed_eps:.0},\n    \
+             \"reference_events_per_sec\": {reference_eps:.0},\n    \"speedup\": {speedup:.2}",
+            trace.servers,
+            trace.requests.len(),
+            indexed.as_secs_f64(),
+            reference.as_secs_f64(),
+        ),
     );
-    std::fs::write("BENCH_fleet.json", json).expect("write BENCH_fleet.json");
-    eprintln!("wrote BENCH_fleet.json");
 }

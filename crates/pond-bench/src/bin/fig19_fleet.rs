@@ -4,18 +4,30 @@
 //! mitigation — replayed over a cloud VM trace on the time-ordered event
 //! core. Contrast with `fig21_e2e_savings`, which drives the cluster
 //! simulator's static placement hook instead of the control plane.
+//!
+//! The trace is never materialized: every sweep point (training prefix
+//! included) replays the lazily generated arrival stream, and the summary
+//! line comes from a streaming pass instead of the request vector.
 
-use pond_bench::{bench_trace, pct, print_header};
-use pond_core::fleet::fleet_pool_sweep;
+use cluster_sim::source::summarize;
+use pond_bench::{bench_generator, pct, print_header};
+use pond_core::fleet::fleet_pool_sweep_source;
 
 fn main() {
     print_header(
         "Figure 19 (fleet replay)",
         "DRAM savings vs. pool percentage, full Pond control plane",
     );
-    let trace = bench_trace();
+    let generator = bench_generator();
+    let summary = summarize(generator.stream(0)).expect("generator streams are well-formed");
+    println!(
+        "trace: {} requests, {} mean core utilization (streamed)",
+        summary.requests,
+        pct(summary.mean_core_utilization()),
+    );
     let fractions = [0.05, 0.10, 0.15, 0.20, 0.30, 0.50];
-    let points = fleet_pool_sweep(&trace, &fractions, 19).expect("fleet replay must not fail");
+    let points = fleet_pool_sweep_source(|| generator.stream(0), &fractions, 19)
+        .expect("fleet replay must not fail");
 
     println!(
         "{:>7} {:>12} {:>11} {:>10} {:>11} {:>10} {:>9}",

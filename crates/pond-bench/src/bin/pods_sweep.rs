@@ -1,14 +1,16 @@
 //! Pods sweep: the full (pod style × group count × pool fraction ×
 //! scheduler) grid over one trace, replayed through the sharded multi-pool
-//! fleet on the parallel sweep runner. Every cell is deterministic for a
-//! fixed `(trace, seed)` — including between `POND_SWEEP_THREADS=1` and the
-//! default thread count, which CI checks by diffing the two outputs.
+//! fleet on the parallel sweep runner. The trace is never materialized —
+//! every cell replays the lazily generated arrival stream. Every cell is
+//! deterministic for a fixed `(stream, seed)` — including between
+//! `POND_SWEEP_THREADS=1` and the default thread count, which CI checks by
+//! diffing the two outputs.
 //!
 //! Set `POND_SMOKE=1` to shrink the grid to a CI-sized smoke check.
 
 use cxl_hw::topology::PodStyle;
-use pond_bench::{bench_trace, pct, print_header};
-use pond_core::multipool::{multipool_sweep, GroupSchedulerKind, MultiPoolSweepSpec};
+use pond_bench::{bench_generator, pct, print_header};
+use pond_core::multipool::{multipool_sweep_source, GroupSchedulerKind, MultiPoolSweepSpec};
 
 fn smoke() -> bool {
     std::env::var("POND_SMOKE").is_ok_and(|v| v == "1")
@@ -35,9 +37,10 @@ fn main() {
         "Pods sweep",
         "DRAM savings and mitigation rate over (pods x groups x pool % x scheduler)",
     );
-    let trace = bench_trace();
+    let generator = bench_generator();
     let specs = grid();
-    let points = multipool_sweep(&trace, &specs, 11).expect("multipool replay must not fail");
+    let points = multipool_sweep_source(|| generator.stream(0), &specs, 11)
+        .expect("multipool replay must not fail");
 
     println!(
         "{:>10} {:>7} {:>7} {:>15} {:>12} {:>10} {:>12} {:>10}",

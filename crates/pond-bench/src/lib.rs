@@ -39,7 +39,15 @@ pub fn bench_traces() -> Vec<ClusterTrace> {
 
 /// A single trace for experiments that only need one cluster.
 pub fn bench_trace() -> ClusterTrace {
-    TraceGenerator::new(bench_cluster_config(), 1).generate(0)
+    bench_generator().generate(0)
+}
+
+/// The generator behind [`bench_trace`], for binaries that replay the
+/// lazily generated stream through an [`cluster_sim::ArrivalSource`]
+/// instead of materializing the request vector. `bench_generator().stream(0)`
+/// yields exactly the requests of `bench_trace()`, in order.
+pub fn bench_generator() -> TraceGenerator {
+    TraceGenerator::new(bench_cluster_config(), 1)
 }
 
 /// Prints a figure/table header in a consistent format.

@@ -38,6 +38,9 @@ pub enum PondError {
     Hardware(cxl_hw::CxlError),
     /// A host-memory operation failed.
     HostMemory(String),
+    /// The streaming arrival source feeding a replay failed (malformed or
+    /// unreadable trace stream).
+    TraceStream(String),
 }
 
 impl fmt::Display for PondError {
@@ -54,6 +57,7 @@ impl fmt::Display for PondError {
             PondError::Model { detail } => write!(f, "model error: {detail}"),
             PondError::Hardware(e) => write!(f, "hardware error: {e}"),
             PondError::HostMemory(e) => write!(f, "host memory error: {e}"),
+            PondError::TraceStream(e) => write!(f, "trace stream error: {e}"),
         }
     }
 }
@@ -70,6 +74,12 @@ impl Error for PondError {
 impl From<cxl_hw::CxlError> for PondError {
     fn from(e: cxl_hw::CxlError) -> Self {
         PondError::Hardware(e)
+    }
+}
+
+impl From<cluster_sim::source::SourceError> for PondError {
+    fn from(e: cluster_sim::source::SourceError) -> Self {
+        PondError::TraceStream(e.to_string())
     }
 }
 

@@ -19,10 +19,12 @@
 //! conservation (every slice is free, pinned, or mid-offlining) is
 //! debug-asserted after every event.
 
+use crate::arena::LiveVmArena;
 use crate::control_plane::{ControlPlaneConfig, PondControlPlane};
 use crate::error::PondError;
 use crate::policy::PondPolicy;
 use cluster_sim::event::{Event, EventQueue, ReferenceEventQueue};
+use cluster_sim::source::{ArrivalSource, TraceCursor, TraceHeader};
 use cluster_sim::sweep;
 use cluster_sim::trace::ClusterTrace;
 use cxl_hw::units::Bytes;
@@ -69,12 +71,18 @@ impl FleetConfig {
     /// percentage, and the replay reports the DRAM savings and mitigation
     /// rate the full pipeline achieves at that size.
     pub fn for_trace(trace: &ClusterTrace, pool_fraction: f64, seed: u64) -> Self {
+        Self::for_header(&TraceHeader::of_trace(trace), pool_fraction, seed)
+    }
+
+    /// [`FleetConfig::for_trace`] from a [`TraceHeader`] alone, so streaming
+    /// replays can size the fleet without materializing any requests.
+    pub fn for_header(header: &TraceHeader, pool_fraction: f64, seed: u64) -> Self {
         assert!(
             (0.0..=1.0).contains(&pool_fraction) && pool_fraction.is_finite(),
             "pool fraction must be in [0, 1]"
         );
-        let hosts = trace.servers.clamp(1, u64::from(u16::MAX) as u32) as u16;
-        let fleet_dram = Bytes::from_gib(trace.dram_per_server.as_gib() * trace.servers as u64);
+        let hosts = header.servers.clamp(1, u64::from(u16::MAX) as u32) as u16;
+        let fleet_dram = Bytes::from_gib(header.dram_per_server.as_gib() * header.servers as u64);
         let local_per_host = Bytes::from_gib(fleet_dram.as_gib() / hosts as u64);
         let pool_capacity = Bytes::from_gib(fleet_dram.scaled(pool_fraction).slices_floor().max(1));
         FleetConfig {
@@ -332,80 +340,6 @@ pub(crate) enum ScheduledEvent {
     ReconfigDone,
 }
 
-/// Resolves VM ids to trace request indices without hashing. Trace
-/// generators hand out near-contiguous ids, so a dense direct table covers
-/// the common case; wildly sparse id spaces fall back to a sorted-pairs
-/// binary search. On a duplicate id the later request wins (matching the
-/// hash-map bookkeeping this replaces), though [`ClusterTrace::validate`]
-/// rejects such traces outright.
-#[derive(Debug)]
-pub(crate) enum VmIndex {
-    /// Direct table over the id range starting at `min_id`; `u32::MAX`
-    /// marks an id with no request.
-    Dense {
-        /// The smallest VM id in the trace.
-        min_id: u64,
-        /// `slots[id - min_id]` is the request index of `id`.
-        slots: Vec<u32>,
-    },
-    /// `(id, request_index)` pairs sorted by id, for sparse id spaces.
-    Sorted(Vec<(u64, u32)>),
-}
-
-impl VmIndex {
-    /// Builds the index over a trace's requests. Dense when the id range is
-    /// at most twice the request count (with slack for tiny traces).
-    pub(crate) fn new(trace: &ClusterTrace) -> Self {
-        debug_assert!(trace.requests.len() < u32::MAX as usize);
-        let Some(min_id) = trace.requests.iter().map(|r| r.id).min() else {
-            return VmIndex::Sorted(Vec::new());
-        };
-        let max_id = trace.requests.iter().map(|r| r.id).max().expect("non-empty");
-        let span = (max_id - min_id).checked_add(1);
-        let bound = (trace.requests.len() as u64).max(1024) * 2;
-        match span {
-            Some(span) if span <= bound => {
-                let mut slots = vec![u32::MAX; span as usize];
-                for (index, request) in trace.requests.iter().enumerate() {
-                    slots[(request.id - min_id) as usize] = index as u32;
-                }
-                VmIndex::Dense { min_id, slots }
-            }
-            _ => {
-                let mut pairs: Vec<(u64, u32)> =
-                    trace.requests.iter().enumerate().map(|(i, r)| (r.id, i as u32)).collect();
-                pairs.sort_unstable();
-                VmIndex::Sorted(pairs)
-            }
-        }
-    }
-
-    /// The request index of `id`, if the trace contains it.
-    pub(crate) fn request_index(&self, id: u64) -> Option<usize> {
-        match self {
-            VmIndex::Dense { min_id, slots } => {
-                let slot = id.checked_sub(*min_id)?;
-                match usize::try_from(slot).ok().and_then(|s| slots.get(s)) {
-                    Some(&index) if index != u32::MAX => Some(index as usize),
-                    _ => None,
-                }
-            }
-            VmIndex::Sorted(pairs) => {
-                let end = pairs.partition_point(|&(pid, _)| pid <= id);
-                match end.checked_sub(1).and_then(|i| pairs.get(i)) {
-                    Some(&(pid, index)) if pid == id => Some(index as usize),
-                    _ => None,
-                }
-            }
-        }
-    }
-
-    /// The departure time of the VM with `id`, if the trace contains it.
-    pub(crate) fn departure_of(&self, trace: &ClusterTrace, id: u64) -> Option<u64> {
-        self.request_index(id).map(|index| trace.requests[index].departure())
-    }
-}
-
 /// The per-event outcome accounting shared by [`run_fleet`] and
 /// [`crate::multipool::run_multipool_fleet`]. Both replays charge
 /// placements, mitigations, and provisioning peaks through these helpers,
@@ -560,6 +494,26 @@ pub fn run_fleet_with_policy(
     config: &FleetConfig,
     policy: PondPolicy,
 ) -> Result<FleetOutcome, PondError> {
+    run_fleet_source(TraceCursor::new(trace), config, policy)
+}
+
+/// [`run_fleet`] over any streaming [`ArrivalSource`]: arrivals come off the
+/// source cursor one at a time, departures live in an incremental per-second
+/// calendar, and every per-VM fact sits in a [`LiveVmArena`] slot that is
+/// recycled at departure — so replay memory is O(live VMs + hosts), not
+/// O(trace length). Bit-identical to the materialized replay on the same
+/// request stream: arrival ordinals feed the same simultaneous-departure
+/// tie-break the trace index used to.
+///
+/// # Errors
+///
+/// Same as [`run_fleet`], plus [`PondError::TraceStream`] when the source
+/// fails mid-replay (malformed or unreadable stream).
+pub fn run_fleet_source<S: ArrivalSource>(
+    source: S,
+    config: &FleetConfig,
+    policy: PondPolicy,
+) -> Result<FleetOutcome, PondError> {
     let mut plane = PondControlPlane::with_policy(config.control.clone(), policy)?;
     let accounting = ReplayAccounting::new(&config.control);
 
@@ -568,27 +522,27 @@ pub fn run_fleet_with_policy(
     let mut peak_host_pool = vec![Bytes::ZERO; hosts];
     let mut peak_total = vec![Bytes::ZERO; hosts];
     let mut outcome = FleetOutcome::default();
-    let mut placed = vec![false; trace.requests.len()];
+    let mut arena = LiveVmArena::new();
     let mut pooled_host = vec![false; hosts];
     let mut pooled_host_count: u64 = 0;
     let mut degraded: u64 = 0;
-    let vm_index = VmIndex::new(trace);
 
-    let mut events = EventQueue::new(trace, config.qos_interval);
+    let mut events = EventQueue::new(source, config.qos_interval);
     while let Some(event) = events.next_event() {
         let now = Duration::from_secs(event.time());
         match event {
             Event::Arrival { request_index, .. } => {
-                let request = &trace.requests[request_index];
-                match plane.handle_request(request, now) {
+                let request = events.take_arrival();
+                match plane.handle_request(&request, now) {
                     Ok(summary) => {
-                        accounting.record_placement(&mut outcome, request, &summary);
+                        accounting.record_placement(&mut outcome, &request, &summary);
                         if !summary.pool.is_zero() && !pooled_host[summary.host] {
                             pooled_host[summary.host] = true;
                             pooled_host_count += 1;
                         }
-                        placed[request_index] = true;
-                        events.schedule_departure(request.departure(), request_index);
+                        let departure = request.departure();
+                        let token = arena.alloc(request, request_index as u64);
+                        events.schedule_departure(departure, request_index as u64, token);
                     }
                     Err(PondError::NoFeasibleHost { .. })
                     | Err(PondError::PoolExhausted { .. }) => {
@@ -597,14 +551,13 @@ pub fn run_fleet_with_policy(
                     Err(other) => return Err(other),
                 }
             }
-            Event::Departure { request_index, .. } => {
-                // Only placed VMs scheduled a departure, so the flag can
-                // only be clear on malformed traces that reuse an index.
-                if std::mem::take(&mut placed[request_index]) {
-                    let vm = VmId(trace.requests[request_index].id);
-                    if let Some(ready) = plane.handle_departure(vm, now)? {
-                        events.schedule_release(ceil_secs(ready));
-                    }
+            Event::Departure { token, .. } => {
+                // Each token was scheduled exactly once at its allocation,
+                // so the slot is live and this free cannot alias.
+                let vm = VmId(arena.request(token).id);
+                arena.free(token);
+                if let Some(ready) = plane.handle_departure(vm, now)? {
+                    events.schedule_release(ceil_secs(ready));
                 }
             }
             Event::Release { .. } => {
@@ -626,7 +579,7 @@ pub fn run_fleet_with_policy(
                     &mut outcome,
                     pass,
                     time,
-                    |id| vm_index.departure_of(trace, id),
+                    |id| arena.departure_of(id),
                     &mut degraded,
                     |kind, at| match kind {
                         ScheduledEvent::Release => events.schedule_release(at),
@@ -652,6 +605,9 @@ pub fn run_fleet_with_policy(
         // builds: free + offlining + pinned must equal the pool's capacity.
         #[cfg(debug_assertions)]
         plane.assert_pool_conserved();
+    }
+    if let Some(error) = events.source_error() {
+        return Err(PondError::TraceStream(error.to_string()));
     }
 
     #[cfg(debug_assertions)]
@@ -728,7 +684,11 @@ pub fn run_fleet_reference_with_policy(
                             pooled_hosts.insert(summary.host);
                         }
                         placed.insert(request_index);
-                        events.schedule_departure(request.departure(), request_index);
+                        events.schedule_departure(
+                            request.departure(),
+                            request_index as u64,
+                            request_index,
+                        );
                     }
                     Err(PondError::NoFeasibleHost { .. })
                     | Err(PondError::PoolExhausted { .. }) => {
@@ -737,7 +697,7 @@ pub fn run_fleet_reference_with_policy(
                     Err(other) => return Err(other),
                 }
             }
-            Event::Departure { request_index, .. } => {
+            Event::Departure { token: request_index, .. } => {
                 if placed.remove(&request_index) {
                     let vm = VmId(trace.requests[request_index].id);
                     if let Some(ready) = plane.handle_departure(vm, now)? {
@@ -845,6 +805,34 @@ where
     results.into_iter().collect()
 }
 
+/// [`fleet_pool_sweep`] over a source factory: every grid point streams a
+/// fresh source (training prefix included), so no point ever materializes
+/// the trace. Bit-identical to [`fleet_pool_sweep`] when the factory yields
+/// the same request stream. `make_source` may run from several threads at
+/// once.
+///
+/// # Errors
+///
+/// Propagates the first replay or stream error in sweep order.
+pub fn fleet_pool_sweep_source<S, F>(
+    make_source: F,
+    pool_fractions: &[f64],
+    seed: u64,
+) -> Result<Vec<FleetSweepPoint>, PondError>
+where
+    S: ArrivalSource,
+    F: Fn() -> S + Sync,
+{
+    let header = make_source().header().clone();
+    let results = sweep::parallel_map(pool_fractions, |_, &fraction| {
+        let config = FleetConfig::for_header(&header, fraction, seed);
+        let policy = PondPolicy::train_source(&make_source, &config.control.policy, config.seed)?;
+        run_fleet_source(make_source(), &config, policy)
+            .map(|outcome| FleetSweepPoint { pool_fraction: fraction, outcome })
+    });
+    results.into_iter().collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -867,34 +855,56 @@ mod tests {
     }
 
     #[test]
-    fn vm_index_resolves_dense_and_sparse_id_spaces() {
+    fn a_lazily_generated_stream_replays_like_its_materialized_trace() {
+        // The generator's lazy source and its materialized trace are the
+        // same request stream, so training from the stream prefix and
+        // replaying through the arena must reproduce the trace replay — the
+        // whole point of the bounded-memory path.
+        let generator = TraceGenerator::new(ClusterConfig::small(), 1);
+        let trace = generator.generate(0);
+        let config = FleetConfig::for_header(&cluster_sim::TraceHeader::of_trace(&trace), 0.20, 7);
+        assert_eq!(config, FleetConfig::for_trace(&trace, 0.20, 7));
+
+        let materialized = run_fleet(&trace, &config).unwrap();
+        let policy =
+            PondPolicy::train_source(|| generator.stream(0), &config.control.policy, config.seed)
+                .unwrap();
+        let streamed = run_fleet_source(generator.stream(0), &config, policy).unwrap();
+        assert_eq!(streamed, materialized);
+    }
+
+    #[test]
+    fn a_failing_source_surfaces_a_trace_stream_error() {
+        // Truncate the stream contract: arrivals out of order make the
+        // validated wrapper fail mid-replay, which must surface as an error
+        // instead of silently ending the replay.
         let mut trace = small_trace();
-        let index = VmIndex::new(&trace);
-        assert!(matches!(index, VmIndex::Dense { .. }), "generator ids are contiguous");
-        for (i, request) in trace.requests.iter().enumerate() {
-            assert_eq!(index.request_index(request.id), Some(i));
-            assert_eq!(index.departure_of(&trace, request.id), Some(request.departure()));
-        }
-        let absent = trace.requests.iter().map(|r| r.id).max().unwrap() + 1;
-        assert_eq!(index.request_index(absent), None);
-
-        // Spread the ids far apart: the index must fall back to search.
-        for (i, request) in trace.requests.iter_mut().enumerate() {
-            request.id = 5 + (i as u64) * 1_000_000;
-        }
-        let sparse = VmIndex::new(&trace);
-        assert!(matches!(sparse, VmIndex::Sorted(_)), "sparse ids must not allocate a table");
-        for (i, request) in trace.requests.iter().enumerate() {
-            assert_eq!(sparse.request_index(request.id), Some(i));
-        }
-        assert_eq!(sparse.request_index(4), None);
-        assert_eq!(sparse.request_index(6), None);
-        assert_eq!(sparse.request_index(u64::MAX), None);
-
-        assert_eq!(
-            VmIndex::new(&ClusterTrace { requests: vec![], ..trace }).request_index(0),
-            None
+        // The initial population all arrives at t=0, so swap in the final
+        // arrival up front to guarantee a genuine order violation.
+        let last = trace.requests.len() - 1;
+        trace.requests.swap(0, last);
+        let config = FleetConfig::for_trace(&trace, 0.20, 7);
+        let policy = PondPolicy::train(&trace, &config.control.policy, config.seed);
+        let err = run_fleet_source(
+            cluster_sim::Validated::new(cluster_sim::TraceCursor::new(&trace)),
+            &config,
+            policy,
+        )
+        .unwrap_err();
+        assert!(
+            matches!(&err, PondError::TraceStream(detail) if detail.contains("before the previous")),
+            "{err:?}"
         );
+    }
+
+    #[test]
+    fn the_source_sweep_matches_the_materialized_sweep() {
+        let generator = TraceGenerator::new(ClusterConfig::small(), 1);
+        let trace = generator.generate(0);
+        let fractions = [0.05, 0.20];
+        let materialized = fleet_pool_sweep(&trace, &fractions, 7).unwrap();
+        let streamed = fleet_pool_sweep_source(|| generator.stream(0), &fractions, 7).unwrap();
+        assert_eq!(streamed, materialized);
     }
 
     #[test]

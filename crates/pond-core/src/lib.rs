@@ -38,6 +38,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod arena;
 pub mod combined;
 pub mod control_plane;
 pub mod error;
@@ -49,12 +50,17 @@ pub mod qos;
 pub mod sensitivity;
 pub mod untouched;
 
+pub use arena::LiveVmArena;
 pub use combined::{CombinedModel, CombinedModelConfig};
 pub use error::PondError;
-pub use fleet::{fleet_pool_sweep, fleet_pool_sweep_with, run_fleet, FleetConfig, FleetOutcome};
+pub use fleet::{
+    fleet_pool_sweep, fleet_pool_sweep_source, fleet_pool_sweep_with, run_fleet, run_fleet_source,
+    FleetConfig, FleetOutcome,
+};
 pub use multipool::{
-    multipool_sweep, run_multipool_fleet, GroupScheduler, GroupSchedulerKind, MultiPoolConfig,
-    MultiPoolOutcome, MultiPoolSweepPoint, MultiPoolSweepSpec,
+    multipool_sweep, multipool_sweep_source, run_multipool_fleet, run_multipool_source,
+    GroupScheduler, GroupSchedulerKind, MultiPoolConfig, MultiPoolOutcome, MultiPoolSweepPoint,
+    MultiPoolSweepSpec,
 };
 pub use policy::{PondPolicy, PondPolicyConfig};
 pub use pool_manager::PondPoolManager;

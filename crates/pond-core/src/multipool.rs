@@ -43,14 +43,16 @@
 //! degenerates to exactly the control plane's internal fallback — which the
 //! integration suite checks outcome-for-outcome.
 
+use crate::arena::{LiveVmArena, NO_GROUP};
 use crate::control_plane::{ControlPlaneConfig, PlacementSummary, PondControlPlane};
 use crate::error::PondError;
 use crate::fleet::{
     ceil_secs, checked_decrement, track_peaks_touched, FleetConfig, FleetOutcome, ReplayAccounting,
-    ScheduledEvent, VmIndex,
+    ScheduledEvent,
 };
 use crate::policy::PondPolicy;
 use cluster_sim::event::{Event, EventQueue};
+use cluster_sim::source::{ArrivalSource, TraceCursor, TraceHeader};
 use cluster_sim::sweep;
 use cluster_sim::trace::{ClusterTrace, VmRequest};
 use cxl_hw::topology::{PodStyle, PoolGroupTopology};
@@ -324,7 +326,21 @@ impl MultiPoolConfig {
         scheduler: GroupSchedulerKind,
         seed: u64,
     ) -> Self {
-        let fleet = FleetConfig::for_trace(trace, pool_fraction, seed);
+        Self::for_header(&TraceHeader::of_trace(trace), pod, groups, pool_fraction, scheduler, seed)
+    }
+
+    /// [`MultiPoolConfig::for_trace`] from a [`TraceHeader`] alone, so
+    /// streaming replays can size the sharded fleet without materializing
+    /// any requests.
+    pub fn for_header(
+        header: &TraceHeader,
+        pod: PodStyle,
+        groups: u16,
+        pool_fraction: f64,
+        scheduler: GroupSchedulerKind,
+        seed: u64,
+    ) -> Self {
+        let fleet = FleetConfig::for_header(header, pool_fraction, seed);
         MultiPoolConfig {
             pod,
             groups,
@@ -498,9 +514,29 @@ pub fn run_multipool_fleet(
     trace: &ClusterTrace,
     config: &MultiPoolConfig,
 ) -> Result<MultiPoolOutcome, PondError> {
+    let policy = PondPolicy::train(trace, &config.control.policy, config.seed);
+    run_multipool_source(TraceCursor::new(trace), config, policy)
+}
+
+/// [`run_multipool_fleet`] over any streaming [`ArrivalSource`] with an
+/// already-trained policy: the sharded-replay twin of
+/// [`crate::fleet::run_fleet_source`]. Per-VM bookkeeping (current group,
+/// departure time, EMC blast-radius resolution) lives in a [`LiveVmArena`]
+/// whose slots are recycled at departure, so replay memory is
+/// O(live VMs + hosts + groups) regardless of trace length. Bit-identical
+/// to the materialized replay on the same request stream.
+///
+/// # Errors
+///
+/// Same as [`run_multipool_fleet`], plus [`PondError::TraceStream`] when
+/// the source fails mid-replay.
+pub fn run_multipool_source<S: ArrivalSource>(
+    source: S,
+    config: &MultiPoolConfig,
+    policy: PondPolicy,
+) -> Result<MultiPoolOutcome, PondError> {
     let topology = config.group_topology()?;
     let groups = topology.group_count();
-    let policy = PondPolicy::train(trace, &config.control.policy, config.seed);
     let mut planes = Vec::with_capacity(groups);
     for g in 0..groups {
         let group_config = ControlPlaneConfig {
@@ -529,28 +565,28 @@ pub fn run_multipool_fleet(
     let mut peak_degraded_fleet = 0u64;
     let mut migrating_of: Vec<u64> = vec![0; groups];
 
-    // Dense arena: which group each trace request is currently running in.
-    const NO_GROUP: u32 = u32::MAX;
-    let mut group_of_vm: Vec<u32> = vec![NO_GROUP; trace.requests.len()];
+    // The live-VM arena: which group each live VM currently runs in, plus
+    // the request itself (QoS take-backs and EMC blast radii resolve ids
+    // through it). Slots are recycled as departures pop, so the bookkeeping
+    // stays O(live VMs) however long the stream runs.
+    let mut arena = LiveVmArena::new();
     let mut release_attribution = EventAttribution::default();
     let mut reconfig_attribution = EventAttribution::default();
     let mut migration_attribution = EventAttribution::default();
-    // Resolves VM ids (QoS mitigations, EMC blast radii) back to trace
-    // request indices — and through them, departure times.
-    let vm_index = VmIndex::new(trace);
 
     // Evacuation copies reuse the QoS-mitigation machinery: the same
     // 50 ms/GiB reconfiguration engine, charged on the event timeline.
     let mut evacuation_engine = ReconfigurationEngine::default();
 
     // The failure drill is planned once, up front, deterministically from
-    // the spec: every failure is already an event before the replay starts.
+    // the spec (the header's duration is all it needs): every failure is
+    // already an event before the replay starts.
     let drill_plan = match &config.drill {
-        Some(spec) => plan_drill(spec, trace.duration, &topology),
+        Some(spec) => plan_drill(spec, source.header().duration, &topology),
         None => Vec::new(),
     };
 
-    let mut events = EventQueue::new(trace, config.qos_interval);
+    let mut events = EventQueue::new(source, config.qos_interval);
     for (failure_index, failure) in drill_plan.iter().enumerate() {
         events.schedule_emc_failure(failure.time, failure_index);
     }
@@ -558,10 +594,10 @@ pub fn run_multipool_fleet(
         let now = Duration::from_secs(event.time());
         match event {
             Event::Arrival { request_index, .. } => {
-                let request = &trace.requests[request_index];
+                let request = events.take_arrival();
                 let views: Vec<GroupView> =
-                    planes.iter().map(|p| GroupView::of(p, request)).collect();
-                let home = scheduler.choose(request, &views);
+                    planes.iter().map(|p| GroupView::of(p, &request)).collect();
+                let home = scheduler.choose(&request, &views);
                 assert!(home < groups, "scheduler chose group {home} of {groups}");
                 let order = topology.reachable(home);
 
@@ -572,7 +608,7 @@ pub fn run_multipool_fleet(
                 let placed = place_on_ladder(
                     &mut planes,
                     order,
-                    request,
+                    &request,
                     now,
                     config.control.fallback_all_local,
                 )?;
@@ -582,19 +618,24 @@ pub fn run_multipool_fleet(
                     continue;
                 };
                 cross_group_placements += u64::from(group != home);
-                accounting.record_placement(&mut per_group[group], request, &summary);
+                accounting.record_placement(&mut per_group[group], &request, &summary);
                 if !summary.pool.is_zero() && !pooled_host[group][summary.host] {
                     pooled_host[group][summary.host] = true;
                     pooled_count[group] += 1;
                 }
-                group_of_vm[request_index] = group as u32;
-                events.schedule_departure(request.departure(), request_index);
+                let departure = request.departure();
+                let token = arena.alloc(request, request_index as u64);
+                arena.set_group(token, group as u32);
+                events.schedule_departure(departure, request_index as u64, token);
             }
-            Event::Departure { request_index, .. } => {
-                let group = std::mem::replace(&mut group_of_vm[request_index], NO_GROUP);
+            Event::Departure { token, .. } => {
+                // The slot is freed here and only here — a killed VM kept
+                // its (groupless) slot alive until this no-op pop, so the
+                // token could not have been recycled under the event.
+                let vm = VmId(arena.request(token).id);
+                let group = arena.free(token);
                 if group != NO_GROUP {
                     let group = group as usize;
-                    let vm = VmId(trace.requests[request_index].id);
                     if let Some(ready) = planes[group].handle_departure(vm, now)? {
                         let time = ceil_secs(ready);
                         events.schedule_release(time);
@@ -626,10 +667,12 @@ pub fn run_multipool_fleet(
                 // all-local in the same order — or killed when no rung
                 // holds it.
                 for affected in outcome.affected {
-                    let request_index = vm_index
-                        .request_index(affected.vm.0)
-                        .expect("a running VM's id resolves to a trace request");
-                    let request = &trace.requests[request_index];
+                    let token = arena
+                        .slot_of(affected.vm.0)
+                        .expect("a running VM's id resolves to a live arena slot");
+                    // Owned copy: the ladder and the group update below need
+                    // the arena free while the request is in hand.
+                    let request = arena.request(token).clone();
 
                     if let Some(ready) = planes[source].evacuate_vm(affected.vm, now)? {
                         let ready = ceil_secs(ready);
@@ -648,7 +691,7 @@ pub fn run_multipool_fleet(
                     let placed = place_on_ladder(
                         &mut planes,
                         topology.reachable(source),
-                        request,
+                        &request,
                         now,
                         config.control.fallback_all_local,
                     )?;
@@ -674,14 +717,15 @@ pub fn run_multipool_fleet(
                                 pooled_host[dest][summary.host] = true;
                                 pooled_count[dest] += 1;
                             }
-                            group_of_vm[request_index] = dest as u32;
+                            arena.set_group(token, dest as u32);
                         }
                         None => {
                             // No reachable pod can hold the VM: it dies
-                            // with the device. Its already-scheduled
-                            // departure event becomes a no-op.
+                            // with the device. The slot stays allocated but
+                            // groupless until its already-scheduled
+                            // departure event pops as a no-op and frees it.
                             per_group[source].vms_killed += 1;
-                            group_of_vm[request_index] = NO_GROUP;
+                            arena.set_group(token, NO_GROUP);
                         }
                     }
                 }
@@ -699,7 +743,7 @@ pub fn run_multipool_fleet(
                         &mut per_group[group],
                         pass,
                         time,
-                        |id| vm_index.departure_of(trace, id),
+                        |id| arena.departure_of(id),
                         &mut degraded_of[group],
                         |kind, at| match kind {
                             ScheduledEvent::ReconfigDone => {
@@ -738,6 +782,9 @@ pub fn run_multipool_fleet(
         // debug builds — O(groups) now that the counters are incremental.
         #[cfg(debug_assertions)]
         assert_fleet_conserved(&planes);
+    }
+    if let Some(error) = events.source_error() {
+        return Err(PondError::TraceStream(error.to_string()));
     }
 
     #[cfg(debug_assertions)]
@@ -833,6 +880,41 @@ pub fn multipool_sweep(
             seed,
         );
         run_multipool_fleet(trace, &config).map(|outcome| MultiPoolSweepPoint { spec, outcome })
+    });
+    results.into_iter().collect()
+}
+
+/// [`multipool_sweep`] over a source factory: every grid cell streams a
+/// fresh source (training prefix included) instead of sharing a
+/// materialized trace. Bit-identical to [`multipool_sweep`] when the
+/// factory yields the same request stream. `make_source` may run from
+/// several threads at once.
+///
+/// # Errors
+///
+/// Propagates the first replay or stream error in sweep order.
+pub fn multipool_sweep_source<S, F>(
+    make_source: F,
+    specs: &[MultiPoolSweepSpec],
+    seed: u64,
+) -> Result<Vec<MultiPoolSweepPoint>, PondError>
+where
+    S: ArrivalSource,
+    F: Fn() -> S + Sync,
+{
+    let header = make_source().header().clone();
+    let results = sweep::parallel_map(specs, |_, &spec| {
+        let config = MultiPoolConfig::for_header(
+            &header,
+            spec.pod,
+            spec.groups,
+            spec.pool_fraction,
+            spec.scheduler,
+            seed,
+        );
+        let policy = PondPolicy::train_source(&make_source, &config.control.policy, config.seed)?;
+        run_multipool_source(make_source(), &config, policy)
+            .map(|outcome| MultiPoolSweepPoint { spec, outcome })
     });
     results.into_iter().collect()
 }

@@ -18,6 +18,7 @@ use crate::error::PondError;
 use crate::sensitivity::{SensitivityModel, SensitivityModelConfig};
 use crate::untouched::{CustomerHistory, UntouchedMemoryModel, UntouchedModelConfig};
 use cluster_sim::scheduler::MemoryPolicy;
+use cluster_sim::source::{ArrivalSource, SourceError};
 use cluster_sim::trace::{ClusterTrace, CustomerId, VmRequest};
 use cxl_hw::latency::LatencyScenario;
 use cxl_hw::units::Bytes;
@@ -106,6 +107,65 @@ impl PondPolicy {
     /// [`PondPolicyConfig::training_fraction`] of the provided trace; the
     /// remaining requests are what simulations should evaluate on.
     pub fn train(trace: &ClusterTrace, config: &PondPolicyConfig, seed: u64) -> Self {
+        let train_slice = &trace.requests[..Self::train_len(trace.requests.len(), config)];
+        Self::train_requests(train_slice, config, seed)
+    }
+
+    /// [`PondPolicy::train`] over a streaming [`ArrivalSource`]: only the
+    /// training prefix is ever materialized, so training memory is bounded
+    /// by `training_fraction × trace length` rather than by whole-trace
+    /// bookkeeping. Bit-identical to [`PondPolicy::train`] on the same
+    /// requests.
+    ///
+    /// `make` builds a fresh source per pass because sizing the prefix needs
+    /// the stream length: sources without a [`ArrivalSource::len_hint`] cost
+    /// one extra counting pass.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`SourceError`] the stream raises.
+    pub fn train_source<S, F>(
+        mut make: F,
+        config: &PondPolicyConfig,
+        seed: u64,
+    ) -> Result<Self, SourceError>
+    where
+        S: ArrivalSource,
+        F: FnMut() -> S,
+    {
+        let mut source = make();
+        let total = match source.len_hint() {
+            Some(n) => n,
+            None => {
+                let mut count: u64 = 0;
+                while source.next_request()?.is_some() {
+                    count += 1;
+                }
+                source = make();
+                count
+            }
+        };
+        debug_assert!(total <= usize::MAX as u64, "stream length exceeds the address space");
+        let train_len = Self::train_len(total as usize, config);
+        let mut train_slice = Vec::with_capacity(train_len);
+        while train_slice.len() < train_len {
+            match source.next_request()? {
+                Some(request) => train_slice.push(request),
+                None => break,
+            }
+        }
+        Ok(Self::train_requests(&train_slice, config, seed))
+    }
+
+    /// The training-prefix length [`PondPolicy::train`] and
+    /// [`PondPolicy::train_source`] share: `training_fraction` of the trace,
+    /// rounded, at least one request when any exist.
+    fn train_len(total: usize, config: &PondPolicyConfig) -> usize {
+        (((total as f64) * config.training_fraction).round().max(1.0) as usize).min(total)
+    }
+
+    /// Trains both models on an explicit training prefix.
+    fn train_requests(train_slice: &[VmRequest], config: &PondPolicyConfig, seed: u64) -> Self {
         let suite = WorkloadSuite::standard();
 
         let mut sensitivity = SensitivityModel::train(&suite, &config.sensitivity, seed);
@@ -113,9 +173,6 @@ impl PondPolicy {
         let (_, validation) = data.train_test_split(0.5, seed ^ 0x5A);
         sensitivity.calibrate_threshold(&validation, config.sensitivity_fp_budget(), 200);
 
-        let train_len =
-            ((trace.requests.len() as f64) * config.training_fraction).round().max(1.0) as usize;
-        let train_slice = &trace.requests[..train_len.min(trace.requests.len())];
         let untouched = UntouchedMemoryModel::train(
             train_slice,
             &UntouchedModelConfig { quantile: config.untouched_quantile, rounds: 50 },

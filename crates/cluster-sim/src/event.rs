@@ -11,9 +11,18 @@
 //! ticks. [`EventQueue`] merges the sources into a single stream ordered by
 //! time, with a fixed tie order at equal times:
 //!
-//! 1. **Failures** — a failure at time `t` applies before anything else at
-//!    `t`: the departures, snapshots, and arrivals sharing its timestamp all
-//!    observe the degraded (post-failure) pool.
+//! 1. **Failures and lifecycle operations** — a failure at time `t` applies
+//!    before anything else at `t`: the departures, snapshots, and arrivals
+//!    sharing its timestamp all observe the degraded (post-failure) pool.
+//!    The pool-lifecycle events share this rung — repairs
+//!    ([`Event::EmcRepair`]), graceful decommissions
+//!    ([`Event::GroupDecommission`]), and live expansions
+//!    ([`Event::GroupExpansion`]) are infrastructure state changes that,
+//!    like failures, must be visible to every same-instant observer.
+//!    Within the rung the order is fixed: failure, then repair, then
+//!    decommission, then expansion — a pool that dies and is replaced at
+//!    the same instant ends up healthy, and a decommission races an
+//!    expansion by draining first.
 //! 2. **Departures** — a snapshot or arrival at time `t` observes every
 //!    departure with time `<= t`.
 //! 3. **Releases** — offlining that finishes at `t` refills the pool buffer
@@ -47,11 +56,11 @@
 //! departure at placement time is O(log live-seconds + bucket); popping
 //! takes the head of the first bucket and frees the bucket when it drains,
 //! so the calendar holds only departures of currently-live VMs. The rare
-//! sources — failures, releases, copy completions — stay on tiny binary
-//! heaps, and snapshots are a counter. The retained [`ReferenceEventQueue`]
-//! is the original five-heap implementation over a materialized trace, kept
-//! test-only to prove the streamed queue emits bit-identical merged
-//! streams.
+//! sources — failures, lifecycle operations, releases, copy completions —
+//! stay on tiny binary heaps, and snapshots are a counter. The retained
+//! [`ReferenceEventQueue`] is the original heap-per-source implementation
+//! over a materialized trace, kept test-only to prove the streamed queue
+//! emits bit-identical merged streams.
 //!
 //! Snapshot ticks fire every `snapshot_interval` seconds; when the interval
 //! does not divide the source's duration, a final tick fires *at* the
@@ -77,6 +86,43 @@ pub enum Event {
         time: u64,
         /// Index of the failure in the driver's drill plan.
         failure_index: usize,
+    },
+    /// A failed pooled memory device (EMC) is repaired (replaced in its
+    /// pool slot). `repair_index` indexes the driver's repair plan (which
+    /// EMC of which pool group returns to service). Shares the failure rung
+    /// at equal times, popping after failures: a device that dies and is
+    /// swapped at the same instant comes back healthy. Only delivered when
+    /// the driver schedules repairs via [`EventQueue::schedule_emc_repair`].
+    EmcRepair {
+        /// Repair time in seconds since trace start.
+        time: u64,
+        /// Index of the repair in the driver's lifecycle plan.
+        repair_index: usize,
+    },
+    /// A pool group begins a graceful decommission: the group stops
+    /// accepting placements and drains its VMs through migration — it never
+    /// kills. Shares the failure rung at equal times (after failures and
+    /// repairs), so same-instant snapshots and arrivals observe the
+    /// draining group. Only delivered when the driver schedules
+    /// decommissions via [`EventQueue::schedule_group_decommission`].
+    GroupDecommission {
+        /// Decommission time in seconds since trace start.
+        time: u64,
+        /// The pool group being decommissioned.
+        group: usize,
+    },
+    /// A pool group gains capacity live: a new EMC attaches (or a
+    /// replacement pod re-onlines a decommissioned slot).
+    /// `expansion_index` indexes the driver's expansion plan. Shares the
+    /// failure rung at equal times, popping last within it, so a
+    /// same-instant decommission drains before the replacement joins. Only
+    /// delivered when the driver schedules expansions via
+    /// [`EventQueue::schedule_group_expansion`].
+    GroupExpansion {
+        /// Expansion time in seconds since trace start.
+        time: u64,
+        /// Index of the expansion in the driver's lifecycle plan.
+        expansion_index: usize,
     },
     /// A previously placed VM departs. `token` echoes whatever handle the
     /// driver passed to [`EventQueue::schedule_departure`] — a live-VM arena
@@ -135,6 +181,9 @@ impl Event {
     pub fn time(&self) -> u64 {
         match *self {
             Event::EmcFailure { time, .. }
+            | Event::EmcRepair { time, .. }
+            | Event::GroupDecommission { time, .. }
+            | Event::GroupExpansion { time, .. }
             | Event::Departure { time, .. }
             | Event::Release { time }
             | Event::ReconfigDone { time }
@@ -144,13 +193,18 @@ impl Event {
         }
     }
 
-    /// Tie order at equal times — the six-class contract: failures, then
-    /// departures, then releases, then copy completions (reconfiguration and
-    /// migration share the rung; reconfigurations peek first), then
-    /// snapshots, then arrivals.
+    /// Tie order at equal times — the six-class contract: failures and
+    /// lifecycle operations (failure, repair, decommission, expansion — in
+    /// that fixed peek order within the shared rung), then departures, then
+    /// releases, then copy completions (reconfiguration and migration share
+    /// the rung; reconfigurations peek first), then snapshots, then
+    /// arrivals.
     fn class(&self) -> u8 {
         match self {
-            Event::EmcFailure { .. } => 0,
+            Event::EmcFailure { .. }
+            | Event::EmcRepair { .. }
+            | Event::GroupDecommission { .. }
+            | Event::GroupExpansion { .. } => 0,
             Event::Departure { .. } => 1,
             Event::Release { .. } => 2,
             Event::ReconfigDone { .. } | Event::MigrationDone { .. } => 3,
@@ -289,6 +343,9 @@ pub struct EventQueue<S> {
     next_ordinal: usize,
     error: Option<SourceError>,
     failures: BinaryHeap<std::cmp::Reverse<(u64, usize)>>,
+    repairs: BinaryHeap<std::cmp::Reverse<(u64, usize)>>,
+    decommissions: BinaryHeap<std::cmp::Reverse<(u64, usize)>>,
+    expansions: BinaryHeap<std::cmp::Reverse<(u64, usize)>>,
     departures: DepartureCalendar,
     releases: BinaryHeap<std::cmp::Reverse<u64>>,
     reconfigs: BinaryHeap<std::cmp::Reverse<u64>>,
@@ -319,6 +376,9 @@ impl<S: ArrivalSource> EventQueue<S> {
             next_ordinal: 0,
             error,
             failures: BinaryHeap::new(),
+            repairs: BinaryHeap::new(),
+            decommissions: BinaryHeap::new(),
+            expansions: BinaryHeap::new(),
             departures: DepartureCalendar::default(),
             releases: BinaryHeap::new(),
             reconfigs: BinaryHeap::new(),
@@ -369,6 +429,28 @@ impl<S: ArrivalSource> EventQueue<S> {
         self.failures.push(std::cmp::Reverse((time, failure_index)));
     }
 
+    /// Schedules an EMC-repair event (called up front by lifecycle drivers;
+    /// `repair_index` identifies the entry in the driver's repair plan).
+    /// Simultaneous repairs pop in ascending `repair_index` order.
+    pub fn schedule_emc_repair(&mut self, time: u64, repair_index: usize) {
+        self.repairs.push(std::cmp::Reverse((time, repair_index)));
+    }
+
+    /// Schedules a graceful group-decommission event (called up front by
+    /// lifecycle drivers; `group` is the pool group to drain). Simultaneous
+    /// decommissions pop in ascending `group` order.
+    pub fn schedule_group_decommission(&mut self, time: u64, group: usize) {
+        self.decommissions.push(std::cmp::Reverse((time, group)));
+    }
+
+    /// Schedules a live group-expansion event (called up front by lifecycle
+    /// drivers; `expansion_index` identifies the entry in the driver's
+    /// expansion plan). Simultaneous expansions pop in ascending
+    /// `expansion_index` order.
+    pub fn schedule_group_expansion(&mut self, time: u64, expansion_index: usize) {
+        self.expansions.push(std::cmp::Reverse((time, expansion_index)));
+    }
+
     /// Schedules a migration-copy completion event (called when an evacuated
     /// VM starts copying to its new home; `time` is when the copy finishes
     /// and the VM leaves its in-migration degraded window).
@@ -398,6 +480,9 @@ impl<S: ArrivalSource> EventQueue<S> {
         #[derive(Clone, Copy)]
         enum Source {
             Failure,
+            Repair,
+            Decommission,
+            Expansion,
             Departure,
             Release,
             Reconfig,
@@ -412,13 +497,33 @@ impl<S: ArrivalSource> EventQueue<S> {
 
         // Sources are inspected in tie order with a strict-less comparison
         // on (time, class) keys, so the earliest-peeked candidate wins every
-        // exact tie — including reconfiguration-before-migration within the
-        // shared copy-completion class.
+        // exact tie — including the failure < repair < decommission <
+        // expansion order within the shared lifecycle rung and
+        // reconfiguration-before-migration within the shared copy-completion
+        // class.
         let mut best_key = (u64::MAX, u8::MAX);
         let mut source = None;
         if let Some(&std::cmp::Reverse((time, _))) = self.failures.peek() {
             best_key = (time, 0);
             source = Some(Source::Failure);
+        }
+        if let Some(&std::cmp::Reverse((time, _))) = self.repairs.peek() {
+            if (time, 0) < best_key {
+                best_key = (time, 0);
+                source = Some(Source::Repair);
+            }
+        }
+        if let Some(&std::cmp::Reverse((time, _))) = self.decommissions.peek() {
+            if (time, 0) < best_key {
+                best_key = (time, 0);
+                source = Some(Source::Decommission);
+            }
+        }
+        if let Some(&std::cmp::Reverse((time, _))) = self.expansions.peek() {
+            if (time, 0) < best_key {
+                best_key = (time, 0);
+                source = Some(Source::Expansion);
+            }
         }
         if let Some((time, _, _)) = self.departures.peek() {
             if (time, 1) < best_key {
@@ -458,6 +563,21 @@ impl<S: ArrivalSource> EventQueue<S> {
                 let std::cmp::Reverse((time, failure_index)) =
                     self.failures.pop().expect("peeked failure");
                 Some(Event::EmcFailure { time, failure_index })
+            }
+            Source::Repair => {
+                let std::cmp::Reverse((time, repair_index)) =
+                    self.repairs.pop().expect("peeked repair");
+                Some(Event::EmcRepair { time, repair_index })
+            }
+            Source::Decommission => {
+                let std::cmp::Reverse((time, group)) =
+                    self.decommissions.pop().expect("peeked decommission");
+                Some(Event::GroupDecommission { time, group })
+            }
+            Source::Expansion => {
+                let std::cmp::Reverse((time, expansion_index)) =
+                    self.expansions.pop().expect("peeked expansion");
+                Some(Event::GroupExpansion { time, expansion_index })
             }
             Source::Departure => {
                 let (time, _, token) = self.departures.pop().expect("peeked departure");
@@ -502,10 +622,10 @@ fn keyed(event: Event) -> (u64, u8) {
     (event.time(), event.class())
 }
 
-/// The original five-heap event queue over a materialized trace, retained
-/// as the test-only reference implementation: every scheduled source is a
-/// [`BinaryHeap`] and [`ReferenceEventQueue::next_event`] peeks all seven
-/// sources in tie order. The equivalence proptest drives random schedules
+/// The original heap-per-source event queue over a materialized trace,
+/// retained as the test-only reference implementation: every scheduled
+/// source is a [`BinaryHeap`] and [`ReferenceEventQueue::next_event`] peeks
+/// every source in tie order. The equivalence proptest drives random schedules
 /// through this queue and the streamed [`EventQueue`] and asserts
 /// bit-identical event streams; `pond-core`'s reference replay uses it the
 /// same way to pin the optimized fleet replay. Carries the same
@@ -516,6 +636,9 @@ pub struct ReferenceEventQueue<'a> {
     requests: &'a ClusterTrace,
     next_arrival: usize,
     failures: BinaryHeap<std::cmp::Reverse<(u64, usize)>>,
+    repairs: BinaryHeap<std::cmp::Reverse<(u64, usize)>>,
+    decommissions: BinaryHeap<std::cmp::Reverse<(u64, usize)>>,
+    expansions: BinaryHeap<std::cmp::Reverse<(u64, usize)>>,
     departures: BinaryHeap<Departure>,
     releases: BinaryHeap<std::cmp::Reverse<u64>>,
     reconfigs: BinaryHeap<std::cmp::Reverse<u64>>,
@@ -537,6 +660,9 @@ impl<'a> ReferenceEventQueue<'a> {
             requests: trace,
             next_arrival: 0,
             failures: BinaryHeap::new(),
+            repairs: BinaryHeap::new(),
+            decommissions: BinaryHeap::new(),
+            expansions: BinaryHeap::new(),
             departures: BinaryHeap::new(),
             releases: BinaryHeap::new(),
             reconfigs: BinaryHeap::new(),
@@ -557,6 +683,24 @@ impl<'a> ReferenceEventQueue<'a> {
     /// [`EventQueue::schedule_emc_failure`].
     pub fn schedule_emc_failure(&mut self, time: u64, failure_index: usize) {
         self.failures.push(std::cmp::Reverse((time, failure_index)));
+    }
+
+    /// Schedules an EMC-repair event; same contract as
+    /// [`EventQueue::schedule_emc_repair`].
+    pub fn schedule_emc_repair(&mut self, time: u64, repair_index: usize) {
+        self.repairs.push(std::cmp::Reverse((time, repair_index)));
+    }
+
+    /// Schedules a graceful group-decommission event; same contract as
+    /// [`EventQueue::schedule_group_decommission`].
+    pub fn schedule_group_decommission(&mut self, time: u64, group: usize) {
+        self.decommissions.push(std::cmp::Reverse((time, group)));
+    }
+
+    /// Schedules a live group-expansion event; same contract as
+    /// [`EventQueue::schedule_group_expansion`].
+    pub fn schedule_group_expansion(&mut self, time: u64, expansion_index: usize) {
+        self.expansions.push(std::cmp::Reverse((time, expansion_index)));
     }
 
     /// Schedules a migration-copy completion event; same contract as
@@ -591,6 +735,24 @@ impl<'a> ReferenceEventQueue<'a> {
         let mut best: Option<Event> = None;
         if let Some(&std::cmp::Reverse((time, failure_index))) = self.failures.peek() {
             best = Some(Event::EmcFailure { time, failure_index });
+        }
+        if let Some(&std::cmp::Reverse((time, repair_index))) = self.repairs.peek() {
+            let candidate = Event::EmcRepair { time, repair_index };
+            if best.is_none_or(|b| keyed(candidate) < keyed(b)) {
+                best = Some(candidate);
+            }
+        }
+        if let Some(&std::cmp::Reverse((time, group))) = self.decommissions.peek() {
+            let candidate = Event::GroupDecommission { time, group };
+            if best.is_none_or(|b| keyed(candidate) < keyed(b)) {
+                best = Some(candidate);
+            }
+        }
+        if let Some(&std::cmp::Reverse((time, expansion_index))) = self.expansions.peek() {
+            let candidate = Event::GroupExpansion { time, expansion_index };
+            if best.is_none_or(|b| keyed(candidate) < keyed(b)) {
+                best = Some(candidate);
+            }
         }
         if let Some(dep) = self.departures.peek() {
             let candidate = Event::Departure { time: dep.time, token: dep.token };
@@ -632,6 +794,18 @@ impl<'a> ReferenceEventQueue<'a> {
         match best? {
             event @ Event::EmcFailure { .. } => {
                 self.failures.pop();
+                Some(event)
+            }
+            event @ Event::EmcRepair { .. } => {
+                self.repairs.pop();
+                Some(event)
+            }
+            event @ Event::GroupDecommission { .. } => {
+                self.decommissions.pop();
+                Some(event)
+            }
+            event @ Event::GroupExpansion { .. } => {
+                self.expansions.pop();
                 Some(event)
             }
             event @ Event::Departure { .. } => {
@@ -928,6 +1102,9 @@ mod tests {
         // completion within the shared copy rung.
         let t = trace(vec![request(1, 0, 100), request(2, 100, 50)], 100);
         let mut queue = EventQueue::new(TraceCursor::new(&t), 100);
+        queue.schedule_group_expansion(100, 0);
+        queue.schedule_group_decommission(100, 2);
+        queue.schedule_emc_repair(100, 0);
         queue.schedule_emc_failure(100, 0);
         queue.schedule_release(100);
         queue.schedule_migration_done(100);
@@ -945,6 +1122,9 @@ mod tests {
             vec![
                 Event::Arrival { time: 0, request_index: 0 },
                 Event::EmcFailure { time: 100, failure_index: 0 },
+                Event::EmcRepair { time: 100, repair_index: 0 },
+                Event::GroupDecommission { time: 100, group: 2 },
+                Event::GroupExpansion { time: 100, expansion_index: 0 },
                 Event::Departure { time: 100, token: 0 },
                 Event::Release { time: 100 },
                 Event::ReconfigDone { time: 100 },
@@ -954,6 +1134,32 @@ mod tests {
                 Event::Departure { time: 150, token: 1 },
             ]
         );
+    }
+
+    #[test]
+    fn lifecycle_events_pop_in_plan_order_and_drain_past_duration() {
+        // Within the shared rung the fixed order is failure < repair <
+        // decommission < expansion; within each kind, simultaneous events
+        // pop in ascending plan-index (or group) order, and all of them
+        // drain even past the trace duration.
+        let t = trace(vec![], 100);
+        let mut queue = EventQueue::new(TraceCursor::new(&t), 0);
+        queue.schedule_emc_repair(5_000, 1);
+        queue.schedule_emc_repair(5_000, 0);
+        queue.schedule_group_expansion(5_000, 0);
+        queue.schedule_group_decommission(5_000, 3);
+        queue.schedule_group_decommission(5_000, 1);
+        queue.schedule_emc_repair(200, 2);
+        assert_eq!(queue.next_event(), Some(Event::EmcRepair { time: 200, repair_index: 2 }));
+        assert_eq!(queue.next_event(), Some(Event::EmcRepair { time: 5_000, repair_index: 0 }));
+        assert_eq!(queue.next_event(), Some(Event::EmcRepair { time: 5_000, repair_index: 1 }));
+        assert_eq!(queue.next_event(), Some(Event::GroupDecommission { time: 5_000, group: 1 }));
+        assert_eq!(queue.next_event(), Some(Event::GroupDecommission { time: 5_000, group: 3 }));
+        assert_eq!(
+            queue.next_event(),
+            Some(Event::GroupExpansion { time: 5_000, expansion_index: 0 })
+        );
+        assert_eq!(queue.next_event(), None);
     }
 
     #[test]
@@ -1094,9 +1300,9 @@ mod tests {
 
     /// Drives one random schedule through a queue: `arm[i]` decides whether
     /// arrival `i` schedules its departure (a rejected VM does not), and
-    /// `extras` injects failures, releases, copy completions, and
-    /// out-of-band departures (foreign tokens, arbitrary times) before the
-    /// drain.
+    /// `extras` injects failures, releases, copy completions, lifecycle
+    /// operations (repairs, decommissions, expansions), and out-of-band
+    /// departures (foreign tokens, arbitrary times) before the drain.
     macro_rules! drive_schedule {
         ($queue:expr, $trace:expr, $arm:expr, $extras:expr) => {{
             let mut queue = $queue;
@@ -1106,6 +1312,9 @@ mod tests {
                     1 => queue.schedule_release(time),
                     2 => queue.schedule_reconfig_done(time),
                     3 => queue.schedule_migration_done(time),
+                    6 => queue.schedule_emc_repair(time, i),
+                    7 => queue.schedule_group_decommission(time, index % 4),
+                    8 => queue.schedule_group_expansion(time, i),
                     // Foreign tokens at arbitrary times.
                     4 => {
                         let token = $trace.requests.len() + i;
@@ -1141,12 +1350,12 @@ mod tests {
     proptest! {
         /// The streamed queue and the materialized reference queue emit
         /// bit-identical event streams for arbitrary schedules: colliding
-        /// timestamps, zero-lifetime VMs, rejected VMs, and all six event
-        /// classes.
+        /// timestamps, zero-lifetime VMs, rejected VMs, and every event
+        /// kind, lifecycle operations included.
         #[test]
         fn streamed_queue_matches_the_materialized_reference_queue(
             shape in proptest::collection::vec((0u64..8, 0u64..120, proptest::bool::ANY), 0..24),
-            extras in proptest::collection::vec((0u8..6, 0u64..400, 0usize..32), 0..16),
+            extras in proptest::collection::vec((0u8..9, 0u64..400, 0usize..32), 0..16),
             duration in 0u64..350,
         ) {
             let mut arrival = 0;

@@ -313,14 +313,17 @@ impl<P: MemoryPolicy> Simulation<P> {
                     }
                 }
                 // This simulator models pool offlining and mitigation copies
-                // as instantaneous and runs no failure drills, so it never
-                // schedules release-completion, copy-completion, or
-                // EMC-failure events; those paths are exercised by
-                // `pond-core`'s fleet replays.
+                // as instantaneous and runs no failure or lifecycle drills,
+                // so it never schedules release-completion, copy-completion,
+                // EMC-failure, or lifecycle events; those paths are
+                // exercised by `pond-core`'s fleet replays.
                 Event::Release { .. }
                 | Event::ReconfigDone { .. }
                 | Event::MigrationDone { .. }
-                | Event::EmcFailure { .. } => {}
+                | Event::EmcFailure { .. }
+                | Event::EmcRepair { .. }
+                | Event::GroupDecommission { .. }
+                | Event::GroupExpansion { .. } => {}
                 Event::Snapshot { time } => take_snapshot(time, &engine, &mut outcome),
                 Event::Arrival { time: _, request_index } => {
                     let request = &trace.requests[request_index];

@@ -170,6 +170,21 @@ impl Emc {
         lost
     }
 
+    /// Repairs (replaces) a failed EMC: the failed flag clears and the
+    /// device rejoins service empty — [`Emc::fail`] already tore every
+    /// permission-table entry down to `Unassigned` and released every port,
+    /// so a repaired EMC comes back with its full capacity free and no
+    /// attached hosts, exactly like a replacement device racked into the
+    /// same pool slot (§4.2).
+    ///
+    /// Returns whether the EMC was actually failed; repairing a healthy
+    /// device is a no-op.
+    pub fn repair(&mut self) -> bool {
+        let was_failed = self.failed;
+        self.failed = false;
+        was_failed
+    }
+
     /// Whether `host` could be attached right now: it already holds a port,
     /// or a port is free. Failed EMCs accept nobody.
     pub fn can_attach(&self, host: HostId) -> bool {
@@ -472,6 +487,27 @@ mod tests {
         assert!(!emc.can_attach(HostId(2)), "a failed EMC accepts nobody");
         // Idempotent: a second failure loses nothing.
         assert!(emc.fail().is_empty());
+    }
+
+    #[test]
+    fn repair_returns_a_failed_emc_to_service_empty() {
+        let mut emc = small_emc();
+        emc.assign_slices(HostId(0), 3).unwrap();
+        emc.fail();
+        assert!(emc.is_failed());
+
+        assert!(emc.repair(), "repairing a failed EMC reports the transition");
+        assert!(!emc.is_failed());
+        // The replacement device is empty: full capacity free, no ports held.
+        assert_eq!(emc.free_capacity(), emc.capacity());
+        assert_eq!(emc.assigned_capacity(), Bytes::ZERO);
+        assert!(emc.attached_hosts().is_empty());
+        // It accepts hosts and assignments again.
+        assert!(emc.can_attach(HostId(5)));
+        assert_eq!(emc.assign_slices(HostId(5), 2).unwrap().len(), 2);
+        // Repairing a healthy device is a no-op.
+        assert!(!emc.repair());
+        assert_eq!(emc.capacity_of(HostId(5)), Bytes::from_gib(2));
     }
 
     #[test]

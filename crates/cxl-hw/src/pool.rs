@@ -66,6 +66,77 @@ pub enum PoolEvent {
         /// Slices that were owned (assigned or mid-release) when it died.
         slices_lost: u64,
     },
+    /// A failed EMC was repaired (replaced): its capacity rejoined the pool
+    /// empty — all slices free, all ports available.
+    EmcRepaired {
+        /// The EMC that came back.
+        emc: EmcId,
+        /// The capacity that rejoined the pool.
+        capacity: Bytes,
+    },
+    /// A new EMC was attached to the pool live (capacity expansion).
+    EmcAttached {
+        /// The id the new EMC was given.
+        emc: EmcId,
+        /// The capacity it added.
+        capacity: Bytes,
+    },
+}
+
+/// Lifecycle state of one pool group, ordered by operational health à la
+/// mayastor's `Online > Degraded > Faulted` pool states: an [`Online`]
+/// group accepts placements, a [`Draining`] group is being gracefully
+/// decommissioned (existing VMs migrate away, nothing new lands), and a
+/// [`Decommissioned`] group has fully drained — no VMs, no in-flight
+/// releases — and is out of service until a live expansion re-onlines it.
+///
+/// The ordering is explicit and manual so `Online > Draining >
+/// Decommissioned` is a tested contract, not an accident of declaration
+/// order.
+///
+/// [`Online`]: GroupState::Online
+/// [`Draining`]: GroupState::Draining
+/// [`Decommissioned`]: GroupState::Decommissioned
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum GroupState {
+    /// In service: the group schedules arrivals and accepts migrations.
+    Online,
+    /// Gracefully decommissioning: VMs drain away via migration, pending
+    /// slice releases run to completion, and no new placement lands.
+    Draining,
+    /// Fully drained and out of service (removable à la maxio's pool
+    /// manager, which requires a decommissioned pool to be empty first).
+    Decommissioned,
+}
+
+impl GroupState {
+    /// Whether the group may receive placements (arrivals, migrations,
+    /// rebalances). Only [`GroupState::Online`] groups do — a draining
+    /// group would never finish draining otherwise.
+    pub fn accepts_placements(self) -> bool {
+        matches!(self, GroupState::Online)
+    }
+
+    /// Operational-health rank backing the manual ordering.
+    fn health(self) -> u8 {
+        match self {
+            GroupState::Online => 2,
+            GroupState::Draining => 1,
+            GroupState::Decommissioned => 0,
+        }
+    }
+}
+
+impl PartialOrd for GroupState {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for GroupState {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.health().cmp(&other.health())
+    }
 }
 
 /// What one EMC failure took down, as seen by the pool
@@ -371,6 +442,42 @@ impl PoolState {
         Ok(EmcFailureReport { emc: emc_id, lost, ports_lost })
     }
 
+    /// Repairs (replaces) a failed EMC: the device rejoins the pool empty,
+    /// with its full capacity free and every port available —
+    /// [`PoolState::fail_emc`] already tore down its ownerships, so nothing
+    /// is resurrected; the layers above must treat the restored capacity as
+    /// brand new. Returns the capacity that rejoined the pool, which both
+    /// `free_capacity` and `live_capacity` grow by, keeping the
+    /// free + pending + pinned = live conservation identity intact.
+    ///
+    /// Records one [`PoolEvent::EmcRepaired`]. Idempotent: repairing a
+    /// healthy EMC restores [`Bytes::ZERO`] and records nothing.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CxlError::UnknownEmc`] when the EMC does not exist.
+    pub fn restore_emc(&mut self, emc_id: EmcId) -> Result<Bytes, CxlError> {
+        let emc = self.emcs.get_mut(&emc_id).ok_or(CxlError::UnknownEmc { emc: emc_id })?;
+        if !emc.repair() {
+            return Ok(Bytes::ZERO);
+        }
+        let capacity = emc.capacity();
+        self.events.push(PoolEvent::EmcRepaired { emc: emc_id, capacity });
+        Ok(capacity)
+    }
+
+    /// Attaches a brand-new EMC to the pool live (capacity expansion): the
+    /// device gets the next unused id and joins with its full capacity free.
+    /// Records one [`PoolEvent::EmcAttached`].
+    pub fn attach_emc(&mut self, config: EmcConfig) -> EmcId {
+        let id = EmcId(self.emcs.keys().next_back().map_or(0, |last| last.0 + 1));
+        let emc = Emc::new(id, config);
+        let capacity = emc.capacity();
+        self.emcs.insert(id, emc);
+        self.events.push(PoolEvent::EmcAttached { emc: id, capacity });
+        id
+    }
+
     /// Releases every slice a host owns in one step (host failure handling)
     /// and detaches the host's ports. Returns the number of slices reclaimed.
     pub fn release_host(&mut self, host: HostId) -> u64 {
@@ -582,6 +689,73 @@ mod tests {
         // Idempotent: the second failure loses nothing.
         assert!(pool.fail_emc(dead).unwrap().lost.is_empty());
         assert!(pool.fail_emc(EmcId(42)).is_err());
+    }
+
+    #[test]
+    fn restore_emc_returns_exactly_the_lost_capacity_empty() {
+        let topo = PoolTopology::pond_with_capacity(32, Bytes::from_gib(8)).unwrap();
+        let mut pool = PoolState::from_topology(&topo);
+        let slices = pool.add_capacity(HostId(0), Bytes::from_gib(2)).unwrap();
+        let dead = slices[0].emc;
+        pool.fail_emc(dead).unwrap();
+        assert_eq!(pool.live_capacity(), Bytes::from_gib(6));
+
+        let restored = pool.restore_emc(dead).unwrap();
+        assert_eq!(restored, Bytes::from_gib(2), "one 2 GiB EMC rejoined");
+        assert_eq!(pool.live_capacity(), pool.total_capacity());
+        // The repaired device is empty: nothing of host 0's old ownership
+        // survives, and the capacity is all free.
+        assert_eq!(pool.capacity_of(HostId(0)), Bytes::ZERO);
+        assert_eq!(pool.free_capacity(), pool.live_capacity());
+        assert!(pool.drain_events().iter().any(
+            |e| matches!(e, PoolEvent::EmcRepaired { capacity, .. } if *capacity == restored)
+        ));
+        // Idempotent: repairing a healthy EMC restores nothing.
+        assert_eq!(pool.restore_emc(dead).unwrap(), Bytes::ZERO);
+        assert!(pool.drain_events().is_empty());
+        assert!(pool.restore_emc(EmcId(42)).is_err());
+        // The restored capacity is allocatable again.
+        assert!(pool.add_capacity(HostId(1), Bytes::from_gib(8)).is_ok());
+    }
+
+    #[test]
+    fn attach_emc_expands_the_pool_live() {
+        let topo = PoolTopology::pond_with_capacity(8, Bytes::from_gib(16)).unwrap();
+        let mut pool = PoolState::from_topology(&topo);
+        pool.add_capacity(HostId(0), Bytes::from_gib(16)).unwrap();
+        assert!(pool.add_capacity(HostId(1), Bytes::from_gib(1)).is_err());
+
+        let id = pool.attach_emc(EmcConfig::pond_16_socket(Bytes::from_gib(4)));
+        assert_eq!(id, EmcId(1), "next unused id");
+        assert_eq!(pool.emc_count(), 2);
+        assert_eq!(pool.total_capacity(), Bytes::from_gib(20));
+        assert_eq!(pool.live_capacity(), Bytes::from_gib(20));
+        assert_eq!(pool.free_capacity(), Bytes::from_gib(4));
+        assert!(pool
+            .drain_events()
+            .iter()
+            .any(|e| matches!(e, PoolEvent::EmcAttached { emc, capacity }
+                if *emc == id && *capacity == Bytes::from_gib(4))));
+        // The new capacity serves a previously-starved host.
+        assert_eq!(pool.add_capacity(HostId(1), Bytes::from_gib(4)).unwrap().len(), 4);
+        // Ids never collide, even after interleaved failures.
+        pool.fail_emc(EmcId(0)).unwrap();
+        let next = pool.attach_emc(EmcConfig::pond_16_socket(Bytes::from_gib(1)));
+        assert_eq!(next, EmcId(2));
+    }
+
+    #[test]
+    fn group_states_order_online_above_draining_above_decommissioned() {
+        // The mayastor-style health ordering is a contract the scheduler
+        // relies on: `Online` is the greatest state, and only it accepts
+        // placements.
+        assert!(GroupState::Online > GroupState::Draining);
+        assert!(GroupState::Draining > GroupState::Decommissioned);
+        assert!(GroupState::Online > GroupState::Decommissioned);
+        assert_eq!(GroupState::Online.max(GroupState::Draining), GroupState::Online);
+        assert!(GroupState::Online.accepts_placements());
+        assert!(!GroupState::Draining.accepts_placements());
+        assert!(!GroupState::Decommissioned.accepts_placements());
     }
 
     #[test]

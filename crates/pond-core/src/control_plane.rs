@@ -15,6 +15,7 @@ use crate::pool_manager::PondPoolManager;
 use crate::qos::{MitigationManager, QosMonitor, VmObservation};
 use cluster_sim::scheduler::align_pool_memory;
 use cluster_sim::trace::{ClusterTrace, CustomerId, VmRequest};
+use cxl_hw::emc::EmcConfig;
 use cxl_hw::topology::PoolTopology;
 use cxl_hw::units::{Bytes, EmcId, HostId};
 use hypervisor_sim::host::HostMemory;
@@ -620,6 +621,38 @@ impl PondControlPlane {
         Ok(EmcFailureOutcome { emc, affected, slices_lost: report.lost.len() as u64 })
     }
 
+    /// Repairs (replaces) a failed EMC behind this plane's pool, returning
+    /// the capacity that rejoined the free buffer ([`Bytes::ZERO`] for a
+    /// healthy device). The device comes back empty — its assignments were
+    /// torn down at failure time and its mid-offlining slices pruned — so
+    /// free and live capacity grow by the same amount and
+    /// [`PondControlPlane::assert_pool_conserved`] keeps holding across the
+    /// repair.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`cxl_hw::CxlError::UnknownEmc`] for unknown devices.
+    pub fn repair_emc(&mut self, emc: EmcId) -> Result<Bytes, PondError> {
+        self.pool.restore_emc(emc)
+    }
+
+    /// Attaches `capacity` of new EMC hardware to this plane's pool live
+    /// (a 16-socket Pond device racked into the pool), returning the new
+    /// device's id. The capacity is immediately free for placements.
+    pub fn expand_pool(&mut self, capacity: Bytes) -> EmcId {
+        self.pool.attach_emc(EmcConfig::pond_16_socket(capacity))
+    }
+
+    /// The running VMs in ascending id order with their pinned pool
+    /// footprint (zero for all-local VMs) — the drain order of a graceful
+    /// decommission and the candidate list of a proactive rebalance pass.
+    pub fn running_vm_footprints(&self) -> Vec<(VmId, Bytes)> {
+        self.running
+            .iter()
+            .map(|(&id, record)| (VmId(id), Bytes::from_gib(record.slices.len() as u64)))
+            .collect()
+    }
+
     /// Runs one QoS-monitoring pass over every running VM and applies
     /// mitigations within the budget.
     ///
@@ -944,6 +977,81 @@ mod tests {
         plane.assert_pool_conserved();
         plane.complete_releases(ready);
         assert_eq!(plane.pool().pending_release(), Bytes::ZERO);
+        plane.assert_pool_conserved();
+    }
+
+    #[test]
+    fn a_drained_vm_that_departs_normally_records_exactly_one_completion() {
+        // The drain-vs-kill feedback contract: `evacuate_vm` deliberately
+        // skips `record_completion` (correct for kills — the VM never
+        // finished), but a VM drained off a decommissioning group and
+        // re-placed elsewhere is still running, and when it later departs
+        // normally its completion must feed the policy's customer history
+        // exactly once — not zero times (the drain ate it) and not twice
+        // (both planes recorded it).
+        let (trace, mut source) = setup();
+        let mut dest =
+            PondControlPlane::with_policy(source.config().clone(), source.policy().clone())
+                .unwrap();
+
+        let request = trace
+            .requests
+            .iter()
+            .find(|r| {
+                source
+                    .handle_request(r, Duration::from_secs(r.arrival))
+                    .is_ok_and(|s| s.pool > Bytes::ZERO)
+            })
+            .expect("a pooled placement");
+        let customer = request.customer;
+        let before_source = source.policy().history().count(customer);
+        let before_dest = dest.policy().history().count(customer);
+
+        let now = Duration::from_secs(1_000);
+        source.evacuate_vm(VmId(request.id), now).unwrap();
+        assert_eq!(
+            source.policy().history().count(customer),
+            before_source,
+            "a drain is a move, not a completion"
+        );
+
+        dest.handle_request(request, now).unwrap();
+        assert_eq!(
+            dest.policy().history().count(customer),
+            before_dest,
+            "placement records nothing"
+        );
+        dest.handle_departure(VmId(request.id), Duration::from_secs(2_000)).unwrap();
+        assert_eq!(
+            dest.policy().history().count(customer),
+            before_dest + 1,
+            "the normal departure after a drain records exactly one completion"
+        );
+        source.assert_pool_conserved();
+        dest.assert_pool_conserved();
+    }
+
+    #[test]
+    fn emc_repair_restores_capacity_and_expansion_grows_it() {
+        let (trace, mut plane) = setup();
+        for request in trace.requests.iter().take(40) {
+            let _ = plane.handle_request(request, Duration::from_secs(request.arrival));
+        }
+        let live_before = plane.pool().pool().live_capacity();
+        let now = Duration::from_secs(1_000);
+        plane.handle_emc_failure(EmcId(0), now).unwrap();
+        assert_eq!(plane.pool().pool().live_capacity(), Bytes::ZERO);
+        plane.assert_pool_conserved();
+
+        let restored = plane.repair_emc(EmcId(0)).unwrap();
+        assert_eq!(restored, live_before, "the replacement restores exactly live_capacity");
+        assert_eq!(plane.pool().pool().live_capacity(), live_before);
+        assert_eq!(plane.pool().available(), live_before, "the device comes back empty");
+        plane.assert_pool_conserved();
+
+        let id = plane.expand_pool(Bytes::from_gib(64));
+        assert_ne!(id, EmcId(0));
+        assert_eq!(plane.pool().pool().live_capacity(), live_before + Bytes::from_gib(64));
         plane.assert_pool_conserved();
     }
 

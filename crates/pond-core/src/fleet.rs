@@ -147,6 +147,27 @@ pub struct FleetOutcome {
     /// Total evacuation copy time the migrations charged (50 ms/GiB of each
     /// migrated VM's full memory, like the QoS mitigation copies).
     pub evacuation_copy_time: Duration,
+    /// VMs drained off a decommissioning group by migration. Disjoint from
+    /// [`FleetOutcome::vms_migrated`] (failure evacuations): a graceful
+    /// decommission never kills, it drains. Attributed to the group that
+    /// was decommissioned.
+    pub vms_drained: u64,
+    /// VMs moved by proactive QoS-cadence rebalancing — migrated from a
+    /// pool-starved pod to its ring neighbour before a failure or arrival
+    /// forces the issue. Disjoint from both
+    /// [`FleetOutcome::vms_migrated`] and [`FleetOutcome::vms_drained`].
+    pub vms_rebalanced: u64,
+    /// EMC repairs applied by a lifecycle plan: failed devices whose
+    /// capacity rejoined the pool (healthy-device repairs are no-ops and
+    /// not counted).
+    pub emcs_repaired: u64,
+    /// Pool groups that completed a graceful decommission: drained of VMs
+    /// and pending releases, then taken out of service.
+    pub groups_decommissioned: u64,
+    /// Live pool-group expansions applied: new EMC capacity attached
+    /// mid-replay (a decommissioned group re-onlined by a replacement pod
+    /// counts here too).
+    pub groups_expanded: u64,
     /// Distinct hosts that held pool slices at some point. With the
     /// host-port lifecycle this can exceed the pool's CXL port count: hosts
     /// cycle through ports as they drain.
@@ -278,6 +299,11 @@ impl FleetOutcome {
             vms_killed,
             migration_completions,
             evacuation_copy_time,
+            vms_drained,
+            vms_rebalanced,
+            emcs_repaired,
+            groups_decommissioned,
+            groups_expanded,
             pooled_host_count,
             sum_local_peaks,
             sum_host_pool_peaks,
@@ -301,6 +327,11 @@ impl FleetOutcome {
         self.vms_killed += vms_killed;
         self.migration_completions += migration_completions;
         self.evacuation_copy_time += *evacuation_copy_time;
+        self.vms_drained += vms_drained;
+        self.vms_rebalanced += vms_rebalanced;
+        self.emcs_repaired += emcs_repaired;
+        self.groups_decommissioned += groups_decommissioned;
+        self.groups_expanded += groups_expanded;
         self.pooled_host_count += pooled_host_count;
         self.sum_local_peaks += *sum_local_peaks;
         self.sum_host_pool_peaks += *sum_host_pool_peaks;
@@ -568,10 +599,15 @@ pub fn run_fleet_source<S: ArrivalSource>(
                 checked_decrement(&mut degraded, "in-flight mitigation copies");
                 outcome.reconfig_completions += 1;
             }
-            // The single-pool replay runs no failure drills and therefore
-            // never schedules failure or migration events.
-            Event::EmcFailure { .. } | Event::MigrationDone { .. } => {
-                unreachable!("run_fleet schedules no failure-drill events")
+            // The single-pool replay runs no failure or lifecycle drills and
+            // therefore never schedules failure, lifecycle, or migration
+            // events.
+            Event::EmcFailure { .. }
+            | Event::EmcRepair { .. }
+            | Event::GroupDecommission { .. }
+            | Event::GroupExpansion { .. }
+            | Event::MigrationDone { .. } => {
+                unreachable!("run_fleet schedules no failure-drill or lifecycle events")
             }
             Event::Snapshot { time } => {
                 let pass = plane.run_qos_pass(now)?;
@@ -713,8 +749,12 @@ pub fn run_fleet_reference_with_policy(
                 checked_decrement(&mut degraded, "in-flight mitigation copies");
                 outcome.reconfig_completions += 1;
             }
-            Event::EmcFailure { .. } | Event::MigrationDone { .. } => {
-                unreachable!("run_fleet_reference schedules no failure-drill events")
+            Event::EmcFailure { .. }
+            | Event::EmcRepair { .. }
+            | Event::GroupDecommission { .. }
+            | Event::GroupExpansion { .. }
+            | Event::MigrationDone { .. } => {
+                unreachable!("run_fleet_reference schedules no failure-drill or lifecycle events")
             }
             Event::Snapshot { time } => {
                 let pass = plane.run_qos_pass(now)?;

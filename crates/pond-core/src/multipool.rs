@@ -29,10 +29,23 @@
 //! the port cost of true cross-pod slice ownership are not modeled yet
 //! (ROADMAP: "richer pod graphs").
 //!
+//! The pool *lifecycle* is a first-class part of the same replay: EMC
+//! failures can heal ([`DrillKind::EmcWithRepair`] replaces every failed
+//! device one MTTR later), and an explicit [`LifecyclePlan`] schedules
+//! repairs, graceful group decommissions, and live expansions as timeline
+//! events. A decommissioned group *drains* — every VM migrates out through
+//! the arrival ladder at the usual 50 ms/GiB copy cost, and the group is
+//! struck off only after its last pending release lands — in contrast to a
+//! failure, which kills whatever cannot be re-homed. [`RebalanceSpec`] adds
+//! proactive QoS-cadence rebalancing: pool-starved groups shed VMs to their
+//! ring neighbour before pressure turns into rejections, with a
+//! feasibility pre-check so a rebalance can never kill.
+//!
 //! All groups run on the *single* time-ordered [`EventQueue`]: one merged
 //! stream of
 //! arrivals, departures, per-group release completions, reconfiguration
-//! completions, and QoS ticks. After every event, per-group pool-accounting
+//! completions, lifecycle events, and QoS ticks. After every event,
+//! per-group pool-accounting
 //! conservation is debug-asserted
 //! ([`PondControlPlane::assert_pool_conserved`]) along with the fleet-wide
 //! invariant ([`assert_fleet_conserved`]): summed over groups, every slice
@@ -55,6 +68,7 @@ use cluster_sim::event::{Event, EventQueue};
 use cluster_sim::source::{ArrivalSource, TraceCursor, TraceHeader};
 use cluster_sim::sweep;
 use cluster_sim::trace::{ClusterTrace, VmRequest};
+use cxl_hw::pool::GroupState;
 use cxl_hw::topology::{PodStyle, PoolGroupTopology};
 use cxl_hw::units::{Bytes, EmcId};
 use hypervisor_sim::reconfig::ReconfigurationEngine;
@@ -216,6 +230,17 @@ pub enum DrillKind {
     /// External Memory Controllers — the paper's headline blast-radius case
     /// (§4.1): one dead device takes down every slice behind it.
     Emc,
+    /// EMC failures with repair: every failed device is replaced
+    /// `mttr_secs` after it dies ([`Event::EmcRepair`]), restoring its
+    /// capacity to the pool mid-replay (§4.2's operational reality). The
+    /// failure schedule is *identical* to [`DrillKind::Emc`] at the same
+    /// seed — repairs are planned from the failures, with no extra random
+    /// draws — so the two kinds isolate exactly the effect of healing.
+    EmcWithRepair {
+        /// Mean time to repair: seconds between a device's failure and its
+        /// replacement coming online.
+        mttr_secs: u64,
+    },
 }
 
 impl DrillKind {
@@ -223,6 +248,7 @@ impl DrillKind {
     pub fn name(self) -> &'static str {
         match self {
             DrillKind::Emc => "emc",
+            DrillKind::EmcWithRepair { .. } => "emc+repair",
         }
     }
 }
@@ -269,7 +295,12 @@ fn plan_drill(
     if spec.rate_per_day <= 0.0 || !spec.rate_per_day.is_finite() || duration == 0 {
         return plan;
     }
-    let DrillKind::Emc = spec.kind;
+    // Both kinds share the failure schedule; `EmcWithRepair`'s repairs are
+    // derived from it afterwards without consuming any random draws, so the
+    // failures line up exactly across the two kinds at the same seed.
+    match spec.kind {
+        DrillKind::Emc | DrillKind::EmcWithRepair { .. } => {}
+    }
     let mut rng = Pcg64::seed_from_u64(spec.seed);
     let per_sec = spec.rate_per_day / 86_400.0;
     let mut t = 0.0f64;
@@ -284,6 +315,86 @@ fn plan_drill(
         let emc = rng.gen_range(0..topology.pool(group).emc_configs().len() as u16);
         plan.push(PlannedEmcFailure { time: t as u64, group, emc: EmcId(emc) });
     }
+}
+
+/// One scheduled pool-lifecycle operation (§4.2's operational reality as
+/// timeline events): a device replacement, a graceful pod decommission, or
+/// a live capacity expansion.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum LifecycleOp {
+    /// Replace a failed EMC: its capacity rejoins `group`'s pool empty
+    /// ([`Event::EmcRepair`]). A no-op on a healthy device.
+    RepairEmc {
+        /// The pool group owning the device.
+        group: usize,
+        /// The device to repair.
+        emc: EmcId,
+    },
+    /// Gracefully decommission `group` ([`Event::GroupDecommission`]): the
+    /// group stops accepting placements, every running VM is *drained* to a
+    /// surviving group through the arrival ladder (killed only when no rung
+    /// anywhere holds it), and the group reaches `Decommissioned` once its
+    /// last pending slice release has completed — never before.
+    DecommissionGroup {
+        /// The pool group to drain.
+        group: usize,
+    },
+    /// Attach a fresh EMC of `capacity` to `group`'s pool live
+    /// ([`Event::GroupExpansion`]). Expanding a `Decommissioned` group
+    /// re-onlines it — the replacement-pod case.
+    ExpandGroup {
+        /// The pool group to grow.
+        group: usize,
+        /// Capacity of the new device.
+        capacity: Bytes,
+    },
+}
+
+/// One lifecycle operation at one timeline instant.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LifecycleEvent {
+    /// Seconds from trace start.
+    pub time: u64,
+    /// The operation.
+    pub op: LifecycleOp,
+}
+
+/// An explicit schedule of lifecycle operations injected into a replay.
+/// An empty plan reproduces the plain replay bit for bit.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct LifecyclePlan {
+    /// The scheduled operations, in any order (the event queue sorts them).
+    pub events: Vec<LifecycleEvent>,
+}
+
+/// Proactive QoS-cadence rebalancing: at every snapshot tick, each
+/// pool-starved group migrates a few VMs to its ring neighbour *before*
+/// pressure turns into rejections. Placements are pre-checked against the
+/// destination, so a rebalance move can never kill a VM.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RebalanceSpec {
+    /// A group is starved when its free pool drops below this fraction of
+    /// its live pool capacity.
+    pub starved_fraction: f64,
+    /// Most VMs moved out of one starved group per snapshot pass.
+    pub max_moves_per_pass: u32,
+}
+
+/// One planned repair: which EMC of which group comes back, and when.
+/// Merged from the drill's MTTR echo and explicit [`LifecycleOp::RepairEmc`]
+/// events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct PlannedEmcRepair {
+    time: u64,
+    group: usize,
+    emc: EmcId,
+}
+
+/// One planned live expansion: the new device's capacity and home group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct PlannedExpansion {
+    group: usize,
+    capacity: Bytes,
 }
 
 /// Configuration of a sharded multi-pool fleet replay.
@@ -310,6 +421,13 @@ pub struct MultiPoolConfig {
     /// answered by cross-group VM migration. `None` (and a zero-rate spec)
     /// reproduces the drill-free replay bit for bit.
     pub drill: Option<FailureDrillSpec>,
+    /// Optional explicit lifecycle schedule: repairs, decommissions, and
+    /// expansions as timeline events. `None` (and an empty plan) reproduces
+    /// the plain replay bit for bit.
+    pub lifecycle: Option<LifecyclePlan>,
+    /// Optional proactive rebalancing at QoS cadence. `None` reproduces the
+    /// plain replay bit for bit.
+    pub rebalance: Option<RebalanceSpec>,
 }
 
 impl MultiPoolConfig {
@@ -349,12 +467,26 @@ impl MultiPoolConfig {
             qos_interval: fleet.qos_interval,
             seed,
             drill: None,
+            lifecycle: None,
+            rebalance: None,
         }
     }
 
     /// Returns the configuration with a failure drill attached.
     pub fn with_drill(mut self, drill: FailureDrillSpec) -> Self {
         self.drill = Some(drill);
+        self
+    }
+
+    /// Returns the configuration with an explicit lifecycle plan attached.
+    pub fn with_lifecycle(mut self, lifecycle: LifecyclePlan) -> Self {
+        self.lifecycle = Some(lifecycle);
+        self
+    }
+
+    /// Returns the configuration with proactive rebalancing attached.
+    pub fn with_rebalance(mut self, rebalance: RebalanceSpec) -> Self {
+        self.rebalance = Some(rebalance);
         self
     }
 
@@ -499,6 +631,26 @@ fn place_on_ladder(
     Ok(None)
 }
 
+/// Completes a graceful decommission once nothing is left in flight: a
+/// `Draining` group becomes `Decommissioned` only when its last VM has been
+/// drained *and* its last pending async release has been delivered — the
+/// slice ledger must be fully settled before the pod is struck off, or a
+/// late [`Event::Release`] would free slices of a dead pool. Checked at the
+/// end of the decommission event and again after every release completion.
+fn finish_decommission_if_drained(
+    plane: &PondControlPlane,
+    state: &mut GroupState,
+    outcome: &mut FleetOutcome,
+) {
+    if *state == GroupState::Draining
+        && plane.running_vms() == 0
+        && plane.pool().pending_release().is_zero()
+    {
+        *state = GroupState::Decommissioned;
+        outcome.groups_decommissioned += 1;
+    }
+}
+
 /// Replays a trace through N pool groups on one time-ordered event queue and
 /// returns per-group and fleet-wide outcomes.
 ///
@@ -586,20 +738,87 @@ pub fn run_multipool_source<S: ArrivalSource>(
         None => Vec::new(),
     };
 
+    // Lifecycle planning: the drill's repair echo first (one repair per
+    // planned failure, `mttr_secs` later — no random draws, so the failure
+    // schedule is untouched), then the explicit plan's operations. Each
+    // group starts `Online`; decommissions drain it through `Draining` to
+    // `Decommissioned`, and an expansion can bring a decommissioned pod
+    // back.
+    let mut group_state = vec![GroupState::Online; groups];
+    let mut repair_plan: Vec<PlannedEmcRepair> = Vec::new();
+    if let Some(spec) = &config.drill {
+        if let DrillKind::EmcWithRepair { mttr_secs } = spec.kind {
+            repair_plan.extend(drill_plan.iter().map(|failure| PlannedEmcRepair {
+                time: failure.time.saturating_add(mttr_secs),
+                group: failure.group,
+                emc: failure.emc,
+            }));
+        }
+    }
+    let mut expansion_plan: Vec<PlannedExpansion> = Vec::new();
+    let mut expansion_times: Vec<u64> = Vec::new();
+    let mut decommissions: Vec<(u64, usize)> = Vec::new();
+    if let Some(plan) = &config.lifecycle {
+        for event in &plan.events {
+            match event.op {
+                LifecycleOp::RepairEmc { group, emc } => {
+                    assert!(group < groups, "lifecycle repair of group {group} of {groups}");
+                    repair_plan.push(PlannedEmcRepair { time: event.time, group, emc });
+                }
+                LifecycleOp::DecommissionGroup { group } => {
+                    assert!(group < groups, "lifecycle decommission of group {group} of {groups}");
+                    decommissions.push((event.time, group));
+                }
+                LifecycleOp::ExpandGroup { group, capacity } => {
+                    assert!(group < groups, "lifecycle expansion of group {group} of {groups}");
+                    expansion_plan.push(PlannedExpansion { group, capacity });
+                    expansion_times.push(event.time);
+                }
+            }
+        }
+    }
+
     let mut events = EventQueue::new(source, config.qos_interval);
     for (failure_index, failure) in drill_plan.iter().enumerate() {
         events.schedule_emc_failure(failure.time, failure_index);
+    }
+    for (repair_index, repair) in repair_plan.iter().enumerate() {
+        events.schedule_emc_repair(repair.time, repair_index);
+    }
+    for &(time, group) in &decommissions {
+        events.schedule_group_decommission(time, group);
+    }
+    for (expansion_index, &time) in expansion_times.iter().enumerate() {
+        events.schedule_group_expansion(time, expansion_index);
     }
     while let Some(event) = events.next_event() {
         let now = Duration::from_secs(event.time());
         match event {
             Event::Arrival { request_index, .. } => {
                 let request = events.take_arrival();
+                // Only `Online` groups take placements; with every group
+                // online (the common case and the whole no-lifecycle path)
+                // this is exactly the historical all-groups flow, index for
+                // index, so lifecycle-free replays stay bit-identical.
+                let online: Vec<usize> =
+                    (0..groups).filter(|&g| group_state[g].accepts_placements()).collect();
+                if online.is_empty() {
+                    // Every group is draining or gone: nothing can take the
+                    // VM. Attributed to group 0 for want of a home.
+                    per_group[0].rejected_vms += 1;
+                    continue;
+                }
                 let views: Vec<GroupView> =
-                    planes.iter().map(|p| GroupView::of(p, &request)).collect();
-                let home = scheduler.choose(&request, &views);
-                assert!(home < groups, "scheduler chose group {home} of {groups}");
-                let order = topology.reachable(home);
+                    online.iter().map(|&g| GroupView::of(&planes[g], &request)).collect();
+                let choice = scheduler.choose(&request, &views);
+                assert!(choice < views.len(), "scheduler chose view {choice} of {}", views.len());
+                let home = online[choice];
+                let order: Vec<usize> = topology
+                    .reachable(home)
+                    .iter()
+                    .copied()
+                    .filter(|&g| group_state[g].accepts_placements())
+                    .collect();
 
                 // The fallback ladder: pooled in home, pooled in reachable
                 // neighbours (cross-group), then — only when the config
@@ -607,7 +826,7 @@ pub fn run_multipool_source<S: ArrivalSource>(
                 // same order.
                 let placed = place_on_ladder(
                     &mut planes,
-                    order,
+                    &order,
                     &request,
                     now,
                     config.control.fallback_all_local,
@@ -647,6 +866,13 @@ pub fn run_multipool_source<S: ArrivalSource>(
                 let group = release_attribution.pop(time);
                 planes[group].complete_releases(now);
                 per_group[group].releases_completed += 1;
+                // A draining group's last pending release may have just
+                // landed — only now may the pod be struck off.
+                finish_decommission_if_drained(
+                    &planes[group],
+                    &mut group_state[group],
+                    &mut per_group[group],
+                );
             }
             Event::ReconfigDone { time } => {
                 let group = reconfig_attribution.pop(time);
@@ -662,10 +888,16 @@ pub fn run_multipool_source<S: ArrivalSource>(
 
                 // The evacuation planner: every VM in the blast radius is
                 // re-homed through the same fallback ladder arrivals use —
-                // pooled over the pod's reachable groups (the home pod's
-                // surviving EMCs first, then the Octopus neighbours), then
-                // all-local in the same order — or killed when no rung
+                // pooled over the pod's reachable *online* groups (the home
+                // pod's surviving EMCs first, then the Octopus neighbours),
+                // then all-local in the same order — or killed when no rung
                 // holds it.
+                let order: Vec<usize> = topology
+                    .reachable(source)
+                    .iter()
+                    .copied()
+                    .filter(|&g| group_state[g].accepts_placements())
+                    .collect();
                 for affected in outcome.affected {
                     let token = arena
                         .slot_of(affected.vm.0)
@@ -690,7 +922,7 @@ pub fn run_multipool_source<S: ArrivalSource>(
 
                     let placed = place_on_ladder(
                         &mut planes,
-                        topology.reachable(source),
+                        &order,
                         &request,
                         now,
                         config.control.fallback_all_local,
@@ -735,6 +967,112 @@ pub fn run_multipool_source<S: ArrivalSource>(
                 checked_decrement(&mut migrating_of[group], "in-flight migration copies");
                 per_group[group].migration_completions += 1;
             }
+            Event::EmcRepair { repair_index, .. } => {
+                let repair = &repair_plan[repair_index];
+                // The replacement device rejoins the pool empty: live and
+                // free capacity grow by exactly the same amount, so the
+                // conservation invariant holds through the repair. A repair
+                // of a healthy device is a recorded no-op (zero restored).
+                let restored = planes[repair.group].repair_emc(repair.emc)?;
+                if !restored.is_zero() {
+                    per_group[repair.group].emcs_repaired += 1;
+                }
+            }
+            Event::GroupDecommission { group, time } => {
+                // Idempotent: only an online group can start draining.
+                if group_state[group] == GroupState::Online {
+                    group_state[group] = GroupState::Draining;
+                    // The drain ladder: the pod's reachable online groups
+                    // first (the source no longer accepts, so it is already
+                    // excluded), then every other online group ascending —
+                    // a drain may spill beyond the ring because the whole
+                    // pod is leaving, not just one device.
+                    let mut order: Vec<usize> = topology
+                        .reachable(group)
+                        .iter()
+                        .copied()
+                        .filter(|&g| group_state[g].accepts_placements())
+                        .collect();
+                    for (g, state) in group_state.iter().enumerate() {
+                        if state.accepts_placements() && !order.contains(&g) {
+                            order.push(g);
+                        }
+                    }
+                    // Every running VM is drained through the ladder — the
+                    // same evacuation path failures use, but counted as
+                    // `vms_drained`, not `vms_migrated`: nothing died here.
+                    for (vm, pool_before) in planes[group].running_vm_footprints() {
+                        let token = arena
+                            .slot_of(vm.0)
+                            .expect("a running VM's id resolves to a live arena slot");
+                        let request = arena.request(token).clone();
+                        if let Some(ready) = planes[group].evacuate_vm(vm, now)? {
+                            let ready = ceil_secs(ready);
+                            events.schedule_release(ready);
+                            release_attribution.push(ready, group);
+                        }
+                        let remaining_hours =
+                            request.departure().saturating_sub(time) as f64 / 3600.0;
+                        per_group[group].pool_gib_hours -=
+                            pool_before.as_gib_f64() * remaining_hours;
+                        per_group[group].total_gib_hours -=
+                            request.memory.as_gib_f64() * remaining_hours;
+                        let placed = place_on_ladder(
+                            &mut planes,
+                            &order,
+                            &request,
+                            now,
+                            config.control.fallback_all_local,
+                        )?;
+                        match placed {
+                            Some((dest, summary)) => {
+                                let copy = evacuation_engine.charge_copy(request.memory);
+                                let done = ceil_secs(now + copy);
+                                events.schedule_migration_done(done);
+                                migration_attribution.push(done, group);
+                                migrating_of[group] += 1;
+                                per_group[group].vms_drained += 1;
+                                per_group[group].evacuation_copy_time += copy;
+                                per_group[dest].pool_gib_hours +=
+                                    summary.pool.as_gib_f64() * remaining_hours;
+                                per_group[dest].total_gib_hours +=
+                                    request.memory.as_gib_f64() * remaining_hours;
+                                if !summary.pool.is_zero() && !pooled_host[dest][summary.host] {
+                                    pooled_host[dest][summary.host] = true;
+                                    pooled_count[dest] += 1;
+                                }
+                                arena.set_group(token, dest as u32);
+                            }
+                            None => {
+                                // No online group anywhere holds the VM: a
+                                // graceful drain degrades to a kill only as
+                                // the absolute last resort.
+                                per_group[group].vms_killed += 1;
+                                arena.set_group(token, NO_GROUP);
+                            }
+                        }
+                    }
+                    // With no pending releases the pod is already done;
+                    // otherwise the last Release event completes it.
+                    finish_decommission_if_drained(
+                        &planes[group],
+                        &mut group_state[group],
+                        &mut per_group[group],
+                    );
+                }
+            }
+            Event::GroupExpansion { expansion_index, .. } => {
+                let expansion = &expansion_plan[expansion_index];
+                planes[expansion.group].expand_pool(expansion.capacity);
+                per_group[expansion.group].groups_expanded += 1;
+                // Growing a decommissioned pod is the replacement case: the
+                // new hardware brings the group back online. A draining pod
+                // stays draining — new capacity does not cancel a planned
+                // decommission.
+                if group_state[expansion.group] == GroupState::Decommissioned {
+                    group_state[expansion.group] = GroupState::Online;
+                }
+            }
             Event::Snapshot { time } => {
                 snapshot_ticks += 1;
                 for (group, plane) in planes.iter_mut().enumerate() {
@@ -759,6 +1097,86 @@ pub fn run_multipool_source<S: ArrivalSource>(
                         },
                     );
                 }
+                // Proactive rebalancing rides the same QoS cadence, after
+                // the monitoring passes: each pool-starved online group
+                // moves a few VMs to its ring neighbour before pressure
+                // turns into rejections. Every move is pre-checked against
+                // the destination, so a rebalance can never kill a VM.
+                if let Some(spec) = &config.rebalance {
+                    for g in 0..groups {
+                        if group_state[g] != GroupState::Online {
+                            continue;
+                        }
+                        // The ring neighbour is the second reachable group;
+                        // symmetric pods have none and never rebalance.
+                        let Some(&dest) = topology.reachable(g).get(1) else {
+                            continue;
+                        };
+                        if !group_state[dest].accepts_placements() {
+                            continue;
+                        }
+                        let available = planes[g].pool().available();
+                        let live = planes[g].pool().pool().live_capacity();
+                        let starved =
+                            available.as_gib_f64() < spec.starved_fraction * live.as_gib_f64();
+                        // Move only downhill: the neighbour must have
+                        // strictly more free pool than the starved source.
+                        if !starved || planes[dest].pool().available() <= available {
+                            continue;
+                        }
+                        let candidates: Vec<(VmId, Bytes)> = planes[g]
+                            .running_vm_footprints()
+                            .into_iter()
+                            .filter(|(_, pool)| !pool.is_zero())
+                            .take(spec.max_moves_per_pass as usize)
+                            .collect();
+                        for (vm, pool_before) in candidates {
+                            let token = arena
+                                .slot_of(vm.0)
+                                .expect("a running VM's id resolves to a live arena slot");
+                            let request = arena.request(token).clone();
+                            // The never-kill pre-check: skip the VM unless
+                            // the neighbour could hold it entirely in local
+                            // DRAM — the all-local rung below then cannot
+                            // fail even if its pool is tight.
+                            if planes[dest].tightest_feasible_host(request.memory).is_none() {
+                                continue;
+                            }
+                            if let Some(ready) = planes[g].evacuate_vm(vm, now)? {
+                                let ready = ceil_secs(ready);
+                                events.schedule_release(ready);
+                                release_attribution.push(ready, g);
+                            }
+                            let remaining_hours =
+                                request.departure().saturating_sub(time) as f64 / 3600.0;
+                            per_group[g].pool_gib_hours -=
+                                pool_before.as_gib_f64() * remaining_hours;
+                            per_group[g].total_gib_hours -=
+                                request.memory.as_gib_f64() * remaining_hours;
+                            let order = [dest];
+                            let (landed, summary) =
+                                place_on_ladder(&mut planes, &order, &request, now, true)?
+                                    .expect("rebalance pre-checked destination feasibility");
+                            let copy = evacuation_engine.charge_copy(request.memory);
+                            let done = ceil_secs(now + copy);
+                            events.schedule_migration_done(done);
+                            migration_attribution.push(done, g);
+                            migrating_of[g] += 1;
+                            per_group[g].vms_rebalanced += 1;
+                            per_group[g].evacuation_copy_time += copy;
+                            per_group[landed].pool_gib_hours +=
+                                summary.pool.as_gib_f64() * remaining_hours;
+                            per_group[landed].total_gib_hours +=
+                                request.memory.as_gib_f64() * remaining_hours;
+                            if !summary.pool.is_zero() && !pooled_host[landed][summary.host] {
+                                pooled_host[landed][summary.host] = true;
+                                pooled_count[landed] += 1;
+                            }
+                            arena.set_group(token, landed as u32);
+                        }
+                    }
+                }
+
                 // The deep per-group recount runs only at snapshot ticks
                 // (and end of replay) in debug builds.
                 #[cfg(debug_assertions)]
@@ -801,8 +1219,12 @@ pub fn run_multipool_source<S: ArrivalSource>(
             "group {group}: every migration copy must have completed"
         );
         debug_assert_eq!(
-            per_group[group].migration_completions, per_group[group].vms_migrated,
-            "group {group}: one MigrationDone event per migrated VM"
+            per_group[group].migration_completions,
+            per_group[group].vms_migrated
+                + per_group[group].vms_drained
+                + per_group[group].vms_rebalanced,
+            "group {group}: one MigrationDone event per migration copy — \
+             failure evacuations, drains, and rebalances alike"
         );
     }
 
@@ -1009,6 +1431,92 @@ where
     results.into_iter().collect()
 }
 
+/// One cell of a lifecycle grid: a multi-pool cell plus an optional failure
+/// drill, an optional explicit lifecycle plan, and optional proactive
+/// rebalancing. With all three `None` the cell replays plain.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LifecycleSweepSpec {
+    /// The multi-pool cell under test.
+    pub cell: MultiPoolSweepSpec,
+    /// Optional failure drill (including [`DrillKind::EmcWithRepair`]).
+    pub drill: Option<FailureDrillSpec>,
+    /// Optional explicit lifecycle schedule.
+    pub lifecycle: Option<LifecyclePlan>,
+    /// Optional proactive rebalancing.
+    pub rebalance: Option<RebalanceSpec>,
+}
+
+/// One completed cell of a lifecycle sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LifecycleSweepPoint {
+    /// The grid cell that ran.
+    pub spec: LifecycleSweepSpec,
+    /// The full replay outcome for that cell.
+    pub outcome: MultiPoolOutcome,
+}
+
+/// The default cell configuration [`lifecycle_sweep`] runs: the trace-sized
+/// multi-pool fleet with the cell's drill, lifecycle plan, and rebalance
+/// spec attached.
+pub fn lifecycle_config(
+    trace: &ClusterTrace,
+    spec: &LifecycleSweepSpec,
+    seed: u64,
+) -> MultiPoolConfig {
+    let mut config = MultiPoolConfig::for_trace(
+        trace,
+        spec.cell.pod,
+        spec.cell.groups,
+        spec.cell.pool_fraction,
+        spec.cell.scheduler,
+        seed,
+    );
+    config.drill = spec.drill;
+    config.lifecycle = spec.lifecycle.clone();
+    config.rebalance = spec.rebalance;
+    config
+}
+
+/// Sweeps lifecycle scenarios over one trace on the parallel [`sweep`]
+/// runner: pools die, heal, drain, and join mid-replay, cell by cell.
+/// Results come back in `specs` order and each cell is deterministic for a
+/// fixed `(trace, seed)`, so the whole sweep is reproducible bit for bit —
+/// including between `POND_SWEEP_THREADS=1` and the default thread count.
+///
+/// # Errors
+///
+/// Propagates the first replay error in sweep order.
+pub fn lifecycle_sweep(
+    trace: &ClusterTrace,
+    specs: &[LifecycleSweepSpec],
+    seed: u64,
+) -> Result<Vec<LifecycleSweepPoint>, PondError> {
+    lifecycle_sweep_with(trace, specs, |spec| lifecycle_config(trace, spec, seed))
+}
+
+/// [`lifecycle_sweep`] with a caller-supplied configuration per cell (e.g.
+/// to tighten per-host local DRAM so drains compete for real headroom, the
+/// `fig_lifecycle` setup). `make_config` may run from several threads at
+/// once.
+///
+/// # Errors
+///
+/// Propagates the first replay error in sweep order.
+pub fn lifecycle_sweep_with<F>(
+    trace: &ClusterTrace,
+    specs: &[LifecycleSweepSpec],
+    make_config: F,
+) -> Result<Vec<LifecycleSweepPoint>, PondError>
+where
+    F: Fn(&LifecycleSweepSpec) -> MultiPoolConfig + Sync,
+{
+    let results = sweep::parallel_map(specs, |_, spec| {
+        run_multipool_fleet(trace, &make_config(spec))
+            .map(|outcome| LifecycleSweepPoint { spec: spec.clone(), outcome })
+    });
+    results.into_iter().collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1178,5 +1686,164 @@ mod tests {
             a.fleet.vms_migrated == 0,
             "migrations charge copy time: {a:?}"
         );
+    }
+
+    fn plan(events: Vec<LifecycleEvent>) -> LifecyclePlan {
+        LifecyclePlan { events }
+    }
+
+    #[test]
+    fn an_empty_lifecycle_plan_is_bit_identical_to_no_plan() {
+        let trace = small_trace();
+        let cfg = config(PodStyle::Octopus, 4, GroupSchedulerKind::RoundRobin);
+        let empty = cfg.clone().with_lifecycle(LifecyclePlan::default());
+        let a = run_multipool_fleet(&trace, &cfg).unwrap();
+        let b = run_multipool_fleet(&trace, &empty).unwrap();
+        assert_eq!(a, b, "an empty lifecycle plan must not perturb the replay");
+        assert_eq!(a.fleet.vms_drained, 0);
+        assert_eq!(a.fleet.vms_rebalanced, 0);
+        assert_eq!(a.fleet.emcs_repaired, 0);
+        assert_eq!(a.fleet.groups_decommissioned, 0);
+        assert_eq!(a.fleet.groups_expanded, 0);
+    }
+
+    #[test]
+    fn repair_drills_plan_the_same_failure_schedule_as_plain_drills() {
+        let topology =
+            PoolGroupTopology::new(PodStyle::Octopus, 4, 16, 16, Bytes::from_gib(64)).unwrap();
+        let with_repair =
+            FailureDrillSpec { kind: DrillKind::EmcWithRepair { mttr_secs: 3_600 }, ..drill(2.0) };
+        assert_eq!(
+            plan_drill(&drill(2.0), 4 * 86_400, &topology),
+            plan_drill(&with_repair, 4 * 86_400, &topology),
+            "repairs must be planned without perturbing the failure schedule"
+        );
+    }
+
+    #[test]
+    fn repaired_drills_restore_capacity_mid_replay() {
+        let trace = small_trace();
+        let base = config(PodStyle::Octopus, 4, GroupSchedulerKind::RoundRobin);
+        let plain = base.clone().with_drill(drill(4.0));
+        let healed = base.with_drill(FailureDrillSpec {
+            kind: DrillKind::EmcWithRepair { mttr_secs: 3_600 },
+            ..drill(4.0)
+        });
+        let a = run_multipool_fleet(&trace, &healed).unwrap();
+        let b = run_multipool_fleet(&trace, &healed).unwrap();
+        assert_eq!(a, b, "repaired drills must be deterministic");
+        let p = run_multipool_fleet(&trace, &plain).unwrap();
+        assert_eq!(a.fleet.emc_failures, p.fleet.emc_failures, "same failure schedule");
+        assert!(a.fleet.emc_failures > 0, "4/day over 4 days must fire: {a:?}");
+        assert!(a.fleet.emcs_repaired > 0, "every failed device is replaced: {a:?}");
+        assert!(a.fleet.emcs_repaired <= a.fleet.emc_failures);
+    }
+
+    #[test]
+    fn decommission_drains_every_vm_without_kills() {
+        let trace = small_trace();
+        let cfg = config(PodStyle::Octopus, 4, GroupSchedulerKind::RoundRobin).with_lifecycle(
+            plan(vec![LifecycleEvent {
+                time: 86_400,
+                op: LifecycleOp::DecommissionGroup { group: 2 },
+            }]),
+        );
+        let a = run_multipool_fleet(&trace, &cfg).unwrap();
+        let b = run_multipool_fleet(&trace, &cfg).unwrap();
+        assert_eq!(a, b, "decommissions must be deterministic");
+        assert_eq!(a.fleet.groups_decommissioned, 1, "{a:?}");
+        assert!(a.fleet.vms_drained > 0, "a day of load leaves VMs to drain: {a:?}");
+        assert_eq!(a.fleet.vms_killed, 0, "a graceful drain kills nothing: {a:?}");
+        assert_eq!(a.fleet.migration_completions, a.fleet.vms_drained);
+        // The drained group's pending async releases all landed before the
+        // pod was struck off (the conservation debug-asserts above would
+        // have tripped on any double-free).
+        assert!(a.per_group[2].releases_completed > 0, "{a:?}");
+        // Nothing lands in the group after the drain: it scheduled at most
+        // a day's worth of the round-robin share.
+        assert!(a.per_group[2].scheduled_vms < a.per_group[3].scheduled_vms, "{a:?}");
+    }
+
+    #[test]
+    fn expansion_grows_the_pool_and_revives_a_decommissioned_group() {
+        let trace = small_trace();
+        let base = config(PodStyle::Octopus, 4, GroupSchedulerKind::RoundRobin);
+        let decommission_only = base.clone().with_lifecycle(plan(vec![LifecycleEvent {
+            time: 86_400,
+            op: LifecycleOp::DecommissionGroup { group: 1 },
+        }]));
+        let replaced = base.with_lifecycle(plan(vec![
+            LifecycleEvent { time: 86_400, op: LifecycleOp::DecommissionGroup { group: 1 } },
+            LifecycleEvent {
+                time: 2 * 86_400,
+                op: LifecycleOp::ExpandGroup { group: 1, capacity: Bytes::from_gib(64) },
+            },
+        ]));
+        let gone = run_multipool_fleet(&trace, &decommission_only).unwrap();
+        let back = run_multipool_fleet(&trace, &replaced).unwrap();
+        assert_eq!(back.fleet.groups_decommissioned, 1);
+        assert_eq!(back.fleet.groups_expanded, 1);
+        assert_eq!(gone.fleet.groups_expanded, 0);
+        // The replacement pod takes arrivals again from day 2 on.
+        assert!(
+            back.per_group[1].scheduled_vms > gone.per_group[1].scheduled_vms,
+            "revived group must schedule post-expansion arrivals: {back:?} vs {gone:?}"
+        );
+    }
+
+    #[test]
+    fn rebalance_moves_vms_off_starved_pods_without_kills() {
+        let trace = small_trace();
+        // Tiny pools starve quickly; an aggressive spec then rebalances
+        // almost every snapshot tick.
+        let mut cfg = config(PodStyle::Octopus, 4, GroupSchedulerKind::RoundRobin);
+        cfg.control.pool_capacity = Bytes::from_gib(16);
+        let cfg =
+            cfg.with_rebalance(RebalanceSpec { starved_fraction: 0.9, max_moves_per_pass: 4 });
+        let a = run_multipool_fleet(&trace, &cfg).unwrap();
+        let b = run_multipool_fleet(&trace, &cfg).unwrap();
+        assert_eq!(a, b, "rebalancing must be deterministic");
+        assert!(a.fleet.vms_rebalanced > 0, "starved pods must shed load: {a:?}");
+        assert_eq!(a.fleet.vms_killed, 0, "a rebalance move can never kill: {a:?}");
+        assert_eq!(a.fleet.migration_completions, a.fleet.vms_rebalanced);
+        assert!(!a.fleet.evacuation_copy_time.is_zero(), "moves charge copy time");
+    }
+
+    #[test]
+    fn lifecycle_sweeps_run_cells_in_order_and_deterministically() {
+        let trace = small_trace();
+        let cell = MultiPoolSweepSpec {
+            pod: PodStyle::Octopus,
+            groups: 4,
+            pool_fraction: 0.20,
+            scheduler: GroupSchedulerKind::RoundRobin,
+        };
+        let specs = vec![
+            LifecycleSweepSpec { cell, drill: None, lifecycle: None, rebalance: None },
+            LifecycleSweepSpec {
+                cell,
+                drill: Some(FailureDrillSpec {
+                    rate_per_day: 4.0,
+                    kind: DrillKind::EmcWithRepair { mttr_secs: 3_600 },
+                    seed: 99,
+                }),
+                lifecycle: Some(plan(vec![LifecycleEvent {
+                    time: 86_400,
+                    op: LifecycleOp::DecommissionGroup { group: 2 },
+                }])),
+                rebalance: Some(RebalanceSpec { starved_fraction: 0.15, max_moves_per_pass: 2 }),
+            },
+        ];
+        let a = lifecycle_sweep(&trace, &specs, 7).unwrap();
+        let b = lifecycle_sweep(&trace, &specs, 7).unwrap();
+        assert_eq!(a, b, "lifecycle sweeps must be deterministic");
+        assert_eq!(a.len(), 2);
+        assert_eq!(a[0].spec, specs[0]);
+        assert_eq!(
+            a[0].outcome,
+            run_multipool_fleet(&trace, &lifecycle_config(&trace, &specs[0], 7)).unwrap()
+        );
+        assert!(a[1].outcome.fleet.emc_failures > 0);
+        assert_eq!(a[1].outcome.fleet.groups_decommissioned, 1);
     }
 }

@@ -220,6 +220,14 @@ impl PondPolicy {
         &self.untouched
     }
 
+    /// The per-customer completion history feeding the online untouched
+    /// predictions. Exposed so tests can pin exactly how many observations
+    /// a customer fed back — e.g. that a drained VM which later departs
+    /// normally records exactly one completion.
+    pub fn history(&self) -> &CustomerHistory {
+        &self.history
+    }
+
     /// The Figure 13 decision for one request, without mutating statistics,
     /// with both models' feature schemas validated. This is the online
     /// serving entry point: the control plane calls it once per VM arrival,

@@ -254,6 +254,32 @@ impl PondPoolManager {
         Ok(report)
     }
 
+    /// Repairs (replaces) a failed EMC, returning the capacity that
+    /// rejoined the free buffer ([`Bytes::ZERO`] when the device was
+    /// healthy). The repaired device comes back empty — [`Emc::fail`]
+    /// already tore its assignments down and
+    /// [`PondPoolManager::fail_emc`] already pruned its mid-offlining
+    /// slices from the pending queue, so nothing is resurrected: free and
+    /// live capacity grow by exactly the same amount and the conservation
+    /// invariant (free + pending + assigned == live) holds across the
+    /// repair.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`cxl_hw::CxlError::UnknownEmc`] for unknown devices.
+    ///
+    /// [`Emc::fail`]: cxl_hw::emc::Emc::fail
+    pub fn restore_emc(&mut self, emc: EmcId) -> Result<Bytes, PondError> {
+        Ok(self.pool.restore_emc(emc)?)
+    }
+
+    /// Attaches a new EMC to the pool live (capacity expansion), returning
+    /// its device id. The new capacity is immediately part of the free
+    /// buffer for every reachable host.
+    pub fn attach_emc(&mut self, config: cxl_hw::emc::EmcConfig) -> EmcId {
+        self.pool.attach_emc(config)
+    }
+
     /// Handles a host failure: reclaims every slice the host owns —
     /// assigned *and* mid-offlining — back to the free buffer immediately
     /// (the paper's §4.2 host-failure flow), detaches its ports, and drops
@@ -423,6 +449,52 @@ mod tests {
         // The stale deadline passes without a panic or double-free.
         assert_eq!(m.process_releases(ready), Bytes::ZERO);
         assert!(m.allocate(HostId(3), Bytes::from_gib(1), ready).is_err());
+    }
+
+    #[test]
+    fn repairing_an_emc_that_failed_mid_offlining_restores_exactly_live_capacity() {
+        // Lifecycle race regression: the EMC dies while slices are
+        // offlining (the failure pruned them from the pending queue), then
+        // the device is repaired. The repair must restore exactly the
+        // device's capacity — all of it free, none of it resurrected into
+        // the pending queue — with the conservation invariant green
+        // throughout.
+        let mut m = manager();
+        let slices = m.allocate(HostId(2), Bytes::from_gib(4), Duration::ZERO).unwrap();
+        let emc = slices[0].emc;
+        let ready = m.release_async(HostId(2), slices, Duration::ZERO).unwrap().unwrap();
+        m.fail_emc(emc).unwrap();
+        m.assert_pending_conserved();
+        assert_eq!(m.available(), Bytes::ZERO, "the only EMC is dead");
+
+        let restored = m.restore_emc(emc).unwrap();
+        assert_eq!(restored, Bytes::from_gib(64), "the full device rejoins");
+        assert_eq!(m.pool().live_capacity(), Bytes::from_gib(64));
+        assert_eq!(m.available(), Bytes::from_gib(64), "everything comes back free");
+        assert_eq!(m.pending_release(), Bytes::ZERO, "pruned slices stay pruned");
+        m.assert_pending_conserved();
+        // The pre-failure release deadline passing is a no-op — nothing to
+        // double-free on the replaced device.
+        assert_eq!(m.process_releases(ready + Duration::from_secs(1)), Bytes::ZERO);
+        assert_eq!(m.available(), Bytes::from_gib(64));
+        // Repairing a healthy device is a no-op.
+        assert_eq!(m.restore_emc(emc).unwrap(), Bytes::ZERO);
+        // The repaired capacity is allocatable again.
+        assert_eq!(m.allocate(HostId(3), Bytes::from_gib(2), ready).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn attaching_an_emc_expands_the_buffer_live() {
+        let mut m = manager();
+        let all = m.allocate(HostId(0), Bytes::from_gib(64), Duration::ZERO).unwrap();
+        assert_eq!(all.len(), 64);
+        assert_eq!(m.available(), Bytes::ZERO);
+        let id = m.attach_emc(cxl_hw::emc::EmcConfig::pond_16_socket(Bytes::from_gib(8)));
+        assert_eq!(m.available(), Bytes::from_gib(8));
+        assert_eq!(m.pool().live_capacity(), Bytes::from_gib(72));
+        m.assert_pending_conserved();
+        let extra = m.allocate(HostId(1), Bytes::from_gib(8), Duration::ZERO).unwrap();
+        assert!(extra.iter().all(|s| s.emc == id), "new slices come from the new device");
     }
 
     #[test]

@@ -296,7 +296,9 @@ fn arena_replay_reproduces_the_pre_refactor_golden_outcome() {
          violations: 6, mitigations: 235, mitigation_copy_time: 95.4s, \
          reconfig_completions: 235, peak_degraded_vms: 11, qos_passes: 60, \
          releases_completed: 1092, emc_failures: 0, vms_migrated: 0, vms_killed: 0, \
-         migration_completions: 0, evacuation_copy_time: 0ns, pooled_host_count: 24, \
+         migration_completions: 0, evacuation_copy_time: 0ns, vms_drained: 0, \
+         vms_rebalanced: 0, emcs_repaired: 0, groups_decommissioned: 0, \
+         groups_expanded: 0, pooled_host_count: 24, \
          sum_local_peaks: Bytes(7187627769856), sum_host_pool_peaks: Bytes(5243081326592), \
          sum_total_peaks: Bytes(10335838797824), pool_peak: Bytes(1978906181632), \
          pool_gib_hours: 826997.7958333329, total_gib_hours: 2593592.516944444 }"
@@ -311,7 +313,9 @@ fn arena_replay_reproduces_the_pre_refactor_golden_outcome() {
          violations: 3, mitigations: 23, mitigation_copy_time: 5.7s, \
          reconfig_completions: 23, peak_degraded_vms: 6, qos_passes: 60, \
          releases_completed: 80, emc_failures: 58, vms_migrated: 93, vms_killed: 13, \
-         migration_completions: 93, evacuation_copy_time: 101.75s, pooled_host_count: 24, \
+         migration_completions: 93, evacuation_copy_time: 101.75s, vms_drained: 0, \
+         vms_rebalanced: 0, emcs_repaired: 0, groups_decommissioned: 0, \
+         groups_expanded: 0, pooled_host_count: 24, \
          sum_local_peaks: Bytes(4648228356096), sum_host_pool_peaks: Bytes(3273838821376), \
          sum_total_peaks: Bytes(7260642213888), pool_peak: Bytes(2966748659712), \
          pool_gib_hours: 55719.272500000094, total_gib_hours: 1727270.4544444447 }"

@@ -156,7 +156,9 @@ fn a_streamed_15_day_replay_reproduces_the_materialized_golden() {
          violations: 6, mitigations: 235, mitigation_copy_time: 95.4s, \
          reconfig_completions: 235, peak_degraded_vms: 11, qos_passes: 60, \
          releases_completed: 1092, emc_failures: 0, vms_migrated: 0, vms_killed: 0, \
-         migration_completions: 0, evacuation_copy_time: 0ns, pooled_host_count: 24, \
+         migration_completions: 0, evacuation_copy_time: 0ns, vms_drained: 0, \
+         vms_rebalanced: 0, emcs_repaired: 0, groups_decommissioned: 0, \
+         groups_expanded: 0, pooled_host_count: 24, \
          sum_local_peaks: Bytes(7187627769856), sum_host_pool_peaks: Bytes(5243081326592), \
          sum_total_peaks: Bytes(10335838797824), pool_peak: Bytes(1978906181632), \
          pool_gib_hours: 826997.7958333329, total_gib_hours: 2593592.516944444 }"

@@ -68,6 +68,9 @@ pub mod tracegen;
 pub use pond_trace::AzureTraceReader;
 pub use scheduler::{AllLocal, FixedPoolFraction, MemoryPolicy};
 pub use simulation::{Simulation, SimulationConfig, SimulationOutcome};
-pub use source::{ArrivalSource, SourceError, TraceCursor, TraceHeader, TraceSummary, Validated};
+pub use source::{
+    clipped_core_seconds, mean_core_utilization, ArrivalSource, SourceError, TraceCursor,
+    TraceHeader, TraceSummary, Validated,
+};
 pub use trace::{ClusterTrace, VmRequest};
 pub use tracegen::{ClusterConfig, GeneratorSource, TraceGenerator};

@@ -219,11 +219,27 @@ impl TraceSummary {
     /// duration, as a fraction of the cluster's cores. Matches
     /// [`ClusterTrace::mean_core_utilization`] exactly on the same requests.
     pub fn mean_core_utilization(&self) -> f64 {
-        if self.duration == 0 {
-            return 0.0;
-        }
-        self.core_seconds as f64 / (self.total_cores * self.duration) as f64
+        mean_core_utilization(self.core_seconds, self.total_cores, self.duration)
     }
+}
+
+/// Core-seconds a request holds within the trace horizon:
+/// `cores × min(lifetime, duration − arrival)`.
+///
+/// This clipping rule is the single definition shared by the streaming
+/// [`summarize`] pass and [`ClusterTrace::mean_core_utilization`], so
+/// summary lines printed from either path agree bit for bit.
+pub fn clipped_core_seconds(request: &VmRequest, duration: u64) -> u64 {
+    request.cores as u64 * request.lifetime.min(duration.saturating_sub(request.arrival))
+}
+
+/// The mean fraction of `total_cores` held over `duration`, given the total
+/// clipped core-seconds. Returns `0.0` for an empty cluster or horizon.
+pub fn mean_core_utilization(core_seconds: u64, total_cores: u64, duration: u64) -> f64 {
+    if total_cores == 0 || duration == 0 {
+        return 0.0;
+    }
+    core_seconds as f64 / (total_cores * duration) as f64
 }
 
 /// Consumes `source` and accumulates its [`TraceSummary`].
@@ -237,8 +253,7 @@ pub fn summarize<S: ArrivalSource>(mut source: S) -> Result<TraceSummary, Source
     let mut summary = TraceSummary { requests: 0, core_seconds: 0, total_cores, duration };
     while let Some(request) = source.next_request()? {
         summary.requests += 1;
-        summary.core_seconds +=
-            request.cores as u64 * request.lifetime.min(duration.saturating_sub(request.arrival));
+        summary.core_seconds += clipped_core_seconds(&request, duration);
     }
     Ok(summary)
 }
@@ -273,6 +288,26 @@ mod tests {
             duration: 7200,
             requests,
         }
+    }
+
+    #[test]
+    fn the_shared_utilization_helper_pins_the_clipping_rule() {
+        // A request ending inside the horizon contributes cores × lifetime.
+        assert_eq!(clipped_core_seconds(&request(1, 0), 7200), 4 * 3600);
+        // One straddling the horizon is clipped to the remaining seconds.
+        assert_eq!(clipped_core_seconds(&request(2, 5400), 7200), 4 * 1800);
+        // One arriving at (or past) the horizon contributes nothing.
+        assert_eq!(clipped_core_seconds(&request(3, 7200), 7200), 0);
+
+        assert!((mean_core_utilization(4 * 3600, 16, 7200) - 0.125).abs() < 1e-12);
+        assert_eq!(mean_core_utilization(100, 0, 7200), 0.0);
+        assert_eq!(mean_core_utilization(100, 16, 0), 0.0);
+
+        // The materialized and streamed paths agree because they share it.
+        let trace = trace(vec![request(1, 0), request(2, 5400), request(3, 7200)]);
+        let summary = summarize(TraceCursor::new(&trace)).unwrap();
+        assert_eq!(summary.core_seconds, 4 * 3600 + 4 * 1800);
+        assert_eq!(summary.mean_core_utilization(), trace.mean_core_utilization());
     }
 
     #[test]

@@ -185,17 +185,16 @@ impl ClusterTrace {
     }
 
     /// The average number of concurrently allocated cores over the trace
-    /// duration, as a fraction of the cluster's cores.
+    /// duration, as a fraction of the cluster's cores. Shares the clipping
+    /// rule with the streaming summary via
+    /// [`clipped_core_seconds`](crate::source::clipped_core_seconds).
     pub fn mean_core_utilization(&self) -> f64 {
-        if self.duration == 0 {
-            return 0.0;
-        }
         let core_seconds: u64 = self
             .requests
             .iter()
-            .map(|r| r.cores as u64 * r.lifetime.min(self.duration.saturating_sub(r.arrival)))
+            .map(|r| crate::source::clipped_core_seconds(r, self.duration))
             .sum();
-        core_seconds as f64 / (self.total_cores() * self.duration) as f64
+        crate::source::mean_core_utilization(core_seconds, self.total_cores(), self.duration)
     }
 
     /// Validates the trace: request ordering, id uniqueness, and per-request

@@ -29,17 +29,25 @@
 //! * `POND_SMOKE=1` — shrink either mode to a CI-sized fleet; the two
 //!   modes' `outcome` lines are then bit-identical, which CI asserts.
 
-use cluster_sim::source::{summarize, ArrivalSource};
+use cluster_sim::source::{summarize, ArrivalSource, TraceCursor};
 use cluster_sim::trace::VmRequest;
 use cluster_sim::tracegen::{ClusterConfig, TraceGenerator};
 use cluster_sim::ClusterTrace;
+use pond_bench::profile::{EventClassProfiler, PhaseProfiler};
 use pond_bench::{pct, print_header};
 use pond_core::fleet::{
-    fleet_pool_sweep, run_fleet_reference_with_policy, run_fleet_source, run_fleet_with_policy,
-    FleetConfig, FleetOutcome,
+    fleet_pool_sweep, run_fleet_reference_with_policy, run_fleet_source, run_fleet_source_observed,
+    run_fleet_with_policy, FleetConfig, FleetOutcome,
 };
 use pond_core::policy::PondPolicy;
 use std::time::{Duration, Instant};
+
+/// Schema version of the `BENCH_fleet.json` sections and run records. Bump
+/// when fields change shape; CI greps for it.
+const BENCH_SCHEMA: u32 = 2;
+
+/// Run records kept in the `"runs"` trajectory (oldest dropped first).
+const MAX_RUN_RECORDS: usize = 20;
 
 fn smoke() -> bool {
     std::env::var("POND_SMOKE").is_ok_and(|v| v == "1")
@@ -140,12 +148,53 @@ fn extract_section(json: &str, key: &str) -> Option<String> {
     Some(block)
 }
 
+/// Extracts the one-line run records of the `"runs"` trajectory from a
+/// previously written `BENCH_fleet.json` (empty for schema-1 files, which
+/// had no trajectory).
+fn extract_runs(json: &str) -> Vec<String> {
+    let lines: Vec<&str> = json.lines().collect();
+    let Some(start) = lines.iter().position(|l| *l == "  \"runs\": [") else {
+        return Vec::new();
+    };
+    lines[start + 1..]
+        .iter()
+        .take_while(|l| !l.starts_with("  ]"))
+        .map(|l| l.trim().trim_end_matches(',').to_string())
+        .collect()
+}
+
+/// One schema-versioned run record for the `"runs"` trajectory: enough to
+/// diff throughput, memory, and event mix across PRs. Emitted on one line
+/// so the line-oriented merge stays exact.
+fn run_record(mode: &str, servers: u64, requests: u64, eps: f64, outcome: &FleetOutcome) -> String {
+    let rss = peak_rss_bytes().map_or_else(|| "null".to_string(), |rss| rss.to_string());
+    format!(
+        "{{\"schema\": {BENCH_SCHEMA}, \"mode\": \"{mode}\", \"servers\": {servers}, \
+         \"requests\": {requests}, \"events\": {}, \"events_per_sec\": {eps:.0}, \
+         \"peak_rss_bytes\": {rss}, \"arrivals\": {}, \"departures\": {}, \"releases\": {}, \
+         \"reconfig_done\": {}, \"qos_passes\": {}}}",
+        replay_events(outcome),
+        outcome.scheduled_vms + outcome.rejected_vms,
+        outcome.scheduled_vms,
+        outcome.releases_completed,
+        outcome.reconfig_completions,
+        outcome.qos_passes,
+    )
+}
+
 /// Writes `BENCH_fleet.json` with this run's section, keeping the other
-/// mode's section from a previous run when present.
-fn write_bench_json(section: &str, body: String) {
+/// mode's section from a previous run when present, and appending this
+/// run's record to the `"runs"` trajectory so perf regressions stay
+/// diffable across PRs.
+fn write_bench_json(section: &str, body: String, record: String) {
     let other_key = if section == "stream" { "materialized" } else { "stream" };
     let existing = std::fs::read_to_string("BENCH_fleet.json").ok();
     let other = existing.as_deref().and_then(|json| extract_section(json, other_key));
+    let mut runs = existing.as_deref().map(extract_runs).unwrap_or_default();
+    runs.push(record);
+    if runs.len() > MAX_RUN_RECORDS {
+        runs.drain(..runs.len() - MAX_RUN_RECORDS);
+    }
     let own = format!("  \"{section}\": {{\n{body}\n  }}");
     // Deterministic section order: materialized first.
     let sections = match (&other, section) {
@@ -153,7 +202,11 @@ fn write_bench_json(section: &str, body: String) {
         (Some(other), _) => format!("{own},\n{other}"),
         (None, _) => own,
     };
-    let json = format!("{{\n{sections}\n}}\n");
+    let runs_block: Vec<String> = runs.iter().map(|r| format!("    {r}")).collect();
+    let json = format!(
+        "{{\n  \"schema_version\": {BENCH_SCHEMA},\n{sections},\n  \"runs\": [\n{}\n  ]\n}}\n",
+        runs_block.join(",\n"),
+    );
     std::fs::write("BENCH_fleet.json", json).expect("write BENCH_fleet.json");
     eprintln!("wrote BENCH_fleet.json");
 }
@@ -202,6 +255,7 @@ fn run_stream() {
     let fractions: &[f64] = if smoke() { &[0.10, 0.20, 0.30] } else { &[0.20] };
     let mut total_events = 0u64;
     let mut total_elapsed = Duration::ZERO;
+    let mut last_outcome = FleetOutcome::default();
     for &fraction in fractions {
         let mut config = FleetConfig::for_header(&header, fraction, 7);
         config.control.policy.training_fraction = training_fraction;
@@ -213,6 +267,7 @@ fn run_stream() {
         total_events += replay_events(&outcome);
         total_elapsed += elapsed;
         println!("{}", outcome_line(fraction, &outcome));
+        last_outcome = outcome;
     }
     let eps = total_events as f64 / total_elapsed.as_secs_f64();
     eprintln!("streamed {total_events} events in {total_elapsed:.2?} ({eps:.0} events/sec)");
@@ -240,17 +295,33 @@ fn run_stream() {
         None => eprintln!("peak RSS unavailable (no /proc/self/status)"),
     }
 
+    // Per-class event mix of the final pool point, derived from its outcome
+    // (the streamed mode is never observed — its point is the
+    // bounded-memory floor, and an observer's wall-clock overhead would
+    // muddy the events/sec line). Emitted on one line so the hand-formatted
+    // section scan stays exact.
+    let per_class = format!(
+        "{{\"arrival\": {}, \"departure\": {}, \"release\": {}, \"reconfig_done\": {}, \
+         \"snapshot\": {}}}",
+        last_outcome.scheduled_vms + last_outcome.rejected_vms,
+        last_outcome.scheduled_vms,
+        last_outcome.releases_completed,
+        last_outcome.reconfig_completions,
+        last_outcome.qos_passes,
+    );
     write_bench_json(
         "stream",
         format!(
-            "    \"servers\": {},\n    \"days\": {days},\n    \"requests\": {requests},\n    \
+            "    \"schema\": {BENCH_SCHEMA},\n    \
+             \"servers\": {},\n    \"days\": {days},\n    \"requests\": {requests},\n    \
              \"events\": {total_events},\n    \"secs\": {},\n    \
              \"events_per_sec\": {eps:.0},\n    \"peak_rss_bytes\": {},\n    \
-             \"materialized_floor_bytes\": {floor}",
+             \"materialized_floor_bytes\": {floor},\n    \"per_class\": {per_class}",
             header.servers,
             total_elapsed.as_secs_f64(),
             rss.map_or_else(|| "null".to_string(), |rss| rss.to_string()),
         ),
+        run_record("stream", u64::from(header.servers), requests, eps, &last_outcome),
     );
 }
 
@@ -270,9 +341,11 @@ fn main() {
     // Deterministic outcome table over the parallel sweep runner; CI diffs
     // this whole stdout between POND_SWEEP_THREADS=1 and the default, and
     // the bare `outcome` lines against the streamed mode's.
+    let mut phases = PhaseProfiler::new();
     let fractions = [0.10, 0.20, 0.30];
-    let points =
-        fleet_pool_sweep(&trace, &fractions, config.seed).expect("fleet replay must not fail");
+    let points = phases.time("sweep", || {
+        fleet_pool_sweep(&trace, &fractions, config.seed).expect("fleet replay must not fail")
+    });
     println!(
         "{:>7} {:>10} {:>10} {:>12} {:>10} {:>10}",
         "pool %", "scheduled", "rejected", "DRAM saved", "mit rate", "events"
@@ -297,6 +370,7 @@ fn main() {
     let train_start = Instant::now();
     let policy = PondPolicy::train(&trace, &config.control.policy, config.seed);
     let trained = train_start.elapsed();
+    phases.record("training", trained);
     let runs = if smoke() { 1 } else { 3 };
     let (indexed, outcome) = best_of(runs, || {
         let policy = policy.clone();
@@ -304,12 +378,14 @@ fn main() {
         let outcome = run_fleet_with_policy(&trace, &config, policy).unwrap();
         (start.elapsed(), outcome)
     });
+    phases.record("replay_indexed", indexed);
     let (reference, reference_outcome) = best_of(runs, || {
         let policy = policy.clone();
         let start = Instant::now();
         let outcome = run_fleet_reference_with_policy(&trace, &config, policy).unwrap();
         (start.elapsed(), outcome)
     });
+    phases.record("replay_reference", reference);
     assert_eq!(
         outcome, reference_outcome,
         "the indexed and reference replays must produce identical outcomes"
@@ -318,6 +394,31 @@ fn main() {
         "indexed replay == reference replay: bit-for-bit over {} events",
         replay_events(&outcome)
     );
+
+    // One observed replay: wall-clock attribution per event class, plus the
+    // bench-scale half of the observer-neutrality pin (the property test
+    // covers the multipool drills; this covers the big single-pool fleet).
+    let mut class_profiler = EventClassProfiler::new();
+    let observed_start = Instant::now();
+    let observed_outcome = run_fleet_source_observed(
+        TraceCursor::new(&trace),
+        &config,
+        policy.clone(),
+        &mut class_profiler,
+    )
+    .expect("fleet replay must not fail");
+    class_profiler.finish();
+    phases.record("replay_observed", observed_start.elapsed());
+    assert_eq!(
+        observed_outcome, outcome,
+        "an observed replay must be bit-identical to the unobserved replay"
+    );
+    assert_eq!(
+        class_profiler.count("arrival"),
+        outcome.scheduled_vms + outcome.rejected_vms,
+        "the observer must see one arrival event per request"
+    );
+    println!("observed replay == unobserved replay: bit-for-bit");
 
     let events = replay_events(&outcome);
     let indexed_eps = events as f64 / indexed.as_secs_f64();
@@ -332,14 +433,25 @@ fn main() {
     write_bench_json(
         "materialized",
         format!(
-            "    \"servers\": {},\n    \"requests\": {},\n    \"events\": {events},\n    \
+            "    \"schema\": {BENCH_SCHEMA},\n    \
+             \"servers\": {},\n    \"requests\": {},\n    \"events\": {events},\n    \
              \"indexed_secs\": {},\n    \"reference_secs\": {},\n    \
              \"indexed_events_per_sec\": {indexed_eps:.0},\n    \
-             \"reference_events_per_sec\": {reference_eps:.0},\n    \"speedup\": {speedup:.2}",
+             \"reference_events_per_sec\": {reference_eps:.0},\n    \"speedup\": {speedup:.2},\n    \
+             \"phase_secs\": {},\n    \"per_class\": {}",
             trace.servers,
             trace.requests.len(),
             indexed.as_secs_f64(),
             reference.as_secs_f64(),
+            phases.json_object(),
+            class_profiler.json_object(),
+        ),
+        run_record(
+            "materialized",
+            u64::from(trace.servers),
+            trace.requests.len() as u64,
+            indexed_eps,
+            &outcome,
         ),
     );
 }

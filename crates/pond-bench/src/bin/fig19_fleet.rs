@@ -47,13 +47,6 @@ fn main() {
         );
     }
     let best = points.last().expect("non-empty sweep");
-    println!(
-        "\nat {} pool: {} of {} baseline DRAM required ({} scheduled, {} rejected)",
-        pct(best.pool_fraction),
-        best.outcome.required_dram(),
-        best.outcome.baseline_dram(),
-        best.outcome.scheduled_vms,
-        best.outcome.rejected_vms,
-    );
+    println!("\nat {} pool:\n{}", pct(best.pool_fraction), best.outcome);
     println!("paper: the full pipeline sustains ~7-9% DRAM savings at 16-socket pools");
 }

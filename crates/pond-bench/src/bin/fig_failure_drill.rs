@@ -109,5 +109,6 @@ fn main() {
         oct.outcome.fleet.vms_killed,
         pct(oct.outcome.fleet.availability()),
     );
+    println!("\noctopus at {}/day:\n{}", oct.spec.rate_per_day, oct.outcome.fleet);
     println!("paper: pooling bounds the blast radius; pod overlap turns kills into migrations");
 }

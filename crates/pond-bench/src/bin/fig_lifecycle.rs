@@ -192,5 +192,8 @@ fn main() {
             pct(drilled.survival_rate()),
         );
     }
+    if let Some(full) = by_name("full") {
+        println!("\nfull phase:\n{full}");
+    }
     println!("paper: pooling only pays if pools can be serviced without downtime (section 4.2)");
 }

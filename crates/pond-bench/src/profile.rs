@@ -1,0 +1,154 @@
+//! Wall-clock profiling for the bench binaries: per-phase timings and
+//! per-event-class replay attribution.
+//!
+//! This is the *only* place the observability stack touches wall-clock
+//! time. Replay-side metrics (`pond-metrics`) are simulated-time-only and
+//! deterministic; the profilers here wrap them from the outside, so the
+//! timings land in `BENCH_fleet.json` without ever entering replay state.
+
+use cluster_sim::event::Event;
+use pond_metrics::{event_class, ReplayObserver};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+/// Records named phases (training, sweep, replay...) in call order.
+#[derive(Debug, Default)]
+pub struct PhaseProfiler {
+    phases: Vec<(String, Duration)>,
+}
+
+impl PhaseProfiler {
+    /// An empty profiler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Runs `f`, recording its wall-clock time under `name`.
+    pub fn time<T>(&mut self, name: &str, f: impl FnOnce() -> T) -> T {
+        let start = Instant::now();
+        let result = f();
+        self.record(name, start.elapsed());
+        result
+    }
+
+    /// Records an externally measured duration under `name`.
+    pub fn record(&mut self, name: &str, elapsed: Duration) {
+        self.phases.push((name.to_string(), elapsed));
+    }
+
+    /// The recorded `(name, duration)` pairs in call order.
+    pub fn phases(&self) -> &[(String, Duration)] {
+        &self.phases
+    }
+
+    /// One-line JSON object (`{"training": 1.23, ...}`), keys in call
+    /// order — emitted on a single line so the hand-formatted
+    /// `BENCH_fleet.json` section scan stays exact.
+    pub fn json_object(&self) -> String {
+        let mut out = String::from("{");
+        for (i, (name, elapsed)) in self.phases.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(out, "\"{name}\": {:.3}", elapsed.as_secs_f64());
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// A [`ReplayObserver`] that attributes replay wall-clock to event classes:
+/// the window between two consecutive queue pops is charged to the class of
+/// the *first* pop (the event whose handling filled that window).
+#[derive(Debug, Default)]
+pub struct EventClassProfiler {
+    last: Option<(&'static str, Instant)>,
+    classes: BTreeMap<&'static str, (u64, Duration)>,
+}
+
+impl EventClassProfiler {
+    /// A fresh profiler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Closes the final event's attribution window. Call once, after the
+    /// observed replay returns.
+    pub fn finish(&mut self) {
+        if let Some((class, start)) = self.last.take() {
+            self.classes.entry(class).or_default().1 += start.elapsed();
+        }
+    }
+
+    /// Count of events seen for `class` (zero when none).
+    pub fn count(&self, class: &str) -> u64 {
+        self.classes.get(class).map_or(0, |&(count, _)| count)
+    }
+
+    /// Per-class `(count, wall-clock)` in class-name order.
+    pub fn classes(&self) -> impl Iterator<Item = (&'static str, u64, Duration)> + '_ {
+        self.classes.iter().map(|(&class, &(count, elapsed))| (class, count, elapsed))
+    }
+
+    /// One-line JSON object
+    /// (`{"arrival": {"count": 9, "secs": 1.2}, ...}`), classes in name
+    /// order.
+    pub fn json_object(&self) -> String {
+        let mut out = String::from("{");
+        for (i, (class, count, elapsed)) in self.classes().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(
+                out,
+                "\"{class}\": {{\"count\": {count}, \"secs\": {:.3}}}",
+                elapsed.as_secs_f64()
+            );
+        }
+        out.push('}');
+        out
+    }
+}
+
+impl ReplayObserver for EventClassProfiler {
+    fn on_event(&mut self, event: &Event) {
+        let now = Instant::now();
+        if let Some((class, start)) = self.last.take() {
+            self.classes.entry(class).or_default().1 += now - start;
+        }
+        let class = event_class(event);
+        self.classes.entry(class).or_default().0 += 1;
+        self.last = Some((class, now));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phase_profiler_renders_one_line_json() {
+        let mut profiler = PhaseProfiler::new();
+        profiler.record("training", Duration::from_millis(1500));
+        profiler.record("replay", Duration::from_millis(250));
+        let json = profiler.json_object();
+        assert_eq!(json, "{\"training\": 1.500, \"replay\": 0.250}");
+        assert!(!json.contains('\n'));
+    }
+
+    #[test]
+    fn event_class_profiler_counts_and_attributes() {
+        let mut profiler = EventClassProfiler::new();
+        profiler.on_event(&Event::Arrival { time: 0, request_index: 0 });
+        profiler.on_event(&Event::Arrival { time: 1, request_index: 1 });
+        profiler.on_event(&Event::Departure { time: 5, token: 0 });
+        profiler.finish();
+        assert_eq!(profiler.count("arrival"), 2);
+        assert_eq!(profiler.count("departure"), 1);
+        assert_eq!(profiler.count("snapshot"), 0);
+        let json = profiler.json_object();
+        assert!(json.contains("\"arrival\": {\"count\": 2"));
+        assert!(!json.contains('\n'));
+    }
+}

@@ -29,6 +29,10 @@ use cluster_sim::sweep;
 use cluster_sim::trace::ClusterTrace;
 use cxl_hw::units::Bytes;
 use hypervisor_sim::vm::VmId;
+use pond_metrics::{
+    DecisionTrace, FallbackReason, GroupSample, LadderRung, NullObserver, QosPassTrace,
+    ReplayObserver,
+};
 use serde::{Deserialize, Serialize};
 use std::time::Duration;
 use workload_model::spill::SpillModel;
@@ -342,6 +346,75 @@ impl FleetOutcome {
     }
 }
 
+/// The stable human-readable block every fig bin prints for a headline
+/// outcome: one aligned two-column summary, availability and survival as
+/// percentages, DRAM in `Bytes` units. Scripts that scrape it can rely on
+/// the `label value` shape of each column; new rows may be appended but
+/// existing ones keep their labels.
+impl std::fmt::Display for FleetOutcome {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let pct = |fraction: f64| format!("{:.2}%", fraction * 100.0);
+        let rows: [(&str, String, &str, String); 9] = [
+            (
+                "scheduled",
+                self.scheduled_vms.to_string(),
+                "rejected",
+                self.rejected_vms.to_string(),
+            ),
+            ("availability", pct(self.availability()), "survival", pct(self.survival_rate())),
+            (
+                "dram savings",
+                pct(self.dram_savings_fraction()),
+                "pool share",
+                pct(self.pool_dram_fraction()),
+            ),
+            (
+                "required dram",
+                self.required_dram().to_string(),
+                "baseline dram",
+                self.baseline_dram().to_string(),
+            ),
+            (
+                "fallbacks",
+                self.fallback_all_local.to_string(),
+                "violations",
+                self.violations.to_string(),
+            ),
+            (
+                "mitigations",
+                self.mitigations.to_string(),
+                "mitigation copy",
+                format!("{}s", self.mitigation_copy_time.as_secs()),
+            ),
+            (
+                "emc failures",
+                self.emc_failures.to_string(),
+                "emcs repaired",
+                self.emcs_repaired.to_string(),
+            ),
+            (
+                "migrated/killed",
+                format!("{}/{}", self.vms_migrated, self.vms_killed),
+                "drained/rebalanced",
+                format!("{}/{}", self.vms_drained, self.vms_rebalanced),
+            ),
+            (
+                "decommissions",
+                self.groups_decommissioned.to_string(),
+                "expansions",
+                self.groups_expanded.to_string(),
+            ),
+        ];
+        for (i, (left, lv, right, rv)) in rows.iter().enumerate() {
+            if i > 0 {
+                writeln!(f)?;
+            }
+            write!(f, "  {left:<16} {lv:>12}    {right:<18} {rv:>12}")?;
+        }
+        Ok(())
+    }
+}
+
 /// Event times are whole seconds; releases and reconfiguration copies
 /// complete at millisecond granularity, so their events land on the next
 /// whole second. Shared with [`crate::multipool`], which must round
@@ -545,6 +618,29 @@ pub fn run_fleet_source<S: ArrivalSource>(
     config: &FleetConfig,
     policy: PondPolicy,
 ) -> Result<FleetOutcome, PondError> {
+    run_fleet_source_observed(source, config, policy, &mut NullObserver)
+}
+
+/// [`run_fleet_source`] with a [`ReplayObserver`] wired into the loop: the
+/// observer sees every popped event, every placement decision, every QoS
+/// pass, and a single-group [`GroupSample`] at each snapshot tick.
+///
+/// Observers are read-only, so the observed outcome is bit-identical to
+/// [`run_fleet_source`] on the same `(source, config, policy)`. With
+/// [`NullObserver`] (whose [`ReplayObserver::ENABLED`] is `false`) every
+/// hook and payload construction compiles out, so [`run_fleet_source`]
+/// monomorphizes to the pre-observability loop — which is what keeps the
+/// `bench_fleet` throughput floor honest.
+///
+/// # Errors
+///
+/// Same as [`run_fleet_source`].
+pub fn run_fleet_source_observed<S: ArrivalSource, O: ReplayObserver>(
+    source: S,
+    config: &FleetConfig,
+    policy: PondPolicy,
+    observer: &mut O,
+) -> Result<FleetOutcome, PondError> {
     let mut plane = PondControlPlane::with_policy(config.control.clone(), policy)?;
     let accounting = ReplayAccounting::new(&config.control);
 
@@ -560,13 +656,34 @@ pub fn run_fleet_source<S: ArrivalSource>(
 
     let mut events = EventQueue::new(source, config.qos_interval);
     while let Some(event) = events.next_event() {
+        if O::ENABLED {
+            observer.on_event(&event);
+        }
         let now = Duration::from_secs(event.time());
+        let mut snapshot_time = None;
         match event {
             Event::Arrival { request_index, .. } => {
                 let request = events.take_arrival();
                 match plane.handle_request(&request, now) {
                     Ok(summary) => {
                         accounting.record_placement(&mut outcome, &request, &summary);
+                        if O::ENABLED {
+                            let (rung, reason) = if summary.fallback_all_local {
+                                (LadderRung::AllLocalHome, FallbackReason::PoolRungsExhausted)
+                            } else {
+                                (LadderRung::PooledHome, FallbackReason::None)
+                            };
+                            observer.on_decision(&DecisionTrace {
+                                time: request.arrival,
+                                vm: Some(summary.vm.0),
+                                home_group: 0,
+                                group: Some(0),
+                                rung,
+                                reason,
+                                memory: request.memory,
+                                lifetime: request.lifetime,
+                            });
+                        }
                         if !summary.pool.is_zero() && !pooled_host[summary.host] {
                             pooled_host[summary.host] = true;
                             pooled_host_count += 1;
@@ -578,6 +695,18 @@ pub fn run_fleet_source<S: ArrivalSource>(
                     Err(PondError::NoFeasibleHost { .. })
                     | Err(PondError::PoolExhausted { .. }) => {
                         outcome.rejected_vms += 1;
+                        if O::ENABLED {
+                            observer.on_decision(&DecisionTrace {
+                                time: request.arrival,
+                                vm: None,
+                                home_group: 0,
+                                group: None,
+                                rung: LadderRung::Rejected,
+                                reason: FallbackReason::NoRungHeld,
+                                memory: request.memory,
+                                lifetime: request.lifetime,
+                            });
+                        }
                     }
                     Err(other) => return Err(other),
                 }
@@ -611,6 +740,15 @@ pub fn run_fleet_source<S: ArrivalSource>(
             }
             Event::Snapshot { time } => {
                 let pass = plane.run_qos_pass(now)?;
+                if O::ENABLED {
+                    observer.on_qos_pass(&QosPassTrace {
+                        time,
+                        group: 0,
+                        reconfigured: pass.reconfigured,
+                        copy_time: pass.copy_time,
+                    });
+                    snapshot_time = Some(time);
+                }
                 accounting.record_qos_pass(
                     &mut outcome,
                     pass,
@@ -636,6 +774,27 @@ pub fn run_fleet_source<S: ArrivalSource>(
             &mut peak_host_pool,
             &mut peak_total,
         );
+
+        if O::ENABLED {
+            if let Some(time) = snapshot_time {
+                let sample = GroupSample {
+                    group: 0,
+                    state: cxl_hw::pool::GroupState::Online,
+                    pool_free: plane.pool().available(),
+                    pool_offlining: plane.pool().pending_release(),
+                    pool_pinned: plane.pinned_pool(),
+                    pool_live: plane.pool().pool().live_capacity(),
+                    running_vms: plane.running_vms() as u64,
+                    scheduled_vms: outcome.scheduled_vms,
+                    rejected_vms: outcome.rejected_vms,
+                    vms_killed: outcome.vms_killed,
+                    sum_total_peaks: peak_total.iter().copied().sum(),
+                    sum_host_pool_peaks: peak_host_pool.iter().copied().sum(),
+                    pool_peak: outcome.pool_peak,
+                };
+                observer.on_snapshot(time, std::slice::from_ref(&sample));
+            }
+        }
 
         // Conservation of pool accounting, checked at every event in debug
         // builds: free + offlining + pinned must equal the pool's capacity.
@@ -1010,5 +1169,49 @@ mod tests {
     #[should_panic(expected = "pool fraction")]
     fn invalid_pool_fraction_rejected() {
         let _ = FleetConfig::for_trace(&small_trace(), 1.5, 0);
+    }
+
+    #[test]
+    fn outcome_display_is_a_stable_aligned_block() {
+        let outcome = FleetOutcome {
+            scheduled_vms: 1000,
+            rejected_vms: 10,
+            vms_migrated: 30,
+            vms_killed: 10,
+            sum_total_peaks: Bytes::from_gib(1000),
+            sum_host_pool_peaks: Bytes::from_gib(300),
+            pool_peak: Bytes::from_gib(100),
+            ..FleetOutcome::default()
+        };
+        let block = outcome.to_string();
+        let lines: Vec<&str> = block.lines().collect();
+        assert_eq!(lines.len(), 9, "{block}");
+        assert!(lines[0].contains("scheduled") && lines[0].contains("1000"), "{block}");
+        assert!(lines[1].contains("availability") && lines[1].contains("99.00%"), "{block}");
+        assert!(lines[1].contains("survival") && lines[1].contains("75.00%"), "{block}");
+        assert!(lines[2].contains("dram savings") && lines[2].contains("20.00%"), "{block}");
+        assert!(lines[3].contains("800 GiB") && lines[3].contains("1000 GiB"), "{block}");
+        assert!(!block.ends_with('\n'), "no trailing newline: callers println! the block");
+        // Every row shares the same aligned shape.
+        let widths: Vec<usize> = lines.iter().map(|l| l.len()).collect();
+        assert!(widths.iter().all(|&w| w == widths[0]), "{block}");
+    }
+
+    #[test]
+    fn an_observed_replay_is_bit_identical_and_samples_every_snapshot() {
+        let trace = small_trace();
+        let config = FleetConfig::for_trace(&trace, 0.20, 7);
+        let policy = PondPolicy::train(&trace, &config.control.policy, config.seed);
+        let unobserved =
+            run_fleet_source(TraceCursor::new(&trace), &config, policy.clone()).unwrap();
+        let mut recorder = pond_metrics::TimeSeriesRecorder::new();
+        let observed =
+            run_fleet_source_observed(TraceCursor::new(&trace), &config, policy, &mut recorder)
+                .unwrap();
+        assert_eq!(observed, unobserved);
+        assert_eq!(recorder.points().len() as u64, unobserved.qos_passes);
+        let last = recorder.points().last().unwrap();
+        assert_eq!(last.groups.len(), 1);
+        assert!(last.fleet_availability > 0.0);
     }
 }

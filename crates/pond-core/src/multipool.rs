@@ -73,6 +73,10 @@ use cxl_hw::topology::{PodStyle, PoolGroupTopology};
 use cxl_hw::units::{Bytes, EmcId};
 use hypervisor_sim::reconfig::ReconfigurationEngine;
 use hypervisor_sim::vm::VmId;
+use pond_metrics::{
+    DecisionTrace, FallbackReason, GroupSample, LadderRung, LifecycleOpKind, LifecycleTrace,
+    NullObserver, QosPassTrace, ReplayObserver,
+};
 use rand::{Rng, SeedableRng};
 use rand_pcg::Pcg64;
 use serde::{Deserialize, Serialize};
@@ -687,6 +691,30 @@ pub fn run_multipool_source<S: ArrivalSource>(
     config: &MultiPoolConfig,
     policy: PondPolicy,
 ) -> Result<MultiPoolOutcome, PondError> {
+    run_multipool_source_observed(source, config, policy, &mut NullObserver)
+}
+
+/// [`run_multipool_source`] with a [`ReplayObserver`] wired into the loop:
+/// the observer sees every popped event, every placement-ladder decision
+/// (rung and fallback reason, home group and landing group), every
+/// per-group QoS pass, every lifecycle operation (failures, repairs,
+/// decommission drains, expansions, evacuations, rebalances), and one
+/// [`GroupSample`] per group at each snapshot tick.
+///
+/// Observers are read-only, so the observed outcome is bit-identical to
+/// [`run_multipool_source`] on the same `(source, config, policy)` — the
+/// integration suite proptest-pins this with lifecycle and failure drills
+/// enabled. With [`NullObserver`] every hook compiles out.
+///
+/// # Errors
+///
+/// Same as [`run_multipool_source`].
+pub fn run_multipool_source_observed<S: ArrivalSource, O: ReplayObserver>(
+    source: S,
+    config: &MultiPoolConfig,
+    policy: PondPolicy,
+    observer: &mut O,
+) -> Result<MultiPoolOutcome, PondError> {
     let topology = config.group_topology()?;
     let groups = topology.group_count();
     let mut planes = Vec::with_capacity(groups);
@@ -792,7 +820,11 @@ pub fn run_multipool_source<S: ArrivalSource>(
         events.schedule_group_expansion(time, expansion_index);
     }
     while let Some(event) = events.next_event() {
+        if O::ENABLED {
+            observer.on_event(&event);
+        }
         let now = Duration::from_secs(event.time());
+        let mut snapshot_time = None;
         match event {
             Event::Arrival { request_index, .. } => {
                 let request = events.take_arrival();
@@ -806,6 +838,18 @@ pub fn run_multipool_source<S: ArrivalSource>(
                     // Every group is draining or gone: nothing can take the
                     // VM. Attributed to group 0 for want of a home.
                     per_group[0].rejected_vms += 1;
+                    if O::ENABLED {
+                        observer.on_decision(&DecisionTrace {
+                            time: request.arrival,
+                            vm: None,
+                            home_group: 0,
+                            group: None,
+                            rung: LadderRung::Rejected,
+                            reason: FallbackReason::NoOnlineGroup,
+                            memory: request.memory,
+                            lifetime: request.lifetime,
+                        });
+                    }
                     continue;
                 }
                 let views: Vec<GroupView> =
@@ -834,10 +878,46 @@ pub fn run_multipool_source<S: ArrivalSource>(
 
                 let Some((group, summary)) = placed else {
                     per_group[home].rejected_vms += 1;
+                    if O::ENABLED {
+                        observer.on_decision(&DecisionTrace {
+                            time: request.arrival,
+                            vm: None,
+                            home_group: home,
+                            group: None,
+                            rung: LadderRung::Rejected,
+                            reason: FallbackReason::NoRungHeld,
+                            memory: request.memory,
+                            lifetime: request.lifetime,
+                        });
+                    }
                     continue;
                 };
                 cross_group_placements += u64::from(group != home);
                 accounting.record_placement(&mut per_group[group], &request, &summary);
+                if O::ENABLED {
+                    let (rung, reason) = match (group == home, summary.fallback_all_local) {
+                        (true, false) => (LadderRung::PooledHome, FallbackReason::None),
+                        (false, false) => {
+                            (LadderRung::PooledNeighbor, FallbackReason::HomePoolFull)
+                        }
+                        (true, true) => {
+                            (LadderRung::AllLocalHome, FallbackReason::PoolRungsExhausted)
+                        }
+                        (false, true) => {
+                            (LadderRung::AllLocalNeighbor, FallbackReason::PoolRungsExhausted)
+                        }
+                    };
+                    observer.on_decision(&DecisionTrace {
+                        time: request.arrival,
+                        vm: Some(summary.vm.0),
+                        home_group: home,
+                        group: Some(group),
+                        rung,
+                        reason,
+                        memory: request.memory,
+                        lifetime: request.lifetime,
+                    });
+                }
                 if !summary.pool.is_zero() && !pooled_host[group][summary.host] {
                     pooled_host[group][summary.host] = true;
                     pooled_count[group] += 1;
@@ -868,11 +948,19 @@ pub fn run_multipool_source<S: ArrivalSource>(
                 per_group[group].releases_completed += 1;
                 // A draining group's last pending release may have just
                 // landed — only now may the pod be struck off.
+                let was_draining = group_state[group] == GroupState::Draining;
                 finish_decommission_if_drained(
                     &planes[group],
                     &mut group_state[group],
                     &mut per_group[group],
                 );
+                if O::ENABLED && was_draining && group_state[group] == GroupState::Decommissioned {
+                    observer.on_lifecycle_op(&LifecycleTrace {
+                        time,
+                        group,
+                        kind: LifecycleOpKind::DecommissionComplete,
+                    });
+                }
             }
             Event::ReconfigDone { time } => {
                 let group = reconfig_attribution.pop(time);
@@ -885,6 +973,15 @@ pub fn run_multipool_source<S: ArrivalSource>(
                 let source = failure.group;
                 let outcome = planes[source].handle_emc_failure(failure.emc, now)?;
                 per_group[source].emc_failures += 1;
+                if O::ENABLED {
+                    observer.on_lifecycle_op(&LifecycleTrace {
+                        time,
+                        group: source,
+                        kind: LifecycleOpKind::EmcFailure {
+                            affected: outcome.affected.len() as u64,
+                        },
+                    });
+                }
 
                 // The evacuation planner: every VM in the blast radius is
                 // re-homed through the same fallback ladder arrivals use —
@@ -950,6 +1047,13 @@ pub fn run_multipool_source<S: ArrivalSource>(
                                 pooled_count[dest] += 1;
                             }
                             arena.set_group(token, dest as u32);
+                            if O::ENABLED {
+                                observer.on_lifecycle_op(&LifecycleTrace {
+                                    time,
+                                    group: source,
+                                    kind: LifecycleOpKind::VmEvacuated { dest: Some(dest), copy },
+                                });
+                            }
                         }
                         None => {
                             // No reachable pod can hold the VM: it dies
@@ -958,6 +1062,16 @@ pub fn run_multipool_source<S: ArrivalSource>(
                             // departure event pops as a no-op and frees it.
                             per_group[source].vms_killed += 1;
                             arena.set_group(token, NO_GROUP);
+                            if O::ENABLED {
+                                observer.on_lifecycle_op(&LifecycleTrace {
+                                    time,
+                                    group: source,
+                                    kind: LifecycleOpKind::VmEvacuated {
+                                        dest: None,
+                                        copy: Duration::ZERO,
+                                    },
+                                });
+                            }
                         }
                     }
                 }
@@ -976,6 +1090,13 @@ pub fn run_multipool_source<S: ArrivalSource>(
                 let restored = planes[repair.group].repair_emc(repair.emc)?;
                 if !restored.is_zero() {
                     per_group[repair.group].emcs_repaired += 1;
+                }
+                if O::ENABLED {
+                    observer.on_lifecycle_op(&LifecycleTrace {
+                        time: now.as_secs(),
+                        group: repair.group,
+                        kind: LifecycleOpKind::EmcRepair { restored },
+                    });
                 }
             }
             Event::GroupDecommission { group, time } => {
@@ -1001,7 +1122,17 @@ pub fn run_multipool_source<S: ArrivalSource>(
                     // Every running VM is drained through the ladder — the
                     // same evacuation path failures use, but counted as
                     // `vms_drained`, not `vms_migrated`: nothing died here.
-                    for (vm, pool_before) in planes[group].running_vm_footprints() {
+                    let footprints = planes[group].running_vm_footprints();
+                    if O::ENABLED {
+                        observer.on_lifecycle_op(&LifecycleTrace {
+                            time,
+                            group,
+                            kind: LifecycleOpKind::DecommissionStarted {
+                                running: footprints.len() as u64,
+                            },
+                        });
+                    }
+                    for (vm, pool_before) in footprints {
                         let token = arena
                             .slot_of(vm.0)
                             .expect("a running VM's id resolves to a live arena slot");
@@ -1042,6 +1173,13 @@ pub fn run_multipool_source<S: ArrivalSource>(
                                     pooled_count[dest] += 1;
                                 }
                                 arena.set_group(token, dest as u32);
+                                if O::ENABLED {
+                                    observer.on_lifecycle_op(&LifecycleTrace {
+                                        time,
+                                        group,
+                                        kind: LifecycleOpKind::VmDrained { dest: Some(dest), copy },
+                                    });
+                                }
                             }
                             None => {
                                 // No online group anywhere holds the VM: a
@@ -1049,6 +1187,16 @@ pub fn run_multipool_source<S: ArrivalSource>(
                                 // the absolute last resort.
                                 per_group[group].vms_killed += 1;
                                 arena.set_group(token, NO_GROUP);
+                                if O::ENABLED {
+                                    observer.on_lifecycle_op(&LifecycleTrace {
+                                        time,
+                                        group,
+                                        kind: LifecycleOpKind::VmDrained {
+                                            dest: None,
+                                            copy: Duration::ZERO,
+                                        },
+                                    });
+                                }
                             }
                         }
                     }
@@ -1059,12 +1207,26 @@ pub fn run_multipool_source<S: ArrivalSource>(
                         &mut group_state[group],
                         &mut per_group[group],
                     );
+                    if O::ENABLED && group_state[group] == GroupState::Decommissioned {
+                        observer.on_lifecycle_op(&LifecycleTrace {
+                            time,
+                            group,
+                            kind: LifecycleOpKind::DecommissionComplete,
+                        });
+                    }
                 }
             }
             Event::GroupExpansion { expansion_index, .. } => {
                 let expansion = &expansion_plan[expansion_index];
                 planes[expansion.group].expand_pool(expansion.capacity);
                 per_group[expansion.group].groups_expanded += 1;
+                if O::ENABLED {
+                    observer.on_lifecycle_op(&LifecycleTrace {
+                        time: now.as_secs(),
+                        group: expansion.group,
+                        kind: LifecycleOpKind::Expansion { capacity: expansion.capacity },
+                    });
+                }
                 // Growing a decommissioned pod is the replacement case: the
                 // new hardware brings the group back online. A draining pod
                 // stays draining — new capacity does not cancel a planned
@@ -1075,8 +1237,17 @@ pub fn run_multipool_source<S: ArrivalSource>(
             }
             Event::Snapshot { time } => {
                 snapshot_ticks += 1;
+                snapshot_time = Some(time);
                 for (group, plane) in planes.iter_mut().enumerate() {
                     let pass = plane.run_qos_pass(now)?;
+                    if O::ENABLED {
+                        observer.on_qos_pass(&QosPassTrace {
+                            time,
+                            group,
+                            reconfigured: pass.reconfigured,
+                            copy_time: pass.copy_time,
+                        });
+                    }
                     accounting.record_qos_pass(
                         &mut per_group[group],
                         pass,
@@ -1173,6 +1344,13 @@ pub fn run_multipool_source<S: ArrivalSource>(
                                 pooled_count[landed] += 1;
                             }
                             arena.set_group(token, landed as u32);
+                            if O::ENABLED {
+                                observer.on_lifecycle_op(&LifecycleTrace {
+                                    time,
+                                    group: g,
+                                    kind: LifecycleOpKind::VmRebalanced { dest: landed, copy },
+                                });
+                            }
                         }
                     }
                 }
@@ -1194,6 +1372,29 @@ pub fn run_multipool_source<S: ArrivalSource>(
                 &mut peak_host_pool[group],
                 &mut peak_total[group],
             );
+        }
+
+        if O::ENABLED {
+            if let Some(time) = snapshot_time {
+                let samples: Vec<GroupSample> = (0..groups)
+                    .map(|g| GroupSample {
+                        group: g,
+                        state: group_state[g],
+                        pool_free: planes[g].pool().available(),
+                        pool_offlining: planes[g].pool().pending_release(),
+                        pool_pinned: planes[g].pinned_pool(),
+                        pool_live: planes[g].pool().pool().live_capacity(),
+                        running_vms: planes[g].running_vms() as u64,
+                        scheduled_vms: per_group[g].scheduled_vms,
+                        rejected_vms: per_group[g].rejected_vms,
+                        vms_killed: per_group[g].vms_killed,
+                        sum_total_peaks: peak_total[g].iter().copied().sum(),
+                        sum_host_pool_peaks: peak_host_pool[g].iter().copied().sum(),
+                        pool_peak: per_group[g].pool_peak,
+                    })
+                    .collect();
+                observer.on_snapshot(time, &samples);
+            }
         }
 
         // Per-group + fleet-wide conservation, checked at every event in

@@ -25,6 +25,29 @@ pub struct PoolSlice {
     pub slice: SliceId,
 }
 
+/// Per-slice lender attribution for a cross-pod borrow: when a VM's host and
+/// its pool slices live in different pods, the slices stay owned by the
+/// *lender* pod's pool and the lease names who lent them, which
+/// port-consuming host identity the borrow occupies on the lender's EMCs
+/// (a real CXL port — see `PoolGroupTopology::borrow_port_host`), and the
+/// slices themselves.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SliceLease {
+    /// The pool group that lent the slices.
+    pub lender: usize,
+    /// The port-consuming host identity on the lender's pool.
+    pub port_host: HostId,
+    /// The borrowed slices, attributed to `port_host` on the lender.
+    pub slices: Vec<PoolSlice>,
+}
+
+impl SliceLease {
+    /// Capacity of the lease (1 GiB per slice).
+    pub fn capacity(&self) -> Bytes {
+        Bytes::from_gib(self.slices.len() as u64)
+    }
+}
+
 /// Control-plane events emitted by the pool, mirroring the interrupt flows in
 /// §4.2 ("Add_capacity(host, slice)" / "Release_capacity(host, slice)").
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]

@@ -8,7 +8,8 @@
 
 use crate::emc::EmcConfig;
 use crate::error::CxlError;
-use crate::units::Bytes;
+use crate::latency::{Latency, LatencyModel};
+use crate::units::{Bytes, HostId};
 use serde::{Deserialize, Serialize};
 
 /// The interconnect path between a CPU socket and the EMC that owns a line.
@@ -228,6 +229,21 @@ pub enum PodStyle {
     /// next pod's pool, so neighbouring pods can absorb each other's bursts
     /// without a full crossbar of CXL links.
     Octopus,
+    /// k-regular ring: each pod's hosts reach their own pool and the next
+    /// `k` pods' pools in ring order. `k = 1` is exactly [`PodStyle::Octopus`];
+    /// `k = groups − 1` is a full crossbar.
+    KRegular {
+        /// Ring neighbours each pod reaches beyond its own pool.
+        k: u16,
+    },
+    /// Two-level pod-of-pods: pods are grouped into contiguous clusters of
+    /// `cluster` pods, and within a cluster every pod reaches every pool
+    /// (ring order starting from itself). Clusters are isolated from each
+    /// other — the blast-radius boundary moves up one level.
+    PodOfPods {
+        /// Pods per cluster (the last cluster may be smaller).
+        cluster: u16,
+    },
 }
 
 impl PodStyle {
@@ -236,6 +252,8 @@ impl PodStyle {
         match self {
             PodStyle::Symmetric => "symmetric",
             PodStyle::Octopus => "octopus",
+            PodStyle::KRegular { .. } => "k-regular",
+            PodStyle::PodOfPods { .. } => "pod-of-pods",
         }
     }
 }
@@ -299,6 +317,11 @@ impl PoolGroupTopology {
                 detail: "a fleet needs at least one pool group".to_string(),
             });
         }
+        if let PodStyle::PodOfPods { cluster: 0 } = style {
+            return Err(CxlError::InvalidGroupTopology {
+                detail: "pod-of-pods clusters need at least one pod".to_string(),
+            });
+        }
         if hosts < groups {
             return Err(CxlError::InvalidGroupTopology {
                 detail: format!("{groups} groups need at least {groups} hosts, got {hosts}"),
@@ -331,9 +354,55 @@ impl PoolGroupTopology {
                 // A single pod's "next pod" is itself; skip the duplicate.
                 PodStyle::Octopus if groups == 1 => vec![g],
                 PodStyle::Octopus => vec![g, (g + 1) % groups],
+                // Ring order, clamped so a pod never reaches itself twice.
+                PodStyle::KRegular { k } => {
+                    let degree = (k as usize).min(groups - 1);
+                    (0..=degree).map(|step| (g + step) % groups).collect()
+                }
+                // Full reach within the pod's contiguous cluster, ring order
+                // from itself (the last cluster may be smaller).
+                PodStyle::PodOfPods { cluster } => {
+                    let cluster = cluster as usize;
+                    let start = (g / cluster) * cluster;
+                    let size = cluster.min(groups - start);
+                    (0..size).map(|step| start + (g - start + step) % size).collect()
+                }
             })
             .collect();
         Ok(PoolGroupTopology { style, pools, hosts_per_group, reach })
+    }
+
+    /// [`PoolGroupTopology::new`] with a [`PodStyle::KRegular`] ring of
+    /// overlap degree `k`.
+    ///
+    /// # Errors
+    ///
+    /// Same shape validation as [`PoolGroupTopology::new`].
+    pub fn k_regular(
+        k: u16,
+        groups: u16,
+        hosts: u16,
+        pool_sockets: u16,
+        total_capacity: Bytes,
+    ) -> Result<Self, CxlError> {
+        Self::new(PodStyle::KRegular { k }, groups, hosts, pool_sockets, total_capacity)
+    }
+
+    /// [`PoolGroupTopology::new`] with a two-level [`PodStyle::PodOfPods`]
+    /// layout of `cluster` pods per cluster.
+    ///
+    /// # Errors
+    ///
+    /// Same shape validation as [`PoolGroupTopology::new`], plus
+    /// [`CxlError::InvalidGroupTopology`] when `cluster` is zero.
+    pub fn pod_of_pods(
+        cluster: u16,
+        groups: u16,
+        hosts: u16,
+        pool_sockets: u16,
+        total_capacity: Bytes,
+    ) -> Result<Self, CxlError> {
+        Self::new(PodStyle::PodOfPods { cluster }, groups, hosts, pool_sockets, total_capacity)
     }
 
     /// The pod style.
@@ -403,6 +472,54 @@ impl PoolGroupTopology {
     /// Total pool capacity across all pods.
     pub fn total_capacity(&self) -> Bytes {
         self.pools.iter().map(PoolTopology::total_capacity).sum()
+    }
+
+    /// Maximum number of *neighbour* pools any pod reaches beyond its own —
+    /// 0 for symmetric pods, 1 for Octopus, `k` for a k-regular ring.
+    pub fn overlap_degree(&self) -> usize {
+        self.reach.iter().map(|r| r.len() - 1).max().unwrap_or(0)
+    }
+
+    /// CXL link hops a borrow from pod `borrower` against pod `lender`'s
+    /// pool traverses: 0 for the home pool, the position in the (ring-
+    /// ordered) reach set otherwise, `None` when the lender is unreachable.
+    pub fn borrow_hops(&self, borrower: usize, lender: usize) -> Option<u32> {
+        self.reach[borrower].iter().position(|&g| g == lender).map(|p| p as u32)
+    }
+
+    /// Added access latency of borrowed slices over home-pool slices: each
+    /// ring hop crosses one extra switch stage (two CXL port traversals,
+    /// arbitration, a NoC hop) on a retimed electrical segment, composed
+    /// from the paper's Figure 7 per-component numbers. `Latency::ZERO` for
+    /// the home pool, `None` when the lender is unreachable.
+    pub fn borrow_added_latency(&self, borrower: usize, lender: usize) -> Option<Latency> {
+        let hops = self.borrow_hops(borrower, lender)?;
+        let model = LatencyModel::default();
+        let per_hop = model.cxl_port * 2.0
+            + model.switch_arbitration
+            + model.switch_noc
+            + model.retimer
+            + model.flight_time * 2.0;
+        Some(per_hop * hops as f64)
+    }
+
+    /// The port-consuming host identity a borrow from pod `borrower`'s host
+    /// `host` (pod-local index) occupies on the lender's pool: a true
+    /// cross-pod attachment holds a real CXL port on the lender EMC, so the
+    /// identity must be unique fleet-wide and can never collide with the
+    /// lender's own pod-local host indices. Offsetting the borrower's
+    /// fleet-wide host index by the fleet host count guarantees both.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the offset identity overflows `u16` (a fleet of more
+    /// than ~32k hosts cannot express borrowed ports; the control plane
+    /// clamps host counts to `u16::MAX` already).
+    pub fn borrow_port_host(&self, borrower: usize, host: u16) -> HostId {
+        let start: u32 = self.hosts_per_group[..borrower].iter().map(|&h| u32::from(h)).sum();
+        let id = u32::from(self.host_count()) + start + u32::from(host);
+        assert!(id <= u32::from(u16::MAX), "borrowed-port host id {id} overflows u16");
+        HostId(id as u16)
     }
 }
 
@@ -517,6 +634,79 @@ mod tests {
         let topo =
             PoolGroupTopology::new(PodStyle::Octopus, 1, 4, 16, Bytes::from_gib(64)).unwrap();
         assert_eq!(topo.reachable(0), &[0]);
+    }
+
+    #[test]
+    fn k_regular_reach_is_a_ring_of_degree_k() {
+        let topo = PoolGroupTopology::k_regular(2, 4, 8, 16, Bytes::from_gib(64)).unwrap();
+        assert_eq!(topo.style().name(), "k-regular");
+        assert_eq!(topo.overlap_degree(), 2);
+        assert_eq!(topo.reachable(0), &[0, 1, 2]);
+        assert_eq!(topo.reachable(3), &[3, 0, 1]);
+        // k = 1 is exactly the Octopus ring.
+        let octo =
+            PoolGroupTopology::new(PodStyle::Octopus, 4, 8, 16, Bytes::from_gib(64)).unwrap();
+        let k1 = PoolGroupTopology::k_regular(1, 4, 8, 16, Bytes::from_gib(64)).unwrap();
+        for g in 0..4 {
+            assert_eq!(k1.reachable(g), octo.reachable(g));
+        }
+        // k >= groups clamps to the full crossbar without duplicates.
+        let k9 = PoolGroupTopology::k_regular(9, 3, 6, 16, Bytes::from_gib(64)).unwrap();
+        assert_eq!(k9.reachable(1), &[1, 2, 0]);
+        assert_eq!(k9.overlap_degree(), 2);
+        // k = 0 degenerates to symmetric pods.
+        let k0 = PoolGroupTopology::k_regular(0, 3, 6, 16, Bytes::from_gib(64)).unwrap();
+        assert_eq!(k0.reachable(2), &[2]);
+        assert_eq!(k0.overlap_degree(), 0);
+    }
+
+    #[test]
+    fn pod_of_pods_reaches_the_whole_cluster_and_nothing_beyond() {
+        let topo = PoolGroupTopology::pod_of_pods(2, 4, 8, 16, Bytes::from_gib(64)).unwrap();
+        assert_eq!(topo.style().name(), "pod-of-pods");
+        assert_eq!(topo.reachable(0), &[0, 1]);
+        assert_eq!(topo.reachable(1), &[1, 0]);
+        assert_eq!(topo.reachable(2), &[2, 3]);
+        assert_eq!(topo.reachable(3), &[3, 2]);
+        // A ragged last cluster stays self-contained.
+        let ragged = PoolGroupTopology::pod_of_pods(3, 5, 10, 16, Bytes::from_gib(64)).unwrap();
+        assert_eq!(ragged.reachable(1), &[1, 2, 0]);
+        assert_eq!(ragged.reachable(3), &[3, 4]);
+        assert_eq!(ragged.reachable(4), &[4, 3]);
+        assert!(matches!(
+            PoolGroupTopology::pod_of_pods(0, 4, 8, 16, Bytes::from_gib(64)),
+            Err(CxlError::InvalidGroupTopology { .. })
+        ));
+    }
+
+    #[test]
+    fn borrow_costs_grow_with_ring_distance() {
+        let topo = PoolGroupTopology::k_regular(2, 4, 8, 16, Bytes::from_gib(64)).unwrap();
+        assert_eq!(topo.borrow_hops(0, 0), Some(0));
+        assert_eq!(topo.borrow_hops(0, 1), Some(1));
+        assert_eq!(topo.borrow_hops(0, 2), Some(2));
+        assert_eq!(topo.borrow_hops(0, 3), None, "unreachable pods cannot lend");
+        assert_eq!(topo.borrow_added_latency(0, 0), Some(Latency::ZERO));
+        let one = topo.borrow_added_latency(0, 1).unwrap();
+        let two = topo.borrow_added_latency(0, 2).unwrap();
+        assert!(one > Latency::ZERO);
+        assert!(two > one, "each ring hop adds a switch stage");
+        assert!(topo.borrow_added_latency(0, 3).is_none());
+    }
+
+    #[test]
+    fn borrow_port_hosts_are_unique_and_disjoint_from_pod_local_indices() {
+        let topo = PoolGroupTopology::new(PodStyle::Octopus, 3, 9, 8, Bytes::from_gib(64)).unwrap();
+        let mut seen = std::collections::BTreeSet::new();
+        for borrower in 0..3 {
+            for host in 0..topo.hosts_in(borrower) {
+                let port = topo.borrow_port_host(borrower, host);
+                // Never collides with any pod-local host index (0..hosts_in).
+                assert!(port.0 >= topo.host_count());
+                assert!(seen.insert(port), "duplicate borrowed-port id {port:?}");
+            }
+        }
+        assert_eq!(seen.len(), 9, "one distinct port identity per borrower host");
     }
 
     #[test]

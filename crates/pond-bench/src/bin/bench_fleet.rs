@@ -86,13 +86,15 @@ fn bench_trace() -> ClusterTrace {
 /// The deterministic per-point line both modes print and CI diffs.
 fn outcome_line(fraction: f64, o: &FleetOutcome) -> String {
     format!(
-        "outcome pool={} scheduled={} rejected={} fallbacks={} savings={} mitrate={} events={}",
+        "outcome pool={} scheduled={} rejected={} fallbacks={} savings={} mitrate={} \
+         borrowed={} events={}",
         pct(fraction),
         o.scheduled_vms,
         o.rejected_vms,
         o.fallback_all_local,
         pct(o.dram_savings_fraction()),
         pct(o.mitigation_rate()),
+        o.vms_borrowed,
         replay_events(o),
     )
 }

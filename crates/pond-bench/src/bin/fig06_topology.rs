@@ -1,55 +1,96 @@
 //! Figure 6/7 (fleet sharding): how the pool *grouping* — not just the pool
-//! size — drives DRAM savings. Shards the same fleet into 1, 2, and 4 pool
-//! groups under symmetric pods (every host reaches exactly its home pool)
-//! and Octopus-style sparse rings (each pod also reaches the next pod's
-//! pool), and replays the full Pond pipeline per group on the single
-//! time-ordered event core.
+//! size — drives DRAM savings. Shards the same fleet into 4 pool groups and
+//! sweeps the pod overlap degree across every topology style — symmetric
+//! pods (degree 0), the Octopus ring (1), k-regular rings (k), and
+//! two-level pod-of-pods clusters — with cross-pod slice borrowing off
+//! (pool pressure re-homes the whole VM to a neighbour pod) and on (the
+//! host stays home and only the slices come from a reachable lender).
+//! An unsharded single-pool row anchors what sharding gives up.
 
 use cxl_hw::topology::PodStyle;
 use pond_bench::{bench_trace, pct, print_header};
-use pond_core::multipool::{multipool_sweep, GroupSchedulerKind, MultiPoolSweepSpec};
+use pond_core::multipool::{
+    multipool_sweep, GroupSchedulerKind, MultiPoolConfig, MultiPoolSweepSpec,
+};
 
 fn main() {
     print_header(
         "Figure 6/7 (fleet sharding)",
-        "DRAM savings vs. pod topology: symmetric pods vs. Octopus overlap",
+        "DRAM savings vs. pod overlap degree, with and without slice borrowing",
     );
     let trace = bench_trace();
     let fraction = 0.20;
-    let mut specs = Vec::new();
-    for pod in [PodStyle::Symmetric, PodStyle::Octopus] {
-        for groups in [1u16, 2, 4] {
+    let groups = 4u16;
+    let styles = [
+        PodStyle::Symmetric,
+        PodStyle::Octopus,
+        PodStyle::KRegular { k: 2 },
+        PodStyle::KRegular { k: 3 },
+        PodStyle::PodOfPods { cluster: 2 },
+        PodStyle::PodOfPods { cluster: 4 },
+    ];
+    let mut specs = vec![MultiPoolSweepSpec {
+        pod: PodStyle::Symmetric,
+        groups: 1,
+        pool_fraction: fraction,
+        scheduler: GroupSchedulerKind::TightestFit,
+        borrowing: false,
+    }];
+    for pod in styles {
+        for borrowing in [false, true] {
             specs.push(MultiPoolSweepSpec {
                 pod,
                 groups,
                 pool_fraction: fraction,
                 scheduler: GroupSchedulerKind::TightestFit,
+                borrowing,
             });
         }
     }
     let points = multipool_sweep(&trace, &specs, 6).expect("multipool replay must not fail");
 
     println!(
-        "{:>10} {:>7} {:>12} {:>11} {:>12} {:>10} {:>11}",
-        "pods", "groups", "DRAM saved", "pool share", "cross-group", "fallbacks", "mitigated"
+        "{:>12} {:>7} {:>8} {:>7} {:>12} {:>11} {:>9} {:>12} {:>10}",
+        "pods",
+        "groups",
+        "overlap",
+        "borrow",
+        "DRAM saved",
+        "pool share",
+        "borrowed",
+        "cross-group",
+        "fallbacks"
     );
     for point in &points {
         let fleet = &point.outcome.fleet;
+        let overlap = MultiPoolConfig::for_trace(
+            &trace,
+            point.spec.pod,
+            point.spec.groups,
+            point.spec.pool_fraction,
+            point.spec.scheduler,
+            6,
+        )
+        .group_topology()
+        .expect("a completed sweep cell has a valid topology")
+        .overlap_degree();
         println!(
-            "{:>10} {:>7} {:>12} {:>11} {:>12} {:>10} {:>11}",
+            "{:>12} {:>7} {:>8} {:>7} {:>12} {:>11} {:>9} {:>12} {:>10}",
             point.spec.pod.name(),
             point.spec.groups,
+            overlap,
+            if point.spec.borrowing { "on" } else { "off" },
             pct(fleet.dram_savings_fraction()),
             pct(fleet.pool_dram_fraction()),
+            fleet.vms_borrowed,
             point.outcome.cross_group_placements,
             fleet.fallback_all_local,
-            fleet.mitigations,
         );
     }
     println!(
         "\nat {} pool: sharding the fleet shrinks each group's statistical multiplexing \
-         pool, and Octopus overlap claws part of it back by letting pods borrow \
-         from their ring neighbour",
+         pool; overlap claws part of it back, and slice borrowing recovers more of it \
+         than re-homing because the VM's host never leaves its home pod",
         pct(fraction)
     );
     println!(

@@ -42,6 +42,7 @@ fn grid() -> Vec<FailureDrillSweepSpec> {
                     groups: 4,
                     pool_fraction: 0.30,
                     scheduler: GroupSchedulerKind::RoundRobin,
+                    borrowing: false,
                 },
                 rate_per_day,
             });

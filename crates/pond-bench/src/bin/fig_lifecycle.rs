@@ -43,6 +43,7 @@ fn cell() -> MultiPoolSweepSpec {
         groups: 4,
         pool_fraction: 0.30,
         scheduler: GroupSchedulerKind::RoundRobin,
+        borrowing: false,
     }
 }
 

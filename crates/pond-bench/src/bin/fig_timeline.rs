@@ -51,6 +51,7 @@ fn spec(duration: u64) -> LifecycleSweepSpec {
             groups: 4,
             pool_fraction: 0.30,
             scheduler: GroupSchedulerKind::RoundRobin,
+            borrowing: false,
         },
         drill: Some(FailureDrillSpec {
             rate_per_day: 4.0,

@@ -24,7 +24,13 @@ fn grid() -> Vec<MultiPoolSweepSpec> {
         for &groups in group_counts {
             for &pool_fraction in fractions {
                 for scheduler in GroupSchedulerKind::ALL {
-                    specs.push(MultiPoolSweepSpec { pod, groups, pool_fraction, scheduler });
+                    specs.push(MultiPoolSweepSpec {
+                        pod,
+                        groups,
+                        pool_fraction,
+                        scheduler,
+                        borrowing: false,
+                    });
                 }
             }
         }

@@ -16,6 +16,7 @@ use crate::qos::{MitigationManager, QosMonitor, VmObservation};
 use cluster_sim::scheduler::align_pool_memory;
 use cluster_sim::trace::{ClusterTrace, CustomerId, VmRequest};
 use cxl_hw::emc::EmcConfig;
+use cxl_hw::pool::SliceLease;
 use cxl_hw::topology::PoolTopology;
 use cxl_hw::units::{Bytes, EmcId, HostId};
 use hypervisor_sim::host::HostMemory;
@@ -50,6 +51,14 @@ pub struct ControlPlaneConfig {
     /// scheduler's behaviour) instead of failing with
     /// [`PondError::PoolExhausted`].
     pub fallback_all_local: bool,
+    /// Optional cap on the number of post-training untouched-memory
+    /// observations kept per customer (a windowed reservoir over VM
+    /// completions). On trace-length runs the customer history is the one
+    /// deliberate unbounded memory term; a window bounds it without
+    /// touching the training-seeded history. `None` (the default) keeps
+    /// every completion — the frozen-policy goldens depend on that.
+    #[serde(default)]
+    pub history_window: Option<usize>,
 }
 
 impl Default for ControlPlaneConfig {
@@ -63,6 +72,7 @@ impl Default for ControlPlaneConfig {
             policy: PondPolicyConfig::default(),
             mitigation_budget: 0.05,
             fallback_all_local: false,
+            history_window: None,
         }
     }
 }
@@ -84,6 +94,22 @@ pub struct PlacementSummary {
     /// buffer could not cover the predicted pool share
     /// ([`ControlPlaneConfig::fallback_all_local`]).
     pub fallback_all_local: bool,
+    /// Index of the pool group the VM's slices were borrowed from (`None`
+    /// when the home pool served them, or for all-local placements). Host
+    /// and slices live in different pods exactly when this is set.
+    pub borrowed_from: Option<usize>,
+}
+
+/// An arrival-time pooled-placement decision that has not yet been committed
+/// to a host or pool: the Figure 13 prediction pipeline's output, shared by
+/// the home-pool commit and the cross-pod borrow path (which serves the same
+/// plan from a lender group's pool).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PooledPlan {
+    /// Pool share to online, aligned to whole 1 GiB slices.
+    pub pool: Bytes,
+    /// Predicted untouched memory handed to the QoS monitor.
+    pub predicted_untouched: Bytes,
 }
 
 /// What one QoS-monitoring pass did (returned by
@@ -97,6 +123,40 @@ pub struct QosPassReport {
     pub copy_time: Duration,
     /// One record per reconfigured VM.
     pub mitigated: Vec<VmMitigation>,
+    /// Leases reclaimed from mitigated VMs whose slices were borrowed from
+    /// another group's pool. This plane cannot start their offlining — the
+    /// slices belong to the lender — so the caller must route each lease to
+    /// the lender's [`PondControlPlane::release_lent`] at its `copy_done`
+    /// instant. The matching [`VmMitigation::release_ready`] is `None`.
+    pub borrowed_reclaims: Vec<BorrowedReclaim>,
+}
+
+/// A borrowed lease a QoS mitigation reclaimed, to be returned to the
+/// lending group once the pool→local copy completes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BorrowedReclaim {
+    /// The mitigated VM.
+    pub vm: VmId,
+    /// When the pool→local copy finishes — the lender-side release starts
+    /// here, not at the mitigation instant.
+    pub copy_done: Duration,
+    /// The lease to hand back to `lease.lender`.
+    pub lease: SliceLease,
+}
+
+/// What a departure or evacuation freed, split by owner (returned by
+/// [`PondControlPlane::handle_departure_split`] and
+/// [`PondControlPlane::evacuate_vm_split`]): this plane's own slices start
+/// offlining here, while a borrowed lease must be routed back to its lender.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DepartureOutcome {
+    /// Completion time of this plane's own slice offlining (`None` for
+    /// all-local VMs and VMs whose slices were all borrowed).
+    pub release_ready: Option<Duration>,
+    /// The lease the VM held on another group's pool, if any. The caller
+    /// must pass it to the lender's [`PondControlPlane::release_lent`];
+    /// dropping it would strand the slices in the lender's lent ledger.
+    pub lease: Option<SliceLease>,
 }
 
 /// One QoS mitigation: which VM moved off pool memory, how much it moved,
@@ -133,6 +193,11 @@ pub struct EmcFailureOutcome {
     pub affected: Vec<AffectedVm>,
     /// Slice ownerships (assigned or mid-release) lost with the device.
     pub slices_lost: u64,
+    /// Of those, slices that were lent to VMs homed on *other* planes —
+    /// the cross-pod half of the blast radius. The caller must run
+    /// [`PondControlPlane::strip_borrowed`] against every other plane so
+    /// the borrowers' leases drop the dead slices too.
+    pub lent_slices_lost: u64,
 }
 
 /// One VM caught in an EMC failure's blast radius.
@@ -152,7 +217,13 @@ pub struct AffectedVm {
 struct VmRecord {
     vm: VirtualMachine,
     host: usize,
+    /// Slices served by this plane's own pool. Empty for all-local VMs and
+    /// for VMs whose pool share was borrowed (`borrowed` holds those: a
+    /// VM's slices come from exactly one pool).
     slices: Vec<cxl_hw::pool::PoolSlice>,
+    /// Lease on another group's pool, when the home pool could not cover
+    /// the share and a reachable neighbour lent its slices instead.
+    borrowed: Option<SliceLease>,
     predicted_untouched: Bytes,
     customer: CustomerId,
     untouched_fraction: f64,
@@ -175,8 +246,20 @@ pub struct PondControlPlane {
     /// Incremental mirror of the slice count summed over
     /// `running[*].slices`, so [`PondControlPlane::pinned_pool`] — and with
     /// it the per-event conservation check — is O(1) instead of walking
-    /// every running VM.
+    /// every running VM. Borrowed slices are *not* counted here: they sit
+    /// in the lender's ledger (its `lent_slices`), never the borrower's.
     pinned_slices: u64,
+    /// Slices of this plane's own pool currently lent to VMs homed on other
+    /// planes. They are assigned in the pool state (under synthetic cross-pod
+    /// port hosts) but appear in no local running record, so conservation
+    /// reads `free + pending + pinned + lent == live` here.
+    lent_slices: u64,
+    /// Incremental mirror of the slice count summed over
+    /// `running[*].borrowed` — this plane's VMs' footprint on *other*
+    /// groups' pools. Pure bookkeeping for the fleet-level cross-check
+    /// (`sum of borrowed-from-L over planes == L.lent_slices`); it does not
+    /// enter the local conservation identity.
+    borrowed_slices: u64,
     /// Hosts ordered by free local DRAM, lowest index first at equal free
     /// (via `Reverse`), so placement finds the most-free host in O(log
     /// hosts) instead of scanning them all. Mirrors the ordering of the
@@ -214,7 +297,11 @@ impl PondControlPlane {
     /// # Errors
     ///
     /// Returns a hardware error if the pool topology is unsupported.
-    pub fn with_policy(config: ControlPlaneConfig, policy: PondPolicy) -> Result<Self, PondError> {
+    pub fn with_policy(
+        config: ControlPlaneConfig,
+        mut policy: PondPolicy,
+    ) -> Result<Self, PondError> {
+        policy.set_history_window(config.history_window);
         let topology = PoolTopology::pond_with_capacity(config.pool_sockets, config.pool_capacity)?;
         let monitor = QosMonitor::new(policy.sensitivity_model().clone());
         let hosts: Vec<HostMemory> = (0..config.hosts)
@@ -234,6 +321,8 @@ impl PondControlPlane {
             running: BTreeMap::new(),
             rejected: 0,
             pinned_slices: 0,
+            lent_slices: 0,
+            borrowed_slices: 0,
             free_index,
             touched_hosts: Vec::new(),
             host_touched,
@@ -407,11 +496,26 @@ impl PondControlPlane {
         }
     }
 
-    fn place_pooled(
+    /// Runs the arrival-time half of a pooled placement — release
+    /// processing and the Figure 13 prediction pipeline — without touching
+    /// any host or pool state. The returned plan can be committed against
+    /// this plane's own pool (the ordinary pooled path) or served from a
+    /// reachable lender's pool via [`PondControlPlane::lend`] on the lender
+    /// and [`PondControlPlane::commit_borrowed`] here.
+    ///
+    /// The decision path is pure (`try_decide` takes `&self`), so planning
+    /// twice for the same request at the same instant returns the same plan
+    /// and perturbs nothing.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PondError::Model`] when a prediction model rejects its
+    /// feature row.
+    pub fn plan_pooled(
         &mut self,
         request: &VmRequest,
         now: Duration,
-    ) -> Result<PlacementSummary, PondError> {
+    ) -> Result<PooledPlan, PondError> {
         // Finish any offlining that has completed so the buffer is current.
         self.pool.process_releases(now);
 
@@ -429,7 +533,16 @@ impl PondControlPlane {
             PondDecision::Znuma { .. } => pool,
             _ => Bytes::ZERO,
         };
-        self.place(request, pool, predicted_untouched, false, now)
+        Ok(PooledPlan { pool, predicted_untouched })
+    }
+
+    fn place_pooled(
+        &mut self,
+        request: &VmRequest,
+        now: Duration,
+    ) -> Result<PlacementSummary, PondError> {
+        let plan = self.plan_pooled(request, now)?;
+        self.place(request, plan.pool, plan.predicted_untouched, false, now)
     }
 
     fn place_all_local(
@@ -497,6 +610,7 @@ impl PondControlPlane {
             pool,
             has_znuma: !pool.is_zero(),
             fallback_all_local,
+            borrowed_from: None,
         };
         self.running.insert(
             request.id,
@@ -504,6 +618,7 @@ impl PondControlPlane {
                 vm,
                 host: host_index,
                 slices,
+                borrowed: None,
                 predicted_untouched,
                 customer: request.customer,
                 untouched_fraction: request.untouched_fraction,
@@ -511,6 +626,210 @@ impl PondControlPlane {
             },
         );
         Ok(summary)
+    }
+
+    /// Whether some host still has at least `local` free DRAM — the
+    /// host-side feasibility probe the borrow rung runs before asking a
+    /// lender for slices, so a lease is never minted for a VM that cannot
+    /// be pinned anyway.
+    pub fn has_feasible_host(&self, local: Bytes) -> bool {
+        self.most_free_host().is_some_and(|(_, free)| free >= local)
+    }
+
+    /// Onlines `amount` of this plane's own pool capacity on behalf of a VM
+    /// homed on *another* plane — the lender side of a cross-pod borrow.
+    /// The slices are attributed to the synthetic cross-pod port
+    /// `port_host` ([`cxl_hw::topology::PoolGroupTopology::borrow_port_host`]),
+    /// so they consume a real CXL port on this pool exactly like a local
+    /// host would, and they are tracked in this plane's lent ledger until
+    /// [`PondControlPlane::release_lent`] takes them back.
+    ///
+    /// `lender` is this plane's group index, recorded in the lease so every
+    /// downstream path (departure routing, blast radius, decommission
+    /// recall) knows whose pool to settle with.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PondError::PoolExhausted`] when the port-reachable free
+    /// buffer cannot cover `amount` — the caller tries the next lender.
+    pub fn lend(
+        &mut self,
+        lender: usize,
+        port_host: HostId,
+        amount: Bytes,
+        now: Duration,
+    ) -> Result<SliceLease, PondError> {
+        self.pool.process_releases(now);
+        let slices = self.pool.allocate(port_host, amount, now)?;
+        self.lent_slices += slices.len() as u64;
+        // Assigned capacity grew, so the caller must resample this plane's
+        // pool peak even though no local VM was placed.
+        self.pool_dirty = true;
+        Ok(SliceLease { lender, port_host, slices })
+    }
+
+    /// Commits a planned placement whose pool share is served by `lease`
+    /// (minted by a lender's [`PondControlPlane::lend`]): pins the VM on
+    /// the most-free feasible host, onlines the borrowed capacity as its
+    /// zNUMA node, and records the lease so departure, mitigation, and
+    /// failure paths route the slices back to the lender.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PondError::NoFeasibleHost`] *with the lease* when no host
+    /// fits the local share — the caller must hand it back to the lender
+    /// via [`PondControlPlane::release_lent`] (probing
+    /// [`PondControlPlane::has_feasible_host`] first avoids the round
+    /// trip).
+    pub fn commit_borrowed(
+        &mut self,
+        request: &VmRequest,
+        plan: PooledPlan,
+        lease: SliceLease,
+        _now: Duration,
+    ) -> Result<PlacementSummary, (PondError, SliceLease)> {
+        let pool = plan.pool;
+        debug_assert_eq!(pool, lease.capacity(), "the lease must cover exactly the planned share");
+        let local = request.memory - pool;
+        let Some((host_index, old_free)) = self.most_free_host().filter(|&(_, free)| free >= local)
+        else {
+            return Err((PondError::NoFeasibleHost { vm: request.id }, lease));
+        };
+
+        let host = &mut self.hosts[host_index];
+        host.online_pool(pool);
+        if let Err(e) = host.pin_vm(VmId(request.id), local, pool) {
+            host.offline_pool(pool).expect("onlined just above");
+            return Err((PondError::HostMemory(e.to_string()), lease));
+        }
+        self.touch_host(host_index, old_free);
+        // The slices live in the lender's ledger (`lent_slices` there), not
+        // in this plane's pinned count; only the borrowed mirror moves.
+        self.borrowed_slices += lease.slices.len() as u64;
+
+        let workload = self
+            .suite
+            .at(request.workload_index % self.suite.len())
+            .expect("workload index is taken modulo the suite size")
+            .clone();
+        let vm = VirtualMachine::launch(
+            request.id,
+            VmConfig { cores: request.cores, memory: request.memory, pool_memory: pool },
+            workload,
+        );
+
+        let summary = PlacementSummary {
+            vm: vm.id(),
+            host: host_index,
+            local,
+            pool,
+            has_znuma: !pool.is_zero(),
+            fallback_all_local: false,
+            borrowed_from: Some(lease.lender),
+        };
+        self.running.insert(
+            request.id,
+            VmRecord {
+                vm,
+                host: host_index,
+                slices: Vec::new(),
+                borrowed: Some(lease),
+                predicted_untouched: plan.predicted_untouched,
+                customer: request.customer,
+                untouched_fraction: request.untouched_fraction,
+                workload_index: request.workload_index,
+            },
+        );
+        Ok(summary)
+    }
+
+    /// Takes a lease's slices back into this plane's pool — the lender side
+    /// of a borrowed VM's departure, mitigation, or recall — starting the
+    /// same asynchronous offlining an own-pool departure would.
+    ///
+    /// Returns the offlining completion time (`None` when the lease had no
+    /// surviving slices, e.g. after the lender lost the device under them).
+    ///
+    /// # Errors
+    ///
+    /// Propagates ownership errors from the hardware layer (a lease from a
+    /// different plane's pool).
+    pub fn release_lent(
+        &mut self,
+        lease: SliceLease,
+        now: Duration,
+    ) -> Result<Option<Duration>, PondError> {
+        let slice_count = lease.slices.len() as u64;
+        let ready = self.pool.release_async(lease.port_host, lease.slices, now)?;
+        self.lent_slices -= slice_count;
+        Ok(ready)
+    }
+
+    /// Strips slices lost on `lender`'s failed device `emc` from every
+    /// lease this plane's VMs borrowed from that group — the cross-pod
+    /// blast radius of a lender-pod EMC failure: VMs homed *here* degrade
+    /// because a pod over there lost hardware. Returns the affected VMs in
+    /// ascending id order, in the same shape as a local failure's blast
+    /// radius, so the caller evacuates or kills them identically.
+    pub fn strip_borrowed(&mut self, lender: usize, emc: EmcId) -> Vec<AffectedVm> {
+        let mut affected = Vec::new();
+        for (&id, record) in &mut self.running {
+            let Some(lease) = record.borrowed.as_mut() else { continue };
+            if lease.lender != lender {
+                continue;
+            }
+            let before = lease.slices.len() as u64;
+            lease.slices.retain(|s| s.emc != emc);
+            let after = lease.slices.len() as u64;
+            if after == before {
+                continue;
+            }
+            self.borrowed_slices -= before - after;
+            affected.push(AffectedVm {
+                vm: VmId(id),
+                pool_before: Bytes::from_gib(before),
+                surviving_pool: Bytes::from_gib(after),
+            });
+        }
+        affected
+    }
+
+    /// The VMs on this plane holding leases from group `lender`, in
+    /// ascending id order with their borrowed footprint — the recall list a
+    /// gracefully decommissioning lender must drain before its pool can go
+    /// dark: draining a pod means taking back what it lent, not just moving
+    /// what it runs.
+    pub fn borrowers_of(&self, lender: usize) -> Vec<(VmId, Bytes)> {
+        self.running
+            .iter()
+            .filter_map(|(&id, record)| {
+                let lease = record.borrowed.as_ref()?;
+                (lease.lender == lender).then(|| (VmId(id), lease.capacity()))
+            })
+            .collect()
+    }
+
+    /// Total slices this plane's VMs currently borrow from group `lender`,
+    /// re-derived from the running records — the full-scan half of the
+    /// fleet-level lent/borrowed cross-check.
+    pub fn borrowed_from(&self, lender: usize) -> u64 {
+        self.running
+            .values()
+            .filter_map(|record| record.borrowed.as_ref())
+            .filter(|lease| lease.lender == lender)
+            .map(|lease| lease.slices.len() as u64)
+            .sum()
+    }
+
+    /// Capacity of this plane's own pool currently lent to VMs homed on
+    /// other planes.
+    pub fn lent_pool(&self) -> Bytes {
+        Bytes::from_gib(self.lent_slices)
+    }
+
+    /// Capacity this plane's VMs currently hold on *other* groups' pools.
+    pub fn borrowed_pool(&self) -> Bytes {
+        Bytes::from_gib(self.borrowed_slices)
     }
 
     /// Handles a VM departure: unpins host memory, starts the asynchronous
@@ -528,18 +847,29 @@ impl PondControlPlane {
         vm: VmId,
         now: Duration,
     ) -> Result<Option<Duration>, PondError> {
-        let record = self
-            .running
-            .remove(&vm.0)
-            .ok_or_else(|| PondError::HostMemory(format!("{vm} is not running")))?;
-        let old_free = self.hosts[record.host].local_free();
-        let host = &mut self.hosts[record.host];
-        let allocation = host.unpin_vm(vm).map_err(|e| PondError::HostMemory(e.to_string()))?;
-        host.offline_pool(allocation.pool).map_err(|e| PondError::HostMemory(e.to_string()))?;
-        let slice_count = record.slices.len() as u64;
-        let ready = self.pool.release_async(HostId(record.host as u16), record.slices, now)?;
-        self.pinned_slices -= slice_count;
-        self.touch_host(record.host, old_free);
+        let outcome = self.handle_departure_split(vm, now)?;
+        assert!(
+            outcome.lease.is_none(),
+            "{vm} held a borrowed lease: depart it via handle_departure_split \
+             so the slices can be routed back to the lender"
+        );
+        Ok(outcome.release_ready)
+    }
+
+    /// [`PondControlPlane::handle_departure`] for fleets with cross-pod
+    /// borrowing: additionally hands back the VM's borrowed lease (if any)
+    /// so the caller can route it to the lender's
+    /// [`PondControlPlane::release_lent`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PondError::HostMemory`] when the VM is unknown.
+    pub fn handle_departure_split(
+        &mut self,
+        vm: VmId,
+        now: Duration,
+    ) -> Result<DepartureOutcome, PondError> {
+        let (outcome, record) = self.remove_vm(vm, now)?;
         // Feed the observed outcome back into the policy's history: the VM's
         // lifetime access-bit scans are the ground truth for this customer.
         self.policy.record_completion(
@@ -547,7 +877,37 @@ impl PondControlPlane {
             record.untouched_fraction,
             record.workload_index,
         );
-        Ok(ready)
+        Ok(outcome)
+    }
+
+    /// The teardown core shared by departures and evacuations: unpins the
+    /// host memory, starts the asynchronous release of the VM's *own*
+    /// slices, and returns any borrowed lease untouched for the caller to
+    /// route. Does not feed the policy history — the callers decide whether
+    /// the VM completed or merely moved.
+    fn remove_vm(
+        &mut self,
+        vm: VmId,
+        now: Duration,
+    ) -> Result<(DepartureOutcome, VmRecord), PondError> {
+        let mut record = self
+            .running
+            .remove(&vm.0)
+            .ok_or_else(|| PondError::HostMemory(format!("{vm} is not running")))?;
+        let old_free = self.hosts[record.host].local_free();
+        let host = &mut self.hosts[record.host];
+        let allocation = host.unpin_vm(vm).map_err(|e| PondError::HostMemory(e.to_string()))?;
+        host.offline_pool(allocation.pool).map_err(|e| PondError::HostMemory(e.to_string()))?;
+        let slices = std::mem::take(&mut record.slices);
+        let slice_count = slices.len() as u64;
+        let ready = self.pool.release_async(HostId(record.host as u16), slices, now)?;
+        self.pinned_slices -= slice_count;
+        let lease = record.borrowed.take();
+        if let Some(lease) = &lease {
+            self.borrowed_slices -= lease.slices.len() as u64;
+        }
+        self.touch_host(record.host, old_free);
+        Ok((DepartureOutcome { release_ready: ready, lease }, record))
     }
 
     /// Evacuates a running VM off this plane (the failure-drill migration
@@ -563,19 +923,31 @@ impl PondControlPlane {
     ///
     /// Returns [`PondError::HostMemory`] when the VM is unknown.
     pub fn evacuate_vm(&mut self, vm: VmId, now: Duration) -> Result<Option<Duration>, PondError> {
-        let record = self
-            .running
-            .remove(&vm.0)
-            .ok_or_else(|| PondError::HostMemory(format!("{vm} is not running")))?;
-        let old_free = self.hosts[record.host].local_free();
-        let host = &mut self.hosts[record.host];
-        let allocation = host.unpin_vm(vm).map_err(|e| PondError::HostMemory(e.to_string()))?;
-        host.offline_pool(allocation.pool).map_err(|e| PondError::HostMemory(e.to_string()))?;
-        let slice_count = record.slices.len() as u64;
-        let ready = self.pool.release_async(HostId(record.host as u16), record.slices, now)?;
-        self.pinned_slices -= slice_count;
-        self.touch_host(record.host, old_free);
-        Ok(ready)
+        let outcome = self.evacuate_vm_split(vm, now)?;
+        assert!(
+            outcome.lease.is_none(),
+            "{vm} held a borrowed lease: evacuate it via evacuate_vm_split \
+             so the slices can be routed back to the lender"
+        );
+        Ok(outcome.release_ready)
+    }
+
+    /// [`PondControlPlane::evacuate_vm`] for fleets with cross-pod
+    /// borrowing: additionally hands back the VM's borrowed lease (if any)
+    /// for the caller to route to the lender's
+    /// [`PondControlPlane::release_lent`]. Like `evacuate_vm`, it records
+    /// no completion — the VM is moving, not done.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PondError::HostMemory`] when the VM is unknown.
+    pub fn evacuate_vm_split(
+        &mut self,
+        vm: VmId,
+        now: Duration,
+    ) -> Result<DepartureOutcome, PondError> {
+        let (outcome, _record) = self.remove_vm(vm, now)?;
+        Ok(outcome)
     }
 
     /// Handles the failure of one EMC behind this plane's pool at time
@@ -603,6 +975,13 @@ impl PondControlPlane {
         // records directly — a VM is affected iff it holds a slice on the
         // dead device — and the dead slices are stripped in the same walk.
         let report = self.pool.fail_emc(emc)?;
+        // Slices assigned to synthetic cross-pod ports (host ids beyond this
+        // plane's own hosts) were lent out: their loss leaves the lent
+        // ledger here, and the borrowers' leases shed them when the caller
+        // runs `strip_borrowed` against the other planes.
+        let lent_slices_lost =
+            report.lost.iter().filter(|(host, _)| host.0 >= self.config.hosts).count() as u64;
+        self.lent_slices -= lent_slices_lost;
         let mut affected = Vec::new();
         for (&id, record) in &mut self.running {
             let before = record.slices.len() as u64;
@@ -618,7 +997,12 @@ impl PondControlPlane {
                 surviving_pool: Bytes::from_gib(after),
             });
         }
-        Ok(EmcFailureOutcome { emc, affected, slices_lost: report.lost.len() as u64 })
+        Ok(EmcFailureOutcome {
+            emc,
+            affected,
+            slices_lost: report.lost.len() as u64,
+            lent_slices_lost,
+        })
     }
 
     /// Repairs (replaces) a failed EMC behind this plane's pool, returning
@@ -644,12 +1028,18 @@ impl PondControlPlane {
     }
 
     /// The running VMs in ascending id order with their pinned pool
-    /// footprint (zero for all-local VMs) — the drain order of a graceful
-    /// decommission and the candidate list of a proactive rebalance pass.
+    /// footprint (zero for all-local VMs; borrowed slices count — they are
+    /// pool-resident bytes an evacuation must copy, wherever they live) —
+    /// the drain order of a graceful decommission and the candidate list of
+    /// a proactive rebalance pass.
     pub fn running_vm_footprints(&self) -> Vec<(VmId, Bytes)> {
         self.running
             .iter()
-            .map(|(&id, record)| (VmId(id), Bytes::from_gib(record.slices.len() as u64)))
+            .map(|(&id, record)| {
+                let borrowed =
+                    record.borrowed.as_ref().map_or(0, |lease| lease.slices.len() as u64);
+                (VmId(id), Bytes::from_gib(record.slices.len() as u64 + borrowed))
+            })
             .collect()
     }
 
@@ -690,12 +1080,28 @@ impl PondControlPlane {
                 // The freed pool capacity goes back to the Pool Manager once
                 // the pool→local copy has finished.
                 host.offline_pool(report.moved).expect("mitigation freed exactly this much");
-                let slices = std::mem::take(&mut record.slices);
-                self.pinned_slices -= slices.len() as u64;
-                let ready = self
-                    .pool
-                    .release_async(HostId(host_index as u16), slices, now + report.copy_duration)
-                    .expect("slices were allocated by this manager");
+                let ready = if let Some(lease) = record.borrowed.take() {
+                    // Borrowed slices go back to the lender, not this pool:
+                    // hand the lease to the caller for routing once the
+                    // copy completes.
+                    self.borrowed_slices -= lease.slices.len() as u64;
+                    pass.borrowed_reclaims.push(BorrowedReclaim {
+                        vm: VmId(id),
+                        copy_done: now + report.copy_duration,
+                        lease,
+                    });
+                    None
+                } else {
+                    let slices = std::mem::take(&mut record.slices);
+                    self.pinned_slices -= slices.len() as u64;
+                    self.pool
+                        .release_async(
+                            HostId(host_index as u16),
+                            slices,
+                            now + report.copy_duration,
+                        )
+                        .expect("slices were allocated by this manager")
+                };
                 pass.mitigated.push(VmMitigation {
                     vm: VmId(id),
                     moved: report.moved,
@@ -733,10 +1139,11 @@ impl PondControlPlane {
 
     /// Checks the pool-accounting conservation invariant: every slice of
     /// *live* pool capacity is exactly one of free-in-buffer, pinned by a
-    /// running VM, or mid-offlining — nothing is leaked or double-counted.
-    /// The denominator is [`cxl_hw::pool::PoolState::live_capacity`], so the
-    /// invariant keeps holding through EMC failures: a failed device's
-    /// capacity leaves the ledger together with its slices.
+    /// running VM, mid-offlining, or lent to a VM homed on another plane —
+    /// nothing is leaked or double-counted. The denominator is
+    /// [`cxl_hw::pool::PoolState::live_capacity`], so the invariant keeps
+    /// holding through EMC failures: a failed device's capacity leaves the
+    /// ledger together with its slices (lent ones included).
     ///
     /// The check runs on the O(1) incremental counters, so the fleet replays
     /// can afford it after every event (in debug builds); the full scan that
@@ -752,17 +1159,18 @@ impl PondControlPlane {
         let free = self.pool.available();
         let pending = self.pool.pending_release();
         let pinned = self.pinned_pool();
+        let lent = self.lent_pool();
         let live = self.pool.pool().live_capacity();
         assert_eq!(
-            free + pending + pinned,
+            free + pending + pinned + lent,
             live,
-            "pool accounting must conserve capacity: \
-             free {free} + offlining {pending} + pinned {pinned} != live {live}"
+            "pool accounting must conserve capacity: free {free} + offlining {pending} \
+             + pinned {pinned} + lent {lent} != live {live}"
         );
         assert_eq!(
             self.pool.pool().assigned_capacity(),
-            pending + pinned,
-            "assigned capacity must equal pinned plus mid-release slices"
+            pending + pinned + lent,
+            "assigned capacity must equal pinned plus mid-release plus lent slices"
         );
     }
 
@@ -783,6 +1191,17 @@ impl PondControlPlane {
             Bytes::from_gib(pinned),
             self.pinned_pool(),
             "pinned-slice counter drifted from the running records"
+        );
+        let borrowed: u64 = self
+            .running
+            .values()
+            .filter_map(|r| r.borrowed.as_ref())
+            .map(|lease| lease.slices.len() as u64)
+            .sum();
+        assert_eq!(
+            Bytes::from_gib(borrowed),
+            self.borrowed_pool(),
+            "borrowed-slice counter drifted from the running records' leases"
         );
         self.pool.assert_pending_conserved();
         assert_eq!(self.free_index.len(), self.hosts.len());

@@ -195,6 +195,14 @@ pub struct FleetOutcome {
     pub pool_gib_hours: f64,
     /// GiB-hours of VM memory overall.
     pub total_gib_hours: f64,
+    /// VMs placed through the cross-pod BorrowedNeighbour rung: the host
+    /// stayed in the home pod but the pool slices came from a reachable
+    /// lender pod's pool. Zero whenever borrowing is disabled.
+    pub vms_borrowed: u64,
+    /// GiB-hours of VM memory served from *borrowed* (cross-pod) slices — a
+    /// subset of [`FleetOutcome::pool_gib_hours`], attributed to the
+    /// borrower group whose VM leaned on the lease.
+    pub borrowed_gib_hours: f64,
 }
 
 impl FleetOutcome {
@@ -315,6 +323,8 @@ impl FleetOutcome {
             pool_peak,
             pool_gib_hours,
             total_gib_hours,
+            vms_borrowed,
+            borrowed_gib_hours,
         } = other;
         self.scheduled_vms += scheduled_vms;
         self.rejected_vms += rejected_vms;
@@ -343,6 +353,8 @@ impl FleetOutcome {
         self.pool_peak += *pool_peak;
         self.pool_gib_hours += pool_gib_hours;
         self.total_gib_hours += total_gib_hours;
+        self.vms_borrowed += vms_borrowed;
+        self.borrowed_gib_hours += borrowed_gib_hours;
     }
 }
 
@@ -354,7 +366,7 @@ impl FleetOutcome {
 impl std::fmt::Display for FleetOutcome {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let pct = |fraction: f64| format!("{:.2}%", fraction * 100.0);
-        let rows: [(&str, String, &str, String); 9] = [
+        let rows: [(&str, String, &str, String); 10] = [
             (
                 "scheduled",
                 self.scheduled_vms.to_string(),
@@ -403,6 +415,12 @@ impl std::fmt::Display for FleetOutcome {
                 self.groups_decommissioned.to_string(),
                 "expansions",
                 self.groups_expanded.to_string(),
+            ),
+            (
+                "borrowed vms",
+                self.vms_borrowed.to_string(),
+                "borrowed gib-h",
+                format!("{:.1}", self.borrowed_gib_hours),
             ),
         ];
         for (i, (left, lv, right, rv)) in rows.iter().enumerate() {
@@ -784,6 +802,8 @@ pub fn run_fleet_source_observed<S: ArrivalSource, O: ReplayObserver>(
                     pool_offlining: plane.pool().pending_release(),
                     pool_pinned: plane.pinned_pool(),
                     pool_live: plane.pool().pool().live_capacity(),
+                    pool_lent: plane.lent_pool(),
+                    pool_borrowed: plane.borrowed_pool(),
                     running_vms: plane.running_vms() as u64,
                     scheduled_vms: outcome.scheduled_vms,
                     rejected_vms: outcome.rejected_vms,
@@ -1185,7 +1205,7 @@ mod tests {
         };
         let block = outcome.to_string();
         let lines: Vec<&str> = block.lines().collect();
-        assert_eq!(lines.len(), 9, "{block}");
+        assert_eq!(lines.len(), 10, "{block}");
         assert!(lines[0].contains("scheduled") && lines[0].contains("1000"), "{block}");
         assert!(lines[1].contains("availability") && lines[1].contains("99.00%"), "{block}");
         assert!(lines[1].contains("survival") && lines[1].contains("75.00%"), "{block}");

@@ -13,21 +13,35 @@
 //! runs a fixed fallback ladder over the home pod's *reachable* groups:
 //!
 //! 1. **Pooled, home group** — the full Figure 13 prediction pipeline.
-//! 2. **Pooled, reachable neighbours** — the cross-group fallback: under an
-//!    overlapping topology the VM's pod can borrow capacity from the
-//!    neighbouring pool it is wired to.
-//! 3. **All-local, reachable groups in the same order** — the last rung,
+//! 2. **Borrowed neighbour** (only with [`MultiPoolConfig::borrowing`] on) —
+//!    *split ownership*: the VM's host stays in the home pod, but its pool
+//!    slices are leased from a reachable lender pod's pool
+//!    ([`PondControlPlane::lend`] on the lender,
+//!    [`PondControlPlane::commit_borrowed`] on the home plane). The lease
+//!    consumes a real CXL port on the lender's EMCs through the synthetic
+//!    cross-pod port id
+//!    ([`PoolGroupTopology::borrow_port_host`]), and each ring hop adds the
+//!    switch-stage latency [`PoolGroupTopology::borrow_added_latency`]
+//!    models.
+//! 3. **Pooled, reachable neighbours** — the re-homing fallback: the VM
+//!    moves to the neighbouring pod entirely (its hosts and its pool).
+//! 4. **All-local, reachable groups in the same order** — the last rung,
 //!    mirroring the production scheduler's all-local fallback; it runs only
 //!    when `ControlPlaneConfig::fallback_all_local` is on, exactly like the
 //!    single-pool replay.
-//! 4. Rejection.
+//! 5. Rejection.
 //!
-//! Modeling note: because each group bundles hosts *and* pool in one
-//! control plane, the cross-group rung re-homes the VM to the neighbouring
-//! pod entirely (its hosts and its pool) — a pod-granular approximation of
-//! a boundary host borrowing the neighbour's pool. The extra latency and
-//! the port cost of true cross-pod slice ownership are not modeled yet
-//! (ROADMAP: "richer pod graphs").
+//! Split ownership changes the failure semantics: an EMC failure in a
+//! lender pod now degrades VMs homed in *other* pods (their leases are
+//! stripped via [`PondControlPlane::strip_borrowed`] and the VMs evacuate
+//! through their own pod's ladder), and a graceful decommission must recall
+//! the slices the draining pod *lent* ([`PondControlPlane::borrowers_of`])
+//! before the pod can be struck off. Per-group conservation gains a `lent`
+//! term (`free + offlining + pinned + lent == live`), and the fleet-level
+//! deep check cross-foots every lender's ledger against the leases its
+//! borrowers actually hold. With borrowing disabled the replay runs the
+//! historical ladder instruction for instruction and stays bit-identical
+//! to the pinned goldens.
 //!
 //! The pool *lifecycle* is a first-class part of the same replay: EMC
 //! failures can heal ([`DrillKind::EmcWithRepair`] replaces every failed
@@ -57,7 +71,9 @@
 //! integration suite checks outcome-for-outcome.
 
 use crate::arena::{LiveVmArena, NO_GROUP};
-use crate::control_plane::{ControlPlaneConfig, PlacementSummary, PondControlPlane};
+use crate::control_plane::{
+    BorrowedReclaim, ControlPlaneConfig, PlacementSummary, PondControlPlane,
+};
 use crate::error::PondError;
 use crate::fleet::{
     ceil_secs, checked_decrement, track_peaks_touched, FleetConfig, FleetOutcome, ReplayAccounting,
@@ -432,6 +448,12 @@ pub struct MultiPoolConfig {
     /// Optional proactive rebalancing at QoS cadence. `None` reproduces the
     /// plain replay bit for bit.
     pub rebalance: Option<RebalanceSpec>,
+    /// Enables the cross-pod BorrowedNeighbour ladder rung: a home pod whose
+    /// pool is exhausted may lease slices from a reachable lender pod
+    /// instead of re-homing the VM. `false` (the default) reproduces the
+    /// slices-follow-host replay bit for bit.
+    #[serde(default)]
+    pub borrowing: bool,
 }
 
 impl MultiPoolConfig {
@@ -473,6 +495,7 @@ impl MultiPoolConfig {
             drill: None,
             lifecycle: None,
             rebalance: None,
+            borrowing: false,
         }
     }
 
@@ -491,6 +514,13 @@ impl MultiPoolConfig {
     /// Returns the configuration with proactive rebalancing attached.
     pub fn with_rebalance(mut self, rebalance: RebalanceSpec) -> Self {
         self.rebalance = Some(rebalance);
+        self
+    }
+
+    /// Returns the configuration with cross-pod slice borrowing switched
+    /// on or off.
+    pub fn with_borrowing(mut self, borrowing: bool) -> Self {
+        self.borrowing = borrowing;
         self
     }
 
@@ -534,12 +564,14 @@ pub struct MultiPoolOutcome {
 }
 
 /// Checks the fleet-wide slice-conservation invariant across all groups:
-/// summed over planes, `free + offlining + pinned == live capacity`, on top
-/// of each plane's own conservation assert. The denominator is the *live*
-/// capacity so the invariant keeps holding through EMC failures — a dead
-/// device's slices leave the ledger together with its capacity, and anything
-/// else (a leaked pending release, a record still pinning dead slices) still
-/// trips the assert.
+/// summed over planes, `free + offlining + pinned + lent == live capacity`,
+/// on top of each plane's own conservation assert. The denominator is the
+/// *live* capacity so the invariant keeps holding through EMC failures — a
+/// dead device's slices leave the ledger together with its capacity, and
+/// anything else (a leaked pending release, a record still pinning dead
+/// slices, a stranded lease) still trips the assert. Lent slices sit in the
+/// *lender's* ledger: the borrower's mirror counter is bookkeeping only, so
+/// no slice is ever double-counted across the fleet.
 ///
 /// # Panics
 ///
@@ -549,8 +581,10 @@ pub fn assert_fleet_conserved(planes: &[PondControlPlane]) {
     let mut live = Bytes::ZERO;
     for plane in planes {
         plane.assert_pool_conserved();
-        accounted +=
-            plane.pool().available() + plane.pool().pending_release() + plane.pinned_pool();
+        accounted += plane.pool().available()
+            + plane.pool().pending_release()
+            + plane.pinned_pool()
+            + plane.lent_pool();
         live += plane.pool().pool().live_capacity();
     }
     assert_eq!(accounted, live, "fleet-wide slice conservation across {} groups", planes.len());
@@ -570,6 +604,18 @@ pub fn assert_fleet_conserved(planes: &[PondControlPlane]) {
 pub fn assert_fleet_conserved_full(planes: &[PondControlPlane]) {
     for plane in planes {
         plane.assert_pool_conserved_full();
+    }
+    // The cross-lender ledger: every slice a lender counts as lent must be
+    // held by exactly one borrower's lease, fleet-wide — a lease dropped
+    // without [`PondControlPlane::release_lent`], or released twice, breaks
+    // this identity even while each plane's local invariant still holds.
+    for (lender, plane) in planes.iter().enumerate() {
+        let borrowed: u64 = planes.iter().map(|p| p.borrowed_from(lender)).sum();
+        assert_eq!(
+            Bytes::from_gib(borrowed),
+            plane.lent_pool(),
+            "group {lender}: lent slices must equal the leases borrowers hold"
+        );
     }
     assert_fleet_conserved(planes);
 }
@@ -598,12 +644,87 @@ impl EventAttribution {
     }
 }
 
+/// Cross-pod borrowing context for [`place_on_ladder`]'s BorrowedNeighbour
+/// rung. `None` at the call site disables the rung and reproduces the
+/// historical slices-follow-host ladder instruction for instruction.
+struct BorrowRung<'a> {
+    topology: &'a PoolGroupTopology,
+    /// Lender-side async releases started by a borrow that could not be
+    /// committed: the caller must schedule each entry as a `Release` event
+    /// attributed to the lender group (the ladder has no queue access).
+    orphan_releases: &'a mut Vec<(usize, u64)>,
+}
+
+/// The BorrowedNeighbour rung: keep the VM on a home-pod host and lease its
+/// pool share from the first reachable lender with capacity. The home plane
+/// plans its pooled share exactly as the failed pooled-home attempt did
+/// (the decision path is pure, so re-planning is bit-stable), the lease is
+/// attributed to the home pod's synthetic cross-pod port on the lender, and
+/// the commit pins the VM on the home host with the borrowed slices.
+///
+/// # Errors
+///
+/// Propagates any error other than the expected placement failures.
+fn try_borrow_rung(
+    planes: &mut [PondControlPlane],
+    order: &[usize],
+    request: &VmRequest,
+    now: Duration,
+    ctx: &mut BorrowRung<'_>,
+) -> Result<Option<(usize, PlacementSummary)>, PondError> {
+    let home = order[0];
+    let plan = planes[home].plan_pooled(request, now)?;
+    // Borrowing only helps when the home plane *wants* pool slices and has
+    // a host for the local share: a zero-pool plan or no feasible host would
+    // fail identically with borrowed slices.
+    if plan.pool.is_zero() || !planes[home].has_feasible_host(request.memory - plan.pool) {
+        return Ok(None);
+    }
+    // The host the commit below will pick. Nothing mutates the home plane
+    // between this probe and the commit (only lender planes are touched),
+    // so the most-free host is stable across the gap.
+    let Some((host, _)) = planes[home].most_free_host() else {
+        return Ok(None);
+    };
+    let port_host = ctx.topology.borrow_port_host(home, host as u16);
+    for &lender in &order[1..] {
+        // Only a pod wired to the home pod can lend it slices; `order` may
+        // spill beyond the home pod's reach (the decommission drain ladder).
+        if lender == home || ctx.topology.borrow_hops(home, lender).is_none() {
+            continue;
+        }
+        let lease = match planes[lender].lend(lender, port_host, plan.pool, now) {
+            Ok(lease) => lease,
+            Err(PondError::PoolExhausted { .. }) => continue,
+            Err(other) => return Err(other),
+        };
+        match planes[home].commit_borrowed(request, plan, lease, now) {
+            Ok(summary) => return Ok(Some((home, summary))),
+            Err((error, lease)) => {
+                // Unreachable via the feasibility pre-check above, but a
+                // failed commit must hand the slices straight back to the
+                // lender rather than strand the lease.
+                if let Some(ready) = planes[lender].release_lent(lease, now)? {
+                    ctx.orphan_releases.push((lender, ceil_secs(ready)));
+                }
+                match error {
+                    PondError::PoolExhausted { .. } | PondError::NoFeasibleHost { .. } => {}
+                    other => return Err(other),
+                }
+            }
+        }
+    }
+    Ok(None)
+}
+
 /// Runs the fixed fallback ladder over `order` (a pod's reachable groups,
-/// home first): pooled in each group, then — only when `allow_all_local` is
-/// on — all-local in the same order. Returns the landing group and summary,
-/// or `None` when no rung holds the VM. Shared by the arrival path and the
-/// failure-evacuation planner, so a re-homed VM walks exactly the ladder a
-/// fresh arrival would.
+/// home first): pooled in the home group, the cross-pod BorrowedNeighbour
+/// rung (only when `borrow` is provided), pooled in the remaining groups,
+/// then — only when `allow_all_local` is on — all-local in the same order.
+/// Returns the landing group and summary, or `None` when no rung holds the
+/// VM. Shared by the arrival path, the failure-evacuation planner, and the
+/// decommission drain, so a re-homed VM walks exactly the ladder a fresh
+/// arrival would.
 ///
 /// # Errors
 ///
@@ -615,12 +736,23 @@ fn place_on_ladder(
     request: &VmRequest,
     now: Duration,
     allow_all_local: bool,
+    mut borrow: Option<BorrowRung<'_>>,
 ) -> Result<Option<(usize, PlacementSummary)>, PondError> {
-    for &g in order {
+    for (i, &g) in order.iter().enumerate() {
         match planes[g].handle_request_pooled(request, now) {
             Ok(summary) => return Ok(Some((g, summary))),
             Err(PondError::PoolExhausted { .. }) | Err(PondError::NoFeasibleHost { .. }) => {}
             Err(other) => return Err(other),
+        }
+        // The BorrowedNeighbour rung sits strictly between pooled-home and
+        // the re-homing rungs: host locality is worth more than pool
+        // locality, so a lease is tried before the VM moves pods.
+        if i == 0 && order.len() > 1 {
+            if let Some(ctx) = borrow.as_mut() {
+                if let Some(placed) = try_borrow_rung(planes, order, request, now, ctx)? {
+                    return Ok(Some(placed));
+                }
+            }
         }
     }
     if allow_all_local {
@@ -637,10 +769,12 @@ fn place_on_ladder(
 
 /// Completes a graceful decommission once nothing is left in flight: a
 /// `Draining` group becomes `Decommissioned` only when its last VM has been
-/// drained *and* its last pending async release has been delivered — the
-/// slice ledger must be fully settled before the pod is struck off, or a
-/// late [`Event::Release`] would free slices of a dead pool. Checked at the
-/// end of the decommission event and again after every release completion.
+/// drained, its last pending async release has been delivered, *and* every
+/// slice it lent to other pods has been recalled — the slice ledger must be
+/// fully settled before the pod is struck off, or a late [`Event::Release`]
+/// (or a lease still held by a foreign VM) would free slices of a dead
+/// pool. Checked at the end of the decommission event and again after every
+/// release completion.
 fn finish_decommission_if_drained(
     plane: &PondControlPlane,
     state: &mut GroupState,
@@ -649,6 +783,7 @@ fn finish_decommission_if_drained(
     if *state == GroupState::Draining
         && plane.running_vms() == 0
         && plane.pool().pending_release().is_zero()
+        && plane.lent_pool().is_zero()
     {
         *state = GroupState::Decommissioned;
         outcome.groups_decommissioned += 1;
@@ -744,6 +879,13 @@ pub fn run_multipool_source_observed<S: ArrivalSource, O: ReplayObserver>(
     let mut degraded_fleet = 0u64;
     let mut peak_degraded_fleet = 0u64;
     let mut migrating_of: Vec<u64> = vec![0; groups];
+
+    // Lender-side releases a failed borrow commit started inside the ladder
+    // (the ladder has no queue access); drained into `Release` events right
+    // after every ladder call. Empty on every path that can actually run —
+    // the borrow rung pre-checks feasibility — but a stranded lease must
+    // still land as an event, not leak.
+    let mut orphan_releases: Vec<(usize, u64)> = Vec::new();
 
     // The live-VM arena: which group each live VM currently runs in, plus
     // the request itself (QoS take-backs and EMC blast radii resolve ids
@@ -864,17 +1006,25 @@ pub fn run_multipool_source_observed<S: ArrivalSource, O: ReplayObserver>(
                     .filter(|&g| group_state[g].accepts_placements())
                     .collect();
 
-                // The fallback ladder: pooled in home, pooled in reachable
-                // neighbours (cross-group), then — only when the config
-                // enables it, exactly like `run_fleet` — all-local in the
-                // same order.
+                // The fallback ladder: pooled in home, the BorrowedNeighbour
+                // lease (borrowing only), pooled in reachable neighbours
+                // (cross-group), then — only when the config enables it,
+                // exactly like `run_fleet` — all-local in the same order.
                 let placed = place_on_ladder(
                     &mut planes,
                     &order,
                     &request,
                     now,
                     config.control.fallback_all_local,
+                    config.borrowing.then_some(BorrowRung {
+                        topology: &topology,
+                        orphan_releases: &mut orphan_releases,
+                    }),
                 )?;
+                for (lender, ready) in orphan_releases.drain(..) {
+                    events.schedule_release(ready);
+                    release_attribution.push(ready, lender);
+                }
 
                 let Some((group, summary)) = placed else {
                     per_group[home].rejected_vms += 1;
@@ -894,17 +1044,26 @@ pub fn run_multipool_source_observed<S: ArrivalSource, O: ReplayObserver>(
                 };
                 cross_group_placements += u64::from(group != home);
                 accounting.record_placement(&mut per_group[group], &request, &summary);
+                if summary.borrowed_from.is_some() {
+                    per_group[group].vms_borrowed += 1;
+                    per_group[group].borrowed_gib_hours +=
+                        summary.pool.as_gib_f64() * request.lifetime as f64 / 3600.0;
+                }
                 if O::ENABLED {
-                    let (rung, reason) = match (group == home, summary.fallback_all_local) {
-                        (true, false) => (LadderRung::PooledHome, FallbackReason::None),
-                        (false, false) => {
-                            (LadderRung::PooledNeighbor, FallbackReason::HomePoolFull)
-                        }
-                        (true, true) => {
-                            (LadderRung::AllLocalHome, FallbackReason::PoolRungsExhausted)
-                        }
-                        (false, true) => {
-                            (LadderRung::AllLocalNeighbor, FallbackReason::PoolRungsExhausted)
+                    let (rung, reason) = if summary.borrowed_from.is_some() {
+                        (LadderRung::BorrowedNeighbor, FallbackReason::HomePoolFull)
+                    } else {
+                        match (group == home, summary.fallback_all_local) {
+                            (true, false) => (LadderRung::PooledHome, FallbackReason::None),
+                            (false, false) => {
+                                (LadderRung::PooledNeighbor, FallbackReason::HomePoolFull)
+                            }
+                            (true, true) => {
+                                (LadderRung::AllLocalHome, FallbackReason::PoolRungsExhausted)
+                            }
+                            (false, true) => {
+                                (LadderRung::AllLocalNeighbor, FallbackReason::PoolRungsExhausted)
+                            }
                         }
                     };
                     observer.on_decision(&DecisionTrace {
@@ -935,10 +1094,22 @@ pub fn run_multipool_source_observed<S: ArrivalSource, O: ReplayObserver>(
                 let group = arena.free(token);
                 if group != NO_GROUP {
                     let group = group as usize;
-                    if let Some(ready) = planes[group].handle_departure(vm, now)? {
+                    let outcome = planes[group].handle_departure_split(vm, now)?;
+                    if let Some(ready) = outcome.release_ready {
                         let time = ceil_secs(ready);
                         events.schedule_release(time);
                         release_attribution.push(time, group);
+                    }
+                    // A borrowed VM's slices flow back to the *lender's*
+                    // pool: the offlining release is scheduled against the
+                    // lender group, not the group the VM ran in.
+                    if let Some(lease) = outcome.lease {
+                        let lender = lease.lender;
+                        if let Some(ready) = planes[lender].release_lent(lease, now)? {
+                            let time = ceil_secs(ready);
+                            events.schedule_release(time);
+                            release_attribution.push(time, lender);
+                        }
                     }
                 }
             }
@@ -1023,7 +1194,15 @@ pub fn run_multipool_source_observed<S: ArrivalSource, O: ReplayObserver>(
                         &request,
                         now,
                         config.control.fallback_all_local,
+                        config.borrowing.then_some(BorrowRung {
+                            topology: &topology,
+                            orphan_releases: &mut orphan_releases,
+                        }),
                     )?;
+                    for (lender, ready) in orphan_releases.drain(..) {
+                        events.schedule_release(ready);
+                        release_attribution.push(ready, lender);
+                    }
 
                     match placed {
                         Some((dest, summary)) => {
@@ -1042,6 +1221,11 @@ pub fn run_multipool_source_observed<S: ArrivalSource, O: ReplayObserver>(
                                 summary.pool.as_gib_f64() * remaining_hours;
                             per_group[dest].total_gib_hours +=
                                 request.memory.as_gib_f64() * remaining_hours;
+                            if summary.borrowed_from.is_some() {
+                                per_group[dest].vms_borrowed += 1;
+                                per_group[dest].borrowed_gib_hours +=
+                                    summary.pool.as_gib_f64() * remaining_hours;
+                            }
                             if !summary.pool.is_zero() && !pooled_host[dest][summary.host] {
                                 pooled_host[dest][summary.host] = true;
                                 pooled_count[dest] += 1;
@@ -1071,6 +1255,125 @@ pub fn run_multipool_source_observed<S: ArrivalSource, O: ReplayObserver>(
                                         copy: Duration::ZERO,
                                     },
                                 });
+                            }
+                        }
+                    }
+                }
+
+                // Split ownership widens the blast radius: slices this pool
+                // had lent out died with the device too, degrading VMs homed
+                // in *other* pods. Each borrower pod strips the dead slices
+                // from its leases and evacuates the struck VMs through its
+                // own reachable ladder — the lender-pod failure reaches
+                // hosts it never owned.
+                if config.borrowing {
+                    for borrower in 0..groups {
+                        if borrower == source {
+                            continue;
+                        }
+                        let struck = planes[borrower].strip_borrowed(source, failure.emc);
+                        if struck.is_empty() {
+                            continue;
+                        }
+                        let order: Vec<usize> = topology
+                            .reachable(borrower)
+                            .iter()
+                            .copied()
+                            .filter(|&g| group_state[g].accepts_placements())
+                            .collect();
+                        for affected in struck {
+                            let token = arena
+                                .slot_of(affected.vm.0)
+                                .expect("a running VM's id resolves to a live arena slot");
+                            let request = arena.request(token).clone();
+                            let outcome = planes[borrower].evacuate_vm_split(affected.vm, now)?;
+                            if let Some(ready) = outcome.release_ready {
+                                let ready = ceil_secs(ready);
+                                events.schedule_release(ready);
+                                release_attribution.push(ready, borrower);
+                            }
+                            // The lease's surviving slices flow back to the
+                            // lender that is mid-failure; the dead ones left
+                            // the ledger with the device.
+                            if let Some(lease) = outcome.lease {
+                                let lender = lease.lender;
+                                if let Some(ready) = planes[lender].release_lent(lease, now)? {
+                                    let ready = ceil_secs(ready);
+                                    events.schedule_release(ready);
+                                    release_attribution.push(ready, lender);
+                                }
+                            }
+                            let remaining_hours =
+                                request.departure().saturating_sub(time) as f64 / 3600.0;
+                            per_group[borrower].pool_gib_hours -=
+                                affected.pool_before.as_gib_f64() * remaining_hours;
+                            per_group[borrower].borrowed_gib_hours -=
+                                affected.pool_before.as_gib_f64() * remaining_hours;
+                            per_group[borrower].total_gib_hours -=
+                                request.memory.as_gib_f64() * remaining_hours;
+                            let placed = place_on_ladder(
+                                &mut planes,
+                                &order,
+                                &request,
+                                now,
+                                config.control.fallback_all_local,
+                                Some(BorrowRung {
+                                    topology: &topology,
+                                    orphan_releases: &mut orphan_releases,
+                                }),
+                            )?;
+                            for (lender, ready) in orphan_releases.drain(..) {
+                                events.schedule_release(ready);
+                                release_attribution.push(ready, lender);
+                            }
+                            match placed {
+                                Some((dest, summary)) => {
+                                    let copy = evacuation_engine.charge_copy(request.memory);
+                                    let done = ceil_secs(now + copy);
+                                    events.schedule_migration_done(done);
+                                    migration_attribution.push(done, borrower);
+                                    migrating_of[borrower] += 1;
+                                    per_group[borrower].vms_migrated += 1;
+                                    per_group[borrower].evacuation_copy_time += copy;
+                                    per_group[dest].pool_gib_hours +=
+                                        summary.pool.as_gib_f64() * remaining_hours;
+                                    per_group[dest].total_gib_hours +=
+                                        request.memory.as_gib_f64() * remaining_hours;
+                                    if summary.borrowed_from.is_some() {
+                                        per_group[dest].vms_borrowed += 1;
+                                        per_group[dest].borrowed_gib_hours +=
+                                            summary.pool.as_gib_f64() * remaining_hours;
+                                    }
+                                    if !summary.pool.is_zero() && !pooled_host[dest][summary.host] {
+                                        pooled_host[dest][summary.host] = true;
+                                        pooled_count[dest] += 1;
+                                    }
+                                    arena.set_group(token, dest as u32);
+                                    if O::ENABLED {
+                                        observer.on_lifecycle_op(&LifecycleTrace {
+                                            time,
+                                            group: borrower,
+                                            kind: LifecycleOpKind::VmEvacuated {
+                                                dest: Some(dest),
+                                                copy,
+                                            },
+                                        });
+                                    }
+                                }
+                                None => {
+                                    per_group[borrower].vms_killed += 1;
+                                    arena.set_group(token, NO_GROUP);
+                                    if O::ENABLED {
+                                        observer.on_lifecycle_op(&LifecycleTrace {
+                                            time,
+                                            group: borrower,
+                                            kind: LifecycleOpKind::VmEvacuated {
+                                                dest: None,
+                                                copy: Duration::ZERO,
+                                            },
+                                        });
+                                    }
+                                }
                             }
                         }
                     }
@@ -1137,15 +1440,31 @@ pub fn run_multipool_source_observed<S: ArrivalSource, O: ReplayObserver>(
                             .slot_of(vm.0)
                             .expect("a running VM's id resolves to a live arena slot");
                         let request = arena.request(token).clone();
-                        if let Some(ready) = planes[group].evacuate_vm(vm, now)? {
+                        let evacuated = planes[group].evacuate_vm_split(vm, now)?;
+                        if let Some(ready) = evacuated.release_ready {
                             let ready = ceil_secs(ready);
                             events.schedule_release(ready);
                             release_attribution.push(ready, group);
+                        }
+                        // A draining VM may itself be leaning on another
+                        // pod's pool: its lease flows back to that lender.
+                        let was_borrowed = evacuated.lease.is_some();
+                        if let Some(lease) = evacuated.lease {
+                            let lender = lease.lender;
+                            if let Some(ready) = planes[lender].release_lent(lease, now)? {
+                                let ready = ceil_secs(ready);
+                                events.schedule_release(ready);
+                                release_attribution.push(ready, lender);
+                            }
                         }
                         let remaining_hours =
                             request.departure().saturating_sub(time) as f64 / 3600.0;
                         per_group[group].pool_gib_hours -=
                             pool_before.as_gib_f64() * remaining_hours;
+                        if was_borrowed {
+                            per_group[group].borrowed_gib_hours -=
+                                pool_before.as_gib_f64() * remaining_hours;
+                        }
                         per_group[group].total_gib_hours -=
                             request.memory.as_gib_f64() * remaining_hours;
                         let placed = place_on_ladder(
@@ -1154,7 +1473,15 @@ pub fn run_multipool_source_observed<S: ArrivalSource, O: ReplayObserver>(
                             &request,
                             now,
                             config.control.fallback_all_local,
+                            config.borrowing.then_some(BorrowRung {
+                                topology: &topology,
+                                orphan_releases: &mut orphan_releases,
+                            }),
                         )?;
+                        for (lender, ready) in orphan_releases.drain(..) {
+                            events.schedule_release(ready);
+                            release_attribution.push(ready, lender);
+                        }
                         match placed {
                             Some((dest, summary)) => {
                                 let copy = evacuation_engine.charge_copy(request.memory);
@@ -1168,6 +1495,11 @@ pub fn run_multipool_source_observed<S: ArrivalSource, O: ReplayObserver>(
                                     summary.pool.as_gib_f64() * remaining_hours;
                                 per_group[dest].total_gib_hours +=
                                     request.memory.as_gib_f64() * remaining_hours;
+                                if summary.borrowed_from.is_some() {
+                                    per_group[dest].vms_borrowed += 1;
+                                    per_group[dest].borrowed_gib_hours +=
+                                        summary.pool.as_gib_f64() * remaining_hours;
+                                }
                                 if !summary.pool.is_zero() && !pooled_host[dest][summary.host] {
                                     pooled_host[dest][summary.host] = true;
                                     pooled_count[dest] += 1;
@@ -1200,8 +1532,129 @@ pub fn run_multipool_source_observed<S: ArrivalSource, O: ReplayObserver>(
                             }
                         }
                     }
-                    // With no pending releases the pod is already done;
-                    // otherwise the last Release event completes it.
+                    // A draining pod must also recall the slices it *lent*:
+                    // VMs homed in other pods still lean on this pool, and
+                    // the pod cannot be struck off while a single lease is
+                    // outstanding. Each borrower's VM is drained through the
+                    // borrower's own ladder (the draining pod no longer
+                    // accepts, so it is excluded automatically), and its
+                    // lease flows back as a pending release here.
+                    if config.borrowing {
+                        for borrower in 0..groups {
+                            if borrower == group {
+                                continue;
+                            }
+                            let leaning = planes[borrower].borrowers_of(group);
+                            if leaning.is_empty() {
+                                continue;
+                            }
+                            let order: Vec<usize> = topology
+                                .reachable(borrower)
+                                .iter()
+                                .copied()
+                                .filter(|&g| group_state[g].accepts_placements())
+                                .collect();
+                            for (vm, pool_before) in leaning {
+                                let token = arena
+                                    .slot_of(vm.0)
+                                    .expect("a running VM's id resolves to a live arena slot");
+                                let request = arena.request(token).clone();
+                                let evacuated = planes[borrower].evacuate_vm_split(vm, now)?;
+                                if let Some(ready) = evacuated.release_ready {
+                                    let ready = ceil_secs(ready);
+                                    events.schedule_release(ready);
+                                    release_attribution.push(ready, borrower);
+                                }
+                                if let Some(lease) = evacuated.lease {
+                                    let lender = lease.lender;
+                                    if let Some(ready) = planes[lender].release_lent(lease, now)? {
+                                        let ready = ceil_secs(ready);
+                                        events.schedule_release(ready);
+                                        release_attribution.push(ready, lender);
+                                    }
+                                }
+                                let remaining_hours =
+                                    request.departure().saturating_sub(time) as f64 / 3600.0;
+                                per_group[borrower].pool_gib_hours -=
+                                    pool_before.as_gib_f64() * remaining_hours;
+                                per_group[borrower].borrowed_gib_hours -=
+                                    pool_before.as_gib_f64() * remaining_hours;
+                                per_group[borrower].total_gib_hours -=
+                                    request.memory.as_gib_f64() * remaining_hours;
+                                let placed = place_on_ladder(
+                                    &mut planes,
+                                    &order,
+                                    &request,
+                                    now,
+                                    config.control.fallback_all_local,
+                                    Some(BorrowRung {
+                                        topology: &topology,
+                                        orphan_releases: &mut orphan_releases,
+                                    }),
+                                )?;
+                                for (lender, ready) in orphan_releases.drain(..) {
+                                    events.schedule_release(ready);
+                                    release_attribution.push(ready, lender);
+                                }
+                                match placed {
+                                    Some((dest, summary)) => {
+                                        let copy = evacuation_engine.charge_copy(request.memory);
+                                        let done = ceil_secs(now + copy);
+                                        events.schedule_migration_done(done);
+                                        migration_attribution.push(done, group);
+                                        migrating_of[group] += 1;
+                                        per_group[group].vms_drained += 1;
+                                        per_group[group].evacuation_copy_time += copy;
+                                        per_group[dest].pool_gib_hours +=
+                                            summary.pool.as_gib_f64() * remaining_hours;
+                                        per_group[dest].total_gib_hours +=
+                                            request.memory.as_gib_f64() * remaining_hours;
+                                        if summary.borrowed_from.is_some() {
+                                            per_group[dest].vms_borrowed += 1;
+                                            per_group[dest].borrowed_gib_hours +=
+                                                summary.pool.as_gib_f64() * remaining_hours;
+                                        }
+                                        if !summary.pool.is_zero()
+                                            && !pooled_host[dest][summary.host]
+                                        {
+                                            pooled_host[dest][summary.host] = true;
+                                            pooled_count[dest] += 1;
+                                        }
+                                        arena.set_group(token, dest as u32);
+                                        if O::ENABLED {
+                                            observer.on_lifecycle_op(&LifecycleTrace {
+                                                time,
+                                                group,
+                                                kind: LifecycleOpKind::VmDrained {
+                                                    dest: Some(dest),
+                                                    copy,
+                                                },
+                                            });
+                                        }
+                                    }
+                                    None => {
+                                        // Even a recall degrades to a kill
+                                        // only as the absolute last resort.
+                                        per_group[group].vms_killed += 1;
+                                        arena.set_group(token, NO_GROUP);
+                                        if O::ENABLED {
+                                            observer.on_lifecycle_op(&LifecycleTrace {
+                                                time,
+                                                group,
+                                                kind: LifecycleOpKind::VmDrained {
+                                                    dest: None,
+                                                    copy: Duration::ZERO,
+                                                },
+                                            });
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    // With no pending releases and no outstanding leases the
+                    // pod is already done; otherwise the last Release event
+                    // completes it.
                     finish_decommission_if_drained(
                         &planes[group],
                         &mut group_state[group],
@@ -1238,8 +1691,17 @@ pub fn run_multipool_source_observed<S: ArrivalSource, O: ReplayObserver>(
             Event::Snapshot { time } => {
                 snapshot_ticks += 1;
                 snapshot_time = Some(time);
+                let mut reclaimed: Vec<(usize, BorrowedReclaim)> = Vec::new();
                 for (group, plane) in planes.iter_mut().enumerate() {
-                    let pass = plane.run_qos_pass(now)?;
+                    let mut pass = plane.run_qos_pass(now)?;
+                    // A mitigated *borrowed* VM hands its lease back to the
+                    // lending plane, which we cannot touch while iterating —
+                    // park the reclaims and route them after the loop.
+                    reclaimed.extend(
+                        std::mem::take(&mut pass.borrowed_reclaims)
+                            .into_iter()
+                            .map(|reclaim| (group, reclaim)),
+                    );
                     if O::ENABLED {
                         observer.on_qos_pass(&QosPassTrace {
                             time,
@@ -1267,6 +1729,23 @@ pub fn run_multipool_source_observed<S: ArrivalSource, O: ReplayObserver>(
                             }
                         },
                     );
+                }
+                for (group, reclaim) in reclaimed {
+                    let moved = reclaim.lease.capacity();
+                    let remaining_hours = arena
+                        .departure_of(reclaim.vm.0)
+                        .map_or(0, |departure| departure.saturating_sub(time))
+                        as f64
+                        / 3600.0;
+                    per_group[group].borrowed_gib_hours -= moved.as_gib_f64() * remaining_hours;
+                    let lender = reclaim.lease.lender;
+                    if let Some(ready) =
+                        planes[lender].release_lent(reclaim.lease, reclaim.copy_done)?
+                    {
+                        let ready = ceil_secs(ready);
+                        events.schedule_release(ready);
+                        release_attribution.push(ready, lender);
+                    }
                 }
                 // Proactive rebalancing rides the same QoS cadence, after
                 // the monitoring passes: each pool-starved online group
@@ -1313,20 +1792,37 @@ pub fn run_multipool_source_observed<S: ArrivalSource, O: ReplayObserver>(
                             if planes[dest].tightest_feasible_host(request.memory).is_none() {
                                 continue;
                             }
-                            if let Some(ready) = planes[g].evacuate_vm(vm, now)? {
+                            let evacuated = planes[g].evacuate_vm_split(vm, now)?;
+                            if let Some(ready) = evacuated.release_ready {
                                 let ready = ceil_secs(ready);
                                 events.schedule_release(ready);
                                 release_attribution.push(ready, g);
+                            }
+                            let was_borrowed = evacuated.lease.is_some();
+                            if let Some(lease) = evacuated.lease {
+                                let lender = lease.lender;
+                                if let Some(ready) = planes[lender].release_lent(lease, now)? {
+                                    let ready = ceil_secs(ready);
+                                    events.schedule_release(ready);
+                                    release_attribution.push(ready, lender);
+                                }
                             }
                             let remaining_hours =
                                 request.departure().saturating_sub(time) as f64 / 3600.0;
                             per_group[g].pool_gib_hours -=
                                 pool_before.as_gib_f64() * remaining_hours;
+                            if was_borrowed {
+                                per_group[g].borrowed_gib_hours -=
+                                    pool_before.as_gib_f64() * remaining_hours;
+                            }
                             per_group[g].total_gib_hours -=
                                 request.memory.as_gib_f64() * remaining_hours;
+                            // The borrow rung stays off here: the order is a
+                            // single pre-checked group and the move exists to
+                            // relieve pressure, not to spread new leases.
                             let order = [dest];
                             let (landed, summary) =
-                                place_on_ladder(&mut planes, &order, &request, now, true)?
+                                place_on_ladder(&mut planes, &order, &request, now, true, None)?
                                     .expect("rebalance pre-checked destination feasibility");
                             let copy = evacuation_engine.charge_copy(request.memory);
                             let done = ceil_secs(now + copy);
@@ -1384,6 +1880,8 @@ pub fn run_multipool_source_observed<S: ArrivalSource, O: ReplayObserver>(
                         pool_offlining: planes[g].pool().pending_release(),
                         pool_pinned: planes[g].pinned_pool(),
                         pool_live: planes[g].pool().pool().live_capacity(),
+                        pool_lent: planes[g].lent_pool(),
+                        pool_borrowed: planes[g].borrowed_pool(),
                         running_vms: planes[g].running_vms() as u64,
                         scheduled_vms: per_group[g].scheduled_vms,
                         rejected_vms: per_group[g].rejected_vms,
@@ -1457,7 +1955,8 @@ pub fn run_multipool_source_observed<S: ArrivalSource, O: ReplayObserver>(
     })
 }
 
-/// One cell of a (pod style × group count × pool fraction × scheduler) grid.
+/// One cell of a (pod style × group count × pool fraction × scheduler ×
+/// borrowing) grid.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct MultiPoolSweepSpec {
     /// Pod style for this cell.
@@ -1468,6 +1967,9 @@ pub struct MultiPoolSweepSpec {
     pub pool_fraction: f64,
     /// Scheduling strategy.
     pub scheduler: GroupSchedulerKind,
+    /// Cross-pod slice borrowing ([`MultiPoolConfig::borrowing`]).
+    #[serde(default)]
+    pub borrowing: bool,
 }
 
 /// One completed cell of a multi-pool sweep.
@@ -1501,7 +2003,8 @@ pub fn multipool_sweep(
             spec.pool_fraction,
             spec.scheduler,
             seed,
-        );
+        )
+        .with_borrowing(spec.borrowing);
         run_multipool_fleet(trace, &config).map(|outcome| MultiPoolSweepPoint { spec, outcome })
     });
     results.into_iter().collect()
@@ -1534,7 +2037,8 @@ where
             spec.pool_fraction,
             spec.scheduler,
             seed,
-        );
+        )
+        .with_borrowing(spec.borrowing);
         let policy = PondPolicy::train_source(&make_source, &config.control.policy, config.seed)?;
         run_multipool_source(make_source(), &config, policy)
             .map(|outcome| MultiPoolSweepPoint { spec, outcome })
@@ -1675,6 +2179,7 @@ pub fn lifecycle_config(
     config.drill = spec.drill;
     config.lifecycle = spec.lifecycle.clone();
     config.rebalance = spec.rebalance;
+    config.borrowing = spec.cell.borrowing;
     config
 }
 
@@ -2010,6 +2515,121 @@ mod tests {
         assert!(!a.fleet.evacuation_copy_time.is_zero(), "moves charge copy time");
     }
 
+    /// Tiny pools on an octopus ring: the home pod exhausts quickly and the
+    /// borrow rung has reachable lenders to lean on.
+    fn borrow_pressure_config() -> MultiPoolConfig {
+        let mut cfg = config(PodStyle::Octopus, 4, GroupSchedulerKind::RoundRobin);
+        cfg.control.pool_capacity = Bytes::from_gib(16);
+        cfg.with_borrowing(true)
+    }
+
+    #[test]
+    fn borrowing_on_symmetric_pods_is_bit_identical_to_off() {
+        let trace = small_trace();
+        let base = config(PodStyle::Symmetric, 4, GroupSchedulerKind::RoundRobin);
+        let off = run_multipool_fleet(&trace, &base).unwrap();
+        let on = run_multipool_fleet(&trace, &base.clone().with_borrowing(true)).unwrap();
+        // Symmetric pods reach no lender, so the rung can never fire and the
+        // knob must be a pure no-op.
+        assert_eq!(off, on);
+        assert_eq!(on.fleet.vms_borrowed, 0);
+        assert_eq!(on.fleet.borrowed_gib_hours, 0.0);
+    }
+
+    #[test]
+    fn borrowing_keeps_the_host_home_while_slices_come_from_a_neighbour() {
+        let trace = small_trace();
+        let cfg = borrow_pressure_config();
+        let a = run_multipool_fleet(&trace, &cfg).unwrap();
+        let b = run_multipool_fleet(&trace, &cfg).unwrap();
+        assert_eq!(a, b, "borrowed replays must be deterministic");
+        assert!(a.fleet.vms_borrowed > 0, "tiny pools must force borrows: {a:?}");
+        assert!(a.fleet.borrowed_gib_hours > 0.0, "{a:?}");
+        // Borrowed GiB-hours are a subset of pooled GiB-hours.
+        assert!(a.fleet.borrowed_gib_hours <= a.fleet.pool_gib_hours, "{a:?}");
+        let borrowed: u64 = a.per_group.iter().map(|g| g.vms_borrowed).sum();
+        assert_eq!(a.fleet.vms_borrowed, borrowed);
+        // The borrow rung fires before re-homing, so pressure that the
+        // re-home ladder previously absorbed now keeps VMs in their home
+        // pod: strictly fewer cross-group placements than borrowing off.
+        let off = run_multipool_fleet(&trace, &cfg.clone().with_borrowing(false)).unwrap();
+        assert!(
+            a.cross_group_placements < off.cross_group_placements,
+            "borrowing must absorb re-homes: {} vs {}",
+            a.cross_group_placements,
+            off.cross_group_placements
+        );
+        assert_eq!(
+            a.fleet.scheduled_vms + a.fleet.rejected_vms,
+            off.fleet.scheduled_vms + off.fleet.rejected_vms,
+            "both knob settings see the same arrival stream"
+        );
+    }
+
+    #[test]
+    fn borrowing_survives_composed_drills_with_conservation() {
+        let trace = small_trace();
+        // EMC failures, repairs, a decommission, and rebalancing all at
+        // once, with cross-pod leases in flight: the per-event conservation
+        // debug-asserts (including lent-slice accounting) run throughout.
+        let cfg = borrow_pressure_config()
+            .with_drill(FailureDrillSpec {
+                rate_per_day: 4.0,
+                kind: DrillKind::EmcWithRepair { mttr_secs: 3_600 },
+                seed: 99,
+            })
+            .with_lifecycle(plan(vec![LifecycleEvent {
+                time: 2 * 86_400,
+                op: LifecycleOp::DecommissionGroup { group: 2 },
+            }]))
+            .with_rebalance(RebalanceSpec { starved_fraction: 0.5, max_moves_per_pass: 2 });
+        let a = run_multipool_fleet(&trace, &cfg).unwrap();
+        let b = run_multipool_fleet(&trace, &cfg).unwrap();
+        assert_eq!(a, b, "drilled borrowed replays must be deterministic");
+        assert!(a.fleet.vms_borrowed > 0, "{a:?}");
+        assert!(a.fleet.emc_failures > 0, "{a:?}");
+        assert_eq!(a.fleet.groups_decommissioned, 1, "{a:?}");
+        assert_eq!(
+            a.fleet.migration_completions,
+            a.fleet.vms_migrated + a.fleet.vms_drained + a.fleet.vms_rebalanced,
+            "{a:?}"
+        );
+    }
+
+    #[test]
+    fn decommissioning_a_lender_recalls_its_leases() {
+        let trace = small_trace();
+        // Decommission a pod early, while it still holds outstanding leases
+        // to neighbours: the drain must recall every lent slice before the
+        // pod is struck off (the end-of-replay asserts would trip on any
+        // leaked lease).
+        let cfg = borrow_pressure_config().with_lifecycle(plan(vec![LifecycleEvent {
+            time: 86_400,
+            op: LifecycleOp::DecommissionGroup { group: 1 },
+        }]));
+        let a = run_multipool_fleet(&trace, &cfg).unwrap();
+        let b = run_multipool_fleet(&trace, &cfg).unwrap();
+        assert_eq!(a, b, "lender decommissions must be deterministic");
+        assert_eq!(a.fleet.groups_decommissioned, 1, "{a:?}");
+        assert!(a.fleet.vms_borrowed > 0, "{a:?}");
+    }
+
+    #[test]
+    fn borrowing_runs_on_every_pod_style_with_reach() {
+        let trace = small_trace();
+        for pod in
+            [PodStyle::Octopus, PodStyle::KRegular { k: 2 }, PodStyle::PodOfPods { cluster: 2 }]
+        {
+            let mut cfg = config(pod, 4, GroupSchedulerKind::RoundRobin);
+            cfg.control.pool_capacity = Bytes::from_gib(16);
+            let cfg = cfg.with_borrowing(true);
+            let a = run_multipool_fleet(&trace, &cfg).unwrap();
+            let b = run_multipool_fleet(&trace, &cfg).unwrap();
+            assert_eq!(a, b, "{pod:?} borrowed replay must be deterministic");
+            assert!(a.fleet.vms_borrowed > 0, "{pod:?} must borrow under pressure: {a:?}");
+        }
+    }
+
     #[test]
     fn lifecycle_sweeps_run_cells_in_order_and_deterministically() {
         let trace = small_trace();
@@ -2018,6 +2638,7 @@ mod tests {
             groups: 4,
             pool_fraction: 0.20,
             scheduler: GroupSchedulerKind::RoundRobin,
+            borrowing: false,
         };
         let specs = vec![
             LifecycleSweepSpec { cell, drill: None, lifecycle: None, rebalance: None },

@@ -39,6 +39,10 @@ pub fn event_class(event: &Event) -> &'static str {
 pub enum LadderRung {
     /// Placed pooled (zNUMA or all-local-by-policy) on the home group.
     PooledHome,
+    /// Placed on a home-group host with pool slices *borrowed* from a
+    /// reachable neighbor's pool (split host/slice ownership): the VM keeps
+    /// its compute locality and only its memory crosses the pod boundary.
+    BorrowedNeighbor,
     /// Placed pooled on a reachable neighbor group after the home group
     /// could not hold the request.
     PooledNeighbor,
@@ -56,6 +60,7 @@ impl LadderRung {
     pub fn name(self) -> &'static str {
         match self {
             LadderRung::PooledHome => "pooled_home",
+            LadderRung::BorrowedNeighbor => "borrowed_neighbor",
             LadderRung::PooledNeighbor => "pooled_neighbor",
             LadderRung::AllLocalHome => "all_local_home",
             LadderRung::AllLocalNeighbor => "all_local_neighbor",
@@ -224,6 +229,12 @@ pub struct GroupSample {
     pub pool_pinned: Bytes,
     /// Pool capacity currently live (online devices).
     pub pool_live: Bytes,
+    /// Pool capacity this group has *lent* to VMs homed in other pods
+    /// (cross-pod slice borrowing; counted inside the lender's ledger).
+    pub pool_lent: Bytes,
+    /// Pool capacity VMs homed on this group hold *borrowed* from other
+    /// pods' pools (counted inside the lenders' ledgers, not this one).
+    pub pool_borrowed: Bytes,
     /// VMs running on the group right now.
     pub running_vms: u64,
     /// VMs the group has scheduled since trace start.
@@ -407,6 +418,10 @@ impl ReplayObserver for MetricsObserver {
                 .set_gauge(&format!("pool.group{g}.pinned_bytes"), sample.pool_pinned.as_u64());
             self.registry
                 .set_gauge(&format!("pool.group{g}.live_bytes"), sample.pool_live.as_u64());
+            self.registry
+                .set_gauge(&format!("pool.group{g}.lent_bytes"), sample.pool_lent.as_u64());
+            self.registry
+                .set_gauge(&format!("pool.group{g}.borrowed_bytes"), sample.pool_borrowed.as_u64());
             self.registry.set_gauge(&format!("pool.group{g}.running_vms"), sample.running_vms);
         }
     }
@@ -419,6 +434,7 @@ mod tests {
     #[test]
     fn names_are_stable() {
         assert_eq!(LadderRung::PooledNeighbor.name(), "pooled_neighbor");
+        assert_eq!(LadderRung::BorrowedNeighbor.name(), "borrowed_neighbor");
         assert_eq!(FallbackReason::NoOnlineGroup.name(), "no_online_group");
         assert_eq!(LifecycleOpKind::DecommissionComplete.name(), "decommission_complete");
         assert_eq!(event_class(&Event::Snapshot { time: 0 }), "snapshot");
@@ -434,6 +450,8 @@ mod tests {
             pool_offlining: Bytes::from_gib(0),
             pool_pinned: Bytes::from_gib(0),
             pool_live: Bytes::from_gib(100),
+            pool_lent: Bytes::from_gib(0),
+            pool_borrowed: Bytes::from_gib(0),
             running_vms: 10,
             scheduled_vms: 90,
             rejected_vms: 10,

@@ -284,6 +284,8 @@ mod tests {
             pool_offlining: Bytes::new(0),
             pool_pinned: Bytes::new(0),
             pool_live: Bytes::from_gib(100),
+            pool_lent: Bytes::new(0),
+            pool_borrowed: Bytes::new(0),
             running_vms: 5,
             scheduled_vms: scheduled,
             rejected_vms: rejected,

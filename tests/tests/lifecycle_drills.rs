@@ -180,6 +180,7 @@ proptest! {
         raw_events in proptest::collection::vec(arb_lifecycle_event(), 0..10),
         drilled in proptest::bool::ANY,
         rebalanced in proptest::bool::ANY,
+        borrowing in proptest::bool::ANY,
     ) {
         let trace = build_trace(entries);
         prop_assert_eq!(trace.validate(), Ok(()));
@@ -197,12 +198,49 @@ proptest! {
                 max_moves_per_pass: 2,
             });
         }
+        let config = config.with_borrowing(borrowing);
         let policy = trained_policy();
         let cursor =
             run_multipool_source(TraceCursor::new(&trace), &config, policy.clone()).unwrap();
         let drained =
             run_multipool_source(DrainingSource::of(&trace), &config, policy.clone()).unwrap();
         prop_assert_eq!(cursor, drained);
+    }
+
+    /// Switching the borrowing knob *off* must reproduce the untouched
+    /// default configuration bit for bit on random schedules with random
+    /// lifecycle plans — the cross-pod ownership refactor may not perturb a
+    /// single event of the slices-follow-host replay (the pinned goldens
+    /// below pin the absolute values; this pins the property across the
+    /// whole schedule space).
+    #[test]
+    fn borrowing_disabled_is_bit_identical_to_the_default_on_random_schedules(
+        entries in proptest::collection::vec(arb_entry(), 0..80),
+        raw_events in proptest::collection::vec(arb_lifecycle_event(), 0..10),
+        drilled in proptest::bool::ANY,
+    ) {
+        let trace = build_trace(entries);
+        prop_assert_eq!(trace.validate(), Ok(()));
+        let mut config = shaped_config().with_lifecycle(build_plan(raw_events));
+        if drilled {
+            config = config.with_drill(FailureDrillSpec {
+                rate_per_day: 8.0,
+                kind: DrillKind::EmcWithRepair { mttr_secs: 7_200 },
+                seed: 99,
+            });
+        }
+        let policy = trained_policy();
+        let default =
+            run_multipool_source(TraceCursor::new(&trace), &config, policy.clone()).unwrap();
+        let off = run_multipool_source(
+            TraceCursor::new(&trace),
+            &config.clone().with_borrowing(false),
+            policy.clone(),
+        )
+        .unwrap();
+        prop_assert_eq!(&default, &off);
+        prop_assert_eq!(default.fleet.vms_borrowed, 0);
+        prop_assert_eq!(default.fleet.borrowed_gib_hours, 0.0);
     }
 }
 
@@ -216,6 +254,7 @@ fn cell() -> MultiPoolSweepSpec {
         groups: 4,
         pool_fraction: 0.20,
         scheduler: GroupSchedulerKind::RoundRobin,
+        borrowing: false,
     }
 }
 
@@ -356,6 +395,7 @@ fn the_lifecycle_bench_phase_reproduces_its_golden_outcome() {
             groups: 4,
             pool_fraction: 0.30,
             scheduler: GroupSchedulerKind::RoundRobin,
+            borrowing: false,
         },
         drill: Some(FailureDrillSpec {
             rate_per_day: 4.0,
@@ -391,7 +431,7 @@ fn the_lifecycle_bench_phase_reproduces_its_golden_outcome() {
          groups_expanded: 1, pooled_host_count: 24, \
          sum_local_peaks: Bytes(7004017917952), sum_host_pool_peaks: Bytes(7306813112320), \
          sum_total_peaks: Bytes(12666932297728), pool_peak: Bytes(2967822401536), \
-         pool_gib_hours: 291044.67277777777, total_gib_hours: 2402853.5983333364 }"
+         pool_gib_hours: 291044.67277777777, total_gib_hours: 2402853.5983333364, vms_borrowed: 0, borrowed_gib_hours: 0.0 }"
     );
     // The acceptance headline: the drained pod lost no VMs to the drain
     // itself — kills here all trace back to device failures, and

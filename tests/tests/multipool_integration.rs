@@ -103,7 +103,13 @@ fn sweep_grid() -> Vec<MultiPoolSweepSpec> {
         for groups in [2u16, 4] {
             for &pool_fraction in &[0.10, 0.25] {
                 for scheduler in GroupSchedulerKind::ALL {
-                    specs.push(MultiPoolSweepSpec { pod, groups, pool_fraction, scheduler });
+                    specs.push(MultiPoolSweepSpec {
+                        pod,
+                        groups,
+                        pool_fraction,
+                        scheduler,
+                        borrowing: false,
+                    });
                 }
             }
         }
@@ -210,6 +216,7 @@ fn failure_drill_sweep_is_deterministic_and_zero_rate_matches_plain_replay() {
                     groups: 4,
                     pool_fraction: 0.25,
                     scheduler: GroupSchedulerKind::RoundRobin,
+                    borrowing: false,
                 },
                 rate_per_day,
             });
@@ -301,7 +308,7 @@ fn arena_replay_reproduces_the_pre_refactor_golden_outcome() {
          groups_expanded: 0, pooled_host_count: 24, \
          sum_local_peaks: Bytes(7187627769856), sum_host_pool_peaks: Bytes(5243081326592), \
          sum_total_peaks: Bytes(10335838797824), pool_peak: Bytes(1978906181632), \
-         pool_gib_hours: 826997.7958333329, total_gib_hours: 2593592.516944444 }"
+         pool_gib_hours: 826997.7958333329, total_gib_hours: 2593592.516944444, vms_borrowed: 0, borrowed_gib_hours: 0.0 }"
     );
     assert_eq!(plain.cross_group_placements, 0);
 
@@ -318,7 +325,56 @@ fn arena_replay_reproduces_the_pre_refactor_golden_outcome() {
          groups_expanded: 0, pooled_host_count: 24, \
          sum_local_peaks: Bytes(4648228356096), sum_host_pool_peaks: Bytes(3273838821376), \
          sum_total_peaks: Bytes(7260642213888), pool_peak: Bytes(2966748659712), \
-         pool_gib_hours: 55719.272500000094, total_gib_hours: 1727270.4544444447 }"
+         pool_gib_hours: 55719.272500000094, total_gib_hours: 1727270.4544444447, vms_borrowed: 0, borrowed_gib_hours: 0.0 }"
     );
     assert_eq!(drilled.cross_group_placements, 89);
+}
+
+/// The split-ownership payoff, pinned on the 15-day bench trace: Octopus
+/// overlap with cross-pod slice borrowing recovers strictly more DRAM
+/// savings than the re-homing baseline (14.5% — see ROADMAP.md), because
+/// the borrow rung serves pool pressure without moving the VM's host out
+/// of its home pod.
+#[test]
+fn borrowing_recovers_more_dram_savings_than_rehoming_on_the_bench_trace() {
+    let trace = TraceGenerator::new(
+        ClusterConfig { servers: 24, duration_days: 15, ..ClusterConfig::azure_like() },
+        1,
+    )
+    .generate(0);
+    let base = MultiPoolConfig::for_trace(
+        &trace,
+        PodStyle::Octopus,
+        4,
+        0.20,
+        GroupSchedulerKind::TightestFit,
+        6,
+    );
+    let sharded = run_multipool_fleet(
+        &trace,
+        &MultiPoolConfig::for_trace(
+            &trace,
+            PodStyle::Symmetric,
+            4,
+            0.20,
+            GroupSchedulerKind::TightestFit,
+            6,
+        ),
+    )
+    .unwrap();
+    let borrowing = run_multipool_fleet(&trace, &base.clone().with_borrowing(true)).unwrap();
+    assert!(borrowing.fleet.vms_borrowed > 0, "{:?}", borrowing.fleet);
+    // Every borrow keeps its host home: pool pressure no longer re-homes.
+    assert_eq!(borrowing.cross_group_placements, 0, "{borrowing:?}");
+    assert!(
+        borrowing.fleet.dram_savings_fraction() > 0.145,
+        "borrowing must beat the pinned re-homing baseline: {}",
+        borrowing.fleet.dram_savings_fraction(),
+    );
+    assert!(
+        borrowing.fleet.dram_savings_fraction() > sharded.fleet.dram_savings_fraction(),
+        "overlap with borrowing must beat no-overlap sharding: {} vs {}",
+        borrowing.fleet.dram_savings_fraction(),
+        sharded.fleet.dram_savings_fraction(),
+    );
 }

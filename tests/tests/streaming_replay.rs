@@ -161,7 +161,7 @@ fn a_streamed_15_day_replay_reproduces_the_materialized_golden() {
          groups_expanded: 0, pooled_host_count: 24, \
          sum_local_peaks: Bytes(7187627769856), sum_host_pool_peaks: Bytes(5243081326592), \
          sum_total_peaks: Bytes(10335838797824), pool_peak: Bytes(1978906181632), \
-         pool_gib_hours: 826997.7958333329, total_gib_hours: 2593592.516944444 }"
+         pool_gib_hours: 826997.7958333329, total_gib_hours: 2593592.516944444, vms_borrowed: 0, borrowed_gib_hours: 0.0 }"
     );
     assert_eq!(outcome.cross_group_placements, 0);
 }
